@@ -1,0 +1,60 @@
+"""Ablation — the minimal-equivalent-graph preprocessing step (Section 5).
+
+DESIGN.md calls MEG out as an optional design choice that shrinks the
+non-tree edge count ``t`` (and with it the transitive link table and TLC
+matrix) at a small extra build cost.  This benchmark quantifies both
+sides: Dual-I built with and without MEG on the same graphs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import build_index
+from repro.graph.generators import gnm_random_digraph, single_rooted_dag
+
+
+def _graphs(scale):
+    return {
+        "random": gnm_random_digraph(scale.n, scale.dense_m, seed=21),
+        "rooted-dag": single_rooted_dag(scale.n, scale.dense_m,
+                                        max_fanout=5, seed=22),
+    }
+
+
+@pytest.mark.parametrize("use_meg", [False, True],
+                         ids=["no-meg", "with-meg"])
+@pytest.mark.parametrize("kind", ["random", "rooted-dag"])
+def test_ablation_meg_build(benchmark, kind, use_meg, scale) -> None:
+    """Dual-I build with/without MEG; t and space in extra_info."""
+    graph = _graphs(scale)[kind]
+
+    def run():
+        return build_index(graph, scheme="dual-i", use_meg=use_meg)
+
+    index = benchmark(run)
+    stats = index.stats()
+    benchmark.extra_info.update({
+        "graph_kind": kind,
+        "use_meg": use_meg,
+        "t": stats.t,
+        "transitive_links": stats.transitive_links,
+        "space_bytes": stats.total_space_bytes,
+        "meg_edges": stats.meg_edges,
+    })
+
+
+def test_ablation_meg_reduces_t(benchmark, scale) -> None:
+    """The design claim itself: MEG never increases t (usually shrinks)."""
+    graph = gnm_random_digraph(scale.n, scale.dense_m, seed=23)
+
+    def run():
+        with_meg = build_index(graph, scheme="dual-i", use_meg=True)
+        without = build_index(graph, scheme="dual-i", use_meg=False)
+        return with_meg.stats(), without.stats()
+
+    stats_meg, stats_plain = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats_meg.t <= stats_plain.t
+    assert stats_meg.transitive_links <= stats_plain.transitive_links
+    benchmark.extra_info["t_with_meg"] = stats_meg.t
+    benchmark.extra_info["t_without_meg"] = stats_plain.t

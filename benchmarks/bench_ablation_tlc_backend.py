@@ -1,0 +1,65 @@
+"""Ablation — TLC backend choice: matrix vs search tree vs range tree.
+
+Section 4's space/time tradeoff quantified on one set of graphs:
+
+* ``dual-i``  — TLC matrix: O(1) query, O(t²) ints of space;
+* ``dual-ii`` — TLC search tree: O(log t) query, usually far less space;
+* ``dual-rt`` — range-temporal merge-sort tree: O(log² t) query,
+  O(|T| log |T|) space (the paper's cited alternative structures).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import preprocess
+from repro.bench.workloads import random_query_pairs
+from repro.core.base import build_index
+from repro.graph.generators import single_rooted_dag
+
+BACKENDS = ["dual-i", "dual-ii", "dual-rt"]
+
+_CACHE: dict[tuple[int, int], tuple] = {}
+
+
+def _dag_for(n: int, m: int):
+    key = (n, m)
+    if key not in _CACHE:
+        graph = single_rooted_dag(n, m, max_fanout=5, seed=31)
+        _CACHE[key] = preprocess(graph)
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("scheme", BACKENDS)
+def test_ablation_tlc_build(benchmark, scheme, scale) -> None:
+    """Backend build time; space breakdown in extra_info."""
+    dag, counters = _dag_for(scale.n, scale.dense_m)
+
+    def run():
+        return build_index(dag, scheme=scheme, use_meg=False)
+
+    index = benchmark(run)
+    stats = index.stats()
+    benchmark.extra_info.update(counters)
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["t"] = stats.t
+    benchmark.extra_info["transitive_links"] = stats.transitive_links
+    benchmark.extra_info["space_bytes"] = stats.total_space_bytes
+
+
+@pytest.mark.parametrize("scheme", BACKENDS)
+def test_ablation_tlc_query(benchmark, scheme, scale,
+                            query_pairs_factory) -> None:
+    """Backend query time on the shared workload."""
+    dag, counters = _dag_for(scale.n, scale.dense_m)
+    index = build_index(dag, scheme=scheme, use_meg=False)
+    pairs = query_pairs_factory(dag, seed=32)
+
+    def run():
+        reach = index.reachable
+        return sum(reach(u, v) for u, v in pairs)
+
+    positives = benchmark(run)
+    benchmark.extra_info.update(counters)
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["positives"] = positives

@@ -1,0 +1,51 @@
+"""Extension benchmark — build-cost amortization vs no-index BFS.
+
+For each scheme, measure the full (build + workload) cost and record
+the break-even query count computed by :mod:`repro.bench.profiles` —
+the practical answer to "is this index worth building for my workload
+size?".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import SCHEME_BUILD_OPTIONS
+from repro.bench.profiles import amortization_point
+from repro.bench.workloads import random_query_pairs
+from repro.graph.generators import single_rooted_dag
+
+SCHEMES = ["dual-i", "dual-ii", "interval", "closure"]
+
+_STATE: dict[str, object] = {}
+
+
+def _workload(scale):
+    if "graph" not in _STATE:
+        graph = single_rooted_dag(scale.n, int(scale.n * 1.3),
+                                  max_fanout=5, seed=61)
+        _STATE["graph"] = graph
+        _STATE["pairs"] = random_query_pairs(graph, scale.num_queries,
+                                             seed=62)
+    return _STATE["graph"], _STATE["pairs"]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_amortization(benchmark, scheme, scale) -> None:
+    """Build + answer the workload once; break-even in extra_info."""
+    graph, pairs = _workload(scale)
+    options = dict(SCHEME_BUILD_OPTIONS.get(scheme, {}))
+
+    def run():
+        return amortization_point(graph, scheme, pairs, **options)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "scheme": scheme,
+        "build_ms": 1000.0 * report.build_seconds,
+        "per_query_us": 1e6 * report.per_query_seconds,
+        "bfs_per_query_us": 1e6 * report.baseline_per_query_seconds,
+        "break_even_queries": report.break_even_queries,
+    })
+    # Every indexed scheme must eventually beat per-query BFS here.
+    assert report.break_even_queries is not None

@@ -1,0 +1,75 @@
+"""Figure 8 — random graphs: preprocessing reduction, indexing time,
+query time.
+
+Paper series: |V| = 2000, |E| = 2100..3900, 100k random queries.
+Expected shape: node/edge reduction ratios fall with density; Interval ≈
+Dual-I ≈ Dual-II ≪ 2-hop on indexing time; on query time Dual-I wins,
+Interval loses, Dual-II ≈ 2-hop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import SCHEME_BUILD_OPTIONS, preprocess
+from repro.core.base import build_index
+from repro.graph.generators import gnm_random_digraph
+
+SCHEMES = ["interval", "dual-i", "dual-ii", "2hop"]
+
+
+def _opts(scheme: str) -> dict:
+    return dict(SCHEME_BUILD_OPTIONS.get(scheme, {}))
+
+
+def test_fig8_preprocessing_ratios(benchmark, scale) -> None:
+    """Figure 8 (top): SCC + MEG reduction on a random graph."""
+    graph = gnm_random_digraph(scale.n, scale.dense_m, seed=88)
+
+    def run():
+        return preprocess(graph)
+
+    dag, counters = benchmark(run)
+    assert counters["nodes_dag"] <= counters["nodes_original"]
+    assert counters["edges_meg"] <= counters["edges_original"]
+    benchmark.extra_info.update(counters)
+    benchmark.extra_info["node_ratio"] = (
+        counters["nodes_dag"] / counters["nodes_original"])
+    benchmark.extra_info["edge_ratio"] = (
+        counters["edges_meg"] / counters["edges_original"])
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig8_indexing(benchmark, scheme, random_graph_dag) -> None:
+    """Figure 8 (middle): labeling time after preprocessing."""
+    dag, counters = random_graph_dag
+
+    def run():
+        return build_index(dag, scheme=scheme, **_opts(scheme))
+
+    index = benchmark(run)
+    stats = index.stats()
+    benchmark.extra_info.update(counters)
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["space_bytes"] = stats.total_space_bytes
+    if stats.t is not None:
+        benchmark.extra_info["t"] = stats.t
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig8_query(benchmark, scheme, random_graph_dag,
+                    query_pairs_factory) -> None:
+    """Figure 8 (bottom): batch of random reachability queries."""
+    dag, counters = random_graph_dag
+    index = build_index(dag, scheme=scheme, **_opts(scheme))
+    pairs = query_pairs_factory(dag)
+
+    def run():
+        reach = index.reachable
+        return sum(reach(u, v) for u, v in pairs)
+
+    positives = benchmark(run)
+    benchmark.extra_info.update(counters)
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["num_queries"] = len(pairs)
+    benchmark.extra_info["positives"] = positives

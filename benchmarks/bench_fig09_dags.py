@@ -1,0 +1,52 @@
+"""Figure 9 — single-rooted DAGs (max fanout 5): indexing + query time.
+
+Same shape expectations as Figure 8, on the paper's Section 6.2 DAG
+generator: Interval ≈ Dual-I ≈ Dual-II ≪ 2-hop on indexing; Dual-I
+fastest on queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import SCHEME_BUILD_OPTIONS
+from repro.core.base import build_index
+
+SCHEMES = ["interval", "dual-i", "dual-ii", "2hop"]
+
+
+def _opts(scheme: str) -> dict:
+    return dict(SCHEME_BUILD_OPTIONS.get(scheme, {}))
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig9_indexing(benchmark, scheme, rooted_dag) -> None:
+    """Figure 9 (top): labeling time on the fanout-5 DAG."""
+    dag, counters = rooted_dag
+
+    def run():
+        return build_index(dag, scheme=scheme, **_opts(scheme))
+
+    index = benchmark(run)
+    benchmark.extra_info.update(counters)
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["space_bytes"] = index.stats().total_space_bytes
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig9_query(benchmark, scheme, rooted_dag,
+                    query_pairs_factory) -> None:
+    """Figure 9 (bottom): query batch on the fanout-5 DAG."""
+    dag, counters = rooted_dag
+    index = build_index(dag, scheme=scheme, **_opts(scheme))
+    pairs = query_pairs_factory(dag)
+
+    def run():
+        reach = index.reachable
+        return sum(reach(u, v) for u, v in pairs)
+
+    positives = benchmark(run)
+    benchmark.extra_info.update(counters)
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["num_queries"] = len(pairs)
+    benchmark.extra_info["positives"] = positives

@@ -1,0 +1,35 @@
+"""Figure 10 — single-rooted DAGs with max fanout 9: query time.
+
+The paper's point: query performance is insensitive to the spanning
+tree's shape.  Compare these numbers with ``bench_fig09_dags`` (fanout 5)
+— the per-scheme ordering and magnitudes should match.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import SCHEME_BUILD_OPTIONS
+from repro.core.base import build_index
+
+SCHEMES = ["interval", "dual-i", "dual-ii", "2hop"]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig10_query_fanout9(benchmark, scheme, rooted_dag_fanout9,
+                             query_pairs_factory) -> None:
+    """Query batch on the fanout-9 DAG."""
+    dag, counters = rooted_dag_fanout9
+    options = dict(SCHEME_BUILD_OPTIONS.get(scheme, {}))
+    index = build_index(dag, scheme=scheme, **options)
+    pairs = query_pairs_factory(dag)
+
+    def run():
+        reach = index.reachable
+        return sum(reach(u, v) for u, v in pairs)
+
+    positives = benchmark(run)
+    benchmark.extra_info.update(counters)
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["max_fanout"] = 9
+    benchmark.extra_info["positives"] = positives

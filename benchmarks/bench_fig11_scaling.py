@@ -1,0 +1,49 @@
+"""Figure 11 — indexing time vs graph size at fixed density m/n = 1.5.
+
+Paper shape: Interval fastest to label; Dual-I/Dual-II a little slower
+but comparable (almost linear in n); 2-hop orders of magnitude slower.
+Each benchmark is one (scheme, n) point of the figure's series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import SCHEME_BUILD_OPTIONS, preprocess
+from repro.core.base import build_index
+from repro.graph.generators import single_rooted_dag
+
+SCHEMES = ["interval", "dual-i", "dual-ii", "2hop"]
+
+_DAG_CACHE: dict[int, tuple] = {}
+
+
+def _dag_for(n: int):
+    if n not in _DAG_CACHE:
+        graph = single_rooted_dag(n, int(n * 1.5), max_fanout=5, seed=11 + n)
+        _DAG_CACHE[n] = preprocess(graph)
+    return _DAG_CACHE[n]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("size_idx", [0, 1, 2])
+def test_fig11_indexing_scaling(benchmark, scheme, size_idx, scale) -> None:
+    """One (scheme, n) point of the Figure 11 indexing-time series."""
+    sizes = scale.fig11_sizes
+    if size_idx >= len(sizes):
+        pytest.skip("scale defines fewer sizes")
+    n = sizes[size_idx]
+    if scheme == "2hop" and n > 3000:
+        pytest.skip("2-hop at n > 3000 is impractical (the paper's point)")
+    dag, counters = _dag_for(n)
+    options = dict(SCHEME_BUILD_OPTIONS.get(scheme, {}))
+
+    def run():
+        return build_index(dag, scheme=scheme, **options)
+
+    index = benchmark(run)
+    benchmark.extra_info.update(counters)
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["density"] = 1.5
+    benchmark.extra_info["space_bytes"] = index.stats().total_space_bytes

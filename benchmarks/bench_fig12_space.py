@@ -1,0 +1,59 @@
+"""Figure 12 — label/index sizes vs density (paper: n = 2000).
+
+Space is not a timing quantity, so each benchmark times the *build* and
+records the space breakdown in ``extra_info``; the space series is the
+figure's payload.  Expected shape: Dual-I space grows fast with density
+(the t×t TLC matrix); Dual-II stays comparable to Interval and 2-hop;
+everything sits below the n²-bit closure line on sparse inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.space import closure_matrix_bytes
+from repro.bench.experiments import SCHEME_BUILD_OPTIONS, preprocess
+from repro.core.base import build_index
+from repro.graph.generators import single_rooted_dag
+
+SCHEMES = ["interval", "dual-i", "dual-ii", "2hop"]
+DENSITIES = [1.05, 1.2, 1.35, 1.5]
+
+_DAG_CACHE: dict[tuple[int, int], tuple] = {}
+
+
+def _dag_for(n: int, m: int):
+    key = (n, m)
+    if key not in _DAG_CACHE:
+        graph = single_rooted_dag(n, m, max_fanout=5, seed=12 + m)
+        _DAG_CACHE[key] = preprocess(graph)
+    return _DAG_CACHE[key]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("density", DENSITIES)
+def test_fig12_space(benchmark, scheme, density, scale) -> None:
+    """One (scheme, density) point of the Figure 12 space series."""
+    n = scale.n
+    m = int(n * density)
+    dag, counters = _dag_for(n, m)
+    options = dict(SCHEME_BUILD_OPTIONS.get(scheme, {}))
+
+    def run():
+        return build_index(dag, scheme=scheme, **options)
+
+    index = benchmark(run)
+    stats = index.stats()
+    benchmark.extra_info.update(counters)
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["density"] = density
+    benchmark.extra_info["space_bytes"] = stats.total_space_bytes
+    benchmark.extra_info["closure_space_bytes"] = closure_matrix_bytes(
+        counters["nodes_dag"])
+    for component, nbytes in stats.space_bytes.items():
+        benchmark.extra_info[f"bytes_{component}"] = nbytes
+    # The figure's qualitative claim: every labeling beats the closure
+    # matrix on sparse graphs.  Assert it at the sparsest point.
+    if density == DENSITIES[0]:
+        assert stats.total_space_bytes < closure_matrix_bytes(
+            counters["nodes_dag"])

@@ -1,0 +1,50 @@
+"""Figure 13 — query time vs density, including the closure matrix.
+
+Paper shape: the transitive-closure matrix is the floor; Dual-I is barely
+worse than it and clearly better than every other labeling scheme.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import SCHEME_BUILD_OPTIONS, preprocess
+from repro.core.base import build_index
+from repro.graph.generators import single_rooted_dag
+
+SCHEMES = ["closure", "dual-i", "dual-ii", "interval", "2hop"]
+DENSITIES = [1.1, 1.3, 1.5]
+
+_CACHE: dict[tuple[int, int], tuple] = {}
+
+
+def _dag_for(n: int, m: int):
+    key = (n, m)
+    if key not in _CACHE:
+        graph = single_rooted_dag(n, m, max_fanout=5, seed=13 + m)
+        _CACHE[key] = preprocess(graph)
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("density", DENSITIES)
+def test_fig13_query(benchmark, scheme, density, scale,
+                     query_pairs_factory) -> None:
+    """One (scheme, density) point of the Figure 13 query-time series."""
+    n = scale.n
+    m = int(n * density)
+    dag, counters = _dag_for(n, m)
+    options = dict(SCHEME_BUILD_OPTIONS.get(scheme, {}))
+    index = build_index(dag, scheme=scheme, **options)
+    pairs = query_pairs_factory(dag)
+
+    def run():
+        reach = index.reachable
+        return sum(reach(u, v) for u, v in pairs)
+
+    positives = benchmark(run)
+    benchmark.extra_info.update(counters)
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["density"] = density
+    benchmark.extra_info["num_queries"] = len(pairs)
+    benchmark.extra_info["positives"] = positives

@@ -1,0 +1,47 @@
+"""Extension benchmark — per-query latency distributions.
+
+The paper's aggregate timing hides tails; this records p50/p90/p99/max
+per scheme.  Expected shape: Dual-I's tail hugs its median (O(1) with a
+fixed instruction path); online BFS and fallback-based schemes spread
+over orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import SCHEME_BUILD_OPTIONS, preprocess
+from repro.bench.profiles import latency_profile
+from repro.bench.workloads import random_query_pairs
+from repro.core.base import build_index
+from repro.graph.generators import single_rooted_dag
+
+SCHEMES = ["dual-i", "dual-ii", "interval", "online-bfs", "grail"]
+
+_STATE: dict[str, object] = {}
+
+
+def _workload(scale):
+    if "dag" not in _STATE:
+        graph = single_rooted_dag(scale.n, int(scale.n * 1.3),
+                                  max_fanout=5, seed=63)
+        dag, _ = preprocess(graph)
+        _STATE["dag"] = dag
+        _STATE["pairs"] = random_query_pairs(dag, scale.num_queries,
+                                             seed=64)
+    return _STATE["dag"], _STATE["pairs"]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_latency_tail(benchmark, scheme, scale) -> None:
+    """One profiled pass over the workload per scheme."""
+    dag, pairs = _workload(scale)
+    options = dict(SCHEME_BUILD_OPTIONS.get(scheme, {}))
+    index = build_index(dag, scheme=scheme, **options)
+
+    def run():
+        return latency_profile(index, pairs)
+
+    profile = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(profile.as_dict())
+    assert profile.p50 <= profile.p99 <= profile.maximum

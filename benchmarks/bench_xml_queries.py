@@ -1,0 +1,67 @@
+"""Extension benchmark — the paper's motivating XML workload.
+
+Section 1.1: evaluating ``//fiction//author`` means testing whether
+author elements are reachable from fiction elements.  This benchmark
+generates an XMark-flavoured auction document, builds each index scheme
+over its element graph, and times a batch of descendant path
+expressions — the end-to-end cost a real XML processor would pay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xml import XMLReachabilityEngine, generate_auction_document
+
+SCHEMES = ["dual-i", "dual-ii", "interval", "online-bfs"]
+EXPRESSIONS = ["//site//item", "//person//item", "//region//itemref",
+               "//site//watch", "//person//name"]
+
+_DOC_CACHE: dict[int, object] = {}
+
+
+def _document(scale):
+    n_items = max(100, scale.n // 4)
+    if n_items not in _DOC_CACHE:
+        _DOC_CACHE[n_items] = generate_auction_document(
+            num_items=n_items, num_people=n_items // 2,
+            num_refs=int(n_items * 0.8), seed=51)
+    return _DOC_CACHE[n_items]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_xml_engine_build(benchmark, scheme, scale) -> None:
+    """Index construction over the document's element graph."""
+    document = _document(scale)
+
+    def run():
+        return XMLReachabilityEngine(document, scheme=scheme)
+
+    engine = benchmark(run)
+    stats = engine.index.stats()
+    benchmark.extra_info.update({
+        "scheme": scheme,
+        "elements": document.num_elements,
+        "graph_edges": engine.graph.num_edges,
+        "space_bytes": stats.total_space_bytes,
+    })
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_xml_path_expressions(benchmark, scheme, scale) -> None:
+    """Evaluate the expression batch; match counts cross-checked."""
+    document = _document(scale)
+    engine = XMLReachabilityEngine(document, scheme=scheme)
+
+    def run():
+        return [engine.count(expr) for expr in EXPRESSIONS]
+
+    counts = benchmark(run)
+    benchmark.extra_info.update({
+        "scheme": scheme,
+        "expressions": len(EXPRESSIONS),
+        "match_counts": counts,
+    })
+    # All schemes must produce identical match counts.
+    reference = XMLReachabilityEngine(document, scheme="online-bfs")
+    assert counts == [reference.count(expr) for expr in EXPRESSIONS]

@@ -1,0 +1,101 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale control
+-------------
+``REPRO_BENCH_SCALE=quick`` (default) runs each exhibit on reduced
+parameters so the whole suite finishes in a few minutes;
+``REPRO_BENCH_SCALE=paper`` uses the paper's sizes (|V| = 2000/10000,
+100k queries) — expect a long run, dominated by the 2-hop greedy builds.
+
+Every benchmark records the experiment context (graph sizes, t, space,
+positives) in ``benchmark.extra_info`` so the JSON output doubles as the
+data behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.bench.workloads import random_query_pairs
+from repro.bench.experiments import preprocess
+from repro.graph.generators import gnm_random_digraph, single_rooted_dag
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Benchmark size parameters for the active scale."""
+
+    name: str
+    n: int                 # node count for fig 8/9/10/12/13 graphs
+    mid_m: int             # representative mid-density edge count
+    dense_m: int           # representative high-density edge count
+    large_n: int           # fig14 node count
+    large_m: int           # fig14 edge count
+    fig11_sizes: tuple[int, ...]
+    num_queries: int
+    table2_datasets: tuple[str, ...]
+
+
+_SCALES = {
+    "quick": BenchScale(
+        name="quick", n=400, mid_m=520, dense_m=640,
+        large_n=2000, large_m=2400,
+        fig11_sizes=(200, 400, 800),
+        num_queries=2000,
+        table2_datasets=("HpyCyc", "XMark"),
+    ),
+    "paper": BenchScale(
+        name="paper", n=2000, mid_m=3000, dense_m=3900,
+        large_n=10_000, large_m=12_000,
+        fig11_sizes=(1000, 2000, 3000, 4000, 5000),
+        num_queries=100_000,
+        table2_datasets=("AgroCyc", "Ecoo157", "HpyCyc", "VchoCyc",
+                         "XMark"),
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    """The active benchmark scale (see module docstring)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, "
+            f"got {name!r}")
+    return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def random_graph_dag(scale):
+    """Preprocessed DAG of the Figure 8 mid-density random graph."""
+    graph = gnm_random_digraph(scale.n, scale.mid_m, seed=8)
+    dag, counters = preprocess(graph)
+    return dag, counters
+
+
+@pytest.fixture(scope="session")
+def rooted_dag(scale):
+    """Preprocessed Figure 9 single-rooted DAG (fanout 5)."""
+    graph = single_rooted_dag(scale.n, scale.mid_m, max_fanout=5, seed=9)
+    dag, counters = preprocess(graph)
+    return dag, counters
+
+
+@pytest.fixture(scope="session")
+def rooted_dag_fanout9(scale):
+    """Preprocessed Figure 10 single-rooted DAG (fanout 9)."""
+    graph = single_rooted_dag(scale.n, scale.mid_m, max_fanout=9, seed=10)
+    dag, counters = preprocess(graph)
+    return dag, counters
+
+
+@pytest.fixture(scope="session")
+def query_pairs_factory(scale):
+    """Factory producing the seeded random query workload for a graph."""
+    def _factory(graph, seed=123):
+        return random_query_pairs(graph, scale.num_queries, seed=seed)
+    return _factory

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Choosing an index before building one — the analysis toolkit.
+
+Given an unfamiliar graph, the `repro.analysis` package predicts how
+each scheme will behave *without* building anything expensive:
+
+* `nontree_edge_count` gives the dual schemes' `t` in O(n + m) — from
+  it, the TLC matrix footprint is (t+1)² cells;
+* `width_upper_bound` gives the chain-cover scheme's `k` (its matrix
+  is n·k);
+* `dag_depth` / `level_histogram` show the shape (deep chains favour
+  interval nesting; shallow-wide graphs stress chain covers);
+* `closure_matrix_bytes` is the always-available yardstick.
+
+The script sizes three very different graphs, prints the predictions,
+then builds the indexes and shows the predictions were right.
+
+Run:  python examples/index_planning.py
+"""
+
+from repro import build_index
+from repro.analysis import (
+    closure_matrix_bytes,
+    dag_depth,
+    level_histogram,
+    nontree_edge_count,
+    width_upper_bound,
+)
+from repro.graph import condense
+from repro.graph.generators import (
+    citation_dag,
+    random_tree,
+    single_rooted_dag,
+)
+
+GRAPHS = {
+    "xml-like (tree + few links)": single_rooted_dag(
+        4000, 4200, max_fanout=5, seed=1),
+    "citation network (hub-heavy)": citation_dag(
+        4000, refs_per_node=2, seed=2),
+    "pure taxonomy (a tree)": random_tree(4000, max_fanout=6, seed=3),
+}
+
+for name, graph in GRAPHS.items():
+    dag = condense(graph).dag
+    t = nontree_edge_count(graph)
+    width = width_upper_bound(dag)
+    depth = dag_depth(dag)
+    levels = level_histogram(dag)
+    n = dag.num_nodes
+
+    print(f"{name}")
+    print(f"  n={n}, m={graph.num_edges}, depth={depth}, "
+          f"widest level={max(levels)}")
+    print(f"  predicted t           : {t}")
+    print(f"  TLC matrix bound      : {(t + 1) * (t + 1) * 8:,} B "
+          f"(dual-i worst case; smaller when links share tails/heads)")
+    print(f"  predicted chain count : {width} "
+          f"-> chain-cover matrix {n * width * 4:,} B")
+    print(f"  closure yardstick     : {closure_matrix_bytes(n):,} B")
+
+    dual = build_index(graph, scheme="dual-i")
+    chains = build_index(graph, scheme="chain-cover")
+    print(f"  measured  t           : {dual.stats().t}")
+    print(f"  measured  dual-i TLC  : "
+          f"{dual.stats().space_bytes['tlc_matrix']:,} B")
+    print(f"  measured  chain-cover : "
+          f"{chains.stats().space_bytes['first_reach_matrix']:,} B")
+    verdict = "dual-i" if (t + 1) ** 2 * 8 < n * width * 4 else \
+        "chain-cover"
+    print(f"  -> cheaper O(1) index here: {verdict}\n")
+
+print("Rule of thumb the numbers above demonstrate: dual labeling wins "
+      "whenever t ≪ n\n(trees, XML, ontologies); width-bounded schemes "
+      "win on shallow, wide DAGs.")

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Indexing a large sparse graph — the "massive datasets" claim.
+
+The paper's headline: dual labeling is *almost linear* to build on
+sparse graphs, where 2-hop takes hours-to-days.  This demo builds
+Dual-I on progressively larger single-rooted DAGs (up to 50k nodes,
+density 1.02) and prints build time per node, showing the near-linear
+scaling, then compares one 2-hop build at the largest size it can
+stomach in a demo (n=2000) to make the contrast concrete.
+
+Run:  python examples/large_graph_demo.py        (~1 minute)
+"""
+
+import time
+
+from repro import build_index
+from repro.bench.workloads import random_query_pairs
+from repro.graph.generators import single_rooted_dag
+
+print("Dual-I build scaling on sparse DAGs (density m/n = 1.02):\n")
+print(f"{'n':>8s} {'m':>8s} {'build (s)':>10s} {'µs/node':>9s} "
+      f"{'t':>6s} {'100k queries (s)':>17s}")
+
+for n in (5_000, 10_000, 20_000, 50_000):
+    m = int(n * 1.02)
+    graph = single_rooted_dag(n, m, max_fanout=5, seed=n)
+    started = time.perf_counter()
+    index = build_index(graph, scheme="dual-i")
+    build_seconds = time.perf_counter() - started
+
+    pairs = random_query_pairs(graph, 100_000, seed=1)
+    started = time.perf_counter()
+    positives = sum(index.reachable(u, v) for u, v in pairs)
+    query_seconds = time.perf_counter() - started
+
+    stats = index.stats()
+    print(f"{n:8d} {m:8d} {build_seconds:10.2f} "
+          f"{1e6 * build_seconds / n:9.1f} {stats.t:6d} "
+          f"{query_seconds:17.2f}")
+    del positives
+
+print("""
+Build time per node stays roughly constant as n grows 10x — the almost-
+linear labeling the paper promises (the t³ transitive-link step is
+negligible because t ≪ n on sparse graphs).
+""")
+
+print("Contrast: 2-hop (Cohen greedy) at n=2000, density 1.5 —")
+graph = single_rooted_dag(2000, 3000, max_fanout=5, seed=1)
+for scheme in ("dual-i", "2hop"):
+    started = time.perf_counter()
+    build_index(graph, scheme=scheme)
+    print(f"  {scheme:7s} build: {time.perf_counter() - started:7.2f} s")
+print("(the gap grows with n — at 10k+ nodes 2-hop is impractical, "
+      "which is why the paper's Figure 14 omits it)")

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Ontology subsumption queries — the paper's RDF/OWL motivation.
+
+Class hierarchies (rdfs:subClassOf) are sparse DAGs; "is C a subclass of
+D?" is a reachability query, and ontology-backed applications fire huge
+numbers of them.  This example:
+
+1. answers subsumption/instance queries over a small hand-written zoo
+   ontology (including an equivalence cycle, which SCC condensation
+   handles);
+2. scales up to a generated 5,000-class hierarchy with multiple
+   inheritance and compares subsumption-check throughput across index
+   schemes.
+
+Run:  python examples/ontology_subsumption.py
+"""
+
+import random
+import time
+
+from repro.rdf import Ontology, TripleStore, generate_ontology
+
+ZOO = """
+ex:Dog rdfs:subClassOf ex:Mammal .
+ex:Cat rdfs:subClassOf ex:Mammal .
+ex:Mammal rdfs:subClassOf ex:Animal .
+ex:Bird rdfs:subClassOf ex:Animal .
+ex:Penguin rdfs:subClassOf ex:Bird .
+ex:Penguin rdfs:subClassOf ex:FlightlessThing .
+ex:Canine rdfs:subClassOf ex:Dog .
+ex:Dog rdfs:subClassOf ex:Canine .
+ex:rex rdf:type ex:Dog .
+ex:tweety rdf:type ex:Bird .
+ex:pingu rdf:type ex:Penguin .
+"""
+
+# ----------------------------------------------------------------------
+# 1. Small ontology: subsumption, inference, equivalence cycles.
+# ----------------------------------------------------------------------
+zoo = Ontology(TripleStore.loads(ZOO))
+print(f"zoo ontology: {zoo!r}\n")
+
+checks = [
+    ("ex:Penguin", "ex:Animal"),
+    ("ex:Penguin", "ex:FlightlessThing"),
+    ("ex:Cat", "ex:Bird"),
+    ("ex:Canine", "ex:Mammal"),   # via the Dog<->Canine equivalence
+]
+for sub, sup in checks:
+    verdict = "⊑" if zoo.is_subclass_of(sub, sup) else "⋢"
+    print(f"  {sub} {verdict} {sup}")
+
+print(f"\n  instances of ex:Animal: {sorted(zoo.instances_of('ex:Animal'))}")
+print(f"  inferred types of ex:pingu: {sorted(zoo.types_of('ex:pingu'))}")
+
+# ----------------------------------------------------------------------
+# 2. A Gene-Ontology-sized hierarchy: throughput comparison.
+# ----------------------------------------------------------------------
+store = generate_ontology(num_classes=5000, num_individuals=1000,
+                          multi_parent_fraction=0.04, seed=11)
+print(f"\ngenerated hierarchy: {len(store)} triples")
+
+rng = random.Random(1)
+classes = [f"ex:C{k}" for k in range(5000)]
+queries = [(rng.choice(classes), rng.choice(classes))
+           for _ in range(100_000)]
+
+for scheme in ("dual-i", "dual-ii", "interval", "closure"):
+    onto = Ontology(store, scheme=scheme)
+    start = time.perf_counter()
+    positive = sum(onto.is_subclass_of(a, b) for a, b in queries)
+    elapsed = time.perf_counter() - start
+    stats = onto._index.stats()
+    print(f"  {scheme:8s}: 100k subsumption checks in "
+          f"{elapsed * 1000:6.0f} ms "
+          f"({positive} positive, index {stats.total_space_bytes:>9,} B)")
+
+print("""
+Dual-I gives O(1) subsumption at a fraction of the closure matrix's
+space — the paper's pitch on the paper's own use case.  (Engineering
+note baked into repro.rdf.Ontology: subClassOf edges point upward, a
+shape with huge t; the index is built over the *reversed*, near-tree
+hierarchy, cutting Dual-I's footprint by ~3 orders of magnitude.)""")

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: build a dual-labeling index and answer reachability
+queries in constant time.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DiGraph, available_schemes, build_index
+
+# ----------------------------------------------------------------------
+# 1. Build a graph.  Nodes are arbitrary hashables; cycles are fine —
+#    strongly connected components are condensed automatically.
+# ----------------------------------------------------------------------
+g = DiGraph()
+g.add_edges([
+    ("ingest", "clean"), ("clean", "features"), ("features", "train"),
+    ("train", "evaluate"), ("evaluate", "deploy"),
+    ("evaluate", "train"),          # retraining loop (a cycle!)
+    ("clean", "report"), ("deploy", "monitor"),
+    ("monitor", "ingest"),          # feedback loop back to the start
+])
+
+print(f"pipeline graph: {g.num_nodes} stages, {g.num_edges} edges")
+
+# ----------------------------------------------------------------------
+# 2. Build the Dual-I index: O(1) reachability queries.
+# ----------------------------------------------------------------------
+index = build_index(g, scheme="dual-i")
+
+queries = [
+    ("ingest", "deploy"),    # forward through the pipeline
+    ("deploy", "clean"),     # back through the feedback loop
+    ("report", "train"),     # report is a dead end
+    ("train", "train"),      # reflexive
+]
+for source, target in queries:
+    verdict = "reaches" if index.reachable(source, target) else \
+        "cannot reach"
+    print(f"  {source:10s} {verdict} {target}")
+
+# ----------------------------------------------------------------------
+# 3. Inspect the index: what did dual labeling actually build?
+# ----------------------------------------------------------------------
+stats = index.stats()
+print(f"\nindex stats ({stats.scheme}):")
+print(f"  input                : n={stats.num_nodes}, m={stats.num_edges}")
+print(f"  after SCC condensation: n={stats.dag_nodes}, "
+      f"m={stats.dag_edges}")
+print(f"  after MEG reduction  : m={stats.meg_edges}")
+print(f"  non-tree edges (t)   : {stats.t}")
+print(f"  transitive links (|T|): {stats.transitive_links}")
+print(f"  space                : {stats.total_space_bytes} bytes "
+      f"{dict(stats.space_bytes)}")
+print(f"  build time           : {stats.build_seconds * 1000:.2f} ms")
+
+# ----------------------------------------------------------------------
+# 4. Every scheme shares the same API — swap freely.
+# ----------------------------------------------------------------------
+print(f"\navailable schemes: {', '.join(available_schemes())}")
+for scheme in ("dual-ii", "interval", "closure"):
+    other = build_index(g, scheme=scheme)
+    assert other.reachable("ingest", "deploy")
+    assert not other.reachable("report", "train")
+print("all schemes agree on the example queries ✔")

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The Dual-I / Dual-II / dual-rt space-time tradeoff (paper Section 4).
+
+Sweeps graph density on single-rooted DAGs and shows, per scheme:
+query latency (the paper's 100k-query protocol, scaled down) versus
+index size — Dual-I's t×t TLC matrix buys O(1) queries, Dual-II's search
+tree trades a log factor for much less space, dual-rt sits between with
+linear-in-|T| space.  The transitive-closure matrix is printed as the
+yardstick both are measured against.
+
+Run:  python examples/space_time_tradeoff.py
+"""
+
+from repro.analysis.space import closure_matrix_bytes
+from repro.bench.timing import measure_build_time, measure_query_time
+from repro.bench.workloads import random_query_pairs
+from repro.bench.experiments import preprocess
+from repro.graph.generators import single_rooted_dag
+
+N = 1500
+QUERIES = 20_000
+SCHEMES = ("dual-i", "dual-ii", "dual-rt")
+
+print(f"single-rooted DAGs, n={N}, {QUERIES} random queries per point\n")
+header = f"{'density':>8s} {'t':>5s} {'|T|':>6s}"
+for scheme in SCHEMES:
+    header += f" | {scheme:>7s}: µs/q {'bytes':>9s}"
+header += f" | {'closure bytes':>13s}"
+print(header)
+print("-" * len(header))
+
+for density in (1.05, 1.15, 1.25, 1.4, 1.6):
+    m = int(N * density)
+    graph = single_rooted_dag(N, m, max_fanout=5, seed=int(density * 100))
+    dag, counters = preprocess(graph)
+    pairs = random_query_pairs(dag, QUERIES, seed=9)
+
+    row = f"{density:8.2f}"
+    t_shown = False
+    for scheme in SCHEMES:
+        built = measure_build_time(dag, scheme, use_meg=False)
+        stats = built.index.stats()
+        if not t_shown:
+            row += f" {stats.t:5d} {stats.transitive_links:6d}"
+            t_shown = True
+        queried = measure_query_time(built.index, pairs)
+        row += (f" | {queried.microseconds_per_query:12.3f} "
+                f"{stats.total_space_bytes:9d}")
+    row += f" | {closure_matrix_bytes(counters['nodes_dag']):13d}"
+    print(row)
+
+print("""
+Reading the table (the paper's Section 4 story):
+ * dual-i queries stay flat (O(1)) while its bytes grow ~t² — it crosses
+   the closure-matrix line once the graph stops being very sparse;
+ * dual-ii pays ~log t per query and stays far smaller;
+ * dual-rt is the cited range-temporal-aggregation alternative:
+   O(log² t) queries with linear-in-|T| space.
+Pick dual-i when t ≪ n (XML, metabolic networks); dual-ii/rt when space
+matters or density creeps up.""")

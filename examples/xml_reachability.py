@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""XML structural queries via reachability — the paper's Section 1.1
+motivation, end to end.
+
+An XML document is a tree plus IDREF reference links, i.e. a sparse
+directed graph.  Path expressions like //fiction//author become
+reachability tests.  This example:
+
+1. evaluates //fiction//author over a small hand-written library
+   document (the paper's own example query);
+2. generates an XMark-flavoured auction document and runs structural
+   queries over it with Dual-I, showing the index statistics on a
+   tree-plus-links graph (density ≈ 1.15, like real XMark).
+
+Run:  python examples/xml_reachability.py
+"""
+
+from repro.xml import (
+    XMLReachabilityEngine,
+    generate_auction_document,
+    parse_xml,
+)
+
+LIBRARY = """
+<library>
+  <fiction>
+    <book id="b1"><title>Dune</title><authorref idref="a1"/></book>
+    <book id="b2"><title>Foundation</title><authorref idref="a2"/></book>
+  </fiction>
+  <nonfiction>
+    <book id="b3"><title>Cosmos</title><authorref idref="a3"/></book>
+  </nonfiction>
+  <authors>
+    <author id="a1"><name>Frank Herbert</name></author>
+    <author id="a2"><name>Isaac Asimov</name></author>
+    <author id="a3"><name>Carl Sagan</name></author>
+  </authors>
+</library>
+"""
+
+# ----------------------------------------------------------------------
+# 1. The paper's query: //fiction//author
+# ----------------------------------------------------------------------
+document = parse_xml(LIBRARY)
+engine = XMLReachabilityEngine(document, scheme="dual-i")
+
+print("query //fiction//author —")
+print("  (authors live under <authors>, so only the IDREF edges make")
+print("   them reachable from <fiction>: a graph, not a tree, problem)")
+for author in engine.evaluate("//fiction//author"):
+    name = author.children[0].text
+    print(f"  matched: <author id={author.element_id!r}> {name}")
+
+sagan = document.by_id("a3")
+fiction = document.by_tag("fiction")[0]
+assert not engine.is_descendant(fiction, sagan)
+print("  Carl Sagan (nonfiction only) correctly not matched ✔")
+
+# ----------------------------------------------------------------------
+# 2. XMark-flavoured auction document at a more interesting size.
+# ----------------------------------------------------------------------
+auction = generate_auction_document(num_items=400, num_people=250,
+                                    num_refs=300, seed=7)
+graph = auction.to_graph()
+print(f"\nauction document: {auction.num_elements} elements, "
+      f"graph density {graph.density:.3f} "
+      "(tree + IDREF links, like XMark)")
+
+engine = XMLReachabilityEngine(auction, scheme="dual-i")
+stats = engine.index.stats()
+print(f"dual-I index: t={stats.t} non-tree edges, "
+      f"|T|={stats.transitive_links} transitive links, "
+      f"{stats.total_space_bytes} bytes, "
+      f"built in {stats.build_seconds * 1000:.1f} ms")
+
+for expression in ("//site//item", "//person//item", "//region//itemref"):
+    print(f"  {expression:22s} -> {engine.count(expression)} matches")
+
+# Items watched by people *through* reference chains: person -> watch
+# -(idref)-> item -(itemref)-> item.
+watched = {e.element_id for e in engine.evaluate("//person//item")}
+direct = {e.attributes["idref"]
+          for person in auction.by_tag("watch")
+          for e in [person]}
+print(f"  items reachable from people: {len(watched)} "
+      f"(direct watches: {len(direct)}; the rest arrive via item->item "
+      "references)")
+
+# ----------------------------------------------------------------------
+# 3. Structural join + mixed-axis paths.
+# ----------------------------------------------------------------------
+join = engine.structural_join("person", "item")
+print(f"\nstructural join person ⨝ item: {len(join)} pairs "
+      "(every person with every item they can reach)")
+
+mixed = engine.evaluate_path("//site/regions//item")
+print(f"mixed-axis //site/regions//item: {len(mixed)} matches "
+      "(child step to <regions>, then descendants)")

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs in offline environments.
+
+The canonical metadata lives in pyproject.toml; this file exists only so
+``pip install -e . --no-use-pep517`` works where the ``wheel`` package is
+unavailable (PEP 517 editable builds require bdist_wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Analysis helpers: space accounting (Figures 12/14) and reachability
+analytics (hubs, common ancestors, connectivity ratios)."""
+
+from repro.analysis.reachability import (
+    ancestor_counts,
+    common_ancestors,
+    common_descendants,
+    descendant_counts,
+    reachability_ratio,
+    top_hubs,
+)
+from repro.analysis.structure import (
+    dag_depth,
+    level_histogram,
+    nontree_edge_count,
+    width_upper_bound,
+)
+from repro.analysis.space import (
+    SpaceReport,
+    closure_matrix_bytes,
+    compare_schemes_space,
+    space_report,
+    tlc_matrix_bound_bytes,
+)
+
+__all__ = [
+    "SpaceReport",
+    "closure_matrix_bytes",
+    "compare_schemes_space",
+    "space_report",
+    "tlc_matrix_bound_bytes",
+    "descendant_counts",
+    "ancestor_counts",
+    "top_hubs",
+    "common_ancestors",
+    "common_descendants",
+    "reachability_ratio",
+    "dag_depth",
+    "level_histogram",
+    "width_upper_bound",
+    "nontree_edge_count",
+]

@@ -1,0 +1,93 @@
+"""Reachability analytics on top of the index layer.
+
+Derived questions applications ask once they can test reachability
+cheaply — influence ranking in networks (the paper's biology
+motivation), common-ancestor queries in ontologies (its RDF/OWL
+motivation), and global connectivity statistics:
+
+* :func:`descendant_counts` / :func:`ancestor_counts` — per-node
+  reach-set sizes via the bitset closure (exact, one sweep);
+* :func:`top_hubs` — nodes ranked by how much of the graph they reach;
+* :func:`common_ancestors` / :func:`common_descendants` — set algebra
+  over closure bitsets;
+* :func:`reachability_ratio` — fraction of ordered pairs connected,
+  the quantity the random-query workloads estimate by sampling.
+"""
+
+from __future__ import annotations
+
+from repro.graph.bitset import iter_indices
+from repro.graph.closure import transitive_closure_bitsets
+from repro.graph.digraph import DiGraph, Node
+
+__all__ = [
+    "descendant_counts",
+    "ancestor_counts",
+    "top_hubs",
+    "common_ancestors",
+    "common_descendants",
+    "reachability_ratio",
+]
+
+
+def descendant_counts(graph: DiGraph) -> dict[Node, int]:
+    """Number of nodes each node reaches (including itself)."""
+    desc, index = transitive_closure_bitsets(graph)
+    return {node: desc[i].bit_count() for node, i in index.items()}
+
+
+def ancestor_counts(graph: DiGraph) -> dict[Node, int]:
+    """Number of nodes that reach each node (including itself)."""
+    desc, index = transitive_closure_bitsets(graph)
+    counts = {node: 0 for node in index}
+    nodes = list(index)
+    for bits in desc:
+        for j in iter_indices(bits):
+            counts[nodes[j]] += 1
+    return counts
+
+
+def top_hubs(graph: DiGraph, k: int = 10,
+             direction: str = "out") -> list[tuple[Node, int]]:
+    """The ``k`` nodes with the largest reach, as (node, count) pairs.
+
+    ``direction="out"`` ranks by descendants (influence sources);
+    ``"in"`` by ancestors (convergence sinks).  Ties break by node
+    insertion order, keeping results deterministic.
+    """
+    if direction not in {"out", "in"}:
+        raise ValueError(f"direction must be 'out' or 'in', "
+                         f"got {direction!r}")
+    counts = (descendant_counts(graph) if direction == "out"
+              else ancestor_counts(graph))
+    order = {node: i for i, node in enumerate(graph.nodes())}
+    ranked = sorted(counts.items(),
+                    key=lambda item: (-item[1], order[item[0]]))
+    return ranked[:max(k, 0)]
+
+
+def common_ancestors(graph: DiGraph, u: Node, v: Node) -> set[Node]:
+    """Nodes that reach both ``u`` and ``v``."""
+    desc, index = transitive_closure_bitsets(graph)
+    iu, iv = index[u], index[v]
+    nodes = list(index)
+    return {nodes[i] for i, bits in enumerate(desc)
+            if (bits >> iu) & 1 and (bits >> iv) & 1}
+
+
+def common_descendants(graph: DiGraph, u: Node, v: Node) -> set[Node]:
+    """Nodes reachable from both ``u`` and ``v``."""
+    desc, index = transitive_closure_bitsets(graph)
+    both = desc[index[u]] & desc[index[v]]
+    nodes = list(index)
+    return {nodes[i] for i in iter_indices(both)}
+
+
+def reachability_ratio(graph: DiGraph) -> float:
+    """Fraction of ordered node pairs (u, v), u ≠ v, with ``u ⇝ v``."""
+    n = graph.num_nodes
+    if n < 2:
+        return 0.0
+    desc, _ = transitive_closure_bitsets(graph)
+    reachable_pairs = sum(bits.bit_count() for bits in desc) - n
+    return reachable_pairs / (n * (n - 1))

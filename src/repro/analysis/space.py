@@ -1,0 +1,93 @@
+"""Space analysis: per-scheme label/structure size accounting.
+
+Backs Figures 12 and 14.  The accounting convention (logical bytes, 4 per
+stored int) is defined in :mod:`repro.core.base`; this module adds
+comparison helpers across schemes and the theoretical yardsticks the
+paper plots against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.base import ReachabilityIndex, build_index
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "SpaceReport",
+    "closure_matrix_bytes",
+    "tlc_matrix_bound_bytes",
+    "space_report",
+    "compare_schemes_space",
+]
+
+
+def closure_matrix_bytes(n: int) -> int:
+    """Size of the full transitive-closure bit matrix: n² bits."""
+    return (n * n + 7) // 8
+
+
+def tlc_matrix_bound_bytes(t: int, int_bytes: int = 8) -> int:
+    """Worst-case TLC matrix payload for ``t`` non-tree edges.
+
+    The implementation stores int64 cells in a ``(t+1) × (t+1)`` bordered
+    matrix; Property 2's tighter ``2·log t`` bits per cell is a packing
+    bound, not what a practical array uses.
+    """
+    return (t + 1) * (t + 1) * int_bytes
+
+
+@dataclass(frozen=True)
+class SpaceReport:
+    """Space breakdown of one index."""
+
+    scheme: str
+    num_nodes: int
+    components: dict[str, int]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total logical bytes."""
+        return sum(self.components.values())
+
+    @property
+    def bytes_per_node(self) -> float:
+        """Total divided by input node count."""
+        if self.num_nodes == 0:
+            return 0.0
+        return self.total_bytes / self.num_nodes
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat dict for reporting."""
+        row: dict[str, Any] = {
+            "scheme": self.scheme,
+            "total_bytes": self.total_bytes,
+            "bytes_per_node": self.bytes_per_node,
+        }
+        row.update({f"bytes_{k}": v for k, v in self.components.items()})
+        return row
+
+
+def space_report(index: ReachabilityIndex) -> SpaceReport:
+    """Extract a :class:`SpaceReport` from a built index."""
+    stats = index.stats()
+    return SpaceReport(scheme=stats.scheme, num_nodes=stats.num_nodes,
+                       components=dict(stats.space_bytes))
+
+
+def compare_schemes_space(graph: DiGraph,
+                          schemes: Sequence[str],
+                          **options_by_scheme: dict,
+                          ) -> list[SpaceReport]:
+    """Build each scheme on ``graph`` and report its space breakdown.
+
+    Per-scheme build options may be passed keyword-style with dashes
+    replaced by underscores (e.g. ``dual_i={"use_meg": False}``).
+    """
+    reports = []
+    for scheme in schemes:
+        options = options_by_scheme.get(scheme.replace("-", "_"), {})
+        index = build_index(graph, scheme=scheme, **options)
+        reports.append(space_report(index))
+    return reports

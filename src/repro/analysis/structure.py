@@ -1,0 +1,96 @@
+"""DAG structure analytics: depth, width bounds, level profiles.
+
+Quantities that predict index behaviour before building anything:
+
+* :func:`dag_depth` — longest path length; deep graphs favour interval
+  nesting, shallow-wide ones stress chain covers;
+* :func:`level_histogram` — nodes per longest-path level (the DAG's
+  "shape");
+* :func:`width_upper_bound` — the greedy chain cover's chain count, an
+  upper bound on the DAG's antichain width (Dilworth: width = minimum
+  chain cover size); drives the ``chain-cover`` scheme's ``O(n·k)``
+  footprint;
+* :func:`nontree_edge_count` — the ``t`` a spanning forest will leave,
+  computable in O(n + m) without building anything: after MEG a DAG has
+  no superfluous edges, so ``t = m − n + #roots`` exactly.
+"""
+
+from __future__ import annotations
+
+from repro.graph.condensation import condense
+from repro.graph.digraph import DiGraph
+from repro.graph.meg import minimal_equivalent_graph
+from repro.graph.traversal import topological_sort
+
+__all__ = ["dag_depth", "level_histogram", "width_upper_bound",
+           "nontree_edge_count"]
+
+
+def _levels(dag: DiGraph) -> dict:
+    """Longest-path level per node (roots at level 0)."""
+    level = {node: 0 for node in dag.nodes()}
+    for node in topological_sort(dag):
+        for succ in dag.successors(node):
+            if level[node] + 1 > level[succ]:
+                level[succ] = level[node] + 1
+    return level
+
+
+def dag_depth(dag: DiGraph) -> int:
+    """Number of nodes on the longest path (0 for an empty graph).
+
+    Raises :class:`repro.exceptions.NotADAGError` on cyclic input.
+    """
+    if dag.num_nodes == 0:
+        return 0
+    return max(_levels(dag).values()) + 1
+
+
+def level_histogram(dag: DiGraph) -> list[int]:
+    """Node count per longest-path level, shallowest first."""
+    if dag.num_nodes == 0:
+        return []
+    level = _levels(dag)
+    histogram = [0] * (max(level.values()) + 1)
+    for node_level in level.values():
+        histogram[node_level] += 1
+    return histogram
+
+
+def width_upper_bound(dag: DiGraph) -> int:
+    """Chain count of the greedy chain cover (≥ the true width).
+
+    Same decomposition as the ``chain-cover`` scheme; see that module
+    for the construction.
+    """
+    assigned: set = set()
+    chains = 0
+    for start in topological_sort(dag):
+        if start in assigned:
+            continue
+        chains += 1
+        node = start
+        while True:
+            assigned.add(node)
+            nxt = next((s for s in dag.successors(node)
+                        if s not in assigned), None)
+            if nxt is None:
+                break
+            node = nxt
+    return chains
+
+
+def nontree_edge_count(graph: DiGraph, use_meg: bool = True) -> int:
+    """Predict the dual schemes' ``t`` for ``graph`` without labeling.
+
+    Condenses (and optionally MEG-reduces) the graph, then applies
+    ``t = m − n + #roots``: every non-root node takes exactly one
+    spanning-forest parent, and in a MEG no remaining edge can be
+    superfluous (a tree path of length ≥ 2 would make it transitively
+    redundant, contradicting minimality).  Without MEG the value is an
+    upper bound — DFS may still classify some edges superfluous.
+    """
+    dag = condense(graph).dag
+    if use_meg:
+        dag = minimal_equivalent_graph(dag).graph
+    return dag.num_edges - dag.num_nodes + len(dag.roots())

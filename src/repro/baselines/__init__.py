@@ -1,0 +1,26 @@
+"""Comparator schemes: the paper's baselines plus one post-paper extension.
+
+* ``online-bfs`` — no index, one BFS per query (Section 1.2 naive #1);
+* ``closure`` — full transitive-closure bit matrix (naive #2);
+* ``interval`` — Agrawal et al. 1989 multi-interval DAG labeling;
+* ``2hop`` — Cohen et al. 2002 greedy 2-hop cover;
+* ``grail`` — GRAIL-style randomised labels (extension, post-paper);
+* ``chain-cover`` — Jagadish-style compressed closure (extension).
+"""
+
+from repro.baselines.chain_cover import ChainCoverIndex
+from repro.baselines.closure_index import TransitiveClosureIndex
+from repro.baselines.grail import GrailIndex
+from repro.baselines.interval_index import IntervalSetIndex, merge_interval_lists
+from repro.baselines.online import OnlineSearchIndex
+from repro.baselines.two_hop import TwoHopIndex
+
+__all__ = [
+    "OnlineSearchIndex",
+    "ChainCoverIndex",
+    "TransitiveClosureIndex",
+    "IntervalSetIndex",
+    "merge_interval_lists",
+    "TwoHopIndex",
+    "GrailIndex",
+]

@@ -1,0 +1,180 @@
+"""GRAIL-style randomised interval labeling (extension baseline).
+
+Not part of the 2006 paper — GRAIL (Yildirim, Chierichetti, Zaki, VLDB
+2010) became the standard *scalable* comparator in later reachability
+work, so the benchmark suite includes it to place dual labeling in the
+post-paper landscape (an "extension" deliverable).
+
+Each node receives ``k`` interval labels, one per random DFS of the DAG
+(children shuffled per traversal).  Interval ``i`` of node ``u`` contains
+interval ``i`` of node ``v`` whenever ``u ⇝ v`` — the converse need not
+hold — so labels give a constant-time *negative* filter:
+
+* some label of ``v`` not contained in ``u``'s  →  definitely **not**
+  reachable;
+* all ``k`` labels contained  →  *maybe*; fall back to a DFS that prunes
+  every subtree whose labels already rule ``v`` out.
+
+Build is ``O(k·(n + m))``; space ``2k`` ints per node; queries are O(k)
+when the filter fires and bounded by the pruned DFS otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any
+
+from repro.core.base import INT_BYTES, IndexStats, ReachabilityIndex, register_scheme
+from repro.exceptions import QueryError
+from repro.graph.condensation import condense
+from repro.graph.digraph import DiGraph, Node
+
+__all__ = ["GrailIndex"]
+
+
+@register_scheme
+class GrailIndex(ReachabilityIndex):
+    """Randomised multi-interval labeling with pruned-DFS fallback."""
+
+    scheme_name = "grail"
+
+    def __init__(self, component_of: dict[Node, int],
+                 dag_succ: list[list[int]],
+                 lows: list[list[int]], posts: list[list[int]],
+                 stats: IndexStats) -> None:
+        self._component_of = component_of
+        self._dag_succ = dag_succ
+        # lows[r][u] / posts[r][u]: label r of component u.
+        self._lows = lows
+        self._posts = posts
+        self._stats = stats
+
+    @classmethod
+    def build(cls, graph: DiGraph, k: int = 2, seed: int = 0,
+              **options: Any) -> "GrailIndex":
+        """Build a GRAIL index with ``k`` random traversals.
+
+        Parameters
+        ----------
+        graph: any directed graph (cycles handled via condensation).
+        k: number of independent random interval labelings (default 2).
+        seed: RNG seed for the traversal shuffles.
+        """
+        if options:
+            raise TypeError(f"unknown options: {sorted(options)}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        wall_start = time.perf_counter()
+        cond = condense(graph)
+        dag = cond.dag
+        n = cond.num_components
+        dag_succ = [list(dag.successors(cid)) for cid in range(n)]
+        roots = dag.roots()
+
+        rng = random.Random(seed)
+        lows: list[list[int]] = []
+        posts: list[list[int]] = []
+        for _ in range(k):
+            low = [0] * n
+            post = [0] * n
+            visited = [False] * n
+            clock = 0
+            shuffled_roots = list(roots)
+            rng.shuffle(shuffled_roots)
+            for root in shuffled_roots:
+                if visited[root]:
+                    continue
+                visited[root] = True
+                # Frames: (node, shuffled children, next index, min-low).
+                kids = [s for s in dag_succ[root]]
+                rng.shuffle(kids)
+                stack: list[list] = [[root, kids, 0, None]]
+                while stack:
+                    frame = stack[-1]
+                    node, kids, idx, min_low = frame
+                    advanced = False
+                    while idx < len(kids):
+                        child = kids[idx]
+                        idx += 1
+                        if not visited[child]:
+                            visited[child] = True
+                            grandkids = [s for s in dag_succ[child]]
+                            rng.shuffle(grandkids)
+                            frame[2] = idx
+                            stack.append([child, grandkids, 0, None])
+                            advanced = True
+                            break
+                        # Visited child: its interval is final; absorb it.
+                        candidate = low[child]
+                        if min_low is None or candidate < min_low:
+                            min_low = candidate
+                            frame[3] = min_low
+                    if advanced:
+                        continue
+                    frame[2] = idx
+                    stack.pop()
+                    post[node] = clock
+                    low[node] = clock if min_low is None else min(min_low,
+                                                                  clock)
+                    clock += 1
+                    if stack:
+                        parent = stack[-1]
+                        if parent[3] is None or low[node] < parent[3]:
+                            parent[3] = low[node]
+            lows.append(low)
+            posts.append(post)
+
+        build_seconds = time.perf_counter() - wall_start
+        stats = IndexStats(
+            scheme=cls.scheme_name,
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            dag_nodes=n,
+            dag_edges=dag.num_edges,
+            build_seconds=build_seconds,
+            space_bytes={
+                "grail_labels": 2 * k * INT_BYTES * n,
+                "adjacency": 2 * INT_BYTES * dag.num_edges,
+            },
+        )
+        return cls(cond.component_of, dag_succ, lows, posts, stats)
+
+    # ------------------------------------------------------------------
+    def _maybe_reachable(self, cu: int, cv: int) -> bool:
+        """Label filter: ``False`` means definitely unreachable."""
+        for low, post in zip(self._lows, self._posts):
+            if not (low[cu] <= low[cv] and post[cv] <= post[cu]):
+                return False
+        return True
+
+    def reachable(self, u: Node, v: Node) -> bool:
+        component_of = self._component_of
+        try:
+            cu = component_of[u]
+            cv = component_of[v]
+        except KeyError as exc:
+            raise QueryError(exc.args[0]) from None
+        if cu == cv:
+            return True
+        if not self._maybe_reachable(cu, cv):
+            return False
+        # Pruned DFS fallback.
+        stack = [cu]
+        seen = {cu}
+        while stack:
+            node = stack.pop()
+            if node == cv:
+                return True
+            for succ in self._dag_succ[node]:
+                if succ not in seen and self._maybe_reachable(succ, cv):
+                    seen.add(succ)
+                    stack.append(succ)
+        return False
+
+    def stats(self) -> IndexStats:
+        return self._stats
+
+    def __repr__(self) -> str:
+        return (f"GrailIndex(n={self._stats.num_nodes}, "
+                f"k={len(self._lows)})")

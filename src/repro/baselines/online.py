@@ -1,0 +1,64 @@
+"""Online-search baseline: no index, BFS per query — paper Section 1.2.
+
+The first naive approach: "use the shortest path algorithm to determine
+if they are connected.  This approach may take O(m) query time, but
+requires no extra data structure besides the graph itself."  It doubles
+as the ground-truth oracle for every other scheme in the test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.core.base import INT_BYTES, IndexStats, ReachabilityIndex, register_scheme
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.traversal import is_reachable_search
+
+__all__ = ["OnlineSearchIndex"]
+
+
+@register_scheme
+class OnlineSearchIndex(ReachabilityIndex):
+    """Index-free reachability: one BFS per query."""
+
+    scheme_name = "online-bfs"
+
+    def __init__(self, graph: DiGraph, stats: IndexStats) -> None:
+        self._graph = graph
+        self._stats = stats
+
+    @classmethod
+    def build(cls, graph: DiGraph, **options: Any) -> "OnlineSearchIndex":
+        """"Build" the index — just snapshot the graph."""
+        if options:
+            raise TypeError(f"unknown options: {sorted(options)}")
+        wall_start = time.perf_counter()
+        snapshot = graph.copy()
+        build_seconds = time.perf_counter() - wall_start
+        stats = IndexStats(
+            scheme=cls.scheme_name,
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            dag_nodes=graph.num_nodes,
+            dag_edges=graph.num_edges,
+            build_seconds=build_seconds,
+            # The graph itself is the only storage: 2 ints per edge.
+            space_bytes={"adjacency": 2 * INT_BYTES * graph.num_edges},
+        )
+        return cls(snapshot, stats)
+
+    def reachable(self, u: Node, v: Node) -> bool:
+        if u not in self._graph:
+            raise QueryError(u)
+        if v not in self._graph:
+            raise QueryError(v)
+        return is_reachable_search(self._graph, u, v)
+
+    def stats(self) -> IndexStats:
+        return self._stats
+
+    def __repr__(self) -> str:
+        return (f"OnlineSearchIndex(n={self._stats.num_nodes}, "
+                f"m={self._stats.num_edges})")

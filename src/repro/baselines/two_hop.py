@@ -1,0 +1,218 @@
+"""2-hop reachability labeling (Cohen, Halperin, Kaplan, Zwick 2002).
+
+The paper's main prior-art comparator.  Each node ``u`` carries two label
+sets: ``C_out(u)`` (hop nodes ``u`` can reach) and ``C_in(u)`` (hop nodes
+that can reach ``u``); then
+
+    ``u ⇝ v``  ⇔  ``C_out(u) ∩ C_in(v) ≠ ∅``  (or trivially u = v, etc.)
+
+Finding minimum labels is NP-hard; Cohen et al. approximate with a greedy
+set cover over the transitive closure, which is what makes 2-hop labeling
+so expensive to *build* (``O(n⁴)``, cut to ``O(n³)`` by HOPI) — the very
+cost dual labeling eliminates.  We implement the standard practical
+greedy:
+
+1. materialise the transitive closure of the condensation as a numpy
+   boolean matrix (this alone is the quadratic cost the paper criticises);
+2. repeatedly pick the most promising hop center ``w`` and cover the
+   uncovered reachable pairs routed through it — ancestors of ``w`` gain
+   ``w`` in ``C_out``, uncovered targets gain ``w`` in ``C_in`` — until no
+   uncovered pair remains (vectorised as numpy submatrix operations).
+
+Two center-selection strategies are provided:
+
+* ``strategy="greedy"`` (default, Cohen-faithful): after every center the
+  scores are recomputed from the *current* uncovered matrix
+  (``score(w) = #uncovered-into-w · #uncovered-out-of-w``), one full
+  matrix reduction per round — this per-round rescan is what makes real
+  2-hop labeling orders of magnitude slower to build than dual labeling,
+  the regime Figures 8/9 report;
+* ``strategy="static"`` (HOPI-flavoured speedup): centers ranked once by
+  ``|ancestors| · |descendants|`` on the full closure, one pass.
+
+Both produce correct (complete and sound) covers; greedy yields smaller
+labels.
+
+Queries intersect the two sorted label arrays with a linear merge
+(``O(|C_out| + |C_in|)``, the paper's ``O(m^{1/2})`` average).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import INT_BYTES, IndexStats, ReachabilityIndex, register_scheme
+from repro.exceptions import QueryError
+from repro.graph.closure import transitive_closure_matrix
+from repro.graph.condensation import condense
+from repro.graph.digraph import DiGraph, Node
+
+__all__ = ["TwoHopIndex"]
+
+
+@register_scheme
+class TwoHopIndex(ReachabilityIndex):
+    """Greedy 2-hop cover reachability labeling."""
+
+    scheme_name = "2hop"
+
+    def __init__(self, component_of: dict[Node, int],
+                 c_out: list[list[int]], c_in: list[list[int]],
+                 stats: IndexStats) -> None:
+        self._component_of = component_of
+        self._c_out = c_out
+        self._c_in = c_in
+        self._stats = stats
+
+    @classmethod
+    def build(cls, graph: DiGraph, strategy: str = "greedy",
+              **options: Any) -> "TwoHopIndex":
+        """Build a 2-hop cover for ``graph``.
+
+        Parameters
+        ----------
+        graph: any directed graph (cycles handled via condensation).
+        strategy: ``"greedy"`` (Cohen-faithful re-scoring every round,
+            default) or ``"static"`` (one-shot ranking, much faster).
+        """
+        if options:
+            raise TypeError(f"unknown options: {sorted(options)}")
+        if strategy not in {"greedy", "static"}:
+            raise ValueError(
+                f"strategy must be 'greedy' or 'static', got {strategy!r}")
+        wall_start = time.perf_counter()
+        phase_seconds: dict[str, float] = {}
+
+        phase = time.perf_counter()
+        cond = condense(graph)
+        phase_seconds["condense"] = time.perf_counter() - phase
+
+        phase = time.perf_counter()
+        closure, _ = transitive_closure_matrix(cond.dag)
+        phase_seconds["transitive_closure"] = time.perf_counter() - phase
+
+        phase = time.perf_counter()
+        n = cond.num_components
+        c_out: list[list[int]] = [[] for _ in range(n)]
+        c_in: list[list[int]] = [[] for _ in range(n)]
+        if n:
+            # Uncovered pairs: strict reachability (diagonal handled by the
+            # u == v shortcut at query time).
+            uncovered = closure.copy()
+            np.fill_diagonal(uncovered, False)
+
+            remaining = int(uncovered.sum())
+            if strategy == "static":
+                anc_count = closure.sum(axis=0)
+                desc_count = closure.sum(axis=1)
+                centers = iter(np.argsort(-(anc_count * desc_count),
+                                          kind="stable"))
+            else:
+                centers = None  # chosen per round below
+
+            while remaining > 0:
+                if centers is not None:
+                    try:
+                        w = int(next(centers))
+                    except StopIteration:  # pragma: no cover - safety net
+                        break
+                else:
+                    # Cohen-style greedy: re-score every candidate against
+                    # the current uncovered matrix each round.  The score
+                    # is the size of the uncovered block routed through w.
+                    into_w = uncovered.sum(axis=0) + 1  # +1: w itself
+                    out_of_w = uncovered.sum(axis=1) + 1
+                    w = int(np.argmax(into_w * out_of_w))
+                ancestors = np.flatnonzero(closure[:, w])
+                descendants = np.flatnonzero(closure[w, :])
+                if ancestors.size == 0 or descendants.size == 0:
+                    continue
+                block = uncovered[np.ix_(ancestors, descendants)]
+                newly_covered = int(block.sum())
+                if newly_covered == 0:
+                    if centers is None:
+                        # Greedy picked a zero-gain center: the score is an
+                        # upper bound, so fall back to a guaranteed-progress
+                        # center (any row with uncovered pairs covers them
+                        # when used as its own hop).
+                        w = int(np.argmax(uncovered.sum(axis=1)))
+                        ancestors = np.flatnonzero(closure[:, w])
+                        descendants = np.flatnonzero(closure[w, :])
+                        block = uncovered[np.ix_(ancestors, descendants)]
+                        newly_covered = int(block.sum())
+                        if newly_covered == 0:  # pragma: no cover
+                            break
+                    else:
+                        continue
+                remaining -= newly_covered
+                active_rows = block.any(axis=1)
+                active_cols = block[active_rows].any(axis=0)
+                hop = int(w)
+                for u in ancestors[active_rows]:
+                    c_out[int(u)].append(hop)
+                for v in descendants[active_cols]:
+                    c_in[int(v)].append(hop)
+                uncovered[np.ix_(ancestors[active_rows], descendants)] = False
+            # Sorted labels enable the linear-merge intersection test.
+            c_out = [sorted(label) for label in c_out]
+            c_in = [sorted(label) for label in c_in]
+        phase_seconds["greedy_cover"] = time.perf_counter() - phase
+
+        label_entries = (sum(len(lbl) for lbl in c_out)
+                         + sum(len(lbl) for lbl in c_in))
+        build_seconds = time.perf_counter() - wall_start
+        stats = IndexStats(
+            scheme=cls.scheme_name,
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            dag_nodes=cond.num_components,
+            dag_edges=cond.dag.num_edges,
+            build_seconds=build_seconds,
+            phase_seconds=phase_seconds,
+            space_bytes={"hop_labels": INT_BYTES * label_entries},
+        )
+        return cls(cond.component_of, c_out, c_in, stats)
+
+    # ------------------------------------------------------------------
+    def reachable(self, u: Node, v: Node) -> bool:
+        component_of = self._component_of
+        try:
+            cu = component_of[u]
+            cv = component_of[v]
+        except KeyError as exc:
+            raise QueryError(exc.args[0]) from None
+        if cu == cv:
+            return True
+        out_labels = self._c_out[cu]
+        in_labels = self._c_in[cv]
+        i = j = 0
+        len_out, len_in = len(out_labels), len(in_labels)
+        while i < len_out and j < len_in:
+            a, b = out_labels[i], in_labels[j]
+            if a == b:
+                return True
+            if a < b:
+                i += 1
+            else:
+                j += 1
+        return False
+
+    def stats(self) -> IndexStats:
+        return self._stats
+
+    @property
+    def average_label_length(self) -> float:
+        """Mean of ``|C_out| + |C_in|`` per node (query-cost driver)."""
+        n = len(self._c_out)
+        if n == 0:
+            return 0.0
+        total = (sum(len(lbl) for lbl in self._c_out)
+                 + sum(len(lbl) for lbl in self._c_in))
+        return total / n
+
+    def __repr__(self) -> str:
+        return (f"TwoHopIndex(n={self._stats.num_nodes}, "
+                f"avg_label={self.average_label_length:.2f})")

@@ -1,0 +1,107 @@
+"""Benchmark harness: workloads, the paper's timing protocol, experiment
+definitions for every table/figure, and a runner CLI
+(``python -m repro.bench run fig8``)."""
+
+from repro.bench.charts import experiment_chart, render_series_chart
+from repro.bench.compare import (
+    CellDelta,
+    ComparisonReport,
+    compare_result_files,
+    compare_rows,
+)
+from repro.bench.claims import (
+    CLAIMS,
+    ClaimResult,
+    evaluate_claims,
+    run_claims,
+)
+from repro.bench.goldens import (
+    GoldenWorkload,
+    check_against_golden,
+    create_golden,
+    load_golden,
+    save_golden,
+)
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    ablation_meg,
+    ablation_tlc,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    amortization,
+    latency_tails,
+    preprocess,
+    table2,
+)
+from repro.bench.reporting import format_csv, format_markdown_table
+from repro.bench.profiles import (
+    AmortizationReport,
+    LatencyProfile,
+    amortization_point,
+    latency_profile,
+)
+from repro.bench.runner import run_experiment
+from repro.bench.timing import (
+    BuildMeasurement,
+    QueryMeasurement,
+    measure_build_time,
+    measure_query_time,
+)
+from repro.bench.workloads import (
+    mixed_query_pairs,
+    positive_query_pairs,
+    random_query_pairs,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "preprocess",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table2",
+    "ablation_meg",
+    "ablation_tlc",
+    "amortization",
+    "latency_tails",
+    "experiment_chart",
+    "render_series_chart",
+    "CellDelta",
+    "ComparisonReport",
+    "compare_result_files",
+    "compare_rows",
+    "AmortizationReport",
+    "LatencyProfile",
+    "amortization_point",
+    "latency_profile",
+    "CLAIMS",
+    "ClaimResult",
+    "evaluate_claims",
+    "run_claims",
+    "GoldenWorkload",
+    "create_golden",
+    "save_golden",
+    "load_golden",
+    "check_against_golden",
+    "format_markdown_table",
+    "format_csv",
+    "BuildMeasurement",
+    "QueryMeasurement",
+    "measure_build_time",
+    "measure_query_time",
+    "random_query_pairs",
+    "positive_query_pairs",
+    "mixed_query_pairs",
+]

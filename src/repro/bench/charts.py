@@ -1,0 +1,115 @@
+"""Terminal chart rendering for experiment results.
+
+The paper presents Figures 8–14 as bar/line charts; the runner prints
+their data as tables plus, via this module, a quick ASCII rendering so
+the *shape* (orderings, crossovers, growth rates) is visible at a
+glance without leaving the terminal.
+
+Values spanning orders of magnitude (indexing times with 2-hop in the
+mix) are drawn on a log scale automatically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Sequence
+
+__all__ = ["render_series_chart", "experiment_chart"]
+
+_BAR = "▏▎▍▌▋▊▉█"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A unicode bar filling ``fraction`` of ``width`` columns."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    cells = fraction * width
+    full = int(cells)
+    remainder = cells - full
+    bar = "█" * full
+    if remainder > 1 / 16 and full < width:
+        bar += _BAR[min(int(remainder * 8), 7)]
+    return bar
+
+
+def render_series_chart(rows: Sequence[Mapping[str, Any]],
+                        x_key: str,
+                        series_keys: Sequence[str],
+                        title: str = "",
+                        width: int = 44,
+                        log_scale: bool | None = None) -> str:
+    """Render grouped horizontal bars: one group per row, one bar per
+    series.
+
+    Parameters
+    ----------
+    rows: experiment rows (missing/None series values are skipped).
+    x_key: the row key used as the group label (e.g. ``"m"``).
+    series_keys: row keys to draw as bars (e.g. ``"dual-i_query_ms"``).
+    title: optional heading.
+    width: bar width in columns.
+    log_scale: force log/linear; default decides automatically (log
+        when the value spread exceeds 50x).
+    """
+    values: list[float] = []
+    for row in rows:
+        for key in series_keys:
+            value = row.get(key)
+            if isinstance(value, (int, float)) and value > 0:
+                values.append(float(value))
+    if not values:
+        return f"{title}\n(no data)" if title else "(no data)"
+
+    lo, hi = min(values), max(values)
+    if log_scale is None:
+        log_scale = hi / lo > 50 if lo > 0 else True
+
+    def scale(value: float) -> float:
+        if value <= 0:
+            return 0.0
+        if not log_scale:
+            return value / hi
+        if hi == lo:
+            return 1.0
+        return (math.log10(value) - math.log10(lo) + 0.05) / \
+            (math.log10(hi) - math.log10(lo) + 0.05)
+
+    label_width = max(len(str(key)) for key in series_keys)
+    lines: list[str] = []
+    if title:
+        scale_tag = "log scale" if log_scale else "linear scale"
+        lines.append(f"{title}  [{scale_tag}]")
+    for row in rows:
+        lines.append(f"{x_key}={row.get(x_key)}")
+        for key in series_keys:
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                continue
+            lines.append(f"  {str(key):<{label_width}} "
+                         f"{_bar(scale(float(value)), width):<{width}} "
+                         f"{value:,.3g}")
+    return "\n".join(lines)
+
+
+def experiment_chart(result, width: int = 44) -> str:
+    """Best-effort chart for an :class:`ExperimentResult`.
+
+    Picks the per-scheme measurement columns (query, index, or space)
+    and the natural x axis; returns ``""`` when the result has no
+    chartable series.
+    """
+    if not result.rows:
+        return ""
+    sample = result.rows[0]
+    for suffix in ("_query_ms", "_index_ms", "_space_bytes", "_build_ms"):
+        series = [key for key in sample if key.endswith(suffix)]
+        if series:
+            break
+    else:
+        return ""
+    for x_key in ("m", "n", "graph", "density"):
+        if x_key in sample:
+            break
+    else:
+        x_key = next(iter(sample))
+    return render_series_chart(result.rows, x_key, series,
+                               title=result.title, width=width)

@@ -1,0 +1,255 @@
+"""Executable fidelity claims: the paper's shapes as automated checks.
+
+EXPERIMENTS.md asserts that this reproduction preserves the paper's
+qualitative results (orderings, factors, crossovers).  This module makes
+those assertions *executable*: each claim is a predicate over the rows
+of one experiment, and :func:`run_claims` re-runs the experiments and
+grades every claim PASS/FAIL — `python -m repro.bench claims` from the
+command line.
+
+Claims are deliberately about *shape*, with slack factors wide enough to
+absorb machine noise but tight enough that a real regression (or a buggy
+change to a scheme) trips them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.bench.experiments import ExperimentResult
+
+__all__ = ["ClaimResult", "CLAIMS", "evaluate_claims", "run_claims"]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """Verdict for one fidelity claim."""
+
+    claim_id: str
+    description: str
+    passed: bool
+    details: str
+
+    def summary(self) -> str:
+        """One-line rendering."""
+        verdict = "PASS" if self.passed else "FAIL"
+        return f"[{verdict}] {self.claim_id}: {self.description} — " \
+               f"{self.details}"
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _column(rows, key) -> list[float]:
+    return [float(row[key]) for row in rows if row.get(key) is not None]
+
+
+# ----------------------------------------------------------------------
+# claim predicates (each takes the named experiment's result)
+# ----------------------------------------------------------------------
+def claim_preprocessing_ratios_fall(fig8: ExperimentResult) -> ClaimResult:
+    """Fig 8 (top): node/edge reduction ratios fall as density rises."""
+    rows = fig8.rows
+    ok = (rows[-1]["node_ratio"] < rows[0]["node_ratio"]
+          and rows[-1]["edge_ratio"] < rows[0]["edge_ratio"])
+    return ClaimResult(
+        "fig8-ratios",
+        "SCC+MEG reduction deepens with density",
+        ok,
+        f"node ratio {rows[0]['node_ratio']:.2f}→"
+        f"{rows[-1]['node_ratio']:.2f}, edge ratio "
+        f"{rows[0]['edge_ratio']:.2f}→{rows[-1]['edge_ratio']:.2f}")
+
+
+def claim_dual_indexing_same_order_as_interval(
+        fig8: ExperimentResult) -> ClaimResult:
+    """Dual labeling builds within one order of magnitude of Interval."""
+    interval = _mean(_column(fig8.rows, "interval_index_ms"))
+    dual_i = _mean(_column(fig8.rows, "dual-i_index_ms"))
+    dual_ii = _mean(_column(fig8.rows, "dual-ii_index_ms"))
+    ratio = max(dual_i, dual_ii) / interval if interval else float("inf")
+    return ClaimResult(
+        "indexing-comparable",
+        "Dual-I/Dual-II indexing within 10x of Interval",
+        ratio < 10.0,
+        f"worst dual/interval build ratio {ratio:.1f}x")
+
+
+def claim_2hop_orders_slower(fig8: ExperimentResult) -> ClaimResult:
+    """2-hop labeling costs a multiple of every other scheme's build.
+
+    Threshold 5x: at paper scale the measured gap is 20-200x
+    (EXPERIMENTS.md); quick scale's tiny, heavily-condensed random
+    graphs compress it, and 5x still separates the greedy cover from
+    any of the near-linear labelings.
+    """
+    interval = _mean(_column(fig8.rows, "interval_index_ms"))
+    two_hop = _mean(_column(fig8.rows, "2hop_index_ms"))
+    ratio = two_hop / interval if interval else float("inf")
+    return ClaimResult(
+        "2hop-slow",
+        "2-hop indexing ≥ 5x slower than Interval",
+        ratio >= 5.0,
+        f"2hop/interval build ratio {ratio:.0f}x")
+
+
+def claim_dual_i_fastest_labeled_queries(
+        fig8: ExperimentResult) -> ClaimResult:
+    """Dual-I has the lowest mean query time among labeled schemes."""
+    dual_i = _mean(_column(fig8.rows, "dual-i_query_ms"))
+    others = {
+        "interval": _mean(_column(fig8.rows, "interval_query_ms")),
+        "dual-ii": _mean(_column(fig8.rows, "dual-ii_query_ms")),
+    }
+    # 10% slack on the closest competitor absorbs timing noise.
+    ok = all(dual_i <= value * 1.1 for value in others.values())
+    return ClaimResult(
+        "dual-i-query-wins",
+        "Dual-I mean query time beats Interval and Dual-II",
+        ok,
+        f"dual-i {dual_i:.1f}ms vs " + ", ".join(
+            f"{name} {value:.1f}ms" for name, value in others.items()))
+
+
+def claim_dual_i_space_grows_dual_ii_flat(
+        fig12: ExperimentResult) -> ClaimResult:
+    """Fig 12: Dual-I space grows steeply with density; Dual-II does
+    not, and stays below Dual-I throughout."""
+    dual_i = _column(fig12.rows, "dual-i_space_bytes")
+    dual_ii = _column(fig12.rows, "dual-ii_space_bytes")
+    growth_i = dual_i[-1] / dual_i[0] if dual_i[0] else float("inf")
+    growth_ii = dual_ii[-1] / dual_ii[0] if dual_ii[0] else float("inf")
+    below = all(b < a for a, b in zip(dual_i, dual_ii))
+    ok = growth_i > 2.0 and growth_ii < growth_i and below
+    return ClaimResult(
+        "space-tradeoff",
+        "Dual-I space grows ~t²; Dual-II stays small and below it",
+        ok,
+        f"dual-i x{growth_i:.1f} vs dual-ii x{growth_ii:.1f} over the "
+        f"density sweep; dual-ii below dual-i at every point: {below}")
+
+
+def claim_dual_i_near_closure_queries(
+        fig13: ExperimentResult) -> ClaimResult:
+    """Fig 13: Dual-I query time within 4x of the closure matrix.
+
+    The paper's "barely worse" lands at 1.2-2x at paper scale; the 4x
+    bound leaves room for quick-scale timing noise while still tripping
+    if Dual-I's query path stopped being O(1).
+    """
+    closure = _mean(_column(fig13.rows, "closure_query_ms"))
+    dual_i = _mean(_column(fig13.rows, "dual-i_query_ms"))
+    ratio = dual_i / closure if closure else float("inf")
+    return ClaimResult(
+        "near-closure",
+        "Dual-I query within 4x of the transitive-closure matrix",
+        ratio < 4.0,
+        f"dual-i/closure query ratio {ratio:.2f}x")
+
+
+def claim_table2_counts_match_paper(
+        table2: ExperimentResult) -> ClaimResult:
+    """Table 2: DAG/MEG counts within 2% of the paper's."""
+    worst = 0.0
+    for row in table2.rows:
+        for measured, target in (("V_DAG", "paper_V_DAG"),
+                                 ("E_DAG", "paper_E_DAG"),
+                                 ("E_MEG", "paper_E_MEG")):
+            error = abs(row[measured] - row[target]) / row[target]
+            worst = max(worst, error)
+    return ClaimResult(
+        "table2-calibration",
+        "dataset stand-ins match the paper's preprocessing counts",
+        worst <= 0.02,
+        f"worst relative error {100 * worst:.2f}%")
+
+
+def claim_table2_dual_i_beats_interval(
+        table2: ExperimentResult) -> ClaimResult:
+    """Table 2: Dual-I query time at or below Interval on every dataset.
+
+    15% slack per dataset: at quick scale the workloads are small enough
+    that single-run timings wobble; at paper scale (100k queries) Dual-I
+    wins by 25-40% (EXPERIMENTS.md), well clear of the slack.
+    """
+    losses = [row["graph"] for row in table2.rows
+              if row["dual-i_query_ms"] > 1.15 * row["interval_query_ms"]]
+    return ClaimResult(
+        "table2-query-order",
+        "Dual-I queries no slower than Interval on every real graph",
+        not losses,
+        "all datasets" if not losses else f"lost on {losses}")
+
+
+def claim_meg_reduces_t(ablation: ExperimentResult) -> ClaimResult:
+    """Section 5: MEG never increases t or the transitive link table."""
+    bad = [row["m"] for row in ablation.rows
+           if row["meg_t"] > row["no_meg_t"]
+           or row["meg_transitive_links"] > row["no_meg_transitive_links"]]
+    return ClaimResult(
+        "meg-helps",
+        "MEG preprocessing never increases t or |T|",
+        not bad,
+        "all points" if not bad else f"violated at m={bad}")
+
+
+def claim_tlc_backend_spectrum(ablation: ExperimentResult) -> ClaimResult:
+    """Section 4: the search tree is smaller than the matrix, the
+    matrix answers queries faster than the search tree."""
+    space_ok = all(row["dual-ii_space_bytes"] < row["dual-i_space_bytes"]
+                   for row in ablation.rows)
+    matrix_q = _mean(_column(ablation.rows, "dual-i_query_ms"))
+    tree_q = _mean(_column(ablation.rows, "dual-ii_query_ms"))
+    ok = space_ok and matrix_q <= tree_q * 1.1
+    return ClaimResult(
+        "tlc-spectrum",
+        "TLC matrix wins query time, search tree wins space",
+        ok,
+        f"space ordering holds: {space_ok}; query "
+        f"{matrix_q:.1f}ms (matrix) vs {tree_q:.1f}ms (tree)")
+
+
+#: claim_id -> (experiment name, predicate).
+CLAIMS: dict[str, tuple[str, Callable[[ExperimentResult], ClaimResult]]] = {
+    "fig8-ratios": ("fig8", claim_preprocessing_ratios_fall),
+    "indexing-comparable": ("fig8",
+                            claim_dual_indexing_same_order_as_interval),
+    "2hop-slow": ("fig8", claim_2hop_orders_slower),
+    "dual-i-query-wins": ("fig8", claim_dual_i_fastest_labeled_queries),
+    "space-tradeoff": ("fig12", claim_dual_i_space_grows_dual_ii_flat),
+    "near-closure": ("fig13", claim_dual_i_near_closure_queries),
+    "table2-calibration": ("table2", claim_table2_counts_match_paper),
+    "table2-query-order": ("table2", claim_table2_dual_i_beats_interval),
+    "meg-helps": ("ablation_meg", claim_meg_reduces_t),
+    "tlc-spectrum": ("ablation_tlc", claim_tlc_backend_spectrum),
+}
+
+
+def evaluate_claims(results: dict[str, ExperimentResult]
+                    ) -> list[ClaimResult]:
+    """Grade every claim whose experiment is present in ``results``."""
+    verdicts = []
+    for claim_id, (experiment, predicate) in CLAIMS.items():
+        if experiment in results:
+            verdicts.append(predicate(results[experiment]))
+    return verdicts
+
+
+def run_claims(scale: str = "quick") -> list[ClaimResult]:
+    """Run the needed experiments at ``scale`` and grade all claims."""
+    from repro.bench.runner import run_experiment
+
+    needed = sorted({experiment for experiment, _ in CLAIMS.values()})
+    # At quick scale, bump the query counts: timing-based claims need
+    # workloads large enough that per-point measurements escape noise.
+    boosts = {}
+    if scale == "quick":
+        boosts = {"fig8": {"num_queries": 20_000},
+                  "fig13": {"num_queries": 20_000},
+                  "table2": {"num_queries": 20_000}}
+    results = {name: run_experiment(name, scale=scale,
+                                    **boosts.get(name, {}))
+               for name in needed}
+    return evaluate_claims(results)

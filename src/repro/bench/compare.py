@@ -1,0 +1,138 @@
+"""Result comparison: diff two experiment CSVs and flag regressions.
+
+The runner saves every experiment as CSV (``--out``); this module
+compares two such files — e.g. yesterday's ``results/fig13.csv``
+against today's — and reports per-cell ratios for the measurement
+columns, flagging any that moved beyond a tolerance.  Intended for
+performance CI on the reproduction itself ("did dual-i's query time
+regress?").
+
+Rows are matched positionally (experiments are deterministic: same
+parameters → same row order); only numeric columns whose name carries a
+measurement suffix (``_ms``, ``_us``, ``_bytes``, ``_seconds``) are
+compared.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import DatasetError
+
+__all__ = ["CellDelta", "ComparisonReport", "compare_result_files",
+           "compare_rows"]
+
+PathLike = Union[str, Path]
+
+_MEASUREMENT_SUFFIXES = ("_ms", "_us", "_bytes", "_seconds")
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """One measurement cell's movement between two runs."""
+
+    row: int
+    column: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (``inf`` when baseline is 0)."""
+        if self.baseline == 0:
+            return float("inf") if self.current else 1.0
+        return self.current / self.baseline
+
+    def __repr__(self) -> str:
+        return (f"CellDelta(row={self.row}, {self.column}: "
+                f"{self.baseline:g} -> {self.current:g}, "
+                f"x{self.ratio:.2f})")
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """All compared cells plus the ones beyond tolerance."""
+
+    num_rows: int
+    columns: list[str]
+    deltas: list[CellDelta] = field(default_factory=list)
+    regressions: list[CellDelta] = field(default_factory=list)
+    improvements: list[CellDelta] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` iff nothing regressed beyond tolerance."""
+        return not self.regressions
+
+    def summary(self) -> str:
+        """One-line verdict."""
+        if self.ok:
+            return (f"OK — {len(self.deltas)} cells compared over "
+                    f"{self.num_rows} rows, no regressions "
+                    f"({len(self.improvements)} improvements)")
+        worst = max(self.regressions, key=lambda d: d.ratio)
+        return (f"REGRESSIONS — {len(self.regressions)} of "
+                f"{len(self.deltas)} cells slowed down; worst {worst!r}")
+
+
+def _is_measurement(column: str) -> bool:
+    return column.endswith(_MEASUREMENT_SUFFIXES)
+
+
+def compare_rows(baseline: list[dict], current: list[dict],
+                 tolerance: float = 1.25) -> ComparisonReport:
+    """Compare two row lists (see module docstring for matching rules).
+
+    ``tolerance`` is the current/baseline ratio above which a cell
+    counts as a regression (and below whose reciprocal it counts as an
+    improvement).
+    """
+    if tolerance <= 1.0:
+        raise ValueError(f"tolerance must exceed 1.0, got {tolerance}")
+    num_rows = min(len(baseline), len(current))
+    columns = [c for c in (baseline[0] if baseline else {})
+               if _is_measurement(c)]
+    deltas: list[CellDelta] = []
+    regressions: list[CellDelta] = []
+    improvements: list[CellDelta] = []
+    for i in range(num_rows):
+        for column in columns:
+            try:
+                old = float(baseline[i].get(column, ""))
+                new = float(current[i].get(column, ""))
+            except (TypeError, ValueError):
+                continue
+            delta = CellDelta(row=i, column=column, baseline=old,
+                              current=new)
+            deltas.append(delta)
+            if delta.ratio > tolerance:
+                regressions.append(delta)
+            elif delta.ratio < 1.0 / tolerance:
+                improvements.append(delta)
+    return ComparisonReport(num_rows=num_rows, columns=columns,
+                            deltas=deltas, regressions=regressions,
+                            improvements=improvements)
+
+
+def compare_result_files(baseline_path: PathLike, current_path: PathLike,
+                         tolerance: float = 1.25) -> ComparisonReport:
+    """Compare two runner-produced CSV files.
+
+    Raises
+    ------
+    DatasetError
+        If either file cannot be parsed as CSV.
+    """
+    def _read(path: PathLike) -> list[dict]:
+        path = Path(path)
+        try:
+            with path.open("r", encoding="utf-8", newline="") as fh:
+                return list(csv.DictReader(fh))
+        except OSError as exc:
+            raise DatasetError(f"{path}: {exc}") from exc
+
+    return compare_rows(_read(baseline_path), _read(current_path),
+                        tolerance=tolerance)

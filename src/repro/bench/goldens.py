@@ -1,0 +1,120 @@
+"""Golden workloads: persisted query sets with ground-truth answers.
+
+A *golden* couples a seeded workload with the BFS-oracle answer for
+every pair, serialised as one JSON file.  Uses:
+
+* **cross-version correctness** — regenerate an index with new code and
+  check it against a golden produced by an old version;
+* **cross-implementation checks** — hand the file to another dual-
+  labeling implementation and compare answers;
+* **frozen regression fixtures** — goldens are deterministic given
+  (graph, count, seed), so the file can live in version control.
+
+Node names must be JSON scalars (the same restriction as index
+serialisation).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from repro.bench.workloads import random_query_pairs
+from repro.core.base import ReachabilityIndex
+from repro.exceptions import DatasetError
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.traversal import is_reachable_search
+
+__all__ = ["GoldenWorkload", "create_golden", "save_golden",
+           "load_golden", "check_against_golden"]
+
+PathLike = Union[str, Path]
+
+_FORMAT = "repro-golden"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class GoldenWorkload:
+    """A workload plus its ground-truth answers."""
+
+    seed: int
+    pairs: list[tuple[Node, Node]]
+    answers: list[bool]
+
+    def __post_init__(self) -> None:
+        if len(self.pairs) != len(self.answers):
+            raise ValueError("pairs and answers must align")
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def positives(self) -> int:
+        """Number of reachable pairs."""
+        return sum(self.answers)
+
+
+def create_golden(graph: DiGraph, num_queries: int,
+                  seed: int = 0) -> GoldenWorkload:
+    """Draw a seeded workload and answer it with the BFS oracle."""
+    pairs = random_query_pairs(graph, num_queries, seed=seed)
+    answers = [is_reachable_search(graph, u, v) for u, v in pairs]
+    return GoldenWorkload(seed=seed, pairs=pairs, answers=answers)
+
+
+def save_golden(golden: GoldenWorkload, path: PathLike) -> None:
+    """Write a golden to ``path`` as JSON."""
+    document = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "seed": golden.seed,
+        "pairs": [[u, v] for u, v in golden.pairs],
+        "answers": golden.answers,
+    }
+    Path(path).write_text(json.dumps(document), encoding="utf-8")
+
+
+def load_golden(path: PathLike) -> GoldenWorkload:
+    """Read a golden written by :func:`save_golden`.
+
+    Raises
+    ------
+    DatasetError
+        On malformed documents.
+    """
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"{path}: invalid JSON ({exc})") from exc
+    if not isinstance(document, dict) or document.get("format") != _FORMAT:
+        raise DatasetError(f"{path}: not a {_FORMAT} document")
+    try:
+        pairs = [(u, v) for u, v in document["pairs"]]
+        answers = [bool(a) for a in document["answers"]]
+        return GoldenWorkload(seed=int(document["seed"]), pairs=pairs,
+                              answers=answers)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatasetError(f"{path}: malformed golden ({exc})") from exc
+
+
+def check_against_golden(index: ReachabilityIndex,
+                         golden: GoldenWorkload,
+                         max_mismatches: int = 20
+                         ) -> list[tuple[Node, Node, bool, bool]]:
+    """Answer the golden's pairs with ``index``; return disagreements.
+
+    Each mismatch is ``(u, v, index_answer, golden_answer)``; an empty
+    list means full agreement.
+    """
+    mismatches: list[tuple[Node, Node, bool, bool]] = []
+    for (u, v), expected in zip(golden.pairs, golden.answers):
+        actual = index.reachable(u, v)
+        if actual != expected:
+            mismatches.append((u, v, actual, expected))
+            if len(mismatches) >= max_mismatches:
+                break
+    return mismatches

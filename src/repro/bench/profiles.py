@@ -1,0 +1,148 @@
+"""Latency profiles and build-cost amortization analysis.
+
+Beyond the paper's aggregate query-time protocol, two questions decide
+whether an index is worth building in practice:
+
+* **Latency distribution** — aggregate milliseconds hide tail latency;
+  :func:`latency_profile` measures per-query latencies and reports
+  p50/p90/p99/max.  (Schemes with data-dependent query cost — online
+  BFS, GRAIL's fallback DFS, long interval labels — have heavy tails
+  that the mean obscures.)
+* **Amortization point** — building Dual-I costs time an online search
+  would not pay; :func:`amortization_point` computes after how many
+  queries the index's (build + per-query) total undercuts the no-index
+  baseline, i.e. where the paper's approach starts winning end to end.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.bench.timing import measure_build_time, measure_query_time
+from repro.core.base import ReachabilityIndex
+from repro.graph.digraph import DiGraph, Node
+
+__all__ = ["LatencyProfile", "latency_profile", "AmortizationReport",
+           "amortization_point"]
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """Per-query latency distribution (seconds)."""
+
+    scheme: str
+    num_queries: int
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+    mean: float
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat dict (microseconds) for reporting."""
+        return {
+            "scheme": self.scheme,
+            "num_queries": self.num_queries,
+            "p50_us": 1e6 * self.p50,
+            "p90_us": 1e6 * self.p90,
+            "p99_us": 1e6 * self.p99,
+            "max_us": 1e6 * self.maximum,
+            "mean_us": 1e6 * self.mean,
+        }
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a pre-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1,
+               max(0, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def latency_profile(index: ReachabilityIndex,
+                    pairs: list[tuple[Node, Node]]) -> LatencyProfile:
+    """Measure each query individually and summarise the distribution.
+
+    Per-query timing carries clock overhead (~100 ns), so absolute
+    values skew slightly high; the *relative* spread (tail vs median)
+    is the signal.
+    """
+    reach = index.reachable
+    clock = time.perf_counter
+    latencies = []
+    for u, v in pairs:
+        start = clock()
+        reach(u, v)
+        latencies.append(clock() - start)
+    latencies.sort()
+    total = sum(latencies)
+    return LatencyProfile(
+        scheme=getattr(index, "scheme_name", type(index).__name__),
+        num_queries=len(pairs),
+        p50=_percentile(latencies, 0.50),
+        p90=_percentile(latencies, 0.90),
+        p99=_percentile(latencies, 0.99),
+        maximum=latencies[-1] if latencies else 0.0,
+        mean=total / len(latencies) if latencies else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class AmortizationReport:
+    """When an index's total cost undercuts the no-index baseline.
+
+    ``break_even_queries`` is the smallest query count ``q`` with
+    ``build + q·per_query <= q·baseline_per_query``; ``None`` when the
+    indexed per-query cost is not actually below the baseline's (the
+    index never pays off).
+    """
+
+    scheme: str
+    build_seconds: float
+    per_query_seconds: float
+    baseline_per_query_seconds: float
+    break_even_queries: int | None
+
+    def total_seconds(self, num_queries: int) -> float:
+        """Indexed total cost for a workload of ``num_queries``."""
+        return self.build_seconds + num_queries * self.per_query_seconds
+
+
+def amortization_point(graph: DiGraph, scheme: str,
+                       sample_pairs: list[tuple[Node, Node]],
+                       baseline_scheme: str = "online-bfs",
+                       **options: Any) -> AmortizationReport:
+    """Compute the break-even query count of ``scheme`` vs no index.
+
+    Both schemes answer the same ``sample_pairs`` workload to estimate
+    per-query cost (the paper's no-op subtraction applied to each).
+    """
+    built = measure_build_time(graph, scheme, **options)
+    indexed = measure_query_time(built.index, sample_pairs)
+
+    baseline_built = measure_build_time(graph, baseline_scheme)
+    baseline = measure_query_time(baseline_built.index, sample_pairs)
+
+    n = max(1, len(sample_pairs))
+    per_query = indexed.seconds / n
+    baseline_per_query = baseline.seconds / n
+
+    if per_query >= baseline_per_query:
+        break_even = None
+    else:
+        # The baseline's "build" is just snapshotting a graph the
+        # application already holds, so it does not offset the index's
+        # construction cost.
+        saving = baseline_per_query - per_query
+        break_even = max(1, math.ceil(built.seconds / saving))
+    return AmortizationReport(
+        scheme=scheme,
+        build_seconds=built.seconds,
+        per_query_seconds=per_query,
+        baseline_per_query_seconds=baseline_per_query,
+        break_even_queries=break_even,
+    )

@@ -1,0 +1,330 @@
+"""Command-line interface: ``repro-reach`` / ``python -m repro``.
+
+Subcommands
+-----------
+* ``schemes``  — list available index schemes;
+* ``generate`` — write a synthetic graph to an edge-list file;
+* ``stats``    — print summary statistics of a graph file;
+* ``build``    — build an index over a graph file and print its stats;
+* ``query``    — build an index and answer reachability queries;
+* ``bench``    — forward to the experiment runner (``repro.bench``).
+
+Examples
+--------
+::
+
+    repro-reach generate dag --nodes 2000 --edges 3000 --out g.txt
+    repro-reach stats g.txt
+    repro-reach build g.txt --scheme dual-i
+    repro-reach query g.txt --scheme dual-i --pairs 17:1805 3:42
+    repro-reach query g.txt --random 1000 --scheme dual-ii
+    repro-reach bench run table2 --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.bench.runner import main as bench_main
+from repro.bench.timing import measure_build_time, measure_query_time
+from repro.bench.workloads import random_query_pairs
+from repro.core.base import available_schemes, build_index
+from repro.exceptions import ReproError
+from repro.datasets import dataset_names, load_dataset
+from repro.graph.generators import (
+    gnm_random_digraph,
+    random_dag,
+    random_tree,
+    single_rooted_dag,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.stats import graph_stats
+
+__all__ = ["main"]
+
+
+def _cmd_schemes(_args: argparse.Namespace) -> int:
+    for name in available_schemes():
+        print(name)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    kind = args.kind
+    if kind == "gnm":
+        graph = gnm_random_digraph(args.nodes, args.edges, seed=args.seed)
+    elif kind == "dag":
+        graph = single_rooted_dag(args.nodes, args.edges,
+                                  max_fanout=args.fanout, seed=args.seed)
+    elif kind == "random-dag":
+        graph = random_dag(args.nodes, args.edges, seed=args.seed)
+    elif kind == "tree":
+        graph = random_tree(args.nodes, max_fanout=args.fanout,
+                            seed=args.seed)
+    else:  # dataset
+        graph = load_dataset(args.dataset, seed=args.seed)
+    write_edge_list(graph, args.out)
+    print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges "
+          f"to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    for key, value in graph_stats(graph).as_dict().items():
+        print(f"{key:16s} {value}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    measured = measure_build_time(graph, args.scheme)
+    stats = measured.index.stats()
+    print(f"scheme           {stats.scheme}")
+    print(f"build_seconds    {measured.seconds:.4f}")
+    for key, value in stats.as_dict().items():
+        if key == "scheme":
+            continue
+        print(f"{key:16s} {value}")
+    if args.save is not None:
+        from repro.core.serialize import save_dual_index
+
+        save_dual_index(measured.index, args.save)
+        print(f"saved index to {args.save}")
+    return 0
+
+
+def _parse_pair(text: str) -> tuple[int, int]:
+    try:
+        left, right = text.split(":", 1)
+        return int(left), int(right)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"pair must look like 'u:v', got {text!r}") from None
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if args.index is not None:
+        from repro.core.serialize import load_dual_index
+
+        index = load_dual_index(args.index)
+        if args.pairs:
+            for u, v in args.pairs:
+                answer = index.reachable(u, v)
+                print(f"{u} -> {v}: "
+                      f"{'reachable' if answer else 'unreachable'}")
+            return 0
+        # Random workloads need the graph's node set; require --pairs.
+        print("--index requires explicit --pairs queries",
+              file=sys.stderr)
+        return 2
+    graph = read_edge_list(args.graph)
+    index = build_index(graph, scheme=args.scheme)
+    if args.pairs:
+        for u, v in args.pairs:
+            answer = index.reachable(u, v)
+            print(f"{u} -> {v}: {'reachable' if answer else 'unreachable'}")
+        return 0
+    pairs = random_query_pairs(graph, args.random, seed=args.seed)
+    measured = measure_query_time(index, pairs)
+    print(f"queries          {measured.num_queries}")
+    print(f"positives        {measured.positives}")
+    print(f"net_seconds      {measured.seconds:.4f}")
+    print(f"us_per_query     {measured.microseconds_per_query:.3f}")
+    return 0
+
+
+def _cmd_golden(args: argparse.Namespace) -> int:
+    from repro.bench.goldens import (
+        check_against_golden,
+        create_golden,
+        load_golden,
+        save_golden,
+    )
+
+    graph = read_edge_list(args.graph)
+    if args.golden_command == "create":
+        golden = create_golden(graph, args.queries, seed=args.seed)
+        save_golden(golden, args.out)
+        print(f"wrote golden with {len(golden)} queries "
+              f"({golden.positives} positive) to {args.out}")
+        return 0
+    golden = load_golden(args.golden)
+    index = build_index(graph, scheme=args.scheme)
+    mismatches = check_against_golden(index, golden)
+    if not mismatches:
+        print(f"{args.scheme}: OK — agrees with the golden on all "
+              f"{len(golden)} queries")
+        return 0
+    print(f"{args.scheme}: FAILED — {len(mismatches)} disagreements")
+    for u, v, actual, expected in mismatches:
+        print(f"  MISMATCH {u} -> {v}: index={actual} "
+              f"golden={expected}")
+    return 1
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    """Cross-scheme agreement battery over several graph families."""
+    from repro.core.validation import validate_index
+    from repro.graph.generators import (
+        citation_dag,
+        gnm_random_digraph,
+        random_tree,
+        single_rooted_dag,
+    )
+
+    families = {
+        "tree": random_tree(150, max_fanout=4, seed=args.seed),
+        "rooted-dag": single_rooted_dag(150, 200, max_fanout=5,
+                                        seed=args.seed),
+        "random-cyclic": gnm_random_digraph(120, 300, seed=args.seed),
+        "citation": citation_dag(150, refs_per_node=2, seed=args.seed),
+    }
+    failures = 0
+    for family, graph in families.items():
+        for scheme in available_schemes():
+            index = build_index(graph, scheme=scheme)
+            report = validate_index(index, graph, sample=args.sample,
+                                    seed=args.seed)
+            verdict = "ok" if report.ok else "FAILED"
+            if not report.ok:
+                failures += 1
+            print(f"  {family:14s} {scheme:12s} {verdict} "
+                  f"({report.num_checked} pairs)")
+    if failures:
+        print(f"selftest: {failures} scheme/family combinations FAILED")
+        return 1
+    print("selftest: every scheme agrees with ground truth "
+          "on every family ✔")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.validation import validate_index
+
+    graph = read_edge_list(args.graph)
+    index = build_index(graph, scheme=args.scheme)
+    report = validate_index(index, graph, sample=args.sample,
+                            seed=args.seed)
+    print(report.summary())
+    for u, v, answer, truth in report.mismatches:
+        print(f"  MISMATCH {u} -> {v}: index={answer} truth={truth}")
+    return 0 if report.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-reach",
+        description=("Dual labeling — constant-time graph reachability "
+                     "(ICDE 2006 reproduction)"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schemes", help="list index schemes")
+
+    gen = sub.add_parser("generate", help="generate a synthetic graph")
+    gen.add_argument("kind",
+                     choices=("gnm", "dag", "random-dag", "tree", "dataset"))
+    gen.add_argument("--nodes", type=int, default=2000)
+    gen.add_argument("--edges", type=int, default=3000)
+    gen.add_argument("--fanout", type=int, default=5)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--dataset", choices=dataset_names(),
+                     help="dataset name (kind=dataset)")
+    gen.add_argument("--out", type=Path, required=True)
+
+    stats = sub.add_parser("stats", help="summarise a graph file")
+    stats.add_argument("graph", type=Path)
+
+    build = sub.add_parser("build", help="build an index, print stats")
+    build.add_argument("graph", type=Path)
+    build.add_argument("--scheme", choices=available_schemes(),
+                       default="dual-i")
+    build.add_argument("--save", type=Path, default=None,
+                       help="persist the index (dual-i only) as JSON")
+
+    query = sub.add_parser("query", help="answer reachability queries")
+    query.add_argument("graph", type=Path, nargs="?", default=None)
+    query.add_argument("--index", type=Path, default=None,
+                       help="load a saved dual-i index instead of "
+                            "building from the graph file")
+    query.add_argument("--scheme", choices=available_schemes(),
+                       default="dual-i")
+    query.add_argument("--pairs", type=_parse_pair, nargs="+",
+                       help="explicit queries as u:v tokens")
+    query.add_argument("--random", type=int, default=10_000,
+                       help="number of random queries when --pairs absent")
+    query.add_argument("--seed", type=int, default=0)
+
+    golden = sub.add_parser(
+        "golden",
+        help="create / check ground-truth query workload files")
+    golden_sub = golden.add_subparsers(dest="golden_command",
+                                       required=True)
+    golden_create = golden_sub.add_parser(
+        "create", help="generate a golden for a graph")
+    golden_create.add_argument("graph", type=Path)
+    golden_create.add_argument("--queries", type=int, default=1000)
+    golden_create.add_argument("--seed", type=int, default=0)
+    golden_create.add_argument("--out", type=Path, required=True)
+    golden_check = golden_sub.add_parser(
+        "check", help="verify an index against a golden")
+    golden_check.add_argument("graph", type=Path)
+    golden_check.add_argument("golden", type=Path)
+    golden_check.add_argument("--scheme", choices=available_schemes(),
+                              default="dual-i")
+
+    selftest = sub.add_parser(
+        "selftest",
+        help="cross-scheme agreement battery over several graph families")
+    selftest.add_argument("--sample", type=int, default=400)
+    selftest.add_argument("--seed", type=int, default=0)
+
+    validate = sub.add_parser(
+        "validate", help="cross-check an index against BFS ground truth")
+    validate.add_argument("graph", type=Path)
+    validate.add_argument("--scheme", choices=available_schemes(),
+                          default="dual-i")
+    validate.add_argument("--sample", type=int, default=None,
+                          help="number of random pairs (default: "
+                               "exhaustive up to 300 nodes)")
+    validate.add_argument("--seed", type=int, default=0)
+
+    # `bench ...` forwards everything after it to the experiment runner.
+    bench = sub.add_parser("bench", help="run paper experiments",
+                           add_help=False)
+    bench.add_argument("rest", nargs=argparse.REMAINDER)
+
+    args = parser.parse_args(argv)
+    if args.command == "bench":
+        return bench_main(args.rest)
+    if args.command == "generate" and args.kind == "dataset" \
+            and not args.dataset:
+        parser.error("generate dataset requires --dataset NAME")
+    if args.command == "query" and args.graph is None \
+            and args.index is None:
+        parser.error("query needs a graph file or --index FILE")
+    handlers = {
+        "schemes": _cmd_schemes,
+        "generate": _cmd_generate,
+        "stats": _cmd_stats,
+        "build": _cmd_build,
+        "query": _cmd_query,
+        "validate": _cmd_validate,
+        "selftest": _cmd_selftest,
+        "golden": _cmd_golden,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ReproError, OSError) as exc:
+        # User-facing failures (missing/malformed files, unknown nodes)
+        # become one-line errors, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

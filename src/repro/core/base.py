@@ -1,0 +1,197 @@
+"""Common reachability-index API, statistics, and the scheme registry.
+
+Every index in this package — Dual-I, Dual-II, the interval and 2-hop
+baselines, the transitive-closure matrix, and the online search —
+implements the same small surface:
+
+* ``Index.build(graph, **options)`` — classmethod constructor; accepts any
+  directed graph (cyclic inputs are condensed internally);
+* ``index.reachable(u, v)`` — the reachability test on *original* nodes;
+* ``index.stats()`` — an :class:`IndexStats` with build timings and a
+  logical space breakdown.
+
+Space accounting convention
+---------------------------
+The paper reports label sizes of a C++ implementation.  To make our
+Figures 12/14 comparable in *shape*, :class:`IndexStats` counts logical
+bytes — 4 bytes per stored integer label component and the native byte
+size of matrix/array payloads — rather than Python object overhead, which
+would drown every scheme in interpreter constants.  The convention is
+applied uniformly across schemes, so relative comparisons are fair.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Type
+
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph, Node
+
+__all__ = [
+    "INT_BYTES",
+    "IndexStats",
+    "ReachabilityIndex",
+    "register_scheme",
+    "available_schemes",
+    "get_scheme",
+    "build_index",
+]
+
+#: Logical size of one stored integer label component (see module docs).
+INT_BYTES = 4
+
+
+@dataclass
+class IndexStats:
+    """Build-time and space statistics of a reachability index.
+
+    Attributes
+    ----------
+    scheme:
+        Registry name of the scheme.
+    num_nodes / num_edges:
+        Size of the *original* input graph.
+    dag_nodes / dag_edges:
+        Size after SCC condensation (equal to the input for DAGs).
+    meg_edges:
+        Edge count after minimal-equivalent-graph reduction; ``None`` when
+        MEG was not run.
+    t:
+        Number of retained non-tree edges (dual schemes only).
+    transitive_links:
+        Size of the transitive link table (dual schemes only).
+    build_seconds:
+        Total wall-clock build time.
+    phase_seconds:
+        Per-phase timings (condense, meg, spanning, labeling, ...).
+    space_bytes:
+        Logical space per component (see module docstring).
+    """
+
+    scheme: str
+    num_nodes: int
+    num_edges: int
+    dag_nodes: int
+    dag_edges: int
+    meg_edges: int | None = None
+    t: int | None = None
+    transitive_links: int | None = None
+    build_seconds: float = 0.0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    space_bytes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_space_bytes(self) -> int:
+        """Sum of all space components."""
+        return sum(self.space_bytes.values())
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat dictionary view for CSV/markdown reporting."""
+        row: dict[str, Any] = {
+            "scheme": self.scheme,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "dag_nodes": self.dag_nodes,
+            "dag_edges": self.dag_edges,
+            "meg_edges": self.meg_edges,
+            "t": self.t,
+            "transitive_links": self.transitive_links,
+            "build_seconds": self.build_seconds,
+            "total_space_bytes": self.total_space_bytes,
+        }
+        for phase, seconds in self.phase_seconds.items():
+            row[f"seconds_{phase}"] = seconds
+        for component, nbytes in self.space_bytes.items():
+            row[f"bytes_{component}"] = nbytes
+        return row
+
+
+class ReachabilityIndex(abc.ABC):
+    """Abstract base class of every reachability index."""
+
+    #: Registry name; subclasses must override.
+    scheme_name: ClassVar[str] = ""
+
+    @classmethod
+    @abc.abstractmethod
+    def build(cls, graph: DiGraph, **options: Any) -> "ReachabilityIndex":
+        """Construct the index for ``graph`` (cyclic inputs allowed)."""
+
+    @abc.abstractmethod
+    def reachable(self, u: Node, v: Node) -> bool:
+        """``True`` iff a (possibly empty) path leads from ``u`` to ``v``.
+
+        Raises
+        ------
+        QueryError
+            If either vertex was not part of the indexed graph.
+        """
+
+    @abc.abstractmethod
+    def stats(self) -> IndexStats:
+        """Build/space statistics (see :class:`IndexStats`)."""
+
+    # Convenience shared by all implementations -------------------------
+    def reachable_many(self,
+                       pairs: list[tuple[Node, Node]]) -> list[bool]:
+        """Vector form of :meth:`reachable` (loop by default)."""
+        reach = self.reachable
+        return [reach(u, v) for u, v in pairs]
+
+    def __contains__(self, node: Node) -> bool:
+        """``True`` iff queries about ``node`` are answerable.
+
+        Subclasses with a node map get this for free by defining
+        ``_covers(node)``; the default delegates to a probe query.
+        """
+        try:
+            self.reachable(node, node)
+        except QueryError:
+            return False
+        return True
+
+
+_REGISTRY: dict[str, Type[ReachabilityIndex]] = {}
+
+
+def register_scheme(cls: Type[ReachabilityIndex]) -> Type[ReachabilityIndex]:
+    """Class decorator: add an index class to the scheme registry."""
+    name = cls.scheme_name
+    if not name:
+        raise ValueError(f"{cls.__name__} must define scheme_name")
+    if name in _REGISTRY:
+        raise ValueError(f"scheme {name!r} is already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def available_schemes() -> list[str]:
+    """Names of all registered schemes, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_scheme(name: str) -> Type[ReachabilityIndex]:
+    """Look up a scheme class by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown scheme {name!r}; available: {known}") from None
+
+
+def build_index(graph: DiGraph, scheme: str = "dual-i",
+                **options: Any) -> ReachabilityIndex:
+    """Build a reachability index for ``graph`` using ``scheme``.
+
+    The one-stop entry point of the library:
+
+    >>> from repro.graph import gnm_random_digraph
+    >>> g = gnm_random_digraph(50, 75, seed=1)
+    >>> idx = build_index(g, scheme="dual-i")
+    >>> idx.reachable(0, 0)
+    True
+    """
+    return get_scheme(scheme).build(graph, **options)

@@ -1,0 +1,188 @@
+"""The Dual-I labeling scheme — paper Section 3 (main result, Theorem 3).
+
+Dual-I answers reachability in **constant time** with three artefacts:
+
+* interval labels ``[a, b)`` per node (tree reachability);
+* non-tree labels ``⟨x, y, z⟩`` per node (pre-snapped TLC coordinates);
+* the TLC matrix ``N`` (``≤ (t+1) × (t+1)`` integers with zero border).
+
+Query ``u ⇝ v`` (Theorem 3)::
+
+    a₂ ∈ [a₁, b₁)               # tree path, or
+    N[x₁, z₂] − N[y₁, z₂] > 0   # path through non-tree edges
+
+Both tests are O(1).  Cyclic inputs are condensed first; queries on
+original vertices go through the component map (vertices in the same SCC
+trivially reach each other).
+
+Implementation note: the hot query path uses plain Python lists indexed by
+dense component ids — for single-element access these are several times
+faster than numpy scalar indexing, which matters in the paper's
+100 000-query timing loops.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import time
+
+from repro.core.base import INT_BYTES, IndexStats, ReachabilityIndex, register_scheme
+from repro.core.nontree_labels import assign_nontree_labels
+from repro.core.pipeline import DualPipeline, run_pipeline
+from repro.core.tlc_matrix import TLCMatrix, build_tlc_matrix, pack_tlc_matrix
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph, Node
+
+__all__ = ["DualIIndex"]
+
+
+@register_scheme
+class DualIIndex(ReachabilityIndex):
+    """Constant-query-time dual labeling (Dual-I)."""
+
+    scheme_name = "dual-i"
+
+    def __init__(self, pipeline: DualPipeline, tlc: TLCMatrix,
+                 starts: list[int], ends: list[int],
+                 label_x: list[int], label_y: list[int], label_z: list[int],
+                 stats: IndexStats) -> None:
+        self._pipeline = pipeline
+        self._component_of = pipeline.condensation.component_of
+        self._tlc = tlc
+        # Dense per-component label arrays (index = component id).
+        self._starts = starts
+        self._ends = ends
+        self._label_x = label_x
+        self._label_y = label_y
+        self._label_z = label_z
+        # Row-major nested lists: one list lookup per matrix read.  The
+        # bitpacked backend unpacks into the same row cache, so query
+        # speed is layout-independent; only the resident payload differs.
+        if hasattr(tlc, "matrix"):
+            self._matrix_rows: list[list[int]] = tlc.matrix.tolist()
+        else:
+            self._matrix_rows = tlc.to_rows()
+        self._stats = stats
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: DiGraph, use_meg: bool = True,
+              compact: bool = False, matrix_backend: str = "array",
+              **options: Any) -> "DualIIndex":
+        """Build a Dual-I index.
+
+        Parameters
+        ----------
+        graph: any directed graph (cycles handled via condensation).
+        use_meg: run the minimal-equivalent-graph preprocessing
+            (Section 5); on by default.
+        compact: shorthand for ``matrix_backend="packed"``.
+        matrix_backend: storage layout of the TLC matrix —
+            ``"array"`` (int64 numpy array, default), ``"packed"``
+            (smallest byte-width dtype that fits), or ``"bitpacked"``
+            (Property 2's ``ceil(log₂)`` bits per cell inside uint64
+            words; see :mod:`repro.core.tlc_bitpacked`).  All three give
+            identical answers; they differ only in resident size.
+        """
+        if options:
+            raise TypeError(f"unknown options: {sorted(options)}")
+        if matrix_backend not in {"array", "packed", "bitpacked"}:
+            raise ValueError(
+                f"matrix_backend must be 'array', 'packed' or "
+                f"'bitpacked', got {matrix_backend!r}")
+        if compact and matrix_backend == "array":
+            matrix_backend = "packed"
+        wall_start = time.perf_counter()
+        pipeline = run_pipeline(graph, use_meg=use_meg)
+
+        phase_start = time.perf_counter()
+        tlc = build_tlc_matrix(pipeline.transitive_table)
+        if matrix_backend == "packed":
+            tlc = pack_tlc_matrix(tlc)
+        elif matrix_backend == "bitpacked":
+            from repro.core.tlc_bitpacked import bitpack_tlc_matrix
+
+            tlc = bitpack_tlc_matrix(tlc)
+        pipeline.phase_seconds["tlc_matrix"] = (
+            time.perf_counter() - phase_start)
+
+        phase_start = time.perf_counter()
+        nontree = assign_nontree_labels(pipeline.forest, pipeline.labeling,
+                                        pipeline.transitive_table)
+        pipeline.phase_seconds["nontree_labels"] = (
+            time.perf_counter() - phase_start)
+
+        num_components = pipeline.condensation.num_components
+        starts = [0] * num_components
+        ends = [0] * num_components
+        label_x = [0] * num_components
+        label_y = [0] * num_components
+        label_z = [0] * num_components
+        for cid in range(num_components):
+            interval = pipeline.labeling.interval[cid]
+            starts[cid], ends[cid] = interval.start, interval.end
+            label_x[cid], label_y[cid], label_z[cid] = nontree[cid]
+
+        build_seconds = time.perf_counter() - wall_start
+        stats = IndexStats(
+            scheme=cls.scheme_name,
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            dag_nodes=pipeline.condensation.num_components,
+            dag_edges=pipeline.condensation.dag.num_edges,
+            meg_edges=pipeline.meg_edges,
+            t=pipeline.t,
+            transitive_links=pipeline.num_transitive_links,
+            build_seconds=build_seconds,
+            phase_seconds=dict(pipeline.phase_seconds),
+            space_bytes={
+                # [a, b) per node: 2 ints.
+                "interval_labels": 2 * INT_BYTES * num_components,
+                # <x, y, z> per node: 3 ints.
+                "nontree_labels": 3 * INT_BYTES * num_components,
+                "tlc_matrix": tlc.nbytes,
+            },
+        )
+        return cls(pipeline, tlc, starts, ends, label_x, label_y, label_z,
+                   stats)
+
+    # ------------------------------------------------------------------
+    def reachable(self, u: Node, v: Node) -> bool:
+        component_of = self._component_of
+        try:
+            cu = component_of[u]
+            cv = component_of[v]
+        except KeyError as exc:
+            raise QueryError(exc.args[0]) from None
+        if cu == cv:
+            return True
+        a2 = self._starts[cv]
+        if self._starts[cu] <= a2 < self._ends[cu]:
+            return True
+        rows = self._matrix_rows
+        z2 = self._label_z[cv]
+        return rows[self._label_x[cu]][z2] - rows[self._label_y[cu]][z2] > 0
+
+    def stats(self) -> IndexStats:
+        return self._stats
+
+    # ------------------------------------------------------------------
+    @property
+    def pipeline(self) -> DualPipeline:
+        """The preprocessing artefacts (for inspection/diagnostics)."""
+        return self._pipeline
+
+    @property
+    def tlc_matrix(self) -> TLCMatrix:
+        """The underlying TLC matrix."""
+        return self._tlc
+
+    @property
+    def t(self) -> int:
+        """Number of retained non-tree edges."""
+        return self._pipeline.t
+
+    def __repr__(self) -> str:
+        return (f"DualIIndex(n={self._stats.num_nodes}, "
+                f"m={self._stats.num_edges}, t={self.t})")

@@ -1,0 +1,127 @@
+"""The Dual-II labeling scheme — paper Section 4 (space/time tradeoff).
+
+Dual-II keeps the interval labels but replaces both the TLC matrix *and*
+the per-node non-tree labels with the :class:`TLCSearchTree`: queries pay
+``O(log t)`` for two TLC lookups, and the index stores no ``⟨x, y, z⟩``
+triples at all.  For sparse graphs ``log t`` is tiny, and in practice the
+search tree is much smaller than the ``t × t`` matrix because each link is
+alive in few rows.
+
+Query ``u ⇝ v`` with labels ``[a₁, b₁)``, ``[a₂, b₂)``::
+
+    a₂ ∈ [a₁, b₁)                       # tree path, or
+    N(a₁, a₂) − N(b₁, a₂) > 0           # non-tree path (Theorem 2)
+
+where ``N`` is evaluated by the search tree.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.core.base import INT_BYTES, IndexStats, ReachabilityIndex, register_scheme
+from repro.core.pipeline import DualPipeline, run_pipeline
+from repro.core.tlc_searchtree import TLCSearchTree, build_tlc_search_tree
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph, Node
+
+__all__ = ["DualIIIndex"]
+
+
+@register_scheme
+class DualIIIndex(ReachabilityIndex):
+    """Logarithmic-query-time dual labeling with reduced space (Dual-II)."""
+
+    scheme_name = "dual-ii"
+
+    def __init__(self, pipeline: DualPipeline, tree: TLCSearchTree,
+                 starts: list[int], ends: list[int],
+                 stats: IndexStats) -> None:
+        self._pipeline = pipeline
+        self._component_of = pipeline.condensation.component_of
+        self._tree = tree
+        self._starts = starts
+        self._ends = ends
+        self._stats = stats
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: DiGraph, use_meg: bool = True,
+              **options: Any) -> "DualIIIndex":
+        """Build a Dual-II index (options as in :class:`DualIIndex`)."""
+        if options:
+            raise TypeError(f"unknown options: {sorted(options)}")
+        wall_start = time.perf_counter()
+        pipeline = run_pipeline(graph, use_meg=use_meg)
+
+        phase_start = time.perf_counter()
+        tree = build_tlc_search_tree(pipeline.transitive_table)
+        pipeline.phase_seconds["tlc_search_tree"] = (
+            time.perf_counter() - phase_start)
+
+        num_components = pipeline.condensation.num_components
+        starts = [0] * num_components
+        ends = [0] * num_components
+        for cid in range(num_components):
+            interval = pipeline.labeling.interval[cid]
+            starts[cid], ends[cid] = interval.start, interval.end
+
+        build_seconds = time.perf_counter() - wall_start
+        stats = IndexStats(
+            scheme=cls.scheme_name,
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            dag_nodes=pipeline.condensation.num_components,
+            dag_edges=pipeline.condensation.dag.num_edges,
+            meg_edges=pipeline.meg_edges,
+            t=pipeline.t,
+            transitive_links=pipeline.num_transitive_links,
+            build_seconds=build_seconds,
+            phase_seconds=dict(pipeline.phase_seconds),
+            space_bytes={
+                "interval_labels": 2 * INT_BYTES * num_components,
+                "tlc_search_tree": tree.nbytes,
+            },
+        )
+        return cls(pipeline, tree, starts, ends, stats)
+
+    # ------------------------------------------------------------------
+    def reachable(self, u: Node, v: Node) -> bool:
+        component_of = self._component_of
+        try:
+            cu = component_of[u]
+            cv = component_of[v]
+        except KeyError as exc:
+            raise QueryError(exc.args[0]) from None
+        if cu == cv:
+            return True
+        a1, b1 = self._starts[cu], self._ends[cu]
+        a2 = self._starts[cv]
+        if a1 <= a2 < b1:
+            return True
+        count = self._tree.count
+        return count(a1, a2) - count(b1, a2) > 0
+
+    def stats(self) -> IndexStats:
+        return self._stats
+
+    # ------------------------------------------------------------------
+    @property
+    def pipeline(self) -> DualPipeline:
+        """The preprocessing artefacts (for inspection/diagnostics)."""
+        return self._pipeline
+
+    @property
+    def search_tree(self) -> TLCSearchTree:
+        """The underlying TLC search tree."""
+        return self._tree
+
+    @property
+    def t(self) -> int:
+        """Number of retained non-tree edges."""
+        return self._pipeline.t
+
+    def __repr__(self) -> str:
+        return (f"DualIIIndex(n={self._stats.num_nodes}, "
+                f"m={self._stats.num_edges}, t={self.t})")

@@ -1,0 +1,123 @@
+"""Interval labels over a spanning forest — paper Section 3.1.
+
+Each node ``u`` gets a half-open interval ``[start, end)`` where ``start``
+is ``u``'s preorder rank in the depth-first traversal of the forest and
+``end - 1`` is its postorder rank, numbered so that
+
+    ``v`` is a forest descendant of ``u``  ⇔  ``start(v) ∈ [start(u), end(u))``
+
+The numbering scheme is the classic single-counter DFS clock: the counter
+increments on every *enter*, and ``end(u)`` is the counter value after
+``u``'s whole subtree has been entered.  Intervals of a node's subtree are
+therefore exactly the ``start`` values nested inside its own interval, and
+sibling/foreign subtrees occupy disjoint intervals — this holds across the
+separate trees of a forest too, because one global counter numbers them
+all.
+
+Queries on tree reachability are a constant-time containment check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import Node
+from repro.graph.spanning import SpanningForest
+
+__all__ = ["Interval", "IntervalLabeling", "assign_intervals"]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open interval label ``[start, end)``."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start >= self.end:
+            raise ValueError(
+                f"interval must be non-empty: [{self.start}, {self.end})")
+
+    def __contains__(self, point: int) -> bool:
+        return self.start <= point < self.end
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """``True`` iff ``other`` is nested inside (or equal to) this
+        interval — i.e. the other node is a descendant."""
+        return self.start <= other.start and other.end <= self.end
+
+    @property
+    def width(self) -> int:
+        """Subtree size of the labeled node."""
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        return f"[{self.start},{self.end})"
+
+
+@dataclass(frozen=True)
+class IntervalLabeling:
+    """Interval labels for every node of a spanning forest.
+
+    Attributes
+    ----------
+    interval:
+        Maps each node to its :class:`Interval`.
+    node_at_start:
+        Inverse map from a ``start`` value to its node (used by the link
+        table and by diagnostics).
+    """
+
+    interval: dict[Node, Interval]
+    node_at_start: dict[int, Node]
+
+    def __len__(self) -> int:
+        return len(self.interval)
+
+    def start(self, node: Node) -> int:
+        """``start`` label of ``node``."""
+        return self.interval[node].start
+
+    def end(self, node: Node) -> int:
+        """``end`` label of ``node``."""
+        return self.interval[node].end
+
+    def is_tree_ancestor(self, u: Node, v: Node) -> bool:
+        """Constant-time forest ancestorship test (reflexive)."""
+        iu = self.interval[u]
+        return iu.start <= self.interval[v].start < iu.end
+
+
+def assign_intervals(forest: SpanningForest) -> IntervalLabeling:
+    """Assign DFS-clock interval labels to every node of ``forest``.
+
+    Children are visited in the order recorded by
+    :func:`repro.graph.spanning.spanning_forest`, and roots in forest
+    order, so labels are deterministic.  Runs in ``O(n)``.
+    """
+    interval: dict[Node, Interval] = {}
+    node_at_start: dict[int, Node] = {}
+    clock = 0
+    for root in forest.roots:
+        # Iterative DFS over tree children only; each frame is
+        # (node, next-child-index).
+        start_of: dict[Node, int] = {}
+        stack: list[tuple[Node, int]] = [(root, 0)]
+        start_of[root] = clock
+        node_at_start[clock] = root
+        clock += 1
+        while stack:
+            node, child_idx = stack[-1]
+            kids = forest.children[node]
+            if child_idx < len(kids):
+                stack[-1] = (node, child_idx + 1)
+                child = kids[child_idx]
+                start_of[child] = clock
+                node_at_start[clock] = child
+                clock += 1
+                stack.append((child, 0))
+            else:
+                stack.pop()
+                interval[node] = Interval(start_of[node], clock)
+    return IntervalLabeling(interval=interval, node_at_start=node_at_start)

@@ -1,0 +1,174 @@
+"""Index serialisation: persist a built Dual-I index and reload it.
+
+Labeling a massive graph is the expensive step; applications want to do
+it once and ship the labels.  This module round-trips a
+:class:`DualIIndex` through a single JSON document (human-inspectable
+and dependency-free; the TLC matrix is stored as nested lists, which is
+acceptable because it holds at most ``(t+1)²`` small integers for
+``t ≪ n``).
+
+Node names must be JSON-representable scalars (str/int/float/bool);
+other hashables would not survive the round trip and are rejected at
+save time.
+
+Only Dual-I is serialised: it is the scheme whose query structures are
+plain arrays.  Dual-II/dual-rt rebuilds are equally cheap from the same
+graph, so persisting them adds format surface without saving work.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.base import IndexStats
+from repro.core.dual_i import DualIIndex
+from repro.exceptions import IndexBuildError
+
+__all__ = ["save_dual_index", "load_dual_index", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+def save_dual_index(index: DualIIndex, path: PathLike) -> None:
+    """Write ``index`` to ``path`` as JSON.
+
+    Raises
+    ------
+    IndexBuildError
+        If any indexed node is not a JSON scalar.
+    """
+    if not isinstance(index, DualIIndex):
+        raise IndexBuildError(
+            f"only Dual-I indexes are serialisable, got "
+            f"{type(index).__name__}")
+    component_items = []
+    for node, cid in index._component_of.items():
+        if not isinstance(node, _SCALAR_TYPES):
+            raise IndexBuildError(
+                f"node {node!r} ({type(node).__name__}) is not "
+                "JSON-serialisable; rename nodes to str/int first")
+        # Tag the node's type so int 1 and str "1" survive distinctly.
+        tag = "s" if isinstance(node, str) else "o"
+        component_items.append([tag, node, cid])
+
+    stats = index.stats()
+    document = {
+        "format": "repro-dual-i",
+        "version": FORMAT_VERSION,
+        "components": component_items,
+        "starts": index._starts,
+        "ends": index._ends,
+        "label_x": index._label_x,
+        "label_y": index._label_y,
+        "label_z": index._label_z,
+        "tlc": {
+            "xs": list(index.tlc_matrix.xs),
+            "ys": list(index.tlc_matrix.ys),
+            # Works for every matrix backend: the plain array exposes
+            # .matrix, the packed variants expose to_rows().
+            "matrix": (index.tlc_matrix.matrix.tolist()
+                       if hasattr(index.tlc_matrix, "matrix")
+                       else index.tlc_matrix.to_rows()),
+        },
+        "stats": {
+            "num_nodes": stats.num_nodes,
+            "num_edges": stats.num_edges,
+            "dag_nodes": stats.dag_nodes,
+            "dag_edges": stats.dag_edges,
+            "meg_edges": stats.meg_edges,
+            "t": stats.t,
+            "transitive_links": stats.transitive_links,
+            "space_bytes": stats.space_bytes,
+        },
+    }
+    Path(path).write_text(json.dumps(document), encoding="utf-8")
+
+
+class _LoadedDualIndex(DualIIndex):
+    """A Dual-I index restored from disk (no pipeline artefacts)."""
+
+    def __init__(self, component_of, tlc, starts, ends,
+                 label_x, label_y, label_z, stats) -> None:
+        # Deliberately skip DualIIndex.__init__: there is no pipeline.
+        self._pipeline = None
+        self._component_of = component_of
+        self._tlc = tlc
+        self._starts = starts
+        self._ends = ends
+        self._label_x = label_x
+        self._label_y = label_y
+        self._label_z = label_z
+        self._matrix_rows = tlc.matrix.tolist()
+        self._stats = stats
+
+    @property
+    def pipeline(self):
+        raise IndexBuildError(
+            "a deserialised index carries no pipeline artefacts")
+
+    @property
+    def t(self) -> int:
+        return self._stats.t or 0
+
+
+def load_dual_index(path: PathLike) -> DualIIndex:
+    """Load an index previously written by :func:`save_dual_index`.
+
+    Raises
+    ------
+    IndexBuildError
+        On wrong format markers or structurally invalid documents.
+    """
+    from repro.core.tlc_matrix import TLCMatrix
+
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise IndexBuildError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(document, dict) or \
+            document.get("format") != "repro-dual-i":
+        raise IndexBuildError(f"{path}: not a repro-dual-i document")
+    if document.get("version") != FORMAT_VERSION:
+        raise IndexBuildError(
+            f"{path}: unsupported format version "
+            f"{document.get('version')!r} (expected {FORMAT_VERSION})")
+
+    try:
+        component_of = {}
+        for tag, node, cid in document["components"]:
+            component_of[str(node) if tag == "s" else node] = cid
+        tlc_doc = document["tlc"]
+        matrix = np.asarray(tlc_doc["matrix"], dtype=np.int64)
+        if matrix.ndim != 2:
+            matrix = matrix.reshape(
+                len(tlc_doc["xs"]) + 1, len(tlc_doc["ys"]) + 1)
+        tlc = TLCMatrix(tuple(tlc_doc["xs"]), tuple(tlc_doc["ys"]),
+                        matrix)
+        stats_doc = document["stats"]
+        stats = IndexStats(
+            scheme="dual-i",
+            num_nodes=stats_doc["num_nodes"],
+            num_edges=stats_doc["num_edges"],
+            dag_nodes=stats_doc["dag_nodes"],
+            dag_edges=stats_doc["dag_edges"],
+            meg_edges=stats_doc.get("meg_edges"),
+            t=stats_doc.get("t"),
+            transitive_links=stats_doc.get("transitive_links"),
+            space_bytes=dict(stats_doc.get("space_bytes", {})),
+        )
+        return _LoadedDualIndex(
+            component_of, tlc,
+            list(document["starts"]), list(document["ends"]),
+            list(document["label_x"]), list(document["label_y"]),
+            list(document["label_z"]), stats)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise IndexBuildError(
+            f"{path}: malformed index document ({exc})") from exc

@@ -1,0 +1,102 @@
+"""The TLC search tree — paper Section 4 (Dual-II's lookup structure).
+
+Dual-II drops the per-node non-tree labels, so queries arrive with *raw*
+coordinates and the structure itself must do the snapping.  Without the
+``z`` labels there is no Lemma-2 shortcut, so the tree keeps a row at
+every y coordinate where the set of alive links can change: each
+transitive link ``i -> [j, k)`` is alive on ``[j, k)``, so rows sit at all
+``j`` *and* ``k`` values — at most ``2t`` rows, as the paper states.
+
+* The **upper layer** is the sorted array of row y values; a query binary-
+  searches for the largest row ``<= y₀`` (between rows the alive set is
+  constant, and below the first row it is empty).
+* Each **lower-layer row** stores the sorted multiset of tails of the
+  links alive there; ``N(x₀, y₀)`` is the number of tails ``>= x₀``,
+  found by one more binary search.  (The paper's mini-trees with collapsed
+  duplicate TLC values are equivalent to this sorted-array encoding: both
+  store one entry per distinct breakpoint and answer in ``O(log t)``.)
+
+Total query cost: ``O(log t)``.  Space: ``O(t²)`` worst case, but
+typically far less because most links are alive in few rows.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+
+from repro.core.base import INT_BYTES
+from repro.core.linktable import LinkTable
+
+__all__ = ["TLCSearchTree", "build_tlc_search_tree"]
+
+
+class TLCSearchTree:
+    """Two-layer search structure evaluating ``N(x, y)`` in O(log t)."""
+
+    __slots__ = ("row_ys", "rows")
+
+    def __init__(self, row_ys: list[int], rows: list[list[int]]) -> None:
+        if len(row_ys) != len(rows):
+            raise ValueError("row_ys and rows must have equal length")
+        self.row_ys = row_ys
+        self.rows = rows
+
+    def count(self, x: int, y: int) -> int:
+        """The TLC function ``N(x, y)`` for arbitrary coordinates."""
+        r = bisect_right(self.row_ys, y) - 1
+        if r < 0:
+            return 0
+        row = self.rows[r]
+        return len(row) - bisect_left(row, x)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of stored rows (``<= 2t``)."""
+        return len(self.rows)
+
+    @property
+    def num_entries(self) -> int:
+        """Total stored tail entries across all rows."""
+        return sum(len(row) for row in self.rows)
+
+    @property
+    def nbytes(self) -> int:
+        """Logical size: one int per row key and per stored entry."""
+        return INT_BYTES * (len(self.row_ys) + self.num_entries)
+
+    def __repr__(self) -> str:
+        return (f"TLCSearchTree(rows={self.num_rows}, "
+                f"entries={self.num_entries})")
+
+
+def build_tlc_search_tree(transitive_table: LinkTable) -> TLCSearchTree:
+    """Build the search tree from a *closed* link table.
+
+    One sweep over the y axis: at each endpoint value, links ending there
+    are removed before links starting there are added (half-open ``[j, k)``
+    semantics), then the alive tail multiset is snapshot as that row.
+    Rows whose alive multiset did not change (an ending link replaced by a
+    starting link with the same tail) are collapsed into their
+    predecessor.
+    """
+    events: dict[int, tuple[list[int], list[int]]] = {}
+    for link in transitive_table.links:
+        events.setdefault(link.head_start, ([], []))[0].append(link.tail)
+        events.setdefault(link.head_end, ([], []))[1].append(link.tail)
+
+    row_ys: list[int] = []
+    rows: list[list[int]] = []
+    alive: list[int] = []  # sorted multiset of tails
+    for y in sorted(events):
+        starts, ends = events[y]
+        for tail in ends:
+            del alive[bisect_left(alive, tail)]
+        for tail in starts:
+            insort(alive, tail)
+        if rows and rows[-1] == alive:
+            # Alive multiset unchanged: extend the previous row's reign
+            # instead of storing a duplicate (the paper's collapsing).
+            continue
+        row_ys.append(y)
+        rows.append(list(alive))
+    return TLCSearchTree(row_ys=row_ys, rows=rows)

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while the
+concrete subclasses keep failure modes distinguishable:
+
+* :class:`GraphError` — structural problems with a graph object itself
+  (unknown node, duplicate node, bad edge endpoints).
+* :class:`NotADAGError` — an algorithm that requires a DAG received a graph
+  containing a cycle.
+* :class:`IndexBuildError` — an index could not be constructed from its
+  input (internal invariant violated during labeling).
+* :class:`QueryError` — a reachability query referenced a vertex the index
+  has never seen.
+* :class:`DatasetError` — an unknown dataset name or an unparsable graph
+  file was passed to the dataset/IO layer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """A graph operation received structurally invalid input."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """An operation referenced a node that is not in the graph.
+
+    Also a :class:`KeyError` so idiomatic ``except KeyError`` code keeps
+    working when treating the graph like a mapping.
+    """
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An operation referenced an edge that is not in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class NotADAGError(GraphError):
+    """An algorithm that requires an acyclic graph found a cycle."""
+
+
+class IndexBuildError(ReproError):
+    """An internal invariant was violated while building an index."""
+
+
+class QueryError(ReproError, KeyError):
+    """A reachability query referenced a vertex unknown to the index."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"vertex {node!r} is not covered by this index")
+        self.node = node
+
+
+class DatasetError(ReproError):
+    """An unknown dataset name or a malformed graph file."""

@@ -1,0 +1,105 @@
+"""Directed-graph substrate: container, traversals, SCC, closure, MEG.
+
+This subpackage plays the role the Boost Graph Library played for the
+paper's C++ implementation — everything the dual-labeling core needs from a
+graph library, built from scratch.
+"""
+
+from repro.graph.bitset import from_indices, iter_indices, popcount, to_indices
+from repro.graph.closure import (
+    count_reachable_pairs,
+    transitive_closure_bitsets,
+    transitive_closure_matrix,
+    transitive_closure_pairs,
+)
+from repro.graph.condensation import Condensation, condense
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    gnm_random_digraph,
+    layered_dag,
+    random_dag,
+    random_tree,
+    single_rooted_dag,
+)
+from repro.graph.io import (
+    read_edge_list,
+    read_json,
+    to_dot,
+    write_dot,
+    write_edge_list,
+    write_json,
+)
+from repro.graph.meg import (
+    MEGResult,
+    minimal_equivalent_graph,
+    minimal_equivalent_graph_closure,
+)
+from repro.graph.scc import (
+    is_strongly_connected,
+    scc_index,
+    strongly_connected_components,
+)
+from repro.graph.spanning import SpanningForest, spanning_forest
+from repro.graph.stats import GraphStats, degree_histogram, graph_stats
+from repro.graph.traversal import (
+    ancestor_set,
+    bfs_layers,
+    bfs_order,
+    dfs_events,
+    dfs_postorder,
+    dfs_preorder,
+    has_path,
+    is_reachable_search,
+    is_topological_order,
+    reachable_set,
+    topological_sort,
+    topological_sort_dfs,
+)
+
+__all__ = [
+    "DiGraph",
+    "Condensation",
+    "condense",
+    "strongly_connected_components",
+    "scc_index",
+    "is_strongly_connected",
+    "transitive_closure_bitsets",
+    "transitive_closure_matrix",
+    "transitive_closure_pairs",
+    "count_reachable_pairs",
+    "MEGResult",
+    "minimal_equivalent_graph",
+    "minimal_equivalent_graph_closure",
+    "SpanningForest",
+    "spanning_forest",
+    "gnm_random_digraph",
+    "single_rooted_dag",
+    "random_tree",
+    "random_dag",
+    "layered_dag",
+    "read_edge_list",
+    "write_edge_list",
+    "read_json",
+    "write_json",
+    "to_dot",
+    "write_dot",
+    "GraphStats",
+    "graph_stats",
+    "degree_histogram",
+    "dfs_preorder",
+    "dfs_postorder",
+    "dfs_events",
+    "bfs_order",
+    "bfs_layers",
+    "topological_sort",
+    "topological_sort_dfs",
+    "is_topological_order",
+    "reachable_set",
+    "ancestor_set",
+    "is_reachable_search",
+    "has_path",
+    "from_indices",
+    "to_indices",
+    "iter_indices",
+    "popcount",
+]

@@ -1,0 +1,75 @@
+"""Bitset utilities built on Python's arbitrary-precision integers.
+
+CPython big-ints give word-parallel set union/intersection "for free"
+(``|``, ``&`` run over 30-bit digits in C), which makes them the most
+effective pure-Python substrate for the dense set algebra used by the
+transitive-closure, minimal-equivalent-graph, and 2-hop code.
+
+A bitset over a universe of ``n`` dense integer ids is simply an ``int``
+whose bit ``i`` is set iff element ``i`` is in the set.  The helpers below
+keep that convention in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "bit",
+    "from_indices",
+    "to_indices",
+    "iter_indices",
+    "popcount",
+    "contains",
+    "union_all",
+    "mask",
+]
+
+
+def bit(i: int) -> int:
+    """The singleton bitset ``{i}``."""
+    return 1 << i
+
+
+def from_indices(indices: Iterable[int]) -> int:
+    """Build a bitset from an iterable of element ids."""
+    result = 0
+    for i in indices:
+        result |= 1 << i
+    return result
+
+
+def iter_indices(bits: int) -> Iterator[int]:
+    """Yield the element ids of a bitset in increasing order."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
+def to_indices(bits: int) -> list[int]:
+    """Element ids of a bitset as a sorted list."""
+    return list(iter_indices(bits))
+
+
+def popcount(bits: int) -> int:
+    """Number of elements in the bitset."""
+    return bits.bit_count()
+
+
+def contains(bits: int, i: int) -> bool:
+    """``True`` iff element ``i`` is in the bitset."""
+    return bool((bits >> i) & 1)
+
+
+def union_all(sets: Iterable[int]) -> int:
+    """Union of an iterable of bitsets."""
+    result = 0
+    for s in sets:
+        result |= s
+    return result
+
+
+def mask(n: int) -> int:
+    """The full universe ``{0, …, n-1}`` as a bitset."""
+    return (1 << n) - 1

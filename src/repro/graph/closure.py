@@ -1,0 +1,137 @@
+"""Transitive closure of directed graphs.
+
+Two interchangeable backends:
+
+* :func:`transitive_closure_bitsets` — pure Python, big-int bitsets, one
+  reverse-topological sweep.  Returns ``desc[i]`` bitsets over dense node
+  ids.  Handles cyclic graphs by condensing first.
+* :func:`transitive_closure_matrix` — numpy boolean matrix, same sweep,
+  used where downstream code wants vectorised row operations (2-hop
+  labeling, the TC-matrix baseline).
+
+Both are *reflexive*: every node reaches itself.  That convention matches
+the reachability semantics used throughout the package (a trivial path of
+length zero exists from any node to itself).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.condensation import condense
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.traversal import topological_sort
+
+__all__ = [
+    "transitive_closure_bitsets",
+    "transitive_closure_matrix",
+    "transitive_closure_pairs",
+    "count_reachable_pairs",
+]
+
+
+def _dag_closure_bitsets(dag: DiGraph, order: dict[Node, int]) -> list[int]:
+    """Descendant bitsets of a DAG, indexed by ``order`` ids."""
+    desc = [0] * len(order)
+    for node in reversed(topological_sort(dag)):
+        i = order[node]
+        bits = 1 << i
+        for succ in dag.successors(node):
+            bits |= desc[order[succ]]
+        desc[i] = bits
+    return desc
+
+
+def transitive_closure_bitsets(graph: DiGraph) -> tuple[list[int], dict[Node, int]]:
+    """Reflexive transitive closure as per-node descendant bitsets.
+
+    Returns
+    -------
+    (desc, index):
+        ``index`` maps each node to a dense id; ``desc[index[u]]`` is a
+        bitset whose bit ``index[v]`` is set iff ``u`` reaches ``v``.
+
+    Works on cyclic graphs: SCCs are condensed internally and every member
+    of a component receives the component's full closure (including all
+    co-members, since they reach each other).
+    """
+    index = graph.node_index()
+    cond = condense(graph)
+    dag = cond.dag
+    dag_index = {cid: cid for cid in dag.nodes()}
+    comp_desc = _dag_closure_bitsets(dag, dag_index)
+
+    # Bitset of original members per component.
+    member_bits = [0] * cond.num_components
+    for node, i in index.items():
+        member_bits[cond.component_of[node]] |= 1 << i
+
+    # Expand component-level closure to original nodes.
+    expanded = [0] * cond.num_components
+    for cid in range(cond.num_components):
+        bits = 0
+        comp_bits = comp_desc[cid]
+        while comp_bits:
+            low = comp_bits & -comp_bits
+            bits |= member_bits[low.bit_length() - 1]
+            comp_bits ^= low
+        expanded[cid] = bits
+
+    desc = [0] * len(index)
+    for node, i in index.items():
+        desc[i] = expanded[cond.component_of[node]]
+    return desc, index
+
+
+def transitive_closure_matrix(graph: DiGraph) -> tuple[np.ndarray, dict[Node, int]]:
+    """Reflexive transitive closure as an ``n × n`` boolean numpy matrix.
+
+    ``matrix[index[u], index[v]]`` is ``True`` iff ``u`` reaches ``v``.
+    Cyclic graphs are handled via condensation, as in
+    :func:`transitive_closure_bitsets`.
+    """
+    index = graph.node_index()
+    n = len(index)
+    cond = condense(graph)
+    dag = cond.dag
+    k = cond.num_components
+
+    comp = np.zeros((k, k), dtype=bool)
+    for node in reversed(topological_sort(dag)):
+        row = comp[node]
+        row[node] = True
+        for succ in dag.successors(node):
+            np.logical_or(row, comp[succ], out=row)
+
+    # Map component closure back to original nodes.
+    comp_of = np.empty(n, dtype=np.int64)
+    for node, i in index.items():
+        comp_of[i] = cond.component_of[node]
+    # matrix[i, j] = comp[comp_of[i], comp_of[j]]
+    matrix = comp[np.ix_(comp_of, comp_of)]
+    return matrix, index
+
+
+def transitive_closure_pairs(graph: DiGraph) -> set[tuple[Node, Node]]:
+    """All reachable ordered pairs ``(u, v)`` with ``u != v``.
+
+    Convenience for tests and small graphs; quadratic output size.
+    """
+    desc, index = transitive_closure_bitsets(graph)
+    nodes = list(index)
+    pairs: set[tuple[Node, Node]] = set()
+    for u, i in index.items():
+        bits = desc[i]
+        while bits:
+            low = bits & -bits
+            j = low.bit_length() - 1
+            bits ^= low
+            if i != j:
+                pairs.add((u, nodes[j]))
+    return pairs
+
+
+def count_reachable_pairs(graph: DiGraph) -> int:
+    """Number of distinct ordered reachable pairs, counting ``(u, u)``."""
+    desc, _ = transitive_closure_bitsets(graph)
+    return sum(bits.bit_count() for bits in desc)

@@ -1,0 +1,93 @@
+"""SCC condensation: collapse each strongly connected component to one node.
+
+This is the first preprocessing step of dual labeling (paper, Section 3):
+"If [the input graph is] not [acyclic], we find strongly connected
+components of G and collapse each component into a representative node."
+
+The result is always a DAG.  :class:`Condensation` keeps both directions of
+the node mapping so reachability queries posed on *original* vertices can be
+answered on the condensed DAG: ``u ⇝ v`` in ``G`` iff
+``rep(u) ⇝ rep(v)`` in the condensation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.scc import strongly_connected_components
+
+__all__ = ["Condensation", "condense"]
+
+
+@dataclass(frozen=True)
+class Condensation:
+    """The condensation DAG of a digraph plus node mappings.
+
+    Attributes
+    ----------
+    dag:
+        The condensed graph.  Its nodes are dense integers ``0..k-1``
+        (component ids); it contains no self-loops and is acyclic.
+    component_of:
+        Maps each original node to its component id.
+    members:
+        ``members[cid]`` lists the original nodes of component ``cid``.
+    """
+
+    dag: DiGraph
+    component_of: dict[Node, int]
+    members: list[list[Node]] = field(repr=False)
+
+    @property
+    def num_components(self) -> int:
+        """Number of strongly connected components."""
+        return len(self.members)
+
+    def representative(self, node: Node) -> int:
+        """Component id of an original node.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If ``node`` was not in the original graph.
+        """
+        try:
+            return self.component_of[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def is_trivial(self) -> bool:
+        """``True`` iff every component is a single node (input was a DAG
+        without self-loop-induced collapses — i.e. condensation changed
+        nothing but relabeling)."""
+        return all(len(m) == 1 for m in self.members)
+
+
+def condense(graph: DiGraph) -> Condensation:
+    """Condense ``graph``'s SCCs into single nodes.
+
+    Component ids are assigned in *topological* order of the condensation
+    (component 0 has no incoming edges from other components), which many
+    downstream algorithms rely on for determinism.  Self-loops and
+    intra-component edges vanish; inter-component parallel edges collapse.
+    """
+    components = strongly_connected_components(graph)
+    # Tarjan emits components in reverse topological order; flip them so
+    # component ids increase along edges of the condensation.
+    components.reverse()
+    component_of: dict[Node, int] = {}
+    for cid, component in enumerate(components):
+        for node in component:
+            component_of[node] = cid
+
+    dag = DiGraph()
+    for cid in range(len(components)):
+        dag.add_node(cid)
+    for u, v in graph.edges():
+        cu, cv = component_of[u], component_of[v]
+        if cu != cv:
+            dag.add_edge(cu, cv)
+    return Condensation(dag=dag, component_of=component_of,
+                        members=components)

@@ -1,0 +1,292 @@
+"""A small, fast, from-scratch directed-graph container.
+
+This module provides :class:`DiGraph`, the substrate every algorithm in this
+repository runs on.  The paper's reference implementation used the Boost
+Graph Library; :class:`DiGraph` plays that role here.
+
+Design notes
+------------
+* Nodes are arbitrary hashable objects.  Algorithms that need dense integer
+  ids (bitsets, numpy matrices, interval labeling) call
+  :meth:`DiGraph.node_index` once and work on the returned dense numbering.
+* Adjacency is stored twice — successor sets and predecessor sets — because
+  the reachability algorithms in this repository need both directions
+  (topological sorts, ancestor sweeps, condensation).
+* The graph is *simple*: parallel edges collapse, self-loops are allowed at
+  the container level (SCC condensation removes them before labeling).
+* Successor/predecessor iteration order is insertion order (Python ``dict``
+  semantics), which keeps every algorithm in the package deterministic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Optional
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+__all__ = ["DiGraph", "Node", "Edge"]
+
+
+class DiGraph:
+    """A mutable directed graph with set-based adjacency.
+
+    Examples
+    --------
+    >>> g = DiGraph()
+    >>> g.add_edge("a", "b")
+    >>> g.add_edge("b", "c")
+    >>> sorted(g.successors("a"))
+    ['b']
+    >>> g.num_nodes, g.num_edges
+    (3, 2)
+    """
+
+    __slots__ = ("_succ", "_pred", "_num_edges")
+
+    def __init__(self, edges: Optional[Iterable[Edge]] = None,
+                 nodes: Optional[Iterable[Node]] = None) -> None:
+        """Create a graph, optionally from iterables of edges and nodes.
+
+        Parameters
+        ----------
+        edges:
+            Edges to insert; endpoints are added as nodes automatically.
+        nodes:
+            Extra (possibly isolated) nodes to insert.
+        """
+        self._succ: dict[Node, dict[Node, None]] = {}
+        self._pred: dict[Node, dict[Node, None]] = {}
+        self._num_edges = 0
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(num_nodes={self.num_nodes}, "
+                f"num_edges={self.num_edges})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        if self._succ.keys() != other._succ.keys():
+            return False
+        return all(self._succ[u].keys() == other._succ[u].keys()
+                   for u in self._succ)
+
+    def __hash__(self) -> int:  # mutable container
+        raise TypeError("DiGraph objects are unhashable")
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Insert ``node``; a no-op if it is already present."""
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Insert every node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Insert edge ``u -> v``, adding endpoints as needed.
+
+        Inserting an edge twice is a no-op (the graph is simple).
+        """
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._succ[u]:
+            self._succ[u][v] = None
+            self._pred[v][u] = None
+            self._num_edges += 1
+
+    def add_edges(self, edges: Iterable[Edge]) -> None:
+        """Insert every edge in ``edges``."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove edge ``u -> v``.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge is not present.
+        """
+        if u not in self._succ or v not in self._succ[u]:
+            raise EdgeNotFoundError(u, v)
+        del self._succ[u][v]
+        del self._pred[v][u]
+        self._num_edges -= 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every edge incident to it.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If the node is not present.
+        """
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        for v in list(self._succ[node]):
+            self.remove_edge(node, v)
+        for u in list(self._pred[node]):
+            self.remove_edge(u, node)
+        del self._succ[node]
+        del self._pred[node]
+
+    def clear(self) -> None:
+        """Remove all nodes and edges."""
+        self._succ.clear()
+        self._pred.clear()
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return self._num_edges
+
+    @property
+    def density(self) -> float:
+        """Edge/vertex ratio ``m / n`` (the paper's sparsity measure)."""
+        if not self._succ:
+            return 0.0
+        return self._num_edges / len(self._succ)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over nodes in insertion order."""
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges as ``(u, v)`` pairs, grouped by source."""
+        for u, targets in self._succ.items():
+            for v in targets:
+                yield (u, v)
+
+    def has_node(self, node: Node) -> bool:
+        """Return ``True`` iff ``node`` is in the graph."""
+        return node in self._succ
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return ``True`` iff edge ``u -> v`` is in the graph."""
+        return u in self._succ and v in self._succ[u]
+
+    def successors(self, node: Node) -> Iterator[Node]:
+        """Iterate over direct successors of ``node``."""
+        try:
+            return iter(self._succ[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def predecessors(self, node: Node) -> Iterator[Node]:
+        """Iterate over direct predecessors of ``node``."""
+        try:
+            return iter(self._pred[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def out_degree(self, node: Node) -> int:
+        """Number of outgoing edges of ``node``."""
+        try:
+            return len(self._succ[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def in_degree(self, node: Node) -> int:
+        """Number of incoming edges of ``node``."""
+        try:
+            return len(self._pred[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def roots(self) -> list[Node]:
+        """Nodes with in-degree zero, in insertion order."""
+        return [n for n in self._succ if not self._pred[n]]
+
+    def leaves(self) -> list[Node]:
+        """Nodes with out-degree zero, in insertion order."""
+        return [n for n in self._succ if not self._succ[n]]
+
+    def node_index(self) -> dict[Node, int]:
+        """Map each node to a dense integer id in insertion order.
+
+        The numbering is stable as long as the node set is unchanged, which
+        lets bitset/matrix algorithms agree on ids across calls.
+        """
+        return {node: i for i, node in enumerate(self._succ)}
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "DiGraph":
+        """Return an independent copy (nodes/edges, insertion order kept)."""
+        clone = DiGraph()
+        for node, targets in self._succ.items():
+            clone._succ[node] = dict(targets)
+        for node, sources in self._pred.items():
+            clone._pred[node] = dict(sources)
+        clone._num_edges = self._num_edges
+        return clone
+
+    def reverse(self) -> "DiGraph":
+        """Return a new graph with every edge direction flipped."""
+        rev = DiGraph()
+        for node in self._succ:
+            rev.add_node(node)
+        for u, v in self.edges():
+            rev.add_edge(v, u)
+        return rev
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """Return the induced subgraph over ``nodes``.
+
+        Unknown nodes in ``nodes`` raise :class:`NodeNotFoundError`.
+        """
+        keep = []
+        for node in nodes:
+            if node not in self._succ:
+                raise NodeNotFoundError(node)
+            keep.append(node)
+        keep_set = set(keep)
+        sub = DiGraph()
+        for node in keep:
+            sub.add_node(node)
+        for node in keep:
+            for v in self._succ[node]:
+                if v in keep_set:
+                    sub.add_edge(node, v)
+        return sub
+
+    def self_loops(self) -> list[Node]:
+        """Nodes carrying a self-loop edge."""
+        return [u for u in self._succ if u in self._succ[u]]

@@ -1,0 +1,311 @@
+"""Synthetic graph generators used by the paper's experiments (Section 6).
+
+Every generator takes an explicit ``seed`` and is fully deterministic for a
+given seed, so each experiment in :mod:`repro.bench` is exactly
+re-runnable.
+
+Generators
+----------
+* :func:`gnm_random_digraph` — uniform simple directed ``G(n, m)``; the
+  analogue of the Boost Graph Library generator used for Figure 8.  These
+  graphs typically contain cycles, exercising the SCC-condensation
+  preprocessing path.
+* :func:`single_rooted_dag` — the paper's Section 6.2 generator: a
+  breadth-first spanning tree shaped by a ``max_fanout`` parameter, plus
+  random extra edges oriented from shallower to deeper nodes (or
+  left-to-right within a level), which keeps the result acyclic.
+* :func:`random_tree` — a rooted tree with bounded fanout (the degenerate
+  ``t = 0`` case of dual labeling).
+* :func:`random_dag` — generic DAG: random node order, edges sampled
+  forward along it.
+* :func:`layered_dag` — stratified DAG with optional back edges (used by
+  the dataset stand-ins to introduce controlled cycle content).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "gnm_random_digraph",
+    "single_rooted_dag",
+    "random_tree",
+    "random_dag",
+    "layered_dag",
+    "citation_dag",
+]
+
+
+def _check_counts(n: int, m: int, max_edges: int) -> None:
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if m < 0:
+        raise ValueError(f"m must be non-negative, got {m}")
+    if m > max_edges:
+        raise ValueError(
+            f"m={m} exceeds the maximum of {max_edges} for n={n}")
+
+
+def gnm_random_digraph(n: int, m: int, seed: int = 0) -> DiGraph:
+    """Uniform simple directed graph with ``n`` nodes and ``m`` edges.
+
+    Nodes are ``0..n-1``.  Self-loops are excluded; the ``m`` ordered pairs
+    are sampled without replacement by rejection (efficient for the sparse
+    regimes of the paper, where ``m ≈ n``).
+    """
+    _check_counts(n, m, n * (n - 1))
+    rng = random.Random(seed)
+    graph = DiGraph(nodes=range(n))
+    chosen: set[tuple[int, int]] = set()
+    while len(chosen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and (u, v) not in chosen:
+            chosen.add((u, v))
+            graph.add_edge(u, v)
+    return graph
+
+
+def random_tree(n: int, max_fanout: int = 5, seed: int = 0) -> DiGraph:
+    """Rooted tree over nodes ``0..n-1`` with node 0 as root.
+
+    Built breadth-first: each new node attaches to a uniformly random
+    existing node that still has spare fanout capacity.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if max_fanout < 1:
+        raise ValueError(f"max_fanout must be >= 1, got {max_fanout}")
+    rng = random.Random(seed)
+    tree = DiGraph(nodes=range(n))
+    open_parents: list[int] = [0] if n else []
+    fanout_used = {0: 0} if n else {}
+    for v in range(1, n):
+        slot = rng.randrange(len(open_parents))
+        parent = open_parents[slot]
+        tree.add_edge(parent, v)
+        fanout_used[parent] += 1
+        if fanout_used[parent] >= max_fanout:
+            # Swap-remove keeps the candidate pick O(1).
+            open_parents[slot] = open_parents[-1]
+            open_parents.pop()
+        open_parents.append(v)
+        fanout_used[v] = 0
+    return tree
+
+
+def single_rooted_dag(n: int, m: int, max_fanout: int = 5,
+                      seed: int = 0) -> DiGraph:
+    """The paper's single-rooted DAG generator (Section 6.2).
+
+    First a spanning tree over ``n`` nodes is generated breadth-first with
+    at most ``max_fanout`` children per node; then ``m - (n - 1)`` extra
+    edges ``u -> v`` are added between random node pairs, constrained so
+    that ``u`` sits on a strictly shallower level than ``v``, or on the same
+    level with a smaller position (further left).  All edges therefore move
+    "downward or rightward", which guarantees acyclicity.
+
+    Parameters
+    ----------
+    n: number of nodes (node 0 is the root).
+    m: total number of edges; must satisfy ``n - 1 <= m``.
+    max_fanout: spanning-tree fanout bound (5 for Figure 9, 9 for Fig. 10).
+    seed: RNG seed.
+    """
+    if n == 0:
+        _check_counts(n, m, 0)
+        return DiGraph()
+    if m < n - 1:
+        raise ValueError(
+            f"single-rooted DAG on n={n} nodes needs at least {n - 1} "
+            f"edges, got m={m}")
+
+    rng = random.Random(seed)
+    dag = DiGraph(nodes=range(n))
+
+    # Breadth-first spanning tree with bounded fanout.
+    level = {0: 0}
+    pos_in_level = {0: 0}
+    level_sizes = [1]
+    frontier = [0]
+    next_node = 1
+    while next_node < n:
+        nxt: list[int] = []
+        for parent in frontier:
+            fanout = rng.randint(1, max_fanout)
+            for _ in range(fanout):
+                if next_node >= n:
+                    break
+                child = next_node
+                next_node += 1
+                dag.add_edge(parent, child)
+                depth = level[parent] + 1
+                if depth == len(level_sizes):
+                    level_sizes.append(0)
+                level[child] = depth
+                pos_in_level[child] = level_sizes[depth]
+                level_sizes[depth] += 1
+                nxt.append(child)
+            if next_node >= n:
+                break
+        if not nxt and next_node < n:
+            # Degenerate fanout draw; extend from the last node created.
+            nxt = [next_node - 1]
+        frontier = nxt
+
+    def _orders_before(u: int, v: int) -> bool:
+        """True iff an edge u -> v respects the acyclic ordering rule."""
+        if level[u] != level[v]:
+            return level[u] < level[v]
+        return pos_in_level[u] < pos_in_level[v]
+
+    target_extra = m - (n - 1)
+    added = 0
+    # Rejection-sample pairs; for the sparse regimes of the paper the
+    # acceptance rate is high.  A generous attempt cap avoids pathological
+    # loops on tiny graphs where few legal pairs remain.
+    attempts = 0
+    max_attempts = max(10_000, 200 * target_extra)
+    while added < target_extra and attempts < max_attempts:
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or dag.has_edge(u, v) or not _orders_before(u, v):
+            continue
+        dag.add_edge(u, v)
+        added += 1
+    if added < target_extra:
+        raise ValueError(
+            f"could not place {target_extra} extra edges on n={n} "
+            f"(placed {added}); graph too dense for this generator")
+    return dag
+
+
+def random_dag(n: int, m: int, seed: int = 0) -> DiGraph:
+    """Generic DAG: uniform random edges oriented along a random order.
+
+    Nodes ``0..n-1`` are shuffled into a hidden topological order; ``m``
+    distinct forward pairs along it become the edges.
+    """
+    _check_counts(n, m, n * (n - 1) // 2)
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    rank = {node: i for i, node in enumerate(order)}
+    dag = DiGraph(nodes=range(n))
+    chosen: set[tuple[int, int]] = set()
+    while len(chosen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        if rank[u] > rank[v]:
+            u, v = v, u
+        if (u, v) not in chosen:
+            chosen.add((u, v))
+            dag.add_edge(u, v)
+    return dag
+
+
+def layered_dag(layers: list[int], forward_edges: int,
+                back_edges: int = 0, seed: int = 0,
+                skip_prob: float = 0.2) -> DiGraph:
+    """Stratified digraph: nodes in layers, edges mostly layer-to-next.
+
+    Used by the dataset stand-ins (metabolic-pathway-like structure):
+
+    * ``forward_edges`` edges run from a layer to a strictly deeper one
+      (usually the next; with probability ``skip_prob`` a deeper layer is
+      chosen, creating long-range shortcuts that the minimal-equivalent-
+      graph step can later prune);
+    * ``back_edges`` edges run from a deeper layer to a shallower one,
+      introducing cycles (exercising SCC condensation).
+
+    Nodes are numbered ``0..sum(layers)-1``, layer by layer.
+    """
+    if any(size <= 0 for size in layers):
+        raise ValueError("every layer must have positive size")
+    if forward_edges < 0 or back_edges < 0:
+        raise ValueError("edge counts must be non-negative")
+    rng = random.Random(seed)
+    offsets = [0]
+    for size in layers:
+        offsets.append(offsets[-1] + size)
+    n = offsets[-1]
+    graph = DiGraph(nodes=range(n))
+
+    def _node_in(layer: int) -> int:
+        return offsets[layer] + rng.randrange(layers[layer])
+
+    num_layers = len(layers)
+    placed = 0
+    attempts = 0
+    max_attempts = max(10_000, 100 * forward_edges)
+    while placed < forward_edges and attempts < max_attempts:
+        attempts += 1
+        src_layer = rng.randrange(num_layers - 1) if num_layers > 1 else 0
+        if num_layers > 1:
+            if rng.random() < skip_prob and src_layer + 2 < num_layers:
+                dst_layer = rng.randrange(src_layer + 2, num_layers)
+            else:
+                dst_layer = src_layer + 1
+        else:
+            break
+        u, v = _node_in(src_layer), _node_in(dst_layer)
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            placed += 1
+
+    placed_back = 0
+    attempts = 0
+    max_attempts = max(10_000, 100 * back_edges) if back_edges else 0
+    while placed_back < back_edges and attempts < max_attempts:
+        attempts += 1
+        if num_layers < 2:
+            break
+        dst_layer = rng.randrange(num_layers - 1)
+        src_layer = rng.randrange(dst_layer + 1, num_layers)
+        u, v = _node_in(src_layer), _node_in(dst_layer)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            placed_back += 1
+    return graph
+
+
+def citation_dag(n: int, refs_per_node: int = 2, seed: int = 0) -> DiGraph:
+    """Preferential-attachment DAG (citation-network shaped).
+
+    Nodes arrive in order ``0..n-1``; each new node "cites" up to
+    ``refs_per_node`` distinct earlier nodes, chosen preferentially by
+    current in-degree (plus one), producing the heavy-tailed in-degree
+    distribution of citation/reference graphs.  Edges always point from
+    newer to older nodes, so the result is a DAG; hub nodes with huge
+    in-degree stress spanning-tree extraction (every extra parent is a
+    non-tree edge).
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if refs_per_node < 0:
+        raise ValueError(
+            f"refs_per_node must be non-negative, got {refs_per_node}")
+    rng = random.Random(seed)
+    dag = DiGraph(nodes=range(n))
+    # Repeated-node urn: node k appears (in_degree(k) + 1) times.
+    urn: list[int] = []
+    for v in range(n):
+        cited: set[int] = set()
+        attempts = 0
+        want = min(refs_per_node, v)
+        while len(cited) < want and attempts < 50 * (want + 1):
+            attempts += 1
+            candidate = rng.choice(urn) if urn and rng.random() < 0.8 \
+                else rng.randrange(v)
+            if candidate != v:
+                cited.add(candidate)
+        for target in cited:
+            dag.add_edge(v, target)
+            urn.append(target)
+        urn.append(v)
+    return dag

@@ -1,0 +1,180 @@
+"""Graph serialisation: edge-list text files and a JSON document format.
+
+Two formats are supported:
+
+* **edge list** — one ``u v`` pair per line, ``#`` comments, isolated nodes
+  declared on their own line.  Node names are strings (or ints when
+  ``int_nodes=True`` on read).  This is the interchange format of most
+  public reachability benchmarks.
+* **JSON** — ``{"nodes": [...], "edges": [[u, v], ...]}`` with arbitrary
+  JSON-representable node names; round-trips insertion order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import DatasetError
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "write_json",
+    "read_json",
+    "to_dot",
+    "write_dot",
+]
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: DiGraph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` in edge-list format.
+
+    Isolated nodes are written as single-token lines so the round trip
+    preserves the node set exactly.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+        written: set[object] = set()
+        for u, v in graph.edges():
+            fh.write(f"{u} {v}\n")
+            written.add(u)
+            written.add(v)
+        for node in graph.nodes():
+            if node not in written:
+                fh.write(f"{node}\n")
+
+
+def read_edge_list(path: PathLike, int_nodes: bool = True) -> DiGraph:
+    """Read a graph from an edge-list file.
+
+    Parameters
+    ----------
+    path: file to read.
+    int_nodes: when ``True`` (default) node tokens are parsed as integers;
+        otherwise they stay strings.
+
+    Raises
+    ------
+    DatasetError
+        On malformed lines (more than two tokens, or non-integer tokens
+        with ``int_nodes=True``).
+    """
+    path = Path(path)
+    graph = DiGraph()
+
+    def _parse(token: str) -> object:
+        if not int_nodes:
+            return token
+        try:
+            return int(token)
+        except ValueError:
+            raise DatasetError(
+                f"{path}: expected integer node id, got {token!r}") from None
+
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            body = line.split("#", 1)[0].strip()
+            if not body:
+                continue
+            tokens = body.split()
+            if len(tokens) == 1:
+                graph.add_node(_parse(tokens[0]))
+            elif len(tokens) == 2:
+                graph.add_edge(_parse(tokens[0]), _parse(tokens[1]))
+            else:
+                raise DatasetError(
+                    f"{path}:{lineno}: expected 1 or 2 tokens, "
+                    f"got {len(tokens)}")
+    return graph
+
+
+def write_json(graph: DiGraph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` as a JSON document."""
+    document = {
+        "nodes": list(graph.nodes()),
+        "edges": [[u, v] for u, v in graph.edges()],
+    }
+    Path(path).write_text(json.dumps(document), encoding="utf-8")
+
+
+def read_json(path: PathLike) -> DiGraph:
+    """Read a graph from a JSON document written by :func:`write_json`.
+
+    Raises
+    ------
+    DatasetError
+        If the document is not valid JSON or lacks the expected keys.
+    """
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"{path}: invalid JSON ({exc})") from exc
+    if (not isinstance(document, dict) or "nodes" not in document
+            or "edges" not in document):
+        raise DatasetError(
+            f"{path}: expected an object with 'nodes' and 'edges' keys")
+    graph = DiGraph()
+    for node in document["nodes"]:
+        # JSON arrays arrive as lists, which are unhashable; normalise.
+        graph.add_node(tuple(node) if isinstance(node, list) else node)
+    for edge in document["edges"]:
+        if not isinstance(edge, list) or len(edge) != 2:
+            raise DatasetError(f"{path}: malformed edge entry {edge!r}")
+        u, v = edge
+        graph.add_edge(tuple(u) if isinstance(u, list) else u,
+                       tuple(v) if isinstance(v, list) else v)
+    return graph
+
+
+def _dot_id(node: object) -> str:
+    """Quote a node as a DOT identifier."""
+    text = str(node).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{text}"'
+
+
+def to_dot(graph: DiGraph, name: str = "G",
+           highlight_path: "list | None" = None,
+           highlight_edges: "set | None" = None) -> str:
+    """Render ``graph`` as Graphviz DOT text.
+
+    Parameters
+    ----------
+    graph: the graph to render.
+    name: the DOT graph name.
+    highlight_path: optional node path (e.g. a witness from
+        :func:`repro.core.witness.witness_path`); its nodes and edges
+        are emphasised.
+    highlight_edges: optional extra edge set to style dashed (e.g. the
+        non-tree edges of a spanning forest, to visualise the paper's
+        tree/non-tree decomposition).
+    """
+    path_nodes = set(highlight_path or ())
+    path_edges = set(zip(highlight_path or [], (highlight_path or [])[1:]))
+    dashed = set(highlight_edges or ())
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    for node in graph.nodes():
+        style = ' [style=filled, fillcolor="#ffd37f"]' \
+            if node in path_nodes else ""
+        lines.append(f"  {_dot_id(node)}{style};")
+    for u, v in graph.edges():
+        if (u, v) in path_edges:
+            attr = ' [color="#d4622a", penwidth=2.0]'
+        elif (u, v) in dashed:
+            attr = " [style=dashed]"
+        else:
+            attr = ""
+        lines.append(f"  {_dot_id(u)} -> {_dot_id(v)}{attr};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(graph: DiGraph, path: PathLike, **options) -> None:
+    """Write :func:`to_dot` output to ``path`` (options forwarded)."""
+    Path(path).write_text(to_dot(graph, **options), encoding="utf-8")

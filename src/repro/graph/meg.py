@@ -1,0 +1,141 @@
+"""Minimal equivalent graph (MEG) of a DAG — paper Section 5, Algorithm 3.
+
+The MEG removes the maximum number of edges from a DAG without changing its
+reachability relation.  For DAGs the MEG is unique and coincides with the
+*transitive reduction*.  Dual labeling runs it as an optional preprocessing
+step: the fewer edges survive, the smaller the non-tree edge count ``t``
+after spanning-tree extraction, and ``t`` drives both the TLC structures'
+size and the transitive-link-closure cost.
+
+Two implementations:
+
+* :func:`minimal_equivalent_graph` — the paper's Algorithm 3: one sweep in
+  topological order maintaining *strict ancestor* bitsets per node.  An edge
+  ``p_i -> v`` is superfluous iff ``p_i`` is an ancestor of another parent
+  ``p_j`` of ``v`` (then ``p_i ⇝ p_j -> v`` survives without it).  Ancestor
+  sets are discarded as soon as all of a node's children have been
+  processed, which keeps memory proportional to the "frontier" for sparse
+  graphs — the point the paper makes against closure-based methods.
+* :func:`minimal_equivalent_graph_closure` — the Hsu-style baseline that
+  materialises the transitive closure first; used as an independent oracle
+  in tests and in the MEG ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph, Node
+from repro.graph.traversal import topological_sort
+
+__all__ = [
+    "MEGResult",
+    "minimal_equivalent_graph",
+    "minimal_equivalent_graph_closure",
+]
+
+
+@dataclass(frozen=True)
+class MEGResult:
+    """Outcome of a MEG computation.
+
+    Attributes
+    ----------
+    graph:
+        The reduced DAG (a new :class:`DiGraph`; the input is untouched).
+    removed_edges:
+        The superfluous edges that were dropped, in removal order.
+    """
+
+    graph: DiGraph
+    removed_edges: list[tuple[Node, Node]]
+
+    @property
+    def num_removed(self) -> int:
+        """Number of edges removed."""
+        return len(self.removed_edges)
+
+
+def minimal_equivalent_graph(dag: DiGraph) -> MEGResult:
+    """Reduce a DAG to its minimal equivalent graph (Algorithm 3).
+
+    Complexity is one topological sweep with bitset unions —
+    ``O(n + m)`` set operations, each ``O(n / wordsize)`` in the worst case
+    but far cheaper on the sparse graphs the paper targets.
+
+    Raises
+    ------
+    NotADAGError
+        If the input contains a cycle (Algorithm 3's correctness argument
+        requires acyclicity; condense first).
+    """
+    order = topological_sort(dag)  # raises NotADAGError on cycles
+    index = {node: i for i, node in enumerate(order)}
+
+    # Strict-ancestor bitset per node, in topological-id space.  Entries are
+    # freed once every child of the node has been visited.
+    ancestors: dict[int, int] = {}
+    remaining_children = {node: dag.out_degree(node) for node in order}
+
+    reduced = dag.copy()
+    removed: list[tuple[Node, Node]] = []
+
+    for v in order:
+        parents = list(dag.predecessors(v))
+        parent_ids = [index[p] for p in parents]
+        # Union of the parents' strict ancestor sets: any parent inside this
+        # union is itself an ancestor of another parent, so its direct edge
+        # into v is superfluous.
+        others_union = 0
+        for pid in parent_ids:
+            others_union |= ancestors[pid]
+        keep_bits = 0
+        for p, pid in zip(parents, parent_ids):
+            if (others_union >> pid) & 1:
+                reduced.remove_edge(p, v)
+                removed.append((p, v))
+            else:
+                keep_bits |= 1 << pid
+        # v's strict ancestors: all parents plus their ancestors.
+        own = others_union | keep_bits
+        for pid in parent_ids:
+            own |= 1 << pid
+        ancestors[index[v]] = own
+        # Free ancestor sets whose children are all processed.
+        for p in parents:
+            remaining_children[p] -= 1
+            if remaining_children[p] == 0:
+                del ancestors[index[p]]
+
+    return MEGResult(graph=reduced, removed_edges=removed)
+
+
+def minimal_equivalent_graph_closure(dag: DiGraph) -> MEGResult:
+    """Closure-based MEG (Hsu 1975 style) — the ``O(n³)`` baseline.
+
+    Computes the full transitive closure, then drops every edge
+    ``u -> v`` for which some other successor ``w`` of ``u`` reaches ``v``
+    (i.e. a longer path ``u -> w ⇝ v`` exists).  Exact same output as
+    Algorithm 3 on any DAG — asserted by tests — but with the quadratic
+    memory footprint the paper set out to avoid.
+    """
+    from repro.graph.closure import transitive_closure_bitsets
+
+    order = topological_sort(dag)  # validates acyclicity
+    del order
+    desc, index = transitive_closure_bitsets(dag)
+
+    reduced = dag.copy()
+    removed: list[tuple[Node, Node]] = []
+    for u in dag.nodes():
+        succs = list(dag.successors(u))
+        succ_ids = [index[w] for w in succs]
+        for v, vid in zip(succs, succ_ids):
+            # Reachable from another successor of u?
+            superfluous = any(
+                wid != vid and (desc[wid] >> vid) & 1
+                for wid in succ_ids)
+            if superfluous:
+                reduced.remove_edge(u, v)
+                removed.append((u, v))
+    return MEGResult(graph=reduced, removed_edges=removed)

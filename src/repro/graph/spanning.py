@@ -1,0 +1,152 @@
+"""Spanning forest extraction for a DAG — paper Section 3.1.
+
+Dual labeling splits a DAG into a spanning tree (or forest, when the DAG
+has several roots) plus the remaining *non-tree* edges.  This module picks
+the forest by depth-first search from the DAG's roots, in deterministic
+insertion order, and classifies every edge:
+
+* **tree edge** — part of the spanning forest;
+* **superfluous non-tree edge** — its head is already a tree descendant of
+  its tail, so it adds no reachability beyond the tree and is *dropped*
+  (paper: "the non-tree edge is superfluous, and there is no need to keep
+  track of it");
+* **non-tree edge** — everything else; these go into the link table.
+
+Every node of a DAG is reachable from at least one root (walk predecessor
+links upward; acyclicity guarantees termination), so DFS from the roots
+covers all nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import NotADAGError
+from repro.graph.digraph import DiGraph, Edge, Node
+from repro.graph.traversal import topological_sort
+
+__all__ = ["SpanningForest", "spanning_forest"]
+
+
+@dataclass(frozen=True)
+class SpanningForest:
+    """A spanning forest of a DAG plus the edge classification.
+
+    Attributes
+    ----------
+    parent:
+        Maps each non-root node to its tree parent.  Roots are absent.
+    roots:
+        Tree roots, in traversal order.
+    children:
+        Tree adjacency: ``children[u]`` lists tree children in the order
+        DFS discovered them (this order defines the interval labels).
+    nontree_edges:
+        Non-tree edges that carry extra reachability (the link-table input).
+    superfluous_edges:
+        Non-tree edges dropped because the tree already covers them.
+    """
+
+    parent: dict[Node, Node]
+    roots: list[Node]
+    children: dict[Node, list[Node]] = field(repr=False)
+    nontree_edges: list[Edge] = field(repr=False)
+    superfluous_edges: list[Edge] = field(repr=False)
+
+    @property
+    def num_tree_edges(self) -> int:
+        """Number of edges in the forest."""
+        return len(self.parent)
+
+    @property
+    def t(self) -> int:
+        """The paper's ``t``: number of retained non-tree edges."""
+        return len(self.nontree_edges)
+
+    def is_tree_ancestor(self, u: Node, v: Node) -> bool:
+        """``True`` iff ``u`` is an ancestor of ``v`` in the forest
+        (reflexive).  Linear in tree depth; intended for tests — the
+        interval labels answer this in O(1) at query time."""
+        node = v
+        while True:
+            if node == u:
+                return True
+            if node not in self.parent:
+                return False
+            node = self.parent[node]
+
+
+def spanning_forest(dag: DiGraph) -> SpanningForest:
+    """Extract a DFS spanning forest of ``dag`` and classify its edges.
+
+    The DFS starts from each root (in-degree 0) in node insertion order and
+    visits successors in adjacency order, so the forest — and therefore the
+    interval labels derived from it — is deterministic.
+
+    Superfluous-edge detection uses DFS entry/exit clocks: when a non-tree
+    edge ``u -> v`` is examined and ``v``'s subtree interval lies within
+    ``u``'s, the edge is already covered by tree paths.  Because edges are
+    only classified after the whole DFS finishes, the check is exact.
+
+    Raises
+    ------
+    NotADAGError
+        If the input has a cycle (or no root while non-empty).
+    """
+    topological_sort(dag)  # validates acyclicity up front
+
+    roots = dag.roots()
+    if dag.num_nodes and not roots:
+        raise NotADAGError("non-empty DAG must have at least one root")
+
+    parent: dict[Node, Node] = {}
+    children: dict[Node, list[Node]] = {node: [] for node in dag.nodes()}
+    visited: set[Node] = set()
+    # DFS clocks for ancestor tests: enter[u] <= enter[v] < exit[u] iff u is
+    # a forest ancestor of v.
+    enter: dict[Node, int] = {}
+    exit_: dict[Node, int] = {}
+    clock = 0
+    candidate_nontree: list[Edge] = []
+
+    for root in roots:
+        if root in visited:
+            continue
+        visited.add(root)
+        enter[root] = clock
+        clock += 1
+        stack = [(root, iter(list(dag.successors(root))))]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in visited:
+                    visited.add(succ)
+                    parent[succ] = node
+                    children[node].append(succ)
+                    enter[succ] = clock
+                    clock += 1
+                    stack.append((succ, iter(list(dag.successors(succ)))))
+                    advanced = True
+                    break
+                candidate_nontree.append((node, succ))
+            if not advanced:
+                stack.pop()
+                exit_[node] = clock
+                clock += 1
+
+    if len(visited) != dag.num_nodes:
+        # Cannot happen on a DAG: every node is reachable from some root.
+        raise NotADAGError("spanning DFS did not reach every node")
+
+    nontree: list[Edge] = []
+    superfluous: list[Edge] = []
+    for u, v in candidate_nontree:
+        if enter[u] <= enter[v] and exit_[v] <= exit_[u]:
+            superfluous.append((u, v))
+        else:
+            nontree.append((u, v))
+
+    return SpanningForest(parent=parent, roots=roots, children=children,
+                          nontree_edges=nontree,
+                          superfluous_edges=superfluous)

@@ -1,0 +1,87 @@
+"""Descriptive statistics of graphs, used by reports and dataset tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.condensation import condense
+from repro.graph.digraph import DiGraph
+
+__all__ = ["GraphStats", "graph_stats", "degree_histogram"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a digraph.
+
+    ``num_sccs``/``largest_scc`` describe the cycle content the
+    condensation step will collapse; ``num_roots`` counts in-degree-0 nodes
+    (spanning-forest roots once the graph is a DAG).
+    """
+
+    num_nodes: int
+    num_edges: int
+    density: float
+    num_roots: int
+    num_leaves: int
+    max_in_degree: int
+    max_out_degree: int
+    num_sccs: int
+    largest_scc: int
+    num_self_loops: int
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for report serialisation."""
+        return {
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "density": self.density,
+            "num_roots": self.num_roots,
+            "num_leaves": self.num_leaves,
+            "max_in_degree": self.max_in_degree,
+            "max_out_degree": self.max_out_degree,
+            "num_sccs": self.num_sccs,
+            "largest_scc": self.largest_scc,
+            "num_self_loops": self.num_self_loops,
+        }
+
+
+def graph_stats(graph: DiGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    cond = condense(graph)
+    in_degrees = [graph.in_degree(n) for n in graph.nodes()]
+    out_degrees = [graph.out_degree(n) for n in graph.nodes()]
+    return GraphStats(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        density=graph.density,
+        num_roots=len(graph.roots()),
+        num_leaves=len(graph.leaves()),
+        max_in_degree=max(in_degrees, default=0),
+        max_out_degree=max(out_degrees, default=0),
+        num_sccs=cond.num_components,
+        largest_scc=max((len(m) for m in cond.members), default=0),
+        num_self_loops=len(graph.self_loops()),
+    )
+
+
+def degree_histogram(graph: DiGraph, direction: str = "out") -> dict[int, int]:
+    """Histogram mapping degree -> node count.
+
+    Parameters
+    ----------
+    direction: ``"out"`` (default), ``"in"``, or ``"total"``.
+    """
+    if direction not in {"out", "in", "total"}:
+        raise ValueError(f"direction must be 'out', 'in' or 'total', "
+                         f"got {direction!r}")
+    histogram: dict[int, int] = {}
+    for node in graph.nodes():
+        if direction == "out":
+            degree = graph.out_degree(node)
+        elif direction == "in":
+            degree = graph.in_degree(node)
+        else:
+            degree = graph.in_degree(node) + graph.out_degree(node)
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram

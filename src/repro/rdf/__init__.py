@@ -1,0 +1,25 @@
+"""RDF/OWL substrate: the paper's ontology-query motivation, runnable.
+
+Triples, subClassOf hierarchies, and subsumption reasoning backed by
+any registered reachability index.
+"""
+
+from repro.rdf.generator import generate_ontology
+from repro.rdf.ontology import Ontology
+from repro.rdf.triples import (
+    SUBCLASS_OF,
+    SUBPROPERTY_OF,
+    TYPE,
+    Triple,
+    TripleStore,
+)
+
+__all__ = [
+    "TripleStore",
+    "Triple",
+    "Ontology",
+    "generate_ontology",
+    "SUBCLASS_OF",
+    "SUBPROPERTY_OF",
+    "TYPE",
+]

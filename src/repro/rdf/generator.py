@@ -1,0 +1,60 @@
+"""Synthetic ontology generator (Gene-Ontology-flavoured).
+
+Produces class hierarchies shaped like curated bio-ontologies: a few
+roots, depth-stratified classes where most classes have one parent and
+a minority have two or more (multiple inheritance — the non-tree edges
+that make subsumption a DAG problem), plus typed individuals.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.rdf.triples import SUBCLASS_OF, TYPE, TripleStore
+
+__all__ = ["generate_ontology"]
+
+
+def generate_ontology(num_classes: int = 200,
+                      num_individuals: int = 100,
+                      multi_parent_fraction: float = 0.15,
+                      num_roots: int = 3,
+                      seed: int = 0) -> TripleStore:
+    """Generate a subclass hierarchy plus typed individuals.
+
+    Parameters
+    ----------
+    num_classes: classes named ``C0..C<n-1>`` (the first ``num_roots``
+        are roots).
+    num_individuals: individuals ``i0..`` each typed under one class.
+    multi_parent_fraction: probability a non-root class receives one
+        extra ``subClassOf`` parent (multiple inheritance).
+    num_roots: number of top-level classes.
+    seed: RNG seed.
+    """
+    if num_classes < num_roots or num_roots < 1:
+        raise ValueError("need num_classes >= num_roots >= 1")
+    if not 0.0 <= multi_parent_fraction <= 1.0:
+        raise ValueError("multi_parent_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    store = TripleStore()
+
+    def cls(k: int) -> str:
+        return f"ex:C{k}"
+
+    # Primary parent: any earlier class — yields a rooted forest.
+    for k in range(num_roots, num_classes):
+        parent = rng.randrange(k) if k > num_roots else rng.randrange(
+            num_roots)
+        store.add(cls(k), SUBCLASS_OF, cls(parent))
+        # Optional extra parent (strictly earlier, so the result is a
+        # DAG): multiple inheritance.
+        if rng.random() < multi_parent_fraction and k > 1:
+            extra = rng.randrange(k)
+            if extra != parent:
+                store.add(cls(k), SUBCLASS_OF, cls(extra))
+
+    for j in range(num_individuals):
+        typed_under = rng.randrange(num_classes)
+        store.add(f"ex:i{j}", TYPE, cls(typed_under))
+    return store

@@ -1,0 +1,157 @@
+"""A minimal RDF-style triple store — paper Section 1 motivation.
+
+The paper lists "ontology queries based on RDF/OWL" among the
+applications that need fast reachability: class and property hierarchies
+are DAG-shaped (``rdfs:subClassOf`` / ``rdfs:subPropertyOf``), and
+subsumption checking — *is C a subclass of D?* — is reachability over
+them.  This module provides just enough of an RDF stack to make that
+application runnable:
+
+* :class:`TripleStore` — (subject, predicate, object) triples with
+  predicate-indexed access;
+* :meth:`TripleStore.predicate_graph` — the digraph induced by one
+  predicate (e.g. the subClassOf hierarchy);
+* a tiny N-Triples-flavoured text format (``subj pred obj .`` lines)
+  for fixtures and round trips.
+
+Terms are plain strings (CURIE-ish, e.g. ``ex:Animal``); no IRI
+resolution, datatypes, or blank-node semantics — reachability needs
+none of that.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import DatasetError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["Triple", "TripleStore", "SUBCLASS_OF", "SUBPROPERTY_OF",
+           "TYPE"]
+
+Triple = tuple[str, str, str]
+PathLike = Union[str, Path]
+
+#: Conventional predicate names used by the ontology layer.
+SUBCLASS_OF = "rdfs:subClassOf"
+SUBPROPERTY_OF = "rdfs:subPropertyOf"
+TYPE = "rdf:type"
+
+
+class TripleStore:
+    """An in-memory set of triples with per-predicate indexes."""
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._triples: set[Triple] = set()
+        self._by_predicate: dict[str, set[tuple[str, str]]] = {}
+        for triple in triples:
+            self.add(*triple)
+
+    # ------------------------------------------------------------------
+    def add(self, subject: str, predicate: str, obj: str) -> None:
+        """Insert one triple (idempotent)."""
+        triple = (subject, predicate, obj)
+        if triple not in self._triples:
+            self._triples.add(triple)
+            self._by_predicate.setdefault(predicate, set()).add(
+                (subject, obj))
+
+    def remove(self, subject: str, predicate: str, obj: str) -> None:
+        """Remove one triple.
+
+        Raises
+        ------
+        KeyError
+            If the triple is absent.
+        """
+        triple = (subject, predicate, obj)
+        if triple not in self._triples:
+            raise KeyError(triple)
+        self._triples.remove(triple)
+        self._by_predicate[predicate].discard((subject, obj))
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(sorted(self._triples))
+
+    # ------------------------------------------------------------------
+    def predicates(self) -> list[str]:
+        """Distinct predicates, sorted."""
+        return sorted(p for p, pairs in self._by_predicate.items()
+                      if pairs)
+
+    def pairs(self, predicate: str) -> set[tuple[str, str]]:
+        """All (subject, object) pairs of ``predicate``."""
+        return set(self._by_predicate.get(predicate, ()))
+
+    def subjects(self, predicate: str, obj: str) -> set[str]:
+        """Subjects s with (s, predicate, obj) present."""
+        return {s for s, o in self._by_predicate.get(predicate, ())
+                if o == obj}
+
+    def objects(self, subject: str, predicate: str) -> set[str]:
+        """Objects o with (subject, predicate, o) present."""
+        return {o for s, o in self._by_predicate.get(predicate, ())
+                if s == subject}
+
+    def predicate_graph(self, predicate: str) -> DiGraph:
+        """The digraph with an edge ``s -> o`` per (s, predicate, o).
+
+        For ``rdfs:subClassOf`` this is the class hierarchy with edges
+        pointing from subclass to superclass, so ``C ⇝ D`` means
+        "C is subsumed by D".
+        """
+        graph = DiGraph()
+        for s, o in self._by_predicate.get(predicate, ()):
+            graph.add_edge(s, o)
+        return graph
+
+    # ------------------------------------------------------------------
+    # text format
+    # ------------------------------------------------------------------
+    def dumps(self) -> str:
+        """Serialise as ``subj pred obj .`` lines (sorted)."""
+        return "".join(f"{s} {p} {o} .\n" for s, p, o in self)
+
+    @classmethod
+    def loads(cls, text: str) -> "TripleStore":
+        """Parse the N-Triples-flavoured format written by
+        :meth:`dumps`.
+
+        Raises
+        ------
+        DatasetError
+            On lines that are not ``subj pred obj .``.
+        """
+        store = cls()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            body = line.split("#", 1)[0].strip()
+            if not body:
+                continue
+            tokens = body.split()
+            if len(tokens) != 4 or tokens[3] != ".":
+                raise DatasetError(
+                    f"line {lineno}: expected 'subj pred obj .', "
+                    f"got {line!r}")
+            store.add(tokens[0], tokens[1], tokens[2])
+        return store
+
+    def save(self, path: PathLike) -> None:
+        """Write :meth:`dumps` output to ``path``."""
+        Path(path).write_text(self.dumps(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "TripleStore":
+        """Read a store previously written by :meth:`save`."""
+        return cls.loads(Path(path).read_text(encoding="utf-8"))
+
+    def __repr__(self) -> str:
+        return (f"TripleStore(triples={len(self)}, "
+                f"predicates={len(self.predicates())})")

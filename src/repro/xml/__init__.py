@@ -1,0 +1,24 @@
+"""XML substrate: the paper's motivating application (Section 1.1).
+
+Element trees with ID/IDREF links, projection onto reachability graphs,
+and descendant-axis path-expression evaluation backed by any registered
+reachability index.
+"""
+
+from repro.xml.document import XMLDocument, XMLElement, parse_xml
+from repro.xml.generator import generate_auction_document
+from repro.xml.queries import (
+    XMLReachabilityEngine,
+    parse_mixed_path,
+    parse_path_expression,
+)
+
+__all__ = [
+    "XMLDocument",
+    "XMLElement",
+    "parse_xml",
+    "generate_auction_document",
+    "XMLReachabilityEngine",
+    "parse_path_expression",
+    "parse_mixed_path",
+]

@@ -1,0 +1,177 @@
+"""A minimal XML document model with ID/IDREF links — paper Section 1.1.
+
+The paper's motivating application is XML query processing: an XML
+document is a tree of elements, but IDREF attributes turn it into a
+directed graph, and structural queries like ``//fiction//author`` reduce
+to reachability tests.  This module provides just enough of an XML stack
+to make that application concrete:
+
+* :class:`XMLElement` / :class:`XMLDocument` — an element tree with
+  ``id`` and ``idref``/``idrefs`` attributes;
+* :func:`parse_xml` — a parser for a practical XML subset (tags,
+  attributes, text, comments) built on :mod:`xml.etree` from the standard
+  library;
+* :meth:`XMLDocument.to_graph` — the document as a :class:`DiGraph`
+  whose edges are parent→child containment plus IDREF reference edges —
+  exactly the "tree plus a few reference links" shape the paper calls
+  out for XMark.
+
+Element identity in the graph is the element's node id (a dense integer
+assigned in document order), so several elements may share a tag name —
+as in real XML — and tag-based queries fan out over all of them (see
+:mod:`repro.xml.queries`).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.exceptions import DatasetError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["XMLElement", "XMLDocument", "parse_xml"]
+
+
+@dataclass
+class XMLElement:
+    """One element of an XML document.
+
+    ``node_id`` is unique within the document (document order);
+    ``tag`` need not be.
+    """
+
+    node_id: int
+    tag: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    children: list["XMLElement"] = field(default_factory=list)
+    text: str = ""
+
+    @property
+    def element_id(self) -> Optional[str]:
+        """The element's ``id`` attribute, if any."""
+        return self.attributes.get("id")
+
+    @property
+    def idrefs(self) -> list[str]:
+        """Referenced ids from ``idref``/``idrefs`` attributes."""
+        refs: list[str] = []
+        if "idref" in self.attributes:
+            refs.append(self.attributes["idref"])
+        if "idrefs" in self.attributes:
+            refs.extend(self.attributes["idrefs"].split())
+        return refs
+
+    def iter(self) -> Iterator["XMLElement"]:
+        """Iterate over this element and all descendants, document
+        order."""
+        stack = [self]
+        while stack:
+            element = stack.pop()
+            yield element
+            stack.extend(reversed(element.children))
+
+    def __repr__(self) -> str:
+        return f"<{self.tag} #{self.node_id}>"
+
+
+class XMLDocument:
+    """An element tree plus the id table and graph projection."""
+
+    def __init__(self, root: XMLElement) -> None:
+        self.root = root
+        self._elements: dict[int, XMLElement] = {}
+        self._by_id: dict[str, XMLElement] = {}
+        self._by_tag: dict[str, list[XMLElement]] = {}
+        for element in root.iter():
+            if element.node_id in self._elements:
+                raise DatasetError(
+                    f"duplicate node_id {element.node_id}")
+            self._elements[element.node_id] = element
+            self._by_tag.setdefault(element.tag, []).append(element)
+            eid = element.element_id
+            if eid is not None:
+                if eid in self._by_id:
+                    raise DatasetError(f"duplicate element id {eid!r}")
+                self._by_id[eid] = element
+
+    # ------------------------------------------------------------------
+    @property
+    def num_elements(self) -> int:
+        """Number of elements in the document."""
+        return len(self._elements)
+
+    def element(self, node_id: int) -> XMLElement:
+        """Element by dense node id."""
+        return self._elements[node_id]
+
+    def by_id(self, element_id: str) -> Optional[XMLElement]:
+        """Element by its ``id`` attribute, or ``None``."""
+        return self._by_id.get(element_id)
+
+    def by_tag(self, tag: str) -> list[XMLElement]:
+        """All elements with a given tag, in document order."""
+        return list(self._by_tag.get(tag, []))
+
+    def tags(self) -> list[str]:
+        """Distinct tags, in first-appearance order."""
+        return list(self._by_tag)
+
+    # ------------------------------------------------------------------
+    def to_graph(self) -> DiGraph:
+        """Project the document onto a reachability graph.
+
+        Nodes are element node ids; edges are containment (parent →
+        child) plus one edge per resolvable IDREF (referrer →
+        referent).  Dangling IDREFs are ignored, mirroring how XML
+        processors treat them for navigation.
+        """
+        graph = DiGraph(nodes=self._elements.keys())
+        for element in self._elements.values():
+            for child in element.children:
+                graph.add_edge(element.node_id, child.node_id)
+            for ref in element.idrefs:
+                target = self._by_id.get(ref)
+                if target is not None and target.node_id != element.node_id:
+                    graph.add_edge(element.node_id, target.node_id)
+        return graph
+
+    def __repr__(self) -> str:
+        return (f"XMLDocument(root={self.root.tag!r}, "
+                f"elements={self.num_elements})")
+
+
+def parse_xml(text: str) -> XMLDocument:
+    """Parse XML text into an :class:`XMLDocument`.
+
+    Supports the practical subset :mod:`xml.etree` handles (no DTD
+    processing; ``id``/``idref``/``idrefs`` are recognised by attribute
+    name, the convention XMark uses).
+
+    Raises
+    ------
+    DatasetError
+        On malformed XML.
+    """
+    try:
+        etree_root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise DatasetError(f"malformed XML: {exc}") from exc
+
+    counter = 0
+
+    def convert(node: ET.Element) -> XMLElement:
+        nonlocal counter
+        element = XMLElement(
+            node_id=counter,
+            tag=node.tag,
+            attributes=dict(node.attrib),
+            text=(node.text or "").strip(),
+        )
+        counter += 1
+        for child in node:
+            element.children.append(convert(child))
+        return element
+
+    return XMLDocument(convert(etree_root))

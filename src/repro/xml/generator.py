@@ -1,0 +1,90 @@
+"""Synthetic XML document generator (XMark-flavoured).
+
+Produces auction-site-like documents — the domain XMark models — with a
+configurable element count and IDREF density, used by the XML example
+and tests.  Structure:
+
+* a ``site`` root with ``regions``/``people``/``catgraph`` sections;
+* ``item`` elements nested under regions, each with an ``id``;
+* ``person`` elements with ``watches`` carrying ``idref`` attributes to
+  items, and items referencing related items via ``idrefs`` —
+  the reference links that turn the tree into a graph.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xml.document import XMLDocument, XMLElement
+
+__all__ = ["generate_auction_document"]
+
+
+def generate_auction_document(num_items: int = 50,
+                              num_people: int = 30,
+                              num_refs: int = 40,
+                              seed: int = 0) -> XMLDocument:
+    """Generate an XMark-like auction document.
+
+    Parameters
+    ----------
+    num_items: number of ``item`` elements (each gets ``id="item<k>"``).
+    num_people: number of ``person`` elements.
+    num_refs: total IDREF links (person→item watches plus item→item
+        cross references).
+    seed: RNG seed.
+    """
+    rng = random.Random(seed)
+    counter = 0
+
+    def element(tag: str, **attributes: str) -> XMLElement:
+        nonlocal counter
+        node = XMLElement(node_id=counter, tag=tag,
+                          attributes=dict(attributes))
+        counter += 1
+        return node
+
+    root = element("site")
+    regions = element("regions")
+    people = element("people")
+    root.children += [regions, people]
+
+    region_names = ["africa", "asia", "europe", "namerica", "samerica"]
+    region_nodes = []
+    for name in region_names:
+        region = element("region", name=name)
+        regions.children.append(region)
+        region_nodes.append(region)
+
+    items = []
+    for k in range(num_items):
+        item = element("item", id=f"item{k}")
+        item.children.append(element("name"))
+        item.children.append(element("description"))
+        rng.choice(region_nodes).children.append(item)
+        items.append(item)
+
+    persons = []
+    for k in range(num_people):
+        person = element("person", id=f"person{k}")
+        person.children.append(element("name"))
+        people.children.append(person)
+        persons.append(person)
+
+    refs_placed = 0
+    while refs_placed < num_refs and items:
+        if persons and rng.random() < 0.6:
+            watcher = rng.choice(persons)
+            target = rng.choice(items)
+            watch = element("watch", idref=target.attributes["id"])
+            watcher.children.append(watch)
+        else:
+            source = rng.choice(items)
+            target = rng.choice(items)
+            if source is target:
+                continue
+            ref = element("itemref", idref=target.attributes["id"])
+            source.children.append(ref)
+        refs_placed += 1
+
+    return XMLDocument(root)

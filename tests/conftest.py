@@ -1,0 +1,125 @@
+"""Shared fixtures: the paper's running example and assorted graphs.
+
+``paper_graph`` reconstructs the example of Figures 1/2/5 exactly.  The
+spanning tree (drawn solid in Figure 2) assigns these interval labels
+when children are visited in insertion order:
+
+    r=[0,12)
+    ├─ a=[1,5)   ├─ c=[2,3)  w=[3,4)  d=[4,5)
+    ├─ e=[5,6)
+    ├─ v=[6,9)   ├─ f=[7,8)  g=[8,9)
+    ├─ u=[9,11)  └─ h=[10,11)
+    └─ i=[11,12)
+
+plus the two non-tree edges of the figure: ``u -> v`` (recorded as the
+link ``9 -> [6,9)``) and ``f -> a`` (recorded as ``7 -> [1,5)``).  The
+paper derives from this the transitive link ``9 -> [1,5)``, the TLC
+values ``N(9,3) = 1`` and ``N(11,3) = 0``, and the non-tree labels
+``root=⟨0,−,−⟩``, ``u=⟨1,−,−⟩``, ``[8,9)=⟨1,1,1⟩``, ``w=⟨0,0,0⟩`` — all
+asserted verbatim in tests/test_paper_example.py.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import is_reachable_search
+
+# Node names of the paper example, in interval-label order.
+PAPER_NODES = ["r", "a", "c", "w", "d", "e", "v", "f", "g", "u", "h", "i"]
+
+PAPER_TREE_EDGES = [
+    ("r", "a"), ("a", "c"), ("a", "w"), ("a", "d"),
+    ("r", "e"),
+    ("r", "v"), ("v", "f"), ("v", "g"),
+    ("r", "u"), ("u", "h"),
+    ("r", "i"),
+]
+
+PAPER_NONTREE_EDGES = [("u", "v"), ("f", "a")]
+
+#: The interval labels Figure 2 shows, keyed by node name.
+PAPER_INTERVALS = {
+    "r": (0, 12), "a": (1, 5), "c": (2, 3), "w": (3, 4), "d": (4, 5),
+    "e": (5, 6), "v": (6, 9), "f": (7, 8), "g": (8, 9),
+    "u": (9, 11), "h": (10, 11), "i": (11, 12),
+}
+
+
+def make_paper_graph() -> DiGraph:
+    """The example graph of Figures 1/2/5, edges in figure order."""
+    graph = DiGraph()
+    # Insertion order matters: the DFS must produce Figure 2's intervals.
+    # Tree edges first (so the spanning DFS walks them), grouped per
+    # parent in left-to-right figure order.
+    edge_order = [
+        ("r", "a"), ("a", "c"), ("a", "w"), ("a", "d"),
+        ("r", "e"), ("r", "v"), ("v", "f"), ("v", "g"),
+        ("r", "u"), ("u", "h"), ("r", "i"),
+        ("u", "v"), ("f", "a"),
+    ]
+    for u, v in edge_order:
+        graph.add_edge(u, v)
+    return graph
+
+
+@pytest.fixture
+def paper_graph() -> DiGraph:
+    """Fresh copy of the paper's example graph."""
+    return make_paper_graph()
+
+
+@pytest.fixture
+def diamond() -> DiGraph:
+    """The classic diamond DAG: a -> {b, c} -> d."""
+    return DiGraph([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+@pytest.fixture
+def two_cycle_graph() -> DiGraph:
+    """Two 3-cycles bridged by one edge, plus a tail node."""
+    return DiGraph([
+        (0, 1), (1, 2), (2, 0),        # cycle A
+        (3, 4), (4, 5), (5, 3),        # cycle B
+        (2, 3),                        # bridge A -> B
+        (5, 6),                        # tail
+    ])
+
+
+@pytest.fixture
+def chain10() -> DiGraph:
+    """A 10-node path 0 -> 1 -> ... -> 9."""
+    return DiGraph([(i, i + 1) for i in range(9)])
+
+
+def brute_force_pairs(graph: DiGraph) -> set[tuple]:
+    """All reachable ordered pairs via per-source BFS (test oracle)."""
+    pairs = set()
+    for u in graph.nodes():
+        for v in graph.nodes():
+            if is_reachable_search(graph, u, v):
+                pairs.add((u, v))
+    return pairs
+
+
+def sample_pairs(graph: DiGraph, count: int, seed: int = 0) -> list[tuple]:
+    """Seeded random node pairs for spot-check comparisons."""
+    nodes = list(graph.nodes())
+    rng = random.Random(seed)
+    return [(rng.choice(nodes), rng.choice(nodes)) for _ in range(count)]
+
+
+def assert_index_matches_oracle(index, graph: DiGraph,
+                                pairs=None) -> None:
+    """Assert an index agrees with BFS on the given (or all) pairs."""
+    if pairs is None:
+        pairs = [(u, v) for u in graph.nodes() for v in graph.nodes()]
+    for u, v in pairs:
+        expected = is_reachable_search(graph, u, v)
+        actual = index.reachable(u, v)
+        assert actual == expected, (
+            f"{type(index).__name__}: {u!r} -> {v!r}: "
+            f"expected {expected}, got {actual}")

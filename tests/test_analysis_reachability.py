@@ -1,0 +1,109 @@
+"""Unit tests for reachability analytics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reachability import (
+    ancestor_counts,
+    common_ancestors,
+    common_descendants,
+    descendant_counts,
+    reachability_ratio,
+    top_hubs,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_digraph
+from repro.graph.traversal import ancestor_set, reachable_set
+
+
+class TestCounts:
+    def test_chain(self, chain10):
+        desc = descendant_counts(chain10)
+        anc = ancestor_counts(chain10)
+        for i in range(10):
+            assert desc[i] == 10 - i
+            assert anc[i] == i + 1
+
+    def test_cycle_counts(self):
+        g = DiGraph([(0, 1), (1, 2), (2, 0)])
+        assert descendant_counts(g) == {0: 3, 1: 3, 2: 3}
+        assert ancestor_counts(g) == {0: 3, 1: 3, 2: 3}
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_search(self, seed):
+        g = gnm_random_digraph(30, 70, seed=seed)
+        desc = descendant_counts(g)
+        anc = ancestor_counts(g)
+        for node in g.nodes():
+            assert desc[node] == len(reachable_set(g, node))
+            assert anc[node] == len(ancestor_set(g, node))
+
+    def test_empty(self):
+        assert descendant_counts(DiGraph()) == {}
+        assert ancestor_counts(DiGraph()) == {}
+
+
+class TestTopHubs:
+    def test_out_direction(self, diamond):
+        hubs = top_hubs(diamond, k=2)
+        assert hubs[0] == ("a", 4)
+
+    def test_in_direction(self, diamond):
+        hubs = top_hubs(diamond, k=1, direction="in")
+        assert hubs[0] == ("d", 4)
+
+    def test_ties_break_by_insertion_order(self, diamond):
+        hubs = top_hubs(diamond, k=4)
+        # b and c tie at 2 descendants; b was inserted first.
+        assert hubs[1][0] == "b"
+        assert hubs[2][0] == "c"
+
+    def test_k_bounds(self, diamond):
+        assert len(top_hubs(diamond, k=100)) == 4
+        assert top_hubs(diamond, k=0) == []
+
+    def test_invalid_direction(self, diamond):
+        with pytest.raises(ValueError):
+            top_hubs(diamond, direction="up")
+
+
+class TestCommonSets:
+    def test_common_ancestors_diamond(self, diamond):
+        assert common_ancestors(diamond, "b", "c") == {"a"}
+        assert common_ancestors(diamond, "b", "d") == {"a", "b"}
+
+    def test_common_descendants_diamond(self, diamond):
+        assert common_descendants(diamond, "b", "c") == {"d"}
+        assert common_descendants(diamond, "a", "b") == {"b", "d"}
+
+    def test_disjoint(self):
+        g = DiGraph([(0, 1), (2, 3)])
+        assert common_ancestors(g, 1, 3) == set()
+        assert common_descendants(g, 0, 2) == set()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_against_search(self, seed):
+        g = gnm_random_digraph(25, 60, seed=seed)
+        nodes = list(g.nodes())
+        u, v = nodes[3], nodes[17]
+        assert common_ancestors(g, u, v) == \
+            ancestor_set(g, u) & ancestor_set(g, v)
+        assert common_descendants(g, u, v) == \
+            reachable_set(g, u) & reachable_set(g, v)
+
+
+class TestReachabilityRatio:
+    def test_chain(self, chain10):
+        assert reachability_ratio(chain10) == pytest.approx(45 / 90)
+
+    def test_complete_cycle(self):
+        g = DiGraph([(0, 1), (1, 2), (2, 0)])
+        assert reachability_ratio(g) == 1.0
+
+    def test_edgeless(self):
+        assert reachability_ratio(DiGraph(nodes=[1, 2, 3])) == 0.0
+
+    def test_tiny_graphs(self):
+        assert reachability_ratio(DiGraph()) == 0.0
+        assert reachability_ratio(DiGraph(nodes=[1])) == 0.0

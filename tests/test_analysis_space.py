@@ -1,0 +1,64 @@
+"""Unit tests for the space-analysis helpers."""
+
+from __future__ import annotations
+
+from repro.analysis.space import (
+    closure_matrix_bytes,
+    compare_schemes_space,
+    space_report,
+    tlc_matrix_bound_bytes,
+)
+from repro.core.base import build_index
+from repro.graph.generators import single_rooted_dag
+
+
+class TestYardsticks:
+    def test_closure_matrix_bytes(self):
+        assert closure_matrix_bytes(8) == 8
+        assert closure_matrix_bytes(2000) == 500_000
+        assert closure_matrix_bytes(0) == 0
+        assert closure_matrix_bytes(3) == 2  # 9 bits -> 2 bytes
+
+    def test_tlc_bound(self):
+        assert tlc_matrix_bound_bytes(0) == 8
+        assert tlc_matrix_bound_bytes(10) == 11 * 11 * 8
+
+
+class TestSpaceReport:
+    def test_report_fields(self, diamond):
+        index = build_index(diamond, scheme="dual-i")
+        report = space_report(index)
+        assert report.scheme == "dual-i"
+        assert report.num_nodes == 4
+        assert report.total_bytes == index.stats().total_space_bytes
+        assert report.bytes_per_node == report.total_bytes / 4
+
+    def test_as_dict(self, diamond):
+        report = space_report(build_index(diamond, scheme="dual-ii"))
+        d = report.as_dict()
+        assert d["scheme"] == "dual-ii"
+        assert d["total_bytes"] == report.total_bytes
+        assert any(key.startswith("bytes_") for key in d)
+
+    def test_empty_graph_bytes_per_node(self):
+        from repro.graph.digraph import DiGraph
+        report = space_report(build_index(DiGraph(), scheme="dual-i"))
+        assert report.bytes_per_node == 0.0
+
+
+class TestCompareSchemes:
+    def test_matrix_grows_fastest(self):
+        """Figure 12's shape on one graph: Dual-I's TLC matrix dominates
+        Dual-II's search tree at equal t."""
+        g = single_rooted_dag(300, 430, max_fanout=5, seed=1)
+        reports = {r.scheme: r for r in compare_schemes_space(
+            g, ["dual-i", "dual-ii", "interval"])}
+        assert reports["dual-i"].total_bytes > \
+            reports["dual-ii"].total_bytes
+        assert reports["interval"].total_bytes < \
+            reports["dual-i"].total_bytes
+
+    def test_options_forwarding(self, diamond):
+        reports = compare_schemes_space(diamond, ["dual-i"],
+                                        dual_i={"use_meg": False})
+        assert reports[0].scheme == "dual-i"

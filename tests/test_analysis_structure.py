@@ -1,0 +1,100 @@
+"""Unit tests for DAG structure analytics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.structure import (
+    dag_depth,
+    level_histogram,
+    nontree_edge_count,
+    width_upper_bound,
+)
+from repro.core.dual_i import DualIIndex
+from repro.exceptions import NotADAGError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    gnm_random_digraph,
+    random_dag,
+    random_tree,
+    single_rooted_dag,
+)
+
+
+class TestDepthAndLevels:
+    def test_chain(self, chain10):
+        assert dag_depth(chain10) == 10
+        assert level_histogram(chain10) == [1] * 10
+
+    def test_diamond(self, diamond):
+        assert dag_depth(diamond) == 3
+        assert level_histogram(diamond) == [1, 2, 1]
+
+    def test_antichain(self):
+        g = DiGraph(nodes=range(7))
+        assert dag_depth(g) == 1
+        assert level_histogram(g) == [7]
+
+    def test_empty(self):
+        assert dag_depth(DiGraph()) == 0
+        assert level_histogram(DiGraph()) == []
+
+    def test_longest_path_not_shortest(self):
+        # 0->3 directly, but also 0->1->2->3: level(3) must be 3.
+        g = DiGraph([(0, 3), (0, 1), (1, 2), (2, 3)])
+        assert dag_depth(g) == 4
+
+    def test_cycle_rejected(self, two_cycle_graph):
+        with pytest.raises(NotADAGError):
+            dag_depth(two_cycle_graph)
+
+    def test_histogram_sums_to_n(self):
+        g = random_dag(60, 140, seed=1)
+        assert sum(level_histogram(g)) == 60
+
+
+class TestWidthBound:
+    def test_chain_width_one(self, chain10):
+        assert width_upper_bound(chain10) == 1
+
+    def test_antichain_width_n(self):
+        assert width_upper_bound(DiGraph(nodes=range(9))) == 9
+
+    def test_matches_chain_cover_scheme(self):
+        """Identical greedy decomposition when run on the same node
+        order: the scheme condenses first (relabeling nodes), so the
+        comparison must too."""
+        from repro.baselines.chain_cover import ChainCoverIndex
+        from repro.graph.condensation import condense
+        g = random_dag(80, 180, seed=2)
+        assert width_upper_bound(condense(g).dag) == \
+            ChainCoverIndex.build(g).num_chains
+
+    def test_upper_bounds_true_width(self):
+        """Greedy chains never fewer than the largest antichain found
+        on any level."""
+        g = single_rooted_dag(100, 140, max_fanout=5, seed=3)
+        assert width_upper_bound(g) >= max(level_histogram(g)) / 2
+
+
+class TestNontreeEdgeCount:
+    def test_tree_is_zero(self):
+        tree = random_tree(60, seed=4)
+        assert nontree_edge_count(tree) == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("use_meg", [True, False])
+    def test_meg_prediction_matches_built_index(self, seed, use_meg):
+        g = gnm_random_digraph(80, 200, seed=seed)
+        predicted = nontree_edge_count(g, use_meg=use_meg)
+        actual = DualIIndex.build(g, use_meg=use_meg).t
+        if use_meg:
+            assert predicted == actual
+        else:
+            # Without MEG some edges may still be DFS-superfluous, so
+            # the formula is only an upper bound.
+            assert predicted >= actual
+
+    def test_diamond(self, diamond):
+        # Diamond is its own MEG; 4 edges, 4 nodes, 1 root -> t = 1.
+        assert nontree_edge_count(diamond) == 1

@@ -1,0 +1,114 @@
+"""Unit tests for the scheme registry and the common index API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.base import (
+    INT_BYTES,
+    IndexStats,
+    ReachabilityIndex,
+    available_schemes,
+    build_index,
+    get_scheme,
+    register_scheme,
+)
+
+
+class TestRegistry:
+    def test_all_schemes_registered(self):
+        assert set(available_schemes()) == {
+            "dual-i", "dual-ii", "dual-rt", "interval", "2hop",
+            "closure", "online-bfs", "grail", "chain-cover"}
+
+    def test_get_scheme(self):
+        from repro.core.dual_i import DualIIndex
+        assert get_scheme("dual-i") is DualIIndex
+
+    def test_unknown_scheme_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="dual-i"):
+            get_scheme("nope")
+
+    def test_build_index_default_scheme(self, diamond):
+        index = build_index(diamond)
+        assert index.stats().scheme == "dual-i"
+
+    @pytest.mark.parametrize("scheme", [
+        "dual-i", "dual-ii", "dual-rt", "interval", "2hop", "closure",
+        "online-bfs", "grail", "chain-cover"])
+    def test_build_index_every_scheme(self, scheme, diamond):
+        index = build_index(diamond, scheme=scheme)
+        assert index.reachable("a", "d")
+        assert not index.reachable("d", "a")
+        assert index.stats().scheme == scheme
+
+    def test_register_requires_name(self):
+        class Nameless(ReachabilityIndex):
+            scheme_name = ""
+
+            @classmethod
+            def build(cls, graph, **options):  # pragma: no cover
+                raise NotImplementedError
+
+            def reachable(self, u, v):  # pragma: no cover
+                raise NotImplementedError
+
+            def stats(self):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError):
+            register_scheme(Nameless)
+
+    def test_register_rejects_duplicates(self):
+        class Duplicate(ReachabilityIndex):
+            scheme_name = "dual-i"
+
+            @classmethod
+            def build(cls, graph, **options):  # pragma: no cover
+                raise NotImplementedError
+
+            def reachable(self, u, v):  # pragma: no cover
+                raise NotImplementedError
+
+            def stats(self):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError):
+            register_scheme(Duplicate)
+
+
+class TestIndexStats:
+    def test_total_space(self):
+        stats = IndexStats(scheme="x", num_nodes=1, num_edges=1,
+                           dag_nodes=1, dag_edges=1,
+                           space_bytes={"a": 10, "b": 5})
+        assert stats.total_space_bytes == 15
+
+    def test_as_dict_flattens(self):
+        stats = IndexStats(scheme="x", num_nodes=1, num_edges=1,
+                           dag_nodes=1, dag_edges=1,
+                           phase_seconds={"p": 0.5},
+                           space_bytes={"a": 10})
+        d = stats.as_dict()
+        assert d["seconds_p"] == 0.5
+        assert d["bytes_a"] == 10
+        assert d["total_space_bytes"] == 10
+
+    def test_int_bytes_constant(self):
+        assert INT_BYTES == 4
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_docstring_example(self):
+        g = repro.DiGraph([("fiction", "chapter"), ("chapter", "author")])
+        index = repro.build_index(g, scheme="dual-i")
+        assert index.reachable("fiction", "author")
+        assert not index.reachable("author", "fiction")

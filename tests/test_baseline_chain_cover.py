@@ -1,0 +1,87 @@
+"""Unit tests for the chain-cover compressed-closure baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.chain_cover import ChainCoverIndex
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    gnm_random_digraph,
+    random_tree,
+    single_rooted_dag,
+)
+from tests.conftest import assert_index_matches_oracle, sample_pairs
+
+
+class TestChainCoverIndex:
+    def test_diamond(self, diamond):
+        assert_index_matches_oracle(ChainCoverIndex.build(diamond),
+                                    diamond)
+
+    def test_chain_is_one_chain(self, chain10):
+        index = ChainCoverIndex.build(chain10)
+        assert index.num_chains == 1
+        assert_index_matches_oracle(index, chain10)
+
+    def test_antichain_needs_n_chains(self):
+        g = DiGraph(nodes=range(6))  # six isolated nodes
+        index = ChainCoverIndex.build(g)
+        assert index.num_chains == 6
+
+    def test_tree(self):
+        tree = random_tree(60, max_fanout=4, seed=1)
+        index = ChainCoverIndex.build(tree)
+        assert_index_matches_oracle(index, tree,
+                                    sample_pairs(tree, 300, 1))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_cyclic(self, seed):
+        g = gnm_random_digraph(45, 110, seed=seed)
+        index = ChainCoverIndex.build(g)
+        assert_index_matches_oracle(index, g, sample_pairs(g, 300, seed))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_rooted_dags_exhaustive(self, seed):
+        g = single_rooted_dag(70, 100, max_fanout=5, seed=seed)
+        assert_index_matches_oracle(ChainCoverIndex.build(g), g)
+
+    def test_cyclic_components(self, two_cycle_graph):
+        index = ChainCoverIndex.build(two_cycle_graph)
+        assert index.reachable(1, 0)
+        assert index.reachable(0, 6)
+        assert not index.reachable(6, 0)
+
+    def test_unknown_vertex_raises(self, diamond):
+        index = ChainCoverIndex.build(diamond)
+        with pytest.raises(QueryError):
+            index.reachable("a", "ghost")
+
+    def test_unknown_option_rejected(self, diamond):
+        with pytest.raises(TypeError):
+            ChainCoverIndex.build(diamond, bogus=1)
+
+    def test_stats(self, diamond):
+        stats = ChainCoverIndex.build(diamond).stats()
+        assert stats.scheme == "chain-cover"
+        assert "first_reach_matrix" in stats.space_bytes
+        assert "chains" in stats.phase_seconds
+
+    def test_space_scales_with_chains(self):
+        narrow = ChainCoverIndex.build(
+            single_rooted_dag(200, 220, max_fanout=2, seed=2))
+        wide = ChainCoverIndex.build(
+            single_rooted_dag(200, 220, max_fanout=9, seed=2))
+        assert wide.num_chains > narrow.num_chains
+        assert wide.stats().space_bytes["first_reach_matrix"] > \
+            narrow.stats().space_bytes["first_reach_matrix"]
+
+    def test_empty_graph(self):
+        index = ChainCoverIndex.build(DiGraph())
+        assert index.num_chains == 0
+        with pytest.raises(QueryError):
+            index.reachable(0, 0)
+
+    def test_repr(self, diamond):
+        assert "ChainCoverIndex" in repr(ChainCoverIndex.build(diamond))

@@ -1,0 +1,52 @@
+"""Unit tests for the transitive-closure matrix baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.closure_index import TransitiveClosureIndex
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_digraph
+from tests.conftest import assert_index_matches_oracle, sample_pairs
+
+
+class TestTransitiveClosureIndex:
+    def test_diamond(self, diamond):
+        assert_index_matches_oracle(TransitiveClosureIndex.build(diamond),
+                                    diamond)
+
+    def test_cyclic(self, two_cycle_graph):
+        index = TransitiveClosureIndex.build(two_cycle_graph)
+        assert index.reachable(2, 1)
+        assert index.reachable(0, 6)
+        assert not index.reachable(6, 5)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, seed):
+        g = gnm_random_digraph(40, 100, seed=seed)
+        index = TransitiveClosureIndex.build(g)
+        assert_index_matches_oracle(index, g, sample_pairs(g, 300, seed))
+
+    def test_unknown_vertex_raises(self, diamond):
+        index = TransitiveClosureIndex.build(diamond)
+        with pytest.raises(QueryError):
+            index.reachable("a", "ghost")
+
+    def test_unknown_option_rejected(self, diamond):
+        with pytest.raises(TypeError):
+            TransitiveClosureIndex.build(diamond, bogus=1)
+
+    def test_space_is_quadratic_bits(self):
+        g = gnm_random_digraph(64, 100, seed=1)
+        stats = TransitiveClosureIndex.build(g).stats()
+        assert stats.space_bytes == {"closure_matrix": 64 * 64 // 8}
+
+    def test_empty_graph(self):
+        index = TransitiveClosureIndex.build(DiGraph())
+        with pytest.raises(QueryError):
+            index.reachable(0, 0)
+
+    def test_repr(self, diamond):
+        index = TransitiveClosureIndex.build(diamond)
+        assert "TransitiveClosureIndex" in repr(index)

@@ -1,0 +1,81 @@
+"""Unit tests for the GRAIL-style extension baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.grail import GrailIndex
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_digraph, random_tree, single_rooted_dag
+from tests.conftest import assert_index_matches_oracle, sample_pairs
+
+
+class TestGrailIndex:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_diamond(self, k, diamond):
+        index = GrailIndex.build(diamond, k=k)
+        assert_index_matches_oracle(index, diamond)
+
+    def test_invalid_k_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            GrailIndex.build(diamond, k=0)
+
+    def test_unknown_option_rejected(self, diamond):
+        with pytest.raises(TypeError):
+            GrailIndex.build(diamond, bogus=1)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, seed):
+        g = gnm_random_digraph(40, 100, seed=seed)
+        index = GrailIndex.build(g, seed=seed)
+        assert_index_matches_oracle(index, g, sample_pairs(g, 300, seed))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_rooted_dags_fully(self, seed):
+        g = single_rooted_dag(60, 90, seed=seed)
+        index = GrailIndex.build(g, k=3, seed=seed)
+        assert_index_matches_oracle(index, g)
+
+    def test_cyclic(self, two_cycle_graph):
+        index = GrailIndex.build(two_cycle_graph)
+        assert index.reachable(1, 2)
+        assert index.reachable(0, 6)
+        assert not index.reachable(6, 0)
+
+    def test_unknown_vertex_raises(self, diamond):
+        index = GrailIndex.build(diamond)
+        with pytest.raises(QueryError):
+            index.reachable("ghost", "a")
+
+    def test_filter_is_sound_on_trees(self):
+        """On a tree the label filter alone is exact: no false negatives
+        and — with a tree's nested intervals — no fallback errors."""
+        tree = random_tree(80, max_fanout=4, seed=2)
+        index = GrailIndex.build(tree, k=2, seed=3)
+        assert_index_matches_oracle(
+            index, tree, sample_pairs(tree, 400, 4))
+
+    def test_labels_necessary_condition(self):
+        """If u reaches v, every GRAIL label of v nests inside u's."""
+        from repro.graph.traversal import is_reachable_search
+        g = single_rooted_dag(70, 100, seed=5)
+        index = GrailIndex.build(g, k=3, seed=6)
+        comp = index._component_of
+        for u in g.nodes():
+            for v in g.nodes():
+                if is_reachable_search(g, u, v):
+                    assert index._maybe_reachable(comp[u], comp[v])
+
+    def test_stats(self, diamond):
+        stats = GrailIndex.build(diamond, k=2).stats()
+        assert stats.scheme == "grail"
+        assert stats.space_bytes["grail_labels"] == 2 * 2 * 4 * 4
+
+    def test_empty_graph(self):
+        index = GrailIndex.build(DiGraph())
+        with pytest.raises(QueryError):
+            index.reachable(0, 0)
+
+    def test_repr(self, diamond):
+        assert "GrailIndex" in repr(GrailIndex.build(diamond, k=2))

@@ -1,0 +1,112 @@
+"""Unit tests for the Agrawal interval-set baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.interval_index import IntervalSetIndex, merge_interval_lists
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_digraph, random_tree, single_rooted_dag
+from tests.conftest import assert_index_matches_oracle, sample_pairs
+
+
+class TestMergeIntervalLists:
+    def test_empty(self):
+        assert merge_interval_lists([]) == []
+        assert merge_interval_lists([[], []]) == []
+
+    def test_disjoint_preserved(self):
+        assert merge_interval_lists([[(1, 2)], [(5, 6)]]) == [(1, 2), (5, 6)]
+
+    def test_overlap_coalesces(self):
+        assert merge_interval_lists([[(1, 4)], [(3, 7)]]) == [(1, 7)]
+
+    def test_adjacent_coalesces(self):
+        assert merge_interval_lists([[(1, 3)], [(4, 6)]]) == [(1, 6)]
+
+    def test_contained_absorbed(self):
+        assert merge_interval_lists([[(1, 9)], [(3, 4)]]) == [(1, 9)]
+
+    def test_unsorted_input(self):
+        result = merge_interval_lists([[(8, 9), (0, 1)], [(3, 4)]])
+        assert result == [(0, 1), (3, 4), (8, 9)]
+
+    def test_gap_of_two_not_coalesced(self):
+        assert merge_interval_lists([[(1, 2)], [(4, 5)]]) == [(1, 2), (4, 5)]
+
+
+class TestIntervalSetIndex:
+    @pytest.mark.parametrize("probe", ["bisect", "linear", "subset"])
+    def test_diamond(self, probe, diamond):
+        index = IntervalSetIndex.build(diamond, probe=probe)
+        assert_index_matches_oracle(index, diamond)
+
+    def test_invalid_probe_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            IntervalSetIndex.build(diamond, probe="psychic")
+
+    def test_unknown_option_rejected(self, diamond):
+        with pytest.raises(TypeError):
+            IntervalSetIndex.build(diamond, bogus=1)
+
+    def test_tree_has_single_interval_labels(self):
+        tree = random_tree(50, seed=1)
+        index = IntervalSetIndex.build(tree)
+        assert index.average_label_length == 1.0
+
+    @pytest.mark.parametrize("probe", ["bisect", "linear", "subset"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, probe, seed):
+        g = gnm_random_digraph(45, 110, seed=seed)
+        index = IntervalSetIndex.build(g, probe=probe)
+        assert_index_matches_oracle(index, g, sample_pairs(g, 300, seed))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_probe_modes_agree(self, seed):
+        g = single_rooted_dag(120, 180, seed=seed)
+        linear = IntervalSetIndex.build(g, probe="linear")
+        bisected = IntervalSetIndex.build(g, probe="bisect")
+        subset = IntervalSetIndex.build(g, probe="subset")
+        for u, v in sample_pairs(g, 500, seed):
+            expected = bisected.reachable(u, v)
+            assert linear.reachable(u, v) == expected
+            assert subset.reachable(u, v) == expected
+
+    def test_use_meg_preserves_answers(self, two_cycle_graph):
+        plain = IntervalSetIndex.build(two_cycle_graph, use_meg=False)
+        reduced = IntervalSetIndex.build(two_cycle_graph, use_meg=True)
+        for u in two_cycle_graph.nodes():
+            for v in two_cycle_graph.nodes():
+                assert plain.reachable(u, v) == reduced.reachable(u, v)
+        assert reduced.stats().meg_edges is not None
+
+    def test_unknown_vertex_raises(self, diamond):
+        index = IntervalSetIndex.build(diamond)
+        with pytest.raises(QueryError):
+            index.reachable("ghost", "a")
+
+    def test_cyclic(self, two_cycle_graph):
+        index = IntervalSetIndex.build(two_cycle_graph)
+        assert index.reachable(4, 3)
+        assert not index.reachable(6, 1)
+
+    def test_stats(self, diamond):
+        stats = IntervalSetIndex.build(diamond).stats()
+        assert stats.scheme == "interval"
+        assert "interval_sets" in stats.space_bytes
+        assert "propagate" in stats.phase_seconds
+
+    def test_empty_graph(self):
+        index = IntervalSetIndex.build(DiGraph())
+        assert index.average_label_length == 0.0
+
+    def test_repr(self, diamond):
+        assert "IntervalSetIndex" in repr(IntervalSetIndex.build(diamond))
+
+    def test_labels_grow_with_nontree_edges(self):
+        sparse = IntervalSetIndex.build(
+            single_rooted_dag(200, 210, seed=7))
+        dense = IntervalSetIndex.build(
+            single_rooted_dag(200, 380, seed=7))
+        assert dense.average_label_length > sparse.average_label_length

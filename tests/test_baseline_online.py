@@ -1,0 +1,59 @@
+"""Unit tests for the online-BFS baseline index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.online import OnlineSearchIndex
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_digraph
+from tests.conftest import assert_index_matches_oracle, sample_pairs
+
+
+class TestOnlineSearchIndex:
+    def test_diamond(self, diamond):
+        assert_index_matches_oracle(OnlineSearchIndex.build(diamond),
+                                    diamond)
+
+    def test_snapshot_isolated_from_mutation(self, diamond):
+        index = OnlineSearchIndex.build(diamond)
+        diamond.remove_edge("a", "b")
+        diamond.remove_edge("a", "c")
+        # The index answers from its own snapshot.
+        assert index.reachable("a", "d")
+
+    def test_unknown_vertex_raises(self, diamond):
+        index = OnlineSearchIndex.build(diamond)
+        with pytest.raises(QueryError):
+            index.reachable("ghost", "a")
+        with pytest.raises(QueryError):
+            index.reachable("a", "ghost")
+
+    def test_unknown_option_rejected(self, diamond):
+        with pytest.raises(TypeError):
+            OnlineSearchIndex.build(diamond, bogus=1)
+
+    def test_cyclic(self, two_cycle_graph):
+        index = OnlineSearchIndex.build(two_cycle_graph)
+        assert index.reachable(1, 0)
+        assert not index.reachable(6, 0)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, seed):
+        g = gnm_random_digraph(40, 100, seed=seed)
+        index = OnlineSearchIndex.build(g)
+        assert_index_matches_oracle(index, g, sample_pairs(g, 200, seed))
+
+    def test_stats(self, diamond):
+        stats = OnlineSearchIndex.build(diamond).stats()
+        assert stats.scheme == "online-bfs"
+        assert stats.space_bytes == {"adjacency": 2 * 4 * 4}
+
+    def test_empty_graph(self):
+        index = OnlineSearchIndex.build(DiGraph())
+        with pytest.raises(QueryError):
+            index.reachable(1, 1)
+
+    def test_repr(self, diamond):
+        assert "OnlineSearchIndex" in repr(OnlineSearchIndex.build(diamond))

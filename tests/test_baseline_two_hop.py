@@ -1,0 +1,86 @@
+"""Unit tests for the 2-hop baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.two_hop import TwoHopIndex
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_digraph, single_rooted_dag
+from tests.conftest import assert_index_matches_oracle, sample_pairs
+
+
+class TestTwoHopIndex:
+    @pytest.mark.parametrize("strategy", ["greedy", "static"])
+    def test_diamond(self, strategy, diamond):
+        index = TwoHopIndex.build(diamond, strategy=strategy)
+        assert_index_matches_oracle(index, diamond)
+
+    def test_invalid_strategy_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            TwoHopIndex.build(diamond, strategy="chaotic")
+
+    def test_unknown_option_rejected(self, diamond):
+        with pytest.raises(TypeError):
+            TwoHopIndex.build(diamond, bogus=1)
+
+    @pytest.mark.parametrize("strategy", ["greedy", "static"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, strategy, seed):
+        g = gnm_random_digraph(40, 100, seed=seed)
+        index = TwoHopIndex.build(g, strategy=strategy)
+        assert_index_matches_oracle(index, g, sample_pairs(g, 300, seed))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_rooted_dags_fully(self, seed):
+        g = single_rooted_dag(60, 85, seed=seed)
+        index = TwoHopIndex.build(g)
+        assert_index_matches_oracle(index, g)
+
+    def test_cyclic(self, two_cycle_graph):
+        index = TwoHopIndex.build(two_cycle_graph)
+        assert index.reachable(2, 0)
+        assert index.reachable(1, 6)
+        assert not index.reachable(6, 4)
+
+    def test_unknown_vertex_raises(self, diamond):
+        index = TwoHopIndex.build(diamond)
+        with pytest.raises(QueryError):
+            index.reachable("a", "ghost")
+
+    def test_labels_sorted(self):
+        g = gnm_random_digraph(40, 110, seed=5)
+        index = TwoHopIndex.build(g)
+        for label in index._c_out + index._c_in:
+            assert label == sorted(label)
+
+    def test_greedy_labels_no_larger_than_static(self):
+        g = single_rooted_dag(150, 230, seed=2)
+        greedy = TwoHopIndex.build(g, strategy="greedy")
+        static = TwoHopIndex.build(g, strategy="static")
+        assert greedy.average_label_length <= \
+            static.average_label_length * 1.25  # allow small wobble
+
+    def test_stats(self, diamond):
+        stats = TwoHopIndex.build(diamond).stats()
+        assert stats.scheme == "2hop"
+        assert "hop_labels" in stats.space_bytes
+        assert "greedy_cover" in stats.phase_seconds
+
+    def test_empty_graph(self):
+        index = TwoHopIndex.build(DiGraph())
+        with pytest.raises(QueryError):
+            index.reachable(0, 0)
+        assert index.average_label_length == 0.0
+
+    def test_single_node(self):
+        index = TwoHopIndex.build(DiGraph(nodes=["x"]))
+        assert index.reachable("x", "x")
+
+    def test_chain_covered(self, chain10):
+        index = TwoHopIndex.build(chain10)
+        assert_index_matches_oracle(index, chain10)
+
+    def test_repr(self, diamond):
+        assert "TwoHopIndex" in repr(TwoHopIndex.build(diamond))

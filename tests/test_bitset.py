@@ -1,0 +1,75 @@
+"""Unit and property tests for bitset helpers."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.bitset import (
+    bit,
+    contains,
+    from_indices,
+    iter_indices,
+    mask,
+    popcount,
+    to_indices,
+    union_all,
+)
+
+
+class TestBasics:
+    def test_bit(self):
+        assert bit(0) == 1
+        assert bit(5) == 32
+
+    def test_from_to_round_trip(self):
+        assert to_indices(from_indices([3, 1, 4, 1])) == [1, 3, 4]
+
+    def test_empty(self):
+        assert from_indices([]) == 0
+        assert to_indices(0) == []
+        assert popcount(0) == 0
+
+    def test_popcount(self):
+        assert popcount(from_indices([0, 10, 63, 64, 1000])) == 5
+
+    def test_contains(self):
+        bits = from_indices([2, 7])
+        assert contains(bits, 2)
+        assert contains(bits, 7)
+        assert not contains(bits, 3)
+        assert not contains(bits, 0)
+
+    def test_union_all(self):
+        assert union_all([bit(0), bit(3), bit(0)]) == from_indices([0, 3])
+        assert union_all([]) == 0
+
+    def test_mask(self):
+        assert mask(0) == 0
+        assert mask(3) == 0b111
+        assert popcount(mask(100)) == 100
+
+    def test_iter_indices_sorted(self):
+        assert list(iter_indices(from_indices([9, 2, 5]))) == [2, 5, 9]
+
+
+class TestProperties:
+    @given(st.sets(st.integers(min_value=0, max_value=500)))
+    def test_round_trip(self, indices):
+        assert set(to_indices(from_indices(indices))) == indices
+
+    @given(st.sets(st.integers(min_value=0, max_value=500)),
+           st.sets(st.integers(min_value=0, max_value=500)))
+    def test_union_matches_set_union(self, a, b):
+        bits = from_indices(a) | from_indices(b)
+        assert set(to_indices(bits)) == a | b
+
+    @given(st.sets(st.integers(min_value=0, max_value=500)),
+           st.sets(st.integers(min_value=0, max_value=500)))
+    def test_intersection_matches_set_intersection(self, a, b):
+        bits = from_indices(a) & from_indices(b)
+        assert set(to_indices(bits)) == a & b
+
+    @given(st.sets(st.integers(min_value=0, max_value=500)))
+    def test_popcount_is_len(self, indices):
+        assert popcount(from_indices(indices)) == len(indices)

@@ -1,0 +1,86 @@
+"""Unit tests for ASCII chart rendering."""
+
+from __future__ import annotations
+
+from repro.bench.charts import experiment_chart, render_series_chart
+from repro.bench.experiments import ExperimentResult
+
+
+class TestRenderSeriesChart:
+    ROWS = [
+        {"m": 100, "a_query_ms": 1.0, "b_query_ms": 100.0},
+        {"m": 200, "a_query_ms": 2.0, "b_query_ms": 400.0},
+    ]
+
+    def test_contains_labels_and_values(self):
+        chart = render_series_chart(self.ROWS, "m",
+                                    ["a_query_ms", "b_query_ms"],
+                                    title="T")
+        assert "T" in chart
+        assert "m=100" in chart and "m=200" in chart
+        assert "a_query_ms" in chart
+        assert "400" in chart
+
+    def test_log_scale_autodetected(self):
+        chart = render_series_chart(self.ROWS, "m", ["a_query_ms",
+                                                     "b_query_ms"],
+                                    title="T")
+        assert "log scale" in chart
+
+    def test_linear_scale_for_narrow_spread(self):
+        rows = [{"m": 1, "a": 10.0, "b": 12.0}]
+        chart = render_series_chart(rows, "m", ["a", "b"], title="T")
+        assert "linear scale" in chart
+
+    def test_forced_scale(self):
+        chart = render_series_chart(self.ROWS, "m", ["a_query_ms"],
+                                    title="T", log_scale=False)
+        assert "linear scale" in chart
+
+    def test_bigger_value_longer_bar(self):
+        chart = render_series_chart(self.ROWS, "m",
+                                    ["a_query_ms", "b_query_ms"],
+                                    log_scale=False)
+        lines = [ln for ln in chart.splitlines() if "query_ms" in ln]
+        bar_a = lines[0].count("█")
+        bar_b = lines[1].count("█")
+        assert bar_b > bar_a
+
+    def test_empty_rows(self):
+        assert "(no data)" in render_series_chart([], "m", ["a"],
+                                                  title="T")
+
+    def test_missing_values_skipped(self):
+        rows = [{"m": 1, "a": None, "b": 3.0}]
+        chart = render_series_chart(rows, "m", ["a", "b"])
+        assert "b" in chart
+
+    def test_single_value(self):
+        chart = render_series_chart([{"m": 1, "a": 5.0}], "m", ["a"])
+        assert "5" in chart
+
+
+class TestExperimentChart:
+    def test_picks_query_columns(self):
+        result = ExperimentResult(
+            name="x", title="X",
+            rows=[{"m": 10, "dual-i_query_ms": 1.0,
+                   "dual-i_index_ms": 2.0}])
+        chart = experiment_chart(result)
+        assert "dual-i_query_ms" in chart
+        assert "index_ms" not in chart
+
+    def test_falls_back_to_space(self):
+        result = ExperimentResult(
+            name="x", title="X",
+            rows=[{"n": 10, "dual-i_space_bytes": 100}])
+        assert "dual-i_space_bytes" in experiment_chart(result)
+
+    def test_empty_result(self):
+        assert experiment_chart(
+            ExperimentResult(name="x", title="X", rows=[])) == ""
+
+    def test_no_chartable_series(self):
+        result = ExperimentResult(name="x", title="X",
+                                  rows=[{"m": 1, "note": "hi"}])
+        assert experiment_chart(result) == ""

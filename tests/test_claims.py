@@ -1,0 +1,160 @@
+"""Unit tests for the executable fidelity claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.claims import (
+    CLAIMS,
+    ClaimResult,
+    claim_2hop_orders_slower,
+    claim_dual_i_fastest_labeled_queries,
+    claim_dual_i_near_closure_queries,
+    claim_dual_i_space_grows_dual_ii_flat,
+    claim_dual_indexing_same_order_as_interval,
+    claim_meg_reduces_t,
+    claim_preprocessing_ratios_fall,
+    claim_table2_counts_match_paper,
+    claim_table2_dual_i_beats_interval,
+    claim_tlc_backend_spectrum,
+    evaluate_claims,
+)
+from repro.bench.experiments import ExperimentResult
+
+
+def _result(name, rows):
+    return ExperimentResult(name=name, title=name, rows=rows)
+
+
+class TestFig8Claims:
+    GOOD = _result("fig8", [
+        {"node_ratio": 0.9, "edge_ratio": 0.9, "interval_index_ms": 10,
+         "2hop_index_ms": 500, "dual-i_index_ms": 30,
+         "dual-ii_index_ms": 20, "dual-i_query_ms": 30,
+         "interval_query_ms": 60, "dual-ii_query_ms": 100},
+        {"node_ratio": 0.4, "edge_ratio": 0.2, "interval_index_ms": 8,
+         "2hop_index_ms": 200, "dual-i_index_ms": 25,
+         "dual-ii_index_ms": 18, "dual-i_query_ms": 28,
+         "interval_query_ms": 55, "dual-ii_query_ms": 90},
+    ])
+
+    def test_ratios_pass(self):
+        assert claim_preprocessing_ratios_fall(self.GOOD).passed
+
+    def test_ratios_fail_when_rising(self):
+        bad = _result("fig8", [dict(self.GOOD.rows[1]),
+                               dict(self.GOOD.rows[0])])
+        assert not claim_preprocessing_ratios_fall(bad).passed
+
+    def test_indexing_comparable_pass(self):
+        assert claim_dual_indexing_same_order_as_interval(
+            self.GOOD).passed
+
+    def test_indexing_comparable_fail(self):
+        rows = [dict(r, **{"dual-i_index_ms": 500})
+                for r in self.GOOD.rows]
+        assert not claim_dual_indexing_same_order_as_interval(
+            _result("fig8", rows)).passed
+
+    def test_2hop_slow_pass(self):
+        assert claim_2hop_orders_slower(self.GOOD).passed
+
+    def test_2hop_slow_fail(self):
+        rows = [dict(r, **{"2hop_index_ms": 12}) for r in self.GOOD.rows]
+        assert not claim_2hop_orders_slower(_result("fig8", rows)).passed
+
+    def test_query_wins_pass(self):
+        assert claim_dual_i_fastest_labeled_queries(self.GOOD).passed
+
+    def test_query_wins_fail(self):
+        rows = [dict(r, **{"dual-i_query_ms": 200})
+                for r in self.GOOD.rows]
+        assert not claim_dual_i_fastest_labeled_queries(
+            _result("fig8", rows)).passed
+
+
+class TestSpaceAndQueryClaims:
+    def test_space_tradeoff(self):
+        good = _result("fig12", [
+            {"dual-i_space_bytes": 100, "dual-ii_space_bytes": 50},
+            {"dual-i_space_bytes": 1000, "dual-ii_space_bytes": 80},
+        ])
+        assert claim_dual_i_space_grows_dual_ii_flat(good).passed
+        bad = _result("fig12", [
+            {"dual-i_space_bytes": 100, "dual-ii_space_bytes": 150},
+            {"dual-i_space_bytes": 1000, "dual-ii_space_bytes": 80},
+        ])
+        assert not claim_dual_i_space_grows_dual_ii_flat(bad).passed
+
+    def test_near_closure(self):
+        good = _result("fig13", [
+            {"closure_query_ms": 10, "dual-i_query_ms": 15}])
+        assert claim_dual_i_near_closure_queries(good).passed
+        bad = _result("fig13", [
+            {"closure_query_ms": 10, "dual-i_query_ms": 100}])
+        assert not claim_dual_i_near_closure_queries(bad).passed
+
+
+class TestTable2Claims:
+    def test_calibration(self):
+        good = _result("table2", [
+            {"V_DAG": 100, "paper_V_DAG": 100, "E_DAG": 110,
+             "paper_E_DAG": 111, "E_MEG": 105, "paper_E_MEG": 105}])
+        assert claim_table2_counts_match_paper(good).passed
+        bad = _result("table2", [
+            {"V_DAG": 100, "paper_V_DAG": 150, "E_DAG": 110,
+             "paper_E_DAG": 111, "E_MEG": 105, "paper_E_MEG": 105}])
+        assert not claim_table2_counts_match_paper(bad).passed
+
+    def test_query_order(self):
+        good = _result("table2", [
+            {"graph": "X", "dual-i_query_ms": 40,
+             "interval_query_ms": 60}])
+        assert claim_table2_dual_i_beats_interval(good).passed
+        bad = _result("table2", [
+            {"graph": "X", "dual-i_query_ms": 90,
+             "interval_query_ms": 60}])
+        verdict = claim_table2_dual_i_beats_interval(bad)
+        assert not verdict.passed
+        assert "X" in verdict.details
+
+
+class TestAblationClaims:
+    def test_meg_helps(self):
+        good = _result("ablation_meg", [
+            {"m": 1, "meg_t": 5, "no_meg_t": 9,
+             "meg_transitive_links": 7, "no_meg_transitive_links": 20}])
+        assert claim_meg_reduces_t(good).passed
+        bad = _result("ablation_meg", [
+            {"m": 1, "meg_t": 12, "no_meg_t": 9,
+             "meg_transitive_links": 7, "no_meg_transitive_links": 20}])
+        assert not claim_meg_reduces_t(bad).passed
+
+    def test_tlc_spectrum(self):
+        good = _result("ablation_tlc", [
+            {"dual-i_space_bytes": 1000, "dual-ii_space_bytes": 100,
+             "dual-i_query_ms": 10, "dual-ii_query_ms": 30}])
+        assert claim_tlc_backend_spectrum(good).passed
+        bad = _result("ablation_tlc", [
+            {"dual-i_space_bytes": 50, "dual-ii_space_bytes": 100,
+             "dual-i_query_ms": 10, "dual-ii_query_ms": 30}])
+        assert not claim_tlc_backend_spectrum(bad).passed
+
+
+class TestEvaluateClaims:
+    def test_skips_missing_experiments(self):
+        verdicts = evaluate_claims({})
+        assert verdicts == []
+
+    def test_registry_complete(self):
+        assert len(CLAIMS) == 10
+        for claim_id, (experiment, predicate) in CLAIMS.items():
+            assert callable(predicate)
+            assert experiment in {"fig8", "fig12", "fig13", "table2",
+                                  "ablation_meg", "ablation_tlc"}
+
+    def test_summary_format(self):
+        verdict = ClaimResult("x", "desc", True, "fine")
+        assert verdict.summary() == "[PASS] x: desc — fine"
+        verdict = ClaimResult("x", "desc", False, "broken")
+        assert "[FAIL]" in verdict.summary()

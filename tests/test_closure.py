@@ -1,0 +1,103 @@
+"""Unit tests for transitive closure (bitset and matrix backends)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.closure import (
+    count_reachable_pairs,
+    transitive_closure_bitsets,
+    transitive_closure_matrix,
+    transitive_closure_pairs,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_digraph, random_dag
+from repro.graph.traversal import is_reachable_search
+
+
+def _closure_says(desc, index, u, v) -> bool:
+    return bool((desc[index[u]] >> index[v]) & 1)
+
+
+class TestBitsetClosure:
+    def test_reflexive(self, chain10):
+        desc, index = transitive_closure_bitsets(chain10)
+        for node in chain10.nodes():
+            assert _closure_says(desc, index, node, node)
+
+    def test_chain(self, chain10):
+        desc, index = transitive_closure_bitsets(chain10)
+        assert _closure_says(desc, index, 0, 9)
+        assert not _closure_says(desc, index, 9, 0)
+        assert _closure_says(desc, index, 3, 7)
+
+    def test_cyclic_graph(self, two_cycle_graph):
+        desc, index = transitive_closure_bitsets(two_cycle_graph)
+        # Inside a cycle everyone reaches everyone.
+        for u in (0, 1, 2):
+            for v in (0, 1, 2):
+                assert _closure_says(desc, index, u, v)
+        assert _closure_says(desc, index, 0, 6)
+        assert not _closure_says(desc, index, 6, 0)
+
+    def test_empty(self):
+        desc, index = transitive_closure_bitsets(DiGraph())
+        assert desc == []
+        assert index == {}
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_search(self, seed):
+        g = gnm_random_digraph(30, 70, seed=seed)
+        desc, index = transitive_closure_bitsets(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert _closure_says(desc, index, u, v) == \
+                    is_reachable_search(g, u, v)
+
+
+class TestMatrixClosure:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_bitsets(self, seed):
+        g = gnm_random_digraph(25, 60, seed=seed)
+        matrix, midx = transitive_closure_matrix(g)
+        desc, bidx = transitive_closure_bitsets(g)
+        assert midx == bidx
+        n = len(midx)
+        for i in range(n):
+            for j in range(n):
+                assert bool(matrix[i, j]) == bool((desc[i] >> j) & 1)
+
+    def test_matrix_dtype_and_shape(self, diamond):
+        matrix, index = transitive_closure_matrix(diamond)
+        assert matrix.dtype == np.bool_
+        assert matrix.shape == (4, 4)
+        assert np.all(np.diagonal(matrix))
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        for seed in range(4):
+            g = random_dag(25, 55, seed=seed)
+            matrix, index = transitive_closure_matrix(g)
+            ng = nx.DiGraph(list(g.edges()))
+            ng.add_nodes_from(g.nodes())
+            closure = nx.transitive_closure(ng, reflexive=True)
+            for u in g.nodes():
+                for v in g.nodes():
+                    assert bool(matrix[index[u], index[v]]) == \
+                        closure.has_edge(u, v) or u == v
+
+
+class TestPairHelpers:
+    def test_pairs_excludes_diagonal(self, chain10):
+        pairs = transitive_closure_pairs(chain10)
+        assert (0, 9) in pairs
+        assert (0, 0) not in pairs
+        assert len(pairs) == 45  # 10 choose 2 ordered pairs along a chain
+
+    def test_count_includes_diagonal(self, chain10):
+        assert count_reachable_pairs(chain10) == 45 + 10
+
+    def test_count_on_cycle(self):
+        g = DiGraph([(0, 1), (1, 2), (2, 0)])
+        assert count_reachable_pairs(g) == 9

@@ -1,0 +1,109 @@
+"""Unit tests for the result-comparison (regression) tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.compare import (
+    CellDelta,
+    compare_result_files,
+    compare_rows,
+)
+from repro.exceptions import DatasetError
+
+
+BASE = [{"n": "100", "dual-i_query_ms": "10.0", "note": "x",
+         "space_bytes": "400"},
+        {"n": "200", "dual-i_query_ms": "20.0", "note": "y",
+         "space_bytes": "800"}]
+
+
+class TestCompareRows:
+    def test_identical_runs_ok(self):
+        report = compare_rows(BASE, BASE)
+        assert report.ok
+        assert len(report.deltas) == 4
+        assert "OK" in report.summary()
+
+    def test_regression_flagged(self):
+        current = [dict(row) for row in BASE]
+        current[1]["dual-i_query_ms"] = "60.0"  # 3x slower
+        report = compare_rows(BASE, current)
+        assert not report.ok
+        assert len(report.regressions) == 1
+        delta = report.regressions[0]
+        assert delta.row == 1
+        assert delta.column == "dual-i_query_ms"
+        assert delta.ratio == pytest.approx(3.0)
+        assert "REGRESSIONS" in report.summary()
+
+    def test_improvement_flagged_separately(self):
+        current = [dict(row) for row in BASE]
+        current[0]["dual-i_query_ms"] = "4.0"
+        report = compare_rows(BASE, current)
+        assert report.ok
+        assert len(report.improvements) == 1
+
+    def test_within_tolerance_ignored(self):
+        current = [dict(row) for row in BASE]
+        current[0]["dual-i_query_ms"] = "11.0"  # +10% < 25% tolerance
+        report = compare_rows(BASE, current)
+        assert report.ok
+        assert not report.improvements
+
+    def test_custom_tolerance(self):
+        current = [dict(row) for row in BASE]
+        current[0]["dual-i_query_ms"] = "11.0"
+        report = compare_rows(BASE, current, tolerance=1.05)
+        assert not report.ok
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            compare_rows(BASE, BASE, tolerance=1.0)
+
+    def test_non_measurement_columns_ignored(self):
+        current = [dict(row) for row in BASE]
+        current[0]["n"] = "9999"
+        current[0]["note"] = "changed"
+        report = compare_rows(BASE, current)
+        assert report.ok
+        assert all(d.column != "n" for d in report.deltas)
+
+    def test_mismatched_row_counts_use_overlap(self):
+        report = compare_rows(BASE, BASE[:1])
+        assert report.num_rows == 1
+
+    def test_unparsable_cells_skipped(self):
+        current = [dict(row) for row in BASE]
+        current[0]["dual-i_query_ms"] = "n/a"
+        report = compare_rows(BASE, current)
+        assert len(report.deltas) == 3
+
+    def test_zero_baseline_ratio(self):
+        delta = CellDelta(row=0, column="x_ms", baseline=0.0, current=5.0)
+        assert delta.ratio == float("inf")
+        delta = CellDelta(row=0, column="x_ms", baseline=0.0, current=0.0)
+        assert delta.ratio == 1.0
+
+    def test_empty_inputs(self):
+        report = compare_rows([], [])
+        assert report.ok
+        assert report.num_rows == 0
+
+
+class TestCompareFiles:
+    def test_round_trip_with_runner_csv(self, tmp_path):
+        from repro.bench.reporting import format_csv
+        rows = [{"n": 10, "dual-i_query_ms": 1.5}]
+        path_a = tmp_path / "a.csv"
+        path_b = tmp_path / "b.csv"
+        path_a.write_text(format_csv(rows))
+        rows[0]["dual-i_query_ms"] = 9.0
+        path_b.write_text(format_csv(rows))
+        report = compare_result_files(path_a, path_b)
+        assert not report.ok
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            compare_result_files(tmp_path / "nope.csv",
+                                 tmp_path / "also-nope.csv")

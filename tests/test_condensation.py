@@ -1,0 +1,87 @@
+"""Unit tests for SCC condensation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.condensation import condense
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_digraph
+from repro.graph.traversal import (
+    is_reachable_search,
+    is_topological_order,
+    topological_sort,
+)
+
+
+class TestCondense:
+    def test_dag_is_isomorphic_relabeling(self, diamond):
+        cond = condense(diamond)
+        assert cond.num_components == 4
+        assert cond.is_trivial()
+        assert cond.dag.num_edges == diamond.num_edges
+
+    def test_cycles_collapse(self, two_cycle_graph):
+        cond = condense(two_cycle_graph)
+        assert cond.num_components == 3
+        assert cond.dag.num_edges == 2  # bridge + tail edge
+
+    def test_result_is_acyclic(self, two_cycle_graph):
+        cond = condense(two_cycle_graph)
+        topological_sort(cond.dag)  # must not raise
+
+    def test_self_loops_removed(self):
+        g = DiGraph([(1, 1), (1, 2)])
+        cond = condense(g)
+        assert cond.num_components == 2
+        assert not cond.dag.self_loops()
+        assert cond.dag.num_edges == 1
+
+    def test_parallel_intercomponent_edges_collapse(self):
+        # Two edges from cycle {0,1} to cycle {2,3} become one DAG edge.
+        g = DiGraph([(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (1, 3)])
+        cond = condense(g)
+        assert cond.num_components == 2
+        assert cond.dag.num_edges == 1
+
+    def test_component_ids_topologically_ordered(self, two_cycle_graph):
+        cond = condense(two_cycle_graph)
+        ids = list(cond.dag.nodes())
+        assert is_topological_order(cond.dag, sorted(ids))
+
+    def test_members_partition_nodes(self, two_cycle_graph):
+        cond = condense(two_cycle_graph)
+        flat = [n for comp in cond.members for n in comp]
+        assert sorted(flat) == sorted(two_cycle_graph.nodes())
+
+    def test_representative_round_trip(self, two_cycle_graph):
+        cond = condense(two_cycle_graph)
+        for cid, comp in enumerate(cond.members):
+            for node in comp:
+                assert cond.representative(node) == cid
+
+    def test_representative_unknown_raises(self, diamond):
+        cond = condense(diamond)
+        with pytest.raises(NodeNotFoundError):
+            cond.representative("ghost")
+
+    def test_empty_graph(self):
+        cond = condense(DiGraph())
+        assert cond.num_components == 0
+        assert cond.dag.num_nodes == 0
+
+
+class TestReachabilityPreservation:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_condensation_preserves_reachability(self, seed):
+        g = gnm_random_digraph(35, 90, seed=seed)
+        cond = condense(g)
+        nodes = list(g.nodes())
+        for u in nodes[::3]:
+            for v in nodes[::4]:
+                original = is_reachable_search(g, u, v)
+                cu, cv = cond.component_of[u], cond.component_of[v]
+                condensed = (cu == cv) or is_reachable_search(
+                    cond.dag, cu, cv)
+                assert original == condensed

@@ -1,0 +1,115 @@
+"""Unit tests for the calibrated dataset stand-ins (Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import preprocess
+from repro.datasets import (
+    TABLE2_SPECS,
+    DatasetSpec,
+    build_calibrated_graph,
+    dataset_names,
+    get_spec,
+    load_dataset,
+)
+from repro.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_names_in_table2_order(self):
+        assert dataset_names() == ["AgroCyc", "Ecoo157", "HpyCyc",
+                                   "VchoCyc", "XMark"]
+
+    def test_get_spec(self):
+        spec = get_spec("XMark")
+        assert spec.num_nodes == 6483
+        assert spec.num_edges == 7654
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError, match="AgroCyc"):
+            get_spec("NopeCyc")
+        with pytest.raises(DatasetError):
+            load_dataset("NopeCyc")
+
+    def test_specs_match_paper_table2(self):
+        expected = {
+            "AgroCyc": (13969, 17694, 12684, 13408, 13094),
+            "Ecoo157": (13800, 17308, 12620, 13350, 13025),
+            "HpyCyc": (5565, 8474, 4771, 5859, 5649),
+            "VchoCyc": (10694, 14207, 9491, 10143, 9860),
+            "XMark": (6483, 7654, 6080, 7028, 6957),
+        }
+        for name, row in expected.items():
+            spec = TABLE2_SPECS[name]
+            assert (spec.num_nodes, spec.num_edges, spec.dag_nodes,
+                    spec.dag_edges, spec.meg_edges) == row
+
+
+class TestSpecValidation:
+    def test_dag_nodes_bound(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(name="bad", num_nodes=10, num_edges=10,
+                        dag_nodes=11, dag_edges=9, meg_edges=9)
+
+    def test_edge_ordering(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(name="bad", num_nodes=10, num_edges=10,
+                        dag_nodes=9, dag_edges=11, meg_edges=9)
+        with pytest.raises(ValueError):
+            DatasetSpec(name="bad", num_nodes=10, num_edges=10,
+                        dag_nodes=9, dag_edges=9, meg_edges=10)
+
+    def test_meg_floor(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(name="bad", num_nodes=10, num_edges=10,
+                        dag_nodes=9, dag_edges=9, meg_edges=5)
+
+
+@pytest.mark.parametrize("name", ["HpyCyc", "XMark"])
+class TestCalibration:
+    """Full calibration checks on the two smaller datasets (the larger
+    three use the identical code path; their calibration is asserted by
+    the Table 2 benchmark)."""
+
+    def test_exact_node_and_edge_counts(self, name):
+        spec = get_spec(name)
+        graph = load_dataset(name, seed=0)
+        assert graph.num_nodes == spec.num_nodes
+        assert graph.num_edges == spec.num_edges
+
+    def test_preprocessing_counts_within_tolerance(self, name):
+        spec = get_spec(name)
+        graph = load_dataset(name, seed=0)
+        _, counters = preprocess(graph)
+        assert counters["nodes_dag"] == pytest.approx(
+            spec.dag_nodes, rel=0.02)
+        assert counters["edges_dag"] == pytest.approx(
+            spec.dag_edges, rel=0.02)
+        assert counters["edges_meg"] == pytest.approx(
+            spec.meg_edges, rel=0.02)
+
+    def test_deterministic(self, name):
+        assert load_dataset(name, seed=3) == load_dataset(name, seed=3)
+
+    def test_seed_varies_graph(self, name):
+        assert load_dataset(name, seed=0) != load_dataset(name, seed=1)
+
+
+class TestSmallCalibratedGraph:
+    def test_custom_spec(self):
+        spec = DatasetSpec(name="tiny", num_nodes=60, num_edges=80,
+                           dag_nodes=50, dag_edges=62, meg_edges=58)
+        graph = build_calibrated_graph(spec, seed=1)
+        assert graph.num_nodes == 60
+        assert graph.num_edges == 80
+        _, counters = preprocess(graph)
+        assert counters["nodes_dag"] == 50
+
+    def test_no_reduction_spec(self):
+        spec = DatasetSpec(name="flat", num_nodes=40, num_edges=45,
+                           dag_nodes=40, dag_edges=45, meg_edges=41)
+        graph = build_calibrated_graph(spec, seed=2)
+        _, counters = preprocess(graph)
+        assert counters["nodes_dag"] == 40
+        assert counters["edges_dag"] == 45

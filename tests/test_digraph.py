@@ -1,0 +1,241 @@
+"""Unit tests for the DiGraph container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = DiGraph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert list(g.nodes()) == []
+        assert list(g.edges()) == []
+
+    def test_from_edges(self):
+        g = DiGraph([(1, 2), (2, 3)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+
+    def test_from_nodes_and_edges(self):
+        g = DiGraph(edges=[(1, 2)], nodes=[5, 6])
+        assert set(g.nodes()) == {1, 2, 5, 6}
+        assert g.num_edges == 1
+
+    def test_isolated_nodes_kept(self):
+        g = DiGraph(nodes=range(5))
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+
+    def test_hashable_node_types(self):
+        g = DiGraph()
+        g.add_edge("a", ("tuple", 1))
+        g.add_edge(("tuple", 1), 3.5)
+        assert g.has_edge("a", ("tuple", 1))
+        assert g.has_edge(("tuple", 1), 3.5)
+
+
+class TestMutation:
+    def test_add_node_idempotent(self):
+        g = DiGraph()
+        g.add_node(1)
+        g.add_node(1)
+        assert g.num_nodes == 1
+
+    def test_add_edge_adds_endpoints(self):
+        g = DiGraph()
+        g.add_edge("x", "y")
+        assert "x" in g and "y" in g
+
+    def test_add_edge_idempotent(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 2)
+        assert g.num_edges == 1
+
+    def test_add_edges_bulk(self):
+        g = DiGraph()
+        g.add_edges([(1, 2), (2, 3), (1, 2)])
+        assert g.num_edges == 2
+
+    def test_self_loop_allowed(self):
+        g = DiGraph()
+        g.add_edge(1, 1)
+        assert g.has_edge(1, 1)
+        assert g.self_loops() == [1]
+
+    def test_remove_edge(self):
+        g = DiGraph([(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+        assert 1 in g and 2 in g  # endpoints stay
+
+    def test_remove_missing_edge_raises(self):
+        g = DiGraph([(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(2, 1)
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(7, 8)
+
+    def test_remove_node_removes_incident_edges(self):
+        g = DiGraph([(1, 2), (2, 3), (3, 1), (2, 2)])
+        g.remove_node(2)
+        assert 2 not in g
+        assert g.num_edges == 1
+        assert g.has_edge(3, 1)
+
+    def test_remove_missing_node_raises(self):
+        g = DiGraph()
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node("ghost")
+
+    def test_clear(self):
+        g = DiGraph([(1, 2)])
+        g.clear()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+
+class TestInspection:
+    def test_degrees(self):
+        g = DiGraph([(1, 2), (1, 3), (2, 3)])
+        assert g.out_degree(1) == 2
+        assert g.in_degree(3) == 2
+        assert g.in_degree(1) == 0
+        assert g.out_degree(3) == 0
+
+    def test_degree_unknown_node_raises(self):
+        g = DiGraph()
+        with pytest.raises(NodeNotFoundError):
+            g.out_degree(1)
+        with pytest.raises(NodeNotFoundError):
+            g.in_degree(1)
+
+    def test_successors_predecessors(self):
+        g = DiGraph([(1, 2), (1, 3), (2, 3)])
+        assert list(g.successors(1)) == [2, 3]
+        assert list(g.predecessors(3)) == [1, 2]
+        with pytest.raises(NodeNotFoundError):
+            g.successors(99)
+        with pytest.raises(NodeNotFoundError):
+            g.predecessors(99)
+
+    def test_roots_and_leaves(self):
+        g = DiGraph([(1, 2), (2, 3), (4, 3)])
+        assert g.roots() == [1, 4]
+        assert g.leaves() == [3]
+
+    def test_density(self):
+        g = DiGraph([(1, 2), (2, 3)])
+        assert g.density == pytest.approx(2 / 3)
+        assert DiGraph().density == 0.0
+
+    def test_node_index_is_dense_and_insertion_ordered(self):
+        g = DiGraph([(5, 3), (3, 9)])
+        assert g.node_index() == {5: 0, 3: 1, 9: 2}
+
+    def test_iteration_and_len(self):
+        g = DiGraph([(1, 2)])
+        assert len(g) == 2
+        assert list(iter(g)) == [1, 2]
+
+    def test_edges_iteration(self):
+        edges = [(1, 2), (1, 3), (3, 2)]
+        g = DiGraph(edges)
+        assert sorted(g.edges()) == sorted(edges)
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = DiGraph([(1, 2)])
+        clone = g.copy()
+        clone.add_edge(2, 3)
+        assert g.num_edges == 1
+        assert clone.num_edges == 2
+        clone.remove_edge(1, 2)
+        assert g.has_edge(1, 2)
+
+    def test_copy_preserves_order(self):
+        g = DiGraph([(3, 1), (1, 7)])
+        assert list(g.copy().nodes()) == list(g.nodes())
+
+    def test_reverse(self):
+        g = DiGraph([(1, 2), (2, 3)])
+        rev = g.reverse()
+        assert rev.has_edge(2, 1)
+        assert rev.has_edge(3, 2)
+        assert rev.num_edges == 2
+        assert set(rev.nodes()) == set(g.nodes())
+
+    def test_reverse_keeps_isolated_nodes(self):
+        g = DiGraph(nodes=[1, 2])
+        assert set(g.reverse().nodes()) == {1, 2}
+
+    def test_subgraph(self):
+        g = DiGraph([(1, 2), (2, 3), (3, 4), (1, 4)])
+        sub = g.subgraph([1, 2, 4])
+        assert sub.num_nodes == 3
+        assert sub.has_edge(1, 2)
+        assert sub.has_edge(1, 4)
+        assert not sub.has_edge(2, 3)
+
+    def test_subgraph_unknown_node_raises(self):
+        g = DiGraph([(1, 2)])
+        with pytest.raises(NodeNotFoundError):
+            g.subgraph([1, 99])
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = DiGraph([(1, 2), (2, 3)])
+        b = DiGraph([(1, 2), (2, 3)])
+        assert a == b
+
+    def test_different_edges(self):
+        assert DiGraph([(1, 2)]) != DiGraph([(2, 1)])
+
+    def test_different_nodes(self):
+        assert DiGraph(nodes=[1]) != DiGraph(nodes=[2])
+
+    def test_eq_other_type(self):
+        assert DiGraph() != 42
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(DiGraph())
+
+    def test_repr(self):
+        assert "num_nodes=2" in repr(DiGraph([(1, 2)]))
+
+
+class TestBulkAndMixedNodes:
+    def test_add_nodes_bulk(self):
+        g = DiGraph()
+        g.add_nodes(range(5))
+        g.add_nodes([2, 3])  # idempotent overlap
+        assert g.num_nodes == 5
+
+    def test_mixed_node_types_coexist(self):
+        g = DiGraph([(1, "1"), ("1", 2.5), (2.5, ("t", 0))])
+        assert g.has_edge(1, "1")
+        assert g.has_edge("1", 2.5)
+        assert g.num_nodes == 4
+        # int 1 and str "1" are distinct nodes.
+        assert g.out_degree(1) == 1
+        assert g.in_degree("1") == 1
+
+    def test_bool_and_int_node_collision_semantics(self):
+        # Python dict semantics: True == 1, so they are one node.  The
+        # container follows hashing rules rather than fighting them;
+        # this test documents the behaviour.
+        g = DiGraph()
+        g.add_node(1)
+        g.add_node(True)
+        assert g.num_nodes == 1

@@ -1,0 +1,87 @@
+"""Documentation consistency: the docs only reference things that exist.
+
+Docs drift is the classic failure mode of a repo this size; these tests
+parse the markdown files and verify that every ``repro.*`` dotted path
+imports, every scheme name in the README table is registered, every
+experiment named in DESIGN.md's index exists, and every example/bench
+file the docs point at is on disk.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.core.base import available_schemes
+
+ROOT = Path(__file__).resolve().parent.parent
+
+_MODULE_RE = re.compile(r"`(repro(?:\.[a-z_]+)+)")
+
+
+def _doc_text(name: str) -> str:
+    return (ROOT / name).read_text(encoding="utf-8")
+
+
+ALL_DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md",
+            "docs/THEORY.md", "docs/API.md", "docs/TUTORIAL.md",
+            "docs/DATASETS.md", "docs/RUNBOOK.md"]
+
+
+@pytest.mark.parametrize("doc", ALL_DOCS)
+def test_referenced_modules_import(doc):
+    text = _doc_text(doc)
+    for dotted in sorted(set(_MODULE_RE.findall(text))):
+        # Trim attribute tails: import the longest importable prefix and
+        # resolve the rest as attributes.
+        parts = dotted.split(".")
+        module = None
+        for cut in range(len(parts), 0, -1):
+            try:
+                module = importlib.import_module(".".join(parts[:cut]))
+                break
+            except ModuleNotFoundError:
+                continue
+        assert module is not None, f"{doc}: {dotted} does not import"
+        obj = module
+        for attribute in parts[cut:]:
+            assert hasattr(obj, attribute), \
+                f"{doc}: {dotted} missing attribute {attribute!r}"
+            obj = getattr(obj, attribute)
+
+
+def test_readme_scheme_table_matches_registry():
+    text = _doc_text("README.md")
+    documented = set(re.findall(r"^\| `([a-z0-9-]+)`", text,
+                                flags=re.MULTILINE))
+    assert documented == set(available_schemes())
+
+
+def test_design_experiment_index_names_real_targets():
+    text = _doc_text("DESIGN.md")
+    for bench in re.findall(r"benchmarks/(bench_\w+\.py)", text):
+        assert (ROOT / "benchmarks" / bench).exists(), bench
+    for experiment in re.findall(r"repro\.bench run (\w+)", text):
+        assert experiment in EXPERIMENTS, experiment
+
+
+def test_readme_examples_exist():
+    text = _doc_text("README.md")
+    for example in re.findall(r"examples/(\w+\.py)", text):
+        assert (ROOT / "examples" / example).exists(), example
+
+
+def test_experiments_md_references_result_files():
+    text = _doc_text("EXPERIMENTS.md")
+    for result in re.findall(r"results/(\w+\.(?:md|csv))", text):
+        assert (ROOT / "results" / result).exists(), result
+
+
+def test_theory_names_real_test_files():
+    text = _doc_text("docs/THEORY.md")
+    for test_file in set(re.findall(r"test_\w+\.py", text)):
+        assert (ROOT / "tests" / test_file).exists(), test_file

@@ -1,0 +1,36 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.base
+import repro.core.intervals
+import repro.graph.digraph
+
+MODULES_WITH_DOCTESTS = [
+    repro.graph.digraph,
+    repro.core.base,
+]
+
+
+@pytest.mark.parametrize("module", MODULES_WITH_DOCTESTS,
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: doctests failed"
+    assert results.attempted > 0, \
+        f"{module.__name__}: expected at least one doctest"
+
+
+def test_selftest_cli(capsys):
+    """The selftest command's happy path (small sample)."""
+    from repro.cli import main as cli_main
+
+    assert cli_main(["selftest", "--sample", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "every scheme agrees" in out
+    # Each of the 4 families appears with every scheme.
+    assert out.count("ok (") >= 4 * 8

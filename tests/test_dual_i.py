@@ -1,0 +1,111 @@
+"""Unit tests for the Dual-I index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dual_i import DualIIndex
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    gnm_random_digraph,
+    random_tree,
+    single_rooted_dag,
+)
+from tests.conftest import assert_index_matches_oracle, sample_pairs
+
+
+class TestBuild:
+    def test_unknown_option_rejected(self, diamond):
+        with pytest.raises(TypeError):
+            DualIIndex.build(diamond, bogus=True)
+
+    def test_empty_graph(self):
+        index = DualIIndex.build(DiGraph())
+        with pytest.raises(QueryError):
+            index.reachable(0, 0)
+
+    def test_single_node(self):
+        index = DualIIndex.build(DiGraph(nodes=["x"]))
+        assert index.reachable("x", "x")
+
+    def test_tree_has_t_zero(self):
+        index = DualIIndex.build(random_tree(60, seed=1))
+        assert index.t == 0
+
+    def test_repr(self, diamond):
+        assert "DualIIndex" in repr(DualIIndex.build(diamond))
+
+
+class TestQueries:
+    def test_diamond(self, diamond):
+        index = DualIIndex.build(diamond)
+        assert_index_matches_oracle(index, diamond)
+
+    def test_unknown_vertex_raises(self, diamond):
+        index = DualIIndex.build(diamond)
+        with pytest.raises(QueryError):
+            index.reachable("a", "ghost")
+        with pytest.raises(QueryError):
+            index.reachable("ghost", "a")
+
+    def test_same_scc_members_reach_each_other(self, two_cycle_graph):
+        index = DualIIndex.build(two_cycle_graph)
+        assert index.reachable(0, 2)
+        assert index.reachable(2, 0)
+        assert index.reachable(0, 6)
+        assert not index.reachable(6, 0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_cyclic_graphs(self, seed):
+        g = gnm_random_digraph(45, 110, seed=seed)
+        index = DualIIndex.build(g)
+        assert_index_matches_oracle(index, g, sample_pairs(g, 400, seed))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_rooted_dags_without_meg(self, seed):
+        g = single_rooted_dag(120, 170, max_fanout=5, seed=seed)
+        index = DualIIndex.build(g, use_meg=False)
+        assert_index_matches_oracle(index, g, sample_pairs(g, 400, seed))
+
+    def test_reachable_many(self, diamond):
+        index = DualIIndex.build(diamond)
+        answers = index.reachable_many([("a", "d"), ("d", "a")])
+        assert answers == [True, False]
+
+    def test_contains(self, diamond):
+        index = DualIIndex.build(diamond)
+        assert "a" in index
+        assert "ghost" not in index
+
+
+class TestStats:
+    def test_stats_fields(self, two_cycle_graph):
+        index = DualIIndex.build(two_cycle_graph)
+        stats = index.stats()
+        assert stats.scheme == "dual-i"
+        assert stats.num_nodes == 7
+        assert stats.num_edges == 8
+        assert stats.dag_nodes == 3
+        assert stats.t is not None
+        assert stats.transitive_links is not None
+        assert stats.build_seconds > 0
+        assert {"interval_labels", "nontree_labels",
+                "tlc_matrix"} == set(stats.space_bytes)
+        assert stats.total_space_bytes > 0
+
+    def test_as_dict_contains_phases(self, diamond):
+        stats = DualIIndex.build(diamond).stats()
+        d = stats.as_dict()
+        assert d["scheme"] == "dual-i"
+        assert any(key.startswith("seconds_") for key in d)
+        assert any(key.startswith("bytes_") for key in d)
+
+    def test_tlc_matrix_scales_with_t_squared(self):
+        small = DualIIndex.build(
+            single_rooted_dag(200, 220, seed=1), use_meg=False)
+        large = DualIIndex.build(
+            single_rooted_dag(200, 320, seed=1), use_meg=False)
+        assert large.t > small.t
+        assert large.stats().space_bytes["tlc_matrix"] > \
+            small.stats().space_bytes["tlc_matrix"]

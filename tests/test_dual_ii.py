@@ -1,0 +1,96 @@
+"""Unit tests for the Dual-II index (and the dual-rt variant)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dual_i import DualIIndex
+from repro.core.dual_ii import DualIIIndex
+from repro.core.tlc_rangetree import DualRangeTreeIndex
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_digraph, single_rooted_dag
+from tests.conftest import assert_index_matches_oracle, sample_pairs
+
+VARIANTS = [DualIIIndex, DualRangeTreeIndex]
+
+
+class TestBuild:
+    @pytest.mark.parametrize("builder", VARIANTS)
+    def test_unknown_option_rejected(self, builder, diamond):
+        with pytest.raises(TypeError):
+            builder.build(diamond, bogus=True)
+
+    @pytest.mark.parametrize("builder", VARIANTS)
+    def test_empty_graph(self, builder):
+        index = builder.build(DiGraph())
+        with pytest.raises(QueryError):
+            index.reachable(0, 0)
+
+    @pytest.mark.parametrize("builder", VARIANTS)
+    def test_repr(self, builder, diamond):
+        assert builder.__name__ in repr(builder.build(diamond))
+
+
+class TestQueries:
+    @pytest.mark.parametrize("builder", VARIANTS)
+    def test_diamond(self, builder, diamond):
+        assert_index_matches_oracle(builder.build(diamond), diamond)
+
+    @pytest.mark.parametrize("builder", VARIANTS)
+    def test_unknown_vertex_raises(self, builder, diamond):
+        index = builder.build(diamond)
+        with pytest.raises(QueryError):
+            index.reachable("ghost", "a")
+
+    @pytest.mark.parametrize("builder", VARIANTS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_cyclic_graphs(self, builder, seed):
+        g = gnm_random_digraph(45, 110, seed=seed)
+        index = builder.build(g)
+        assert_index_matches_oracle(index, g, sample_pairs(g, 350, seed))
+
+    @pytest.mark.parametrize("builder", VARIANTS)
+    def test_cycles(self, builder, two_cycle_graph):
+        index = builder.build(two_cycle_graph)
+        assert index.reachable(1, 0)
+        assert index.reachable(0, 6)
+        assert not index.reachable(6, 3)
+
+
+class TestAgreementWithDualI:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_dual_variants_agree(self, seed):
+        g = single_rooted_dag(150, 220, max_fanout=5, seed=seed)
+        dual_i = DualIIndex.build(g)
+        dual_ii = DualIIIndex.build(g)
+        dual_rt = DualRangeTreeIndex.build(g)
+        for u, v in sample_pairs(g, 600, seed):
+            a = dual_i.reachable(u, v)
+            assert dual_ii.reachable(u, v) == a
+            assert dual_rt.reachable(u, v) == a
+
+
+class TestStats:
+    def test_dual_ii_has_no_nontree_labels(self, two_cycle_graph):
+        stats = DualIIIndex.build(two_cycle_graph).stats()
+        assert stats.scheme == "dual-ii"
+        assert set(stats.space_bytes) == {"interval_labels",
+                                          "tlc_search_tree"}
+
+    def test_dual_rt_space_components(self, two_cycle_graph):
+        stats = DualRangeTreeIndex.build(two_cycle_graph).stats()
+        assert stats.scheme == "dual-rt"
+        assert set(stats.space_bytes) == {"interval_labels", "range_tree"}
+
+    def test_dual_ii_usually_smaller_than_dual_i(self):
+        """The paper's space claim on a moderately dense DAG."""
+        g = single_rooted_dag(400, 560, max_fanout=5, seed=3)
+        size_i = DualIIndex.build(g).stats().total_space_bytes
+        size_ii = DualIIIndex.build(g).stats().total_space_bytes
+        assert size_ii < size_i
+
+    def test_search_tree_accessible(self, two_cycle_graph):
+        index = DualIIIndex.build(two_cycle_graph)
+        assert index.search_tree.num_rows >= 0
+        assert index.t == index.pipeline.t

@@ -1,0 +1,152 @@
+"""Unit tests for the incremental DynamicDualIndex."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.dynamic import DynamicDualIndex
+from repro.exceptions import EdgeNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag, single_rooted_dag
+from repro.graph.traversal import is_reachable_search
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        index = DynamicDualIndex()
+        assert index.graph.num_nodes == 0
+
+    def test_wraps_copy(self, diamond):
+        index = DynamicDualIndex(diamond)
+        diamond.remove_edge("a", "b")
+        assert index.graph.has_edge("a", "b")
+
+    def test_simple_insertions(self):
+        index = DynamicDualIndex()
+        index.add_node("a")
+        index.add_node("b")
+        index.add_node("c")
+        assert not index.reachable("a", "c")
+        index.add_edge("a", "b")
+        index.add_edge("b", "c")
+        assert index.reachable("a", "c")
+        assert not index.reachable("c", "a")
+
+    def test_duplicate_edge_noop(self, diamond):
+        index = DynamicDualIndex(diamond)
+        index.reachable("a", "a")
+        before = (index.full_rebuilds, index.incremental_updates)
+        index.add_edge("a", "b")
+        index.reachable("a", "a")
+        assert (index.full_rebuilds, index.incremental_updates) == before
+
+    def test_repr(self, diamond):
+        assert "DynamicDualIndex" in repr(DynamicDualIndex(diamond))
+
+    def test_contains(self, diamond):
+        index = DynamicDualIndex(diamond)
+        assert "a" in index
+        assert "z" not in index
+
+
+class TestIncrementalPath:
+    def test_cross_edge_is_incremental(self):
+        g = single_rooted_dag(80, 95, max_fanout=4, seed=1)
+        index = DynamicDualIndex(g, use_meg=False)
+        index.reachable(0, 1)  # force initial build
+        assert index.full_rebuilds == 1
+        # Find a pair with no path either way: adding u -> v is then a
+        # pure non-tree insertion.
+        nodes = list(g.nodes())
+        rng = random.Random(2)
+        while True:
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            if u != v and not index.reachable(u, v) \
+                    and not index.reachable(v, u):
+                break
+        index.add_edge(u, v)
+        assert index.reachable(u, v)
+        assert index.full_rebuilds == 1          # no full rebuild
+        assert index.incremental_updates == 1
+
+    def test_cycle_closing_edge_forces_rebuild(self):
+        index = DynamicDualIndex(DiGraph([("a", "b"), ("b", "c")]))
+        index.reachable("a", "c")
+        rebuilds_before = index.full_rebuilds
+        index.add_edge("c", "a")  # closes a cycle
+        assert index.reachable("c", "b")
+        assert index.reachable("b", "a")
+        assert index.full_rebuilds > rebuilds_before
+
+    def test_new_node_forces_rebuild(self, diamond):
+        index = DynamicDualIndex(diamond)
+        index.reachable("a", "d")
+        rebuilds_before = index.full_rebuilds
+        index.add_edge("d", "zzz")  # new endpoint
+        assert index.reachable("a", "zzz")
+        assert index.full_rebuilds > rebuilds_before
+
+    def test_remove_edge(self, diamond):
+        index = DynamicDualIndex(diamond)
+        assert index.reachable("a", "d")
+        index.remove_edge("a", "b")
+        index.remove_edge("a", "c")
+        assert not index.reachable("a", "d")
+
+    def test_remove_missing_edge_raises(self, diamond):
+        with pytest.raises(EdgeNotFoundError):
+            DynamicDualIndex(diamond).remove_edge("d", "a")
+
+    def test_stats_reflect_incremental_t(self):
+        g = single_rooted_dag(60, 59 + 5, max_fanout=4, seed=3)
+        index = DynamicDualIndex(g, use_meg=False)
+        t_before = index.stats().t
+        nodes = list(g.nodes())
+        rng = random.Random(4)
+        added = 0
+        while added < 3:
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            if u != v and not index.reachable(u, v) \
+                    and not index.reachable(v, u):
+                index.add_edge(u, v)
+                added += 1
+        assert index.stats().t >= t_before + 3
+
+
+class TestEquivalenceWithSearch:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_mutation_sequence(self, seed):
+        """Interleave inserts (some cyclic), deletions, and queries; the
+        dynamic index must always agree with BFS on the live graph."""
+        rng = random.Random(seed)
+        base = random_dag(25, 40, seed=seed)
+        index = DynamicDualIndex(base)
+        shadow = base.copy()
+        nodes = list(range(30))  # includes 5 ids not yet in the graph
+        for step in range(60):
+            action = rng.random()
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            if action < 0.5 and u != v:
+                index.add_node(u)
+                index.add_node(v)
+                shadow.add_node(u)
+                shadow.add_node(v)
+                index.add_edge(u, v)
+                shadow.add_edge(u, v)
+            elif action < 0.6:
+                edges = list(shadow.edges())
+                if edges:
+                    eu, ev = rng.choice(edges)
+                    index.remove_edge(eu, ev)
+                    shadow.remove_edge(eu, ev)
+            else:
+                if u in shadow and v in shadow:
+                    assert index.reachable(u, v) == \
+                        is_reachable_search(shadow, u, v), (seed, step)
+        # Final full sweep.
+        for u in shadow.nodes():
+            for v in shadow.nodes():
+                assert index.reachable(u, v) == \
+                    is_reachable_search(shadow, u, v)

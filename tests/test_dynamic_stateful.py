@@ -1,0 +1,73 @@
+"""Stateful property test: DynamicDualIndex vs a shadow graph model.
+
+Hypothesis drives an arbitrary interleaving of node inserts, edge
+inserts (cyclic ones included), edge deletions, and reachability
+queries; after every step the dynamic index must agree with BFS over a
+shadow copy of the graph.  This is the strongest correctness statement
+in the suite for the incremental-maintenance extension.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.dynamic import DynamicDualIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import is_reachable_search
+
+NODE_IDS = st.integers(min_value=0, max_value=11)
+
+
+class DynamicIndexMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.index = DynamicDualIndex()
+        self.shadow = DiGraph()
+
+    @rule(node=NODE_IDS)
+    def add_node(self, node):
+        self.index.add_node(node)
+        self.shadow.add_node(node)
+
+    @rule(u=NODE_IDS, v=NODE_IDS)
+    def add_edge(self, u, v):
+        if u == v:
+            return
+        self.index.add_node(u)
+        self.index.add_node(v)
+        self.shadow.add_node(u)
+        self.shadow.add_node(v)
+        self.index.add_edge(u, v)
+        self.shadow.add_edge(u, v)
+
+    @precondition(lambda self: self.shadow.num_edges > 0)
+    @rule(choice=st.integers(min_value=0, max_value=10**9))
+    def remove_some_edge(self, choice):
+        edges = sorted(self.shadow.edges())
+        u, v = edges[choice % len(edges)]
+        self.index.remove_edge(u, v)
+        self.shadow.remove_edge(u, v)
+
+    @rule(u=NODE_IDS, v=NODE_IDS)
+    def query(self, u, v):
+        if u in self.shadow and v in self.shadow:
+            assert self.index.reachable(u, v) == \
+                is_reachable_search(self.shadow, u, v)
+
+    @invariant()
+    def graph_shapes_match(self):
+        assert self.index.graph.num_nodes == self.shadow.num_nodes
+        assert self.index.graph.num_edges == self.shadow.num_edges
+
+
+DynamicIndexMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None)
+
+TestDynamicIndexStateful = DynamicIndexMachine.TestCase

@@ -1,0 +1,46 @@
+"""Unit tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    DatasetError,
+    EdgeNotFoundError,
+    GraphError,
+    IndexBuildError,
+    NodeNotFoundError,
+    NotADAGError,
+    QueryError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_class", [
+        GraphError, NodeNotFoundError, EdgeNotFoundError, NotADAGError,
+        IndexBuildError, QueryError, DatasetError])
+    def test_all_derive_from_repro_error(self, exc_class):
+        assert issubclass(exc_class, ReproError)
+
+    def test_node_not_found_is_key_error(self):
+        assert issubclass(NodeNotFoundError, KeyError)
+        exc = NodeNotFoundError("x")
+        assert exc.node == "x"
+        assert "x" in str(exc)
+
+    def test_edge_not_found_payload(self):
+        exc = EdgeNotFoundError(1, 2)
+        assert exc.edge == (1, 2)
+        assert issubclass(EdgeNotFoundError, KeyError)
+
+    def test_query_error_is_key_error(self):
+        assert issubclass(QueryError, KeyError)
+        exc = QueryError("v")
+        assert exc.node == "v"
+
+    def test_catch_all_with_base(self):
+        with pytest.raises(ReproError):
+            raise NotADAGError("cycle")
+        with pytest.raises(GraphError):
+            raise NodeNotFoundError(3)

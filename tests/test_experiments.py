@@ -1,0 +1,145 @@
+"""Integration tests: every experiment function runs at tiny scale and
+produces rows with the expected columns and the paper's qualitative
+shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ablation_meg,
+    ablation_tlc,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    preprocess,
+    table2,
+)
+from repro.graph.generators import gnm_random_digraph
+
+TINY = dict(n=150, edge_counts=(160, 200), num_queries=500, seed=1)
+
+
+class TestPreprocess:
+    def test_counters(self):
+        g = gnm_random_digraph(60, 150, seed=1)
+        dag, counters = preprocess(g)
+        assert counters["nodes_original"] == 60
+        assert counters["edges_original"] == 150
+        assert dag.num_nodes == counters["nodes_dag"]
+        assert dag.num_edges == counters["edges_meg"]
+        assert counters["edges_meg"] <= counters["edges_dag"]
+
+
+class TestFigureExperiments:
+    def test_fig8_rows_and_ratios(self):
+        result = fig8(**TINY)
+        assert result.name == "fig8"
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert 0 < row["node_ratio"] <= 1
+            assert 0 < row["edge_ratio"] <= 1.0
+            for scheme in ("interval", "dual-i", "dual-ii", "2hop"):
+                assert row[f"{scheme}_index_ms"] >= 0
+                assert row[f"{scheme}_query_ms"] >= 0
+                assert row[f"{scheme}_space_bytes"] > 0
+
+    def test_fig9_and_fig10(self):
+        for func, name in ((fig9, "fig9"), (fig10, "fig10")):
+            result = func(n=150, edge_counts=(170,), num_queries=300,
+                          seed=2)
+            assert result.name == name
+            assert len(result.rows) == 1
+            assert result.rows[0]["max_fanout"] in (5, 9)
+
+    def test_fig11(self):
+        result = fig11(sizes=(100, 200), num_queries=300, seed=3)
+        assert [row["n"] for row in result.rows] == [100, 200]
+        assert all(row["m"] == int(row["n"] * 1.5) for row in result.rows)
+
+    def test_fig12_space_columns(self):
+        result = fig12(n=150, edge_counts=(160, 210), seed=4)
+        for row in result.rows:
+            assert row["closure_space_bytes"] == (150 * 150 + 7) // 8
+            assert row["dual-i_space_bytes"] > 0
+            assert "t" in row
+
+    def test_fig13_includes_closure(self):
+        result = fig13(n=120, edge_counts=(130,), num_queries=300, seed=5)
+        assert "closure_query_ms" in result.rows[0]
+
+    def test_fig14_no_2hop(self):
+        result = fig14(n=300, edge_counts=(320,), seed=6)
+        row = result.rows[0]
+        assert "2hop_space_bytes" not in row
+        assert row["interval_space_bytes"] > 0
+
+
+class TestTable2:
+    def test_small_datasets(self):
+        result = table2(names=("XMark",), num_queries=300, seed=1)
+        row = result.rows[0]
+        assert row["graph"] == "XMark"
+        assert row["V_G"] == 6483
+        assert row["paper_V_DAG"] == 6080
+        # Calibration: measured DAG counts within 2% of the paper's.
+        assert abs(row["V_DAG"] - row["paper_V_DAG"]) <= \
+            0.02 * row["paper_V_DAG"]
+        for scheme in ("interval", "dual-i", "dual-ii"):
+            assert row[f"{scheme}_index_ms"] > 0
+
+
+class TestAblations:
+    def test_meg_ablation_shape(self):
+        result = ablation_meg(n=150, edge_counts=(200,), seed=7)
+        row = result.rows[0]
+        assert row["meg_t"] <= row["no_meg_t"]
+        assert row["meg_transitive_links"] <= row["no_meg_transitive_links"]
+
+    def test_tlc_ablation_columns(self):
+        result = ablation_tlc(n=150, edge_counts=(180,), num_queries=300,
+                              seed=8)
+        row = result.rows[0]
+        for scheme in ("dual-i", "dual-ii", "dual-rt"):
+            assert row[f"{scheme}_build_ms"] >= 0
+            assert row[f"{scheme}_query_ms"] >= 0
+            assert row[f"{scheme}_space_bytes"] > 0
+
+
+class TestExtensionExperiments:
+    def test_amortization(self):
+        from repro.bench.experiments import amortization
+        result = amortization(n=150, num_queries=800, seed=1,
+                              schemes=("dual-i",))
+        row = result.rows[0]
+        assert row["scheme"] == "dual-i"
+        assert row["build_ms"] > 0
+        assert row["per_query_us"] >= 0
+
+    def test_latency_tails(self):
+        from repro.bench.experiments import latency_tails
+        result = latency_tails(n=150, num_queries=500, seed=2,
+                               schemes=("dual-i", "online-bfs"))
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["p50_us"] <= row["p99_us"] <= row["max_us"]
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "table2", "ablation_meg", "ablation_tlc",
+            "amortization", "latency_tails"}
+
+    def test_column_order_helper(self):
+        result = fig11(sizes=(100,), num_queries=100, seed=9,
+                       schemes=("dual-i",))
+        columns = result.column_order()
+        assert columns[0] == "n"
+        assert "dual-i_index_ms" in columns

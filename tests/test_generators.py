@@ -1,0 +1,205 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    gnm_random_digraph,
+    layered_dag,
+    random_dag,
+    random_tree,
+    single_rooted_dag,
+)
+from repro.graph.traversal import bfs_order, topological_sort
+
+
+class TestGnm:
+    def test_counts(self):
+        g = gnm_random_digraph(100, 250, seed=1)
+        assert g.num_nodes == 100
+        assert g.num_edges == 250
+
+    def test_no_self_loops(self):
+        g = gnm_random_digraph(50, 200, seed=2)
+        assert g.self_loops() == []
+
+    def test_deterministic(self):
+        a = gnm_random_digraph(40, 120, seed=7)
+        b = gnm_random_digraph(40, 120, seed=7)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = gnm_random_digraph(40, 120, seed=1)
+        b = gnm_random_digraph(40, 120, seed=2)
+        assert a != b
+
+    def test_zero_sizes(self):
+        assert gnm_random_digraph(0, 0).num_nodes == 0
+        assert gnm_random_digraph(5, 0).num_edges == 0
+
+    def test_rejects_impossible_m(self):
+        with pytest.raises(ValueError):
+            gnm_random_digraph(3, 7)
+        with pytest.raises(ValueError):
+            gnm_random_digraph(3, -1)
+        with pytest.raises(ValueError):
+            gnm_random_digraph(-1, 0)
+
+    def test_max_density(self):
+        g = gnm_random_digraph(4, 12, seed=3)
+        assert g.num_edges == 12  # complete directed graph
+
+
+class TestRandomTree:
+    def test_is_a_tree(self):
+        t = random_tree(80, max_fanout=3, seed=1)
+        assert t.num_edges == 79
+        assert t.roots() == [0]
+        assert len(bfs_order(t, 0)) == 80
+
+    def test_fanout_bound(self):
+        t = random_tree(200, max_fanout=3, seed=4)
+        assert max(t.out_degree(n) for n in t.nodes()) <= 3
+
+    def test_fanout_one_is_a_path(self):
+        t = random_tree(10, max_fanout=1, seed=0)
+        degrees = sorted(t.out_degree(n) for n in t.nodes())
+        assert degrees == [0] + [1] * 9
+
+    def test_trivial_sizes(self):
+        assert random_tree(0).num_nodes == 0
+        assert random_tree(1).num_nodes == 1
+        assert random_tree(1).num_edges == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_tree(-1)
+        with pytest.raises(ValueError):
+            random_tree(5, max_fanout=0)
+
+
+class TestSingleRootedDag:
+    def test_counts_and_acyclicity(self):
+        g = single_rooted_dag(300, 420, max_fanout=5, seed=1)
+        assert g.num_nodes == 300
+        assert g.num_edges == 420
+        topological_sort(g)  # must not raise
+
+    def test_single_root(self):
+        g = single_rooted_dag(200, 260, max_fanout=5, seed=2)
+        assert g.roots() == [0]
+        assert len(bfs_order(g, 0)) == 200
+
+    def test_tree_case(self):
+        g = single_rooted_dag(50, 49, max_fanout=4, seed=3)
+        assert g.num_edges == 49
+        assert g.roots() == [0]
+
+    def test_fanout9(self):
+        g = single_rooted_dag(300, 400, max_fanout=9, seed=4)
+        topological_sort(g)
+        assert g.num_edges == 400
+
+    def test_deterministic(self):
+        assert single_rooted_dag(100, 140, seed=5) == \
+            single_rooted_dag(100, 140, seed=5)
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(ValueError):
+            single_rooted_dag(10, 8)
+
+    def test_empty(self):
+        assert single_rooted_dag(0, 0).num_nodes == 0
+
+
+class TestRandomDag:
+    def test_counts_and_acyclicity(self):
+        g = random_dag(60, 150, seed=1)
+        assert g.num_nodes == 60
+        assert g.num_edges == 150
+        topological_sort(g)
+
+    def test_rejects_impossible_m(self):
+        with pytest.raises(ValueError):
+            random_dag(4, 7)
+
+    def test_deterministic(self):
+        assert random_dag(30, 60, seed=9) == random_dag(30, 60, seed=9)
+
+
+class TestLayeredDag:
+    def test_forward_only_is_acyclic(self):
+        g = layered_dag([10, 10, 10], forward_edges=40, seed=1)
+        assert g.num_nodes == 30
+        assert g.num_edges == 40
+        topological_sort(g)
+
+    def test_back_edges_create_cycles(self):
+        from repro.graph.scc import strongly_connected_components
+        g = layered_dag([15, 15, 15], forward_edges=80, back_edges=20,
+                        seed=2)
+        comps = strongly_connected_components(g)
+        assert any(len(c) > 1 for c in comps)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            layered_dag([0, 5], forward_edges=1)
+        with pytest.raises(ValueError):
+            layered_dag([5], forward_edges=-1)
+        with pytest.raises(ValueError):
+            layered_dag([5, 5], forward_edges=1, back_edges=-2)
+
+    def test_single_layer_no_edges(self):
+        g = layered_dag([10], forward_edges=5, seed=3)
+        assert g.num_edges == 0
+
+
+class TestCitationDag:
+    def test_counts_and_acyclicity(self):
+        from repro.graph.generators import citation_dag
+        g = citation_dag(200, refs_per_node=2, seed=1)
+        assert g.num_nodes == 200
+        topological_sort(g)
+        assert g.num_edges <= 2 * 200
+
+    def test_edges_point_backwards(self):
+        from repro.graph.generators import citation_dag
+        g = citation_dag(100, refs_per_node=3, seed=2)
+        assert all(u > v for u, v in g.edges())
+
+    def test_heavy_tail(self):
+        """Preferential attachment concentrates citations: the top node
+        collects far more than the mean in-degree."""
+        from repro.graph.generators import citation_dag
+        g = citation_dag(500, refs_per_node=2, seed=3)
+        max_in = max(g.in_degree(v) for v in g.nodes())
+        mean_in = g.num_edges / g.num_nodes
+        assert max_in > 5 * mean_in
+
+    def test_deterministic(self):
+        from repro.graph.generators import citation_dag
+        assert citation_dag(80, seed=4) == citation_dag(80, seed=4)
+
+    def test_validation(self):
+        from repro.graph.generators import citation_dag
+        with pytest.raises(ValueError):
+            citation_dag(-1)
+        with pytest.raises(ValueError):
+            citation_dag(5, refs_per_node=-1)
+
+    def test_all_schemes_correct_on_citation_graphs(self):
+        from repro.graph.generators import citation_dag
+        from repro.core.base import available_schemes, build_index
+        from repro.graph.traversal import is_reachable_search
+        import random as _random
+        g = citation_dag(60, refs_per_node=2, seed=5)
+        rng = _random.Random(6)
+        pairs = [(rng.randrange(60), rng.randrange(60))
+                 for _ in range(150)]
+        for scheme in available_schemes():
+            index = build_index(g, scheme=scheme)
+            for u, v in pairs:
+                assert index.reachable(u, v) == \
+                    is_reachable_search(g, u, v), scheme

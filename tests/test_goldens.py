@@ -1,0 +1,108 @@
+"""Unit tests for golden workloads."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.goldens import (
+    GoldenWorkload,
+    check_against_golden,
+    create_golden,
+    load_golden,
+    save_golden,
+)
+from repro.core.base import available_schemes, build_index
+from repro.exceptions import DatasetError
+from repro.graph.generators import gnm_random_digraph
+
+
+class TestCreateGolden:
+    def test_answers_match_oracle(self, chain10):
+        golden = create_golden(chain10, 100, seed=1)
+        assert len(golden) == 100
+        from repro.graph.traversal import is_reachable_search
+        for (u, v), answer in zip(golden.pairs, golden.answers):
+            assert answer == is_reachable_search(chain10, u, v)
+
+    def test_deterministic(self, chain10):
+        a = create_golden(chain10, 50, seed=2)
+        b = create_golden(chain10, 50, seed=2)
+        assert a.pairs == b.pairs
+        assert a.answers == b.answers
+
+    def test_positives_counted(self, chain10):
+        golden = create_golden(chain10, 200, seed=3)
+        assert golden.positives == sum(golden.answers)
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            GoldenWorkload(seed=0, pairs=[(1, 2)], answers=[])
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path, chain10):
+        golden = create_golden(chain10, 80, seed=4)
+        path = tmp_path / "golden.json"
+        save_golden(golden, path)
+        loaded = load_golden(path)
+        assert loaded.pairs == golden.pairs
+        assert loaded.answers == golden.answers
+        assert loaded.seed == 4
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{oops")
+        with pytest.raises(DatasetError):
+            load_golden(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(DatasetError):
+            load_golden(path)
+
+    def test_truncated(self, tmp_path, chain10):
+        path = tmp_path / "golden.json"
+        save_golden(create_golden(chain10, 10, seed=5), path)
+        document = json.loads(path.read_text())
+        del document["answers"]
+        path.write_text(json.dumps(document))
+        with pytest.raises(DatasetError):
+            load_golden(path)
+
+
+class TestCheckAgainstGolden:
+    def test_every_scheme_passes(self, tmp_path):
+        graph = gnm_random_digraph(60, 150, seed=6)
+        golden = create_golden(graph, 300, seed=7)
+        # Round-trip through disk, as the CI use case would.
+        path = tmp_path / "golden.json"
+        save_golden(golden, path)
+        golden = load_golden(path)
+        for scheme in available_schemes():
+            index = build_index(graph, scheme=scheme)
+            assert check_against_golden(index, golden) == [], scheme
+
+    def test_detects_wrong_index(self, chain10):
+        golden = create_golden(chain10, 100, seed=8)
+
+        class Liar:
+            def reachable(self, u, v):
+                return True
+
+        mismatches = check_against_golden(Liar(), golden)
+        assert mismatches
+        u, v, actual, expected = mismatches[0]
+        assert actual is True and expected is False
+
+    def test_mismatch_cap(self, chain10):
+        golden = create_golden(chain10, 200, seed=9)
+
+        class Liar:
+            def reachable(self, u, v):
+                return True
+
+        assert len(check_against_golden(Liar(), golden,
+                                        max_mismatches=5)) == 5

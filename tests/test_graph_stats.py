@@ -1,0 +1,61 @@
+"""Unit tests for graph statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.stats import degree_histogram, graph_stats
+
+
+class TestGraphStats:
+    def test_chain(self, chain10):
+        stats = graph_stats(chain10)
+        assert stats.num_nodes == 10
+        assert stats.num_edges == 9
+        assert stats.num_roots == 1
+        assert stats.num_leaves == 1
+        assert stats.max_in_degree == 1
+        assert stats.max_out_degree == 1
+        assert stats.num_sccs == 10
+        assert stats.largest_scc == 1
+        assert stats.num_self_loops == 0
+
+    def test_cyclic(self, two_cycle_graph):
+        stats = graph_stats(two_cycle_graph)
+        assert stats.num_sccs == 3
+        assert stats.largest_scc == 3
+
+    def test_self_loops_counted(self):
+        g = DiGraph([(1, 1), (2, 2), (1, 2)])
+        assert graph_stats(g).num_self_loops == 2
+
+    def test_empty(self):
+        stats = graph_stats(DiGraph())
+        assert stats.num_nodes == 0
+        assert stats.density == 0.0
+        assert stats.largest_scc == 0
+
+    def test_as_dict_round_trip(self, diamond):
+        d = graph_stats(diamond).as_dict()
+        assert d["num_nodes"] == 4
+        assert d["num_edges"] == 4
+        assert set(d) >= {"density", "num_sccs", "num_roots"}
+
+
+class TestDegreeHistogram:
+    def test_out(self, diamond):
+        hist = degree_histogram(diamond, "out")
+        assert hist == {2: 1, 1: 2, 0: 1}
+
+    def test_in(self, diamond):
+        hist = degree_histogram(diamond, "in")
+        assert hist == {0: 1, 1: 2, 2: 1}
+
+    def test_total(self, chain10):
+        hist = degree_histogram(chain10, "total")
+        assert hist == {1: 2, 2: 8}
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            degree_histogram(DiGraph(), "sideways")

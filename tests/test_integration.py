@@ -1,0 +1,117 @@
+"""Cross-scheme integration tests: every registered index agrees with
+the BFS ground truth (and therefore with every other index) across a
+spectrum of graph families and preprocessing configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import available_schemes, build_index
+from repro.datasets import DatasetSpec, build_calibrated_graph
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    gnm_random_digraph,
+    layered_dag,
+    random_dag,
+    random_tree,
+    single_rooted_dag,
+)
+from tests.conftest import assert_index_matches_oracle, sample_pairs
+
+ALL_SCHEMES = sorted(available_schemes())
+
+
+def _spot_check_all_schemes(graph, num_pairs=250, seed=0, **opts_by_scheme):
+    pairs = sample_pairs(graph, num_pairs, seed)
+    for scheme in ALL_SCHEMES:
+        options = opts_by_scheme.get(scheme.replace("-", "_"), {})
+        index = build_index(graph, scheme=scheme, **options)
+        assert_index_matches_oracle(index, graph, pairs)
+
+
+class TestGraphFamilies:
+    def test_trees(self):
+        _spot_check_all_schemes(random_tree(80, max_fanout=3, seed=1))
+
+    def test_chains(self):
+        _spot_check_all_schemes(DiGraph([(i, i + 1) for i in range(60)]))
+
+    def test_random_cyclic(self):
+        _spot_check_all_schemes(gnm_random_digraph(70, 180, seed=2))
+
+    def test_dense_cyclic(self):
+        _spot_check_all_schemes(gnm_random_digraph(40, 500, seed=3))
+
+    def test_single_rooted_dags(self):
+        _spot_check_all_schemes(
+            single_rooted_dag(90, 130, max_fanout=5, seed=4))
+
+    def test_wide_fanout_dags(self):
+        _spot_check_all_schemes(
+            single_rooted_dag(90, 130, max_fanout=9, seed=5))
+
+    def test_random_dags(self):
+        _spot_check_all_schemes(random_dag(70, 200, seed=6))
+
+    def test_layered_with_back_edges(self):
+        _spot_check_all_schemes(
+            layered_dag([20, 20, 20], forward_edges=90, back_edges=15,
+                        seed=7))
+
+    def test_disconnected_forest(self):
+        g = DiGraph([(0, 1), (1, 2), (10, 11), (12, 11)])
+        g.add_node(99)
+        _spot_check_all_schemes(g, num_pairs=64)
+
+    def test_calibrated_dataset_miniature(self):
+        spec = DatasetSpec(name="mini", num_nodes=80, num_edges=100,
+                           dag_nodes=70, dag_edges=82, meg_edges=76)
+        _spot_check_all_schemes(build_calibrated_graph(spec, seed=8))
+
+    def test_self_loops_everywhere(self):
+        g = DiGraph([(i, i) for i in range(20)]
+                    + [(i, i + 1) for i in range(19)])
+        _spot_check_all_schemes(g, num_pairs=150)
+
+    def test_complete_bipartite_like(self):
+        g = DiGraph([(u, v) for u in range(8) for v in range(8, 16)])
+        _spot_check_all_schemes(g, num_pairs=150)
+
+
+class TestPreprocessingConfigurations:
+    @pytest.mark.parametrize("use_meg", [False, True])
+    def test_dual_schemes_meg_toggle(self, use_meg):
+        g = gnm_random_digraph(80, 200, seed=9)
+        pairs = sample_pairs(g, 300, 9)
+        for scheme in ("dual-i", "dual-ii", "dual-rt"):
+            index = build_index(g, scheme=scheme, use_meg=use_meg)
+            assert_index_matches_oracle(index, g, pairs)
+
+    def test_interval_probe_and_meg_matrix(self):
+        g = single_rooted_dag(100, 150, seed=10)
+        pairs = sample_pairs(g, 300, 10)
+        for probe in ("linear", "bisect", "subset"):
+            for use_meg in (False, True):
+                index = build_index(g, scheme="interval", probe=probe,
+                                    use_meg=use_meg)
+                assert_index_matches_oracle(index, g, pairs)
+
+    def test_2hop_strategies(self):
+        g = gnm_random_digraph(60, 160, seed=11)
+        pairs = sample_pairs(g, 300, 11)
+        for strategy in ("greedy", "static"):
+            index = build_index(g, scheme="2hop", strategy=strategy)
+            assert_index_matches_oracle(index, g, pairs)
+
+
+class TestPositiveWorkloads:
+    def test_reachable_biased_pairs(self):
+        """All schemes agree on reachability-heavy workloads too (the
+        random workload is mostly negative; this covers the other
+        side)."""
+        from repro.bench.workloads import positive_query_pairs
+        g = single_rooted_dag(120, 180, seed=12)
+        pairs = positive_query_pairs(g, 300, seed=13)
+        for scheme in ALL_SCHEMES:
+            index = build_index(g, scheme=scheme)
+            assert all(index.reachable(u, v) for u, v in pairs), scheme

@@ -1,0 +1,108 @@
+"""Unit tests for interval labeling of spanning forests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.intervals import Interval, assign_intervals
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag, random_tree
+from repro.graph.spanning import spanning_forest
+from tests.conftest import PAPER_INTERVALS
+
+
+class TestInterval:
+    def test_membership(self):
+        iv = Interval(2, 5)
+        assert 2 in iv
+        assert 4 in iv
+        assert 5 not in iv
+        assert 1 not in iv
+
+    def test_nesting(self):
+        outer, inner = Interval(0, 10), Interval(3, 6)
+        assert outer.contains_interval(inner)
+        assert not inner.contains_interval(outer)
+        assert outer.contains_interval(outer)
+
+    def test_width(self):
+        assert Interval(3, 7).width == 4
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 5)
+        with pytest.raises(ValueError):
+            Interval(6, 2)
+
+    def test_ordering_and_repr(self):
+        assert Interval(1, 3) < Interval(2, 3)
+        assert repr(Interval(1, 3)) == "[1,3)"
+
+
+class TestAssignIntervals:
+    def test_paper_figure2_labels(self, paper_graph):
+        forest = spanning_forest(paper_graph)
+        labeling = assign_intervals(forest)
+        for node, (start, end) in PAPER_INTERVALS.items():
+            assert labeling.interval[node] == Interval(start, end), node
+
+    def test_single_node(self):
+        g = DiGraph(nodes=["x"])
+        labeling = assign_intervals(spanning_forest(g))
+        assert labeling.interval["x"] == Interval(0, 1)
+
+    def test_chain(self, chain10):
+        labeling = assign_intervals(spanning_forest(chain10))
+        for i in range(10):
+            assert labeling.interval[i] == Interval(i, 10)
+
+    def test_root_spans_everything(self):
+        tree = random_tree(60, max_fanout=4, seed=1)
+        labeling = assign_intervals(spanning_forest(tree))
+        assert labeling.interval[0] == Interval(0, 60)
+
+    def test_forest_uses_disjoint_ranges(self):
+        g = DiGraph([(0, 1), (2, 3), (2, 4)])
+        labeling = assign_intervals(spanning_forest(g))
+        iv0, iv2 = labeling.interval[0], labeling.interval[2]
+        assert iv0.end <= iv2.start or iv2.end <= iv0.start
+
+    def test_start_values_are_a_permutation(self):
+        dag = random_dag(50, 110, seed=2)
+        labeling = assign_intervals(spanning_forest(dag))
+        starts = sorted(iv.start for iv in labeling.interval.values())
+        assert starts == list(range(50))
+
+    def test_node_at_start_inverse(self):
+        dag = random_dag(30, 60, seed=3)
+        labeling = assign_intervals(spanning_forest(dag))
+        for node, iv in labeling.interval.items():
+            assert labeling.node_at_start[iv.start] == node
+
+    def test_width_equals_subtree_size(self):
+        tree = random_tree(40, max_fanout=3, seed=4)
+        forest = spanning_forest(tree)
+        labeling = assign_intervals(forest)
+
+        def subtree_size(node):
+            return 1 + sum(subtree_size(c) for c in forest.children[node])
+
+        for node in tree.nodes():
+            assert labeling.interval[node].width == subtree_size(node)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_containment_iff_tree_ancestor(self, seed):
+        dag = random_dag(30, 70, seed=seed)
+        forest = spanning_forest(dag)
+        labeling = assign_intervals(forest)
+        nodes = list(dag.nodes())
+        for u in nodes:
+            for v in nodes:
+                assert labeling.is_tree_ancestor(u, v) == \
+                    forest.is_tree_ancestor(u, v)
+
+    def test_accessors(self, paper_graph):
+        labeling = assign_intervals(spanning_forest(paper_graph))
+        assert labeling.start("u") == 9
+        assert labeling.end("u") == 11
+        assert len(labeling) == 12

@@ -1,0 +1,150 @@
+"""Unit tests for graph I/O (edge list + JSON)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_digraph
+from repro.graph.io import read_edge_list, read_json, write_edge_list, write_json
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path):
+        g = gnm_random_digraph(40, 90, seed=1)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded == g
+
+    def test_isolated_nodes_survive(self, tmp_path):
+        g = DiGraph(edges=[(1, 2)], nodes=[7, 8])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert set(loaded.nodes()) == {1, 2, 7, 8}
+        assert loaded.num_edges == 1
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n1 2  # trailing comment\n\n3\n")
+        g = read_edge_list(path)
+        assert g.has_edge(1, 2)
+        assert 3 in g
+        assert g.num_edges == 1
+
+    def test_string_nodes(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("alpha beta\n")
+        g = read_edge_list(path, int_nodes=False)
+        assert g.has_edge("alpha", "beta")
+
+    def test_non_integer_token_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(DatasetError):
+            read_edge_list(path)
+
+    def test_too_many_tokens_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(DatasetError):
+            read_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("")
+        g = read_edge_list(path)
+        assert g.num_nodes == 0
+
+
+class TestJSON:
+    def test_round_trip(self, tmp_path):
+        g = gnm_random_digraph(30, 60, seed=2)
+        path = tmp_path / "g.json"
+        write_json(g, path)
+        assert read_json(path) == g
+
+    def test_preserves_insertion_order(self, tmp_path):
+        g = DiGraph([(3, 1), (1, 5)])
+        path = tmp_path / "g.json"
+        write_json(g, path)
+        assert list(read_json(path).nodes()) == [3, 1, 5]
+
+    def test_string_nodes(self, tmp_path):
+        g = DiGraph([("x", "y")])
+        path = tmp_path / "g.json"
+        write_json(g, path)
+        assert read_json(path).has_edge("x", "y")
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(DatasetError):
+            read_json(path)
+
+    def test_missing_keys_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"nodes": []}')
+        with pytest.raises(DatasetError):
+            read_json(path)
+
+    def test_malformed_edge_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"nodes": [1, 2], "edges": [[1, 2, 3]]}')
+        with pytest.raises(DatasetError):
+            read_json(path)
+
+
+class TestDot:
+    def test_basic_structure(self):
+        from repro.graph.io import to_dot
+        g = DiGraph([(1, 2), (2, 3)])
+        dot = to_dot(g)
+        assert dot.startswith("digraph G {")
+        assert '"1" -> "2";' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_highlight_path(self):
+        from repro.graph.io import to_dot
+        g = DiGraph([(1, 2), (2, 3), (1, 3)])
+        dot = to_dot(g, highlight_path=[1, 2, 3])
+        assert 'fillcolor="#ffd37f"' in dot
+        assert '"1" -> "2" [color="#d4622a", penwidth=2.0];' in dot
+        # The shortcut edge is not on the path.
+        assert '"1" -> "3";' in dot
+
+    def test_highlight_nontree_edges(self):
+        from repro.graph.io import to_dot
+        g = DiGraph([(1, 2), (2, 3), (1, 3)])
+        dot = to_dot(g, highlight_edges={(1, 3)})
+        assert '"1" -> "3" [style=dashed];' in dot
+
+    def test_quoting(self):
+        from repro.graph.io import to_dot
+        g = DiGraph([('say "hi"', "b")])
+        dot = to_dot(g)
+        assert '\\"hi\\"' in dot
+
+    def test_write_dot(self, tmp_path):
+        from repro.graph.io import write_dot
+        g = DiGraph([(1, 2)])
+        path = tmp_path / "g.dot"
+        write_dot(g, path, name="Demo")
+        text = path.read_text()
+        assert text.startswith("digraph Demo {")
+
+    def test_witness_visualisation_flow(self):
+        """DOT rendering of a dual-labeling witness path."""
+        from repro.core.dual_i import DualIIndex
+        from repro.core.witness import expand_witness, witness_path
+        from repro.graph.io import to_dot
+        from tests.conftest import make_paper_graph
+        graph = make_paper_graph()
+        index = DualIIndex.build(graph, use_meg=False)
+        witness = expand_witness(graph,
+                                 witness_path(index, "u", "w"))
+        dot = to_dot(graph, highlight_path=witness)
+        assert '"u"' in dot and '"w"' in dot
+        assert "penwidth" in dot

@@ -1,0 +1,131 @@
+"""Unit tests for the link table and its transitive closure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.intervals import assign_intervals
+from repro.core.linktable import (
+    Link,
+    build_link_table,
+    transitive_link_table,
+)
+from repro.graph.generators import random_dag
+from repro.graph.spanning import spanning_forest
+
+
+def _tables_for(graph):
+    forest = spanning_forest(graph)
+    labeling = assign_intervals(forest)
+    base = build_link_table(forest.nontree_edges, labeling)
+    return base, transitive_link_table(base)
+
+
+class TestLink:
+    def test_covers(self):
+        link = Link(9, 6, 9)
+        assert link.covers(6)
+        assert link.covers(8)
+        assert not link.covers(9)
+        assert not link.covers(5)
+
+    def test_head_interval(self):
+        assert Link(9, 6, 9).head_interval.width == 3
+
+    def test_repr(self):
+        assert repr(Link(9, 6, 9)) == "9->[6,9)"
+
+
+class TestBuildLinkTable:
+    def test_paper_links(self, paper_graph):
+        base, _ = _tables_for(paper_graph)
+        assert set(base.links) == {Link(9, 6, 9), Link(7, 1, 5)}
+        assert base.xs == (7, 9)
+        assert base.ys == (1, 6)
+
+    def test_empty_for_trees(self, chain10):
+        base, closed = _tables_for(chain10)
+        assert len(base) == 0
+        assert len(closed) == 0
+
+    def test_index_lookups(self, paper_graph):
+        base, _ = _tables_for(paper_graph)
+        assert base.index_x(7) == 0
+        assert base.index_x(9) == 1
+        assert base.index_y(1) == 0
+        assert base.index_y(6) == 1
+        with pytest.raises(KeyError):
+            base.index_x(8)
+        with pytest.raises(KeyError):
+            base.index_y(2)
+
+    def test_snap_x(self, paper_graph):
+        base, _ = _tables_for(paper_graph)
+        assert base.snap_x(0) == 0     # -> 7
+        assert base.snap_x(7) == 0
+        assert base.snap_x(8) == 1     # -> 9
+        assert base.snap_x(9) == 1
+        assert base.snap_x(10) is None
+
+    def test_snap_y_down(self, paper_graph):
+        base, _ = _tables_for(paper_graph)
+        assert base.snap_y_down(0) is None
+        assert base.snap_y_down(1) == 0
+        assert base.snap_y_down(5) == 0
+        assert base.snap_y_down(6) == 1
+        assert base.snap_y_down(100) == 1
+
+
+class TestTransitiveClosure:
+    def test_paper_derivation(self, paper_graph):
+        """The paper's worked example: 9->[6,9) and 7->[1,5) derive
+        9->[1,5), giving exactly three transitive links."""
+        _, closed = _tables_for(paper_graph)
+        assert set(closed.links) == {
+            Link(9, 6, 9), Link(7, 1, 5), Link(9, 1, 5)}
+
+    def test_contains_base_links(self):
+        g = random_dag(40, 90, seed=1)
+        base, closed = _tables_for(g)
+        assert set(base.links) <= set(closed.links)
+
+    def test_coordinate_sets_unchanged(self):
+        g = random_dag(40, 90, seed=2)
+        base, closed = _tables_for(g)
+        assert closed.xs == base.xs
+        assert closed.ys == base.ys
+
+    def test_idempotent(self):
+        g = random_dag(40, 90, seed=3)
+        _, closed = _tables_for(g)
+        assert set(transitive_link_table(closed).links) == set(closed.links)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_property1_size_bound(self, seed):
+        """Property 1: at most t(t+1)/2 transitive links."""
+        g = random_dag(40, 110, seed=seed)
+        base, closed = _tables_for(g)
+        t = len(base)
+        assert len(closed) <= t * (t + 1) // 2
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_closure_matches_fixpoint(self, seed):
+        """Independent oracle: the naive add-until-fixpoint loop."""
+        g = random_dag(30, 75, seed=seed)
+        base, closed = _tables_for(g)
+        table = set(base.links)
+        changed = True
+        while changed:
+            changed = False
+            for e1 in list(table):
+                for e2 in list(table):
+                    if e1.covers(e2.tail):
+                        derived = Link(e1.tail, e2.head_start, e2.head_end)
+                        if derived not in table:
+                            table.add(derived)
+                            changed = True
+        assert set(closed.links) == table
+
+    def test_empty_table(self, chain10):
+        base, closed = _tables_for(chain10)
+        assert transitive_link_table(base) is base or len(closed) == 0

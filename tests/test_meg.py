@@ -1,0 +1,111 @@
+"""Unit tests for the minimal equivalent graph (Algorithm 3 + baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NotADAGError
+from repro.graph.closure import transitive_closure_pairs
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.meg import (
+    minimal_equivalent_graph,
+    minimal_equivalent_graph_closure,
+)
+
+
+def _figure7_graph() -> DiGraph:
+    """The paper's Figure 7(a): a 6-node DAG with superfluous edges.
+
+    Reconstructed to exercise the paper's worked example: visiting C in
+    topological order removes A -> C because A is an ancestor of C's
+    other parent B.
+    """
+    return DiGraph([
+        ("A", "B"), ("A", "C"), ("B", "C"),
+        ("C", "D"), ("C", "E"), ("B", "E"),
+        ("D", "F"), ("E", "F"), ("B", "F"),
+    ])
+
+
+class TestAlgorithm3:
+    def test_removes_direct_shortcut(self):
+        g = DiGraph([("a", "b"), ("b", "c"), ("a", "c")])
+        result = minimal_equivalent_graph(g)
+        assert ("a", "c") in result.removed_edges
+        assert result.graph.num_edges == 2
+
+    def test_diamond_is_already_minimal(self, diamond):
+        result = minimal_equivalent_graph(diamond)
+        assert result.num_removed == 0
+        assert result.graph == diamond
+
+    def test_figure7_example(self):
+        g = _figure7_graph()
+        result = minimal_equivalent_graph(g)
+        removed = set(result.removed_edges)
+        # The paper's narration: A -> C goes because A reaches C via B.
+        assert ("A", "C") in removed
+        # B -> E (via C) and B -> F (via C ... F) are also superfluous.
+        assert ("B", "E") in removed
+        assert ("B", "F") in removed
+        assert result.graph.num_edges == 6
+
+    def test_input_untouched(self):
+        g = DiGraph([("a", "b"), ("b", "c"), ("a", "c")])
+        minimal_equivalent_graph(g)
+        assert g.num_edges == 3
+
+    def test_chain_untouched(self, chain10):
+        assert minimal_equivalent_graph(chain10).num_removed == 0
+
+    def test_cycle_rejected(self, two_cycle_graph):
+        with pytest.raises(NotADAGError):
+            minimal_equivalent_graph(two_cycle_graph)
+
+    def test_empty_graph(self):
+        result = minimal_equivalent_graph(DiGraph())
+        assert result.num_removed == 0
+        assert result.graph.num_nodes == 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_preserves_reachability(self, seed):
+        g = random_dag(30, 120, seed=seed)
+        reduced = minimal_equivalent_graph(g).graph
+        assert transitive_closure_pairs(reduced) == \
+            transitive_closure_pairs(g)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_is_minimal(self, seed):
+        """Removing any surviving edge changes reachability (Theorem 4)."""
+        g = random_dag(15, 40, seed=seed)
+        reduced = minimal_equivalent_graph(g).graph
+        original_pairs = transitive_closure_pairs(g)
+        for u, v in list(reduced.edges()):
+            probe = reduced.copy()
+            probe.remove_edge(u, v)
+            assert transitive_closure_pairs(probe) != original_pairs, \
+                f"edge ({u}, {v}) was removable but kept"
+
+
+class TestClosureBaselineAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_two_implementations_agree(self, seed):
+        g = random_dag(25, 90, seed=seed)
+        ours = minimal_equivalent_graph(g).graph
+        baseline = minimal_equivalent_graph_closure(g).graph
+        assert ours == baseline
+
+    def test_baseline_rejects_cycles(self, two_cycle_graph):
+        with pytest.raises(NotADAGError):
+            minimal_equivalent_graph_closure(two_cycle_graph)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx_transitive_reduction(self, seed):
+        nx = pytest.importorskip("networkx")
+        g = random_dag(30, 100, seed=seed)
+        ours = minimal_equivalent_graph(g).graph
+        ng = nx.DiGraph(list(g.edges()))
+        ng.add_nodes_from(g.nodes())
+        reduction = nx.transitive_reduction(ng)
+        assert sorted(ours.edges()) == sorted(reduction.edges())

@@ -1,0 +1,96 @@
+"""Unit tests for non-tree label assignment (Algorithm 2)."""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+import pytest
+
+from repro.core.intervals import assign_intervals
+from repro.core.linktable import build_link_table, transitive_link_table
+from repro.core.nontree_labels import assign_nontree_labels
+from repro.graph.generators import random_dag
+from repro.graph.spanning import spanning_forest
+
+
+def _artefacts(graph):
+    forest = spanning_forest(graph)
+    labeling = assign_intervals(forest)
+    base = build_link_table(forest.nontree_edges, labeling)
+    closed = transitive_link_table(base)
+    return forest, labeling, closed
+
+
+class TestPaperFigure5:
+    def test_root_label(self, paper_graph):
+        forest, labeling, table = _artefacts(paper_graph)
+        labels = assign_nontree_labels(forest, labeling, table)
+        # Paper: root is <0, -, ->; sentinels are len(xs)=2 / len(ys)=2.
+        assert labels["r"] == (0, 2, 2)
+        assert labels.is_sentinel_z("r")
+
+    def test_u_label(self, paper_graph):
+        forest, labeling, table = _artefacts(paper_graph)
+        labels = assign_nontree_labels(forest, labeling, table)
+        # Paper: u = <1, -, ->.
+        assert labels["u"] == (1, 2, 2)
+
+    def test_g_label_is_paper_figure5_v(self, paper_graph):
+        """Figure 5 shows a node labeled <1,1,1>: the child [8,9) of the
+        link target [6,9) — node `g` in our reconstruction."""
+        forest, labeling, table = _artefacts(paper_graph)
+        labels = assign_nontree_labels(forest, labeling, table)
+        assert labels["g"] == (1, 1, 1)
+
+    def test_w_label(self, paper_graph):
+        forest, labeling, table = _artefacts(paper_graph)
+        labels = assign_nontree_labels(forest, labeling, table)
+        # Paper: w = <0, 0, 0>.
+        assert labels["w"] == (0, 0, 0)
+
+    def test_link_targets_have_own_z(self, paper_graph):
+        forest, labeling, table = _artefacts(paper_graph)
+        labels = assign_nontree_labels(forest, labeling, table)
+        # v=[6,9) and a=[1,5) have incoming links: z points at themselves.
+        assert labels["v"][2] == table.index_y(6)
+        assert labels["a"][2] == table.index_y(1)
+
+
+class TestDefinition2:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_labels_match_definition(self, seed):
+        """Every ⟨x, y, z⟩ equals Definition 2 evaluated directly."""
+        g = random_dag(35, 85, seed=seed)
+        forest, labeling, table = _artefacts(g)
+        labels = assign_nontree_labels(forest, labeling, table)
+        xs, ys = table.xs, table.ys
+        has_incoming = set(ys)
+        for node in g.nodes():
+            interval = labeling.interval[node]
+            expected_x = bisect_left(xs, interval.start)
+            expected_y = bisect_left(xs, interval.end)
+            # Walk up the tree for the lowest ancestor-or-self with an
+            # incoming link.
+            expected_z = len(ys)
+            cursor = node
+            while True:
+                if labeling.start(cursor) in has_incoming:
+                    expected_z = bisect_left(ys, labeling.start(cursor))
+                    break
+                if cursor not in forest.parent:
+                    break
+                cursor = forest.parent[cursor]
+            assert labels[node] == (expected_x, expected_y, expected_z), \
+                node
+
+    def test_tree_only_graph_all_sentinels(self, chain10):
+        forest, labeling, table = _artefacts(chain10)
+        labels = assign_nontree_labels(forest, labeling, table)
+        for node in chain10.nodes():
+            assert labels[node] == (0, 0, 0)  # len(xs)=len(ys)=0 sentinels
+            assert labels.is_sentinel_z(node)
+
+    def test_len(self, paper_graph):
+        forest, labeling, table = _artefacts(paper_graph)
+        labels = assign_nontree_labels(forest, labeling, table)
+        assert len(labels) == 12

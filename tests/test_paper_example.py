@@ -1,0 +1,82 @@
+"""End-to-end verification of the paper's running example.
+
+The fixtures reconstruct the graph of Figures 1/2/5; this module walks
+the full Dual-I pipeline across it and asserts every intermediate value
+the paper states, then the reachability answers of Theorem 3, including
+the two narrated queries (u ⇝ v via one non-tree edge, u ⇝ w via two).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dual_i import DualIIndex
+from repro.core.dual_ii import DualIIIndex
+from repro.core.tlc_rangetree import DualRangeTreeIndex
+from tests.conftest import brute_force_pairs, make_paper_graph
+
+
+@pytest.fixture(scope="module")
+def dual_i():
+    # use_meg=False: the figures label the original spanning tree; MEG
+    # would remove the redundant tree edges r->a / r->v first and change
+    # the intervals.
+    return DualIIndex.build(make_paper_graph(), use_meg=False)
+
+
+class TestPipelineArtefacts:
+    def test_t_and_transitive_links(self, dual_i):
+        assert dual_i.t == 2
+        assert dual_i.pipeline.num_transitive_links == 3
+
+    def test_tlc_grid(self, dual_i):
+        assert dual_i.tlc_matrix.xs == (7, 9)
+        assert dual_i.tlc_matrix.ys == (1, 6)
+
+
+class TestNarratedQueries:
+    def test_u_reaches_v_via_one_link(self, dual_i):
+        """Paper §3.1: the path u ⇝ v uses non-tree edge 9 -> [6,9)."""
+        assert dual_i.reachable("u", "v")
+
+    def test_u_reaches_w_via_two_links(self, dual_i):
+        """Paper §3.1/§3.4: u ⇝ w chains 9 -> [6,9) and 7 -> [1,5);
+        by Theorem 3, N[1,0] − N[−,0] = 1 > 0."""
+        assert dual_i.reachable("u", "w")
+
+    def test_w_does_not_reach_u(self, dual_i):
+        assert not dual_i.reachable("w", "u")
+
+    def test_tree_queries(self, dual_i):
+        assert dual_i.reachable("r", "w")     # pure tree path
+        assert dual_i.reachable("v", "g")
+        assert not dual_i.reachable("e", "w")  # sibling subtrees
+
+    def test_reflexive(self, dual_i):
+        for node in "ravwu":
+            assert dual_i.reachable(node, node)
+
+
+class TestAllSchemesOnPaperGraph:
+    @pytest.mark.parametrize("builder", [
+        DualIIndex, DualIIIndex, DualRangeTreeIndex])
+    def test_full_truth_table(self, builder):
+        graph = make_paper_graph()
+        index = builder.build(graph, use_meg=False)
+        expected = brute_force_pairs(graph)
+        for u in graph.nodes():
+            for v in graph.nodes():
+                assert index.reachable(u, v) == ((u, v) in expected), \
+                    (builder.__name__, u, v)
+
+    @pytest.mark.parametrize("builder", [
+        DualIIndex, DualIIIndex, DualRangeTreeIndex])
+    def test_full_truth_table_with_meg(self, builder):
+        """MEG changes the spanning tree but never the answers."""
+        graph = make_paper_graph()
+        index = builder.build(graph, use_meg=True)
+        expected = brute_force_pairs(graph)
+        for u in graph.nodes():
+            for v in graph.nodes():
+                assert index.reachable(u, v) == ((u, v) in expected), \
+                    (builder.__name__, u, v)

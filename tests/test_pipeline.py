@@ -1,0 +1,62 @@
+"""Unit tests for the shared dual-labeling build pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import run_pipeline
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_digraph
+
+
+class TestRunPipeline:
+    def test_phases_recorded(self, paper_graph):
+        result = run_pipeline(paper_graph, use_meg=False)
+        assert {"condense", "spanning", "intervals", "link_table",
+                "transitive_closure_of_links"} <= set(result.phase_seconds)
+        assert "meg" not in result.phase_seconds
+
+    def test_meg_phase_when_enabled(self, paper_graph):
+        result = run_pipeline(paper_graph, use_meg=True)
+        assert "meg" in result.phase_seconds
+        assert result.meg_edges is not None
+        assert result.meg_edges <= paper_graph.num_edges
+
+    def test_meg_never_increases_t(self):
+        for seed in range(5):
+            g = gnm_random_digraph(80, 180, seed=seed)
+            with_meg = run_pipeline(g, use_meg=True)
+            without = run_pipeline(g, use_meg=False)
+            assert with_meg.t <= without.t
+
+    def test_paper_graph_counts(self, paper_graph):
+        result = run_pipeline(paper_graph, use_meg=False)
+        assert result.t == 2
+        assert result.num_transitive_links == 3
+
+    def test_cyclic_input_condensed(self, two_cycle_graph):
+        result = run_pipeline(two_cycle_graph, use_meg=True)
+        assert result.condensation.num_components == 3
+        assert result.dag.num_nodes == 3
+
+    def test_component_interval_lookup(self, two_cycle_graph):
+        result = run_pipeline(two_cycle_graph, use_meg=False)
+        # Members of the same SCC share an interval.
+        assert result.component_interval(0) == result.component_interval(1)
+        assert result.component_interval(0) != result.component_interval(6)
+
+    def test_component_interval_unknown_raises(self, paper_graph):
+        result = run_pipeline(paper_graph)
+        with pytest.raises(QueryError):
+            result.component_interval("ghost")
+
+    def test_empty_graph(self):
+        result = run_pipeline(DiGraph())
+        assert result.t == 0
+        assert result.num_transitive_links == 0
+
+    def test_single_node(self):
+        result = run_pipeline(DiGraph(nodes=["only"]))
+        assert result.t == 0
+        assert result.component_interval("only").width == 1

@@ -1,0 +1,94 @@
+"""Unit tests for latency profiles and amortization analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.profiles import (
+    AmortizationReport,
+    LatencyProfile,
+    amortization_point,
+    latency_profile,
+)
+from repro.bench.workloads import random_query_pairs
+from repro.core.base import build_index
+from repro.graph.generators import single_rooted_dag
+
+
+class TestLatencyProfile:
+    def test_percentiles_ordered(self):
+        g = single_rooted_dag(150, 210, max_fanout=5, seed=1)
+        index = build_index(g, scheme="dual-i")
+        pairs = random_query_pairs(g, 2000, seed=2)
+        profile = latency_profile(index, pairs)
+        assert profile.num_queries == 2000
+        assert 0 <= profile.p50 <= profile.p90 <= profile.p99 \
+            <= profile.maximum
+        assert profile.mean > 0
+
+    def test_as_dict_microseconds(self):
+        g = single_rooted_dag(50, 70, seed=3)
+        index = build_index(g, scheme="dual-ii")
+        profile = latency_profile(index,
+                                  random_query_pairs(g, 200, seed=4))
+        d = profile.as_dict()
+        assert d["scheme"] == "dual-ii"
+        assert d["p50_us"] == pytest.approx(1e6 * profile.p50)
+
+    def test_empty_workload(self):
+        g = single_rooted_dag(20, 25, seed=5)
+        index = build_index(g, scheme="dual-i")
+        profile = latency_profile(index, [])
+        assert profile.num_queries == 0
+        assert profile.mean == 0.0
+        assert profile.maximum == 0.0
+
+    def test_online_bfs_has_heavier_tail_than_dual_i(self):
+        """The data-dependent scheme's p99/p50 ratio exceeds the
+        constant-time scheme's on a deep graph."""
+        g = single_rooted_dag(800, 900, max_fanout=2, seed=6)
+        pairs = random_query_pairs(g, 1500, seed=7)
+        dual = latency_profile(build_index(g, scheme="dual-i"), pairs)
+        bfs = latency_profile(build_index(g, scheme="online-bfs"), pairs)
+        assert bfs.maximum > dual.maximum
+
+
+class TestAmortization:
+    def test_dual_i_pays_off(self):
+        g = single_rooted_dag(400, 520, max_fanout=5, seed=8)
+        pairs = random_query_pairs(g, 3000, seed=9)
+        report = amortization_point(g, "dual-i", pairs)
+        assert report.scheme == "dual-i"
+        assert report.per_query_seconds < \
+            report.baseline_per_query_seconds
+        assert report.break_even_queries is not None
+        assert report.break_even_queries >= 1
+        # At the break-even count, the indexed total really is <= the
+        # baseline's total (within float fuzz).
+        q = report.break_even_queries
+        baseline_total = q * report.baseline_per_query_seconds
+        assert report.total_seconds(q) <= baseline_total * 1.001 + 1e-9
+
+    def test_slower_scheme_never_pays_off(self):
+        """A scheme whose per-query cost exceeds the baseline's has no
+        break-even point.  Online BFS measured against the O(1) closure
+        matrix gives a deterministic >10x margin."""
+        g = single_rooted_dag(300, 390, seed=10)
+        pairs = random_query_pairs(g, 1500, seed=11)
+        report = amortization_point(g, "online-bfs", pairs,
+                                    baseline_scheme="closure")
+        assert report.per_query_seconds > \
+            report.baseline_per_query_seconds
+        assert report.break_even_queries is None
+
+    def test_total_seconds(self):
+        report = AmortizationReport(
+            scheme="x", build_seconds=2.0, per_query_seconds=0.001,
+            baseline_per_query_seconds=0.01, break_even_queries=223)
+        assert report.total_seconds(1000) == pytest.approx(3.0)
+
+    def test_options_forwarded(self):
+        g = single_rooted_dag(150, 190, seed=12)
+        pairs = random_query_pairs(g, 1000, seed=13)
+        report = amortization_point(g, "dual-i", pairs, use_meg=False)
+        assert report.build_seconds > 0

@@ -1,0 +1,317 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Graphs are generated as random edge lists over a bounded node universe —
+cyclic, disconnected, self-looped, everything goes — and the labeled
+schemes are checked against the BFS oracle, plus structural invariants of
+the intermediate artefacts (Property 1, Lemma 2's grid, interval nesting,
+MEG minimality).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import build_index
+from repro.core.intervals import assign_intervals
+from repro.core.linktable import build_link_table, transitive_link_table
+from repro.core.tlc_matrix import build_tlc_matrix, tlc_function
+from repro.core.tlc_searchtree import build_tlc_search_tree
+from repro.graph.closure import transitive_closure_pairs
+from repro.graph.condensation import condense
+from repro.graph.digraph import DiGraph
+from repro.graph.meg import minimal_equivalent_graph
+from repro.graph.spanning import spanning_forest
+from repro.graph.traversal import is_reachable_search
+
+# ---------------------------------------------------------------------
+# graph strategies
+# ---------------------------------------------------------------------
+NODES = st.integers(min_value=0, max_value=17)
+
+
+@st.composite
+def digraphs(draw):
+    """Arbitrary directed graphs: cycles, self-loops, isolated nodes."""
+    edges = draw(st.lists(st.tuples(NODES, NODES), max_size=60))
+    extra_nodes = draw(st.lists(NODES, max_size=5))
+    return DiGraph(edges=edges, nodes=extra_nodes)
+
+
+@st.composite
+def dags(draw):
+    """Arbitrary DAGs: edges oriented low -> high node id."""
+    raw = draw(st.lists(st.tuples(NODES, NODES), max_size=60))
+    edges = [(min(u, v), max(u, v)) for u, v in raw if u != v]
+    extra_nodes = draw(st.lists(NODES, max_size=5))
+    return DiGraph(edges=edges, nodes=extra_nodes)
+
+
+COMMON = settings(max_examples=60, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------
+# end-to-end scheme correctness
+# ---------------------------------------------------------------------
+@COMMON
+@given(graph=digraphs())
+def test_dual_i_matches_oracle(graph):
+    index = build_index(graph, scheme="dual-i")
+    for u in graph.nodes():
+        for v in graph.nodes():
+            assert index.reachable(u, v) == is_reachable_search(graph, u, v)
+
+
+@COMMON
+@given(graph=digraphs())
+def test_dual_ii_matches_oracle(graph):
+    index = build_index(graph, scheme="dual-ii")
+    for u in graph.nodes():
+        for v in graph.nodes():
+            assert index.reachable(u, v) == is_reachable_search(graph, u, v)
+
+
+@COMMON
+@given(graph=digraphs())
+def test_dual_rt_matches_oracle(graph):
+    index = build_index(graph, scheme="dual-rt")
+    for u in graph.nodes():
+        for v in graph.nodes():
+            assert index.reachable(u, v) == is_reachable_search(graph, u, v)
+
+
+@COMMON
+@given(graph=digraphs())
+def test_dual_i_without_meg_matches_oracle(graph):
+    index = build_index(graph, scheme="dual-i", use_meg=False)
+    for u in graph.nodes():
+        for v in graph.nodes():
+            assert index.reachable(u, v) == is_reachable_search(graph, u, v)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph=digraphs())
+def test_baselines_match_oracle(graph):
+    for scheme in ("interval", "2hop", "closure", "grail",
+                   "chain-cover"):
+        index = build_index(graph, scheme=scheme)
+        for u in graph.nodes():
+            for v in graph.nodes():
+                assert index.reachable(u, v) == \
+                    is_reachable_search(graph, u, v), scheme
+
+
+# ---------------------------------------------------------------------
+# structural invariants
+# ---------------------------------------------------------------------
+@COMMON
+@given(dag=dags())
+def test_interval_nesting_invariant(dag):
+    """Any two interval labels are nested or disjoint — never partially
+    overlapping — and containment equals forest ancestorship."""
+    forest = spanning_forest(dag)
+    labeling = assign_intervals(forest)
+    intervals = list(labeling.interval.items())
+    for u, iu in intervals:
+        for v, iv in intervals:
+            nested = iu.contains_interval(iv) or iv.contains_interval(iu)
+            disjoint = iu.end <= iv.start or iv.end <= iu.start
+            assert nested or disjoint
+            assert labeling.is_tree_ancestor(u, v) == \
+                forest.is_tree_ancestor(u, v)
+
+
+@COMMON
+@given(dag=dags())
+def test_property1_transitive_table_bound(dag):
+    forest = spanning_forest(dag)
+    labeling = assign_intervals(forest)
+    base = build_link_table(forest.nontree_edges, labeling)
+    closed = transitive_link_table(base)
+    t = len(base)
+    assert len(closed) <= t * (t + 1) // 2
+    assert set(base.links) <= set(closed.links)
+
+
+@COMMON
+@given(dag=dags())
+def test_tlc_structures_agree_with_definition(dag):
+    """Matrix grid values and search-tree counts both equal Definition 1."""
+    forest = spanning_forest(dag)
+    labeling = assign_intervals(forest)
+    closed = transitive_link_table(
+        build_link_table(forest.nontree_edges, labeling))
+    N = tlc_function(closed)
+    matrix = build_tlc_matrix(closed)
+    tree = build_tlc_search_tree(closed)
+    for ix, x in enumerate(closed.xs):
+        for iy, y in enumerate(closed.ys):
+            expected = N(x, y)
+            assert matrix.value(ix, iy) == expected
+            assert tree.count(x, y) == expected
+    # The tree also answers off-grid coordinates.
+    for x in range(0, 20, 3):
+        for y in range(0, 20, 3):
+            assert tree.count(x, y) == N(x, y)
+
+
+@COMMON
+@given(dag=dags())
+def test_meg_preserves_and_minimizes(dag):
+    result = minimal_equivalent_graph(dag)
+    assert transitive_closure_pairs(result.graph) == \
+        transitive_closure_pairs(dag)
+    # Removed edges really were superfluous: each one's endpoints stay
+    # connected in the reduced graph.
+    for u, v in result.removed_edges:
+        assert is_reachable_search(result.graph, u, v)
+
+
+@COMMON
+@given(graph=digraphs())
+def test_condensation_is_acyclic_partition(graph):
+    cond = condense(graph)
+    # Partition: every node appears in exactly one component.
+    seen = {}
+    for cid, members in enumerate(cond.members):
+        for node in members:
+            assert node not in seen
+            seen[node] = cid
+    assert set(seen) == set(graph.nodes())
+    # Acyclic with topologically ordered ids: edges go low -> high.
+    for u, v in cond.dag.edges():
+        assert u < v
+
+
+@COMMON
+@given(graph=digraphs())
+def test_witness_paths_verify(graph):
+    """Every positive answer yields a witness that expands into a real
+    edge path; negative answers yield None."""
+    from repro.core.witness import expand_witness, verify_witness, witness_path
+
+    index = build_index(graph, scheme="dual-i")
+    nodes = list(graph.nodes())
+    for u in nodes[:10]:
+        for v in nodes[:10]:
+            witness = witness_path(index, u, v)
+            if is_reachable_search(graph, u, v):
+                assert witness is not None
+                assert verify_witness(graph, expand_witness(graph,
+                                                            witness))
+            else:
+                assert witness is None
+
+
+@COMMON
+@given(graph=digraphs())
+def test_batch_queries_match_scalar(graph):
+    """The vectorised Theorem 3 agrees with the scalar query on every
+    pair."""
+    from repro.core.batch import reachable_batch
+
+    index = build_index(graph, scheme="dual-i")
+    nodes = list(graph.nodes())
+    pairs = [(u, v) for u in nodes[:8] for v in nodes[:8]]
+    expected = [index.reachable(u, v) for u, v in pairs]
+    assert reachable_batch(index, pairs) == expected
+
+
+@COMMON
+@given(graph=digraphs())
+def test_reachability_is_transitive_and_reflexive(graph):
+    """Meta-check of the oracle itself on the dual-i index: reachability
+    must be a preorder (reflexive + transitive)."""
+    index = build_index(graph, scheme="dual-i")
+    nodes = list(graph.nodes())
+    for u in nodes:
+        assert index.reachable(u, u)
+    for u in nodes[:8]:
+        for v in nodes[:8]:
+            for w in nodes[:8]:
+                if index.reachable(u, v) and index.reachable(v, w):
+                    assert index.reachable(u, w)
+
+
+@COMMON
+@given(graph=digraphs())
+def test_chain_cover_structure_invariants(graph):
+    """Chains partition the condensed nodes; consecutive chain members
+    are joined by DAG edges (so suffix-reachability holds)."""
+    from repro.baselines.chain_cover import ChainCoverIndex
+
+    index = build_index(graph, scheme="chain-cover")
+    chain_of = index._chain_of
+    pos = index._pos_in_chain
+    n = len(chain_of)
+    if n == 0:
+        return
+    # Positions within each chain are 0..len-1 with no gaps.
+    by_chain: dict = {}
+    for node in range(n):
+        by_chain.setdefault(int(chain_of[node]), []).append(int(pos[node]))
+    for positions in by_chain.values():
+        assert sorted(positions) == list(range(len(positions)))
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.data())
+def test_ontology_subsumption_matches_search(data):
+    """Random subclass hierarchies: Ontology answers equal BFS over the
+    subClassOf digraph."""
+    from repro.rdf import SUBCLASS_OF, Ontology, TripleStore
+
+    names = [f"C{k}" for k in range(10)]
+    edges = data.draw(st.lists(
+        st.tuples(st.sampled_from(names), st.sampled_from(names)),
+        max_size=25))
+    store = TripleStore((sub, SUBCLASS_OF, sup) for sub, sup in edges
+                        if sub != sup)
+    onto = Ontology(store)
+    graph = onto.hierarchy
+    for sub in graph.nodes():
+        for sup in graph.nodes():
+            assert onto.is_subclass_of(sub, sup) == \
+                is_reachable_search(graph, sub, sup)
+
+
+@COMMON
+@given(graph=digraphs())
+def test_dot_export_contains_everything(graph):
+    """DOT output names every node and edge exactly."""
+    from repro.graph.io import to_dot
+
+    dot = to_dot(graph)
+    for node in graph.nodes():
+        assert f'"{node}"' in dot
+    for u, v in graph.edges():
+        assert f'"{u}" -> "{v}"' in dot
+    assert dot.count("->") == graph.num_edges
+
+
+@COMMON
+@given(graph=digraphs(),
+       count=st.integers(min_value=0, max_value=40),
+       seed=st.integers(min_value=0, max_value=99))
+def test_golden_round_trip_property(tmp_path_factory, graph, count, seed):
+    """Goldens survive serialisation and match the oracle verbatim."""
+    from repro.bench.goldens import (
+        check_against_golden,
+        create_golden,
+        load_golden,
+        save_golden,
+    )
+
+    if graph.num_nodes == 0:
+        return
+    golden = create_golden(graph, count, seed=seed)
+    path = tmp_path_factory.mktemp("goldens") / "g.json"
+    save_golden(golden, path)
+    loaded = load_golden(path)
+    assert loaded.pairs == golden.pairs
+    assert loaded.answers == golden.answers
+    index = build_index(graph, scheme="dual-i")
+    assert check_against_golden(index, loaded) == []

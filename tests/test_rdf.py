@@ -1,0 +1,205 @@
+"""Unit tests for the RDF substrate (triples, ontology, generator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError, QueryError
+from repro.rdf import (
+    SUBCLASS_OF,
+    TYPE,
+    Ontology,
+    TripleStore,
+    generate_ontology,
+)
+
+ZOO = """
+ex:Dog rdfs:subClassOf ex:Mammal .
+ex:Cat rdfs:subClassOf ex:Mammal .
+ex:Mammal rdfs:subClassOf ex:Animal .
+ex:Bird rdfs:subClassOf ex:Animal .
+ex:Penguin rdfs:subClassOf ex:Bird .
+ex:Penguin rdfs:subClassOf ex:FlightlessThing .
+ex:rex rdf:type ex:Dog .
+ex:tweety rdf:type ex:Bird .
+ex:pingu rdf:type ex:Penguin .
+"""
+
+
+class TestTripleStore:
+    def test_add_and_contains(self):
+        store = TripleStore()
+        store.add("a", "p", "b")
+        assert ("a", "p", "b") in store
+        assert len(store) == 1
+
+    def test_add_idempotent(self):
+        store = TripleStore([("a", "p", "b"), ("a", "p", "b")])
+        assert len(store) == 1
+
+    def test_remove(self):
+        store = TripleStore([("a", "p", "b")])
+        store.remove("a", "p", "b")
+        assert len(store) == 0
+        with pytest.raises(KeyError):
+            store.remove("a", "p", "b")
+
+    def test_indexes(self):
+        store = TripleStore([("a", "p", "b"), ("c", "p", "b"),
+                             ("a", "q", "d")])
+        assert store.predicates() == ["p", "q"]
+        assert store.pairs("p") == {("a", "b"), ("c", "b")}
+        assert store.subjects("p", "b") == {"a", "c"}
+        assert store.objects("a", "p") == {"b"}
+        assert store.objects("a", "missing") == set()
+
+    def test_predicate_graph(self):
+        store = TripleStore([("a", "p", "b"), ("b", "p", "c")])
+        graph = store.predicate_graph("p")
+        assert graph.has_edge("a", "b")
+        assert graph.num_edges == 2
+        assert store.predicate_graph("nope").num_nodes == 0
+
+    def test_text_round_trip(self):
+        store = TripleStore.loads(ZOO)
+        again = TripleStore.loads(store.dumps())
+        assert set(store) == set(again)
+
+    def test_file_round_trip(self, tmp_path):
+        store = TripleStore.loads(ZOO)
+        path = tmp_path / "zoo.nt"
+        store.save(path)
+        assert set(TripleStore.load(path)) == set(store)
+
+    def test_comments_and_blanks(self):
+        store = TripleStore.loads("# comment\n\na p b .\n")
+        assert len(store) == 1
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(DatasetError):
+            TripleStore.loads("a p b\n")       # missing dot
+        with pytest.raises(DatasetError):
+            TripleStore.loads("a p .\n")        # missing object
+
+    def test_iteration_sorted(self):
+        store = TripleStore([("z", "p", "y"), ("a", "p", "b")])
+        assert list(store)[0] == ("a", "p", "b")
+
+    def test_repr(self):
+        assert "TripleStore" in repr(TripleStore())
+
+
+class TestOntology:
+    @pytest.fixture
+    def zoo(self):
+        return Ontology(TripleStore.loads(ZOO))
+
+    def test_subsumption(self, zoo):
+        assert zoo.is_subclass_of("ex:Dog", "ex:Animal")
+        assert zoo.is_subclass_of("ex:Penguin", "ex:Animal")
+        assert zoo.is_subclass_of("ex:Penguin", "ex:FlightlessThing")
+        assert not zoo.is_subclass_of("ex:Animal", "ex:Dog")
+        assert not zoo.is_subclass_of("ex:Cat", "ex:Bird")
+
+    def test_reflexive(self, zoo):
+        assert zoo.is_subclass_of("ex:Dog", "ex:Dog")
+
+    def test_superclasses(self, zoo):
+        assert zoo.superclasses("ex:Penguin") == {
+            "ex:Penguin", "ex:Bird", "ex:Animal", "ex:FlightlessThing"}
+        assert zoo.superclasses("ex:Penguin", strict=True) == {
+            "ex:Bird", "ex:Animal", "ex:FlightlessThing"}
+
+    def test_subclasses(self, zoo):
+        assert zoo.subclasses("ex:Mammal") == {
+            "ex:Mammal", "ex:Dog", "ex:Cat"}
+        assert zoo.subclasses("ex:Animal", strict=True) == {
+            "ex:Mammal", "ex:Dog", "ex:Cat", "ex:Bird", "ex:Penguin"}
+
+    def test_instances(self, zoo):
+        assert zoo.instances_of("ex:Animal") == {
+            "ex:rex", "ex:tweety", "ex:pingu"}
+        assert zoo.instances_of("ex:Bird") == {"ex:tweety", "ex:pingu"}
+        assert zoo.instances_of("ex:FlightlessThing") == {"ex:pingu"}
+
+    def test_types_of(self, zoo):
+        assert zoo.types_of("ex:pingu", inferred=False) == {"ex:Penguin"}
+        assert "ex:Animal" in zoo.types_of("ex:pingu")
+
+    def test_unknown_class_raises(self, zoo):
+        with pytest.raises(QueryError):
+            zoo.is_subclass_of("ex:Dog", "ex:Unicorn")
+        with pytest.raises(QueryError):
+            zoo.superclasses("ex:Unicorn")
+        with pytest.raises(QueryError):
+            zoo.instances_of("ex:Unicorn")
+
+    def test_equivalence_cycle(self):
+        # A subClassOf B and B subClassOf A: an equivalence pair (SCC).
+        store = TripleStore([("A", SUBCLASS_OF, "B"),
+                             ("B", SUBCLASS_OF, "A"),
+                             ("C", SUBCLASS_OF, "A")])
+        onto = Ontology(store)
+        assert onto.is_subclass_of("A", "B")
+        assert onto.is_subclass_of("B", "A")
+        assert onto.is_subclass_of("C", "B")
+
+    def test_scheme_selectable(self):
+        store = TripleStore.loads(ZOO)
+        for scheme in ("dual-ii", "interval", "closure"):
+            onto = Ontology(store, scheme=scheme)
+            assert onto.is_subclass_of("ex:Dog", "ex:Animal")
+
+    def test_type_only_class_participates(self):
+        store = TripleStore([("x", TYPE, "Lonely")])
+        onto = Ontology(store)
+        assert onto.is_class("Lonely")
+        assert onto.instances_of("Lonely") == {"x"}
+
+    def test_repr_and_listings(self, zoo):
+        assert "Ontology" in repr(zoo)
+        assert "ex:Dog" in zoo.classes
+        assert zoo.individuals == ["ex:pingu", "ex:rex", "ex:tweety"]
+
+
+class TestGenerator:
+    def test_counts(self):
+        store = generate_ontology(num_classes=50, num_individuals=20,
+                                  seed=1)
+        onto = Ontology(store)
+        assert len(onto.classes) <= 50
+        assert len(onto.individuals) == 20
+
+    def test_hierarchy_is_dag(self):
+        from repro.graph.traversal import topological_sort
+        store = generate_ontology(num_classes=120, seed=2)
+        topological_sort(store.predicate_graph(SUBCLASS_OF))
+
+    def test_deterministic(self):
+        a = generate_ontology(seed=3)
+        b = generate_ontology(seed=3)
+        assert set(a) == set(b)
+
+    def test_everything_under_some_root(self):
+        store = generate_ontology(num_classes=80, num_roots=2, seed=4)
+        onto = Ontology(store)
+        roots = {"ex:C0", "ex:C1"}
+        for cls in onto.classes:
+            assert any(onto.is_subclass_of(cls, root) for root in roots)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_ontology(num_classes=2, num_roots=5)
+        with pytest.raises(ValueError):
+            generate_ontology(multi_parent_fraction=1.5)
+
+    def test_subsumption_matches_search(self):
+        from repro.graph.traversal import is_reachable_search
+        store = generate_ontology(num_classes=60, num_individuals=0,
+                                  seed=5)
+        onto = Ontology(store)
+        graph = onto.hierarchy
+        for sub in list(graph.nodes())[::5]:
+            for sup in list(graph.nodes())[::7]:
+                assert onto.is_subclass_of(sub, sup) == \
+                    is_reachable_search(graph, sub, sup)

@@ -1,0 +1,72 @@
+"""Unit tests for report rendering."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_csv, format_markdown_table, format_value
+
+
+class TestFormatValue:
+    def test_none_blank(self):
+        assert format_value(None) == ""
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_ranges(self):
+        assert format_value(0.0) == "0"
+        assert format_value(123.456) == "123"
+        assert format_value(12.345) == "12.35"
+        assert format_value(0.12345) == "0.1235"
+
+    def test_passthrough(self):
+        assert format_value(42) == "42"
+        assert format_value("x") == "x"
+
+
+class TestMarkdownTable:
+    def test_basic(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": None}]
+        text = format_markdown_table(rows)
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.50 |"
+        assert lines[3] == "| 3 |  |"
+
+    def test_title(self):
+        text = format_markdown_table([{"a": 1}], title="Hello")
+        assert text.startswith("### Hello")
+
+    def test_explicit_columns(self):
+        text = format_markdown_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "| b |" in text
+        assert "a" not in text.splitlines()[0]
+
+    def test_columns_union_across_rows(self):
+        rows = [{"a": 1}, {"b": 2}]
+        header = format_markdown_table(rows).splitlines()[0]
+        assert "a" in header and "b" in header
+
+    def test_empty(self):
+        assert "(no data)" in format_markdown_table([])
+
+
+class TestCSV:
+    def test_basic(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        text = format_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+        assert lines[2] == "2,y"
+
+    def test_missing_values_blank(self):
+        text = format_csv([{"a": 1}, {"b": 2}])
+        lines = text.strip().splitlines()
+        assert lines[1] == "1,"
+        assert lines[2] == ",2"
+
+    def test_explicit_columns_filter(self):
+        text = format_csv([{"a": 1, "b": 2}], columns=["a"])
+        assert text.strip().splitlines() == ["a", "1"]

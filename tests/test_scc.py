@@ -1,0 +1,104 @@
+"""Unit tests for Tarjan SCC, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_digraph
+from repro.graph.scc import (
+    is_strongly_connected,
+    scc_index,
+    strongly_connected_components,
+)
+
+
+def _as_frozensets(components):
+    return {frozenset(c) for c in components}
+
+
+class TestBasics:
+    def test_empty(self):
+        assert strongly_connected_components(DiGraph()) == []
+
+    def test_single_node(self):
+        g = DiGraph(nodes=[1])
+        assert _as_frozensets(strongly_connected_components(g)) == {
+            frozenset([1])}
+
+    def test_self_loop_is_singleton_component(self):
+        g = DiGraph([(1, 1)])
+        assert _as_frozensets(strongly_connected_components(g)) == {
+            frozenset([1])}
+
+    def test_dag_all_singletons(self, diamond):
+        comps = strongly_connected_components(diamond)
+        assert all(len(c) == 1 for c in comps)
+        assert len(comps) == 4
+
+    def test_simple_cycle(self):
+        g = DiGraph([(0, 1), (1, 2), (2, 0)])
+        assert _as_frozensets(strongly_connected_components(g)) == {
+            frozenset([0, 1, 2])}
+
+    def test_two_cycles(self, two_cycle_graph):
+        comps = _as_frozensets(
+            strongly_connected_components(two_cycle_graph))
+        assert frozenset([0, 1, 2]) in comps
+        assert frozenset([3, 4, 5]) in comps
+        assert frozenset([6]) in comps
+
+    def test_reverse_topological_emission_order(self, two_cycle_graph):
+        comps = strongly_connected_components(two_cycle_graph)
+        position = {frozenset(c): i for i, c in enumerate(comps)}
+        # The tail {6} is reachable from both cycles, so it must be
+        # emitted before them (reverse topological order).
+        assert position[frozenset([6])] < position[frozenset([3, 4, 5])]
+        assert position[frozenset([3, 4, 5])] < position[frozenset([0, 1, 2])]
+
+    def test_deep_cycle_iterative(self):
+        n = 30_000
+        g = DiGraph([(i, i + 1) for i in range(n)] + [(n, 0)])
+        comps = strongly_connected_components(g)
+        assert len(comps) == 1
+        assert len(comps[0]) == n + 1
+
+
+class TestSCCIndex:
+    def test_members_share_index(self, two_cycle_graph):
+        index = scc_index(two_cycle_graph)
+        assert index[0] == index[1] == index[2]
+        assert index[3] == index[4] == index[5]
+        assert index[0] != index[3]
+        assert index[6] not in (index[0], index[3])
+
+    def test_covers_all_nodes(self, paper_graph):
+        index = scc_index(paper_graph)
+        assert set(index) == set(paper_graph.nodes())
+
+
+class TestIsStronglyConnected:
+    def test_empty_false(self):
+        assert not is_strongly_connected(DiGraph())
+
+    def test_single_node_true(self):
+        assert is_strongly_connected(DiGraph(nodes=[1]))
+
+    def test_cycle_true(self):
+        assert is_strongly_connected(DiGraph([(0, 1), (1, 0)]))
+
+    def test_dag_false(self, diamond):
+        assert not is_strongly_connected(diamond)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs_match(self, seed):
+        nx = pytest.importorskip("networkx")
+        g = gnm_random_digraph(60, 150, seed=seed)
+        ours = _as_frozensets(strongly_connected_components(g))
+        ng = nx.DiGraph(list(g.edges()))
+        ng.add_nodes_from(g.nodes())
+        theirs = {frozenset(c)
+                  for c in nx.strongly_connected_components(ng)}
+        assert ours == theirs

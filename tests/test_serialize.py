@@ -1,0 +1,129 @@
+"""Unit tests for Dual-I index serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.dual_i import DualIIndex
+from repro.core.dual_ii import DualIIIndex
+from repro.core.serialize import load_dual_index, save_dual_index
+from repro.exceptions import IndexBuildError, QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_digraph
+from tests.conftest import make_paper_graph, sample_pairs
+
+
+class TestRoundTrip:
+    def test_paper_graph(self, tmp_path):
+        graph = make_paper_graph()
+        index = DualIIndex.build(graph, use_meg=False)
+        path = tmp_path / "index.json"
+        save_dual_index(index, path)
+        loaded = load_dual_index(path)
+        for u in graph.nodes():
+            for v in graph.nodes():
+                assert loaded.reachable(u, v) == index.reachable(u, v)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, tmp_path, seed):
+        graph = gnm_random_digraph(50, 130, seed=seed)
+        index = DualIIndex.build(graph)
+        path = tmp_path / "index.json"
+        save_dual_index(index, path)
+        loaded = load_dual_index(path)
+        for u, v in sample_pairs(graph, 400, seed):
+            assert loaded.reachable(u, v) == index.reachable(u, v)
+
+    def test_stats_survive(self, tmp_path):
+        graph = gnm_random_digraph(40, 100, seed=1)
+        index = DualIIndex.build(graph)
+        path = tmp_path / "index.json"
+        save_dual_index(index, path)
+        loaded = load_dual_index(path)
+        original = index.stats()
+        restored = loaded.stats()
+        assert restored.num_nodes == original.num_nodes
+        assert restored.t == original.t
+        assert restored.transitive_links == original.transitive_links
+        assert restored.space_bytes == original.space_bytes
+
+    def test_int_and_str_nodes_distinct(self, tmp_path):
+        graph = DiGraph([(1, "1"), ("1", 2)])
+        index = DualIIndex.build(graph)
+        path = tmp_path / "index.json"
+        save_dual_index(index, path)
+        loaded = load_dual_index(path)
+        assert loaded.reachable(1, 2)
+        assert loaded.reachable("1", 2)
+        assert not loaded.reachable(2, "1")
+
+    def test_unknown_vertex_still_raises(self, tmp_path):
+        index = DualIIndex.build(DiGraph([("a", "b")]))
+        path = tmp_path / "index.json"
+        save_dual_index(index, path)
+        with pytest.raises(QueryError):
+            load_dual_index(path).reachable("a", "ghost")
+
+
+class TestValidation:
+    def test_non_scalar_nodes_rejected(self, tmp_path):
+        graph = DiGraph([((1, 2), (3, 4))])  # tuple nodes
+        index = DualIIndex.build(graph)
+        with pytest.raises(IndexBuildError):
+            save_dual_index(index, tmp_path / "index.json")
+
+    def test_only_dual_i_supported(self, tmp_path, diamond):
+        index = DualIIIndex.build(diamond)
+        with pytest.raises(IndexBuildError):
+            save_dual_index(index, tmp_path / "index.json")
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(IndexBuildError):
+            load_dual_index(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(IndexBuildError):
+            load_dual_index(path)
+
+    def test_wrong_version(self, tmp_path, diamond):
+        path = tmp_path / "index.json"
+        save_dual_index(DualIIndex.build(diamond), path)
+        document = json.loads(path.read_text())
+        document["version"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(IndexBuildError):
+            load_dual_index(path)
+
+    def test_truncated_document(self, tmp_path, diamond):
+        path = tmp_path / "index.json"
+        save_dual_index(DualIIndex.build(diamond), path)
+        document = json.loads(path.read_text())
+        del document["starts"]
+        path.write_text(json.dumps(document))
+        with pytest.raises(IndexBuildError):
+            load_dual_index(path)
+
+    def test_pipeline_unavailable_after_load(self, tmp_path, diamond):
+        path = tmp_path / "index.json"
+        save_dual_index(DualIIndex.build(diamond), path)
+        loaded = load_dual_index(path)
+        with pytest.raises(IndexBuildError):
+            loaded.pipeline
+
+
+class TestBackendSerialization:
+    @pytest.mark.parametrize("backend", ["packed", "bitpacked"])
+    def test_packed_backends_round_trip(self, tmp_path, backend):
+        graph = gnm_random_digraph(40, 110, seed=9)
+        index = DualIIndex.build(graph, matrix_backend=backend)
+        path = tmp_path / "index.json"
+        save_dual_index(index, path)
+        loaded = load_dual_index(path)
+        for u, v in sample_pairs(graph, 300, 9):
+            assert loaded.reachable(u, v) == index.reachable(u, v)

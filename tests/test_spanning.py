@@ -1,0 +1,102 @@
+"""Unit tests for spanning-forest extraction and edge classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NotADAGError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag, random_tree
+from repro.graph.spanning import spanning_forest
+from tests.conftest import PAPER_NONTREE_EDGES, PAPER_TREE_EDGES
+
+
+class TestStructure:
+    def test_tree_input_has_no_nontree_edges(self):
+        tree = random_tree(50, max_fanout=4, seed=1)
+        forest = spanning_forest(tree)
+        assert forest.t == 0
+        assert forest.num_tree_edges == 49
+        assert forest.roots == [0]
+
+    def test_every_node_covered(self):
+        dag = random_dag(40, 90, seed=2)
+        forest = spanning_forest(dag)
+        covered = set(forest.parent) | set(forest.roots)
+        assert covered == set(dag.nodes())
+
+    def test_edge_partition(self):
+        dag = random_dag(40, 90, seed=3)
+        forest = spanning_forest(dag)
+        tree = {(forest.parent[c], c) for c in forest.parent}
+        nontree = set(forest.nontree_edges)
+        superfluous = set(forest.superfluous_edges)
+        all_edges = set(dag.edges())
+        assert tree | nontree | superfluous == all_edges
+        assert not tree & nontree
+        assert not tree & superfluous
+        assert not nontree & superfluous
+
+    def test_multi_root_forest(self):
+        g = DiGraph([(0, 1), (2, 3), (2, 1)])
+        forest = spanning_forest(g)
+        assert set(forest.roots) == {0, 2}
+        # Edge 2 -> 1 arrives second, so it is a non-tree edge.
+        assert (2, 1) in forest.nontree_edges
+
+    def test_children_order_matches_adjacency(self):
+        g = DiGraph([(0, 2), (0, 1)])
+        forest = spanning_forest(g)
+        assert forest.children[0] == [2, 1]
+
+    def test_cycle_rejected(self, two_cycle_graph):
+        with pytest.raises(NotADAGError):
+            spanning_forest(two_cycle_graph)
+
+    def test_empty_graph(self):
+        forest = spanning_forest(DiGraph())
+        assert forest.roots == []
+        assert forest.t == 0
+
+
+class TestSuperfluousEdges:
+    def test_descendant_edge_is_superfluous(self):
+        # 0 -> 1 -> 2 plus shortcut 0 -> 2: DFS takes 0->1->2 as tree,
+        # the shortcut's head is a tree descendant of its tail.
+        g = DiGraph([(0, 1), (1, 2), (0, 2)])
+        forest = spanning_forest(g)
+        assert forest.superfluous_edges == [(0, 2)]
+        assert forest.t == 0
+
+    def test_cross_edge_is_kept(self):
+        # 0 -> {1, 2}; 1 -> 2 arrives after 2 was visited via 0.
+        g = DiGraph([(0, 2), (0, 1), (1, 2)])
+        forest = spanning_forest(g)
+        assert forest.nontree_edges == [(1, 2)]
+        assert forest.superfluous_edges == []
+
+    def test_paper_graph_classification(self, paper_graph):
+        forest = spanning_forest(paper_graph)
+        tree = {(forest.parent[c], c) for c in forest.parent}
+        assert tree == set(PAPER_TREE_EDGES)
+        assert set(forest.nontree_edges) == set(PAPER_NONTREE_EDGES)
+        assert forest.superfluous_edges == []
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_is_tree_ancestor_consistent_with_parents(self, seed):
+        dag = random_dag(25, 50, seed=seed)
+        forest = spanning_forest(dag)
+        for u in dag.nodes():
+            # Walk up from u: every node on the path is an ancestor.
+            node = u
+            chain = [u]
+            while node in forest.parent:
+                node = forest.parent[node]
+                chain.append(node)
+            chain_set = set(chain)
+            for anc in chain:
+                assert forest.is_tree_ancestor(anc, u)
+            # Exactly the chain members are tree ancestors of u.
+            for other in dag.nodes():
+                assert forest.is_tree_ancestor(other, u) == (
+                    other in chain_set)

@@ -1,0 +1,60 @@
+"""Unit tests for the paper's timing protocol."""
+
+from __future__ import annotations
+
+from repro.bench.timing import (
+    measure_build_time,
+    measure_query_time,
+)
+from repro.bench.workloads import random_query_pairs
+from repro.graph.generators import single_rooted_dag
+from repro.graph.traversal import is_reachable_search
+
+
+class TestMeasureBuildTime:
+    def test_returns_working_index(self, diamond):
+        measured = measure_build_time(diamond, "dual-i")
+        assert measured.scheme == "dual-i"
+        assert measured.seconds >= 0
+        assert measured.index.reachable("a", "d")
+
+    def test_options_forwarded(self, diamond):
+        measured = measure_build_time(diamond, "interval", probe="linear")
+        assert measured.index._probe == "linear"
+
+
+class TestMeasureQueryTime:
+    def test_protocol_fields(self):
+        g = single_rooted_dag(100, 140, seed=1)
+        index = measure_build_time(g, "dual-i").index
+        pairs = random_query_pairs(g, 500, seed=2)
+        measured = measure_query_time(index, pairs)
+        assert measured.num_queries == 500
+        assert measured.raw_seconds >= measured.seconds >= 0
+        assert measured.baseline_seconds >= 0
+        # Net = raw - baseline, clamped at zero.
+        assert measured.seconds == max(
+            0.0, measured.raw_seconds - measured.baseline_seconds)
+
+    def test_positive_count_matches_truth(self):
+        g = single_rooted_dag(80, 110, seed=3)
+        index = measure_build_time(g, "dual-ii").index
+        pairs = random_query_pairs(g, 300, seed=4)
+        measured = measure_query_time(index, pairs)
+        truth = sum(is_reachable_search(g, u, v) for u, v in pairs)
+        assert measured.positives == truth
+
+    def test_microseconds_per_query(self):
+        g = single_rooted_dag(50, 70, seed=5)
+        index = measure_build_time(g, "dual-i").index
+        pairs = random_query_pairs(g, 100, seed=6)
+        measured = measure_query_time(index, pairs)
+        assert measured.microseconds_per_query == \
+            1e6 * measured.seconds / 100
+
+    def test_zero_queries(self):
+        g = single_rooted_dag(20, 25, seed=7)
+        index = measure_build_time(g, "dual-i").index
+        measured = measure_query_time(index, [])
+        assert measured.num_queries == 0
+        assert measured.microseconds_per_query == 0.0

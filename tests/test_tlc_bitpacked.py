@@ -1,0 +1,111 @@
+"""Unit tests for the bit-packed TLC matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dual_i import DualIIndex
+from repro.core.intervals import assign_intervals
+from repro.core.linktable import build_link_table, transitive_link_table
+from repro.core.tlc_bitpacked import BitPackedTLCMatrix, bitpack_tlc_matrix
+from repro.core.tlc_matrix import TLCMatrix, build_tlc_matrix
+from repro.graph.generators import gnm_random_digraph, random_dag
+from repro.graph.spanning import spanning_forest
+from tests.conftest import make_paper_graph, sample_pairs
+
+
+def _tlc_for(graph) -> TLCMatrix:
+    forest = spanning_forest(graph)
+    labeling = assign_intervals(forest)
+    closed = transitive_link_table(
+        build_link_table(forest.nontree_edges, labeling))
+    return build_tlc_matrix(closed)
+
+
+class TestBitPacking:
+    def test_paper_graph_cells_match(self):
+        tlc = _tlc_for(make_paper_graph())
+        packed = bitpack_tlc_matrix(tlc)
+        rows, cols = tlc.matrix.shape
+        for ix in range(rows):
+            for iy in range(cols):
+                assert packed.value(ix, iy) == tlc.value(ix, iy)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_dags_cells_match(self, seed):
+        graph = random_dag(50, 140, seed=seed)
+        tlc = _tlc_for(graph)
+        packed = bitpack_tlc_matrix(tlc)
+        rows, cols = tlc.matrix.shape
+        for ix in range(rows):
+            for iy in range(cols):
+                assert packed.value(ix, iy) == tlc.value(ix, iy), (ix, iy)
+
+    def test_bits_per_cell_minimal(self):
+        tlc = _tlc_for(make_paper_graph())
+        packed = bitpack_tlc_matrix(tlc)
+        max_value = int(tlc.matrix.max())
+        assert packed.bits_per_cell == max(1, max_value.bit_length())
+
+    def test_zero_matrix_uses_one_bit(self):
+        tlc = TLCMatrix((), (), np.zeros((1, 1), dtype=np.int64))
+        packed = bitpack_tlc_matrix(tlc)
+        assert packed.bits_per_cell == 1
+        assert packed.value(0, 0) == 0
+
+    def test_space_reduction(self):
+        graph = random_dag(80, 220, seed=1)
+        tlc = _tlc_for(graph)
+        packed = bitpack_tlc_matrix(tlc)
+        assert packed.nbytes < tlc.nbytes
+        # At least a 4x reduction whenever counts fit in 16 bits.
+        if packed.bits_per_cell <= 16:
+            assert packed.nbytes * 4 <= tlc.nbytes + 8
+
+    def test_to_rows_round_trip(self):
+        tlc = _tlc_for(make_paper_graph())
+        packed = bitpack_tlc_matrix(tlc)
+        assert packed.to_rows() == tlc.matrix.tolist()
+
+    def test_sentinels_and_repr(self):
+        tlc = _tlc_for(make_paper_graph())
+        packed = bitpack_tlc_matrix(tlc)
+        assert packed.sentinel_x == len(tlc.xs)
+        assert packed.sentinel_y == len(tlc.ys)
+        assert "BitPackedTLCMatrix" in repr(packed)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BitPackedTLCMatrix((), (), 0, 1, np.zeros(1, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            BitPackedTLCMatrix((), (), 65, 1,
+                               np.zeros(1, dtype=np.uint64))
+
+
+class TestDualIBackends:
+    @pytest.mark.parametrize("backend", ["array", "packed", "bitpacked"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_identical_answers(self, backend, seed):
+        graph = gnm_random_digraph(50, 130, seed=seed)
+        reference = DualIIndex.build(graph)
+        candidate = DualIIndex.build(graph, matrix_backend=backend)
+        for u, v in sample_pairs(graph, 400, seed):
+            assert candidate.reachable(u, v) == reference.reachable(u, v)
+
+    def test_backend_space_ordering(self):
+        graph = gnm_random_digraph(120, 320, seed=4)
+        sizes = {}
+        for backend in ("array", "packed", "bitpacked"):
+            index = DualIIndex.build(graph, matrix_backend=backend)
+            sizes[backend] = index.stats().space_bytes["tlc_matrix"]
+        assert sizes["bitpacked"] <= sizes["packed"] <= sizes["array"]
+
+    def test_invalid_backend_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            DualIIndex.build(diamond, matrix_backend="holographic")
+
+    def test_compact_maps_to_packed(self, diamond):
+        compact = DualIIndex.build(diamond, compact=True)
+        packed = DualIIndex.build(diamond, matrix_backend="packed")
+        assert compact.stats().space_bytes == packed.stats().space_bytes

@@ -1,0 +1,147 @@
+"""Unit tests for the TLC matrix (Algorithm 1) against Definition 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import assign_intervals
+from repro.core.linktable import build_link_table, transitive_link_table
+from repro.core.tlc_matrix import TLCMatrix, build_tlc_matrix, tlc_function
+from repro.graph.generators import random_dag
+from repro.graph.spanning import spanning_forest
+
+
+def _closed_table(graph):
+    forest = spanning_forest(graph)
+    labeling = assign_intervals(forest)
+    return transitive_link_table(
+        build_link_table(forest.nontree_edges, labeling))
+
+
+class TestPaperValues:
+    def test_N_9_3_and_N_11_3(self, paper_graph):
+        """The paper: N(9,3) = 1 (link 9->[1,5) qualifies) and
+        N(11,3) = 0."""
+        table = _closed_table(paper_graph)
+        N = tlc_function(table)
+        assert N(9, 3) == 1
+        assert N(11, 3) == 0
+
+    def test_grid_values(self, paper_graph):
+        table = _closed_table(paper_graph)
+        tlc = build_tlc_matrix(table)
+        # Grid: xs = (7, 9), ys = (1, 6).
+        assert tlc.xs == (7, 9)
+        assert tlc.ys == (1, 6)
+        # N(7,1): links with tail>=7 covering 1 -> {7->[1,5), 9->[1,5)}.
+        assert tlc.value(0, 0) == 2
+        # N(7,6): tails>=7 covering 6 -> {9->[6,9)}.
+        assert tlc.value(0, 1) == 1
+        # N(9,1): {9->[1,5)}.
+        assert tlc.value(1, 0) == 1
+        # N(9,6): {9->[6,9)}.
+        assert tlc.value(1, 1) == 1
+        # Sentinel border is zero.
+        assert tlc.value(2, 0) == 0
+        assert tlc.value(0, 2) == 0
+
+
+class TestConstruction:
+    def test_empty_table(self, chain10):
+        table = _closed_table(chain10)
+        tlc = build_tlc_matrix(table)
+        assert tlc.matrix.shape == (1, 1)
+        assert tlc.value(0, 0) == 0
+
+    def test_shape_has_sentinel_border(self, paper_graph):
+        tlc = build_tlc_matrix(_closed_table(paper_graph))
+        assert tlc.matrix.shape == (3, 3)
+        assert np.all(tlc.matrix[-1, :] == 0)
+        assert np.all(tlc.matrix[:, -1] == 0)
+        assert tlc.sentinel_x == 2
+        assert tlc.sentinel_y == 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TLCMatrix((1,), (2,), np.zeros((3, 3), dtype=np.int64))
+
+    def test_rows_monotone_decreasing_in_x(self):
+        g = random_dag(50, 130, seed=1)
+        tlc = build_tlc_matrix(_closed_table(g))
+        m = tlc.matrix
+        # N(x, y) counts tails >= x, so values fall as x grows.
+        assert np.all(m[:-1, :] >= m[1:, :])
+
+    def test_nbytes_positive(self, paper_graph):
+        tlc = build_tlc_matrix(_closed_table(paper_graph))
+        assert tlc.nbytes == tlc.matrix.nbytes > 0
+        assert "TLCMatrix" in repr(tlc)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_grid_points_match_definition1(self, seed):
+        g = random_dag(40, 100, seed=seed)
+        table = _closed_table(g)
+        tlc = build_tlc_matrix(table)
+        N = tlc_function(table)
+        for ix, x in enumerate(table.xs):
+            for iy, y in enumerate(table.ys):
+                assert tlc.value(ix, iy) == N(x, y), (x, y)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lookup_snaps_x_correctly(self, seed):
+        g = random_dag(30, 80, seed=seed)
+        table = _closed_table(g)
+        if not table.ys:
+            pytest.skip("graph produced no non-tree edges")
+        tlc = build_tlc_matrix(table)
+        N = tlc_function(table)
+        max_x = max(table.xs) + 2
+        for x in range(max_x):
+            for iy, y in enumerate(table.ys):
+                assert tlc.lookup(x, iy) == N(x, y), (x, y)
+
+
+class TestPackedMatrix:
+    def test_pack_preserves_values(self, paper_graph):
+        from repro.core.tlc_matrix import pack_tlc_matrix
+        tlc = build_tlc_matrix(_closed_table(paper_graph))
+        packed = pack_tlc_matrix(tlc)
+        assert packed.matrix.dtype == np.uint8
+        assert np.array_equal(packed.matrix, tlc.matrix)
+        assert packed.nbytes < tlc.nbytes
+
+    def test_pack_picks_wider_dtype_when_needed(self):
+        from repro.core.linktable import Link, LinkTable
+        from repro.core.tlc_matrix import pack_tlc_matrix
+        # 300 identical-interval links with distinct tails: N at the
+        # lowest tail counts all of them -> needs uint16.
+        links = tuple(Link(10 + i, 0, 5) for i in range(300))
+        table = LinkTable(links=links,
+                          xs=tuple(10 + i for i in range(300)), ys=(0,))
+        tlc = build_tlc_matrix(table)
+        packed = pack_tlc_matrix(tlc)
+        assert packed.matrix.dtype == np.uint16
+        assert packed.value(0, 0) == 300
+
+    def test_pack_empty(self, chain10):
+        from repro.core.tlc_matrix import pack_tlc_matrix
+        tlc = build_tlc_matrix(_closed_table(chain10))
+        packed = pack_tlc_matrix(tlc)
+        assert packed.value(0, 0) == 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_compact_dual_i_same_answers(self, seed):
+        from repro.core.dual_i import DualIIndex
+        from repro.graph.generators import gnm_random_digraph
+        g = gnm_random_digraph(60, 150, seed=seed)
+        plain = DualIIndex.build(g)
+        compact = DualIIndex.build(g, compact=True)
+        nodes = list(g.nodes())
+        for u in nodes:
+            for v in nodes:
+                assert plain.reachable(u, v) == compact.reachable(u, v)
+        assert compact.stats().space_bytes["tlc_matrix"] <= \
+            plain.stats().space_bytes["tlc_matrix"]

@@ -1,0 +1,75 @@
+"""Unit tests for the range-temporal counter (merge-sort tree backend)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.intervals import assign_intervals
+from repro.core.linktable import Link, LinkTable, build_link_table, transitive_link_table
+from repro.core.tlc_rangetree import RangeTemporalCounter
+from repro.graph.generators import random_dag
+from repro.graph.spanning import spanning_forest
+
+
+def _closed_table(graph):
+    forest = spanning_forest(graph)
+    labeling = assign_intervals(forest)
+    return transitive_link_table(
+        build_link_table(forest.nontree_edges, labeling))
+
+
+def _brute_count(table, x_lo, x_hi, y):
+    return sum(1 for lk in table.links
+               if x_lo <= lk.tail < x_hi and lk.covers(y))
+
+
+class TestRangeTemporalCounter:
+    def test_empty(self, chain10):
+        counter = RangeTemporalCounter(_closed_table(chain10))
+        assert counter.count_alive(0, 100, 5) == 0
+        assert counter.nbytes == 0
+
+    def test_paper_example(self, paper_graph):
+        counter = RangeTemporalCounter(_closed_table(paper_graph))
+        # u=[9,11) reaching w (start 3): count tails in [9,11) alive at 3.
+        assert counter.count_alive(9, 11, 3) == 1
+        # Nothing with tail >= 11.
+        assert counter.count_alive(11, 99, 3) == 0
+        # Both 7->[1,5) and 9->[1,5) alive at y=2 with tails in [0,10).
+        assert counter.count_alive(0, 10, 2) == 2
+
+    def test_single_link(self):
+        table = LinkTable(links=(Link(5, 2, 8),), xs=(5,), ys=(2,))
+        counter = RangeTemporalCounter(table)
+        assert counter.count_alive(5, 6, 3) == 1
+        assert counter.count_alive(5, 6, 8) == 0
+        assert counter.count_alive(6, 9, 3) == 0
+        assert counter.count_alive(0, 5, 3) == 0
+
+    def test_duplicate_tails(self):
+        links = (Link(4, 0, 2), Link(4, 1, 3), Link(4, 5, 6))
+        table = LinkTable(links=links, xs=(4,), ys=(0, 1, 5))
+        counter = RangeTemporalCounter(table)
+        assert counter.count_alive(4, 5, 1) == 2
+        assert counter.count_alive(4, 5, 5) == 1
+        assert counter.count_alive(4, 5, 4) == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        g = random_dag(35, 90, seed=seed)
+        table = _closed_table(g)
+        if not table.links:
+            pytest.skip("no non-tree edges")
+        counter = RangeTemporalCounter(table)
+        max_x = max(table.xs) + 2
+        max_y = max(lk.head_end for lk in table.links) + 2
+        for x_lo in range(0, max_x, 3):
+            for x_hi in range(x_lo, max_x + 1, 4):
+                for y in range(0, max_y, 3):
+                    assert counter.count_alive(x_lo, x_hi, y) == \
+                        _brute_count(table, x_lo, x_hi, y)
+
+    def test_nbytes_scales_with_links(self, paper_graph):
+        counter = RangeTemporalCounter(_closed_table(paper_graph))
+        assert counter.nbytes > 0
+        assert "links=3" in repr(counter)

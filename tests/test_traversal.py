@@ -1,0 +1,179 @@
+"""Unit tests for traversals, topological sorts, and search reachability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError, NotADAGError
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import (
+    ancestor_set,
+    bfs_layers,
+    bfs_order,
+    dfs_events,
+    dfs_postorder,
+    dfs_preorder,
+    is_reachable_search,
+    is_topological_order,
+    reachable_set,
+    topological_sort,
+    topological_sort_dfs,
+)
+
+
+class TestDFS:
+    def test_preorder_chain(self, chain10):
+        assert dfs_preorder(chain10) == list(range(10))
+
+    def test_postorder_chain(self, chain10):
+        assert dfs_postorder(chain10) == list(range(9, -1, -1))
+
+    def test_preorder_respects_insertion_order(self):
+        g = DiGraph([(0, 2), (0, 1), (2, 3)])
+        assert dfs_preorder(g) == [0, 2, 3, 1]
+
+    def test_events_classify_edges(self, diamond):
+        events = list(dfs_events(diamond, sources=["a"]))
+        tree = [e for kind, e in events if kind == "tree"]
+        nontree = [e for kind, e in events if kind == "nontree"]
+        assert ("a", "b") in tree
+        assert ("b", "d") in tree
+        assert ("a", "c") in tree
+        assert ("c", "d") in nontree
+
+    def test_events_enter_leave_balanced(self, paper_graph):
+        events = list(dfs_events(paper_graph))
+        enters = sum(1 for kind, _ in events if kind == "enter")
+        leaves = sum(1 for kind, _ in events if kind == "leave")
+        assert enters == leaves == paper_graph.num_nodes
+
+    def test_forest_covers_all_nodes(self):
+        g = DiGraph([(0, 1), (2, 3)])
+        assert set(dfs_preorder(g)) == {0, 1, 2, 3}
+
+    def test_explicit_sources(self):
+        g = DiGraph([(0, 1), (2, 3)])
+        assert dfs_preorder(g, sources=[2]) == [2, 3]
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            dfs_preorder(DiGraph(), sources=[1])
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 50_000
+        g = DiGraph([(i, i + 1) for i in range(n)])
+        order = dfs_preorder(g, sources=[0])
+        assert len(order) == n + 1
+
+    def test_cycle_terminates(self):
+        g = DiGraph([(0, 1), (1, 0)])
+        assert set(dfs_preorder(g)) == {0, 1}
+
+
+class TestBFS:
+    def test_order_chain(self, chain10):
+        assert bfs_order(chain10, 0) == list(range(10))
+
+    def test_order_only_reachable(self, chain10):
+        assert bfs_order(chain10, 7) == [7, 8, 9]
+
+    def test_layers(self, diamond):
+        assert bfs_layers(diamond, "a") == [["a"], ["b", "c"], ["d"]]
+
+    def test_layers_single_node(self):
+        g = DiGraph(nodes=[1])
+        assert bfs_layers(g, 1) == [[1]]
+
+    def test_unknown_source(self):
+        with pytest.raises(NodeNotFoundError):
+            bfs_order(DiGraph(), 0)
+        with pytest.raises(NodeNotFoundError):
+            bfs_layers(DiGraph(), 0)
+
+
+class TestTopologicalSort:
+    def test_valid_on_dag(self, diamond):
+        order = topological_sort(diamond)
+        assert is_topological_order(diamond, order)
+
+    def test_dfs_variant_valid(self, diamond):
+        order = topological_sort_dfs(diamond)
+        assert is_topological_order(diamond, order)
+
+    def test_both_detect_cycles(self, two_cycle_graph):
+        with pytest.raises(NotADAGError):
+            topological_sort(two_cycle_graph)
+        with pytest.raises(NotADAGError):
+            topological_sort_dfs(two_cycle_graph)
+
+    def test_self_loop_is_a_cycle(self):
+        g = DiGraph([(1, 1)])
+        with pytest.raises(NotADAGError):
+            topological_sort(g)
+
+    def test_empty_graph(self):
+        assert topological_sort(DiGraph()) == []
+        assert topological_sort_dfs(DiGraph()) == []
+
+    def test_deterministic(self):
+        g = DiGraph([(2, 3), (1, 3), (0, 1)])
+        assert topological_sort(g) == topological_sort(g)
+
+    def test_is_topological_order_rejects_wrong_order(self, chain10):
+        order = list(range(10))
+        order[0], order[1] = order[1], order[0]
+        assert not is_topological_order(chain10, order)
+
+    def test_is_topological_order_rejects_wrong_nodes(self, chain10):
+        assert not is_topological_order(chain10, list(range(9)))
+        assert not is_topological_order(chain10, list(range(11)))
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        from repro.graph.generators import random_dag
+        for seed in range(5):
+            g = random_dag(40, 80, seed=seed)
+            order = topological_sort(g)
+            ng = nx.DiGraph(list(g.edges()))
+            ng.add_nodes_from(g.nodes())
+            assert is_topological_order(g, order)
+            # networkx agrees our graph is a DAG
+            assert nx.is_directed_acyclic_graph(ng)
+
+
+class TestReachability:
+    def test_reflexive(self, chain10):
+        assert is_reachable_search(chain10, 5, 5)
+
+    def test_forward_only(self, chain10):
+        assert is_reachable_search(chain10, 0, 9)
+        assert not is_reachable_search(chain10, 9, 0)
+
+    def test_through_cycle(self, two_cycle_graph):
+        assert is_reachable_search(two_cycle_graph, 0, 6)
+        assert not is_reachable_search(two_cycle_graph, 6, 0)
+        assert is_reachable_search(two_cycle_graph, 1, 0)  # inside cycle
+
+    def test_unknown_nodes(self, chain10):
+        with pytest.raises(NodeNotFoundError):
+            is_reachable_search(chain10, 99, 0)
+        with pytest.raises(NodeNotFoundError):
+            is_reachable_search(chain10, 0, 99)
+
+    def test_reachable_set(self, diamond):
+        assert reachable_set(diamond, "a") == {"a", "b", "c", "d"}
+        assert reachable_set(diamond, "b") == {"b", "d"}
+
+    def test_ancestor_set(self, diamond):
+        assert ancestor_set(diamond, "d") == {"a", "b", "c", "d"}
+        assert ancestor_set(diamond, "a") == {"a"}
+
+    def test_ancestor_set_unknown(self):
+        with pytest.raises(NodeNotFoundError):
+            ancestor_set(DiGraph(), 1)
+
+    def test_ancestor_set_is_reverse_reachability(self, two_cycle_graph):
+        g = two_cycle_graph
+        rev = g.reverse()
+        for node in g.nodes():
+            assert ancestor_set(g, node) == reachable_set(rev, node)

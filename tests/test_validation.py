@@ -1,0 +1,84 @@
+"""Unit tests for the validation harness and its CLI command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.base import build_index
+from repro.core.validation import validate_index
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_digraph
+
+
+class _LyingIndex:
+    """An index that answers everything with True (for failure paths)."""
+
+    scheme_name = "liar"
+
+    def reachable(self, u, v):
+        return True
+
+
+class TestValidateIndex:
+    def test_exhaustive_ok(self, diamond):
+        index = build_index(diamond, scheme="dual-i")
+        report = validate_index(index, diamond)
+        assert report.ok
+        assert report.exhaustive
+        assert report.num_checked == 16
+        assert "OK" in report.summary()
+
+    def test_sampled_mode(self):
+        g = gnm_random_digraph(50, 120, seed=1)
+        index = build_index(g, scheme="dual-ii")
+        report = validate_index(index, g, sample=500, seed=2)
+        assert report.ok
+        assert not report.exhaustive
+        assert report.num_checked == 500
+
+    def test_large_graph_defaults_to_sampling(self):
+        g = gnm_random_digraph(400, 500, seed=3)
+        index = build_index(g, scheme="dual-i")
+        report = validate_index(index, g, sample=200)
+        assert not report.exhaustive
+        assert report.ok
+
+    def test_detects_lies(self, chain10):
+        report = validate_index(_LyingIndex(), chain10)
+        assert not report.ok
+        assert "FAILED" in report.summary()
+        u, v, answer, truth = report.mismatches[0]
+        assert answer is True and truth is False
+
+    def test_mismatch_cap(self, chain10):
+        report = validate_index(_LyingIndex(), chain10,
+                                max_mismatches=3)
+        assert len(report.mismatches) == 3
+        assert report.num_checked == 100  # still counted everything
+
+    def test_empty_graph(self):
+        g = DiGraph()
+        index = build_index(g, scheme="dual-i")
+        report = validate_index(index, g)
+        assert report.ok
+        assert report.num_checked == 0
+
+
+class TestValidateCLI:
+    def test_validate_ok(self, tmp_path, capsys):
+        graph_file = tmp_path / "g.txt"
+        cli_main(["generate", "dag", "--nodes", "60", "--edges", "85",
+                  "--out", str(graph_file)])
+        assert cli_main(["validate", str(graph_file),
+                         "--scheme", "dual-i"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_sampled(self, tmp_path, capsys):
+        graph_file = tmp_path / "g.txt"
+        cli_main(["generate", "gnm", "--nodes", "80", "--edges", "160",
+                  "--out", str(graph_file)])
+        assert cli_main(["validate", str(graph_file), "--sample",
+                         "300", "--scheme", "dual-ii"]) == 0
+        out = capsys.readouterr().out
+        assert "300 sampled pairs" in out

@@ -1,0 +1,188 @@
+"""Unit tests for witness-path reconstruction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.dual_i import DualIIndex
+from repro.core.witness import expand_witness, verify_witness, witness_path
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_digraph, single_rooted_dag
+from repro.graph.traversal import is_reachable_search
+from tests.conftest import make_paper_graph
+
+
+class TestVerifyWitness:
+    def test_valid_path(self, chain10):
+        assert verify_witness(chain10, [0, 1, 2, 3])
+
+    def test_invalid_hop(self, chain10):
+        assert not verify_witness(chain10, [0, 2])
+
+    def test_single_node(self, chain10):
+        assert verify_witness(chain10, [5])
+        assert not verify_witness(chain10, [99])
+
+    def test_empty(self, chain10):
+        assert not verify_witness(chain10, [])
+
+
+class TestWitnessOnPaperGraph:
+    @pytest.fixture
+    def setup(self):
+        graph = make_paper_graph()
+        index = DualIIndex.build(graph, use_meg=False)
+        return graph, index
+
+    def test_tree_witness(self, setup):
+        graph, index = setup
+        witness = witness_path(index, "r", "w")
+        assert witness[0] == "r" and witness[-1] == "w"
+        assert verify_witness(graph, expand_witness(graph, witness))
+
+    def test_one_link_witness(self, setup):
+        graph, index = setup
+        witness = witness_path(index, "u", "v")
+        expanded = expand_witness(graph, witness)
+        assert verify_witness(graph, expanded)
+        assert expanded[0] == "u" and expanded[-1] == "v"
+
+    def test_two_link_witness(self, setup):
+        """u ⇝ w chains both non-tree edges of Figure 2."""
+        graph, index = setup
+        witness = witness_path(index, "u", "w")
+        expanded = expand_witness(graph, witness)
+        assert verify_witness(graph, expanded)
+        # The chain must pass through both non-tree edges' endpoints.
+        assert "f" in expanded and "a" in expanded
+
+    def test_unreachable_returns_none(self, setup):
+        _, index = setup
+        assert witness_path(index, "w", "u") is None
+        assert witness_path(index, "e", "w") is None
+
+    def test_self_witness(self, setup):
+        graph, index = setup
+        assert witness_path(index, "u", "u") == ["u"]
+
+    def test_unknown_vertex(self, setup):
+        _, index = setup
+        with pytest.raises(QueryError):
+            witness_path(index, "ghost", "u")
+
+
+class TestWitnessRandomGraphs:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("use_meg", [False, True])
+    def test_every_positive_pair_yields_valid_witness(self, seed,
+                                                      use_meg):
+        g = gnm_random_digraph(35, 90, seed=seed)
+        index = DualIIndex.build(g, use_meg=use_meg)
+        for u in g.nodes():
+            for v in g.nodes():
+                witness = witness_path(index, u, v)
+                if is_reachable_search(g, u, v):
+                    assert witness is not None, (u, v)
+                    assert witness[0] == u and witness[-1] == v
+                    expanded = expand_witness(g, witness)
+                    assert verify_witness(g, expanded), (u, v, witness)
+                else:
+                    assert witness is None, (u, v)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_rooted_dags(self, seed):
+        g = single_rooted_dag(120, 170, max_fanout=5, seed=seed)
+        index = DualIIndex.build(g, use_meg=False)
+        rng = random.Random(seed)
+        nodes = list(g.nodes())
+        checked = 0
+        while checked < 40:
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            witness = witness_path(index, u, v)
+            if witness is None:
+                assert not is_reachable_search(g, u, v)
+                continue
+            assert verify_witness(g, expand_witness(g, witness))
+            checked += 1
+
+    def test_cyclic_same_component(self, two_cycle_graph):
+        index = DualIIndex.build(two_cycle_graph)
+        witness = witness_path(index, 0, 2)
+        expanded = expand_witness(two_cycle_graph, witness)
+        assert verify_witness(two_cycle_graph, expanded)
+        assert expanded[0] == 0 and expanded[-1] == 2
+
+
+class TestExpandWitness:
+    def test_direct_edges_pass_through(self, chain10):
+        assert expand_witness(chain10, [0, 1, 2]) == [0, 1, 2]
+
+    def test_scc_gap_filled(self, two_cycle_graph):
+        # 0 and 2 are in one SCC; only 0->1->2 exists as edges.
+        expanded = expand_witness(two_cycle_graph, [0, 2])
+        assert expanded == [0, 1, 2]
+
+    def test_disconnected_raises(self):
+        g = DiGraph([(0, 1), (2, 3)])
+        with pytest.raises(QueryError):
+            expand_witness(g, [0, 3])
+
+    def test_trivial(self, chain10):
+        assert expand_witness(chain10, [4]) == [4]
+        assert expand_witness(chain10, []) == []
+
+
+class TestExplainQuery:
+    @pytest.fixture
+    def explained(self):
+        from repro.core.witness import explain_query
+        graph = make_paper_graph()
+        index = DualIIndex.build(graph, use_meg=False)
+        return graph, index, explain_query
+
+    def test_tree_explanation(self, explained):
+        _, index, explain = explained
+        result = explain(index, "r", "w")
+        assert result.kind == "tree"
+        assert result.reachable
+        assert "spanning-tree" in str(result)
+
+    def test_non_tree_explanation_carries_witness(self, explained):
+        graph, index, explain = explained
+        result = explain(index, "u", "w")
+        assert result.kind == "non-tree"
+        assert result.tlc_difference == 1  # the paper's N difference
+        assert result.witness[0] == "u" and result.witness[-1] == "w"
+        assert "non-tree links" in str(result)
+
+    def test_unreachable_explanation(self, explained):
+        _, index, explain = explained
+        result = explain(index, "w", "u")
+        assert result.kind == "unreachable"
+        assert not result.reachable
+        assert result.witness == []
+
+    def test_same_component(self, two_cycle_graph):
+        from repro.core.witness import explain_query
+        index = DualIIndex.build(two_cycle_graph)
+        result = explain_query(index, 0, 2)
+        assert result.kind == "same-component"
+        assert "strongly connected" in str(result)
+
+    def test_unknown_vertex(self, explained):
+        _, index, explain = explained
+        with pytest.raises(QueryError):
+            explain(index, "ghost", "u")
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_explanation_agrees_with_reachable(self, seed):
+        from repro.core.witness import explain_query
+        g = gnm_random_digraph(30, 75, seed=seed)
+        index = DualIIndex.build(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert explain_query(index, u, v).reachable == \
+                    index.reachable(u, v)

@@ -1,0 +1,77 @@
+"""Unit tests for benchmark workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import (
+    mixed_query_pairs,
+    positive_query_pairs,
+    random_query_pairs,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import single_rooted_dag
+from repro.graph.traversal import is_reachable_search
+
+
+class TestRandomQueryPairs:
+    def test_count_and_membership(self, chain10):
+        pairs = random_query_pairs(chain10, 200, seed=1)
+        assert len(pairs) == 200
+        nodes = set(chain10.nodes())
+        assert all(u in nodes and v in nodes for u, v in pairs)
+
+    def test_deterministic(self, chain10):
+        assert random_query_pairs(chain10, 50, seed=2) == \
+            random_query_pairs(chain10, 50, seed=2)
+
+    def test_seed_matters(self, chain10):
+        assert random_query_pairs(chain10, 50, seed=1) != \
+            random_query_pairs(chain10, 50, seed=2)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            random_query_pairs(DiGraph(), 10)
+
+
+class TestPositiveQueryPairs:
+    def test_all_pairs_reachable(self):
+        g = single_rooted_dag(100, 150, seed=3)
+        pairs = positive_query_pairs(g, 150, seed=4)
+        assert len(pairs) == 150
+        for u, v in pairs:
+            assert is_reachable_search(g, u, v)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            positive_query_pairs(DiGraph(), 10)
+
+
+class TestMixedQueryPairs:
+    def test_count(self, chain10):
+        pairs = mixed_query_pairs(chain10, 100, seed=5)
+        assert len(pairs) == 100
+
+    def test_fraction_bounds(self, chain10):
+        with pytest.raises(ValueError):
+            mixed_query_pairs(chain10, 10, positive_fraction=1.5)
+        with pytest.raises(ValueError):
+            mixed_query_pairs(chain10, 10, positive_fraction=-0.1)
+
+    def test_all_positive_fraction(self):
+        g = single_rooted_dag(60, 90, seed=6)
+        pairs = mixed_query_pairs(g, 80, seed=7, positive_fraction=1.0)
+        for u, v in pairs:
+            assert is_reachable_search(g, u, v)
+
+    def test_positive_fraction_raises_hit_rate(self):
+        g = single_rooted_dag(200, 300, seed=8)
+        random_hits = sum(
+            is_reachable_search(g, u, v)
+            for u, v in mixed_query_pairs(g, 300, seed=9,
+                                          positive_fraction=0.0))
+        mixed_hits = sum(
+            is_reachable_search(g, u, v)
+            for u, v in mixed_query_pairs(g, 300, seed=9,
+                                          positive_fraction=0.8))
+        assert mixed_hits > random_hits

@@ -1,0 +1,281 @@
+"""Unit tests for the XML substrate (document model, parser, queries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.xml.document import XMLDocument, XMLElement, parse_xml
+from repro.xml.generator import generate_auction_document
+from repro.xml.queries import XMLReachabilityEngine, parse_path_expression
+
+LIBRARY_XML = """
+<library>
+  <fiction>
+    <book id="b1">
+      <title>Dune</title>
+      <authorref idref="a1"/>
+    </book>
+    <book id="b2">
+      <title>Foundation</title>
+      <authorref idref="a2"/>
+    </book>
+  </fiction>
+  <nonfiction>
+    <book id="b3">
+      <title>Cosmos</title>
+      <authorref idref="a3"/>
+    </book>
+  </nonfiction>
+  <authors>
+    <author id="a1"><name>Herbert</name></author>
+    <author id="a2"><name>Asimov</name></author>
+    <author id="a3"><name>Sagan</name></author>
+  </authors>
+</library>
+"""
+
+
+class TestParse:
+    def test_structure(self):
+        doc = parse_xml(LIBRARY_XML)
+        assert doc.root.tag == "library"
+        assert doc.num_elements == 19
+        assert len(doc.by_tag("book")) == 3
+        assert len(doc.by_tag("author")) == 3
+
+    def test_ids_resolve(self):
+        doc = parse_xml(LIBRARY_XML)
+        assert doc.by_id("a1").tag == "author"
+        assert doc.by_id("missing") is None
+
+    def test_text_captured(self):
+        doc = parse_xml(LIBRARY_XML)
+        titles = [e.text for e in doc.by_tag("title")]
+        assert "Dune" in titles
+
+    def test_malformed_raises(self):
+        with pytest.raises(DatasetError):
+            parse_xml("<open><unclosed></open>")
+
+    def test_duplicate_id_raises(self):
+        with pytest.raises(DatasetError):
+            parse_xml('<r><a id="x"/><b id="x"/></r>')
+
+    def test_node_ids_document_order(self):
+        doc = parse_xml(LIBRARY_XML)
+        ids = [e.node_id for e in doc.root.iter()]
+        assert ids == sorted(ids)
+
+    def test_tags_listing(self):
+        doc = parse_xml(LIBRARY_XML)
+        assert doc.tags()[0] == "library"
+        assert "authorref" in doc.tags()
+
+    def test_idrefs_attribute_plural(self):
+        doc = parse_xml('<r><a id="x"/><a id="y"/>'
+                        '<b idrefs="x y"/></r>')
+        b = doc.by_tag("b")[0]
+        assert b.idrefs == ["x", "y"]
+
+
+class TestToGraph:
+    def test_tree_plus_reference_edges(self):
+        doc = parse_xml(LIBRARY_XML)
+        graph = doc.to_graph()
+        # 19 elements; 18 containment edges + 3 idref edges.
+        assert graph.num_nodes == 19
+        assert graph.num_edges == 21
+
+    def test_dangling_idref_ignored(self):
+        doc = parse_xml('<r><a idref="nowhere"/></r>')
+        assert doc.to_graph().num_edges == 1  # containment only
+
+    def test_reference_edge_direction(self):
+        doc = parse_xml(LIBRARY_XML)
+        graph = doc.to_graph()
+        ref = doc.by_tag("authorref")[0]
+        author = doc.by_id("a1")
+        assert graph.has_edge(ref.node_id, author.node_id)
+
+
+class TestPathExpressions:
+    def test_parse_valid(self):
+        assert parse_path_expression("//fiction//author") == [
+            "fiction", "author"]
+        assert parse_path_expression("//a//b//c") == ["a", "b", "c"]
+
+    @pytest.mark.parametrize("bad", [
+        "", "fiction", "/fiction", "//", "//a/b", "//a//", "a//b"])
+    def test_parse_invalid(self, bad):
+        with pytest.raises(DatasetError):
+            parse_path_expression(bad)
+
+
+class TestEngine:
+    @pytest.mark.parametrize("scheme", ["dual-i", "dual-ii", "interval"])
+    def test_fiction_authors(self, scheme):
+        """The paper's //fiction//author: only authors referenced from
+        fiction books qualify — reachability crosses IDREF edges."""
+        doc = parse_xml(LIBRARY_XML)
+        engine = XMLReachabilityEngine(doc, scheme=scheme)
+        matched = engine.evaluate("//fiction//author")
+        names = sorted(doc.by_id(a.element_id).element_id
+                       for a in matched)
+        assert names == ["a1", "a2"]  # Sagan (a3) is nonfiction-only
+
+    def test_three_step_path(self):
+        doc = parse_xml(LIBRARY_XML)
+        engine = XMLReachabilityEngine(doc)
+        assert engine.count("//library//fiction//title") == 2
+
+    def test_no_match(self):
+        doc = parse_xml(LIBRARY_XML)
+        engine = XMLReachabilityEngine(doc)
+        assert engine.evaluate("//nonfiction//name") != []
+        assert engine.evaluate("//name//fiction") == []
+
+    def test_is_descendant(self):
+        doc = parse_xml(LIBRARY_XML)
+        engine = XMLReachabilityEngine(doc)
+        fiction = doc.by_tag("fiction")[0]
+        herbert = doc.by_id("a1")
+        assert engine.is_descendant(fiction, herbert)
+        assert not engine.is_descendant(herbert, fiction)
+
+    def test_repr(self):
+        engine = XMLReachabilityEngine(parse_xml(LIBRARY_XML))
+        assert "XMLReachabilityEngine" in repr(engine)
+
+
+class TestGenerator:
+    def test_counts(self):
+        doc = generate_auction_document(num_items=20, num_people=10,
+                                        num_refs=15, seed=1)
+        assert len(doc.by_tag("item")) == 20
+        assert len(doc.by_tag("person")) == 10
+
+    def test_deterministic(self):
+        a = generate_auction_document(seed=5)
+        b = generate_auction_document(seed=5)
+        assert a.to_graph() == b.to_graph()
+
+    def test_graph_is_sparse_tree_plus_links(self):
+        doc = generate_auction_document(num_items=100, num_people=50,
+                                        num_refs=60, seed=2)
+        graph = doc.to_graph()
+        # Tree edges = elements - 1; IDREF edges add num_refs (modulo
+        # self-reference rejections).
+        assert graph.num_edges <= graph.num_nodes - 1 + 60
+        assert graph.density < 1.3
+
+    def test_engine_over_generated_document(self):
+        doc = generate_auction_document(num_items=40, num_people=20,
+                                        num_refs=30, seed=3)
+        engine = XMLReachabilityEngine(doc, scheme="dual-ii")
+        # Every item is under the site root.
+        assert engine.count("//site//item") == 40
+        # Watched items are exactly the ones reachable from people.
+        watched = engine.evaluate("//person//item")
+        for item in watched:
+            assert item.tag == "item"
+
+
+class TestDocumentValidation:
+    def test_duplicate_node_id_rejected(self):
+        a = XMLElement(node_id=0, tag="a")
+        b = XMLElement(node_id=0, tag="b")
+        a.children.append(b)
+        with pytest.raises(DatasetError):
+            XMLDocument(a)
+
+
+class TestMixedPaths:
+    def test_parse_mixed(self):
+        from repro.xml.queries import parse_mixed_path
+        assert parse_mixed_path("//site/region//item") == [
+            ("//", "site"), ("/", "region"), ("//", "item")]
+        assert parse_mixed_path("/library") == [("/", "library")]
+
+    @pytest.mark.parametrize("bad", ["", "site", "///a", "//a/", "a/b",
+                                     "//a b"])
+    def test_parse_mixed_invalid(self, bad):
+        from repro.xml.queries import parse_mixed_path
+        with pytest.raises(DatasetError):
+            parse_mixed_path(bad)
+
+    def test_child_axis_is_direct_only(self):
+        doc = parse_xml(LIBRARY_XML)
+        engine = XMLReachabilityEngine(doc)
+        # /library/fiction/book: two direct children.
+        assert len(engine.evaluate_path("/library/fiction/book")) == 2
+        # /library/book: no direct book children of the root.
+        assert engine.evaluate_path("/library/book") == []
+
+    def test_descendant_axis_in_mixed_path(self):
+        doc = parse_xml(LIBRARY_XML)
+        engine = XMLReachabilityEngine(doc)
+        # //fiction//author crosses IDREF edges; as a mixed path the
+        # same two authors match.
+        matched = engine.evaluate_path("//fiction//author")
+        assert sorted(a.element_id for a in matched) == ["a1", "a2"]
+
+    def test_leading_single_slash_anchors_at_root(self):
+        doc = parse_xml(LIBRARY_XML)
+        engine = XMLReachabilityEngine(doc)
+        assert len(engine.evaluate_path("/library")) == 1
+        assert engine.evaluate_path("/fiction") == []
+
+    def test_mixed_path_equals_pure_descendants_when_applicable(self):
+        doc = parse_xml(LIBRARY_XML)
+        engine = XMLReachabilityEngine(doc)
+        pure = engine.evaluate("//library//title")
+        mixed = engine.evaluate_path("//library//title")
+        assert [e.node_id for e in pure] == [e.node_id for e in mixed]
+
+    def test_count_dispatches_on_syntax(self):
+        doc = parse_xml(LIBRARY_XML)
+        engine = XMLReachabilityEngine(doc)
+        assert engine.count("//fiction//title") == 2
+        assert engine.count("/library/fiction/book") == 2
+
+    def test_deduplication_via_multiple_parents(self):
+        # One element reachable from two frontier members must appear
+        # once.
+        doc = parse_xml('<r><a><b/></a><a><b/></a></r>')
+        engine = XMLReachabilityEngine(doc)
+        assert len(engine.evaluate_path("//r/a/b")) == 2
+        assert len(engine.evaluate_path("//a/b")) == 2
+
+
+class TestStructuralJoin:
+    def test_fiction_author_join(self):
+        doc = parse_xml(LIBRARY_XML)
+        engine = XMLReachabilityEngine(doc, scheme="dual-i")
+        pairs = engine.structural_join("fiction", "author")
+        matched = {(a.tag, d.element_id) for a, d in pairs}
+        assert matched == {("fiction", "a1"), ("fiction", "a2")}
+
+    def test_join_matches_scalar_fallback(self):
+        doc = parse_xml(LIBRARY_XML)
+        fast = XMLReachabilityEngine(doc, scheme="dual-i")
+        slow = XMLReachabilityEngine(doc, scheme="interval")
+        as_ids = lambda pairs: sorted(
+            (a.node_id, d.node_id) for a, d in pairs)
+        assert as_ids(fast.structural_join("book", "name")) == \
+            as_ids(slow.structural_join("book", "name"))
+
+    def test_empty_sides(self):
+        doc = parse_xml(LIBRARY_XML)
+        engine = XMLReachabilityEngine(doc)
+        assert engine.structural_join("nope", "author") == []
+        assert engine.structural_join("fiction", "nope") == []
+
+    def test_join_on_generated_document(self):
+        doc = generate_auction_document(num_items=30, num_people=15,
+                                        num_refs=25, seed=8)
+        engine = XMLReachabilityEngine(doc, scheme="dual-i")
+        pairs = engine.structural_join("person", "item")
+        watched = engine.evaluate("//person//item")
+        assert {d.node_id for _, d in pairs} == \
+            {e.node_id for e in watched}
