@@ -12,7 +12,9 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.experiments import SCHEME_BUILD_OPTIONS, preprocess
+from repro.bench.workloads import chunked
 from repro.core.base import build_index
+from repro.core.service import QueryService
 from repro.graph.generators import gnm_random_digraph
 
 SCHEMES = ["interval", "dual-i", "dual-ii", "2hop"]
@@ -73,3 +75,32 @@ def test_fig8_query(benchmark, scheme, random_graph_dag,
     benchmark.extra_info["scheme"] = scheme
     benchmark.extra_info["num_queries"] = len(pairs)
     benchmark.extra_info["positives"] = positives
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig8_query_service(benchmark, scheme, random_graph_dag,
+                            query_pairs_factory) -> None:
+    """Figure 8 workload through the QueryService batch path.
+
+    Same graph, same seeded workload as :func:`test_fig8_query`, served
+    in production-shaped batches; positives are cross-checked against
+    the scalar loop, so the two benchmarks are directly comparable.
+    """
+    dag, counters = random_graph_dag
+    index = build_index(dag, scheme=scheme, **_opts(scheme))
+    pairs = query_pairs_factory(dag)
+    with QueryService(index) as service:
+        batches = list(chunked(pairs, 8192))
+
+        def run():
+            return sum(sum(service.query_batch(batch))
+                       for batch in batches)
+
+        positives = benchmark(run)
+    reach = index.reachable
+    assert positives == sum(reach(u, v) for u, v in pairs)
+    benchmark.extra_info.update(counters)
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["num_queries"] = len(pairs)
+    benchmark.extra_info["positives"] = positives
+    benchmark.extra_info["vectorised"] = service.vectorised

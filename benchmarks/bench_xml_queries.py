@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.service import QueryService
 from repro.xml import XMLReachabilityEngine, generate_auction_document
 
 SCHEMES = ["dual-i", "dual-ii", "interval", "online-bfs"]
@@ -65,3 +66,34 @@ def test_xml_path_expressions(benchmark, scheme, scale) -> None:
     # All schemes must produce identical match counts.
     reference = XMLReachabilityEngine(document, scheme="online-bfs")
     assert counts == [reference.count(expr) for expr in EXPRESSIONS]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_xml_structural_join_service(benchmark, scheme, scale) -> None:
+    """The Section 1.1 structural join routed through QueryService.
+
+    ``person ⇝ item`` as one dense cross product via
+    :meth:`repro.core.service.QueryService.query_matrix` — vectorised
+    where the scheme exposes label arrays, scalar otherwise.  The hit
+    count is cross-checked against the engine's own
+    :meth:`structural_join`.
+    """
+    document = _document(scale)
+    engine = XMLReachabilityEngine(document, scheme=scheme)
+    ancestors = [e.node_id for e in document.by_tag("person")]
+    descendants = [e.node_id for e in document.by_tag("item")]
+    with QueryService(engine.index) as service:
+
+        def run():
+            return int(service.query_matrix(ancestors,
+                                            descendants).sum())
+
+        hits = benchmark(run)
+    assert hits == len(engine.structural_join("person", "item"))
+    benchmark.extra_info.update({
+        "scheme": scheme,
+        "ancestors": len(ancestors),
+        "descendants": len(descendants),
+        "hits": hits,
+        "vectorised": service.vectorised,
+    })

@@ -37,11 +37,14 @@ grail        randomised intervals + DFS        O(k)…O(m)   O(k·n)
 from repro._version import __version__
 from repro.core.base import (
     IndexStats,
+    LabelArrays,
     ReachabilityIndex,
     available_schemes,
     build_index,
     get_scheme,
 )
+from repro.core.batch import BatchQuerier, reachable_batch
+from repro.core.service import QueryService, ServiceMetrics
 # Importing the scheme modules registers them with the scheme registry.
 from repro.core.dual_i import DualIIndex
 from repro.core.dual_ii import DualIIIndex
@@ -70,6 +73,11 @@ __all__ = [
     "get_scheme",
     "ReachabilityIndex",
     "IndexStats",
+    "LabelArrays",
+    "BatchQuerier",
+    "reachable_batch",
+    "QueryService",
+    "ServiceMetrics",
     "DualIIndex",
     "DualIIIndex",
     "DualRangeTreeIndex",

@@ -17,12 +17,41 @@ from __future__ import annotations
 import time
 from typing import Any
 
-from repro.core.base import IndexStats, ReachabilityIndex, register_scheme
+import numpy as np
+
+from repro.core.base import IndexStats, LabelArrays, ReachabilityIndex, register_scheme
 from repro.exceptions import QueryError
 from repro.graph.closure import transitive_closure_bitsets
 from repro.graph.digraph import DiGraph, Node
 
-__all__ = ["TransitiveClosureIndex"]
+__all__ = ["TransitiveClosureIndex", "ClosureLabelArrays"]
+
+
+class ClosureLabelArrays(LabelArrays):
+    """Vectorised kernel over the packed closure bit matrix.
+
+    The per-node big-int bitsets re-materialise as an ``n × ⌈n/8⌉``
+    ``uint8`` matrix (same n² bits, little-endian within each byte);
+    a batch query is one gather plus a shift-and-mask.  Here the dense
+    ids are node ids, not SCC components — the closure rows are already
+    expanded to original nodes.
+    """
+
+    def __init__(self, component_of: dict[Node, int],
+                 desc: list[int]) -> None:
+        super().__init__(component_of)
+        n = len(desc)
+        row_bytes = max(1, (n + 7) // 8)
+        packed = np.zeros((max(1, n), row_bytes), dtype=np.uint8)
+        for i, bits in enumerate(desc):
+            packed[i] = np.frombuffer(
+                bits.to_bytes(row_bytes, "little"), dtype=np.uint8)
+        self.packed = packed
+
+    def query_components(self, cu: np.ndarray,
+                         cv: np.ndarray) -> np.ndarray:
+        cells = self.packed[cu, cv >> 3]
+        return ((cells >> (cv & 7)) & 1).astype(bool)
 
 
 @register_scheme
@@ -36,6 +65,7 @@ class TransitiveClosureIndex(ReachabilityIndex):
         self._desc = desc
         self._index = index
         self._stats = stats
+        self._arrays: ClosureLabelArrays | None = None
 
     @classmethod
     def build(cls, graph: DiGraph, **options: Any) -> "TransitiveClosureIndex":
@@ -69,6 +99,12 @@ class TransitiveClosureIndex(ReachabilityIndex):
 
     def stats(self) -> IndexStats:
         return self._stats
+
+    def label_arrays(self) -> ClosureLabelArrays:
+        """Packed-bit numpy view of the closure (built once, cached)."""
+        if self._arrays is None:
+            self._arrays = ClosureLabelArrays(self._index, self._desc)
+        return self._arrays
 
     def __repr__(self) -> str:
         return f"TransitiveClosureIndex(n={self._stats.num_nodes})"

@@ -40,7 +40,15 @@ import time
 from bisect import bisect_right
 from typing import Any
 
-from repro.core.base import INT_BYTES, IndexStats, ReachabilityIndex, register_scheme
+import numpy as np
+
+from repro.core.base import (
+    INT_BYTES,
+    IndexStats,
+    LabelArrays,
+    ReachabilityIndex,
+    register_scheme,
+)
 from repro.exceptions import QueryError
 from repro.graph.condensation import condense
 from repro.graph.digraph import DiGraph, Node
@@ -48,7 +56,53 @@ from repro.graph.meg import minimal_equivalent_graph
 from repro.graph.spanning import spanning_forest
 from repro.graph.traversal import topological_sort
 
-__all__ = ["IntervalSetIndex", "merge_interval_lists"]
+__all__ = ["IntervalSetIndex", "IntervalLabelArrays", "merge_interval_lists"]
+
+
+class IntervalLabelArrays(LabelArrays):
+    """Vectorised single-point containment test over interval sets.
+
+    Uses the efficient ``bisect`` formulation regardless of the index's
+    probe mode — all three probes give identical *answers* (see the
+    module docstring), only their scalar cost profiles differ, and a
+    batch kernel has no reason to replay the slow ones.  The ragged
+    per-node interval lists flatten into one sorted key array by
+    encoding each start as ``component_id * base + lo`` with ``base``
+    wider than any postorder rank, so one global ``searchsorted``
+    replaces the per-node binary search.
+    """
+
+    def __init__(self, component_of: dict, post: list[int],
+                 labels: list[list[tuple[int, int]]]) -> None:
+        super().__init__(component_of)
+        self.post = np.asarray(post, dtype=np.int64)
+        lengths = np.fromiter((len(label) for label in labels),
+                              dtype=np.int64, count=len(labels))
+        self._row_start = np.concatenate(
+            ([0], np.cumsum(lengths)))[:-1] if len(labels) else \
+            np.zeros(0, dtype=np.int64)
+        los = np.asarray([lo for label in labels for lo, _ in label],
+                         dtype=np.int64)
+        self._his = np.asarray([hi for label in labels for _, hi in label],
+                               dtype=np.int64)
+        self._base = int(self.post.max()) + 2 if self.post.size else 1
+        node_index = np.repeat(
+            np.arange(len(labels), dtype=np.int64), lengths)
+        self._keys = node_index * self._base + los
+
+    def query_components(self, cu: np.ndarray,
+                         cv: np.ndarray) -> np.ndarray:
+        if self._keys.size == 0:
+            return cu == cv
+        target = self.post[cv]
+        pos = np.searchsorted(self._keys, cu * self._base + target,
+                              side="right") - 1
+        # ``pos`` must still sit inside cu's own key band; it cannot
+        # overshoot into the next node's band because any key there
+        # exceeds (cu + 1) * base - 1 >= the probe.
+        inside = pos >= self._row_start[cu]
+        hit = inside & (target <= self._his[np.where(inside, pos, 0)])
+        return hit | (cu == cv)
 
 
 def merge_interval_lists(lists: list[list[tuple[int, int]]]
@@ -89,6 +143,7 @@ class IntervalSetIndex(ReachabilityIndex):
         self._label_starts = [[lo for lo, _ in label] for label in labels]
         self._probe = probe
         self._stats = stats
+        self._arrays: IntervalLabelArrays | None = None
 
     @classmethod
     def build(cls, graph: DiGraph, use_meg: bool = False,
@@ -205,6 +260,13 @@ class IntervalSetIndex(ReachabilityIndex):
 
     def stats(self) -> IndexStats:
         return self._stats
+
+    def label_arrays(self) -> IntervalLabelArrays:
+        """Flattened numpy view of the interval sets (built once)."""
+        if self._arrays is None:
+            self._arrays = IntervalLabelArrays(
+                self._component_of, self._post, self._labels)
+        return self._arrays
 
     @property
     def average_label_length(self) -> float:

@@ -11,7 +11,8 @@ import csv
 import io
 from typing import Any, Mapping, Sequence
 
-__all__ = ["format_markdown_table", "format_csv", "format_value"]
+__all__ = ["format_markdown_table", "format_csv", "format_kv_table",
+           "format_value"]
 
 
 def format_value(value: Any) -> str:
@@ -63,6 +64,19 @@ def format_markdown_table(rows: Sequence[Mapping[str, Any]],
             "| " + " | ".join(format_value(row.get(c)) for c in columns)
             + " |")
     return "\n".join(lines)
+
+
+def format_kv_table(mapping: Mapping[str, Any],
+                    title: str | None = None) -> str:
+    """Render one flat mapping as a two-column metric/value table.
+
+    The rendering used for single-snapshot reports — most prominently
+    :meth:`repro.core.service.ServiceMetrics.as_dict` in the
+    ``python -m repro.bench serve`` output.
+    """
+    rows = [{"metric": key, "value": value}
+            for key, value in mapping.items()]
+    return format_markdown_table(rows, ["metric", "value"], title=title)
 
 
 def format_csv(rows: Sequence[Mapping[str, Any]],

@@ -1,7 +1,9 @@
 """Experiment runner CLI: ``python -m repro.bench run <experiment>``.
 
 Runs a paper experiment at full or reduced scale, prints the markdown
-table, and optionally saves markdown/CSV to a results directory.
+table, and optionally saves markdown/CSV to a results directory.  The
+``serve`` subcommand throughput-tests the :class:`QueryService` serving
+layer instead (see :func:`serve_experiment`).
 """
 
 from __future__ import annotations
@@ -14,9 +16,14 @@ from typing import Sequence
 
 from repro.bench.charts import experiment_chart
 from repro.bench.experiments import EXPERIMENTS, ExperimentResult
-from repro.bench.reporting import format_csv, format_markdown_table
+from repro.bench.reporting import (
+    format_csv,
+    format_kv_table,
+    format_markdown_table,
+)
 
-__all__ = ["main", "run_experiment", "scaled_overrides"]
+__all__ = ["main", "run_experiment", "scaled_overrides",
+           "serve_experiment"]
 
 
 def scaled_overrides(name: str, scale: str) -> dict:
@@ -78,6 +85,90 @@ def _save(result: ExperimentResult, out_dir: Path) -> None:
         format_csv(result.rows, columns), encoding="utf-8")
 
 
+def serve_experiment(*, graph=None, kind: str = "dag", nodes: int = 2000,
+                     edges: int = 2600, scheme: str = "dual-i",
+                     num_queries: int = 100_000, batch_size: int = 8192,
+                     cache_size: int = 0, max_workers: int = 1,
+                     chunk_size: int = 32_768, seed: int = 0,
+                     baseline: bool = False) -> dict:
+    """Drive a query workload through :class:`QueryService`; return the
+    serving metrics (plus setup context and, optionally, the scalar-loop
+    baseline comparison) as one flat report dict.
+
+    This is the paper's 100k-query protocol run over the production hot
+    path: the workload arrives in ``batch_size`` batches, exactly as the
+    bench suite and the serving CLI feed it.
+    """
+    from repro.bench.timing import measure_build_time
+    from repro.bench.workloads import chunked, random_query_pairs
+    from repro.core.service import QueryService
+    from repro.graph.generators import gnm_random_digraph, single_rooted_dag
+
+    if graph is None:
+        if kind == "dag":
+            graph = single_rooted_dag(nodes, edges, max_fanout=5, seed=seed)
+        elif kind == "gnm":
+            graph = gnm_random_digraph(nodes, edges, seed=seed)
+        else:
+            raise ValueError(f"kind must be 'dag' or 'gnm', got {kind!r}")
+    built = measure_build_time(graph, scheme)
+    pairs = random_query_pairs(graph, num_queries, seed=seed + 1)
+    report: dict = {
+        "scheme": scheme,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "build_seconds": built.seconds,
+        "num_queries": len(pairs),
+        "batch_size": batch_size,
+        "cache_size": cache_size,
+        "max_workers": max_workers,
+    }
+    with QueryService(built.index, cache_size=cache_size,
+                      max_workers=max_workers,
+                      chunk_size=chunk_size) as service:
+        report["vectorised"] = service.vectorised
+        for batch in chunked(pairs, batch_size):
+            service.query_batch(batch)
+        report.update(service.metrics.as_dict())
+    if baseline:
+        reach = built.index.reachable
+        started = time.perf_counter()
+        positives = sum(reach(u, v) for u, v in pairs)
+        scalar_seconds = time.perf_counter() - started
+        service_seconds = report["seconds_total"]
+        report["scalar_loop_seconds"] = scalar_seconds
+        report["scalar_loop_positives"] = positives
+        report["service_speedup"] = (
+            scalar_seconds / service_seconds if service_seconds > 0
+            else float("inf"))
+        if positives != report["positives"]:
+            raise AssertionError(
+                f"service/scalar disagreement: {report['positives']} vs "
+                f"{positives} positives")
+    return report
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.graph.io import read_edge_list
+
+    graph = read_edge_list(args.graph) if args.graph is not None else None
+    report = serve_experiment(
+        graph=graph, kind=args.kind, nodes=args.nodes, edges=args.edges,
+        scheme=args.scheme, num_queries=args.queries,
+        batch_size=args.batch_size, cache_size=args.cache,
+        max_workers=args.workers, chunk_size=args.chunk_size,
+        seed=args.seed, baseline=args.baseline)
+    print(format_kv_table(
+        report, title=f"QueryService — {args.scheme} serving "
+                      f"{report['num_queries']} queries"))
+    qps = report["queries_per_second"]
+    print(f"\n[{qps:,.0f} queries/second through the service]")
+    if args.baseline:
+        print(f"[{report['service_speedup']:.1f}x the scalar "
+              f"reachable loop]")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro.bench``."""
     parser = argparse.ArgumentParser(
@@ -98,12 +189,41 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     sub.add_parser("list", help="list available experiments")
 
+    serve = sub.add_parser(
+        "serve",
+        help="throughput-test the QueryService serving layer")
+    serve.add_argument("--graph", type=Path, default=None,
+                       help="edge-list file (default: synthetic graph)")
+    serve.add_argument("--kind", choices=("dag", "gnm"), default="dag",
+                       help="synthetic family when --graph is absent")
+    serve.add_argument("--nodes", type=int, default=2000)
+    serve.add_argument("--edges", type=int, default=2600)
+    serve.add_argument("--scheme", default="dual-i",
+                       help="index scheme to serve (see `repro-reach "
+                            "schemes`)")
+    serve.add_argument("--queries", type=int, default=100_000,
+                       help="workload size (paper protocol: 100k)")
+    serve.add_argument("--batch-size", type=int, default=8192,
+                       help="queries per service batch")
+    serve.add_argument("--cache", type=int, default=0,
+                       help="LRU result-cache entries (0 disables)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="shard thread-pool width")
+    serve.add_argument("--chunk-size", type=int, default=32_768,
+                       help="shard granularity in queries")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--baseline", action="store_true",
+                       help="also time the scalar reachable loop and "
+                            "report the speedup")
+
     claims = sub.add_parser(
         "claims", help="grade the paper-fidelity claims (PASS/FAIL)")
     claims.add_argument("--scale", choices=("paper", "quick"),
                         default="quick")
 
     args = parser.parse_args(argv)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "claims":
         from repro.bench.claims import run_claims
 

@@ -7,7 +7,9 @@ Subcommands
 * ``stats``    — print summary statistics of a graph file;
 * ``build``    — build an index over a graph file and print its stats;
 * ``query``    — build an index and answer reachability queries;
-* ``bench``    — forward to the experiment runner (``repro.bench``).
+* ``bench``    — forward to the experiment runner (``repro.bench``),
+  including ``bench serve``, the :class:`repro.core.service.QueryService`
+  throughput test.
 
 Examples
 --------
@@ -19,6 +21,7 @@ Examples
     repro-reach query g.txt --scheme dual-i --pairs 17:1805 3:42
     repro-reach query g.txt --random 1000 --scheme dual-ii
     repro-reach bench run table2 --scale quick
+    repro-reach bench serve --scheme dual-ii --queries 100000 --baseline
 """
 
 from __future__ import annotations

@@ -13,15 +13,17 @@ Public entry points:
 from repro.core.base import (
     INT_BYTES,
     IndexStats,
+    LabelArrays,
     ReachabilityIndex,
     available_schemes,
     build_index,
     get_scheme,
     register_scheme,
 )
-from repro.core.dual_i import DualIIndex
-from repro.core.dual_ii import DualIIIndex
+from repro.core.dual_i import DualIIndex, DualILabelArrays
+from repro.core.dual_ii import DualIILabelArrays, DualIIIndex
 from repro.core.batch import BatchQuerier, reachable_batch
+from repro.core.service import QueryService, ServiceMetrics
 from repro.core.dynamic import DynamicDualIndex
 from repro.core.intervals import Interval, IntervalLabeling, assign_intervals
 from repro.core.linktable import (
@@ -68,8 +70,13 @@ __all__ = [
     "pack_tlc_matrix",
     "BitPackedTLCMatrix",
     "bitpack_tlc_matrix",
+    "LabelArrays",
+    "DualILabelArrays",
+    "DualIILabelArrays",
     "BatchQuerier",
     "reachable_batch",
+    "QueryService",
+    "ServiceMetrics",
     "ValidationReport",
     "validate_index",
     "witness_path",

@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Type
+from typing import Any, ClassVar, Mapping, Sequence, Type
+
+import numpy as np
 
 from repro.exceptions import QueryError
 from repro.graph.digraph import DiGraph, Node
@@ -32,6 +34,7 @@ from repro.graph.digraph import DiGraph, Node
 __all__ = [
     "INT_BYTES",
     "IndexStats",
+    "LabelArrays",
     "ReachabilityIndex",
     "register_scheme",
     "available_schemes",
@@ -108,6 +111,142 @@ class IndexStats:
         return row
 
 
+class LabelArrays(abc.ABC):
+    """Public vectorised view of an index's label arrays.
+
+    A kernel answers reachability for whole *vectors* of dense component
+    ids in one shot — the batch counterpart of
+    :meth:`ReachabilityIndex.reachable`.  Schemes whose labels live in
+    dense per-component arrays (Dual-I's intervals + TLC matrix, Dual-II's
+    intervals + search tree, the closure bit matrix, interval sets) expose
+    one via :meth:`ReachabilityIndex.label_arrays`; schemes with no dense
+    representation return ``None`` and callers fall back to the scalar
+    loop.
+
+    Subclasses implement :meth:`query_components`; the node-level helpers
+    (:meth:`components_of`, :meth:`query_pairs`) are shared.  ``u == v``
+    and same-component pairs must answer ``True`` (reflexive reachability,
+    matching the scalar convention).
+    """
+
+    def __init__(self, component_of: Mapping[Node, int]) -> None:
+        #: Mapping from original nodes to the dense ids the arrays are
+        #: indexed by (SCC component ids for condensation-based schemes).
+        self.component_of = component_of
+        # Lazily-built dense int lookup (``False`` = not attempted yet).
+        self._dense_lookup: np.ndarray | None | bool = False
+        # True when the lookup table has no holes, so mapped ids never
+        # need the per-element missing check.
+        self._lookup_complete = False
+
+    # -- abstract kernel ------------------------------------------------
+    @abc.abstractmethod
+    def query_components(self, cu: np.ndarray,
+                         cv: np.ndarray) -> np.ndarray:
+        """Boolean reachability for aligned component-id vectors."""
+
+    # -- shared node-level helpers --------------------------------------
+    def _build_dense_lookup(self) -> np.ndarray | None:
+        """Dense ``node id -> component id`` table for int node spaces.
+
+        Generated graphs label nodes ``0..n-1``; for those the per-node
+        dict probe is the batch bottleneck, so we flatten the mapping
+        into one gather.  Non-int or very sparse node ids keep the dict.
+        """
+        mapping = self.component_of
+        if not mapping:
+            return None
+        max_key = -1
+        for node in mapping:
+            if not isinstance(node, int) or isinstance(node, bool) \
+                    or node < 0:
+                return None
+            if node > max_key:
+                max_key = node
+        if max_key >= 4 * len(mapping) + 1024:
+            return None
+        lookup = np.full(max_key + 1, -1, dtype=np.int64)
+        for node, cid in mapping.items():
+            lookup[node] = cid
+        self._lookup_complete = bool((lookup >= 0).all())
+        return lookup
+
+    def _map_dense(self, arr: np.ndarray, node_at) -> np.ndarray:
+        """Gather component ids through the dense lookup table.
+
+        ``node_at(i)`` recovers the offending original node for the
+        :class:`QueryError` message; bounds are validated with two scalar
+        reductions so the happy path never materialises boolean masks.
+        """
+        lookup = self._dense_lookup
+        size = lookup.shape[0]
+        if arr.size:
+            if int(arr.min()) < 0 or int(arr.max()) >= size:
+                bad = (arr < 0) | (arr >= size)
+                raise QueryError(node_at(int(np.argmax(bad))))
+        cids = lookup[arr]
+        if not self._lookup_complete and cids.size \
+                and int(cids.min()) < 0:
+            raise QueryError(node_at(int(np.argmax(cids < 0))))
+        return cids
+
+    def components_of(self, nodes: Sequence[Node]) -> np.ndarray:
+        """Map original nodes to dense component ids (vector form).
+
+        Raises
+        ------
+        QueryError
+            On the first node the index does not cover.
+        """
+        if not isinstance(nodes, list):
+            nodes = list(nodes)
+        if not nodes:
+            return np.zeros(0, dtype=np.int64)
+        if self._dense_lookup is False:
+            self._dense_lookup = self._build_dense_lookup()
+        if self._dense_lookup is not None:
+            arr = np.asarray(nodes)
+            # Integer dtype only: float/object columns (mixed or unknown
+            # node types) resolve through the dict so e.g. 2.5 raises
+            # QueryError instead of silently truncating to node 2.
+            if arr.ndim == 1 and arr.dtype.kind in "iu":
+                return self._map_dense(arr, lambda i: nodes[i])
+        component_of = self.component_of
+        out = np.empty(len(nodes), dtype=np.int64)
+        node = None
+        try:
+            for i, node in enumerate(nodes):
+                out[i] = component_of[node]
+        except KeyError:
+            raise QueryError(node) from None
+        return out
+
+    def pair_components(self, pairs: Sequence[tuple[Node, Node]]
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """``(cu, cv)`` component-id vectors for a pair list.
+
+        The batch hot path: one column extraction per side, validated by
+        two scalar bounds reductions — the Python → numpy conversion is
+        the dominant cost of a served batch on fast kernels.
+        """
+        if not isinstance(pairs, list):
+            pairs = list(pairs)
+        if not pairs:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        return (self.components_of([u for u, _ in pairs]),
+                self.components_of([v for _, v in pairs]))
+
+    def query_pairs(self, pairs: Sequence[tuple[Node, Node]]) -> np.ndarray:
+        """Boolean answers for a list of (source, target) node pairs."""
+        if not isinstance(pairs, list):
+            pairs = list(pairs)
+        if not pairs:
+            return np.zeros(0, dtype=bool)
+        cu, cv = self.pair_components(pairs)
+        return self.query_components(cu, cv)
+
+
 class ReachabilityIndex(abc.ABC):
     """Abstract base class of every reachability index."""
 
@@ -134,9 +273,27 @@ class ReachabilityIndex(abc.ABC):
         """Build/space statistics (see :class:`IndexStats`)."""
 
     # Convenience shared by all implementations -------------------------
+    def label_arrays(self) -> LabelArrays | None:
+        """Vectorised query kernel over this index's label arrays.
+
+        Returns ``None`` when the scheme has no dense-array
+        representation (per-node search structures, online search);
+        callers then fall back to the scalar :meth:`reachable` loop.
+        Implementations cache the kernel, so repeated calls are cheap.
+        """
+        return None
+
     def reachable_many(self,
                        pairs: list[tuple[Node, Node]]) -> list[bool]:
-        """Vector form of :meth:`reachable` (loop by default)."""
+        """Vector form of :meth:`reachable`.
+
+        Routes through :meth:`label_arrays` when the scheme exposes a
+        vectorised kernel, otherwise loops over :meth:`reachable`.
+        Either way, answers are exactly those of the scalar method.
+        """
+        arrays = self.label_arrays()
+        if arrays is not None:
+            return arrays.query_pairs(pairs).tolist()
         reach = self.reachable
         return [reach(u, v) for u, v in pairs]
 

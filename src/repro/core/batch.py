@@ -1,44 +1,49 @@
-"""Vectorised batch reachability queries over a Dual-I index.
+"""Vectorised batch reachability queries over any index with label arrays.
 
 Analytics workloads (the paper's 100k-query loops, XML join evaluation,
 all-pairs sampling) ask millions of reachability questions at once.
-Theorem 3's query is pure integer arithmetic —
+Schemes whose labels live in dense arrays answer whole batches with a
+handful of numpy gathers — no Python-level loop, an order of magnitude
+faster than calling ``reachable`` per pair.
 
-    ``a₂ ∈ [a₁, b₁)  or  N[x₁, z₂] − N[y₁, z₂] > 0``
-
-— so a batch of queries vectorises into a handful of numpy gathers: no
-Python-level loop, an order of magnitude faster than calling
-``reachable`` per pair.
-
-Use :class:`BatchQuerier` when the same index serves many batches (it
-caches the label arrays as numpy vectors); the convenience function
-:func:`reachable_batch` wraps one-off calls.
+:class:`BatchQuerier` wraps the public
+:meth:`~repro.core.base.ReachabilityIndex.label_arrays` kernel of *any*
+scheme that provides one (Dual-I, Dual-II, the closure matrix, interval
+sets); it touches no private attributes of the index.  The convenience
+function :func:`reachable_batch` wraps one-off calls and transparently
+falls back to the scalar loop for schemes without a kernel.  For a
+serving layer with caching, sharding and metrics on top of this, see
+:class:`repro.core.service.QueryService`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.dual_i import DualIIndex
-from repro.exceptions import QueryError
+from repro.core.base import LabelArrays, ReachabilityIndex
 from repro.graph.digraph import Node
 
 __all__ = ["BatchQuerier", "reachable_batch"]
 
 
 class BatchQuerier:
-    """Vectorised Theorem 3 evaluation for a :class:`DualIIndex`."""
+    """Vectorised query evaluation over an index's public label arrays.
 
-    def __init__(self, index: DualIIndex) -> None:
-        self._component_of = index._component_of
-        self._starts = np.asarray(index._starts, dtype=np.int64)
-        self._ends = np.asarray(index._ends, dtype=np.int64)
-        self._label_x = np.asarray(index._label_x, dtype=np.int64)
-        self._label_y = np.asarray(index._label_y, dtype=np.int64)
-        self._label_z = np.asarray(index._label_z, dtype=np.int64)
-        # The index's row cache is backend-independent (array, packed,
-        # or bitpacked all unpack into the same nested lists).
-        self._matrix = np.asarray(index._matrix_rows, dtype=np.int64)
+    Raises
+    ------
+    TypeError
+        If the index exposes no vectorised kernel (its
+        ``label_arrays()`` returns ``None``); use
+        ``index.reachable_many`` for those schemes.
+    """
+
+    def __init__(self, index: ReachabilityIndex) -> None:
+        arrays = index.label_arrays()
+        if arrays is None:
+            raise TypeError(
+                f"{type(index).__name__} exposes no label arrays; use "
+                "index.reachable_many for the scalar path")
+        self.arrays: LabelArrays = arrays
 
     def components_of(self, nodes: list[Node]) -> np.ndarray:
         """Map original nodes to dense component ids (vector form).
@@ -48,34 +53,16 @@ class BatchQuerier:
         QueryError
             On the first node the index does not cover.
         """
-        component_of = self._component_of
-        out = np.empty(len(nodes), dtype=np.int64)
-        try:
-            for i, node in enumerate(nodes):
-                out[i] = component_of[node]
-        except KeyError as exc:
-            raise QueryError(exc.args[0]) from None
-        return out
+        return self.arrays.components_of(nodes)
 
     def query_components(self, cu: np.ndarray,
                          cv: np.ndarray) -> np.ndarray:
         """Boolean reachability for aligned component-id vectors."""
-        a1 = self._starts[cu]
-        b1 = self._ends[cu]
-        a2 = self._starts[cv]
-        tree = (a1 <= a2) & (a2 < b1)
-        z2 = self._label_z[cv]
-        nontree = (self._matrix[self._label_x[cu], z2]
-                   - self._matrix[self._label_y[cu], z2]) > 0
-        return tree | nontree | (cu == cv)
+        return self.arrays.query_components(cu, cv)
 
     def query_pairs(self, pairs: list[tuple[Node, Node]]) -> np.ndarray:
         """Boolean answers for a list of (source, target) node pairs."""
-        if not pairs:
-            return np.zeros(0, dtype=bool)
-        sources = self.components_of([u for u, _ in pairs])
-        targets = self.components_of([v for _, v in pairs])
-        return self.query_components(sources, targets)
+        return self.arrays.query_pairs(pairs)
 
     def reachability_matrix(self, sources: list[Node],
                             targets: list[Node]) -> np.ndarray:
@@ -84,6 +71,11 @@ class BatchQuerier:
         The cross-product form of :meth:`query_pairs` — useful for the
         paper's XML-join pattern ("obtain all fiction and author
         elements, then test reachability for every combination").
+
+        Raises
+        ------
+        QueryError
+            If any source or target is not covered by the index.
         """
         cu = self.components_of(sources)
         cv = self.components_of(targets)
@@ -93,7 +85,14 @@ class BatchQuerier:
             len(sources), len(targets))
 
 
-def reachable_batch(index: DualIIndex,
+def reachable_batch(index: ReachabilityIndex,
                     pairs: list[tuple[Node, Node]]) -> list[bool]:
-    """One-shot vectorised batch query (see :class:`BatchQuerier`)."""
-    return BatchQuerier(index).query_pairs(pairs).tolist()
+    """One-shot vectorised batch query (see :class:`BatchQuerier`).
+
+    Falls back to the scalar ``reachable`` loop for schemes without a
+    vectorised kernel, so it is safe to call on any index.
+    """
+    arrays = index.label_arrays()
+    if arrays is None:
+        return index.reachable_many(pairs)
+    return arrays.query_pairs(pairs).tolist()

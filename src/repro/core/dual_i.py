@@ -27,14 +27,57 @@ from typing import Any
 
 import time
 
-from repro.core.base import INT_BYTES, IndexStats, ReachabilityIndex, register_scheme
+import numpy as np
+
+from repro.core.base import (
+    INT_BYTES,
+    IndexStats,
+    LabelArrays,
+    ReachabilityIndex,
+    register_scheme,
+)
 from repro.core.nontree_labels import assign_nontree_labels
 from repro.core.pipeline import DualPipeline, run_pipeline
 from repro.core.tlc_matrix import TLCMatrix, build_tlc_matrix, pack_tlc_matrix
 from repro.exceptions import QueryError
 from repro.graph.digraph import DiGraph, Node
 
-__all__ = ["DualIIndex"]
+__all__ = ["DualIIndex", "DualILabelArrays"]
+
+
+class DualILabelArrays(LabelArrays):
+    """Theorem 3 as numpy gathers — Dual-I's public label-array view.
+
+    The attributes mirror the paper's artefacts: interval labels
+    ``[starts, ends)``, non-tree labels ``⟨label_x, label_y, label_z⟩``
+    (all dense, indexed by component id) and the TLC matrix.  A batch of
+    queries is a handful of fancy-indexing gathers — no Python loop.
+    """
+
+    def __init__(self, component_of: dict, starts: list[int],
+                 ends: list[int], label_x: list[int], label_y: list[int],
+                 label_z: list[int],
+                 matrix_rows: list[list[int]]) -> None:
+        super().__init__(component_of)
+        self.starts = np.asarray(starts, dtype=np.int64)
+        self.ends = np.asarray(ends, dtype=np.int64)
+        self.label_x = np.asarray(label_x, dtype=np.int64)
+        self.label_y = np.asarray(label_y, dtype=np.int64)
+        self.label_z = np.asarray(label_z, dtype=np.int64)
+        # Backend-independent: array, packed, and bitpacked TLC layouts
+        # all unpack into the same nested row lists.
+        self.matrix = np.asarray(matrix_rows, dtype=np.int64)
+
+    def query_components(self, cu: np.ndarray,
+                         cv: np.ndarray) -> np.ndarray:
+        a1 = self.starts[cu]
+        b1 = self.ends[cu]
+        a2 = self.starts[cv]
+        tree = (a1 <= a2) & (a2 < b1)
+        z2 = self.label_z[cv]
+        nontree = (self.matrix[self.label_x[cu], z2]
+                   - self.matrix[self.label_y[cu], z2]) > 0
+        return tree | nontree | (cu == cv)
 
 
 @register_scheme
@@ -64,6 +107,7 @@ class DualIIndex(ReachabilityIndex):
         else:
             self._matrix_rows = tlc.to_rows()
         self._stats = stats
+        self._arrays: DualILabelArrays | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -166,6 +210,15 @@ class DualIIndex(ReachabilityIndex):
 
     def stats(self) -> IndexStats:
         return self._stats
+
+    def label_arrays(self) -> DualILabelArrays:
+        """Public numpy view of the label arrays (built once, cached)."""
+        if self._arrays is None:
+            self._arrays = DualILabelArrays(
+                self._component_of, self._starts, self._ends,
+                self._label_x, self._label_y, self._label_z,
+                self._matrix_rows)
+        return self._arrays
 
     # ------------------------------------------------------------------
     @property

@@ -20,13 +20,57 @@ from __future__ import annotations
 import time
 from typing import Any
 
-from repro.core.base import INT_BYTES, IndexStats, ReachabilityIndex, register_scheme
+import numpy as np
+
+from repro.core.base import (
+    INT_BYTES,
+    IndexStats,
+    LabelArrays,
+    ReachabilityIndex,
+    register_scheme,
+)
 from repro.core.pipeline import DualPipeline, run_pipeline
 from repro.core.tlc_searchtree import TLCSearchTree, build_tlc_search_tree
 from repro.exceptions import QueryError
 from repro.graph.digraph import DiGraph, Node
 
-__all__ = ["DualIIIndex"]
+__all__ = ["DualIIIndex", "DualIILabelArrays"]
+
+
+class DualIILabelArrays(LabelArrays):
+    """Theorem 2 vectorised — Dual-II's public label-array view.
+
+    The tree test is two gathers over the interval arrays; the non-tree
+    test evaluates ``N(a₁, a₂) − N(b₁, a₂)`` with the search tree's
+    fused :meth:`~repro.core.tlc_searchtree.TLCSearchTree.count_diff_many`,
+    i.e. the ``O(log t)`` lookups become batched ``searchsorted`` calls
+    sharing one row search.
+    """
+
+    def __init__(self, component_of: dict, starts: list[int],
+                 ends: list[int], tree: TLCSearchTree) -> None:
+        super().__init__(component_of)
+        self.starts = np.asarray(starts, dtype=np.int64)
+        self.ends = np.asarray(ends, dtype=np.int64)
+        self.tree = tree.warm()
+        # Per-component query plan: the coordinate universe is fixed (a
+        # component's interval endpoints), so the row search and band
+        # clipping happen once here; each batch then pays one key
+        # search over gathered offsets.
+        self._band, self._band_valid = tree.row_plan(self.starts)
+        self._off_start = tree.x_encode(self.starts)
+        self._off_end = tree.x_encode(self.ends)
+
+    def query_components(self, cu: np.ndarray,
+                         cv: np.ndarray) -> np.ndarray:
+        a1 = self.starts[cu]
+        b1 = self.ends[cu]
+        a2 = self.starts[cv]
+        tree_path = (a1 <= a2) & (a2 < b1)
+        nontree = self.tree.count_diff_encoded(
+            self._off_start[cu], self._off_end[cu],
+            self._band[cv], self._band_valid[cv]) > 0
+        return tree_path | nontree | (cu == cv)
 
 
 @register_scheme
@@ -44,6 +88,7 @@ class DualIIIndex(ReachabilityIndex):
         self._starts = starts
         self._ends = ends
         self._stats = stats
+        self._arrays: DualIILabelArrays | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -105,6 +150,13 @@ class DualIIIndex(ReachabilityIndex):
 
     def stats(self) -> IndexStats:
         return self._stats
+
+    def label_arrays(self) -> DualIILabelArrays:
+        """Public numpy view of the label arrays (built once, cached)."""
+        if self._arrays is None:
+            self._arrays = DualIILabelArrays(
+                self._component_of, self._starts, self._ends, self._tree)
+        return self._arrays
 
     # ------------------------------------------------------------------
     @property

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right, insort
 
+import numpy as np
+
 from repro.core.base import INT_BYTES
 from repro.core.linktable import LinkTable
 
@@ -33,13 +35,21 @@ __all__ = ["TLCSearchTree", "build_tlc_search_tree"]
 class TLCSearchTree:
     """Two-layer search structure evaluating ``N(x, y)`` in O(log t)."""
 
-    __slots__ = ("row_ys", "rows")
+    __slots__ = ("row_ys", "rows", "_vec", "_lut")
+
+    #: Direct-address acceleration cap: the dense rank tables of
+    #: :meth:`_direct_tables` are only built while ``rows * base`` stays
+    #: under this many entries (int32 ⇒ ≤ 16 MiB); larger coordinate
+    #: spaces keep the ``searchsorted`` path.
+    _LUT_MAX_ENTRIES = 4_194_304
 
     def __init__(self, row_ys: list[int], rows: list[list[int]]) -> None:
         if len(row_ys) != len(rows):
             raise ValueError("row_ys and rows must have equal length")
         self.row_ys = row_ys
         self.rows = rows
+        self._vec: tuple | None = None
+        self._lut: tuple | None | bool = False
 
     def count(self, x: int, y: int) -> int:
         """The TLC function ``N(x, y)`` for arbitrary coordinates."""
@@ -48,6 +58,183 @@ class TLCSearchTree:
             return 0
         row = self.rows[r]
         return len(row) - bisect_left(row, x)
+
+    def _vectorised(self) -> tuple:
+        """Flat numpy encoding of the two layers (built once).
+
+        Both binary searches of :meth:`count` become ``np.searchsorted``
+        calls: the upper layer is already a sorted array, and the ragged
+        lower-layer rows flatten into one globally sorted key array by
+        encoding each tail as ``row_index * base + (tail - min_tail)``
+        with ``base`` wider than the tail value range — within-row order
+        is preserved and rows occupy disjoint, increasing key bands.
+        """
+        if self._vec is None:
+            row_ys = np.asarray(self.row_ys, dtype=np.int64)
+            lengths = np.fromiter((len(row) for row in self.rows),
+                                  dtype=np.int64, count=len(self.rows))
+            row_ends = np.cumsum(lengths)
+            flat = (np.concatenate(
+                        [np.asarray(row, dtype=np.int64)
+                         for row in self.rows])
+                    if self.rows else np.zeros(0, dtype=np.int64))
+            if flat.size:
+                min_tail = int(flat.min())
+                base = int(flat.max()) - min_tail + 2
+            else:
+                min_tail, base = 0, 1
+            row_index = np.repeat(
+                np.arange(len(self.rows), dtype=np.int64), lengths)
+            keys = row_index * base + (flat - min_tail)
+            self._vec = (row_ys, row_ends, keys, min_tail, base)
+        return self._vec
+
+    def _direct_tables(self) -> tuple | None:
+        """Dense rank tables replacing both binary searches (built once).
+
+        ``np.searchsorted`` costs tens of nanoseconds per unsorted
+        probe; within a compact coordinate space, precomputing every
+        answer turns each search into a single gather.  ``row_lut[y]``
+        is the upper-layer row index for ``0 <= y <= max(row_ys)``;
+        ``key_lut[k]`` is the lower-layer insertion point for every
+        encodable key.  Returns ``None`` (and the callers keep
+        ``searchsorted``) beyond :data:`_LUT_MAX_ENTRIES`.
+        """
+        if self._lut is False:
+            row_ys, row_ends, keys, min_tail, base = self._vectorised()
+            total = len(self.rows) * base
+            if (keys.size == 0 or total > self._LUT_MAX_ENTRIES
+                    or int(row_ys[-1]) + 1 > self._LUT_MAX_ENTRIES):
+                self._lut = None
+            else:
+                row_lut = (np.searchsorted(
+                    row_ys, np.arange(int(row_ys[-1]) + 1),
+                    side="right") - 1).astype(np.int32)
+                key_lut = np.searchsorted(
+                    keys, np.arange(total), side="left").astype(np.int32)
+                self._lut = (row_lut, key_lut)
+        return self._lut
+
+    def _row_search(self, ys: np.ndarray, row_ys: np.ndarray,
+                    luts: tuple | None) -> np.ndarray:
+        """Upper-layer row index per probe (``-1`` = before every row)."""
+        if luts is None:
+            return np.searchsorted(row_ys, ys, side="right") - 1
+        row_lut = luts[0]
+        r = row_lut[np.clip(ys, 0, row_lut.shape[0] - 1)]
+        # The clip folds negative probes onto y == 0; restore their
+        # true "before every row" answer.
+        if ys.size and int(ys.min()) < 0:
+            r = np.where(ys < 0, np.int32(-1), r)
+        return r
+
+    def _key_search(self, probes: np.ndarray, keys: np.ndarray,
+                    luts: tuple | None) -> np.ndarray:
+        """Lower-layer insertion point per encoded probe key."""
+        if luts is None:
+            return np.searchsorted(keys, probes, side="left")
+        return luts[1][probes]
+
+    def warm(self) -> "TLCSearchTree":
+        """Eagerly build the vectorised encoding and rank tables.
+
+        Serving layers call this at construction so the one-off
+        flatten/LUT cost lands in setup rather than in the first
+        batch's query timing.  Returns ``self`` for chaining.
+        """
+        self._vectorised()
+        self._direct_tables()
+        return self
+
+    def count_many(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vector form of :meth:`count` for aligned coordinate arrays."""
+        xs = np.asarray(xs, dtype=np.int64)
+        ys = np.asarray(ys, dtype=np.int64)
+        row_ys, row_ends, keys, min_tail, base = self._vectorised()
+        if keys.size == 0 or xs.size == 0:
+            return np.zeros(xs.shape, dtype=np.int64)
+        luts = self._direct_tables()
+        r = self._row_search(ys, row_ys, luts)
+        valid = r >= 0
+        r_safe = np.where(valid, r, 0).astype(np.int64)
+        # Clipping x into the encoded band keeps the searchsorted answer
+        # equal to the in-row bisect: below-range x counts every entry,
+        # above-range x counts none.
+        x_shift = np.clip(xs - min_tail, 0, base - 1)
+        pos = self._key_search(r_safe * base + x_shift, keys, luts)
+        return np.where(valid, row_ends[r_safe] - pos, 0)
+
+    def row_plan(self, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(band, valid)`` encoding of reusable y-coordinates.
+
+        ``band[i]`` is the key-space offset of the row answering
+        ``ys[i]`` and ``valid[i]`` is ``False`` where ``ys[i]`` precedes
+        every row (count 0).  Callers with a fixed coordinate universe —
+        one entry per graph component, say — evaluate the row search
+        once here and reuse the plan across every batch via
+        :meth:`count_diff_encoded`.
+        """
+        ys = np.asarray(ys, dtype=np.int64)
+        row_ys, _row_ends, keys, _min_tail, base = self._vectorised()
+        if keys.size == 0 or ys.size == 0:
+            return (np.zeros(ys.shape, dtype=np.int64),
+                    np.zeros(ys.shape, dtype=bool))
+        r = self._row_search(ys, row_ys, self._direct_tables())
+        valid = r >= 0
+        return np.where(valid, r, 0).astype(np.int64) * base, valid
+
+    def x_encode(self, xs: np.ndarray) -> np.ndarray:
+        """Key-space offsets of reusable x-coordinates (see
+        :meth:`row_plan`); clipping preserves the out-of-range counting
+        convention of :meth:`count_many`."""
+        xs = np.asarray(xs, dtype=np.int64)
+        _row_ys, _row_ends, keys, min_tail, base = self._vectorised()
+        if keys.size == 0:
+            return np.zeros(xs.shape, dtype=np.int64)
+        return np.clip(xs - min_tail, 0, base - 1)
+
+    def count_diff_encoded(self, off_first: np.ndarray,
+                           off_second: np.ndarray, band: np.ndarray,
+                           valid: np.ndarray) -> np.ndarray:
+        """:meth:`count_diff_many` over pre-encoded coordinates.
+
+        ``off_*`` come from :meth:`x_encode` and ``(band, valid)`` from
+        :meth:`row_plan` — per-batch work reduces to one key search.
+        """
+        _row_ys, _row_ends, keys, _min_tail, _base = self._vectorised()
+        if keys.size == 0 or band.size == 0:
+            return np.zeros(band.shape, dtype=np.int64)
+        probes = np.concatenate([band + off_first, band + off_second])
+        pos = self._key_search(probes, keys, self._direct_tables())
+        n = band.shape[0]
+        return np.where(valid, pos[n:] - pos[:n].astype(np.int64), 0)
+
+    def count_diff_many(self, x_first: np.ndarray, x_second: np.ndarray,
+                        ys: np.ndarray) -> np.ndarray:
+        """Vectorised ``N(x_first, y) - N(x_second, y)`` per position.
+
+        The form every Dual-II query needs (Theorem 2 tests
+        ``N(a₁, a₂) − N(b₁, a₂) > 0``).  Both counts share the same row,
+        so the row search runs once and the ``row_ends`` terms cancel:
+        the difference is just the gap between the two in-row insertion
+        points.
+        """
+        x_first = np.asarray(x_first, dtype=np.int64)
+        x_second = np.asarray(x_second, dtype=np.int64)
+        ys = np.asarray(ys, dtype=np.int64)
+        row_ys, row_ends, keys, min_tail, base = self._vectorised()
+        if keys.size == 0 or ys.size == 0:
+            return np.zeros(ys.shape, dtype=np.int64)
+        luts = self._direct_tables()
+        r = self._row_search(ys, row_ys, luts)
+        valid = r >= 0
+        band = np.where(valid, r, 0).astype(np.int64) * base
+        probes = np.concatenate([
+            band + np.clip(x_first - min_tail, 0, base - 1),
+            band + np.clip(x_second - min_tail, 0, base - 1)])
+        pos = self._key_search(probes, keys, luts)
+        n = ys.shape[0]
+        return np.where(valid, pos[n:] - pos[:n].astype(np.int64), 0)
 
     @property
     def num_rows(self) -> int:

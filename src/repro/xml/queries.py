@@ -159,18 +159,18 @@ class XMLReachabilityEngine:
         This is the paper's Section 1.1 evaluation pattern spelled out:
         "obtain all fiction and author elements, and then test if an
         author element is reachable from any fiction element".  When
-        the engine runs on Dual-I the cross product is evaluated with
-        the vectorised batch querier; other schemes fall back to the
-        scalar loop.
+        the scheme exposes label arrays (Dual-I, Dual-II, closure,
+        interval — see
+        :meth:`repro.core.base.ReachabilityIndex.label_arrays`) the
+        cross product is evaluated with the vectorised batch querier;
+        other schemes fall back to the scalar loop.
         """
         ancestors = self.document.by_tag(ancestor_tag)
         descendants = self.document.by_tag(descendant_tag)
         if not ancestors or not descendants:
             return []
-        from repro.core.dual_i import DualIIndex
-
         pairs: list[tuple[XMLElement, XMLElement]] = []
-        if isinstance(self.index, DualIIndex):
+        if self.index.label_arrays() is not None:
             from repro.core.batch import BatchQuerier
 
             matrix = BatchQuerier(self.index).reachability_matrix(

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.base import build_index
 from repro.core.batch import BatchQuerier, reachable_batch
 from repro.core.dual_i import DualIIndex
 from repro.exceptions import QueryError
@@ -100,3 +101,52 @@ class TestBatchBackends:
         pairs = sample_pairs(g, 300, 11)
         expected = [index.reachable(u, v) for u, v in pairs]
         assert reachable_batch(index, pairs) == expected
+
+    @pytest.mark.parametrize("scheme",
+                             ["dual-i", "dual-ii", "closure", "interval"])
+    def test_querier_over_every_kernel_scheme(self, scheme):
+        """BatchQuerier works on every scheme exposing label arrays."""
+        g = gnm_random_digraph(50, 120, seed=4)
+        index = build_index(g, scheme=scheme)
+        pairs = sample_pairs(g, 400, 4)
+        expected = [index.reachable(u, v) for u, v in pairs]
+        assert BatchQuerier(index).query_pairs(pairs).tolist() == expected
+
+    @pytest.mark.parametrize("scheme", ["2hop", "online-bfs", "grail"])
+    def test_kernel_less_scheme_raises_type_error(self, scheme):
+        g = gnm_random_digraph(20, 40, seed=1)
+        index = build_index(g, scheme=scheme)
+        assert index.label_arrays() is None
+        with pytest.raises(TypeError, match="label arrays"):
+            BatchQuerier(index)
+        # ... but the one-shot helper transparently falls back.
+        pairs = sample_pairs(g, 50, 2)
+        expected = [index.reachable(u, v) for u, v in pairs]
+        assert reachable_batch(index, pairs) == expected
+
+
+class TestPublicSurface:
+    def test_no_private_attribute_access(self):
+        """Regression: the batch layer must rely only on the public
+        ``label_arrays()`` protocol — no ``index._foo`` reaches into a
+        scheme's internals (the pre-refactor implementation did)."""
+        import inspect
+        import re
+
+        import repro.core.batch as batch_module
+
+        source = inspect.getsource(batch_module)
+        violations = re.findall(
+            r"\b(?:index|self\.index)\._\w+|\barrays\._\w+", source)
+        assert violations == []
+
+    def test_matrix_unknown_node_raises(self, diamond):
+        querier = BatchQuerier(DualIIndex.build(diamond))
+        with pytest.raises(QueryError):
+            querier.reachability_matrix(["a"], ["ghost"])
+        with pytest.raises(QueryError):
+            querier.reachability_matrix(["ghost"], ["a"])
+
+    def test_label_arrays_cached_per_index(self, diamond):
+        index = DualIIndex.build(diamond)
+        assert index.label_arrays() is index.label_arrays()
