@@ -1,0 +1,161 @@
+"""Construction benchmark: ``python -m repro.bench build``.
+
+Times end-to-end index *construction* (every phase of
+:func:`repro.core.pipeline.run_pipeline`) for each backend on one graph
+— by default the Figure 11 quick-scale largest graph
+(``single_rooted_dag(600, 900, max_fanout=5, seed=600)``, the paper's
+density-1.5 scaling family) — and appends the measurement to a
+``BENCH_build.json`` trajectory file so build-time regressions show up
+as a series over commits.
+
+Measurement protocol
+--------------------
+* each backend runs as one consecutive best-of-``repeats`` batch (the
+  timeit/pytest-benchmark convention): steady-state per backend, no
+  cross-backend cache pollution inside a sample;
+* per-phase and total times are best-of wall clock (allocation noise
+  and GC pauses only ever inflate a sample);
+* the backends' outputs are cross-checked every round (``t`` and the
+  closed-link count must agree) — a benchmark that silently compared
+  different answers would be worthless.
+
+Trajectory schema (``bench-build/v1``)::
+
+    {"schema": "bench-build/v1",
+     "entries": [{"timestamp": ..., "graph": {...}, "repeats": N,
+                  "runs": [{"backend": ..., "phase_seconds": {...},
+                            "total_seconds": ...}, ...],
+                  "speedup": ...}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.core.pipeline import run_pipeline
+from repro.graph.generators import single_rooted_dag
+
+__all__ = ["SCHEMA", "append_trajectory", "format_build_report",
+           "run_build_benchmark"]
+
+SCHEMA = "bench-build/v1"
+
+#: Figure 11 quick-scale largest graph (sizes (200, 400, 600), density
+#: 1.5, ``seed = 0 + n``) — the acceptance target of the fast backend.
+DEFAULT_NODES = 600
+
+
+def run_build_benchmark(*, nodes: int = DEFAULT_NODES,
+                        edges: int | None = None, max_fanout: int = 5,
+                        seed: int | None = None,
+                        backends: Sequence[str] = ("python", "fast"),
+                        repeats: int = 7,
+                        use_meg: bool = True) -> dict[str, Any]:
+    """Benchmark pipeline construction across ``backends``; return one
+    trajectory entry (see module docstring for the schema).
+
+    ``edges`` defaults to the Figure 11 density (``1.5 * nodes``) and
+    ``seed`` to the Figure 11 convention (``seed0 + nodes`` with
+    ``seed0 = 0``).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    edges = int(1.5 * nodes) if edges is None else edges
+    seed = nodes if seed is None else seed
+    graph = single_rooted_dag(nodes, edges, max_fanout=max_fanout,
+                              seed=seed)
+
+    totals: dict[str, float] = {b: float("inf") for b in backends}
+    phases: dict[str, dict[str, float]] = {b: {} for b in backends}
+    signature: dict[str, tuple[int, int]] = {}
+    for backend in backends:
+        for _ in range(repeats):
+            started = time.perf_counter()
+            pipeline = run_pipeline(graph, use_meg=use_meg,
+                                    backend=backend)
+            elapsed = time.perf_counter() - started
+            totals[backend] = min(totals[backend], elapsed)
+            best = phases[backend]
+            for phase, seconds in pipeline.phase_seconds.items():
+                known = best.get(phase)
+                best[phase] = (seconds if known is None
+                               else min(known, seconds))
+            sig = (pipeline.t, pipeline.num_transitive_links)
+            previous = signature.setdefault(backend, sig)
+            if previous != sig:
+                raise AssertionError(
+                    f"backend {backend!r} is non-deterministic: "
+                    f"{previous} vs {sig}")
+    if len(set(signature.values())) > 1:
+        raise AssertionError(
+            f"backends disagree on (t, transitive_links): {signature}")
+
+    runs = [{"backend": backend,
+             "phase_seconds": dict(phases[backend]),
+             "total_seconds": totals[backend]} for backend in backends]
+    entry: dict[str, Any] = {
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "graph": {"family": "single_rooted_dag", "nodes": nodes,
+                  "edges": graph.num_edges, "max_fanout": max_fanout,
+                  "seed": seed, "use_meg": use_meg},
+        "repeats": repeats,
+        "t": signature[backends[0]][0],
+        "transitive_links": signature[backends[0]][1],
+        "runs": runs,
+    }
+    if "python" in totals and "fast" in totals:
+        entry["speedup"] = totals["python"] / totals["fast"]
+    return entry
+
+
+def append_trajectory(entry: dict[str, Any], path: Path) -> None:
+    """Append ``entry`` to the ``BENCH_build.json`` trajectory at
+    ``path`` (created — or reset, if unreadable/foreign — on demand)."""
+    data: dict[str, Any] = {"schema": SCHEMA, "entries": []}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            existing = None
+        if (isinstance(existing, dict) and existing.get("schema") == SCHEMA
+                and isinstance(existing.get("entries"), list)):
+            data = existing
+    data["entries"].append(entry)
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+def format_build_report(entry: dict[str, Any]) -> str:
+    """Human-readable per-phase table for one trajectory entry."""
+    graph = entry["graph"]
+    lines = [f"build benchmark — single_rooted_dag("
+             f"{graph['nodes']}, {graph['edges']}, "
+             f"max_fanout={graph['max_fanout']}, seed={graph['seed']})"
+             f"  use_meg={graph['use_meg']}  "
+             f"best of {entry['repeats']}"]
+    phase_names: list[str] = []
+    for run in entry["runs"]:
+        for phase in run["phase_seconds"]:
+            if phase not in phase_names:
+                phase_names.append(phase)
+    header = f"{'phase':<30s}" + "".join(
+        f"{run['backend']:>12s}" for run in entry["runs"])
+    lines.append(header)
+    for phase in phase_names:
+        row = f"{phase:<30s}"
+        for run in entry["runs"]:
+            seconds = run["phase_seconds"].get(phase)
+            row += ("         n/a" if seconds is None
+                    else f"{seconds * 1e3:10.3f}ms")
+        lines.append(row)
+    row = f"{'total':<30s}"
+    for run in entry["runs"]:
+        row += f"{run['total_seconds'] * 1e3:10.3f}ms"
+    lines.append(row)
+    if "speedup" in entry:
+        lines.append(f"speedup (python/fast): {entry['speedup']:.2f}x")
+    return "\n".join(lines)

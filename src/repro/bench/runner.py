@@ -148,6 +148,30 @@ def serve_experiment(*, graph=None, kind: str = "dag", nodes: int = 2000,
     return report
 
 
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.bench.buildbench import (append_trajectory,
+                                        format_build_report,
+                                        run_build_benchmark)
+
+    entry = run_build_benchmark(
+        nodes=args.nodes, edges=args.edges, seed=args.seed,
+        repeats=3 if args.quick else args.repeats,
+        use_meg=not args.no_meg)
+    print(format_build_report(entry))
+    if str(args.out) != "-":
+        append_trajectory(entry, args.out)
+        print(f"[appended to {args.out}]")
+    if args.assert_speedup is not None:
+        speedup = entry.get("speedup", 0.0)
+        if speedup < args.assert_speedup:
+            print(f"FAIL: speedup {speedup:.2f}x is below the required "
+                  f"{args.assert_speedup:.2f}x")
+            return 1
+        print(f"OK: speedup {speedup:.2f}x >= "
+              f"{args.assert_speedup:.2f}x")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.graph.io import read_edge_list
 
@@ -221,7 +245,36 @@ def main(argv: Sequence[str] | None = None) -> int:
     claims.add_argument("--scale", choices=("paper", "quick"),
                         default="quick")
 
+    build = sub.add_parser(
+        "build",
+        help="benchmark pipeline construction across backends")
+    build.add_argument("--nodes", type=int, default=600,
+                       help="graph size (default: the Figure 11 "
+                            "quick-scale largest graph)")
+    build.add_argument("--edges", type=int, default=None,
+                       help="edge count (default: 1.5x nodes, the "
+                            "Figure 11 density)")
+    build.add_argument("--seed", type=int, default=None,
+                       help="generator seed (default: Figure 11 "
+                            "convention, seed = nodes)")
+    build.add_argument("--repeats", type=int, default=7,
+                       help="rounds per backend; best-of wall clock")
+    build.add_argument("--quick", action="store_true",
+                       help="smoke mode: 3 repeats")
+    build.add_argument("--no-meg", action="store_true",
+                       help="skip the MEG preprocessing phase")
+    build.add_argument("--out", type=Path,
+                       default=Path("BENCH_build.json"),
+                       help="trajectory file to append to ('-' to skip "
+                            "writing)")
+    build.add_argument("--assert-speedup", type=float, default=None,
+                       metavar="RATIO",
+                       help="exit non-zero unless fast is at least "
+                            "RATIO times faster than python")
+
     args = parser.parse_args(argv)
+    if args.command == "build":
+        return _cmd_build(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "claims":

@@ -8,8 +8,10 @@ Subcommands
 * ``build``    — build an index over a graph file and print its stats;
 * ``query``    — build an index and answer reachability queries;
 * ``bench``    — forward to the experiment runner (``repro.bench``),
-  including ``bench serve``, the :class:`repro.core.service.QueryService`
-  throughput test.
+  including ``bench serve`` (the
+  :class:`repro.core.service.QueryService` throughput test) and
+  ``bench build`` (the per-phase construction benchmark comparing the
+  fast and python backends, trajectory in ``BENCH_build.json``).
 
 Examples
 --------
@@ -22,6 +24,7 @@ Examples
     repro-reach query g.txt --random 1000 --scheme dual-ii
     repro-reach bench run table2 --scale quick
     repro-reach bench serve --scheme dual-ii --queries 100000 --baseline
+    repro-reach bench build --quick --assert-speedup 1.0
 """
 
 from __future__ import annotations

@@ -113,7 +113,7 @@ class DualIIndex(ReachabilityIndex):
     @classmethod
     def build(cls, graph: DiGraph, use_meg: bool = True,
               compact: bool = False, matrix_backend: str = "array",
-              **options: Any) -> "DualIIndex":
+              backend: str = "fast", **options: Any) -> "DualIIndex":
         """Build a Dual-I index.
 
         Parameters
@@ -128,6 +128,10 @@ class DualIIndex(ReachabilityIndex):
             (Property 2's ``ceil(log₂)`` bits per cell inside uint64
             words; see :mod:`repro.core.tlc_bitpacked`).  All three give
             identical answers; they differ only in resident size.
+        backend: pipeline construction backend — ``"fast"`` (CSR/array,
+            default) or ``"python"`` (dict-based reference); see
+            :func:`repro.core.pipeline.run_pipeline`.  Identical index
+            either way.
         """
         if options:
             raise TypeError(f"unknown options: {sorted(options)}")
@@ -138,7 +142,7 @@ class DualIIndex(ReachabilityIndex):
         if compact and matrix_backend == "array":
             matrix_backend = "packed"
         wall_start = time.perf_counter()
-        pipeline = run_pipeline(graph, use_meg=use_meg)
+        pipeline = run_pipeline(graph, use_meg=use_meg, backend=backend)
 
         phase_start = time.perf_counter()
         tlc = build_tlc_matrix(pipeline.transitive_table)
@@ -158,14 +162,12 @@ class DualIIndex(ReachabilityIndex):
             time.perf_counter() - phase_start)
 
         num_components = pipeline.condensation.num_components
-        starts = [0] * num_components
-        ends = [0] * num_components
+        starts = list(pipeline.interval_starts)
+        ends = list(pipeline.interval_ends)
         label_x = [0] * num_components
         label_y = [0] * num_components
         label_z = [0] * num_components
         for cid in range(num_components):
-            interval = pipeline.labeling.interval[cid]
-            starts[cid], ends[cid] = interval.start, interval.end
             label_x[cid], label_y[cid], label_z[cid] = nontree[cid]
 
         build_seconds = time.perf_counter() - wall_start

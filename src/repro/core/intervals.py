@@ -20,11 +20,13 @@ Queries on tree reachability are a constant-time containment check.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.graph.digraph import Node
 from repro.graph.spanning import SpanningForest
 
-__all__ = ["Interval", "IntervalLabeling", "assign_intervals"]
+__all__ = ["Interval", "IntervalLabeling", "assign_intervals",
+           "labeling_from_arrays"]
 
 
 @dataclass(frozen=True, order=True)
@@ -120,4 +122,21 @@ def assign_intervals(forest: SpanningForest) -> IntervalLabeling:
             else:
                 stack.pop()
                 interval[node] = Interval(start_of[node], clock)
+    return IntervalLabeling(interval=interval, node_at_start=node_at_start)
+
+
+def labeling_from_arrays(nodes: Sequence[Node], starts: Sequence[int],
+                         ends: Sequence[int]) -> IntervalLabeling:
+    """Materialise an :class:`IntervalLabeling` from parallel label arrays.
+
+    ``starts[i]`` / ``ends[i]`` are the interval of ``nodes[i]``.  The
+    fast construction backend computes the labels as flat arrays during
+    its spanning DFS (:class:`repro.graph.spanning.CSRForest`) and calls
+    this only when the dict-of-:class:`Interval` artefact is actually
+    requested; the result equals what :func:`assign_intervals` produces
+    on the matching forest.
+    """
+    interval = {node: Interval(starts[i], ends[i])
+                for i, node in enumerate(nodes)}
+    node_at_start = {starts[i]: node for i, node in enumerate(nodes)}
     return IntervalLabeling(interval=interval, node_at_start=node_at_start)

@@ -15,28 +15,62 @@ graph:
 5. Build the **link table** and close it into the **transitive link
    table** (Section 3.1).
 
+Two interchangeable construction backends run these phases:
+
+* ``backend="fast"`` (default) — one :class:`~repro.graph.csr.CSRGraph`
+  snapshot of the input, then array-based reimplementations of every
+  phase (:func:`~repro.graph.condensation.condense_csr`,
+  :func:`~repro.graph.meg.minimal_equivalent_graph_csr`,
+  :func:`~repro.graph.spanning.spanning_forest_csr`, and the shared
+  memoized link closure).  Dict-shaped artefacts (``forest``,
+  ``labeling``, the link tables, the post-MEG ``dag``) materialise
+  lazily on first attribute access, so a build that only needs the label
+  arrays never pays for them.
+* ``backend="python"`` — the original dict-based reference
+  implementation, kept as the equivalence oracle.
+
+Both produce bit-for-bit identical artefacts (asserted by the
+differential tests); they differ only in construction speed.
+
 The :class:`DualPipeline` result carries every intermediate artefact plus
 per-phase wall-clock timings, which the benchmark harness surfaces in the
-Figure 8/9/11 indexing-time series and the MEG ablation.
+Figure 8/9/11 indexing-time series, the MEG ablation, and the
+``bench build`` backend comparison.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from typing import Callable, Optional
 
-from repro.core.intervals import IntervalLabeling, assign_intervals
-from repro.core.linktable import LinkTable, build_link_table, transitive_link_table
+import numpy as np
+
+from repro.core.intervals import (
+    Interval,
+    IntervalLabeling,
+    assign_intervals,
+    labeling_from_arrays,
+)
+from repro.core.linktable import (
+    LinkTable,
+    build_link_table,
+    close_link_arrays,
+    table_from_arrays,
+    transitive_link_table,
+)
 from repro.exceptions import QueryError
-from repro.graph.condensation import Condensation, condense
+from repro.graph.condensation import Condensation, condense, condense_csr
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph, Node
-from repro.graph.meg import minimal_equivalent_graph
-from repro.graph.spanning import SpanningForest, spanning_forest
+from repro.graph.meg import minimal_equivalent_graph, minimal_equivalent_graph_csr
+from repro.graph.spanning import SpanningForest, spanning_forest, spanning_forest_csr
 
-__all__ = ["DualPipeline", "run_pipeline"]
+__all__ = ["DualPipeline", "run_pipeline", "PIPELINE_BACKENDS"]
+
+#: Valid values for :func:`run_pipeline`'s ``backend`` parameter.
+PIPELINE_BACKENDS = ("fast", "python")
 
 
-@dataclass
 class DualPipeline:
     """All intermediate artefacts of the dual-labeling preprocessing.
 
@@ -53,30 +87,126 @@ class DualPipeline:
         Spanning forest and its interval labels.
     base_table / transitive_table:
         Link table before and after transitive closure.
+    interval_starts / interval_ends:
+        The interval labels as dense lists indexed by component id —
+        ``labeling.interval[cid] == [interval_starts[cid],
+        interval_ends[cid])``.  The index builders read these instead of
+        the :class:`~repro.core.intervals.Interval` dict.
     phase_seconds:
         Wall-clock seconds per pipeline phase.
+    backend:
+        Which construction backend produced this pipeline
+        (``"fast"`` or ``"python"``).
+
+    The fast backend passes thunks for the dict-shaped artefacts; each
+    materialises on first access and is cached.  Either way every
+    attribute above is always available — laziness is invisible apart
+    from where the materialisation cost lands.
     """
 
-    condensation: Condensation
-    dag: DiGraph
-    meg_edges: int | None
-    forest: SpanningForest
-    labeling: IntervalLabeling
-    base_table: LinkTable
-    transitive_table: LinkTable
-    phase_seconds: dict[str, float] = field(default_factory=dict)
+    def __init__(self, condensation: Condensation,
+                 dag: Optional[DiGraph] = None,
+                 meg_edges: Optional[int] = None,
+                 forest: Optional[SpanningForest] = None,
+                 labeling: Optional[IntervalLabeling] = None,
+                 base_table: Optional[LinkTable] = None,
+                 transitive_table: Optional[LinkTable] = None,
+                 phase_seconds: Optional[dict[str, float]] = None,
+                 *,
+                 backend: str = "python",
+                 lazy: Optional[dict[str, Callable[[], object]]] = None,
+                 t: Optional[int] = None,
+                 transitive_links: Optional[int] = None,
+                 interval_starts: Optional[list[int]] = None,
+                 interval_ends: Optional[list[int]] = None) -> None:
+        self.condensation = condensation
+        self.meg_edges = meg_edges
+        self.phase_seconds: dict[str, float] = (
+            {} if phase_seconds is None else phase_seconds)
+        self.backend = backend
+        self._dag = dag
+        self._forest = forest
+        self._labeling = labeling
+        self._base_table = base_table
+        self._transitive_table = transitive_table
+        self._lazy: dict[str, Callable[[], object]] = dict(lazy or {})
+        self._t = t
+        self._transitive_links = transitive_links
+        self._interval_starts = interval_starts
+        self._interval_ends = interval_ends
 
+    # -- lazily materialised artefacts ---------------------------------
+    def _materialize(self, name: str):
+        value = self._lazy.pop(name)()
+        setattr(self, "_" + name, value)
+        return value
+
+    @property
+    def dag(self) -> DiGraph:
+        if self._dag is None:
+            return self._materialize("dag")
+        return self._dag
+
+    @property
+    def forest(self) -> SpanningForest:
+        if self._forest is None:
+            return self._materialize("forest")
+        return self._forest
+
+    @property
+    def labeling(self) -> IntervalLabeling:
+        if self._labeling is None:
+            return self._materialize("labeling")
+        return self._labeling
+
+    @property
+    def base_table(self) -> LinkTable:
+        if self._base_table is None:
+            return self._materialize("base_table")
+        return self._base_table
+
+    @property
+    def transitive_table(self) -> LinkTable:
+        if self._transitive_table is None:
+            return self._materialize("transitive_table")
+        return self._transitive_table
+
+    # -- derived views --------------------------------------------------
     @property
     def t(self) -> int:
         """Number of retained non-tree edges."""
+        if self._t is not None:
+            return self._t
         return len(self.base_table)
 
     @property
     def num_transitive_links(self) -> int:
         """Size of the transitive link table."""
+        if self._transitive_links is not None:
+            return self._transitive_links
         return len(self.transitive_table)
 
-    def component_interval(self, node: Node):
+    @property
+    def interval_starts(self) -> list[int]:
+        """``start`` labels indexed by component id."""
+        if self._interval_starts is None:
+            labeling = self.labeling
+            self._interval_starts = [
+                labeling.interval[cid].start
+                for cid in range(self.condensation.num_components)]
+        return self._interval_starts
+
+    @property
+    def interval_ends(self) -> list[int]:
+        """``end`` labels indexed by component id."""
+        if self._interval_ends is None:
+            labeling = self.labeling
+            self._interval_ends = [
+                labeling.interval[cid].end
+                for cid in range(self.condensation.num_components)]
+        return self._interval_ends
+
+    def component_interval(self, node: Node) -> Interval:
         """Interval label of the component containing an original node.
 
         Raises
@@ -88,10 +218,14 @@ class DualPipeline:
             cid = self.condensation.component_of[node]
         except KeyError:
             raise QueryError(node) from None
+        if self._labeling is None and self._interval_starts is not None:
+            return Interval(self._interval_starts[cid],
+                            self._interval_ends[cid])
         return self.labeling.interval[cid]
 
 
-def run_pipeline(graph: DiGraph, use_meg: bool = True) -> DualPipeline:
+def run_pipeline(graph: DiGraph, use_meg: bool = True,
+                 backend: str = "fast") -> DualPipeline:
     """Run the full preprocessing pipeline on ``graph``.
 
     Parameters
@@ -101,7 +235,21 @@ def run_pipeline(graph: DiGraph, use_meg: bool = True) -> DualPipeline:
     use_meg:
         Run the optional minimal-equivalent-graph reduction (Section 5).
         On by default — it only ever shrinks ``t``.
+    backend:
+        ``"fast"`` (default) for the CSR/array construction backend,
+        ``"python"`` for the dict-based reference implementation.  Both
+        produce identical artefacts.
     """
+    if backend not in PIPELINE_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {PIPELINE_BACKENDS}, got {backend!r}")
+    if backend == "fast":
+        return _run_fast(graph, use_meg)
+    return _run_python(graph, use_meg)
+
+
+def _run_python(graph: DiGraph, use_meg: bool) -> DualPipeline:
+    """The dict-based reference pipeline (``backend="python"``)."""
     timings: dict[str, float] = {}
 
     start = time.perf_counter()
@@ -141,4 +289,86 @@ def run_pipeline(graph: DiGraph, use_meg: bool = True) -> DualPipeline:
         base_table=base_table,
         transitive_table=transitive,
         phase_seconds=timings,
+        backend="python",
+    )
+
+
+def _run_fast(graph: DiGraph, use_meg: bool) -> DualPipeline:
+    """The CSR/array pipeline (``backend="fast"``).
+
+    Phase keys match the reference path so timing series stay
+    comparable.  Two bookkeeping differences, both deliberate:
+
+    * the ``condense`` phase includes taking the CSR snapshot of the
+      input (the reference's dict reads are likewise charged there);
+    * interval labels fall out of the spanning DFS for free, so the
+      ``intervals`` phase records only the (near-zero) finalisation —
+      its work is fused into ``spanning``.
+    """
+    timings: dict[str, float] = {}
+    lazy: dict[str, Callable[[], object]] = {}
+
+    start = time.perf_counter()
+    csr = CSRGraph.from_digraph(graph)
+    cond, cond_csr = condense_csr(csr)
+    timings["condense"] = time.perf_counter() - start
+
+    dag_csr = cond_csr
+    meg_edges: int | None = None
+    if use_meg:
+        start = time.perf_counter()
+        dag_csr = minimal_equivalent_graph_csr(cond_csr)
+        timings["meg"] = time.perf_counter() - start
+        meg_edges = dag_csr.num_edges
+        lazy["dag"] = dag_csr.to_digraph
+    else:
+        lazy["dag"] = lambda: cond.dag
+
+    start = time.perf_counter()
+    cf = spanning_forest_csr(dag_csr)
+    timings["spanning"] = time.perf_counter() - start
+    lazy["forest"] = cf.materialize
+
+    start = time.perf_counter()
+    starts, ends = cf.start, cf.end
+    nodes = dag_csr.nodes
+    lazy["labeling"] = lambda: labeling_from_arrays(nodes, starts, ends)
+    timings["intervals"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sa = np.asarray(starts, dtype=np.int64)
+    ea = np.asarray(ends, dtype=np.int64)
+    bt = sa[cf.nontree_u]
+    bs = sa[cf.nontree_v]
+    be = ea[cf.nontree_v]
+    # Canonical link order: sort by (tail, head_start, head_end), then
+    # drop duplicate triples — same normal form as linktable._make_table.
+    order = np.lexsort((be, bs, bt))
+    bt, bs, be = bt[order], bs[order], be[order]
+    if bt.size:
+        keep = np.empty(bt.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = ((bt[1:] != bt[:-1]) | (bs[1:] != bs[:-1])
+                    | (be[1:] != be[:-1]))
+        bt, bs, be = bt[keep], bs[keep], be[keep]
+    lazy["base_table"] = lambda: table_from_arrays(
+        bt.tolist(), bs.tolist(), be.tolist())
+    timings["link_table"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    closed_tails, closed_hs, closed_he = close_link_arrays(bt, bs, be)
+    lazy["transitive_table"] = lambda: table_from_arrays(
+        closed_tails, closed_hs, closed_he)
+    timings["transitive_closure_of_links"] = time.perf_counter() - start
+
+    return DualPipeline(
+        condensation=cond,
+        meg_edges=meg_edges,
+        phase_seconds=timings,
+        backend="fast",
+        lazy=lazy,
+        t=int(bt.size),
+        transitive_links=len(closed_tails),
+        interval_starts=starts,
+        interval_ends=ends,
     )

@@ -133,12 +133,12 @@ class DualRangeTreeIndex(ReachabilityIndex):
 
     @classmethod
     def build(cls, graph: DiGraph, use_meg: bool = True,
-              **options: Any) -> "DualRangeTreeIndex":
+              backend: str = "fast", **options: Any) -> "DualRangeTreeIndex":
         """Build a ``dual-rt`` index (options as in :class:`DualIIndex`)."""
         if options:
             raise TypeError(f"unknown options: {sorted(options)}")
         wall_start = time.perf_counter()
-        pipeline = run_pipeline(graph, use_meg=use_meg)
+        pipeline = run_pipeline(graph, use_meg=use_meg, backend=backend)
 
         phase_start = time.perf_counter()
         counter = RangeTemporalCounter(pipeline.transitive_table)
@@ -146,11 +146,8 @@ class DualRangeTreeIndex(ReachabilityIndex):
             time.perf_counter() - phase_start)
 
         num_components = pipeline.condensation.num_components
-        starts = [0] * num_components
-        ends = [0] * num_components
-        for cid in range(num_components):
-            interval = pipeline.labeling.interval[cid]
-            starts[cid], ends[cid] = interval.start, interval.end
+        starts = list(pipeline.interval_starts)
+        ends = list(pipeline.interval_ends)
 
         build_seconds = time.perf_counter() - wall_start
         stats = IndexStats(

@@ -12,7 +12,8 @@ from repro.graph.closure import (
     transitive_closure_matrix,
     transitive_closure_pairs,
 )
-from repro.graph.condensation import Condensation, condense
+from repro.graph.condensation import Condensation, condense, condense_csr
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import (
     gnm_random_digraph,
@@ -33,13 +34,15 @@ from repro.graph.meg import (
     MEGResult,
     minimal_equivalent_graph,
     minimal_equivalent_graph_closure,
+    minimal_equivalent_graph_csr,
 )
 from repro.graph.scc import (
     is_strongly_connected,
     scc_index,
     strongly_connected_components,
+    tarjan_scc_csr,
 )
-from repro.graph.spanning import SpanningForest, spanning_forest
+from repro.graph.spanning import CSRForest, SpanningForest, spanning_forest, spanning_forest_csr
 from repro.graph.stats import GraphStats, degree_histogram, graph_stats
 from repro.graph.traversal import (
     ancestor_set,
@@ -52,14 +55,18 @@ from repro.graph.traversal import (
     is_reachable_search,
     is_topological_order,
     reachable_set,
+    topological_layers_csr,
     topological_sort,
     topological_sort_dfs,
 )
 
 __all__ = [
     "DiGraph",
+    "CSRGraph",
     "Condensation",
     "condense",
+    "condense_csr",
+    "tarjan_scc_csr",
     "strongly_connected_components",
     "scc_index",
     "is_strongly_connected",
@@ -70,8 +77,11 @@ __all__ = [
     "MEGResult",
     "minimal_equivalent_graph",
     "minimal_equivalent_graph_closure",
+    "minimal_equivalent_graph_csr",
+    "CSRForest",
     "SpanningForest",
     "spanning_forest",
+    "spanning_forest_csr",
     "gnm_random_digraph",
     "single_rooted_dag",
     "random_tree",
@@ -93,6 +103,7 @@ __all__ = [
     "bfs_layers",
     "topological_sort",
     "topological_sort_dfs",
+    "topological_layers_csr",
     "is_topological_order",
     "reachable_set",
     "ancestor_set",

@@ -12,16 +12,19 @@ answered on the condensed DAG: ``u ⇝ v`` in ``G`` iff
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
 
 from repro.exceptions import NodeNotFoundError
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph, Node
-from repro.graph.scc import strongly_connected_components
+from repro.graph.scc import (_dag_postorder_csr,
+                             strongly_connected_components, tarjan_scc_csr)
 
-__all__ = ["Condensation", "condense"]
+__all__ = ["Condensation", "condense", "condense_csr"]
 
 
-@dataclass(frozen=True)
 class Condensation:
     """The condensation DAG of a digraph plus node mappings.
 
@@ -34,16 +37,70 @@ class Condensation:
         Maps each original node to its component id.
     members:
         ``members[cid]`` lists the original nodes of component ``cid``.
+
+    :func:`condense` sets all three eagerly; :func:`condense_csr`
+    provides them as factories so each materialises from the flat
+    arrays on first access — a pipeline run that only needs the label
+    arrays never builds the dicts.
     """
 
-    dag: DiGraph
-    component_of: dict[Node, int]
-    members: list[list[Node]] = field(repr=False)
+    __slots__ = ("_dag", "_dag_factory", "_component_of",
+                 "_component_of_factory", "_members", "_members_factory",
+                 "_num_components")
+
+    def __init__(self, dag: Optional[DiGraph] = None,
+                 component_of: Optional[dict[Node, int]] = None,
+                 members: Optional[list[list[Node]]] = None, *,
+                 dag_factory: Optional[Callable[[], DiGraph]] = None,
+                 component_of_factory:
+                     Optional[Callable[[], dict[Node, int]]] = None,
+                 members_factory:
+                     Optional[Callable[[], list[list[Node]]]] = None,
+                 num_components: Optional[int] = None) -> None:
+        if dag is None and dag_factory is None:
+            raise ValueError("Condensation needs a dag or a dag_factory")
+        if component_of is None and component_of_factory is None:
+            component_of = {}
+        if members is None and members_factory is None:
+            members = []
+        self._dag = dag
+        self._dag_factory = dag_factory
+        self._component_of = component_of
+        self._component_of_factory = component_of_factory
+        self._members = members
+        self._members_factory = members_factory
+        self._num_components = num_components
+
+    @property
+    def dag(self) -> DiGraph:
+        if self._dag is None:
+            self._dag = self._dag_factory()
+            self._dag_factory = None
+        return self._dag
+
+    @property
+    def component_of(self) -> dict[Node, int]:
+        if self._component_of is None:
+            self._component_of = self._component_of_factory()
+            self._component_of_factory = None
+        return self._component_of
+
+    @property
+    def members(self) -> list[list[Node]]:
+        if self._members is None:
+            self._members = self._members_factory()
+            self._members_factory = None
+        return self._members
 
     @property
     def num_components(self) -> int:
         """Number of strongly connected components."""
-        return len(self.members)
+        if self._num_components is None:
+            self._num_components = len(self.members)
+        return self._num_components
+
+    def __repr__(self) -> str:
+        return f"Condensation(num_components={self.num_components})"
 
     def representative(self, node: Node) -> int:
         """Component id of an original node.
@@ -91,3 +148,79 @@ def condense(graph: DiGraph) -> Condensation:
             dag.add_edge(cu, cv)
     return Condensation(dag=dag, component_of=component_of,
                         members=components)
+
+
+def condense_csr(csr: CSRGraph) -> tuple[Condensation, CSRGraph]:
+    """Array-backed condensation of a :class:`CSRGraph` snapshot.
+
+    Produces the same :class:`Condensation` as :func:`condense` —
+    identical component ids (topological order), member order, and DAG
+    adjacency order (first occurrence of each inter-component edge in
+    the original source-major edge order) — plus the condensed graph as
+    a second CSR snapshot for the downstream array phases.
+    """
+    n = csr.num_nodes
+    nodes = csr.nodes
+    post = _dag_postorder_csr(csr)
+    if post is not None:
+        # Acyclic input: every component is a singleton and component ids
+        # are the reversed postorder ranks — assignable in one scatter,
+        # and the condensed edge list is the original edge list verbatim
+        # (no self-loops to drop, no parallel edges to dedup).
+        comp = np.empty(n, dtype=np.int32)
+        comp[np.asarray(post, dtype=np.int64)] = np.arange(
+            n - 1, -1, -1, dtype=np.int32)
+        tails32 = comp[csr.src_of_edge()]
+        heads32 = comp[csr.indices]
+        perm = np.argsort(tails32, kind="stable")
+        indptr = np.zeros(n + 1, dtype=np.int32)
+        np.cumsum(np.bincount(tails32, minlength=n), out=indptr[1:])
+        cond_csr = CSRGraph.from_forward(list(range(n)), indptr,
+                                         heads32[perm])
+        return (Condensation(
+                    dag_factory=cond_csr.to_digraph,
+                    component_of_factory=lambda: dict(zip(nodes,
+                                                          comp.tolist())),
+                    members_factory=lambda: [[nodes[i]]
+                                             for i in reversed(post)],
+                    num_components=n),
+                cond_csr)
+
+    components = tarjan_scc_csr(csr)
+    components.reverse()
+    k = len(components)
+    comp_list = [0] * n
+    for cid, component in enumerate(components):
+        for i in component:
+            comp_list[i] = cid
+    comp = np.asarray(comp_list, dtype=np.int64)
+
+    def component_of_factory() -> dict[Node, int]:
+        return dict(zip(nodes, comp_list))
+
+    def members_factory() -> list[list[Node]]:
+        return [[nodes[i] for i in component] for component in components]
+
+    # Condensed edge list: map every original edge, drop intra-component
+    # ones, and deduplicate keeping the first occurrence — the order the
+    # reference path's dict adjacency records.
+    cu = comp[csr.src_of_edge()]
+    cv = comp[csr.indices]
+    mask = cu != cv
+    key = cu[mask] * k + cv[mask]
+    _, first = np.unique(key, return_index=True)
+    key_ordered = key[np.sort(first)]
+    heads = (key_ordered % k).astype(np.int32)
+    tails = (key_ordered // k).astype(np.int32)
+    # Source-major CSR rows; the stable sort keeps first-occurrence
+    # order within each source row.
+    perm = np.argsort(tails, kind="stable")
+    indices = heads[perm]
+    indptr = np.zeros(k + 1, dtype=np.int32)
+    np.cumsum(np.bincount(tails, minlength=k), out=indptr[1:])
+    cond_csr = CSRGraph.from_forward(list(range(k)), indptr, indices)
+    return (Condensation(dag_factory=cond_csr.to_digraph,
+                         component_of_factory=component_of_factory,
+                         members_factory=members_factory,
+                         num_components=k),
+            cond_csr)

@@ -1,0 +1,260 @@
+"""Compressed-sparse-row graph snapshot — the fast-backend substrate.
+
+:class:`DiGraph` optimises for mutation (dict-of-dict adjacency); every
+construction phase of the dual-labeling pipeline, however, only *reads* a
+frozen graph.  :class:`CSRGraph` is that read-only snapshot: both edge
+directions flattened into ``int32`` ``indptr``/``indices`` arrays plus a
+dense node ↔ id map, produced once per pipeline run.  Array phases
+(:func:`repro.graph.scc.tarjan_scc_csr`,
+:func:`repro.graph.condensation.condense_csr`,
+:func:`repro.graph.meg.minimal_equivalent_graph_csr`,
+:func:`repro.graph.spanning.spanning_forest_csr`) consume it instead of
+chasing dict entries.
+
+The reverse (predecessor) direction materialises lazily on first access:
+several pipeline stages only ever walk successors (Tarjan, the spanning
+DFS), so building both directions up front would double the snapshot cost
+for nothing.  A snapshot taken with :meth:`from_digraph` keeps a
+reference to the source graph for that deferred build — mutating the
+graph between the snapshot and the first reverse access is undefined.
+
+Ordering contract
+-----------------
+Bit-for-bit equivalence with the reference (``DiGraph``-based) phases
+rests on two invariants, which every constructor here maintains:
+
+* node ids follow :meth:`DiGraph.node_index` — insertion order;
+* each forward row lists successors in adjacency insertion order, and
+  each reverse row lists predecessors in *their* insertion order
+  (:meth:`from_digraph` reads both adjacency maps; derived graphs built
+  with :meth:`from_forward` recover the reverse rows by a stable sort,
+  which matches the insertion order of any graph whose edges were added
+  grouped by source — true for every graph the pipeline derives).
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph, Node
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An immutable dual-direction CSR snapshot of a directed graph.
+
+    Attributes
+    ----------
+    nodes:
+        Original node objects, position = dense id.
+    id_of:
+        Inverse map ``node -> dense id``.
+    indptr / indices:
+        Forward (successor) adjacency: the successors of node ``i`` are
+        ``indices[indptr[i]:indptr[i + 1]]``.  The *position* of an entry
+        in ``indices`` is the edge's dense edge id.
+    rindptr / rindices:
+        Reverse (predecessor) adjacency, same layout; built lazily on
+        first access.
+    redge_id:
+        For each reverse slot, the forward edge id of the same edge
+        (``None`` for snapshots taken with :meth:`from_digraph`, which
+        never need it).
+    """
+
+    __slots__ = ("nodes", "_id_of", "indptr", "indices",
+                 "_rindptr", "_rindices", "_redge_id", "_src",
+                 "_rev_source")
+
+    def __init__(self, nodes: Sequence[Node], id_of: Optional[dict],
+                 indptr: np.ndarray, indices: np.ndarray,
+                 rindptr: Optional[np.ndarray] = None,
+                 rindices: Optional[np.ndarray] = None,
+                 redge_id: Optional[np.ndarray] = None,
+                 rev_source: Optional[DiGraph] = None) -> None:
+        self.nodes = list(nodes)
+        self._id_of = id_of
+        self.indptr = indptr
+        self.indices = indices
+        self._rindptr = rindptr
+        self._rindices = rindices
+        self._redge_id = redge_id
+        self._src: Optional[np.ndarray] = None
+        self._rev_source = rev_source
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_digraph(cls, graph: DiGraph) -> "CSRGraph":
+        """Snapshot ``graph``; both directions copy the insertion order
+        of the corresponding ``DiGraph`` adjacency maps (the reverse one
+        deferred until first use)."""
+        nodes = list(graph.nodes())
+        n = len(nodes)
+        # Reads the adjacency maps directly (same-package friend access):
+        # one pass instead of n successors()/predecessors() calls.
+        succ = graph._succ
+        indptr = np.zeros(n + 1, dtype=np.int32)
+        np.cumsum(np.fromiter(map(len, succ.values()), dtype=np.int32,
+                              count=n), out=indptr[1:])
+        flat = chain.from_iterable(succ.values())
+        id_of: Optional[dict] = None
+        if not (n and type(nodes[0]) is int and nodes == list(range(n))):
+            # Node labels other than dense 0..n-1 ints go through the map.
+            id_of = {node: i for i, node in enumerate(nodes)}
+            flat = map(id_of.__getitem__, flat)
+        indices = np.fromiter(flat, dtype=np.int32, count=int(indptr[-1]))
+        return cls(nodes, id_of, indptr, indices, rev_source=graph)
+
+    @classmethod
+    def from_forward(cls, nodes: Sequence[Node], indptr: np.ndarray,
+                     indices: np.ndarray) -> "CSRGraph":
+        """Build a snapshot from forward rows only.
+
+        The reverse rows (when first accessed) come from a *stable* sort
+        of the forward edge list by target, so each predecessor row is
+        ordered by forward edge id — the insertion order of any
+        ``DiGraph`` whose edges were added in source-major order.
+        ``redge_id`` records the forward edge id of every reverse slot.
+        """
+        indptr = np.ascontiguousarray(indptr, dtype=np.int32)
+        indices = np.ascontiguousarray(indices, dtype=np.int32)
+        return cls(nodes, None, indptr, indices)
+
+    # ------------------------------------------------------------------
+    # lazy node -> id map
+    # ------------------------------------------------------------------
+    @property
+    def id_of(self) -> dict:
+        """Inverse node map, built on first use (never needed by the
+        pipeline's array phases)."""
+        if self._id_of is None:
+            self._id_of = {node: i for i, node in enumerate(self.nodes)}
+        return self._id_of
+
+    # ------------------------------------------------------------------
+    # lazy reverse direction
+    # ------------------------------------------------------------------
+    def _build_reverse(self) -> None:
+        n = self.num_nodes
+        graph = self._rev_source
+        if graph is not None:
+            # Faithful predecessor insertion order from the source graph.
+            lookup = self.id_of.__getitem__
+            pred = graph._pred
+            rindptr = np.zeros(n + 1, dtype=np.int32)
+            np.cumsum([len(row) for row in pred.values()], out=rindptr[1:])
+            rindices = np.fromiter(
+                (lookup(u) for row in pred.values() for u in row),
+                dtype=np.int32, count=int(rindptr[-1]))
+            self._rindptr = rindptr
+            self._rindices = rindices
+            self._rev_source = None
+            return
+        perm = np.argsort(self.indices, kind="stable").astype(np.int32)
+        src = self.src_of_edge()
+        self._rindices = src[perm]
+        rindptr = np.zeros(n + 1, dtype=np.int32)
+        np.cumsum(np.bincount(self.indices, minlength=n), out=rindptr[1:])
+        self._rindptr = rindptr
+        self._redge_id = perm
+
+    @property
+    def rindptr(self) -> np.ndarray:
+        if self._rindptr is None:
+            self._build_reverse()
+        return self._rindptr
+
+    @property
+    def rindices(self) -> np.ndarray:
+        if self._rindices is None:
+            self._build_reverse()
+        return self._rindices
+
+    @property
+    def redge_id(self) -> Optional[np.ndarray]:
+        if self._rindptr is None:
+            self._build_reverse()
+        return self._redge_id
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return int(self.indices.shape[0])
+
+    def successors(self, i: int) -> np.ndarray:
+        """Dense ids of node ``i``'s successors (adjacency order)."""
+        return self.indices[self.indptr[i]:self.indptr[i + 1]]
+
+    def predecessors(self, i: int) -> np.ndarray:
+        """Dense ids of node ``i``'s predecessors (insertion order)."""
+        return self.rindices[self.rindptr[i]:self.rindptr[i + 1]]
+
+    def out_degree(self, i: int) -> int:
+        """Out-degree of node ``i``."""
+        return int(self.indptr[i + 1] - self.indptr[i])
+
+    def in_degree(self, i: int) -> int:
+        """In-degree of node ``i``."""
+        return int(self.rindptr[i + 1] - self.rindptr[i])
+
+    def out_degrees(self) -> np.ndarray:
+        """All out-degrees as one array."""
+        return np.diff(self.indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """All in-degrees as one array (no reverse build needed)."""
+        return np.bincount(self.indices, minlength=self.num_nodes)
+
+    def src_of_edge(self) -> np.ndarray:
+        """Source id of every forward edge (computed once, cached)."""
+        if self._src is None:
+            self._src = np.repeat(
+                np.arange(self.num_nodes, dtype=np.int32),
+                np.diff(self.indptr))
+        return self._src
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(num_nodes={self.num_nodes}, "
+                f"num_edges={self.num_edges})")
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    def to_digraph(self) -> DiGraph:
+        """Materialise back into a :class:`DiGraph`.
+
+        Nodes are inserted in id order and each adjacency map copies the
+        corresponding CSR row order, so a round trip through
+        :meth:`from_digraph` reproduces the original graph including
+        iteration order.
+        """
+        graph = DiGraph()
+        succ = graph._succ
+        pred = graph._pred
+        nodes = self.nodes
+        ind = self.indices.tolist()
+        ptr = self.indptr.tolist()
+        rind = self.rindices.tolist()
+        rptr = self.rindptr.tolist()
+        for i, node in enumerate(nodes):
+            row = ind[ptr[i]:ptr[i + 1]]
+            succ[node] = dict.fromkeys([nodes[j] for j in row])
+        for i, node in enumerate(nodes):
+            row = rind[rptr[i]:rptr[i + 1]]
+            pred[node] = dict.fromkeys([nodes[j] for j in row])
+        graph._num_edges = len(ind)
+        return graph

@@ -10,10 +10,21 @@ collapse.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.graph.digraph import DiGraph, Node
 
-__all__ = ["strongly_connected_components", "scc_index", "is_strongly_connected"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "strongly_connected_components",
+    "scc_index",
+    "is_strongly_connected",
+    "tarjan_scc_csr",
+]
 
 
 def strongly_connected_components(graph: DiGraph) -> list[list[Node]]:
@@ -69,6 +80,140 @@ def strongly_connected_components(graph: DiGraph) -> list[list[Node]]:
                 while True:
                     member = stack.pop()
                     on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def _dag_postorder_csr(csr: "CSRGraph") -> list[int] | None:
+    """DFS postorder of a CSR graph, or ``None`` if it has a cycle.
+
+    On an acyclic graph Tarjan degenerates: the DFS stack and Tarjan's
+    component stack coincide, every node is its own component, and
+    components pop exactly in DFS finish order — so the far lighter
+    plain postorder (no index/lowlink bookkeeping) reproduces
+    :func:`tarjan_scc_csr`'s emission order verbatim.
+
+    The stack holds edge ids (non-negative) and finish sentinels
+    (``~node``); popping an edge whose head is already visited skips it
+    exactly when the cursor-based DFS would, so the postorder is
+    identical.  Cycle detection is deferred: a DFS postorder reversed is
+    a topological order iff the graph is acyclic, which one vectorised
+    edge sweep checks at the end (self-loops fail it trivially).
+    """
+    n = csr.num_nodes
+    ptr = csr.indptr.tolist()
+    ind = csr.indices.tolist()
+    visited = [False] * n
+    post: list[int] = []
+    append = post.append
+    for root in range(n):
+        if visited[root]:
+            continue
+        visited[root] = True
+        stack = [~root]
+        stack.extend(range(ptr[root + 1] - 1, ptr[root] - 1, -1))
+        pop = stack.pop
+        push = stack.append
+        extend = stack.extend
+        while stack:
+            e = pop()
+            if e < 0:
+                append(~e)
+                continue
+            v = ind[e]
+            if visited[v]:
+                continue
+            visited[v] = True
+            push(~v)
+            a = ptr[v]
+            b = ptr[v + 1]
+            if b - a == 1:  # single-successor rows skip the range object
+                push(a)
+            elif b != a:
+                extend(range(b - 1, a - 1, -1))
+    if csr.num_edges:
+        pos = np.empty(n, dtype=np.int64)
+        pos[np.asarray(post, dtype=np.int64)] = np.arange(n, dtype=np.int64)
+        if not bool((pos[csr.src_of_edge()] > pos[csr.indices]).all()):
+            return None
+    return post
+
+
+def tarjan_scc_csr(csr: "CSRGraph") -> list[list[int]]:
+    """Array-backed iterative Tarjan over a :class:`CSRGraph` snapshot.
+
+    Exact mirror of :func:`strongly_connected_components` — DFS roots in
+    id order, successors in CSR row (adjacency insertion) order, so both
+    the component emission order (reverse topological) and the member
+    order within each component are identical; only the bookkeeping
+    differs (flat lists and a ``bytearray`` instead of dicts and sets).
+    Returns components as lists of dense node ids.
+
+    Acyclic inputs (the common case for the paper's workloads) take the
+    :func:`_dag_postorder_csr` shortcut, which produces the identical
+    singleton components without Tarjan's per-node bookkeeping.
+    """
+    post = _dag_postorder_csr(csr)
+    if post is not None:
+        return [[node] for node in post]
+    n = csr.num_nodes
+    ptr = csr.indptr.tolist()
+    ind = csr.indices.tolist()
+    UNVISITED = -1
+    index_of = [UNVISITED] * n
+    lowlink = [0] * n
+    on_stack = bytearray(n)
+    stack: list[int] = []
+    components: list[list[int]] = []
+    counter = 0
+
+    for root in range(n):
+        if index_of[root] != UNVISITED:
+            continue
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = 1
+        # Work-stack frames: parallel lists of (node, edge cursor).
+        work = [root]
+        cursor = [ptr[root]]
+        while work:
+            node = work[-1]
+            pos = cursor[-1]
+            end = ptr[node + 1]
+            advanced = False
+            while pos < end:
+                succ = ind[pos]
+                pos += 1
+                if index_of[succ] == UNVISITED:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack[succ] = 1
+                    cursor[-1] = pos
+                    work.append(succ)
+                    cursor.append(ptr[succ])
+                    advanced = True
+                    break
+                if on_stack[succ]:
+                    if index_of[succ] < lowlink[node]:
+                        lowlink[node] = index_of[succ]
+            if advanced:
+                continue
+            work.pop()
+            cursor.pop()
+            if work:
+                parent = work[-1]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+            if lowlink[node] == index_of[node]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = 0
                     component.append(member)
                     if member == node:
                         break

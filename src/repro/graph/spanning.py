@@ -21,11 +21,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.exceptions import NotADAGError
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph, Edge, Node
 from repro.graph.traversal import topological_sort
 
-__all__ = ["SpanningForest", "spanning_forest"]
+__all__ = ["CSRForest", "SpanningForest", "spanning_forest",
+           "spanning_forest_csr"]
 
 
 @dataclass(frozen=True)
@@ -150,3 +154,163 @@ def spanning_forest(dag: DiGraph) -> SpanningForest:
     return SpanningForest(parent=parent, roots=roots, children=children,
                           nontree_edges=nontree,
                           superfluous_edges=superfluous)
+
+
+@dataclass
+class CSRForest:
+    """Array form of a spanning forest plus its interval clocks.
+
+    Produced by :func:`spanning_forest_csr`; consumed by the fast
+    construction backend, which reads the flat arrays directly and only
+    materialises a :class:`SpanningForest` (via :meth:`materialize`) when
+    someone asks for the dict-based artefact.
+
+    Attributes
+    ----------
+    roots:
+        Root ids, ascending (the DAG's in-degree-zero nodes).
+    parent:
+        Tree parent id per node, ``-1`` for roots.
+    order:
+        All node ids in DFS preorder (across all roots, one sequence).
+    start / end:
+        The DFS-clock interval ``[start, end)`` per node — ``start`` is
+        the preorder rank, ``end`` is ``start`` plus the subtree size;
+        exactly the labels :func:`repro.core.intervals.assign_intervals`
+        assigns (one global clock, increment on entry only).
+    nontree_u / nontree_v, superfluous_u / superfluous_v:
+        The classified non-tree edges as aligned id arrays, in the order
+        the DFS examined them.
+    """
+
+    csr: CSRGraph
+    roots: list[int]
+    parent: list[int]
+    order: list[int]
+    start: list[int]
+    end: list[int]
+    nontree_u: np.ndarray
+    nontree_v: np.ndarray
+    superfluous_u: np.ndarray
+    superfluous_v: np.ndarray
+
+    def materialize(self) -> SpanningForest:
+        """The equivalent :class:`SpanningForest` over original nodes."""
+        nodes = self.csr.nodes
+        parent = {nodes[i]: nodes[self.parent[i]]
+                  for i in self.order if self.parent[i] >= 0}
+        children: dict[Node, list[Node]] = {node: [] for node in nodes}
+        for i in self.order:
+            p = self.parent[i]
+            if p >= 0:
+                children[nodes[p]].append(nodes[i])
+        pair = [(nodes[u], nodes[v]) for u, v in
+                zip(self.nontree_u.tolist(), self.nontree_v.tolist())]
+        sup = [(nodes[u], nodes[v]) for u, v in
+               zip(self.superfluous_u.tolist(),
+                   self.superfluous_v.tolist())]
+        return SpanningForest(parent=parent,
+                              roots=[nodes[r] for r in self.roots],
+                              children=children,
+                              nontree_edges=pair,
+                              superfluous_edges=sup)
+
+
+def spanning_forest_csr(dag: CSRGraph) -> CSRForest:
+    """Array-stack DFS spanning forest over a CSR snapshot of a DAG.
+
+    Matches :func:`spanning_forest` walk for walk — roots in id order,
+    successors in row order — and additionally assigns the interval
+    clocks on the way (the classification test ``u`` is-ancestor-of
+    ``v`` is exactly interval containment, so the clocks come for free
+    and :mod:`repro.core.intervals` need not traverse again).
+
+    The caller is expected to pass a DAG (the pipeline condenses first);
+    a cyclic input surfaces as unvisited nodes and raises
+    :class:`NotADAGError`, same as the reference.
+    """
+    n = dag.num_nodes
+    ptr = dag.indptr.tolist()
+    ind = dag.indices.tolist()
+    src = dag.src_of_edge().tolist()
+    # In-degrees straight from the forward direction — no reverse build.
+    rdeg = np.bincount(dag.indices, minlength=n)
+    roots = np.flatnonzero(rdeg == 0).tolist()
+    if n and not roots:
+        raise NotADAGError("non-empty DAG must have at least one root")
+
+    parent = [-1] * n
+    start = [0] * n
+    order: list[int] = []
+    append_order = order.append
+    visited = [False] * n
+    cand: list[int] = []
+    cand_append = cand.append
+    clock = 0
+    # The DFS stack holds edge ids; a popped edge whose head is already
+    # visited is a non-tree candidate at exactly the moment the
+    # cursor-based walk would have examined it (rows are pushed reversed,
+    # so within a row edges pop left to right, and a tree edge's whole
+    # subtree is expanded before its right sibling surfaces).
+    for root in roots:
+        if visited[root]:
+            continue
+        visited[root] = True
+        start[root] = clock
+        clock += 1
+        append_order(root)
+        stack = list(range(ptr[root + 1] - 1, ptr[root] - 1, -1))
+        pop = stack.pop
+        push = stack.append
+        extend = stack.extend
+        while stack:
+            e = pop()
+            v = ind[e]
+            if visited[v]:
+                cand_append(e)
+                continue
+            visited[v] = True
+            parent[v] = src[e]
+            start[v] = clock
+            clock += 1
+            append_order(v)
+            a = ptr[v]
+            b = ptr[v + 1]
+            if b - a == 1:  # single-successor rows skip the range object
+                push(a)
+            elif b != a:
+                extend(range(b - 1, a - 1, -1))
+
+    if len(order) != n:
+        raise NotADAGError("spanning DFS did not reach every node")
+
+    # Subtree sizes by one reverse-preorder accumulation; end = start +
+    # size reproduces the single-counter DFS clock of assign_intervals.
+    size = [1] * n
+    for i in range(n - 1, -1, -1):
+        node = order[i]
+        p = parent[node]
+        if p >= 0:
+            size[p] += size[node]
+    end = [s + z for s, z in zip(start, size)]
+
+    # Classify candidates: u -> v is superfluous iff v's interval nests
+    # inside u's (v is already a tree descendant of u).  The DFS only
+    # recorded candidate edge ids; endpoints come from two gathers.
+    if cand:
+        ce = np.asarray(cand, dtype=np.int64)
+        cu = dag.src_of_edge()[ce]
+        cv = dag.indices[ce]
+        starts = np.asarray(start, dtype=np.int64)
+        ends = np.asarray(end, dtype=np.int64)
+        nest = ((starts[cu] <= starts[cv]) & (ends[cv] <= ends[cu]))
+        nontree_u, nontree_v = cu[~nest], cv[~nest]
+        superfluous_u, superfluous_v = cu[nest], cv[nest]
+    else:
+        empty = np.empty(0, dtype=np.int32)
+        nontree_u = nontree_v = superfluous_u = superfluous_v = empty
+    return CSRForest(csr=dag, roots=roots, parent=parent, order=order,
+                     start=start, end=end,
+                     nontree_u=nontree_u, nontree_v=nontree_v,
+                     superfluous_u=superfluous_u,
+                     superfluous_v=superfluous_v)

@@ -9,10 +9,15 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Iterable, Iterator
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
 
 from repro.exceptions import NodeNotFoundError, NotADAGError
 from repro.graph.digraph import DiGraph, Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.csr import CSRGraph
 
 __all__ = [
     "dfs_preorder",
@@ -22,6 +27,7 @@ __all__ = [
     "bfs_layers",
     "topological_sort",
     "topological_sort_dfs",
+    "topological_layers_csr",
     "is_topological_order",
     "reachable_set",
     "ancestor_set",
@@ -207,6 +213,49 @@ def topological_sort_dfs(graph: DiGraph) -> list[Node]:
                 postorder.append(node)
     postorder.reverse()
     return postorder
+
+
+def topological_layers_csr(csr: "CSRGraph") -> list[np.ndarray] | None:
+    """Kahn's algorithm over a CSR snapshot, peeled in whole generations.
+
+    Layer 0 holds every node of in-degree zero; layer ``i + 1`` holds the
+    nodes whose last incoming edge originates in layers ``<= i``.  Within
+    a layer, ids are ascending.  Concatenating the layers yields a valid
+    topological order, and a node's layer is the length of the longest
+    path reaching it — exactly the granularity the vectorised MEG sweep
+    (:func:`repro.graph.meg.minimal_equivalent_graph_csr`) wants, since
+    nodes of one layer never depend on each other.
+
+    Returns ``None`` when the graph contains a cycle (including
+    self-loops): the peel stalls before covering every node.
+    """
+    n = csr.num_nodes
+    if n == 0:
+        return []
+    indptr, indices = csr.indptr, csr.indices
+    indeg = csr.in_degrees()
+    layers: list[np.ndarray] = []
+    frontier = np.flatnonzero(indeg == 0).astype(np.int32)
+    covered = 0
+    while frontier.size:
+        layers.append(frontier)
+        covered += frontier.size
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        cum = np.cumsum(counts)
+        total = int(cum[-1])
+        if total == 0:
+            break
+        # Flat positions of the frontier's out-edges in `indices`.
+        excl = cum - counts
+        pos = np.repeat(starts - excl, counts) + np.arange(total,
+                                                           dtype=np.int32)
+        dec = np.bincount(indices[pos], minlength=n)
+        # A node drops to zero exactly when this wave removes its whole
+        # remaining in-degree.
+        frontier = np.flatnonzero((dec > 0) & (indeg == dec)).astype(np.int32)
+        indeg -= dec
+    return layers if covered == n else None
 
 
 def is_topological_order(graph: DiGraph, order: list[Node]) -> bool:

@@ -1,0 +1,209 @@
+"""CSRGraph snapshot: ordering contract, laziness, round trips.
+
+The fast construction backend's bit-for-bit equivalence rests on the
+snapshot preserving :class:`DiGraph` iteration order exactly (node ids =
+insertion order, rows = adjacency insertion order), so these tests pin
+that contract down — including the awkward corners: empty graphs,
+isolated nodes, self-loops, non-integer labels, and the stable-sort
+reverse direction of :meth:`CSRGraph.from_forward` snapshots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    gnm_random_digraph,
+    random_dag,
+    random_tree,
+)
+
+
+def _single_node():
+    graph = DiGraph()
+    graph.add_node(42)
+    return graph
+
+
+def snapshot_cases():
+    mixed = DiGraph([("a", "b"), ("a", "c"), ("c", "b"), ("d", "d")])
+    mixed.add_node("lonely")
+    return {
+        "empty": DiGraph(),
+        "single-node": _single_node(),
+        "diamond": DiGraph([(0, 1), (0, 2), (1, 3), (2, 3)]),
+        "mixed-labels": mixed,
+        "dag": random_dag(30, 45, seed=5),
+        "cyclic": gnm_random_digraph(25, 40, seed=5),
+        "tree": random_tree(30, max_fanout=4, seed=5),
+    }
+
+
+CASES = snapshot_cases()
+
+
+# ---------------------------------------------------------------------
+# basic structure
+# ---------------------------------------------------------------------
+
+def test_empty_graph() -> None:
+    csr = CSRGraph.from_digraph(DiGraph())
+    assert csr.num_nodes == 0
+    assert csr.num_edges == 0
+    assert csr.indptr.tolist() == [0]
+    assert csr.indices.size == 0
+    assert csr.rindptr.tolist() == [0]
+    assert csr.to_digraph() == DiGraph()
+
+
+def test_isolated_nodes_get_empty_rows() -> None:
+    graph = DiGraph([(1, 2)])
+    graph.add_node(9)
+    graph.add_node(7)
+    csr = CSRGraph.from_digraph(graph)
+    assert csr.nodes == [1, 2, 9, 7]  # insertion order, not sorted
+    for label in (9, 7):
+        i = csr.id_of[label]
+        assert csr.successors(i).size == 0
+        assert csr.predecessors(i).size == 0
+        assert csr.out_degree(i) == 0
+        assert csr.in_degree(i) == 0
+
+
+def test_self_loop_appears_in_both_directions() -> None:
+    graph = DiGraph([("x", "x"), ("x", "y")])
+    csr = CSRGraph.from_digraph(graph)
+    x = csr.id_of["x"]
+    assert x in csr.successors(x).tolist()
+    assert x in csr.predecessors(x).tolist()
+    assert csr.num_edges == 2
+
+
+def test_edge_ids_are_positions() -> None:
+    graph = DiGraph([(0, 1), (0, 2), (1, 2)])
+    csr = CSRGraph.from_digraph(graph)
+    # Edge id e has source src_of_edge()[e] and target indices[e].
+    edges = list(zip(csr.src_of_edge().tolist(), csr.indices.tolist()))
+    assert edges == [(0, 1), (0, 2), (1, 2)]
+
+
+# ---------------------------------------------------------------------
+# determinism and round trips
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", CASES, ids=list(CASES))
+def test_snapshot_is_deterministic(name) -> None:
+    graph = CASES[name]
+    first = CSRGraph.from_digraph(graph)
+    second = CSRGraph.from_digraph(graph)
+    assert first.nodes == second.nodes
+    np.testing.assert_array_equal(first.indptr, second.indptr)
+    np.testing.assert_array_equal(first.indices, second.indices)
+    np.testing.assert_array_equal(first.rindptr, second.rindptr)
+    np.testing.assert_array_equal(first.rindices, second.rindices)
+
+
+@pytest.mark.parametrize("name", CASES, ids=list(CASES))
+def test_round_trip_preserves_graph_and_order(name) -> None:
+    graph = CASES[name]
+    back = CSRGraph.from_digraph(graph).to_digraph()
+    assert back == graph
+    assert list(back.nodes()) == list(graph.nodes())
+    for node in graph.nodes():
+        assert list(back.successors(node)) == list(graph.successors(node))
+        assert (list(back.predecessors(node))
+                == list(graph.predecessors(node)))
+
+
+# ---------------------------------------------------------------------
+# ordering contract versus the source DiGraph (property test)
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", CASES, ids=list(CASES))
+def test_rows_match_digraph_adjacency(name) -> None:
+    graph = CASES[name]
+    csr = CSRGraph.from_digraph(graph)
+    assert csr.nodes == list(graph.nodes())
+    label = csr.nodes.__getitem__
+    for i, node in enumerate(csr.nodes):
+        assert ([label(j) for j in csr.successors(i).tolist()]
+                == list(graph.successors(node)))
+        assert ([label(j) for j in csr.predecessors(i).tolist()]
+                == list(graph.predecessors(node)))
+        assert csr.out_degree(i) == graph.out_degree(node)
+        assert csr.in_degree(i) == graph.in_degree(node)
+    np.testing.assert_array_equal(
+        csr.in_degrees(),
+        [graph.in_degree(node) for node in graph.nodes()])
+    np.testing.assert_array_equal(
+        csr.out_degrees(),
+        [graph.out_degree(node) for node in graph.nodes()])
+
+
+# ---------------------------------------------------------------------
+# from_forward: stable-sort reverse and redge_id
+# ---------------------------------------------------------------------
+
+def _forward_snapshot(graph: DiGraph) -> CSRGraph:
+    base = CSRGraph.from_digraph(graph)
+    return CSRGraph.from_forward(base.nodes, base.indptr, base.indices)
+
+
+def _source_major(graph: DiGraph) -> DiGraph:
+    """``graph`` with its edges re-inserted grouped by source node —
+    the insertion discipline :meth:`CSRGraph.from_forward` assumes
+    (every graph the pipeline derives satisfies it)."""
+    regrouped = DiGraph()
+    regrouped.add_nodes(graph.nodes())
+    for u in graph.nodes():
+        for v in graph.successors(u):
+            regrouped.add_edge(u, v)
+    return regrouped
+
+
+@pytest.mark.parametrize("name", ["diamond", "dag", "cyclic", "tree"],
+                         ids=["diamond", "dag", "cyclic", "tree"])
+def test_from_forward_reverse_matches_source_major_insertion(name) -> None:
+    # On a graph whose edges were added grouped by source, the
+    # stable-sort reverse must reproduce the DiGraph predecessor
+    # insertion order exactly.
+    graph = _source_major(CASES[name])
+    eager = CSRGraph.from_digraph(graph)
+    derived = _forward_snapshot(graph)
+    np.testing.assert_array_equal(derived.rindptr, eager.rindptr)
+    np.testing.assert_array_equal(derived.rindices, eager.rindices)
+
+
+def test_from_forward_redge_id_maps_back_to_forward_edges() -> None:
+    derived = _forward_snapshot(CASES["dag"])
+    redge = derived.redge_id
+    assert redge is not None
+    # Reverse slot k holds edge redge[k]: its forward target is the row
+    # owner and its forward source is rindices[k].
+    rptr = derived.rindptr.tolist()
+    for v in range(derived.num_nodes):
+        for k in range(rptr[v], rptr[v + 1]):
+            e = int(redge[k])
+            assert int(derived.indices[e]) == v
+            assert int(derived.src_of_edge()[e]) == int(derived.rindices[k])
+
+
+def test_string_labels_map_correctly() -> None:
+    graph = DiGraph([("b", "a"), ("a", "c")])
+    csr = CSRGraph.from_digraph(graph)
+    assert csr.id_of == {"b": 0, "a": 1, "c": 2}
+    assert csr.successors(csr.id_of["b"]).tolist() == [csr.id_of["a"]]
+
+
+def test_identity_int_labels_defer_the_map() -> None:
+    # Dense 0..n-1 labels need no translation, so the snapshot skips
+    # the dict entirely and only builds it on first id_of access.
+    graph = DiGraph([(0, 1), (1, 2)])
+    csr = CSRGraph.from_digraph(graph)
+    assert csr.nodes == [0, 1, 2]
+    assert csr._id_of is None
+    assert csr.id_of == {0: 0, 1: 1, 2: 2}
+    assert csr.successors(0).tolist() == [1]

@@ -6,6 +6,11 @@ arrays exist) the :class:`~repro.core.batch.BatchQuerier` kernel against
 the reflexive transitive closure computed independently by
 :func:`repro.graph.closure.transitive_closure_bitsets`.
 
+A second axis cross-checks the two construction backends: every seeded
+graph is built with ``backend="python"`` and ``backend="fast"`` and the
+interval labels, link tables, and query answers must match bit for bit
+(the fast backend's contract — see ``docs/API.md``).
+
 On a mismatch the harness shrinks the graph with a greedy edge-removal
 minimiser and reports the family, seed, scheme, offending pair, and the
 minimal edge list that still reproduces the disagreement — everything
@@ -18,6 +23,7 @@ import pytest
 
 from repro.core.base import available_schemes, build_index
 from repro.core.batch import BatchQuerier
+from repro.core.pipeline import run_pipeline
 from repro.graph.closure import transitive_closure_bitsets
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import (
@@ -52,13 +58,34 @@ def ground_truth(graph: DiGraph):
     return truth
 
 
-def minimise_failure(graph: DiGraph, scheme: str, options: dict):
-    """Greedy edge-removal shrink of a disagreeing graph.
+def _greedy_shrink(graph: DiGraph, disagreement):
+    """Greedy edge-removal shrink driven by a disagreement predicate.
 
-    Repeatedly drops any edge whose removal keeps at least one
-    scalar-vs-truth disagreement alive; returns the shrunken edge list
-    and one offending pair for the failure report.
+    ``disagreement(edges)`` rebuilds a candidate graph from ``edges``
+    (plus ``graph``'s isolated nodes) and returns a truthy witness while
+    the failure still reproduces, or ``None`` once it vanishes.
+    Repeatedly drops any edge whose removal keeps the witness alive;
+    returns the shrunken edge list and the final witness.
     """
+    edges = list(graph.edges())
+    witness = disagreement(edges)
+    if witness is None:  # nothing disagrees; nothing to shrink
+        return edges, None
+    shrinking = True
+    while shrinking:
+        shrinking = False
+        for i in range(len(edges) - 1, -1, -1):
+            trial = edges[:i] + edges[i + 1:]
+            trial_witness = disagreement(trial)
+            if trial_witness is not None:
+                edges, witness = trial, trial_witness
+                shrinking = True
+    return edges, witness
+
+
+def minimise_failure(graph: DiGraph, scheme: str, options: dict):
+    """Shrink a scheme-vs-truth disagreement; the witness is the first
+    offending ``(u, v)`` pair."""
 
     def disagreement(edges):
         candidate = DiGraph(edges)
@@ -72,20 +99,7 @@ def minimise_failure(graph: DiGraph, scheme: str, options: dict):
                     return (u, v)
         return None
 
-    edges = list(graph.edges())
-    pair = disagreement(edges)
-    if pair is None:  # scalar path agrees; nothing to shrink
-        return edges, None
-    shrinking = True
-    while shrinking:
-        shrinking = False
-        for i in range(len(edges) - 1, -1, -1):
-            trial = edges[:i] + edges[i + 1:]
-            trial_pair = disagreement(trial)
-            if trial_pair is not None:
-                edges, pair = trial, trial_pair
-                shrinking = True
-    return edges, pair
+    return _greedy_shrink(graph, disagreement)
 
 
 @pytest.mark.parametrize("scheme", sorted(available_schemes()))
@@ -119,6 +133,68 @@ def test_scheme_matches_bfs_ground_truth(family, seed, scheme) -> None:
             f"{scheme} disagrees with BFS ground truth via "
             f"{'/'.join(failures)} on family={family} seed={seed}; "
             f"minimised reproducer: pair={pair} edges={edges}")
+
+
+# ---------------------------------------------------------------------
+# backend-equivalence axis: python vs fast construction
+# ---------------------------------------------------------------------
+
+def _pipeline_fingerprint(graph: DiGraph, use_meg: bool, backend: str):
+    """Everything the fast backend promises to reproduce bit for bit."""
+    pipeline = run_pipeline(graph, use_meg=use_meg, backend=backend)
+    triples = lambda table: [(link.tail, link.head_start, link.head_end)
+                             for link in table.links]
+    return {
+        "interval labels": {node: (iv.start, iv.end) for node, iv
+                            in pipeline.labeling.interval.items()},
+        "base link table": triples(pipeline.base_table),
+        "transitive link table": triples(pipeline.transitive_table),
+    }
+
+
+def backend_disagreement(graph: DiGraph, use_meg: bool):
+    """Name of the first artefact where the backends diverge, or
+    ``None`` when ``python`` and ``fast`` agree on ``graph``."""
+    reference = _pipeline_fingerprint(graph, use_meg, "python")
+    fast = _pipeline_fingerprint(graph, use_meg, "fast")
+    for key, expected in reference.items():
+        if fast[key] != expected:
+            return key
+    nodes = list(graph.nodes())
+    pairs = [(u, v) for u in nodes for v in nodes]
+    for scheme in ("dual-i", "dual-ii"):
+        answers = [list(build_index(graph, scheme=scheme, use_meg=use_meg,
+                                    backend=backend).reachable_many(pairs))
+                   for backend in ("python", "fast")]
+        if answers[0] != answers[1]:
+            return f"{scheme} query answers"
+    return None
+
+
+def minimise_backend_failure(graph: DiGraph, use_meg: bool):
+    """Shrink a backend disagreement; the witness names the artefact."""
+
+    def disagreement(edges):
+        candidate = DiGraph(edges)
+        for node in graph.nodes():
+            candidate.add_node(node)
+        return backend_disagreement(candidate, use_meg)
+
+    return _greedy_shrink(graph, disagreement)
+
+
+@pytest.mark.parametrize("use_meg", [True, False], ids=["meg", "no-meg"])
+@pytest.mark.parametrize("family,seed", CASES,
+                         ids=[f"{f}-s{s}" for f, s in CASES])
+def test_backend_equivalence(family, seed, use_meg) -> None:
+    graph = FAMILIES[family](seed)
+    witness = backend_disagreement(graph, use_meg)
+    if witness is not None:
+        edges, shrunk = minimise_backend_failure(graph, use_meg)
+        pytest.fail(
+            f"fast backend diverges from python on {shrunk or witness} "
+            f"(family={family} seed={seed} use_meg={use_meg}); "
+            f"minimised reproducer: edges={edges}")
 
 
 def test_minimiser_shrinks_and_reports(monkeypatch) -> None:
