@@ -193,6 +193,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_load(args: argparse.Namespace) -> int:
+    from repro.bench.serveload import (append_trajectory,
+                                       format_serve_report,
+                                       run_serve_load_benchmark,
+                                       run_serve_smoke)
+
+    if args.smoke:
+        report = run_serve_smoke(
+            nodes=args.nodes if args.nodes != 600 else 400,
+            edges=args.edges, seed=args.seed, scheme=args.scheme,
+            connections=min(args.connections, 4),
+            duration=min(args.duration, 2.0), pipeline=args.pipeline)
+        print(format_kv_table(
+            {k: v for k, v in report.items() if k != "reload"},
+            title="serve-load smoke"))
+        print(f"[hot reload swapped in {report['reload']['nodes']} "
+              f"nodes from {report['reload']['source']}]")
+        print("OK: zero protocol errors, cross-connection batching "
+              "active, hot reload verified")
+        return 0
+    entry = run_serve_load_benchmark(
+        nodes=args.nodes, edges=args.edges, seed=args.seed,
+        scheme=args.scheme, connections=(8, args.connections),
+        duration=args.duration, pipeline=args.pipeline)
+    print(format_serve_report(entry))
+    if str(args.out) != "-":
+        append_trajectory(entry, args.out)
+        print(f"[appended to {args.out}]")
+    if args.assert_speedup is not None:
+        speedup = entry["speedup"]
+        if speedup < args.assert_speedup:
+            print(f"FAIL: speedup {speedup:.2f}x is below the required "
+                  f"{args.assert_speedup:.2f}x")
+            return 1
+        print(f"OK: speedup {speedup:.2f}x >= "
+              f"{args.assert_speedup:.2f}x")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro.bench``."""
     parser = argparse.ArgumentParser(
@@ -240,6 +279,41 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="also time the scalar reachable loop and "
                             "report the speedup")
 
+    serve_load = sub.add_parser(
+        "serve-load",
+        help="benchmark the repro.server gateway under multi-"
+             "connection load (micro-batched vs. unbatched)")
+    serve_load.add_argument("--nodes", type=int, default=600,
+                            help="graph size (default: the Figure 11 "
+                                 "quick-scale largest graph)")
+    serve_load.add_argument("--edges", type=int, default=None,
+                            help="edge count (default: 1.5x nodes)")
+    serve_load.add_argument("--seed", type=int, default=None,
+                            help="generator seed (default: seed = "
+                                 "nodes)")
+    serve_load.add_argument("--scheme", default="dual-i")
+    serve_load.add_argument("--connections", type=int, default=32,
+                            help="peak concurrent connections")
+    serve_load.add_argument("--duration", type=float, default=2.0,
+                            help="seconds of load per measurement "
+                                 "point")
+    serve_load.add_argument("--pipeline", type=int, default=16,
+                            help="in-flight requests per connection")
+    serve_load.add_argument("--out", type=Path,
+                            default=Path("BENCH_serve.json"),
+                            help="trajectory file to append to ('-' "
+                                 "to skip writing)")
+    serve_load.add_argument("--assert-speedup", type=float,
+                            default=None, metavar="RATIO",
+                            help="exit non-zero unless micro-batching "
+                                 "is at least RATIO times faster than "
+                                 "one-query-per-request")
+    serve_load.add_argument("--smoke", action="store_true",
+                            help="CI gate: short low-concurrency run "
+                                 "asserting zero protocol errors, "
+                                 "multi-query flushes, and one hot "
+                                 "reload")
+
     claims = sub.add_parser(
         "claims", help="grade the paper-fidelity claims (PASS/FAIL)")
     claims.add_argument("--scale", choices=("paper", "quick"),
@@ -277,6 +351,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_build(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "serve-load":
+        return _cmd_serve_load(args)
     if args.command == "claims":
         from repro.bench.claims import run_claims
 

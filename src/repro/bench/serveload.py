@@ -1,0 +1,272 @@
+"""The ``serve-load`` benchmark: gateway throughput under load.
+
+Measures end-to-end served throughput — TCP framing, protocol parsing,
+micro-batching, kernel, reply — of the :mod:`repro.server` gateway on
+the Figure 11 quick-scale graph, comparing the **micro-batched**
+configuration against the **one-query-per-request** baseline
+(``max_batch=1``, i.e. every request flushes alone) at several
+connection counts.  The headline number is the batched/unbatched
+speedup at the highest concurrency: it quantifies exactly what the
+cross-connection batcher buys, because both configurations run the
+same server code, kernels, and load generator.
+
+Each run appends one entry to ``BENCH_serve.json`` (same trajectory
+pattern as ``BENCH_build.json``), so serving-throughput regressions
+show up over commits.  ``--smoke`` runs the CI gate instead: a short
+low-concurrency drive that must complete with zero protocol errors, at
+least one multi-query flush (proof that cross-connection coalescing
+happened), and one successful hot ``reload``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+import repro
+from repro.bench.workloads import random_query_pairs
+from repro.core.base import build_index
+from repro.core.service import QueryService
+from repro.graph.generators import single_rooted_dag
+from repro.graph.io import write_edge_list
+from repro.server.client import ReachClient
+from repro.server.loadgen import run_loadgen
+from repro.server.server import ReachServer, ServerConfig, ServerThread
+
+__all__ = ["run_serve_load_benchmark", "run_serve_smoke",
+           "append_trajectory", "format_serve_report", "SCHEMA"]
+
+SCHEMA = "repro-bench-serve/1"
+
+
+def _make_graph(nodes: int, edges: int | None, seed: int | None):
+    """The build-bench convention: Figure 11 density and seeding."""
+    edges = int(nodes * 1.5) if edges is None else edges
+    seed = nodes if seed is None else seed
+    return single_rooted_dag(nodes, edges, max_fanout=5, seed=seed), seed
+
+
+def _start_server(index, scheme: str, *, max_batch: int,
+                  max_delay: float, policy: str = "block",
+                  max_pending: int = 65536) -> ServerThread:
+    config = ServerConfig(max_batch=max_batch, max_delay=max_delay,
+                          policy=policy, max_pending=max_pending)
+    server = ReachServer(QueryService(index), scheme=scheme,
+                         config=config)
+    return ServerThread(server).start()
+
+
+@contextmanager
+def _server_process(graph_file: Path, scheme: str, *, max_batch: int,
+                    max_delay: float, pipeline: int,
+                    connections: int) -> Iterator[int]:
+    """``repro-reach serve`` in a subprocess, yielding its bound port.
+
+    The benchmark measures the gateway from a *separate* interpreter so
+    the load generator and the server do not share one GIL — in-process
+    the two fight for the same core and the measured ratio is mostly
+    scheduler noise.
+    """
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = package_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", str(graph_file),
+         "--scheme", scheme, "--port", "0",
+         "--max-batch", str(max_batch),
+         "--max-delay-ms", str(max_delay * 1000.0),
+         "--max-pending", "65536",
+         # Headroom over the generator's total in-flight window.
+         "--max-conn-inflight", str(max(64, 2 * pipeline)),
+         "--max-request-pairs", "65536"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    try:
+        assert proc.stdout is not None
+        banner = proc.stdout.readline()  # blocks until the bind print
+        match = re.search(r" on \S+:(\d+)", banner)
+        if match is None:
+            proc.kill()
+            rest = proc.stdout.read()
+            raise RuntimeError(
+                f"server subprocess failed to start: {banner}{rest}")
+        yield int(match.group(1))
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+def run_serve_load_benchmark(*, nodes: int = 600, edges: int | None = None,
+                             seed: int | None = None,
+                             scheme: str = "dual-i",
+                             connections: Sequence[int] = (8, 32),
+                             duration: float = 2.0, pipeline: int = 16,
+                             max_batch: int = 512,
+                             max_delay: float = 0.002,
+                             num_pairs: int = 20_000) -> dict[str, Any]:
+    """Throughput/latency vs. concurrency, batched vs. unbatched.
+
+    Returns one trajectory entry: per-(config, concurrency) rows plus
+    the batched/unbatched speedup at the highest connection count.
+    """
+    graph, seed = _make_graph(nodes, edges, seed)
+    pairs = random_query_pairs(graph, num_pairs, seed=seed + 1)
+    configs = (
+        ("batched", max_batch, max_delay),
+        ("unbatched", 1, 0.0),
+    )
+    rows: list[dict[str, Any]] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        graph_file = Path(tmp) / "graph.txt"
+        write_edge_list(graph, graph_file)
+        for label, config_batch, config_delay in configs:
+            with _server_process(graph_file, scheme,
+                                 max_batch=config_batch,
+                                 max_delay=config_delay,
+                                 pipeline=pipeline,
+                                 connections=max(connections)) as port:
+                for conns in connections:
+                    result = run_loadgen(
+                        "127.0.0.1", port, pairs,
+                        connections=conns, duration=duration,
+                        pipeline=pipeline, batch_size=1)
+                    row = {"config": label, "max_batch": config_batch,
+                           "max_delay_ms": config_delay * 1000.0,
+                           **result.as_dict()}
+                    rows.append(row)
+                with ReachClient(port=port) as client:
+                    batcher = client.stats()["batcher"]
+            for row in rows:
+                if row["config"] == label \
+                        and "mean_flush_pairs" not in row:
+                    row["mean_flush_pairs"] = \
+                        batcher["mean_flush_pairs"]
+                    row["multi_query_flushes"] = \
+                        batcher["multi_query_flushes"]
+    top = max(connections)
+
+    def qps(config: str) -> float:
+        return next(row["queries_per_second"] for row in rows
+                    if row["config"] == config
+                    and row["connections"] == top)
+
+    batched_qps, unbatched_qps = qps("batched"), qps("unbatched")
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "graph": {"generator": "single_rooted_dag", "nodes": nodes,
+                  "edges": graph.num_edges, "max_fanout": 5,
+                  "seed": seed},
+        "scheme": scheme,
+        "duration_seconds": duration,
+        "pipeline": pipeline,
+        "rows": rows,
+        "top_connections": top,
+        "batched_qps": batched_qps,
+        "unbatched_qps": unbatched_qps,
+        "speedup": (batched_qps / unbatched_qps
+                    if unbatched_qps > 0 else float("inf")),
+    }
+
+
+def append_trajectory(entry: dict[str, Any], path: Path) -> None:
+    """Append ``entry`` to the ``BENCH_serve.json`` trajectory at
+    ``path`` (created — or reset, if unreadable/foreign — on demand)."""
+    data: dict[str, Any] = {"schema": SCHEMA, "entries": []}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            existing = None
+        if (isinstance(existing, dict) and existing.get("schema") == SCHEMA
+                and isinstance(existing.get("entries"), list)):
+            data = existing
+    data["entries"].append(entry)
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+def format_serve_report(entry: dict[str, Any]) -> str:
+    """Human-readable table for one serve-load trajectory entry."""
+    from repro.bench.reporting import format_markdown_table
+
+    graph = entry["graph"]
+    lines = [
+        f"serve-load benchmark — single_rooted_dag("
+        f"{graph['nodes']}, {graph['edges']}, seed={graph['seed']}), "
+        f"scheme={entry['scheme']}, {entry['duration_seconds']}s per "
+        f"point, pipeline={entry['pipeline']}",
+        "",
+        format_markdown_table(
+            entry["rows"],
+            ["config", "connections", "queries", "queries_per_second",
+             "errors", "latency_p50_ms", "latency_p95_ms",
+             "latency_p99_ms"]),
+        "",
+        f"[micro-batching speedup at {entry['top_connections']} "
+        f"connections: {entry['speedup']:.2f}x "
+        f"({entry['batched_qps']:,.0f} vs "
+        f"{entry['unbatched_qps']:,.0f} queries/s]",
+    ]
+    return "\n".join(lines)
+
+
+def run_serve_smoke(*, nodes: int = 400, edges: int | None = None,
+                    seed: int | None = None, scheme: str = "dual-i",
+                    connections: int = 4, duration: float = 2.0,
+                    pipeline: int = 4) -> dict[str, Any]:
+    """The CI smoke gate: serve, load, assert health, hot-reload once.
+
+    Raises
+    ------
+    AssertionError
+        On any protocol error, on zero multi-query flushes (no
+        cross-connection coalescing happened), or on a failed reload.
+    """
+    graph, seed = _make_graph(nodes, edges, seed)
+    index = build_index(graph, scheme=scheme)
+    pairs = random_query_pairs(graph, 5000, seed=seed + 1)
+    handle = _start_server(index, scheme, max_batch=512,
+                           max_delay=0.002)
+    try:
+        result = run_loadgen("127.0.0.1", handle.port, pairs,
+                             connections=connections,
+                             duration=duration, pipeline=pipeline,
+                             batch_size=1)
+        assert result.completed > 0, "loadgen completed no requests"
+        assert not result.errors, (
+            f"protocol errors during smoke run: {result.errors}")
+        with ReachClient(port=handle.port) as client:
+            stats = client.stats()
+            flushes = stats["batcher"]["multi_query_flushes"]
+            assert flushes >= 1, (
+                "no multi-query flush happened — cross-connection "
+                "batching is not coalescing")
+            with tempfile.TemporaryDirectory() as tmp:
+                graph_file = Path(tmp) / "graph.txt"
+                write_edge_list(graph, graph_file)
+                swap = client.reload(graph=graph_file)
+            assert swap["swapped"] and swap["nodes"] == graph.num_nodes
+            probe = client.query_batch(pairs[:32])
+            assert probe == index.reachable_many(pairs[:32]), (
+                "post-reload answers diverge from the direct index")
+        return {
+            "completed": result.completed,
+            "queries": result.queries,
+            "queries_per_second": result.queries_per_second,
+            "multi_query_flushes": flushes,
+            "reload": swap,
+        }
+    finally:
+        handle.stop()

@@ -7,11 +7,18 @@ Subcommands
 * ``stats``    — print summary statistics of a graph file;
 * ``build``    — build an index over a graph file and print its stats;
 * ``query``    — build an index and answer reachability queries;
+* ``serve``    — run the :mod:`repro.server` TCP gateway in the
+  foreground (newline-delimited JSON protocol, cross-connection
+  micro-batching, hot index swap via the ``reload`` verb);
+* ``loadgen``  — drive a running gateway with open-loop
+  multi-connection load and print client-side latency percentiles;
 * ``bench``    — forward to the experiment runner (``repro.bench``),
   including ``bench serve`` (the
-  :class:`repro.core.service.QueryService` throughput test) and
+  :class:`repro.core.service.QueryService` throughput test),
   ``bench build`` (the per-phase construction benchmark comparing the
-  fast and python backends, trajectory in ``BENCH_build.json``).
+  fast and python backends, trajectory in ``BENCH_build.json``), and
+  ``bench serve-load`` (gateway throughput, micro-batched vs.
+  unbatched, trajectory in ``BENCH_serve.json``).
 
 Examples
 --------
@@ -19,12 +26,16 @@ Examples
 
     repro-reach generate dag --nodes 2000 --edges 3000 --out g.txt
     repro-reach stats g.txt
-    repro-reach build g.txt --scheme dual-i
+    repro-reach build g.txt --scheme dual-ii --save g.dual-ii.json
     repro-reach query g.txt --scheme dual-i --pairs 17:1805 3:42
+    repro-reach query g.txt --pairs-file queries.csv
     repro-reach query g.txt --random 1000 --scheme dual-ii
+    repro-reach serve g.txt --port 7421 --max-batch 512
+    repro-reach loadgen --port 7421 --graph g.txt --connections 32
     repro-reach bench run table2 --scale quick
     repro-reach bench serve --scheme dual-ii --queries 100000 --baseline
     repro-reach bench build --quick --assert-speedup 1.0
+    repro-reach bench serve-load --connections 32 --assert-speedup 3
 """
 
 from __future__ import annotations
@@ -117,23 +128,34 @@ def _cmd_query(args: argparse.Namespace) -> int:
         from repro.core.serialize import load_dual_index
 
         index = load_dual_index(args.index)
-        if args.pairs:
-            for u, v in args.pairs:
-                answer = index.reachable(u, v)
-                print(f"{u} -> {v}: "
-                      f"{'reachable' if answer else 'unreachable'}")
-            return 0
-        # Random workloads need the graph's node set; require --pairs.
-        print("--index requires explicit --pairs queries",
-              file=sys.stderr)
-        return 2
-    graph = read_edge_list(args.graph)
-    index = build_index(graph, scheme=args.scheme)
+        graph = None
+    else:
+        graph = read_edge_list(args.graph)
+        index = build_index(graph, scheme=args.scheme)
+    if args.pairs_file is not None:
+        # The production batch path: the whole file is answered by one
+        # QueryService.query_batch() call (vectorised kernel).
+        from repro.bench.workloads import read_pairs_file
+        from repro.core.service import QueryService
+
+        pairs = read_pairs_file(args.pairs_file)
+        with QueryService(index) as service:
+            answers = service.query_batch(pairs)
+        for (u, v), answer in zip(pairs, answers):
+            print(f"{u} -> {v}: "
+                  f"{'reachable' if answer else 'unreachable'}")
+        print(f"# {len(pairs)} queries, {sum(answers)} reachable")
+        return 0
     if args.pairs:
         for u, v in args.pairs:
             answer = index.reachable(u, v)
             print(f"{u} -> {v}: {'reachable' if answer else 'unreachable'}")
         return 0
+    if graph is None:
+        # Random workloads need the graph's node set.
+        print("--index requires --pairs or --pairs-file queries",
+              file=sys.stderr)
+        return 2
     pairs = random_query_pairs(graph, args.random, seed=args.seed)
     measured = measure_query_time(index, pairs)
     print(f"queries          {measured.num_queries}")
@@ -141,6 +163,80 @@ def _cmd_query(args: argparse.Namespace) -> int:
     print(f"net_seconds      {measured.seconds:.4f}")
     print(f"us_per_query     {measured.microseconds_per_query:.3f}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.service import QueryService
+    from repro.server.server import ReachServer, ServerConfig
+
+    if args.index is not None:
+        from repro.core.serialize import load_dual_index
+
+        index = load_dual_index(args.index)
+        scheme = index.stats().scheme
+    else:
+        graph = read_edge_list(args.graph)
+        index = build_index(graph, scheme=args.scheme)
+        scheme = args.scheme
+    config = ServerConfig(
+        host=args.host, port=args.port, max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1000.0,
+        max_pending=args.max_pending, policy=args.policy,
+        max_request_pairs=args.max_request_pairs,
+        max_conn_inflight=args.max_conn_inflight,
+        request_timeout=args.request_timeout,
+        access_log=args.access_log, executor_workers=args.workers)
+    server = ReachServer(QueryService(index), scheme=scheme,
+                         config=config)
+
+    async def _serve() -> None:
+        await server.start()
+        stats = index.stats()
+        print(f"serving {scheme} ({stats.num_nodes} nodes, "
+              f"{stats.num_edges} edges) on {config.host}:{server.port}"
+              f" — max_batch={config.max_batch}, "
+              f"max_delay={config.max_delay * 1000:.1f}ms, "
+              f"policy={config.policy}  (ctrl-c to stop)", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nserver stopped")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_kv_table
+    from repro.server.loadgen import run_loadgen
+
+    if args.pairs_file is not None:
+        from repro.bench.workloads import read_pairs_file
+
+        pairs = read_pairs_file(args.pairs_file)
+    elif args.graph is not None:
+        graph = read_edge_list(args.graph)
+        pairs = random_query_pairs(graph, args.random, seed=args.seed)
+    else:
+        print("loadgen needs --pairs-file or --graph", file=sys.stderr)
+        return 2
+    result = run_loadgen(args.host, args.port, pairs,
+                         connections=args.connections,
+                         duration=args.duration,
+                         pipeline=args.pipeline,
+                         batch_size=args.batch_size, rate=args.rate)
+    print(format_kv_table(
+        result.as_dict(),
+        title=f"loadgen — {args.host}:{args.port}, "
+              f"{args.connections} connections"))
+    print(f"\n[{result.queries_per_second:,.0f} queries/second "
+          f"end-to-end through the gateway]")
+    return 1 if result.error_total else 0
 
 
 def _cmd_golden(args: argparse.Namespace) -> int:
@@ -250,20 +346,83 @@ def main(argv: Sequence[str] | None = None) -> int:
     build.add_argument("--scheme", choices=available_schemes(),
                        default="dual-i")
     build.add_argument("--save", type=Path, default=None,
-                       help="persist the index (dual-i only) as JSON")
+                       help="persist the index (dual-i or dual-ii) as "
+                            "JSON")
 
     query = sub.add_parser("query", help="answer reachability queries")
     query.add_argument("graph", type=Path, nargs="?", default=None)
     query.add_argument("--index", type=Path, default=None,
-                       help="load a saved dual-i index instead of "
-                            "building from the graph file")
+                       help="load a saved dual-i/dual-ii index instead "
+                            "of building from the graph file")
     query.add_argument("--scheme", choices=available_schemes(),
                        default="dual-i")
     query.add_argument("--pairs", type=_parse_pair, nargs="+",
                        help="explicit queries as u:v tokens")
+    query.add_argument("--pairs-file", type=Path, default=None,
+                       help="file of 'u,v' lines, answered in one "
+                            "QueryService.query_batch() call")
     query.add_argument("--random", type=int, default=10_000,
                        help="number of random queries when --pairs absent")
     query.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve reachability over TCP (newline-delimited JSON, "
+             "cross-connection micro-batching)")
+    serve.add_argument("graph", type=Path, nargs="?", default=None)
+    serve.add_argument("--index", type=Path, default=None,
+                       help="warm-start from a saved index instead of "
+                            "building from the graph file")
+    serve.add_argument("--scheme", choices=available_schemes(),
+                       default="dual-i")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7421,
+                       help="listening port (0 = ephemeral)")
+    serve.add_argument("--max-batch", type=int, default=512,
+                       help="flush the micro-batch at this many pairs")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="flush the micro-batch after this many ms")
+    serve.add_argument("--max-pending", type=int, default=8192,
+                       help="admission bound on in-flight pairs")
+    serve.add_argument("--policy", choices=("block", "shed"),
+                       default="block",
+                       help="over capacity: block the sender or shed "
+                            "with an 'overloaded' error reply")
+    serve.add_argument("--max-request-pairs", type=int, default=4096,
+                       help="per-request pair cap ('too_large' beyond)")
+    serve.add_argument("--max-conn-inflight", type=int, default=64,
+                       help="per-connection in-flight request cap")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       help="seconds before a request times out")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="kernel executor threads")
+    serve.add_argument("--access-log", default=None,
+                       help="structured JSON access-log file "
+                            "('-' for stderr)")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a running gateway with open-loop load")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("--pairs-file", type=Path, default=None,
+                         help="query pool: file of 'u,v' lines")
+    loadgen.add_argument("--graph", type=Path, default=None,
+                         help="query pool: --random pairs drawn from "
+                              "this graph file")
+    loadgen.add_argument("--random", type=int, default=10_000,
+                         help="pool size when drawing from --graph")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--connections", type=int, default=8,
+                         help="concurrent TCP connections")
+    loadgen.add_argument("--duration", type=float, default=2.0,
+                         help="seconds to keep sending")
+    loadgen.add_argument("--pipeline", type=int, default=4,
+                         help="in-flight requests per connection")
+    loadgen.add_argument("--batch-size", type=int, default=1,
+                         help="pairs per request (1 = 'query' verb)")
+    loadgen.add_argument("--rate", type=float, default=None,
+                         help="aggregate requests/second pacing target")
 
     golden = sub.add_parser(
         "golden",
@@ -310,15 +469,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "generate" and args.kind == "dataset" \
             and not args.dataset:
         parser.error("generate dataset requires --dataset NAME")
-    if args.command == "query" and args.graph is None \
+    if args.command in ("query", "serve") and args.graph is None \
             and args.index is None:
-        parser.error("query needs a graph file or --index FILE")
+        parser.error(f"{args.command} needs a graph file or --index FILE")
+    if args.command == "serve" and args.graph is not None \
+            and args.index is not None:
+        parser.error("serve takes a graph file or --index, not both")
     handlers = {
         "schemes": _cmd_schemes,
         "generate": _cmd_generate,
         "stats": _cmd_stats,
         "build": _cmd_build,
         "query": _cmd_query,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "validate": _cmd_validate,
         "selftest": _cmd_selftest,
         "golden": _cmd_golden,

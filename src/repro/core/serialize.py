@@ -1,19 +1,24 @@
-"""Index serialisation: persist a built Dual-I index and reload it.
+"""Index serialisation: persist built dual indexes and reload them.
 
 Labeling a massive graph is the expensive step; applications want to do
-it once and ship the labels.  This module round-trips a
-:class:`DualIIndex` through a single JSON document (human-inspectable
-and dependency-free; the TLC matrix is stored as nested lists, which is
-acceptable because it holds at most ``(t+1)²`` small integers for
-``t ≪ n``).
+it once and ship the labels.  This module round-trips an index through a
+single JSON document (human-inspectable and dependency-free).  Two
+schemes are supported, distinguished by a ``scheme`` tag in the header:
+
+* **Dual-I** (``format: repro-dual-i``) — interval labels, ⟨x, y, z⟩
+  non-tree labels, and the TLC matrix as nested lists (acceptable
+  because it holds at most ``(t+1)²`` small integers for ``t ≪ n``);
+* **Dual-II** (``format: repro-dual-ii``) — interval labels plus the
+  TLC search tree's two layers (row keys + per-row tail multisets).
+
+The serving layer's hot-swap path (``repro.server``) loads either
+format to warm-start without rebuilding.  Documents written before the
+scheme tag existed carry only the Dual-I format marker and keep
+loading unchanged.
 
 Node names must be JSON-representable scalars (str/int/float/bool);
 other hashables would not survive the round trip and are rejected at
 save time.
-
-Only Dual-I is serialised: it is the scheme whose query structures are
-plain arrays.  Dual-II/dual-rt rebuilds are equally cheap from the same
-graph, so persisting them adds format surface without saving work.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ import numpy as np
 
 from repro.core.base import IndexStats
 from repro.core.dual_i import DualIIndex
+from repro.core.dual_ii import DualIIIndex
 from repro.exceptions import IndexBuildError
 
 __all__ = ["save_dual_index", "load_dual_index", "FORMAT_VERSION"]
@@ -37,33 +43,59 @@ PathLike = Union[str, Path]
 _SCALAR_TYPES = (str, int, float, bool)
 
 
-def save_dual_index(index: DualIIndex, path: PathLike) -> None:
-    """Write ``index`` to ``path`` as JSON.
-
-    Raises
-    ------
-    IndexBuildError
-        If any indexed node is not a JSON scalar.
-    """
-    if not isinstance(index, DualIIndex):
-        raise IndexBuildError(
-            f"only Dual-I indexes are serialisable, got "
-            f"{type(index).__name__}")
-    component_items = []
-    for node, cid in index._component_of.items():
+def _component_items(component_of) -> list:
+    """JSON-safe ``[tag, node, cid]`` triples of a component map."""
+    items = []
+    for node, cid in component_of.items():
         if not isinstance(node, _SCALAR_TYPES):
             raise IndexBuildError(
                 f"node {node!r} ({type(node).__name__}) is not "
                 "JSON-serialisable; rename nodes to str/int first")
         # Tag the node's type so int 1 and str "1" survive distinctly.
         tag = "s" if isinstance(node, str) else "o"
-        component_items.append([tag, node, cid])
+        items.append([tag, node, cid])
+    return items
 
-    stats = index.stats()
-    document = {
+
+def _stats_doc(stats: IndexStats) -> dict:
+    return {
+        "num_nodes": stats.num_nodes,
+        "num_edges": stats.num_edges,
+        "dag_nodes": stats.dag_nodes,
+        "dag_edges": stats.dag_edges,
+        "meg_edges": stats.meg_edges,
+        "t": stats.t,
+        "transitive_links": stats.transitive_links,
+        "space_bytes": stats.space_bytes,
+    }
+
+
+def save_dual_index(index, path: PathLike) -> None:
+    """Write a Dual-I or Dual-II ``index`` to ``path`` as JSON.
+
+    Raises
+    ------
+    IndexBuildError
+        If the scheme is not serialisable or any indexed node is not a
+        JSON scalar.
+    """
+    if isinstance(index, DualIIndex):
+        document = _dual_i_document(index)
+    elif isinstance(index, DualIIIndex):
+        document = _dual_ii_document(index)
+    else:
+        raise IndexBuildError(
+            f"only Dual-I and Dual-II indexes are serialisable, got "
+            f"{type(index).__name__}")
+    Path(path).write_text(json.dumps(document), encoding="utf-8")
+
+
+def _dual_i_document(index: DualIIndex) -> dict:
+    return {
         "format": "repro-dual-i",
         "version": FORMAT_VERSION,
-        "components": component_items,
+        "scheme": "dual-i",
+        "components": _component_items(index._component_of),
         "starts": index._starts,
         "ends": index._ends,
         "label_x": index._label_x,
@@ -78,18 +110,25 @@ def save_dual_index(index: DualIIndex, path: PathLike) -> None:
                        if hasattr(index.tlc_matrix, "matrix")
                        else index.tlc_matrix.to_rows()),
         },
-        "stats": {
-            "num_nodes": stats.num_nodes,
-            "num_edges": stats.num_edges,
-            "dag_nodes": stats.dag_nodes,
-            "dag_edges": stats.dag_edges,
-            "meg_edges": stats.meg_edges,
-            "t": stats.t,
-            "transitive_links": stats.transitive_links,
-            "space_bytes": stats.space_bytes,
-        },
+        "stats": _stats_doc(index.stats()),
     }
-    Path(path).write_text(json.dumps(document), encoding="utf-8")
+
+
+def _dual_ii_document(index: DualIIIndex) -> dict:
+    tree = index.search_tree
+    return {
+        "format": "repro-dual-ii",
+        "version": FORMAT_VERSION,
+        "scheme": "dual-ii",
+        "components": _component_items(index._component_of),
+        "starts": index._starts,
+        "ends": index._ends,
+        "tree": {
+            "row_ys": list(tree.row_ys),
+            "rows": [list(row) for row in tree.rows],
+        },
+        "stats": _stats_doc(index.stats()),
+    }
 
 
 class _LoadedDualIndex(DualIIndex):
@@ -108,6 +147,7 @@ class _LoadedDualIndex(DualIIndex):
         self._label_z = label_z
         self._matrix_rows = tlc.matrix.tolist()
         self._stats = stats
+        self._arrays = None
 
     @property
     def pipeline(self):
@@ -119,56 +159,114 @@ class _LoadedDualIndex(DualIIndex):
         return self._stats.t or 0
 
 
-def load_dual_index(path: PathLike) -> DualIIndex:
+class _LoadedDualIIIndex(DualIIIndex):
+    """A Dual-II index restored from disk (no pipeline artefacts)."""
+
+    def __init__(self, component_of, tree, starts, ends, stats) -> None:
+        # Deliberately skip DualIIIndex.__init__: there is no pipeline.
+        self._pipeline = None
+        self._component_of = component_of
+        self._tree = tree
+        self._starts = starts
+        self._ends = ends
+        self._stats = stats
+        self._arrays = None
+
+    @property
+    def pipeline(self):
+        raise IndexBuildError(
+            "a deserialised index carries no pipeline artefacts")
+
+    @property
+    def t(self) -> int:
+        return self._stats.t or 0
+
+
+def _load_components(document) -> dict:
+    component_of = {}
+    for tag, node, cid in document["components"]:
+        component_of[str(node) if tag == "s" else node] = cid
+    return component_of
+
+
+def _load_stats(document, scheme: str) -> IndexStats:
+    stats_doc = document["stats"]
+    return IndexStats(
+        scheme=scheme,
+        num_nodes=stats_doc["num_nodes"],
+        num_edges=stats_doc["num_edges"],
+        dag_nodes=stats_doc["dag_nodes"],
+        dag_edges=stats_doc["dag_edges"],
+        meg_edges=stats_doc.get("meg_edges"),
+        t=stats_doc.get("t"),
+        transitive_links=stats_doc.get("transitive_links"),
+        space_bytes=dict(stats_doc.get("space_bytes", {})),
+    )
+
+
+def _load_dual_i(document) -> DualIIndex:
+    from repro.core.tlc_matrix import TLCMatrix
+
+    tlc_doc = document["tlc"]
+    matrix = np.asarray(tlc_doc["matrix"], dtype=np.int64)
+    if matrix.ndim != 2:
+        matrix = matrix.reshape(
+            len(tlc_doc["xs"]) + 1, len(tlc_doc["ys"]) + 1)
+    tlc = TLCMatrix(tuple(tlc_doc["xs"]), tuple(tlc_doc["ys"]), matrix)
+    return _LoadedDualIndex(
+        _load_components(document), tlc,
+        list(document["starts"]), list(document["ends"]),
+        list(document["label_x"]), list(document["label_y"]),
+        list(document["label_z"]), _load_stats(document, "dual-i"))
+
+
+def _load_dual_ii(document) -> DualIIIndex:
+    from repro.core.tlc_searchtree import TLCSearchTree
+
+    tree_doc = document["tree"]
+    tree = TLCSearchTree(
+        row_ys=[int(y) for y in tree_doc["row_ys"]],
+        rows=[[int(tail) for tail in row] for row in tree_doc["rows"]])
+    return _LoadedDualIIIndex(
+        _load_components(document), tree,
+        list(document["starts"]), list(document["ends"]),
+        _load_stats(document, "dual-ii"))
+
+
+_LOADERS = {
+    "repro-dual-i": _load_dual_i,
+    "repro-dual-ii": _load_dual_ii,
+}
+
+
+def load_dual_index(path: PathLike):
     """Load an index previously written by :func:`save_dual_index`.
+
+    Dispatches on the document's scheme tag, so both Dual-I and Dual-II
+    files load transparently (including pre-tag Dual-I documents).
 
     Raises
     ------
     IndexBuildError
         On wrong format markers or structurally invalid documents.
     """
-    from repro.core.tlc_matrix import TLCMatrix
-
     try:
         document = json.loads(Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise IndexBuildError(f"{path}: not valid JSON ({exc})") from exc
-    if not isinstance(document, dict) or \
-            document.get("format") != "repro-dual-i":
-        raise IndexBuildError(f"{path}: not a repro-dual-i document")
+    loader = None
+    if isinstance(document, dict):
+        loader = _LOADERS.get(document.get("format"))
+    if loader is None:
+        raise IndexBuildError(
+            f"{path}: not a repro dual-index document "
+            f"(expected one of {sorted(_LOADERS)})")
     if document.get("version") != FORMAT_VERSION:
         raise IndexBuildError(
             f"{path}: unsupported format version "
             f"{document.get('version')!r} (expected {FORMAT_VERSION})")
-
     try:
-        component_of = {}
-        for tag, node, cid in document["components"]:
-            component_of[str(node) if tag == "s" else node] = cid
-        tlc_doc = document["tlc"]
-        matrix = np.asarray(tlc_doc["matrix"], dtype=np.int64)
-        if matrix.ndim != 2:
-            matrix = matrix.reshape(
-                len(tlc_doc["xs"]) + 1, len(tlc_doc["ys"]) + 1)
-        tlc = TLCMatrix(tuple(tlc_doc["xs"]), tuple(tlc_doc["ys"]),
-                        matrix)
-        stats_doc = document["stats"]
-        stats = IndexStats(
-            scheme="dual-i",
-            num_nodes=stats_doc["num_nodes"],
-            num_edges=stats_doc["num_edges"],
-            dag_nodes=stats_doc["dag_nodes"],
-            dag_edges=stats_doc["dag_edges"],
-            meg_edges=stats_doc.get("meg_edges"),
-            t=stats_doc.get("t"),
-            transitive_links=stats_doc.get("transitive_links"),
-            space_bytes=dict(stats_doc.get("space_bytes", {})),
-        )
-        return _LoadedDualIndex(
-            component_of, tlc,
-            list(document["starts"]), list(document["ends"]),
-            list(document["label_x"]), list(document["label_y"]),
-            list(document["label_z"]), stats)
+        return loader(document)
     except (KeyError, TypeError, ValueError) as exc:
         raise IndexBuildError(
             f"{path}: malformed index document ({exc})") from exc

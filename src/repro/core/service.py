@@ -76,11 +76,35 @@ class ServiceMetrics:
     kernel_queries: int = 0
     scalar_queries: int = 0
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Monotonic clock value at creation (or the last :meth:`reset`);
+    #: the basis of :attr:`uptime_seconds`.
+    started_at: float = field(default_factory=time.monotonic)
 
     def add_stage(self, stage: str, seconds: float) -> None:
         """Accumulate wall-clock time into one pipeline stage."""
         self.stage_seconds[stage] = (
             self.stage_seconds.get(stage, 0.0) + seconds)
+
+    def reset(self) -> None:
+        """Zero every counter and timer and restart the uptime clock.
+
+        The serving layer's ``stats`` verb exposes this so operators can
+        measure rates over an interval without restarting the process.
+        """
+        self.queries = 0
+        self.batches = 0
+        self.positives = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.kernel_queries = 0
+        self.scalar_queries = 0
+        self.stage_seconds.clear()
+        self.started_at = time.monotonic()
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Monotonic seconds since creation or the last :meth:`reset`."""
+        return time.monotonic() - self.started_at
 
     @property
     def cache_hit_rate(self) -> float:
@@ -106,6 +130,7 @@ class ServiceMetrics:
             "kernel_queries": self.kernel_queries,
             "scalar_queries": self.scalar_queries,
             "queries_per_second": self.queries_per_second,
+            "uptime_seconds": self.uptime_seconds,
         }
         for stage, seconds in sorted(self.stage_seconds.items()):
             row[f"seconds_{stage}"] = seconds

@@ -1,0 +1,48 @@
+"""``repro.server`` — the asyncio serving gateway (stdlib-only).
+
+A TCP front-end over :class:`repro.core.service.QueryService` that turns
+the library into a long-running network service:
+
+* **newline-delimited JSON protocol** (:mod:`repro.server.protocol`)
+  with the verbs ``ping``, ``query``, ``batch``, ``stats``, ``reload``;
+* **cross-connection micro-batching**
+  (:class:`repro.server.batcher.MicroBatcher`) — queries from every
+  open connection coalesce into one buffer and flush on a size or
+  deadline trigger, so concurrent clients share single
+  ``query_batch()`` kernel invocations;
+* **admission control / backpressure** — a bounded in-flight queue
+  with a configurable full-queue policy (``block`` or ``shed`` with an
+  explicit ``overloaded`` error reply), per-connection request caps,
+  and per-request timeouts;
+* **hot index swap** — the ``reload`` verb rebuilds (or warm-starts
+  from a saved index file) on a background thread and atomically swaps
+  the serving :class:`~repro.core.service.QueryService`, so index
+  updates never block readers;
+* **observability** — a structured JSON access log plus a ``stats``
+  verb returning server counters, batcher occupancy histograms,
+  latency percentiles, and ``ServiceMetrics.as_dict()``.
+
+:class:`~repro.server.client.ReachClient` is the synchronous client
+used by the CLI and the tests, and :mod:`repro.server.loadgen` is the
+open-loop multi-connection load generator behind
+``python -m repro.bench serve-load``.
+"""
+
+from repro.server.batcher import MicroBatcher, OverloadedError
+from repro.server.client import ReachClient, ServerReplyError
+from repro.server.loadgen import LoadgenResult, run_loadgen
+from repro.server.protocol import ProtocolError
+from repro.server.server import ReachServer, ServerConfig, ServerThread
+
+__all__ = [
+    "MicroBatcher",
+    "OverloadedError",
+    "ProtocolError",
+    "ReachClient",
+    "ReachServer",
+    "ServerConfig",
+    "ServerReplyError",
+    "ServerThread",
+    "LoadgenResult",
+    "run_loadgen",
+]

@@ -1,0 +1,140 @@
+"""Synchronous client for the serving gateway.
+
+:class:`ReachClient` speaks the newline-delimited JSON protocol over a
+plain blocking socket — the counterpart the tests, the CLI, and simple
+applications use.  One request is outstanding at a time per client;
+replies are nevertheless matched by ``id`` (stray replies are stashed),
+so the client also works on connections shared with pipelined senders.
+
+>>> with ReachClient(port=port) as client:          # doctest: +SKIP
+...     client.query(0, 7)
+...     client.query_batch([(0, 7), (7, 0)])
+...     client.stats()["batcher"]["flushes"]
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Iterable, Sequence
+
+from repro.exceptions import ReproError
+from repro.server.protocol import encode_message
+
+__all__ = ["ReachClient", "ServerReplyError"]
+
+
+class ServerReplyError(ReproError):
+    """The server answered with an error reply.
+
+    Attributes
+    ----------
+    code:
+        The protocol error code (e.g. ``overloaded``, ``unknown_node``).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class ReachClient:
+    """Blocking gateway client (context manager).
+
+    Parameters
+    ----------
+    host / port:
+        The gateway's listening address.
+    timeout:
+        Socket timeout in seconds for connect and each reply.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+        self._stash: dict[Any, dict] = {}
+
+    # -- core -----------------------------------------------------------
+    def call(self, verb: str, **fields: Any) -> Any:
+        """Send one request and block for its reply's result.
+
+        Raises
+        ------
+        ServerReplyError
+            When the server answers with an error reply.
+        ConnectionError
+            When the connection drops before the reply arrives.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        request = {"id": request_id, "verb": verb, **fields}
+        self._sock.sendall(encode_message(request))
+        return self._read_reply(request_id)
+
+    def _read_reply(self, request_id: Any) -> Any:
+        while True:
+            if request_id in self._stash:
+                reply = self._stash.pop(request_id)
+            else:
+                line = self._reader.readline()
+                if not line:
+                    raise ConnectionError(
+                        "server closed the connection")
+                reply = json.loads(line)
+                if reply.get("id") != request_id:
+                    self._stash[reply.get("id")] = reply
+                    continue
+            if reply.get("ok"):
+                return reply.get("result")
+            raise ServerReplyError(reply.get("error", "unknown"),
+                                   reply.get("message", ""))
+
+    # -- verbs ----------------------------------------------------------
+    def ping(self) -> str:
+        return self.call("ping")
+
+    def query(self, u: Any, v: Any) -> bool:
+        """One reachability query through the gateway."""
+        return bool(self.call("query", u=u, v=v))
+
+    def query_batch(self, pairs: Iterable[Sequence[Any]]) -> list[bool]:
+        """Batch reachability through the gateway (one request)."""
+        payload = [[u, v] for u, v in pairs]
+        return [bool(answer)
+                for answer in self.call("batch", pairs=payload)]
+
+    def stats(self, reset: bool = False) -> dict:
+        """The server's nested stats document (optionally resetting
+        the service metrics afterwards)."""
+        if reset:
+            return self.call("stats", reset=True)
+        return self.call("stats")
+
+    def reload(self, *, graph: Any = None, index: Any = None,
+               scheme: str | None = None) -> dict:
+        """Trigger a hot index swap from a graph or saved-index file."""
+        fields: dict[str, Any] = {}
+        if graph is not None:
+            fields["graph"] = str(graph)
+        if index is not None:
+            fields["index"] = str(index)
+        if scheme is not None:
+            fields["scheme"] = scheme
+        return self.call("reload", **fields)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ReachClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,269 @@
+"""Open-loop multi-connection load generator for the gateway.
+
+Drives a :class:`~repro.server.server.ReachServer` with ``connections``
+concurrent TCP connections, each keeping up to ``pipeline`` requests in
+flight (optionally paced to a target aggregate ``rate``), and records
+completions, per-code error counts, and client-side latency
+percentiles.  Because senders do not wait for replies before issuing
+the next request (up to the window), queries from many connections land
+inside the server's micro-batch window — exactly the traffic shape the
+cross-connection batcher exists for.
+
+The generator is pure asyncio and runs in one thread;
+:func:`run_loadgen` is the synchronous entry point used by
+``repro-reach loadgen`` and ``python -m repro.bench serve-load``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.server.protocol import encode_message
+
+__all__ = ["LoadgenResult", "run_loadgen"]
+
+
+@dataclass
+class LoadgenResult:
+    """Aggregate outcome of one load-generation run."""
+
+    connections: int
+    pipeline: int
+    batch_size: int
+    duration_seconds: float
+    sent: int = 0
+    completed: int = 0
+    ok: int = 0
+    #: queries answered (requests × pairs per request)
+    queries: int = 0
+    #: error-code -> count over all connections
+    errors: dict[str, int] = field(default_factory=dict)
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def error_total(self) -> int:
+        return sum(self.errors.values())
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.queries / self.duration_seconds
+
+    def percentile(self, q: float) -> float:
+        """Client-observed latency percentile in milliseconds."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat report row (for ``format_kv_table`` / JSON)."""
+        return {
+            "connections": self.connections,
+            "pipeline": self.pipeline,
+            "batch_size": self.batch_size,
+            "duration_seconds": self.duration_seconds,
+            "sent": self.sent,
+            "completed": self.completed,
+            "ok": self.ok,
+            "errors": self.error_total,
+            "error_codes": dict(sorted(self.errors.items())),
+            "queries": self.queries,
+            "queries_per_second": self.queries_per_second,
+            "latency_p50_ms": self.percentile(0.50),
+            "latency_p95_ms": self.percentile(0.95),
+            "latency_p99_ms": self.percentile(0.99),
+        }
+
+
+#: Track the client-side latency of every Nth request — enough for
+#: stable percentiles without a timestamp dict write per message.
+_LATENCY_SAMPLE = 4
+
+
+async def _drive_connection(host: str, port: int,
+                            pairs: Sequence[tuple],
+                            frames: "list[bytes] | None", offset: int,
+                            deadline: float, pipeline: int,
+                            batch_size: int, send_interval: float,
+                            result: LoadgenResult) -> None:
+    """One connection: burst sender + bulk reply reader.
+
+    The sender fills the whole free window in one coalesced write (one
+    syscall per burst instead of one per request) and the reader
+    consumes replies in 64 KiB chunks; both matter because the
+    generator must outrun the server it measures from a single thread.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    n = len(pairs)
+    inflight = 0
+    closed = False
+    wake = asyncio.Event()
+    sampled: dict[int, float] = {}  # sampled id -> sent_at
+
+    async def read_replies() -> None:
+        nonlocal closed, inflight
+        buffer = b""
+        while True:
+            chunk = await reader.read(1 << 16)
+            if not chunk:
+                closed = True
+                wake.set()
+                return
+            lines = (buffer + chunk).split(b"\n")
+            buffer = lines.pop()
+            now = time.perf_counter()
+            for line in lines:
+                if not line:
+                    continue
+                rid: Any = None
+                if line.startswith(b'{"id":') and b'"ok":true' in line:
+                    result.ok += 1
+                    result.queries += batch_size
+                    if sampled:
+                        try:
+                            rid = int(line[6:line.index(b",", 6)])
+                        except ValueError:
+                            rid = None
+                else:
+                    reply = json.loads(line)
+                    rid = reply.get("id")
+                    if reply.get("ok"):
+                        result.ok += 1
+                        result.queries += batch_size
+                    else:
+                        code = reply.get("error", "unknown")
+                        result.errors[code] = \
+                            result.errors.get(code, 0) + 1
+                result.completed += 1
+                inflight -= 1
+                sent_at = sampled.pop(rid, None)
+                if sent_at is not None:
+                    result.latencies_ms.append((now - sent_at) * 1000.0)
+            wake.set()
+
+    reader_task = asyncio.ensure_future(read_replies())
+    # One watchdog for the whole run (not a timeout per send): at the
+    # deadline it wakes a sender blocked on a stalled/dead server.
+    loop = asyncio.get_running_loop()
+    watchdog = loop.call_at(
+        loop.time() + max(0.0, deadline - time.perf_counter()),
+        wake.set)
+    try:
+        position = offset
+        next_id = 0
+        while not closed and time.perf_counter() < deadline:
+            if inflight >= pipeline:
+                wake.clear()
+                await wake.wait()
+                continue
+            burst = bytearray()
+            # Pacing caps a burst at one request; open loop fills the
+            # free window.
+            limit = 1 if send_interval > 0 else pipeline - inflight
+            for _ in range(limit):
+                next_id += 1
+                if next_id % _LATENCY_SAMPLE == 0:
+                    sampled[next_id] = time.perf_counter()
+                if frames is not None:
+                    burst += b'{"id":%d,' % next_id
+                    burst += frames[position % n]
+                    position += 1
+                else:
+                    chunk = [list(pairs[(position + i) % n])
+                             for i in range(batch_size)]
+                    burst += encode_message(
+                        {"id": next_id, "verb": "batch",
+                         "pairs": chunk})
+                    position += batch_size
+            inflight += limit
+            result.sent += limit
+            writer.write(bytes(burst))
+            await writer.drain()
+            if send_interval > 0:
+                await asyncio.sleep(send_interval)
+        # Drain: wait (bounded) for the outstanding window.
+        drain_deadline = time.perf_counter() + 5.0
+        while inflight > 0 and not closed \
+                and time.perf_counter() < drain_deadline:
+            await asyncio.sleep(0.005)
+    finally:
+        watchdog.cancel()
+        reader_task.cancel()
+        try:
+            await reader_task
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _run(host: str, port: int, pairs: Sequence[tuple],
+               connections: int, duration: float, pipeline: int,
+               batch_size: int, rate: float | None) -> LoadgenResult:
+    result = LoadgenResult(connections=connections, pipeline=pipeline,
+                           batch_size=batch_size,
+                           duration_seconds=duration)
+    # Open-loop pacing: a target aggregate request rate splits evenly
+    # into per-connection send intervals; rate=None sends at will.
+    send_interval = (connections / rate) if rate else 0.0
+    # Precompute the invariant tail of every single-query frame ONCE,
+    # before the clock starts — the senders then only splice the id in
+    # front.  Built per connection this serialization work scales with
+    # the connection count and eats the measurement window.
+    frames: list[bytes] | None = None
+    if batch_size == 1:
+        frames = [
+            json.dumps({"verb": "query", "u": u, "v": v},
+                       separators=(",", ":"))[1:].encode() + b"\n"
+            for u, v in pairs]
+    started = time.perf_counter()
+    deadline = started + duration
+    stride = max(1, len(pairs) // max(1, connections))
+    await asyncio.gather(*[
+        _drive_connection(host, port, pairs, frames, i * stride,
+                          deadline, pipeline, batch_size,
+                          send_interval, result)
+        for i in range(connections)])
+    result.duration_seconds = time.perf_counter() - started
+    return result
+
+
+def run_loadgen(host: str, port: int, pairs: Sequence[tuple], *,
+                connections: int = 8, duration: float = 2.0,
+                pipeline: int = 4, batch_size: int = 1,
+                rate: float | None = None) -> LoadgenResult:
+    """Drive the gateway at ``host:port`` and return the aggregate.
+
+    Parameters
+    ----------
+    pairs:
+        Query pool; each connection cycles through it from a distinct
+        offset.
+    connections:
+        Concurrent TCP connections.
+    duration:
+        Seconds to keep sending.
+    pipeline:
+        Max in-flight requests per connection (the open-loop window).
+    batch_size:
+        Pairs per request: ``1`` sends ``query`` verbs, larger values
+        send ``batch`` verbs of that many pairs.
+    rate:
+        Optional aggregate requests/second pacing target.
+    """
+    if not pairs:
+        raise ValueError("loadgen needs a non-empty pair pool")
+    if connections < 1 or pipeline < 1 or batch_size < 1:
+        raise ValueError(
+            "connections, pipeline, and batch_size must be >= 1")
+    return asyncio.run(_run(host, port, list(pairs), connections,
+                            duration, pipeline, batch_size, rate))

@@ -1,0 +1,187 @@
+"""Wire protocol of the serving gateway: newline-delimited JSON.
+
+Every message — request or reply — is one JSON object on one line,
+UTF-8 encoded, terminated by ``\\n``.  Requests carry a client-chosen
+``id`` (echoed verbatim in the reply so pipelined clients can match
+responses), a ``verb``, and verb-specific fields:
+
+=========  ==========================================  =================
+verb       request fields                              result
+=========  ==========================================  =================
+``ping``   —                                           ``"pong"``
+``query``  ``u``, ``v``                                ``true``/``false``
+``batch``  ``pairs``: ``[[u, v], ...]``                list of booleans
+``stats``  optional ``reset``: ``true``                nested stats dict
+``reload`` ``graph`` *or* ``index`` path, optional     swap summary dict
+           ``scheme``
+=========  ==========================================  =================
+
+Replies are ``{"id": ..., "ok": true, "result": ...}`` on success and
+``{"id": ..., "ok": false, "error": <code>, "message": ...}`` on
+failure.  Error codes are the ``ERR_*`` constants below; ``overloaded``
+is the explicit admission-control shed reply, so clients can
+distinguish load shedding from hard failures and retry with backoff.
+
+Node names follow the serialisation rules of
+:mod:`repro.core.serialize`: JSON scalars only (str/int/float/bool).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "VERBS",
+    "ProtocolError",
+    "Request",
+    "decode_message",
+    "encode_message",
+    "error_reply",
+    "ok_reply",
+    "parse_pairs",
+    "parse_request",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Verbs the gateway understands.
+VERBS = ("ping", "query", "batch", "stats", "reload")
+
+# Error codes carried in the ``error`` field of failure replies.
+ERR_BAD_REQUEST = "bad_request"
+ERR_UNKNOWN_VERB = "unknown_verb"
+ERR_UNKNOWN_NODE = "unknown_node"
+ERR_OVERLOADED = "overloaded"
+ERR_TOO_LARGE = "too_large"
+ERR_TIMEOUT = "timeout"
+ERR_RELOAD_FAILED = "reload_failed"
+ERR_INTERNAL = "internal"
+
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+class ProtocolError(ReproError):
+    """A malformed or unserviceable request (maps to an error reply)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class Request:
+    """A decoded request line."""
+
+    id: Any
+    verb: str
+    payload: dict
+
+
+def encode_message(doc: dict) -> bytes:
+    """One protocol message as a newline-terminated JSON line."""
+    return json.dumps(doc, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes | str) -> dict:
+    """Parse one received line into a message dict.
+
+    Raises
+    ------
+    ProtocolError
+        With code ``bad_request`` when the line is not a JSON object.
+    """
+    try:
+        doc = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(ERR_BAD_REQUEST,
+                            f"invalid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            ERR_BAD_REQUEST,
+            f"expected a JSON object, got {type(doc).__name__}")
+    return doc
+
+
+def parse_request(doc: dict) -> Request:
+    """Validate a decoded message as a request.
+
+    Raises
+    ------
+    ProtocolError
+        ``bad_request`` on a malformed envelope, ``unknown_verb`` on a
+        verb outside :data:`VERBS`.
+    """
+    request_id = doc.get("id")
+    if request_id is not None and not isinstance(request_id,
+                                                 (str, int, float)):
+        raise ProtocolError(ERR_BAD_REQUEST,
+                            "id must be a JSON scalar when present")
+    verb = doc.get("verb")
+    if not isinstance(verb, str):
+        raise ProtocolError(ERR_BAD_REQUEST, "missing verb")
+    if verb not in VERBS:
+        raise ProtocolError(
+            ERR_UNKNOWN_VERB,
+            f"unknown verb {verb!r}; supported: {', '.join(VERBS)}")
+    return Request(id=request_id, verb=verb, payload=doc)
+
+
+def _check_node(value: Any) -> Any:
+    if not isinstance(value, _SCALAR_TYPES) or value is None:
+        raise ProtocolError(
+            ERR_BAD_REQUEST,
+            f"node must be a JSON scalar, got {type(value).__name__}")
+    return value
+
+
+def parse_pairs(payload: dict, *,
+                max_pairs: int | None = None) -> list[tuple]:
+    """Extract the ``(u, v)`` pair list of a ``query``/``batch`` request.
+
+    ``query`` requests carry ``u``/``v`` fields; ``batch`` requests a
+    ``pairs`` list of two-element arrays.
+
+    Raises
+    ------
+    ProtocolError
+        ``bad_request`` on missing/malformed fields, ``too_large`` when
+        the pair count exceeds ``max_pairs`` (the per-request cap).
+    """
+    if payload.get("verb") == "query":
+        if "u" not in payload or "v" not in payload:
+            raise ProtocolError(ERR_BAD_REQUEST,
+                                "query requires 'u' and 'v'")
+        return [(_check_node(payload["u"]), _check_node(payload["v"]))]
+    raw = payload.get("pairs")
+    if not isinstance(raw, list):
+        raise ProtocolError(ERR_BAD_REQUEST,
+                            "batch requires a 'pairs' array")
+    if max_pairs is not None and len(raw) > max_pairs:
+        raise ProtocolError(
+            ERR_TOO_LARGE,
+            f"batch of {len(raw)} pairs exceeds the per-request cap "
+            f"of {max_pairs}")
+    pairs = []
+    for item in raw:
+        if not isinstance(item, (list, tuple)) or len(item) != 2:
+            raise ProtocolError(ERR_BAD_REQUEST,
+                                "each pair must be a [u, v] array")
+        pairs.append((_check_node(item[0]), _check_node(item[1])))
+    return pairs
+
+
+def ok_reply(request_id: Any, result: Any) -> dict:
+    """A success reply envelope."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_reply(request_id: Any, code: str, message: str) -> dict:
+    """A failure reply envelope."""
+    return {"id": request_id, "ok": False, "error": code,
+            "message": message}

@@ -1,0 +1,665 @@
+"""The asyncio TCP gateway serving reachability queries.
+
+:class:`ReachServer` listens on a TCP port, speaks the newline-delimited
+JSON protocol of :mod:`repro.server.protocol`, and funnels every
+``query``/``batch`` request — across *all* open connections — through
+one :class:`~repro.server.batcher.MicroBatcher`, so concurrent clients
+share single ``QueryService.query_batch()`` kernel invocations.
+
+Concurrency model
+-----------------
+The event loop owns all protocol state; the numpy kernels run on a
+dedicated worker thread (``run_in_executor``), which keeps the loop
+responsive while a flush evaluates and lets the GIL-releasing numpy
+sections overlap with socket I/O.  Index rebuilds triggered by the
+``reload`` verb run on a *separate* single-thread executor, so a
+rebuild never sits in front of query flushes; the swap itself is one
+attribute assignment, and every flush snapshots the service exactly
+once, so each flush is answered consistently by one index generation.
+
+Backpressure
+------------
+Three nested bounds keep memory finite under overload: the stream
+reader's line limit (malformed giants fail fast), the per-connection
+in-flight request cap (the handler stops reading new lines — and TCP
+therefore stops the client — while a connection has
+``max_conn_inflight`` unanswered requests), and the batcher's global
+``max_pending`` admission queue with its ``block``/``shed`` policy.
+
+Use :class:`ServerThread` to run a server on a background thread with
+its own event loop (tests, benchmarks, the load generator's self-serve
+mode); the CLI's ``repro-reach serve`` runs the asyncio loop in the
+foreground.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.service import QueryService
+from repro.exceptions import QueryError, ReproError
+from repro.server import protocol
+from repro.server.batcher import MicroBatcher, OverloadedError
+from repro.server.protocol import ProtocolError, Request
+
+__all__ = ["ReachServer", "ServerConfig", "ServerThread"]
+
+# asyncio.timeout exists from 3.11; wait_for is the 3.10 fallback.
+_asyncio_timeout = getattr(asyncio, "timeout", None)
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one :class:`ReachServer`.
+
+    The batching/backpressure knobs mirror the issue's serving design:
+    ``max_batch`` pairs or ``max_delay`` seconds trigger a flush;
+    ``max_pending``/``policy`` bound the admission queue; the
+    per-connection cap and per-request timeout bound each client.
+    """
+
+    host: str = "127.0.0.1"
+    #: Port to bind; ``0`` picks a free port (see ``ReachServer.port``).
+    port: int = 0
+    #: Micro-batch flush trigger: buffered pairs.
+    max_batch: int = 512
+    #: Micro-batch flush trigger: seconds after the first buffered pair.
+    max_delay: float = 0.002
+    #: Admission bound on in-flight pairs across all connections.
+    max_pending: int = 8192
+    #: Full-queue policy: ``"block"`` or ``"shed"``.
+    policy: str = "block"
+    #: Per-request pair cap (``batch`` verb) — ``too_large`` beyond it.
+    max_request_pairs: int = 4096
+    #: Per-connection cap on unanswered requests; the handler stops
+    #: reading (TCP backpressure) while a connection is at the cap.
+    max_conn_inflight: int = 64
+    #: Seconds a single request may wait for its answer.
+    request_timeout: float = 30.0
+    #: Stream reader line limit in bytes.
+    max_line_bytes: int = 1 << 20
+    #: Structured JSON access log: a path, ``"-"`` for stderr, or
+    #: ``None`` to disable.
+    access_log: str | Path | None = None
+    #: Worker threads evaluating query flushes.
+    executor_workers: int = 1
+    #: Latency reservoir size for percentile estimates.
+    latency_reservoir: int = 65536
+    #: Keyword arguments for services built by ``reload``.
+    service_options: dict = field(default_factory=dict)
+
+
+class _ServerStats:
+    """Server-level counters (event-loop-confined)."""
+
+    def __init__(self, reservoir: int) -> None:
+        self.started_at = time.monotonic()
+        self.connections_total = 0
+        self.connections_open = 0
+        self.requests_total = 0
+        self.errors_total = 0
+        self.swaps = 0
+        self.verb_counts: dict[str, int] = {}
+        self.error_counts: dict[str, int] = {}
+        self.latencies: deque[float] = deque(maxlen=reservoir)
+
+    def observe(self, verb: str, seconds: float,
+                code: str | None) -> None:
+        self.requests_total += 1
+        self.verb_counts[verb] = self.verb_counts.get(verb, 0) + 1
+        if code is not None:
+            self.errors_total += 1
+            self.error_counts[code] = self.error_counts.get(code, 0) + 1
+        self.latencies.append(seconds)
+
+    def percentiles(self) -> dict[str, float]:
+        if not self.latencies:
+            return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+                    "max_ms": 0.0}
+        ordered = sorted(self.latencies)
+        last = len(ordered) - 1
+
+        def at(q: float) -> float:
+            return ordered[min(last, int(q * len(ordered)))] * 1000.0
+
+        return {"p50_ms": at(0.50), "p95_ms": at(0.95),
+                "p99_ms": at(0.99), "max_ms": ordered[-1] * 1000.0}
+
+    def as_dict(self) -> dict[str, Any]:
+        row: dict[str, Any] = {
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "connections_total": self.connections_total,
+            "connections_open": self.connections_open,
+            "requests_total": self.requests_total,
+            "errors_total": self.errors_total,
+            "index_swaps": self.swaps,
+            "verb_counts": dict(self.verb_counts),
+            "error_counts": dict(self.error_counts),
+        }
+        row.update(self.percentiles())
+        return row
+
+
+class _Connection:
+    """Per-connection serving state (event-loop-confined)."""
+
+    __slots__ = ("id", "writer", "inflight", "resume", "out",
+                 "flush_scheduled", "closed")
+
+    def __init__(self, conn_id: int,
+                 writer: asyncio.StreamWriter) -> None:
+        self.id = conn_id
+        self.writer = writer
+        #: Unanswered requests (fast-path and task-path combined).
+        self.inflight = 0
+        #: Set on any completion; the read loop waits on it at the cap.
+        self.resume = asyncio.Event()
+        #: Reply bytes queued for the next coalesced write.
+        self.out = bytearray()
+        self.flush_scheduled = False
+        self.closed = False
+
+
+class ReachServer:
+    """Asyncio TCP gateway over a :class:`QueryService`.
+
+    Parameters
+    ----------
+    service:
+        The initial serving backend.  The server takes ownership: it
+        closes this service (and every service created by ``reload``)
+        at :meth:`stop`.
+    scheme:
+        Scheme name used when ``reload`` rebuilds from a graph file
+        without an explicit ``scheme`` field.
+    config:
+        See :class:`ServerConfig`.
+    """
+
+    def __init__(self, service: QueryService, *, scheme: str = "dual-i",
+                 config: ServerConfig | None = None) -> None:
+        self._service = service
+        self._scheme = scheme
+        self._config = config or ServerConfig()
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._batcher: MicroBatcher | None = None
+        self._query_executor: ThreadPoolExecutor | None = None
+        self._reload_executor: ThreadPoolExecutor | None = None
+        self._retired: list[QueryService] = []
+        self._conn_counter = 0
+        self._log_file = None
+        self._owns_log_file = False
+        self.stats = _ServerStats(self._config.latency_reservoir)
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``config.port == 0``)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def service(self) -> QueryService:
+        """The current serving backend (atomically swapped by reload)."""
+        return self._service
+
+    async def start(self) -> None:
+        """Bind the listening socket and start accepting connections."""
+        config = self._config
+        self._loop = asyncio.get_running_loop()
+        self._query_executor = ThreadPoolExecutor(
+            max_workers=config.executor_workers,
+            thread_name_prefix="repro-serve")
+        self._reload_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-reload")
+        self._batcher = MicroBatcher(
+            self._run_batch, max_batch=config.max_batch,
+            max_delay=config.max_delay, max_pending=config.max_pending,
+            policy=config.policy)
+        self._open_access_log()
+        self._server = await asyncio.start_server(
+            self._handle_connection, config.host, config.port,
+            limit=config.max_line_bytes)
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI foreground mode)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the batcher, release every resource."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._batcher is not None:
+            await self._batcher.close()
+        for executor in (self._query_executor, self._reload_executor):
+            if executor is not None:
+                executor.shutdown(wait=True)
+        for service in [*self._retired, self._service]:
+            service.close()
+        self._retired.clear()
+        if self._log_file is not None and self._owns_log_file:
+            self._log_file.close()
+        self._log_file = None
+
+    # -- the shared kernel hook ----------------------------------------
+    async def _run_batch(self, pairs: list) -> list:
+        # One snapshot per flush: a hot swap mid-flush never mixes two
+        # index generations inside one answer vector.
+        service = self._service
+        assert self._loop is not None and self._query_executor is not None
+        return await self._loop.run_in_executor(
+            self._query_executor, service.query_batch, pairs)
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._conn_counter += 1
+        self.stats.connections_total += 1
+        self.stats.connections_open += 1
+        conn = _Connection(self._conn_counter, writer)
+        tasks: set[asyncio.Task] = set()
+
+        def request_done(task: asyncio.Task) -> None:
+            tasks.discard(task)
+            conn.inflight -= 1
+            conn.resume.set()
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self._send(conn, protocol.encode_message(
+                        protocol.error_reply(
+                            None, protocol.ERR_TOO_LARGE,
+                            f"line exceeds "
+                            f"{self._config.max_line_bytes} bytes")))
+                    break
+                if not line:
+                    break
+                if line.isspace():
+                    continue
+                # Per-connection cap: stop reading (TCP backpressure)
+                # until at least one outstanding request finishes.
+                while conn.inflight >= self._config.max_conn_inflight:
+                    conn.resume.clear()
+                    await conn.resume.wait()
+                if self._fast_serve(line, conn):
+                    continue
+                conn.inflight += 1
+                task = asyncio.ensure_future(self._serve_line(line, conn))
+                tasks.add(task)
+                task.add_done_callback(request_done)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*list(tasks),
+                                     return_exceptions=True)
+            self._flush_writes(conn)
+            conn.closed = True  # outstanding fast callbacks stop writing
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+            self.stats.connections_open -= 1
+
+    def _fast_serve(self, line: bytes, conn: _Connection) -> bool:
+        """Hot path for ``query``/``batch``: parse, enqueue, and attach
+        a completion callback — all synchronously, with no per-request
+        task.  Returns False to defer to the :meth:`_serve_line` task
+        path, which re-parses and produces the proper error replies
+        (errors are not worth optimising)."""
+        started = time.perf_counter()
+        try:
+            doc = json.loads(line)
+            verb = doc.get("verb")
+            if verb == "query":
+                pairs = protocol.parse_pairs(doc)
+            elif verb == "batch":
+                pairs = protocol.parse_pairs(
+                    doc, max_pairs=self._config.max_request_pairs)
+            else:
+                return False
+            request_id = doc.get("id")
+            if request_id is not None and not isinstance(
+                    request_id, (str, int, float)):
+                return False
+        except Exception:
+            return False
+        assert self._batcher is not None and self._loop is not None
+        try:
+            future = self._batcher.try_submit(pairs)
+        except OverloadedError as exc:
+            self._finish(conn, request_id, verb, len(pairs), started,
+                         None, protocol.ERR_OVERLOADED, str(exc))
+            return True
+        if future is None:  # block policy, queue full: await in a task
+            return False
+        conn.inflight += 1
+        timer = self._loop.call_later(self._config.request_timeout,
+                                      self._expire, future)
+        scalar = verb == "query"
+        future.add_done_callback(
+            lambda fut: self._fast_done(fut, conn, request_id, scalar,
+                                        len(pairs), started, timer))
+        return True
+
+    @staticmethod
+    def _expire(future: asyncio.Future) -> None:
+        if not future.done():
+            future.set_exception(asyncio.TimeoutError())
+
+    def _fast_done(self, future: asyncio.Future, conn: _Connection,
+                   request_id: Any, scalar: bool, num_pairs: int,
+                   started: float, timer: asyncio.TimerHandle) -> None:
+        timer.cancel()
+        verb = "query" if scalar else "batch"
+        exc = future.exception()
+        if exc is None:
+            answers = future.result()
+            self._finish(conn, request_id, verb, num_pairs, started,
+                         answers[0] if scalar else answers)
+        else:
+            code, message = self._map_error(exc)
+            self._finish(conn, request_id, verb, num_pairs, started,
+                         None, code, message)
+        conn.inflight -= 1
+        conn.resume.set()
+
+    def _map_error(self, exc: BaseException) -> tuple[str, str]:
+        if isinstance(exc, ProtocolError):
+            return exc.code, exc.message
+        if isinstance(exc, OverloadedError):
+            return protocol.ERR_OVERLOADED, str(exc)
+        if isinstance(exc, QueryError):
+            return protocol.ERR_UNKNOWN_NODE, str(exc)
+        if isinstance(exc, asyncio.TimeoutError):
+            return (protocol.ERR_TIMEOUT,
+                    f"request exceeded the "
+                    f"{self._config.request_timeout:.3f}s timeout")
+        return protocol.ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+
+    def _finish(self, conn: _Connection, request_id: Any, verb: str,
+                num_pairs: int, started: float, result: Any,
+                code: str | None = None, message: str = "") -> None:
+        """Account one answered request and queue its reply bytes."""
+        elapsed = time.perf_counter() - started
+        self.stats.observe(verb, elapsed, code)
+        self._log_access(conn.id, verb, num_pairs, elapsed, code)
+        if code is not None:
+            payload = protocol.encode_message(
+                protocol.error_reply(request_id, code, message))
+        elif (result is True or result is False) \
+                and type(request_id) is int:
+            # The single-query hot case, formatted without json.dumps.
+            payload = b'{"id":%d,"ok":true,"result":%s}\n' % (
+                request_id, b"true" if result else b"false")
+        else:
+            payload = protocol.encode_message(
+                protocol.ok_reply(request_id, result))
+        self._send(conn, payload)
+
+    def _send(self, conn: _Connection, payload: bytes) -> None:
+        """Queue reply bytes; one write per loop iteration coalesces
+        every reply a flush completion produced for this connection."""
+        if conn.closed:
+            return
+        conn.out += payload
+        if not conn.flush_scheduled:
+            conn.flush_scheduled = True
+            assert self._loop is not None
+            self._loop.call_soon(self._flush_writes, conn)
+
+    def _flush_writes(self, conn: _Connection) -> None:
+        conn.flush_scheduled = False
+        if conn.closed or not conn.out:
+            return
+        data = bytes(conn.out)
+        del conn.out[:]
+        try:
+            conn.writer.write(data)
+        except (ConnectionError, OSError):
+            pass  # client went away; the read loop will notice
+
+    async def _serve_line(self, line: bytes,
+                          conn: _Connection) -> None:
+        started = time.perf_counter()
+        request_id: Any = None
+        verb = "?"
+        num_pairs = 0
+        code: str | None = None
+        message = ""
+        result: Any = None
+        try:
+            doc = protocol.decode_message(line)
+            request_id = doc.get("id") if isinstance(doc.get("id"),
+                                                     (str, int, float)) \
+                else None
+            request = protocol.parse_request(doc)
+            verb = request.verb
+            result, num_pairs = await self._dispatch(request)
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception as exc:  # defensive: never kill the connection
+            code, message = self._map_error(exc)
+        self._finish(conn, request_id, verb, num_pairs, started,
+                     result, code, message)
+
+    # -- verb dispatch --------------------------------------------------
+    async def _dispatch(self, request: Request) -> tuple[Any, int]:
+        assert self._batcher is not None
+        verb = request.verb
+        if verb == "ping":
+            return "pong", 0
+        if verb == "query":
+            pairs = protocol.parse_pairs(request.payload)
+            answers = await self._submit(pairs)
+            return answers[0], 1
+        if verb == "batch":
+            pairs = protocol.parse_pairs(
+                request.payload,
+                max_pairs=self._config.max_request_pairs)
+            answers = await self._submit(pairs)
+            return answers, len(pairs)
+        if verb == "stats":
+            snapshot = self.stats_snapshot()
+            if request.payload.get("reset"):
+                self._service.metrics.reset()
+            return snapshot, 0
+        if verb == "reload":
+            return await self._reload(request.payload), 0
+        raise ProtocolError(protocol.ERR_UNKNOWN_VERB,
+                            f"unknown verb {verb!r}")
+
+    async def _submit(self, pairs: list) -> list:
+        assert self._batcher is not None
+        # asyncio.timeout (3.11+) is much cheaper than wait_for, which
+        # wraps the coroutine in an extra Task — this sits on the
+        # per-request hot path.
+        if _asyncio_timeout is None:  # pragma: no cover - py3.10
+            return await asyncio.wait_for(self._batcher.submit(pairs),
+                                          self._config.request_timeout)
+        async with _asyncio_timeout(self._config.request_timeout):
+            return await self._batcher.submit(pairs)
+
+    def stats_snapshot(self) -> dict:
+        """The ``stats`` verb's nested counter document."""
+        assert self._batcher is not None
+        service = self._service
+        return {
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "scheme": self._scheme,
+            "server": self.stats.as_dict(),
+            "batcher": self._batcher.stats(),
+            "service": {
+                "vectorised": service.vectorised,
+                **service.metrics.as_dict(),
+            },
+        }
+
+    # -- hot index swap -------------------------------------------------
+    async def _reload(self, payload: dict) -> dict:
+        graph_path = payload.get("graph")
+        index_path = payload.get("index")
+        if bool(graph_path) == bool(index_path):
+            raise ProtocolError(
+                protocol.ERR_BAD_REQUEST,
+                "reload requires exactly one of 'graph' or 'index'")
+        scheme = payload.get("scheme", self._scheme)
+        if not isinstance(scheme, str):
+            raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                "scheme must be a string")
+
+        def rebuild():
+            from repro.core.base import build_index
+            from repro.core.serialize import load_dual_index
+            from repro.graph.io import read_edge_list
+
+            started = time.perf_counter()
+            if index_path:
+                index = load_dual_index(index_path)
+            else:
+                index = build_index(read_edge_list(graph_path),
+                                    scheme=scheme)
+            return index, time.perf_counter() - started
+
+        assert self._loop is not None and self._reload_executor is not None
+        try:
+            index, seconds = await self._loop.run_in_executor(
+                self._reload_executor, rebuild)
+        except (ReproError, OSError) as exc:
+            raise ProtocolError(protocol.ERR_RELOAD_FAILED,
+                                str(exc)) from None
+        new_service = QueryService(index,
+                                   **self._config.service_options)
+        old = self._service
+        self._service = new_service  # the atomic swap
+        self._scheme = type(index).scheme_name or scheme
+        self.stats.swaps += 1
+        # The old service may still be answering an in-progress flush
+        # on the worker thread (each flush snapshots the service), so
+        # closing it here would block; it is parked and closed at stop.
+        self._retired.append(old)
+        stats = index.stats()
+        return {
+            "swapped": True,
+            "scheme": self._scheme,
+            "source": "index" if index_path else "graph",
+            "nodes": stats.num_nodes,
+            "edges": stats.num_edges,
+            "build_seconds": seconds,
+            "index_swaps": self.stats.swaps,
+        }
+
+    # -- access log -----------------------------------------------------
+    def _open_access_log(self) -> None:
+        target = self._config.access_log
+        if target is None:
+            self._log_file = None
+        elif target == "-":
+            self._log_file = sys.stderr
+            self._owns_log_file = False
+        else:
+            self._log_file = Path(target).open("a", encoding="utf-8")
+            self._owns_log_file = True
+
+    def _log_access(self, conn_id: int, verb: str, num_pairs: int,
+                    seconds: float, code: str | None) -> None:
+        if self._log_file is None:
+            return
+        record = {
+            "ts": round(time.time(), 6),
+            "conn": conn_id,
+            "verb": verb,
+            "pairs": num_pairs,
+            "ms": round(seconds * 1000.0, 3),
+            "status": code or "ok",
+        }
+        try:
+            self._log_file.write(
+                json.dumps(record, separators=(",", ":")) + "\n")
+            self._log_file.flush()
+        except (OSError, ValueError):
+            self._log_file = None  # log target died; keep serving
+
+
+class ServerThread:
+    """Run a :class:`ReachServer` on a dedicated background thread.
+
+    The thread owns its own event loop; :meth:`start` blocks until the
+    listening socket is bound (so ``.port`` is valid) and re-raises any
+    startup failure.  Used by the tests, the ``serve-load`` benchmark,
+    and the load generator's self-serve mode.
+    """
+
+    def __init__(self, server: ReachServer) -> None:
+        self.server = server
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-server")
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("server thread failed to start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as exc:  # surface bind errors to start()
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.server.stop()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout)
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -80,6 +80,87 @@ class TestCLIGenerateStatsBuildQuery:
                       "--out", str(tmp_path / "d.txt")])
 
 
+class TestQueryPairsFile:
+    def test_pairs_file_batch_path(self, tmp_path, capsys):
+        graph_file = tmp_path / "g.txt"
+        pairs_file = tmp_path / "pairs.txt"
+        cli_main(["generate", "dag", "--nodes", "50", "--edges", "70",
+                  "--seed", "1", "--out", str(graph_file)])
+        pairs_file.write_text(
+            "# workload comment\n"
+            "0,10\n"
+            "\n"
+            "10 , 0  # trailing comment\n"
+            "3,3\n")
+        capsys.readouterr()
+        assert cli_main(["query", str(graph_file), "--pairs-file",
+                         str(pairs_file)]) == 0
+        out = capsys.readouterr().out
+        assert "0 -> 10: reachable" in out
+        assert "10 -> 0: unreachable" in out
+        assert "3 -> 3: reachable" in out  # reflexive
+        assert "# 3 queries," in out
+
+    def test_pairs_file_against_saved_index(self, tmp_path, capsys):
+        graph_file = tmp_path / "g.txt"
+        index_file = tmp_path / "index.json"
+        pairs_file = tmp_path / "pairs.txt"
+        cli_main(["generate", "dag", "--nodes", "40", "--edges", "60",
+                  "--seed", "4", "--out", str(graph_file)])
+        cli_main(["build", str(graph_file), "--scheme", "dual-ii",
+                  "--save", str(index_file)])
+        pairs_file.write_text("0,20\n20,0\n")
+        capsys.readouterr()
+        assert cli_main(["query", "--index", str(index_file),
+                         "--pairs-file", str(pairs_file)]) == 0
+        assert "# 2 queries," in capsys.readouterr().out
+
+    def test_malformed_pairs_file(self, tmp_path, capsys):
+        graph_file = tmp_path / "g.txt"
+        pairs_file = tmp_path / "pairs.txt"
+        cli_main(["generate", "tree", "--nodes", "10",
+                  "--out", str(graph_file)])
+        pairs_file.write_text("0,1\nbanana\n")
+        capsys.readouterr()
+        assert cli_main(["query", str(graph_file), "--pairs-file",
+                         str(pairs_file)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "pairs.txt:2" in err
+
+
+class TestServeLoadgenCLI:
+    def test_loadgen_against_gateway(self, tmp_path, capsys):
+        """The loadgen command end-to-end against a live gateway."""
+        from repro.core.base import build_index
+        from repro.core.service import QueryService
+        from repro.graph.io import read_edge_list
+        from repro.server.server import (
+            ReachServer,
+            ServerConfig,
+            ServerThread,
+        )
+
+        graph_file = tmp_path / "g.txt"
+        cli_main(["generate", "dag", "--nodes", "60", "--edges", "90",
+                  "--seed", "2", "--out", str(graph_file)])
+        capsys.readouterr()
+        index = build_index(read_edge_list(graph_file), scheme="dual-i")
+        server = ReachServer(QueryService(index), config=ServerConfig())
+        with ServerThread(server) as handle:
+            assert cli_main(["loadgen", "--port", str(handle.port),
+                             "--graph", str(graph_file),
+                             "--random", "500", "--connections", "2",
+                             "--duration", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "loadgen —" in out
+        assert "queries/second" in out
+
+    def test_loadgen_requires_a_pair_source(self, capsys):
+        assert cli_main(["loadgen", "--port", "1"]) == 2
+        assert "loadgen needs" in capsys.readouterr().err
+
+
 class TestBenchRunner:
     def test_list_command(self, capsys):
         assert bench_main(["list"]) == 0

@@ -99,6 +99,34 @@ class TestIncrementalPath:
         with pytest.raises(EdgeNotFoundError):
             DynamicDualIndex(diamond).remove_edge("d", "a")
 
+    def test_failed_remove_leaves_state_clean(self, diamond):
+        """A rejected removal must not dirty the index: no rebuild is
+        scheduled and every answer is unchanged."""
+        index = DynamicDualIndex(diamond)
+        assert index.reachable("a", "d")  # force the initial build
+        counters = (index.full_rebuilds, index.incremental_updates)
+        for u, v in (("a", "d"), ("d", "a"), ("a", "ghost")):
+            with pytest.raises(EdgeNotFoundError):
+                index.remove_edge(u, v)
+        assert index.graph.num_edges == diamond.num_edges
+        assert index.reachable("a", "d")
+        assert not index.reachable("d", "a")
+        # No rebuild or incremental update was burned on the failures.
+        assert (index.full_rebuilds,
+                index.incremental_updates) == counters
+
+    def test_add_edge_with_both_endpoints_new(self, diamond):
+        index = DynamicDualIndex(diamond)
+        assert index.reachable("a", "d")
+        index.add_edge("x", "y")  # neither endpoint exists yet
+        assert index.reachable("x", "y")
+        assert not index.reachable("y", "x")
+        # The new component is disconnected from the old one...
+        assert not index.reachable("a", "x")
+        assert not index.reachable("x", "d")
+        # ... and the old answers survive the rebuild.
+        assert index.reachable("a", "d")
+
     def test_stats_reflect_incremental_t(self):
         g = single_rooted_dag(60, 59 + 5, max_fanout=4, seed=3)
         index = DynamicDualIndex(g, use_meg=False)
@@ -146,6 +174,45 @@ class TestEquivalenceWithSearch:
                     assert index.reachable(u, v) == \
                         is_reachable_search(shadow, u, v), (seed, step)
         # Final full sweep.
+        for u in shadow.nodes():
+            for v in shadow.nodes():
+                assert index.reachable(u, v) == \
+                    is_reachable_search(shadow, u, v)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fuzz_with_failed_removals_interleaved(self, seed):
+        """Like the mutation fuzz, but deliberately attempting removals
+        of missing edges throughout: each failure must raise and leave
+        the index agreeing with BFS on the untouched shadow graph."""
+        rng = random.Random(1000 + seed)
+        base = random_dag(20, 28, seed=seed)
+        index = DynamicDualIndex(base)
+        shadow = base.copy()
+        nodes = list(range(24))
+        failed_removes = 0
+        for step in range(50):
+            action = rng.random()
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            if action < 0.35 and u != v:
+                index.add_node(u)
+                index.add_node(v)
+                shadow.add_node(u)
+                shadow.add_node(v)
+                index.add_edge(u, v)
+                shadow.add_edge(u, v)
+            elif action < 0.6:
+                if shadow.has_edge(u, v):
+                    index.remove_edge(u, v)
+                    shadow.remove_edge(u, v)
+                else:
+                    with pytest.raises(EdgeNotFoundError):
+                        index.remove_edge(u, v)
+                    failed_removes += 1
+            else:
+                if u in shadow and v in shadow:
+                    assert index.reachable(u, v) == \
+                        is_reachable_search(shadow, u, v), (seed, step)
+        assert failed_removes > 0  # the adversarial path was exercised
         for u in shadow.nodes():
             for v in shadow.nodes():
                 assert index.reachable(u, v) == \

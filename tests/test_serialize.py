@@ -1,4 +1,4 @@
-"""Unit tests for Dual-I index serialisation."""
+"""Unit tests for Dual-I / Dual-II index serialisation."""
 
 from __future__ import annotations
 
@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro.core.base import build_index
 from repro.core.dual_i import DualIIndex
 from repro.core.dual_ii import DualIIIndex
 from repro.core.serialize import load_dual_index, save_dual_index
@@ -74,8 +75,8 @@ class TestValidation:
         with pytest.raises(IndexBuildError):
             save_dual_index(index, tmp_path / "index.json")
 
-    def test_only_dual_i_supported(self, tmp_path, diamond):
-        index = DualIIIndex.build(diamond)
+    def test_unsupported_scheme_rejected(self, tmp_path, diamond):
+        index = build_index(diamond, scheme="2hop")
         with pytest.raises(IndexBuildError):
             save_dual_index(index, tmp_path / "index.json")
 
@@ -115,6 +116,66 @@ class TestValidation:
         loaded = load_dual_index(path)
         with pytest.raises(IndexBuildError):
             loaded.pipeline
+
+
+class TestDualII:
+    def test_paper_graph_round_trip(self, tmp_path):
+        graph = make_paper_graph()
+        index = DualIIIndex.build(graph, use_meg=False)
+        path = tmp_path / "index.json"
+        save_dual_index(index, path)
+        loaded = load_dual_index(path)
+        for u in graph.nodes():
+            for v in graph.nodes():
+                assert loaded.reachable(u, v) == index.reachable(u, v)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, tmp_path, seed):
+        graph = gnm_random_digraph(50, 130, seed=seed)
+        index = DualIIIndex.build(graph)
+        path = tmp_path / "index.json"
+        save_dual_index(index, path)
+        loaded = load_dual_index(path)
+        pairs = sample_pairs(graph, 400, seed)
+        assert loaded.reachable_many(pairs) == \
+            index.reachable_many(pairs)
+
+    def test_scheme_tag_dispatches(self, tmp_path, diamond):
+        """The scheme tag in the header picks the loader, and the two
+        schemes loaded from disk agree on every answer."""
+        paths = {}
+        for scheme, cls in (("dual-i", DualIIndex),
+                            ("dual-ii", DualIIIndex)):
+            path = tmp_path / f"{scheme}.json"
+            save_dual_index(cls.build(diamond), path)
+            document = json.loads(path.read_text())
+            assert document["scheme"] == scheme
+            assert document["format"] == f"repro-{scheme}"
+            paths[scheme] = path
+        dual_i = load_dual_index(paths["dual-i"])
+        dual_ii = load_dual_index(paths["dual-ii"])
+        assert dual_i.stats().scheme == "dual-i"
+        assert dual_ii.stats().scheme == "dual-ii"
+        pairs = [(u, v) for u in diamond.nodes() for v in diamond.nodes()]
+        assert dual_i.reachable_many(pairs) == \
+            dual_ii.reachable_many(pairs)
+
+    def test_stats_survive(self, tmp_path):
+        graph = gnm_random_digraph(40, 100, seed=1)
+        index = DualIIIndex.build(graph)
+        path = tmp_path / "index.json"
+        save_dual_index(index, path)
+        restored = load_dual_index(path).stats()
+        original = index.stats()
+        assert restored.num_nodes == original.num_nodes
+        assert restored.t == original.t
+        assert restored.space_bytes == original.space_bytes
+
+    def test_pipeline_unavailable_after_load(self, tmp_path, diamond):
+        path = tmp_path / "index.json"
+        save_dual_index(DualIIIndex.build(diamond), path)
+        with pytest.raises(IndexBuildError):
+            load_dual_index(path).pipeline
 
 
 class TestBackendSerialization:

@@ -211,6 +211,38 @@ class TestMetrics:
         assert metrics.cache_hit_rate == 0.0
         assert metrics.queries_per_second == 0.0
 
+    def test_uptime_advances(self):
+        metrics = ServiceMetrics()
+        time.sleep(0.01)
+        first = metrics.uptime_seconds
+        assert first >= 0.01
+        time.sleep(0.005)
+        assert metrics.uptime_seconds > first
+        assert metrics.as_dict()["uptime_seconds"] > first
+
+    def test_reset_zeroes_counters_and_restarts_uptime(self,
+                                                       vector_index,
+                                                       workload):
+        with QueryService(vector_index, cache_size=256) as service:
+            service.query_batch(workload)
+            metrics = service.metrics
+            assert metrics.queries > 0
+            time.sleep(0.01)
+            uptime_before = metrics.uptime_seconds
+            metrics.reset()
+            assert metrics.queries == 0
+            assert metrics.batches == 0
+            assert metrics.positives == 0
+            assert metrics.cache_hits == 0
+            assert metrics.cache_misses == 0
+            assert metrics.kernel_queries == 0
+            assert metrics.scalar_queries == 0
+            assert metrics.stage_seconds == {}
+            assert metrics.uptime_seconds < uptime_before
+            # The service keeps counting from zero after a reset.
+            service.query_batch(workload[:10])
+            assert metrics.queries == 10
+
     def test_repr_and_close_idempotent(self, vector_index):
         service = QueryService(vector_index, max_workers=2)
         assert "vectorised" in repr(service)
