@@ -56,6 +56,7 @@ from repro.baselines.interval_index import IntervalSetIndex
 from repro.baselines.online import OnlineSearchIndex
 from repro.baselines.two_hop import TwoHopIndex
 from repro.exceptions import (
+    CorruptIndexError,
     DatasetError,
     GraphError,
     IndexBuildError,
@@ -91,6 +92,7 @@ __all__ = [
     "GraphError",
     "NotADAGError",
     "IndexBuildError",
+    "CorruptIndexError",
     "QueryError",
     "DatasetError",
 ]

@@ -11,7 +11,14 @@ Subcommands
   foreground (newline-delimited JSON protocol, cross-connection
   micro-batching, hot index swap via the ``reload`` verb);
 * ``loadgen``  — drive a running gateway with open-loop
-  multi-connection load and print client-side latency percentiles;
+  multi-connection load and print client-side latency percentiles and
+  an error breakdown (``--verify`` differentially checks every reply
+  against a locally built index and exits 3 on any wrong answer);
+* ``chaos``    — run the fault-injection soak
+  (:func:`repro.testing.chaos.run_chaos_soak`): a live server plus
+  verified load under a seeded schedule of network/kernel/persistence
+  faults, exiting nonzero unless every fault recovered and zero wrong
+  answers were observed;
 * ``bench``    — forward to the experiment runner (``repro.bench``),
   including ``bench serve`` (the
   :class:`repro.core.service.QueryService` throughput test),
@@ -32,6 +39,9 @@ Examples
     repro-reach query g.txt --random 1000 --scheme dual-ii
     repro-reach serve g.txt --port 7421 --max-batch 512
     repro-reach loadgen --port 7421 --graph g.txt --connections 32
+    repro-reach loadgen --port 7421 --graph g.txt --verify
+    repro-reach chaos --smoke
+    repro-reach chaos --seed 7 --duration 10 --nodes 200
     repro-reach bench run table2 --scale quick
     repro-reach bench serve --scheme dual-ii --queries 100000 --baseline
     repro-reach bench build --quick --assert-speedup 1.0
@@ -219,24 +229,67 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         from repro.bench.workloads import read_pairs_file
 
         pairs = read_pairs_file(args.pairs_file)
+        graph = None
     elif args.graph is not None:
         graph = read_edge_list(args.graph)
         pairs = random_query_pairs(graph, args.random, seed=args.seed)
     else:
         print("loadgen needs --pairs-file or --graph", file=sys.stderr)
         return 2
+    expected = None
+    if args.verify:
+        # Differential mode: build the same index locally and check
+        # every gateway reply against the direct answers.
+        if graph is None:
+            print("--verify requires --graph (it rebuilds the index "
+                  "locally for ground truth)", file=sys.stderr)
+            return 2
+        from repro.core.service import QueryService
+
+        with QueryService(build_index(graph,
+                                      scheme=args.scheme)) as service:
+            expected = [bool(a) for a in service.query_batch(pairs)]
     result = run_loadgen(args.host, args.port, pairs,
                          connections=args.connections,
                          duration=args.duration,
                          pipeline=args.pipeline,
-                         batch_size=args.batch_size, rate=args.rate)
+                         batch_size=args.batch_size, rate=args.rate,
+                         expected=expected)
     print(format_kv_table(
         result.as_dict(),
         title=f"loadgen — {args.host}:{args.port}, "
               f"{args.connections} connections"))
+    print(format_kv_table(result.error_breakdown(),
+                          title="error breakdown"))
+    if result.mismatch_samples:
+        print("\nwrong-answer samples (u, v, got, want):")
+        for sample in result.mismatch_samples:
+            print(f"  {sample}")
     print(f"\n[{result.queries_per_second:,.0f} queries/second "
           f"end-to-end through the gateway]")
+    if result.wrong_answers:
+        # Wrong answers are a correctness failure, ranked above (and
+        # distinguished from) transport/overload errors.
+        return 3
     return 1 if result.error_total else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.testing.chaos import run_chaos_soak
+
+    if args.smoke:
+        # CI-sized soak: short, small graph, but still every fault kind.
+        args.duration = min(args.duration, 6.0)
+        args.nodes = min(args.nodes, 100)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+        report = run_chaos_soak(
+            seed=args.seed, duration=args.duration, nodes=args.nodes,
+            scheme=args.scheme, recovery_timeout=args.recovery_timeout,
+            connections=args.connections, workdir=workdir)
+    print("\n".join(report.summary_lines()))
+    return 0 if report.ok() else 1
 
 
 def _cmd_golden(args: argparse.Namespace) -> int:
@@ -423,6 +476,34 @@ def main(argv: Sequence[str] | None = None) -> int:
                          help="pairs per request (1 = 'query' verb)")
     loadgen.add_argument("--rate", type=float, default=None,
                          help="aggregate requests/second pacing target")
+    loadgen.add_argument("--verify", action="store_true",
+                         help="differentially check every reply against "
+                              "a locally built index (needs --graph); "
+                              "exit 3 on any wrong answer")
+    loadgen.add_argument("--scheme", choices=available_schemes(),
+                         default="dual-i",
+                         help="scheme for the --verify ground-truth "
+                              "index")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection soak: server + verified load under a "
+             "seeded fault schedule")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="replays the whole run: graph, pool, and "
+                            "fault schedule")
+    chaos.add_argument("--duration", type=float, default=8.0,
+                       help="seconds of sustained load")
+    chaos.add_argument("--nodes", type=int, default=150,
+                       help="graph size (edges = 2x)")
+    chaos.add_argument("--scheme", choices=("dual-i", "dual-ii"),
+                       default="dual-ii")
+    chaos.add_argument("--recovery-timeout", type=float, default=5.0,
+                       help="per-fault bound on seeing correct answers "
+                            "again")
+    chaos.add_argument("--connections", type=int, default=4)
+    chaos.add_argument("--smoke", action="store_true",
+                       help="CI-sized run (caps duration and nodes)")
 
     golden = sub.add_parser(
         "golden",
@@ -483,6 +564,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "query": _cmd_query,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "chaos": _cmd_chaos,
         "validate": _cmd_validate,
         "selftest": _cmd_selftest,
         "golden": _cmd_golden,

@@ -19,11 +19,23 @@ loading unchanged.
 Node names must be JSON-representable scalars (str/int/float/bool);
 other hashables would not survive the round trip and are rejected at
 save time.
+
+Persistence is crash-safe: :func:`save_dual_index` writes to a sibling
+temporary file, fsyncs, and atomically renames, so a process killed
+mid-save can never clobber the previous good index with a partial one.
+Every document carries a sha256 ``checksum`` that
+:func:`load_dual_index` verifies, raising the typed
+:class:`~repro.exceptions.CorruptIndexError` on damaged files — the
+server's reload path catches it and degrades onto the last good index
+instead of dying.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Union
 
@@ -32,7 +44,7 @@ import numpy as np
 from repro.core.base import IndexStats
 from repro.core.dual_i import DualIIndex
 from repro.core.dual_ii import DualIIIndex
-from repro.exceptions import IndexBuildError
+from repro.exceptions import CorruptIndexError, IndexBuildError
 
 __all__ = ["save_dual_index", "load_dual_index", "FORMAT_VERSION"]
 
@@ -70,8 +82,25 @@ def _stats_doc(stats: IndexStats) -> dict:
     }
 
 
+def _content_checksum(document: dict) -> str:
+    """Order-independent sha256 over every field except ``checksum``."""
+    body = {key: value for key, value in document.items()
+            if key != "checksum"}
+    digest = hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode("utf-8")).hexdigest()
+    return f"sha256:{digest}"
+
+
 def save_dual_index(index, path: PathLike) -> None:
     """Write a Dual-I or Dual-II ``index`` to ``path`` as JSON.
+
+    The write is crash-safe: the document goes to a sibling temporary
+    file which is fsynced and then atomically renamed over ``path``
+    (``os.replace``), so a crash — including ``SIGKILL`` mid-write —
+    leaves either the complete new file or the untouched previous one,
+    never a truncated hybrid.  A ``checksum`` field (sha256 over the
+    rest of the document) lets :func:`load_dual_index` detect any
+    bit-level corruption that happens after the rename.
 
     Raises
     ------
@@ -87,7 +116,36 @@ def save_dual_index(index, path: PathLike) -> None:
         raise IndexBuildError(
             f"only Dual-I and Dual-II indexes are serialisable, got "
             f"{type(index).__name__}")
-    Path(path).write_text(json.dumps(document), encoding="utf-8")
+    document["checksum"] = _content_checksum(document)
+    target = Path(path)
+    directory = target.parent if str(target.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(dir=directory,
+                                    prefix=target.name + ".",
+                                    suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(document))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        # Never leave a partial sibling behind on exception.
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    # Persist the rename itself (directory entry) where supported.
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def _dual_i_document(index: DualIIndex) -> dict:
@@ -247,13 +305,21 @@ def load_dual_index(path: PathLike):
 
     Raises
     ------
+    CorruptIndexError
+        When the file is not valid JSON, fails its content checksum,
+        or is structurally broken — i.e. the bytes on disk are damaged.
     IndexBuildError
-        On wrong format markers or structurally invalid documents.
+        On wrong format markers or unsupported versions (a well-formed
+        file this code simply does not speak).
     """
     try:
         document = json.loads(Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
-        raise IndexBuildError(f"{path}: not valid JSON ({exc})") from exc
+        raise CorruptIndexError(
+            f"{path}: not valid JSON ({exc})") from exc
+    except UnicodeDecodeError as exc:
+        raise CorruptIndexError(
+            f"{path}: not UTF-8 text ({exc})") from exc
     loader = None
     if isinstance(document, dict):
         loader = _LOADERS.get(document.get("format"))
@@ -265,8 +331,15 @@ def load_dual_index(path: PathLike):
         raise IndexBuildError(
             f"{path}: unsupported format version "
             f"{document.get('version')!r} (expected {FORMAT_VERSION})")
+    # Documents written before the checksum field existed stay loadable;
+    # once one is present it must verify.
+    recorded = document.get("checksum")
+    if recorded is not None and recorded != _content_checksum(document):
+        raise CorruptIndexError(
+            f"{path}: content checksum mismatch — the file is "
+            f"corrupt (recorded {recorded!r})")
     try:
         return loader(document)
     except (KeyError, TypeError, ValueError) as exc:
-        raise IndexBuildError(
+        raise CorruptIndexError(
             f"{path}: malformed index document ({exc})") from exc

@@ -55,6 +55,18 @@ class IndexBuildError(ReproError):
     """An internal invariant was violated while building an index."""
 
 
+class CorruptIndexError(IndexBuildError):
+    """A saved index file failed integrity verification on load.
+
+    Raised by :func:`repro.core.serialize.load_dual_index` when a file
+    is truncated, not JSON, fails its content checksum, or is
+    structurally broken.  A subclass of :class:`IndexBuildError` so
+    pre-existing ``except IndexBuildError`` handlers (the server's
+    reload path among them) keep working; the distinct type lets
+    callers tell *corruption* (degrade, keep the last good index) from
+    *incompatibility* (wrong format/version)."""
+
+
 class QueryError(ReproError, KeyError):
     """A reachability query referenced a vertex unknown to the index."""
 

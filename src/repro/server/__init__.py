@@ -20,7 +20,16 @@ the library into a long-running network service:
   updates never block readers;
 * **observability** — a structured JSON access log plus a ``stats``
   verb returning server counters, batcher occupancy histograms,
-  latency percentiles, and ``ServiceMetrics.as_dict()``.
+  latency percentiles, and ``ServiceMetrics.as_dict()``;
+* **resilience** — ``health``/``ready`` probe verbs, graceful shutdown
+  with a connection-drain deadline, degraded mode (a failed ``reload``
+  keeps the last good index and reports ``status: degraded``), a
+  :class:`~repro.server.server.Supervisor` restart loop with capped
+  exponential backoff, and client-side
+  :class:`~repro.server.client.RetryPolicy` (reconnect, idempotent
+  retries, per-attempt timeouts, circuit breaker, error taxonomy).
+  The fault injectors these are tested against live in
+  :mod:`repro.testing`.
 
 :class:`~repro.server.client.ReachClient` is the synchronous client
 used by the CLI and the tests, and :mod:`repro.server.loadgen` is the
@@ -29,20 +38,33 @@ open-loop multi-connection load generator behind
 """
 
 from repro.server.batcher import MicroBatcher, OverloadedError
-from repro.server.client import ReachClient, ServerReplyError
+from repro.server.client import (
+    CircuitOpenError,
+    ReachClient,
+    RetryPolicy,
+    ServerReplyError,
+)
 from repro.server.loadgen import LoadgenResult, run_loadgen
 from repro.server.protocol import ProtocolError
-from repro.server.server import ReachServer, ServerConfig, ServerThread
+from repro.server.server import (
+    ReachServer,
+    ServerConfig,
+    ServerThread,
+    Supervisor,
+)
 
 __all__ = [
+    "CircuitOpenError",
     "MicroBatcher",
     "OverloadedError",
     "ProtocolError",
     "ReachClient",
     "ReachServer",
+    "RetryPolicy",
     "ServerConfig",
     "ServerReplyError",
     "ServerThread",
+    "Supervisor",
     "LoadgenResult",
     "run_loadgen",
 ]

@@ -106,6 +106,9 @@ class MicroBatcher:
         self.max_flush_pairs = 0
         self.shed_requests = 0
         self.isolation_reruns = 0
+        #: individual requests that ultimately failed (their future got
+        #: the kernel exception after the isolation rerun also raised).
+        self.flush_failures = 0
         #: requests-per-flush histogram, power-of-two buckets.
         self.occupancy: dict[int, int] = {}
         #: pairs-per-flush histogram, power-of-two buckets.
@@ -223,6 +226,7 @@ class MicroBatcher:
             "max_flush_pairs": self.max_flush_pairs,
             "shed_requests": self.shed_requests,
             "isolation_reruns": self.isolation_reruns,
+            "flush_failures": self.flush_failures,
             "occupancy_histogram": {
                 str(k): v for k, v in sorted(self.occupancy.items())},
             "flush_pairs_histogram": {
@@ -291,6 +295,7 @@ class MicroBatcher:
             try:
                 answers = await self._run_batch(list(entry_pairs))
             except Exception as exc:
+                self.flush_failures += 1
                 if not future.done():
                     future.set_exception(exc)
             else:

@@ -6,6 +6,16 @@ applications use.  One request is outstanding at a time per client;
 replies are nevertheless matched by ``id`` (stray replies are stashed),
 so the client also works on connections shared with pipelined senders.
 
+Resilience is opt-in via :class:`RetryPolicy`: with a policy attached,
+the client reconnects after drops, retries *idempotent* verbs with
+jittered exponential backoff (``reload`` is never replayed), honours a
+per-attempt timeout, and trips a simple circuit breaker after a run of
+consecutive transport failures so a dead server fails fast instead of
+hanging every caller.  Every failure is tallied into an error taxonomy
+(:meth:`ReachClient.error_report`) that distinguishes timeouts from
+connection resets from explicit ``overloaded`` sheds from degraded
+replies.
+
 >>> with ReachClient(port=port) as client:          # doctest: +SKIP
 ...     client.query(0, 7)
 ...     client.query_batch([(0, 7), (7, 0)])
@@ -14,14 +24,18 @@ so the client also works on connections shared with pipelined senders.
 
 from __future__ import annotations
 
-import json
+import random
 import socket
+import time
+import json
+from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.exceptions import ReproError
 from repro.server.protocol import encode_message
 
-__all__ = ["ReachClient", "ServerReplyError"]
+__all__ = ["CircuitOpenError", "ReachClient", "RetryPolicy",
+           "ServerReplyError"]
 
 
 class ServerReplyError(ReproError):
@@ -39,6 +53,56 @@ class ServerReplyError(ReproError):
         self.message = message
 
 
+class CircuitOpenError(ReproError):
+    """The client's circuit breaker is open: recent calls failed in a
+    row, so this call failed fast without touching the network."""
+
+
+#: Verbs safe to replay after a transport failure: answering them twice
+#: is indistinguishable from answering them once.  ``reload`` swaps
+#: server state and is deliberately absent.
+IDEMPOTENT_VERBS = frozenset(
+    {"ping", "query", "batch", "stats", "health", "ready"})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Reconnect/retry/circuit-breaker tunables for :class:`ReachClient`.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries per idempotent call (1 = no retry).
+    base_delay / max_delay / jitter:
+        Backoff between attempts: ``base_delay`` doubling up to
+        ``max_delay``, scaled by a uniform ±``jitter`` fraction.
+    attempt_timeout:
+        Socket timeout per attempt in seconds (``None``: the client's
+        constructor ``timeout`` applies).
+    retry_overloaded:
+        Also back off and retry explicit ``overloaded`` error replies
+        (they are the server *asking* for backoff).
+    breaker_threshold:
+        Consecutive transport failures that open the circuit;
+        ``0`` disables the breaker.
+    breaker_cooldown:
+        Seconds the circuit stays open before one probe attempt is let
+        through (half-open).
+    seed:
+        Seed for the jitter RNG — deterministic backoff in tests.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    attempt_timeout: float | None = None
+    retry_overloaded: bool = True
+    breaker_threshold: int = 8
+    breaker_cooldown: float = 1.0
+    seed: int | None = None
+
+
 class ReachClient:
     """Blocking gateway client (context manager).
 
@@ -48,15 +112,100 @@ class ReachClient:
         The gateway's listening address.
     timeout:
         Socket timeout in seconds for connect and each reply.
+    retry:
+        Optional :class:`RetryPolicy`.  Without one (the default) the
+        client behaves as before: one eager connection, failures
+        propagate immediately.  With one, the initial connect may be
+        deferred, idempotent calls retry with backoff, and the circuit
+        breaker arms.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
-                 timeout: float = 30.0) -> None:
-        self._sock = socket.create_connection((host, port),
-                                              timeout=timeout)
-        self._reader = self._sock.makefile("rb")
+                 timeout: float = 30.0,
+                 retry: RetryPolicy | None = None) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retry = retry
+        self._rng = random.Random(retry.seed if retry else None)
+        self._sock: socket.socket | None = None
+        self._reader = None
         self._next_id = 0
         self._stash: dict[Any, dict] = {}
+        # Circuit breaker state.
+        self._consecutive_failures = 0
+        self._open_until = 0.0
+        # Error taxonomy (see :meth:`error_report`).
+        self._counts = {"timeouts": 0, "resets": 0,
+                        "connect_failures": 0, "shed": 0, "degraded": 0,
+                        "retries": 0, "reconnects": 0,
+                        "circuit_open": 0}
+        self._reply_errors: dict[str, int] = {}
+        try:
+            self._connect()
+        except OSError:
+            # With a retry policy the first call reconnects; without
+            # one, surface the failure eagerly as before.
+            if retry is None:
+                raise
+            self._counts["connect_failures"] += 1
+
+    # -- connection management ------------------------------------------
+    def _connect(self) -> None:
+        sock = socket.create_connection((self._host, self._port),
+                                        timeout=self._attempt_timeout())
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+        self._stash.clear()
+
+    def _attempt_timeout(self) -> float:
+        if self._retry is not None \
+                and self._retry.attempt_timeout is not None:
+            return self._retry.attempt_timeout
+        return self._timeout
+
+    def _disconnect(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _ensure_connected(self) -> None:
+        if self._sock is None:
+            self._connect()
+            self._counts["reconnects"] += 1
+
+    # -- circuit breaker ------------------------------------------------
+    def _breaker_check(self) -> None:
+        policy = self._retry
+        if policy is None or policy.breaker_threshold <= 0:
+            return
+        if self._open_until and time.monotonic() < self._open_until:
+            self._counts["circuit_open"] += 1
+            remaining = self._open_until - time.monotonic()
+            raise CircuitOpenError(
+                f"circuit open after {self._consecutive_failures} "
+                f"consecutive failures; retry in {remaining:.2f}s")
+        # Past the cooldown: half-open, let this attempt probe.
+
+    def _note_transport_failure(self) -> None:
+        self._consecutive_failures += 1
+        policy = self._retry
+        if policy is not None and policy.breaker_threshold > 0 \
+                and self._consecutive_failures >= policy.breaker_threshold:
+            self._open_until = time.monotonic() + policy.breaker_cooldown
+
+    def _note_success(self) -> None:
+        self._consecutive_failures = 0
+        self._open_until = 0.0
 
     # -- core -----------------------------------------------------------
     def call(self, verb: str, **fields: Any) -> Any:
@@ -67,11 +216,78 @@ class ReachClient:
         ServerReplyError
             When the server answers with an error reply.
         ConnectionError
-            When the connection drops before the reply arrives.
+            When the connection drops before the reply arrives (after
+            exhausting any retry budget).
+        CircuitOpenError
+            When the circuit breaker is open (retry policy only).
         """
+        policy = self._retry
+        attempts = (policy.max_attempts
+                    if policy is not None and verb in IDEMPOTENT_VERBS
+                    else 1)
+        delay = policy.base_delay if policy is not None else 0.0
+        last_exc: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                self._counts["retries"] += 1
+                self._sleep_backoff(delay)
+                delay = min(delay * 2.0,
+                            policy.max_delay if policy else delay)
+            self._breaker_check()
+            try:
+                self._ensure_connected()
+                result = self._call_once(verb, fields)
+            except (TimeoutError, socket.timeout) as exc:
+                self._counts["timeouts"] += 1
+                self._note_transport_failure()
+                self._disconnect()
+                last_exc = ConnectionError(
+                    f"timed out waiting for the {verb} reply: {exc}")
+            except ConnectionError as exc:
+                self._counts["resets"] += 1
+                self._note_transport_failure()
+                self._disconnect()
+                last_exc = exc
+            except OSError as exc:
+                self._counts["connect_failures"] += 1
+                self._note_transport_failure()
+                self._disconnect()
+                last_exc = ConnectionError(
+                    f"connection to {self._host}:{self._port} failed: "
+                    f"{exc}")
+            except ServerReplyError as exc:
+                # The server is alive and talking: not a breaker event.
+                self._note_success()
+                self._reply_errors[exc.code] = \
+                    self._reply_errors.get(exc.code, 0) + 1
+                if exc.code == "overloaded":
+                    self._counts["shed"] += 1
+                    if policy is not None and policy.retry_overloaded \
+                            and attempt + 1 < attempts:
+                        last_exc = exc
+                        continue
+                raise
+            else:
+                self._note_success()
+                return result
+        assert last_exc is not None
+        raise last_exc
+
+    def _sleep_backoff(self, delay: float) -> None:
+        policy = self._retry
+        if policy is None or delay <= 0:
+            return
+        if policy.jitter:
+            delay *= 1.0 + policy.jitter * (2.0 * self._rng.random()
+                                            - 1.0)
+        time.sleep(max(0.0, delay))
+
+    def _call_once(self, verb: str, fields: dict) -> Any:
         self._next_id += 1
         request_id = self._next_id
         request = {"id": request_id, "verb": verb, **fields}
+        assert self._sock is not None
+        self._sock.settimeout(self._attempt_timeout())
         self._sock.sendall(encode_message(request))
         return self._read_reply(request_id)
 
@@ -80,11 +296,18 @@ class ReachClient:
             if request_id in self._stash:
                 reply = self._stash.pop(request_id)
             else:
+                assert self._reader is not None
                 line = self._reader.readline()
                 if not line:
                     raise ConnectionError(
                         "server closed the connection")
-                reply = json.loads(line)
+                try:
+                    reply = json.loads(line)
+                except ValueError as exc:
+                    # Garbled bytes on the wire: treat like a broken
+                    # connection so the retry path reconnects.
+                    raise ConnectionError(
+                        f"undecodable reply line: {exc}") from None
                 if reply.get("id") != request_id:
                     self._stash[reply.get("id")] = reply
                     continue
@@ -114,9 +337,24 @@ class ReachClient:
             return self.call("stats", reset=True)
         return self.call("stats")
 
+    def health(self) -> dict:
+        """The server's liveness document; counts ``degraded`` answers
+        into the error taxonomy."""
+        result = self.call("health")
+        if isinstance(result, dict) and result.get("status") == "degraded":
+            self._counts["degraded"] += 1
+        return result
+
+    def ready(self) -> dict:
+        """The server's readiness document."""
+        return self.call("ready")
+
     def reload(self, *, graph: Any = None, index: Any = None,
                scheme: str | None = None) -> dict:
-        """Trigger a hot index swap from a graph or saved-index file."""
+        """Trigger a hot index swap from a graph or saved-index file.
+
+        Never retried: a replayed swap is not idempotent.
+        """
         fields: dict[str, Any] = {}
         if graph is not None:
             fields["graph"] = str(graph)
@@ -126,12 +364,22 @@ class ReachClient:
             fields["scheme"] = scheme
         return self.call("reload", **fields)
 
+    # -- observability --------------------------------------------------
+    def error_report(self) -> dict:
+        """The client-side error taxonomy accumulated so far.
+
+        ``timeouts`` / ``resets`` / ``connect_failures`` are transport
+        faults, ``shed`` counts explicit ``overloaded`` replies,
+        ``degraded`` counts degraded health answers, and
+        ``reply_errors`` breaks every error reply down by protocol
+        code.
+        """
+        return {**self._counts,
+                "reply_errors": dict(sorted(self._reply_errors.items()))}
+
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
-        try:
-            self._reader.close()
-        finally:
-            self._sock.close()
+        self._disconnect()
 
     def __enter__(self) -> "ReachClient":
         return self

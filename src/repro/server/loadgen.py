@@ -9,6 +9,18 @@ the next request (up to the window), queries from many connections land
 inside the server's micro-batch window — exactly the traffic shape the
 cross-connection batcher exists for.
 
+The generator is also the measurement half of the chaos harness
+(:mod:`repro.testing.chaos`): a dropped connection is tallied as
+``reset`` (plus one per request that was in flight), a failed connect
+as ``connect_failed``, an undecodable reply as ``garbled`` — and the
+sender *reconnects* and keeps driving until the deadline, so a fault
+mid-run measures recovery instead of aborting the experiment.  Passing
+``expected`` (the direct :class:`~repro.core.service.QueryService`
+answers for the pair pool) makes every reply differentially checked:
+``wrong_answers`` must stay zero under any fault schedule, because the
+resilience layer is allowed to *fail* requests, never to answer them
+incorrectly.
+
 The generator is pure asyncio and runs in one thread;
 :func:`run_loadgen` is the synchronous entry point used by
 ``repro-reach loadgen`` and ``python -m repro.bench serve-load``.
@@ -40,8 +52,16 @@ class LoadgenResult:
     ok: int = 0
     #: queries answered (requests × pairs per request)
     queries: int = 0
-    #: error-code -> count over all connections
+    #: error-code -> count over all connections; transport-level codes
+    #: (``reset``, ``connect_failed``, ``garbled``) share the table
+    #: with server reply codes (``overloaded``, ``timeout``, ...).
     errors: dict[str, int] = field(default_factory=dict)
+    #: times a connection was re-established after a drop
+    reconnects: int = 0
+    #: replies that contradicted the ``expected`` answers
+    wrong_answers: int = 0
+    #: up to 10 ``(u, v, got, want)`` samples of wrong answers
+    mismatch_samples: list = field(default_factory=list)
     latencies_ms: list[float] = field(default_factory=list)
 
     @property
@@ -54,12 +74,24 @@ class LoadgenResult:
             return 0.0
         return self.queries / self.duration_seconds
 
+    def count_error(self, code: str, n: int = 1) -> None:
+        self.errors[code] = self.errors.get(code, 0) + n
+
     def percentile(self, q: float) -> float:
         """Client-observed latency percentile in milliseconds."""
         if not self.latencies_ms:
             return 0.0
         ordered = sorted(self.latencies_ms)
         return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    def error_breakdown(self) -> dict[str, int]:
+        """Sorted error-code table plus the verification counters —
+        the block the CLI prints and the chaos smoke gates on."""
+        table = dict(sorted(self.errors.items()))
+        table["total_errors"] = self.error_total
+        table["reconnects"] = self.reconnects
+        table["wrong_answers"] = self.wrong_answers
+        return table
 
     def as_dict(self) -> dict[str, Any]:
         """Flat report row (for ``format_kv_table`` / JSON)."""
@@ -73,6 +105,8 @@ class LoadgenResult:
             "ok": self.ok,
             "errors": self.error_total,
             "error_codes": dict(sorted(self.errors.items())),
+            "reconnects": self.reconnects,
+            "wrong_answers": self.wrong_answers,
             "queries": self.queries,
             "queries_per_second": self.queries_per_second,
             "latency_p50_ms": self.percentile(0.50),
@@ -86,31 +120,48 @@ class LoadgenResult:
 _LATENCY_SAMPLE = 4
 
 
-async def _drive_connection(host: str, port: int,
-                            pairs: Sequence[tuple],
-                            frames: "list[bytes] | None", offset: int,
-                            deadline: float, pipeline: int,
-                            batch_size: int, send_interval: float,
-                            result: LoadgenResult) -> None:
-    """One connection: burst sender + bulk reply reader.
+async def _drive_session(reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter,
+                         pairs: Sequence[tuple],
+                         expected: "Sequence[bool] | None",
+                         frames: "list[bytes] | None",
+                         position: int, next_id: int, deadline: float,
+                         pipeline: int, batch_size: int,
+                         send_interval: float,
+                         result: LoadgenResult) -> tuple[int, int, int]:
+    """Drive one connection until it drops or the deadline passes.
 
-    The sender fills the whole free window in one coalesced write (one
-    syscall per burst instead of one per request) and the reader
-    consumes replies in 64 KiB chunks; both matter because the
-    generator must outrun the server it measures from a single thread.
+    Returns ``(position, next_id, lost)`` so a reconnecting caller can
+    resume the pair cursor and id sequence; ``lost`` is the number of
+    requests that were in flight when the connection died.
     """
-    reader, writer = await asyncio.open_connection(host, port)
     n = len(pairs)
     inflight = 0
     closed = False
     wake = asyncio.Event()
     sampled: dict[int, float] = {}  # sampled id -> sent_at
+    pending: dict[int, int] = {}    # id -> pool position (verify mode)
+
+    def check_answers(start: int, answers: Any) -> None:
+        if not isinstance(answers, list):
+            answers = [answers]
+        for i, got in enumerate(answers):
+            want = expected[(start + i) % n]
+            if bool(got) != bool(want):
+                result.wrong_answers += 1
+                if len(result.mismatch_samples) < 10:
+                    u, v = pairs[(start + i) % n]
+                    result.mismatch_samples.append(
+                        (u, v, bool(got), bool(want)))
 
     async def read_replies() -> None:
         nonlocal closed, inflight
         buffer = b""
         while True:
-            chunk = await reader.read(1 << 16)
+            try:
+                chunk = await reader.read(1 << 16)
+            except (ConnectionError, OSError):
+                chunk = b""
             if not chunk:
                 closed = True
                 wake.set()
@@ -122,7 +173,9 @@ async def _drive_connection(host: str, port: int,
                 if not line:
                     continue
                 rid: Any = None
-                if line.startswith(b'{"id":') and b'"ok":true' in line:
+                if expected is None and line.startswith(b'{"id":') \
+                        and b'"ok":true' in line:
+                    # Fast path: counting only, no verification.
                     result.ok += 1
                     result.queries += batch_size
                     if sampled:
@@ -131,15 +184,25 @@ async def _drive_connection(host: str, port: int,
                         except ValueError:
                             rid = None
                 else:
-                    reply = json.loads(line)
+                    try:
+                        reply = json.loads(line)
+                    except ValueError:
+                        result.count_error("garbled")
+                        result.completed += 1
+                        inflight -= 1
+                        wake.set()
+                        continue
                     rid = reply.get("id")
                     if reply.get("ok"):
                         result.ok += 1
                         result.queries += batch_size
+                        if expected is not None and rid in pending:
+                            check_answers(pending[rid],
+                                          reply.get("result"))
                     else:
                         code = reply.get("error", "unknown")
-                        result.errors[code] = \
-                            result.errors.get(code, 0) + 1
+                        result.count_error(code)
+                pending.pop(rid, None)
                 result.completed += 1
                 inflight -= 1
                 sent_at = sampled.pop(rid, None)
@@ -148,19 +211,18 @@ async def _drive_connection(host: str, port: int,
             wake.set()
 
     reader_task = asyncio.ensure_future(read_replies())
-    # One watchdog for the whole run (not a timeout per send): at the
-    # deadline it wakes a sender blocked on a stalled/dead server.
+    # One watchdog for the whole session (not a timeout per send): at
+    # the deadline it wakes a sender blocked on a stalled/dead server.
     loop = asyncio.get_running_loop()
     watchdog = loop.call_at(
         loop.time() + max(0.0, deadline - time.perf_counter()),
         wake.set)
     try:
-        position = offset
-        next_id = 0
         while not closed and time.perf_counter() < deadline:
             if inflight >= pipeline:
                 wake.clear()
-                await wake.wait()
+                if not closed and time.perf_counter() < deadline:
+                    await wake.wait()
                 continue
             burst = bytearray()
             # Pacing caps a burst at one request; open loop fills the
@@ -170,6 +232,8 @@ async def _drive_connection(host: str, port: int,
                 next_id += 1
                 if next_id % _LATENCY_SAMPLE == 0:
                     sampled[next_id] = time.perf_counter()
+                if expected is not None:
+                    pending[next_id] = position
                 if frames is not None:
                     burst += b'{"id":%d,' % next_id
                     burst += frames[position % n]
@@ -183,8 +247,12 @@ async def _drive_connection(host: str, port: int,
                     position += batch_size
             inflight += limit
             result.sent += limit
-            writer.write(bytes(burst))
-            await writer.drain()
+            try:
+                writer.write(bytes(burst))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                closed = True
+                break
             if send_interval > 0:
                 await asyncio.sleep(send_interval)
         # Drain: wait (bounded) for the outstanding window.
@@ -197,18 +265,60 @@ async def _drive_connection(host: str, port: int,
         reader_task.cancel()
         try:
             await reader_task
-        except (asyncio.CancelledError, ConnectionError):
+        except (asyncio.CancelledError, ConnectionError, OSError):
             pass
         writer.close()
         try:
             await writer.wait_closed()
         except (ConnectionError, OSError):
             pass
+    return position, next_id, max(0, inflight)
+
+
+async def _drive_connection(host: str, port: int,
+                            pairs: Sequence[tuple],
+                            expected: "Sequence[bool] | None",
+                            frames: "list[bytes] | None", offset: int,
+                            deadline: float, pipeline: int,
+                            batch_size: int, send_interval: float,
+                            result: LoadgenResult) -> None:
+    """One logical connection: reconnects after drops until the
+    deadline, so the generator keeps measuring through faults."""
+    position = offset
+    next_id = offset * 1_000_000  # distinct id spaces per connection
+    reconnect_delay = 0.02
+    first = True
+    while time.perf_counter() < deadline:
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except (ConnectionError, OSError):
+            result.count_error("connect_failed")
+            await asyncio.sleep(min(
+                reconnect_delay, max(0.0,
+                                     deadline - time.perf_counter())))
+            reconnect_delay = min(reconnect_delay * 2, 0.5)
+            continue
+        if not first:
+            result.reconnects += 1
+        first = False
+        reconnect_delay = 0.02
+        position, next_id, lost = await _drive_session(
+            reader, writer, pairs, expected, frames, position, next_id,
+            deadline, pipeline, batch_size, send_interval, result)
+        if time.perf_counter() >= deadline:
+            break
+        # The session ended early: the server dropped us.  Anything
+        # still in flight is lost — tally and reconnect.
+        if lost:
+            result.count_error("reset", lost)
+            result.completed += lost
+        await asyncio.sleep(0.01)
 
 
 async def _run(host: str, port: int, pairs: Sequence[tuple],
                connections: int, duration: float, pipeline: int,
-               batch_size: int, rate: float | None) -> LoadgenResult:
+               batch_size: int, rate: float | None,
+               expected: "Sequence[bool] | None") -> LoadgenResult:
     result = LoadgenResult(connections=connections, pipeline=pipeline,
                            batch_size=batch_size,
                            duration_seconds=duration)
@@ -229,8 +339,8 @@ async def _run(host: str, port: int, pairs: Sequence[tuple],
     deadline = started + duration
     stride = max(1, len(pairs) // max(1, connections))
     await asyncio.gather(*[
-        _drive_connection(host, port, pairs, frames, i * stride,
-                          deadline, pipeline, batch_size,
+        _drive_connection(host, port, pairs, expected, frames,
+                          i * stride, deadline, pipeline, batch_size,
                           send_interval, result)
         for i in range(connections)])
     result.duration_seconds = time.perf_counter() - started
@@ -240,7 +350,9 @@ async def _run(host: str, port: int, pairs: Sequence[tuple],
 def run_loadgen(host: str, port: int, pairs: Sequence[tuple], *,
                 connections: int = 8, duration: float = 2.0,
                 pipeline: int = 4, batch_size: int = 1,
-                rate: float | None = None) -> LoadgenResult:
+                rate: float | None = None,
+                expected: "Sequence[bool] | None" = None
+                ) -> LoadgenResult:
     """Drive the gateway at ``host:port`` and return the aggregate.
 
     Parameters
@@ -259,11 +371,20 @@ def run_loadgen(host: str, port: int, pairs: Sequence[tuple], *,
         send ``batch`` verbs of that many pairs.
     rate:
         Optional aggregate requests/second pacing target.
+    expected:
+        Optional ground-truth answers aligned with ``pairs``; when
+        given, every reply is differentially verified and mismatches
+        are counted in ``LoadgenResult.wrong_answers``.
     """
     if not pairs:
         raise ValueError("loadgen needs a non-empty pair pool")
     if connections < 1 or pipeline < 1 or batch_size < 1:
         raise ValueError(
             "connections, pipeline, and batch_size must be >= 1")
+    if expected is not None and len(expected) != len(pairs):
+        raise ValueError(
+            f"expected answers ({len(expected)}) must align with the "
+            f"pair pool ({len(pairs)})")
     return asyncio.run(_run(host, port, list(pairs), connections,
-                            duration, pipeline, batch_size, rate))
+                            duration, pipeline, batch_size, rate,
+                            expected))

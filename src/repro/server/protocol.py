@@ -14,7 +14,17 @@ verb       request fields                              result
 ``stats``  optional ``reset``: ``true``                nested stats dict
 ``reload`` ``graph`` *or* ``index`` path, optional     swap summary dict
            ``scheme``
+``health`` —                                           liveness dict with
+                                                       ``status`` ``"ok"``
+                                                       or ``"degraded"``
+``ready``  —                                           readiness dict
 =========  ==========================================  =================
+
+``health`` and ``ready`` are the orchestration probes: ``health``
+answers as long as the event loop is alive and reports ``degraded``
+(plus a ``reason``) after a failed ``reload`` left the server on its
+last good index; ``ready`` says whether the server is accepting and
+answering queries.
 
 Replies are ``{"id": ..., "ok": true, "result": ...}`` on success and
 ``{"id": ..., "ok": false, "error": <code>, "message": ...}`` on
@@ -50,7 +60,8 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 #: Verbs the gateway understands.
-VERBS = ("ping", "query", "batch", "stats", "reload")
+VERBS = ("ping", "query", "batch", "stats", "reload", "health",
+         "ready")
 
 # Error codes carried in the ``error`` field of failure replies.
 ERR_BAD_REQUEST = "bad_request"

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import sys
 import threading
 import time
@@ -51,7 +52,7 @@ from repro.server import protocol
 from repro.server.batcher import MicroBatcher, OverloadedError
 from repro.server.protocol import ProtocolError, Request
 
-__all__ = ["ReachServer", "ServerConfig", "ServerThread"]
+__all__ = ["ReachServer", "ServerConfig", "ServerThread", "Supervisor"]
 
 # asyncio.timeout exists from 3.11; wait_for is the 3.10 fallback.
 _asyncio_timeout = getattr(asyncio, "timeout", None)
@@ -87,6 +88,10 @@ class ServerConfig:
     request_timeout: float = 30.0
     #: Stream reader line limit in bytes.
     max_line_bytes: int = 1 << 20
+    #: Graceful-shutdown deadline: seconds :meth:`ReachServer.stop`
+    #: waits for in-flight requests to finish before force-closing
+    #: the remaining connections.
+    drain_timeout: float = 5.0
     #: Structured JSON access log: a path, ``"-"`` for stderr, or
     #: ``None`` to disable.
     access_log: str | Path | None = None
@@ -96,6 +101,10 @@ class ServerConfig:
     latency_reservoir: int = 65536
     #: Keyword arguments for services built by ``reload``.
     service_options: dict = field(default_factory=dict)
+    #: Optional hook applied to every service ``reload`` creates —
+    #: the fault-injection seam (:mod:`repro.testing.faults` wraps
+    #: services in a ``FlakyService`` here); ``None`` is a no-op.
+    service_wrapper: Any = None
 
 
 class _ServerStats:
@@ -197,8 +206,16 @@ class ReachServer:
         self._reload_executor: ThreadPoolExecutor | None = None
         self._retired: list[QueryService] = []
         self._conn_counter = 0
+        self._connections: set[_Connection] = set()
         self._log_file = None
         self._owns_log_file = False
+        #: Degradation reason, or ``None`` while healthy.  Set when a
+        #: ``reload`` fails (the server keeps answering from the last
+        #: good index); cleared by the next successful reload.
+        self._degraded: str | None = None
+        #: Set at the top of :meth:`stop`; late-accepted connections
+        #: (raced past the listener close) are turned away immediately.
+        self._stopping = False
         self.stats = _ServerStats(self._config.latency_reservoir)
 
     # -- lifecycle ------------------------------------------------------
@@ -240,11 +257,43 @@ class ReachServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self) -> None:
-        """Stop accepting, drain the batcher, release every resource."""
+    async def stop(self, *, drain_timeout: float | None = None) -> None:
+        """Graceful shutdown: stop accepting, drain, release resources.
+
+        The listener closes first (no new connections), then in-flight
+        requests get up to ``drain_timeout`` seconds (default
+        ``config.drain_timeout``) to finish and flush their replies;
+        whatever is still open afterwards is force-closed so shutdown
+        is bounded even with wedged clients.
+        """
+        if drain_timeout is None:
+            drain_timeout = self._config.drain_timeout
+        self._stopping = True
         if self._server is not None:
+            # close() only — waiting for wait_closed() here would
+            # deadlock on interpreters where it blocks until every
+            # connection handler exits (3.12.1+), which is exactly
+            # what the drain below arranges.
             self._server.close()
-            await self._server.wait_closed()
+        deadline = time.monotonic() + max(0.0, drain_timeout)
+        while any(conn.inflight > 0 for conn in self._connections) \
+                and time.monotonic() < deadline:
+            await asyncio.sleep(0.005)
+        for conn in list(self._connections):
+            # Deliver any queued reply bytes, then close the socket so
+            # the handler's read loop sees EOF and exits.
+            self._flush_writes(conn)
+            conn.closed = True
+            try:
+                conn.writer.close()
+            except (ConnectionError, OSError):
+                pass
+        if self._server is not None:
+            try:
+                await asyncio.wait_for(self._server.wait_closed(),
+                                       timeout=1.0)
+            except (asyncio.TimeoutError, TimeoutError):
+                pass
         if self._batcher is not None:
             await self._batcher.close()
         for executor in (self._query_executor, self._reload_executor):
@@ -269,10 +318,14 @@ class ReachServer:
     # -- connection handling -------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        if self._stopping:
+            writer.close()
+            return
         self._conn_counter += 1
         self.stats.connections_total += 1
         self.stats.connections_open += 1
         conn = _Connection(self._conn_counter, writer)
+        self._connections.add(conn)
         tasks: set[asyncio.Task] = set()
 
         def request_done(task: asyncio.Task) -> None:
@@ -282,15 +335,7 @@ class ReachServer:
 
         try:
             while True:
-                try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    self._send(conn, protocol.encode_message(
-                        protocol.error_reply(
-                            None, protocol.ERR_TOO_LARGE,
-                            f"line exceeds "
-                            f"{self._config.max_line_bytes} bytes")))
-                    break
+                line = await self._read_line(reader, conn)
                 if not line:
                     break
                 if line.isspace():
@@ -319,7 +364,47 @@ class ReachServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
+            self._connections.discard(conn)
             self.stats.connections_open -= 1
+
+    async def _read_line(self, reader: asyncio.StreamReader,
+                         conn: _Connection) -> bytes:
+        """One bounded request line; ``b""`` at EOF.
+
+        An oversized line gets a ``too_large`` error reply and is
+        *discarded up to its newline* — the connection keeps serving
+        subsequent requests instead of being dropped, so one malformed
+        giant cannot kill a pipelined client's whole stream.
+        """
+        discarding = False
+        while True:
+            try:
+                line = await reader.readuntil(b"\n")
+            except asyncio.IncompleteReadError as exc:
+                # EOF; a non-empty partial is a valid unterminated
+                # final request (unless it is giant debris).
+                return b"" if discarding else exc.partial
+            except ConnectionError:
+                return b""
+            except asyncio.LimitOverrunError as exc:
+                if not discarding:
+                    discarding = True
+                    self._send(conn, protocol.encode_message(
+                        protocol.error_reply(
+                            None, protocol.ERR_TOO_LARGE,
+                            f"line exceeds "
+                            f"{self._config.max_line_bytes} bytes")))
+                # readuntil consumed nothing; skim the oversized data
+                # in bounded chunks (constant memory) up to its newline.
+                if not await reader.read(exc.consumed or 1):
+                    return b""
+                continue
+            if discarding:
+                # This chunk is the tail of the giant line, ending at
+                # its newline — drop it and resume normal service.
+                discarding = False
+                continue
+            return line
 
     def _fast_serve(self, line: bytes, conn: _Connection) -> bool:
         """Hot path for ``query``/``batch``: parse, enqueue, and attach
@@ -469,6 +554,10 @@ class ReachServer:
         verb = request.verb
         if verb == "ping":
             return "pong", 0
+        if verb == "health":
+            return self.health_snapshot(), 0
+        if verb == "ready":
+            return self.ready_snapshot(), 0
         if verb == "query":
             pairs = protocol.parse_pairs(request.payload)
             answers = await self._submit(pairs)
@@ -500,6 +589,31 @@ class ReachServer:
         async with _asyncio_timeout(self._config.request_timeout):
             return await self._batcher.submit(pairs)
 
+    def health_snapshot(self) -> dict:
+        """The ``health`` verb's liveness document.
+
+        ``status`` is ``"degraded"`` after a failed reload (the server
+        keeps answering from the last good index) and flips back to
+        ``"ok"`` on the next successful swap.
+        """
+        return {
+            "status": "degraded" if self._degraded else "ok",
+            "reason": self._degraded,
+            "uptime_seconds": time.monotonic() - self.stats.started_at,
+            "index_swaps": self.stats.swaps,
+            "connections_open": self.stats.connections_open,
+        }
+
+    def ready_snapshot(self) -> dict:
+        """The ``ready`` verb's readiness document."""
+        ready = (self._server is not None and self._batcher is not None
+                 and self._service is not None)
+        return {
+            "ready": ready,
+            "degraded": self._degraded is not None,
+            "scheme": self._scheme,
+        }
+
     def stats_snapshot(self) -> dict:
         """The ``stats`` verb's nested counter document."""
         assert self._batcher is not None
@@ -507,6 +621,7 @@ class ReachServer:
         return {
             "protocol_version": protocol.PROTOCOL_VERSION,
             "scheme": self._scheme,
+            "degraded": self._degraded,
             "server": self.stats.as_dict(),
             "batcher": self._batcher.stats(),
             "service": {
@@ -546,13 +661,19 @@ class ReachServer:
             index, seconds = await self._loop.run_in_executor(
                 self._reload_executor, rebuild)
         except (ReproError, OSError) as exc:
+            # Degraded mode: keep serving the last good index and say
+            # so — a failed swap must never take the service down.
+            self._degraded = f"{type(exc).__name__}: {exc}"
             raise ProtocolError(protocol.ERR_RELOAD_FAILED,
                                 str(exc)) from None
         new_service = QueryService(index,
                                    **self._config.service_options)
+        if self._config.service_wrapper is not None:
+            new_service = self._config.service_wrapper(new_service)
         old = self._service
         self._service = new_service  # the atomic swap
         self._scheme = type(index).scheme_name or scheme
+        self._degraded = None
         self.stats.swaps += 1
         # The old service may still be answering an in-progress flush
         # on the worker thread (each flush snapshots the service), so
@@ -599,6 +720,77 @@ class ReachServer:
             self._log_file.flush()
         except (OSError, ValueError):
             self._log_file = None  # log target died; keep serving
+
+
+class Supervisor:
+    """Restart a crashed serving task with capped exponential backoff.
+
+    ``factory`` builds and runs one *generation*: an async callable
+    that returns on clean shutdown and raises when the serving task
+    crashes.  Each crash is recorded and the factory is re-run after a
+    backoff delay that doubles from ``base_delay`` up to ``max_delay``
+    (with deterministic ±``jitter`` when a ``seed`` is given).  A
+    generation that stays up for ``healthy_after`` seconds resets the
+    backoff and the restart budget — so a long-lived server gets a
+    fresh allowance for the next incident, while a crash loop exhausts
+    ``max_restarts`` and re-raises the final exception.
+
+    ``CancelledError`` always propagates: supervision never swallows a
+    deliberate shutdown.
+    """
+
+    def __init__(self, factory, *, max_restarts: int | None = 8,
+                 base_delay: float = 0.1, max_delay: float = 5.0,
+                 jitter: float = 0.25, healthy_after: float = 30.0,
+                 seed: int | None = None, on_restart=None) -> None:
+        if base_delay <= 0 or max_delay < base_delay:
+            raise ValueError(
+                "need 0 < base_delay <= max_delay, got "
+                f"{base_delay}/{max_delay}")
+        self._factory = factory
+        self._max_restarts = max_restarts
+        self._base_delay = base_delay
+        self._max_delay = max_delay
+        self._jitter = jitter
+        self._healthy_after = healthy_after
+        self._on_restart = on_restart
+        self._rng = random.Random(seed)
+        #: Total restarts performed over the supervisor's lifetime.
+        self.restarts = 0
+        #: ``(exception repr, backoff seconds)`` per crash, in order.
+        self.crashes: list[tuple[str, float]] = []
+
+    def _backoff(self, consecutive: int) -> float:
+        delay = min(self._base_delay * (2 ** (consecutive - 1)),
+                    self._max_delay)
+        if self._jitter:
+            delay *= 1.0 + self._jitter * (2.0 * self._rng.random() - 1.0)
+        return delay
+
+    async def run(self) -> None:
+        """Run generations until one exits cleanly or the budget is
+        spent (the last crash's exception is re-raised)."""
+        consecutive = 0
+        while True:
+            started = time.monotonic()
+            try:
+                await self._factory()
+                return
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                if time.monotonic() - started >= self._healthy_after:
+                    consecutive = 0  # it ran healthily; fresh budget
+                consecutive += 1
+                if self._max_restarts is not None \
+                        and consecutive > self._max_restarts:
+                    raise
+                delay = self._backoff(consecutive)
+                self.restarts += 1
+                self.crashes.append((repr(exc), delay))
+                if self._on_restart is not None:
+                    self._on_restart(exc, delay, self.restarts)
+                await asyncio.sleep(delay)
 
 
 class ServerThread:

@@ -1,0 +1,386 @@
+"""The end-to-end chaos soak: serving stack vs. fault schedule.
+
+:func:`run_chaos_soak` stands up the whole serving pipeline for real —
+a built index behind a :class:`~repro.core.service.QueryService`
+(wrapped in a :class:`~repro.testing.faults.FlakyService`), a
+:class:`~repro.server.server.ReachServer` on its own thread, a
+:class:`~repro.testing.faults.ChaosProxy` in front of it, and the load
+generator driving differential-verified traffic *through* the proxy —
+then replays a seeded :class:`~repro.testing.faults.FaultPlan` against
+it: connection severs, latency spikes, garbled bytes, blackholes,
+injected kernel exceptions, reloads of missing and corrupted index
+files, and SIGKILLs of a saver subprocess mid-write.
+
+Two invariants gate the run (:meth:`ChaosReport.ok`):
+
+1. **Zero wrong answers.**  Every reply that arrives is checked
+   against the direct in-process answers; faults may fail requests,
+   never falsify them.
+2. **Bounded recovery.**  After each fault a probe client (with the
+   resilient retry policy) must observe a fully correct batch within
+   ``recovery_timeout`` seconds.
+
+The same seed replays the same fault schedule, so a soak failure in CI
+reproduces locally with one number.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.core.base import build_index
+from repro.core.serialize import load_dual_index, save_dual_index
+from repro.core.service import QueryService
+from repro.exceptions import ReproError
+from repro.graph.generators import gnm_random_digraph
+from repro.server.client import ReachClient, RetryPolicy, ServerReplyError
+from repro.server.loadgen import run_loadgen
+from repro.server.server import ReachServer, ServerConfig, ServerThread
+from repro.testing.faults import (
+    ChaosProxy,
+    FaultPlan,
+    FlakyService,
+    run_kill_during_save,
+)
+
+__all__ = ["ChaosReport", "DEFAULT_FAULT_KINDS", "run_chaos_soak"]
+
+#: The fault vocabulary the soak understands.  ``sever``/``delay``/
+#: ``garble``/``blackhole`` are network faults applied at the proxy;
+#: ``flush_error`` raises inside the MicroBatcher's kernel call;
+#: ``reload_missing``/``reload_corrupt`` drive the degraded-mode path;
+#: ``kill_save`` SIGKILLs a saver subprocess and hot-swaps onto the
+#: surviving file.
+DEFAULT_FAULT_KINDS = (
+    "sever",
+    "delay",
+    "garble",
+    "blackhole",
+    "flush_error",
+    "reload_missing",
+    "reload_corrupt",
+    "kill_save",
+)
+
+
+@dataclass
+class ChaosReport:
+    """Everything one soak observed, plus the pass/fail verdict."""
+
+    seed: int
+    scheme: str
+    duration_seconds: float
+    recovery_timeout: float
+    #: ``[{"kind", "at", "recovery_seconds"}, ...]`` in firing order;
+    #: ``recovery_seconds`` is ``None`` when recovery timed out.
+    faults: list[dict] = field(default_factory=list)
+    #: replies (loadgen or probe) contradicting the direct answers
+    wrong_answers: int = 0
+    mismatch_samples: list = field(default_factory=list)
+    #: ``LoadgenResult.as_dict()`` of the traffic that ran underneath
+    loadgen: dict = field(default_factory=dict)
+    #: proxy counters proving the network faults actually happened
+    proxy: dict = field(default_factory=dict)
+    #: kernel exceptions FlakyService actually raised
+    injected_kernel_faults: int = 0
+    #: the server reported ``status: degraded`` at least once
+    degraded_observed: bool = False
+    #: driver-level failures (fault could not even be applied)
+    driver_errors: list = field(default_factory=list)
+
+    @property
+    def unrecovered(self) -> list[str]:
+        """Kinds whose post-fault probe never saw a correct batch."""
+        return [f["kind"] for f in self.faults
+                if f["recovery_seconds"] is None]
+
+    def ok(self) -> bool:
+        """The soak verdict: correct answers, full recovery, and the
+        traffic actually flowed."""
+        return (self.wrong_answers == 0
+                and not self.unrecovered
+                and not self.driver_errors
+                and self.loadgen.get("ok", 0) > 0)
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok(),
+            "seed": self.seed,
+            "scheme": self.scheme,
+            "duration_seconds": self.duration_seconds,
+            "recovery_timeout": self.recovery_timeout,
+            "faults": list(self.faults),
+            "unrecovered": self.unrecovered,
+            "wrong_answers": self.wrong_answers,
+            "mismatch_samples": list(self.mismatch_samples),
+            "injected_kernel_faults": self.injected_kernel_faults,
+            "degraded_observed": self.degraded_observed,
+            "driver_errors": list(self.driver_errors),
+            "loadgen": dict(self.loadgen),
+            "proxy": dict(self.proxy),
+        }
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable digest for the CLI."""
+        lines = [
+            f"chaos soak seed={self.seed} scheme={self.scheme} "
+            f"duration={self.duration_seconds:.1f}s: "
+            f"{'PASS' if self.ok() else 'FAIL'}",
+            f"  faults injected: {len(self.faults)} "
+            f"({', '.join(f['kind'] for f in self.faults) or 'none'})",
+        ]
+        for fault in self.faults:
+            rec = fault["recovery_seconds"]
+            lines.append(
+                f"    {fault['kind']:<14} at t={fault['at']:.2f}s  "
+                + (f"recovered in {rec:.2f}s" if rec is not None
+                   else "NOT RECOVERED"))
+        lines.append(
+            f"  wrong answers: {self.wrong_answers}"
+            + (f"  samples: {self.mismatch_samples[:3]}"
+               if self.mismatch_samples else ""))
+        lines.append(
+            f"  kernel faults raised: {self.injected_kernel_faults}  "
+            f"degraded observed: {self.degraded_observed}")
+        if self.driver_errors:
+            lines.append(f"  driver errors: {self.driver_errors}")
+        lg = self.loadgen
+        lines.append(
+            f"  loadgen: {lg.get('ok', 0)} ok / "
+            f"{lg.get('errors', 0)} errors / "
+            f"{lg.get('reconnects', 0)} reconnects "
+            f"(codes: {lg.get('error_codes', {})})")
+        px = self.proxy
+        lines.append(
+            f"  proxy: {px.get('severed', 0)} severed, "
+            f"{px.get('garbled_chunks', 0)} garbled, "
+            f"{px.get('delayed_chunks', 0)} delayed chunks")
+        return lines
+
+
+def _corrupt_copy(good: Path, target: Path) -> None:
+    """Write a bit-flipped copy of ``good`` (fails the checksum)."""
+    blob = bytearray(good.read_bytes())
+    middle = len(blob) // 2
+    blob[middle] ^= 0x55
+    target.write_bytes(bytes(blob))
+
+
+class _Prober:
+    """Recovery measurement: a resilient client through the proxy that
+    reports when a fully correct probe batch comes back."""
+
+    def __init__(self, host: str, port: int, probe_pairs: list,
+                 expected: list, report: ChaosReport) -> None:
+        self._pairs = [list(pair) for pair in probe_pairs]
+        self._expected = [bool(x) for x in expected]
+        self._report = report
+        self._client = ReachClient(
+            host, port,
+            retry=RetryPolicy(max_attempts=2, attempt_timeout=1.0,
+                              base_delay=0.02, max_delay=0.2,
+                              breaker_threshold=0, seed=0))
+
+    def await_recovery(self, timeout: float) -> "float | None":
+        """Seconds until a correct probe batch, or ``None`` on
+        timeout.  A batch that *arrives* but is wrong is counted as a
+        wrong answer — faults must fail loudly, never falsify."""
+        started = time.monotonic()
+        while time.monotonic() - started < timeout:
+            try:
+                answers = self._client.query_batch(self._pairs)
+            except (ReproError, ConnectionError, OSError):
+                time.sleep(0.02)
+                continue
+            if answers == self._expected:
+                return time.monotonic() - started
+            self._report.wrong_answers += 1
+            if len(self._report.mismatch_samples) < 10:
+                self._report.mismatch_samples.append(
+                    ("probe", answers, self._expected))
+            time.sleep(0.02)
+        return None
+
+    def close(self) -> None:
+        self._client.close()
+
+
+def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
+                   nodes: int = 120, scheme: str = "dual-ii",
+                   recovery_timeout: float = 5.0,
+                   connections: int = 4, pipeline: int = 4,
+                   kinds: Sequence[str] = DEFAULT_FAULT_KINDS,
+                   faults_per_kind: int = 1,
+                   workdir: "Path | str | None" = None,
+                   pool_size: int = 192) -> ChaosReport:
+    """Run the serving stack under a seeded fault schedule.
+
+    Parameters
+    ----------
+    seed:
+        Drives the graph, the pair pool, *and* the fault schedule —
+        one number replays the whole run.
+    duration:
+        Seconds of sustained load; faults are scheduled inside the
+        first ~70% so each has room to recover before the bell.
+    nodes:
+        Graph size (edges are ``2 * nodes``); also the size of the
+        index the kill-during-save subprocess rebuilds, so a
+        ``kill_save`` swap is answer-preserving.
+    scheme:
+        Index scheme served (``dual-i`` or ``dual-ii``).
+    recovery_timeout:
+        Per-fault bound on the probe seeing a correct batch again.
+    kinds / faults_per_kind:
+        The fault vocabulary (each kind fires ``faults_per_kind``
+        times, deterministically scheduled).
+    workdir:
+        Where the good/corrupt/killed index files live (a temporary
+        directory in tests); defaults to the current directory.
+
+    Returns the populated :class:`ChaosReport`; callers gate on
+    :meth:`ChaosReport.ok`.
+    """
+    edges = 2 * nodes
+    base = Path(workdir) if workdir is not None else Path(".")
+    graph = gnm_random_digraph(nodes, edges, seed=seed)
+    index = build_index(graph, scheme=scheme)
+
+    rng = random.Random(seed + 1)
+    pool = [(rng.randrange(nodes), rng.randrange(nodes))
+            for _ in range(pool_size)]
+    with QueryService(index) as direct:
+        expected = [bool(a) for a in direct.query_batch(pool)]
+    probe_pairs = pool[:8]
+    probe_expected = expected[:8]
+
+    good_path = base / "chaos-good-index.json"
+    save_dual_index(index, good_path)
+
+    report = ChaosReport(seed=seed, scheme=scheme,
+                         duration_seconds=duration,
+                         recovery_timeout=recovery_timeout)
+
+    flaky = FlakyService(QueryService(index))
+    config = ServerConfig(max_delay=0.001, policy="shed",
+                          request_timeout=5.0, drain_timeout=2.0,
+                          service_wrapper=flaky.rewrap)
+    server = ReachServer(flaky, scheme=scheme, config=config)
+    thread = ServerThread(server).start()
+    proxy = ChaosProxy("127.0.0.1", thread.port).start()
+    mgmt = ReachClient("127.0.0.1", thread.port, timeout=10.0)
+    prober = _Prober("127.0.0.1", proxy.port, probe_pairs,
+                     probe_expected, report)
+
+    plan = FaultPlan.random(
+        seed=seed, duration=duration * 0.7,
+        kinds=list(kinds), count=faults_per_kind * len(kinds),
+        start=min(0.4, duration * 0.1))
+
+    loadgen_box: dict[str, Any] = {}
+
+    def drive() -> None:
+        try:
+            loadgen_box["result"] = run_loadgen(
+                "127.0.0.1", proxy.port, pool,
+                connections=connections, duration=duration,
+                pipeline=pipeline, batch_size=1, expected=expected)
+        except Exception as exc:  # surfaced via driver_errors
+            loadgen_box["error"] = f"{type(exc).__name__}: {exc}"
+
+    traffic = threading.Thread(target=drive, name="chaos-loadgen",
+                               daemon=True)
+
+    def apply_fault(kind: str) -> None:
+        if kind == "sever":
+            proxy.sever_all()
+        elif kind == "delay":
+            proxy.spike_delay(0.05, 0.4)
+        elif kind == "garble":
+            proxy.garble_next(2)
+        elif kind == "blackhole":
+            proxy.blackhole(0.3)
+        elif kind == "flush_error":
+            flaky.fail_next(3)
+        elif kind == "reload_missing":
+            try:
+                mgmt.reload(index=str(base / "chaos-missing.json"))
+            except ServerReplyError as exc:
+                if exc.code != "reload_failed":
+                    raise
+            if mgmt.health().get("status") == "degraded":
+                report.degraded_observed = True
+            mgmt.reload(index=str(good_path))  # degraded -> ok
+        elif kind == "reload_corrupt":
+            corrupt_path = base / "chaos-corrupt-index.json"
+            _corrupt_copy(good_path, corrupt_path)
+            try:
+                mgmt.reload(index=str(corrupt_path))
+            except ServerReplyError as exc:
+                if exc.code != "reload_failed":
+                    raise
+            if mgmt.health().get("status") == "degraded":
+                report.degraded_observed = True
+            mgmt.reload(index=str(good_path))
+        elif kind == "kill_save":
+            kill_path = base / "chaos-killed-index.json"
+            save_dual_index(index, kill_path)  # survives kill #1
+            run_kill_during_save(kill_path, nodes=nodes, edges=edges,
+                                 seed=seed, kills=1,
+                                 delay_range=(0.01, 0.06))
+            load_dual_index(kill_path)  # must still be whole
+            mgmt.reload(index=str(kill_path))
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
+
+    traffic.start()
+    started = time.monotonic()
+    try:
+        while True:
+            elapsed = time.monotonic() - started
+            if elapsed >= duration:
+                break
+            for event in plan.pop_due(elapsed):
+                try:
+                    apply_fault(event.kind)
+                except Exception as exc:
+                    report.driver_errors.append(
+                        f"{event.kind}: {type(exc).__name__}: {exc}")
+                    continue
+                recovery = prober.await_recovery(recovery_timeout)
+                report.faults.append({
+                    "kind": event.kind,
+                    "at": round(event.at, 3),
+                    "recovery_seconds": (round(recovery, 3)
+                                         if recovery is not None
+                                         else None),
+                })
+            time.sleep(0.02)
+        traffic.join(timeout=duration + 30.0)
+    finally:
+        prober.close()
+        mgmt.close()
+        proxy.stop()
+        thread.stop()
+
+    if "error" in loadgen_box:
+        report.driver_errors.append(f"loadgen: {loadgen_box['error']}")
+    result = loadgen_box.get("result")
+    if result is not None:
+        report.loadgen = result.as_dict()
+        report.wrong_answers += result.wrong_answers
+        report.mismatch_samples.extend(result.mismatch_samples[:10])
+    report.proxy = {
+        "connections_accepted": proxy.connections_accepted,
+        "severed": proxy.severed,
+        "garbled_chunks": proxy.garbled_chunks,
+        "delayed_chunks": proxy.delayed_chunks,
+        "bytes_forwarded": proxy.bytes_forwarded,
+    }
+    report.injected_kernel_faults = flaky.injected_failures
+    return report

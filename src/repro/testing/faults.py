@@ -1,0 +1,469 @@
+"""Fault injectors for the serving stack.
+
+Four independent adversaries, composable by the chaos soak
+(:mod:`repro.testing.chaos`) and usable one-at-a-time in unit tests:
+
+* :class:`FaultPlan` — a seeded, fully deterministic schedule of
+  :class:`FaultEvent`\\ s; the soak replays the same fault sequence for
+  the same seed, so chaos failures reproduce.
+* :class:`ChaosProxy` — a threaded TCP proxy between client and server
+  that can sever every live connection, inject per-chunk delay spikes,
+  XOR-garble bytes on the wire, or blackhole traffic for a while.  The
+  server and client under test are real sockets talking through it;
+  nothing is mocked.
+* :class:`FlakyService` — wraps a
+  :class:`~repro.core.service.QueryService` and raises armed exceptions
+  from ``query_batch``, i.e. inside the gateway's MicroBatcher flush /
+  kernel call path.
+* :func:`run_kill_during_save` — spawns a subprocess that saves an
+  index in a loop and SIGKILLs it at seeded random offsets, the
+  crash-safety counterpart to :func:`repro.core.serialize.save_dual_index`'s
+  atomic-rename contract.
+
+Everything is stdlib-only and seeded; no injector does anything until
+explicitly armed.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import select
+import signal
+import socket
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = [
+    "ChaosProxy",
+    "FaultEvent",
+    "FaultPlan",
+    "FlakyService",
+    "run_kill_during_save",
+]
+
+
+# ---------------------------------------------------------------------------
+# Fault plans
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    at:
+        Seconds from the start of the run.
+    kind:
+        Free-form fault name the driver dispatches on (e.g. ``sever``,
+        ``flush_error``, ``reload_corrupt``).
+    param:
+        Optional kind-specific payload (a delay, a count, ...).
+    """
+
+    at: float
+    kind: str
+    param: Any = None
+
+
+@dataclass
+class FaultPlan:
+    """A time-ordered fault schedule, consumed as the clock advances.
+
+    Either construct one explicitly from events or draw a deterministic
+    random plan with :meth:`random` — two plans built from the same
+    arguments are identical, which is what makes a chaos failure
+    replayable from its seed.
+    """
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: e.at)
+
+    @classmethod
+    def random(cls, *, seed: int, duration: float,
+               kinds: Sequence[str], count: int,
+               start: float = 0.0) -> "FaultPlan":
+        """``count`` faults drawn uniformly over ``[start, duration)``.
+
+        Every kind in ``kinds`` appears at least once when
+        ``count >= len(kinds)`` (the remainder is drawn uniformly), so
+        a soak asking for N fault types actually exercises all N.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if not kinds:
+            raise ValueError("kinds must be non-empty")
+        rng = random.Random(seed)
+        chosen = list(kinds)[:count]
+        chosen += [rng.choice(list(kinds))
+                   for _ in range(count - len(chosen))]
+        rng.shuffle(chosen)
+        span = max(0.0, duration - start)
+        events = [FaultEvent(at=start + rng.random() * span, kind=kind)
+                  for kind in chosen]
+        return cls(events)
+
+    def pop_due(self, elapsed: float) -> list[FaultEvent]:
+        """Remove and return every event scheduled at or before
+        ``elapsed`` seconds."""
+        due = [event for event in self.events if event.at <= elapsed]
+        if due:
+            self.events = self.events[len(due):]
+        return due
+
+    @property
+    def remaining(self) -> int:
+        return len(self.events)
+
+
+# ---------------------------------------------------------------------------
+# Chaos TCP proxy
+# ---------------------------------------------------------------------------
+
+class _Pipe:
+    """One proxied connection: client socket + upstream socket."""
+
+    def __init__(self, client: socket.socket,
+                 upstream: socket.socket) -> None:
+        self.client = client
+        self.upstream = upstream
+        self.closed = False
+
+    def close(self) -> None:
+        self.closed = True
+        for sock in (self.client, self.upstream):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class ChaosProxy:
+    """A controllable TCP proxy in front of a real server.
+
+    Forwards byte-for-byte between clients and ``upstream`` until told
+    to misbehave:
+
+    * :meth:`sever_all` — hard-close every live proxied connection
+      (clients see a reset / EOF mid-flight);
+    * :meth:`spike_delay` — add per-chunk latency for a while;
+    * :meth:`garble_next` — XOR-corrupt the next ``n`` forwarded
+      chunks (either direction), simulating wire damage;
+    * :meth:`blackhole` — hold all traffic for a while (stall, not
+      drop), simulating a network partition that heals.
+
+    The proxy runs on background threads (one acceptor plus two pump
+    threads per connection); :meth:`stop` tears everything down.
+    Counters (``connections_accepted``, ``severed``, ``garbled_chunks``,
+    ``delayed_chunks``, ``bytes_forwarded``) let tests assert a fault
+    actually happened.
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int, *,
+                 host: str = "127.0.0.1") -> None:
+        self._upstream = (upstream_host, upstream_port)
+        self._host = host
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._pipes: set[_Pipe] = set()
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._stopping = False
+        # Armed faults.
+        self._delay = 0.0
+        self._delay_until = 0.0
+        self._garble_budget = 0
+        self._blackhole_until = 0.0
+        # Counters.
+        self.connections_accepted = 0
+        self.severed = 0
+        self.garbled_chunks = 0
+        self.delayed_chunks = 0
+        self.bytes_forwarded = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ChaosProxy":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, 0))
+        listener.listen(64)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy-accept",
+            daemon=True)
+        self._accept_thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self._listener is not None, "proxy not started"
+        return self._listener.getsockname()[1]
+
+    def stop(self) -> None:
+        self._stopping = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            pipes = list(self._pipes)
+        for pipe in pipes:
+            pipe.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- fault controls -------------------------------------------------
+    def sever_all(self) -> int:
+        """Hard-close every live proxied connection; returns how many."""
+        with self._lock:
+            pipes = list(self._pipes)
+            self._pipes.clear()
+        for pipe in pipes:
+            pipe.close()
+        self.severed += len(pipes)
+        return len(pipes)
+
+    def spike_delay(self, delay: float, duration: float) -> None:
+        """Add ``delay`` seconds to every forwarded chunk for the next
+        ``duration`` seconds."""
+        self._delay = delay
+        self._delay_until = time.monotonic() + duration
+
+    def garble_next(self, chunks: int = 1) -> None:
+        """XOR-corrupt the next ``chunks`` forwarded chunks."""
+        self._garble_budget += chunks
+
+    def blackhole(self, duration: float) -> None:
+        """Stall all forwarding for ``duration`` seconds (traffic is
+        delivered late, not dropped — a healing partition)."""
+        self._blackhole_until = time.monotonic() + duration
+
+    # -- internals ------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                upstream = socket.create_connection(self._upstream,
+                                                    timeout=5.0)
+            except OSError:
+                client.close()
+                continue
+            self.connections_accepted += 1
+            pipe = _Pipe(client, upstream)
+            with self._lock:
+                self._pipes.add(pipe)
+            for src, dst in ((client, upstream), (upstream, client)):
+                thread = threading.Thread(
+                    target=self._pump, args=(pipe, src, dst),
+                    name="chaos-proxy-pump", daemon=True)
+                thread.start()
+                self._threads.append(thread)
+
+    def _pump(self, pipe: _Pipe, src: socket.socket,
+              dst: socket.socket) -> None:
+        try:
+            while not pipe.closed and not self._stopping:
+                # select() so a close from the other side wakes us.
+                try:
+                    ready, _, _ = select.select([src], [], [], 0.25)
+                except (OSError, ValueError):
+                    break
+                if not ready:
+                    continue
+                try:
+                    chunk = src.recv(1 << 16)
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                now = time.monotonic()
+                if now < self._blackhole_until:
+                    # Re-check as we wait: blackhole(0) heals at once.
+                    while (not pipe.closed and not self._stopping
+                           and time.monotonic() < self._blackhole_until):
+                        time.sleep(0.02)
+                    if pipe.closed or self._stopping:
+                        break
+                elif now < self._delay_until and self._delay > 0:
+                    self.delayed_chunks += 1
+                    time.sleep(self._delay)
+                if self._garble_budget > 0:
+                    self._garble_budget -= 1
+                    self.garbled_chunks += 1
+                    chunk = bytes(b ^ 0x5A for b in chunk)
+                # Count before sendall: a receiver that already saw the
+                # bytes must also see the counter (tests read it right
+                # after recv()).
+                self.bytes_forwarded += len(chunk)
+                try:
+                    dst.sendall(chunk)
+                except OSError:
+                    break
+        finally:
+            pipe.close()
+            with self._lock:
+                self._pipes.discard(pipe)
+
+
+# ---------------------------------------------------------------------------
+# In-process kernel fault injection
+# ---------------------------------------------------------------------------
+
+class FlakyService:
+    """A :class:`~repro.core.service.QueryService` wrapper that raises
+    armed exceptions from ``query_batch``.
+
+    Because the gateway evaluates every micro-batch through
+    ``query_batch``, arming this wrapper injects failures exactly where
+    they hurt: inside MicroBatcher flushes and kernel calls.  Pass it
+    (or a wrapping callable) as ``ServerConfig.service_wrapper`` so hot
+    swaps stay flaky — a ``reload`` builds a fresh inner service, and
+    the wrapper re-wraps it.
+
+    Everything else delegates to the wrapped service, so the gateway
+    cannot tell the difference until a fault fires.
+    """
+
+    def __init__(self, inner: Any) -> None:
+        self._inner = inner
+        self._armed = 0
+        self._exc_type: type[Exception] = RuntimeError
+        self._lock = threading.Lock()
+        #: faults actually raised so far
+        self.injected_failures = 0
+
+    def fail_next(self, n: int = 1, *,
+                  exc_type: type[Exception] = RuntimeError) -> None:
+        """Arm the next ``n`` ``query_batch`` calls to raise
+        ``exc_type``."""
+        with self._lock:
+            self._armed += n
+            self._exc_type = exc_type
+
+    @property
+    def armed(self) -> int:
+        return self._armed
+
+    def rewrap(self, inner: Any) -> "FlakyService":
+        """``service_wrapper`` hook: adopt a freshly reloaded inner
+        service, keeping the armed state and counters."""
+        self._inner = inner
+        return self
+
+    def query_batch(self, pairs: Any) -> Any:
+        with self._lock:
+            fire = self._armed > 0
+            if fire:
+                self._armed -= 1
+                self.injected_failures += 1
+                exc_type = self._exc_type
+        if fire:
+            raise exc_type(
+                "injected kernel fault (FlakyService.fail_next)")
+        return self._inner.query_batch(pairs)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+    def __enter__(self) -> "FlakyService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._inner.close()
+
+
+# ---------------------------------------------------------------------------
+# Kill-during-save
+# ---------------------------------------------------------------------------
+
+_SAVE_LOOP_SCRIPT = """
+import sys
+from repro.core.dual_i import DualIIndex
+from repro.core.serialize import save_dual_index
+from repro.graph.generators import gnm_random_digraph
+
+path, nodes, edges, seed = (sys.argv[1], int(sys.argv[2]),
+                            int(sys.argv[3]), int(sys.argv[4]))
+index = DualIIndex.build(gnm_random_digraph(nodes, edges, seed=seed))
+print("ready", flush=True)
+while True:
+    save_dual_index(index, path)
+"""
+
+
+def run_kill_during_save(path: Any, *, nodes: int = 120,
+                         edges: int = 240, seed: int = 0,
+                         kills: int = 3,
+                         delay_range: tuple = (0.0, 0.08)) -> dict:
+    """SIGKILL a subprocess mid-``save_dual_index``, repeatedly.
+
+    The subprocess builds a small index, reports readiness, then saves
+    it to ``path`` in a tight loop; this driver kills it ``kills``
+    times at seeded random offsets after readiness.  With the atomic
+    tmp-file/rename protocol the kill either lands before the rename
+    (``path`` keeps its previous content) or after (``path`` holds the
+    complete new document) — callers assert ``path`` still loads and no
+    ``*.tmp`` siblings survive past the last kill.
+
+    Returns a summary dict: ``kills`` performed, leftover ``tmp_files``
+    next to ``path`` (orphans from SIGKILL between create and rename —
+    allowed by the contract, but the target file itself must be whole),
+    and the ``delays`` used (deterministic for a given ``seed``).
+    """
+    target = Path(path)
+    rng = random.Random(seed)
+    delays = [rng.uniform(*delay_range) for _ in range(kills)]
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parent.parent.parent)
+    env["PYTHONPATH"] = package_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    for delay in delays:
+        proc = subprocess.Popen(
+            [sys.executable, "-c", textwrap.dedent(_SAVE_LOOP_SCRIPT),
+             str(target), str(nodes), str(edges), str(seed)],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, env=env)
+        try:
+            assert proc.stdout is not None
+            banner = proc.stdout.readline()
+            if "ready" not in banner:
+                raise RuntimeError(
+                    f"save-loop subprocess failed to start: {banner!r}")
+            time.sleep(delay)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+            if proc.stdout is not None:
+                proc.stdout.close()
+    tmp_files = sorted(
+        str(p) for p in target.parent.glob(target.name + ".*.tmp"))
+    return {"kills": kills, "delays": delays, "tmp_files": tmp_files}

@@ -21,12 +21,29 @@ asserted verbatim in tests/test_paper_example.py.
 
 from __future__ import annotations
 
+import faulthandler
+import os
 import random
 
 import pytest
 
 from repro.graph.digraph import DiGraph
 from repro.graph.traversal import is_reachable_search
+
+# Hang protection for the server/chaos suites without a pytest-timeout
+# dependency: with REPRO_TEST_TIMEOUT=<seconds> set (as CI does), any
+# single test exceeding the budget dumps every thread's traceback and
+# aborts the run instead of wedging the job until the CI-level timeout.
+_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "0") or "0")
+
+
+@pytest.fixture(autouse=_TEST_TIMEOUT > 0)
+def _hang_guard():
+    faulthandler.dump_traceback_later(_TEST_TIMEOUT, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
 
 # Node names of the paper example, in interval-label order.
 PAPER_NODES = ["r", "a", "c", "w", "d", "e", "v", "f", "g", "u", "h", "i"]

@@ -1,0 +1,214 @@
+"""Unit tests of the fault injectors themselves (repro.testing.faults).
+
+The injectors are test infrastructure, so they get their own tests:
+a broken chaos proxy would make the soak vacuously green.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.testing.faults import ChaosProxy, FaultEvent, FaultPlan, FlakyService
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_events_sorted_and_popped_in_time_order(self):
+        plan = FaultPlan([FaultEvent(2.0, "b"), FaultEvent(0.5, "a"),
+                          FaultEvent(1.0, "c")])
+        assert [e.kind for e in plan.events] == ["a", "c", "b"]
+        assert [e.kind for e in plan.pop_due(1.0)] == ["a", "c"]
+        assert plan.remaining == 1
+        assert plan.pop_due(0.9) == []
+        assert [e.kind for e in plan.pop_due(10.0)] == ["b"]
+        assert plan.remaining == 0
+
+    def test_random_plan_is_deterministic(self):
+        kwargs = dict(seed=42, duration=10.0,
+                      kinds=["sever", "garble", "delay"], count=7)
+        first = FaultPlan.random(**kwargs)
+        second = FaultPlan.random(**kwargs)
+        assert first.events == second.events
+        assert FaultPlan.random(**{**kwargs, "seed": 43}).events \
+            != first.events
+
+    def test_random_plan_covers_every_kind(self):
+        kinds = ["a", "b", "c", "d", "e"]
+        plan = FaultPlan.random(seed=0, duration=5.0, kinds=kinds,
+                                count=len(kinds))
+        assert sorted(e.kind for e in plan.events) == kinds
+        assert all(0.0 <= e.at < 5.0 for e in plan.events)
+
+    def test_random_plan_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random(seed=0, duration=1.0, kinds=[], count=1)
+        with pytest.raises(ValueError):
+            FaultPlan.random(seed=0, duration=1.0, kinds=["x"],
+                             count=-1)
+
+
+# ---------------------------------------------------------------------------
+# ChaosProxy (against a plain echo server — no gateway involved)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def echo_server():
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    stop = threading.Event()
+
+    def serve():
+        while not stop.is_set():
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return
+            def pump(c=conn):
+                try:
+                    while True:
+                        data = c.recv(4096)
+                        if not data:
+                            return
+                        c.sendall(data)
+                except OSError:
+                    pass
+                finally:
+                    c.close()
+            threading.Thread(target=pump, daemon=True).start()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    try:
+        yield listener.getsockname()[1]
+    finally:
+        stop.set()
+        listener.close()
+        thread.join(timeout=2.0)
+
+
+class TestChaosProxy:
+    def test_forwards_both_directions(self, echo_server):
+        with ChaosProxy("127.0.0.1", echo_server) as proxy:
+            with socket.create_connection(("127.0.0.1", proxy.port),
+                                          timeout=5.0) as sock:
+                sock.sendall(b"hello chaos\n")
+                sock.settimeout(5.0)
+                assert sock.recv(4096) == b"hello chaos\n"
+            assert proxy.connections_accepted == 1
+            assert proxy.bytes_forwarded >= 2 * len(b"hello chaos\n")
+
+    def test_sever_all_resets_live_connections(self, echo_server):
+        with ChaosProxy("127.0.0.1", echo_server) as proxy:
+            sock = socket.create_connection(("127.0.0.1", proxy.port),
+                                            timeout=5.0)
+            sock.settimeout(5.0)
+            sock.sendall(b"x\n")
+            assert sock.recv(4096) == b"x\n"
+            assert proxy.sever_all() == 1
+            # The severed socket yields EOF or a reset, never a hang.
+            try:
+                assert sock.recv(4096) == b""
+            except OSError:
+                pass
+            sock.close()
+            assert proxy.severed == 1
+
+    def test_garble_corrupts_then_heals(self, echo_server):
+        with ChaosProxy("127.0.0.1", echo_server) as proxy:
+            with socket.create_connection(("127.0.0.1", proxy.port),
+                                          timeout=5.0) as sock:
+                sock.settimeout(5.0)
+                proxy.garble_next(1)
+                sock.sendall(b"abc\n")
+                garbled = sock.recv(4096)
+                assert garbled != b"abc\n"
+                # XOR is an involution: un-garbling recovers the bytes,
+                # proving corruption (not truncation) happened.
+                assert bytes(b ^ 0x5A for b in garbled) == b"abc\n"
+                sock.sendall(b"clean\n")
+                assert sock.recv(4096) == b"clean\n"
+            assert proxy.garbled_chunks == 1
+
+    def test_spike_delay_slows_the_wire(self, echo_server):
+        with ChaosProxy("127.0.0.1", echo_server) as proxy:
+            with socket.create_connection(("127.0.0.1", proxy.port),
+                                          timeout=5.0) as sock:
+                sock.settimeout(5.0)
+                proxy.spike_delay(0.15, duration=1.0)
+                started = time.monotonic()
+                sock.sendall(b"slow\n")
+                assert sock.recv(4096) == b"slow\n"
+                assert time.monotonic() - started >= 0.15
+            assert proxy.delayed_chunks >= 1
+
+    def test_blackhole_stalls_but_delivers(self, echo_server):
+        with ChaosProxy("127.0.0.1", echo_server) as proxy:
+            with socket.create_connection(("127.0.0.1", proxy.port),
+                                          timeout=5.0) as sock:
+                sock.settimeout(5.0)
+                proxy.blackhole(0.2)
+                started = time.monotonic()
+                sock.sendall(b"held\n")
+                assert sock.recv(4096) == b"held\n"
+                assert time.monotonic() - started >= 0.15
+
+
+# ---------------------------------------------------------------------------
+# FlakyService
+# ---------------------------------------------------------------------------
+
+class _FakeService:
+    def __init__(self):
+        self.calls = 0
+        self.closed = False
+
+    def query_batch(self, pairs):
+        self.calls += 1
+        return [True] * len(pairs)
+
+    def close(self):
+        self.closed = True
+
+
+class TestFlakyService:
+    def test_passthrough_until_armed(self):
+        inner = _FakeService()
+        flaky = FlakyService(inner)
+        assert flaky.query_batch([(0, 1)]) == [True]
+        flaky.fail_next(2, exc_type=ValueError)
+        with pytest.raises(ValueError):
+            flaky.query_batch([(0, 1)])
+        with pytest.raises(ValueError):
+            flaky.query_batch([(0, 1)])
+        assert flaky.query_batch([(0, 1), (1, 2)]) == [True, True]
+        assert flaky.injected_failures == 2
+        assert flaky.armed == 0
+        # Only the successful calls reached the inner service.
+        assert inner.calls == 2
+
+    def test_delegates_everything_else(self):
+        inner = _FakeService()
+        flaky = FlakyService(inner)
+        assert flaky.calls == 0  # __getattr__ delegation
+        with flaky:
+            pass
+        assert inner.closed
+
+    def test_rewrap_keeps_armed_state(self):
+        first, second = _FakeService(), _FakeService()
+        flaky = FlakyService(first)
+        flaky.fail_next(1)
+        assert flaky.rewrap(second) is flaky
+        with pytest.raises(RuntimeError):
+            flaky.query_batch([(0, 1)])
+        assert flaky.query_batch([(0, 1)]) == [True]
+        assert second.calls == 1 and first.calls == 0

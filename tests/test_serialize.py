@@ -10,7 +10,11 @@ from repro.core.base import build_index
 from repro.core.dual_i import DualIIndex
 from repro.core.dual_ii import DualIIIndex
 from repro.core.serialize import load_dual_index, save_dual_index
-from repro.exceptions import IndexBuildError, QueryError
+from repro.exceptions import (
+    CorruptIndexError,
+    IndexBuildError,
+    QueryError,
+)
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import gnm_random_digraph
 from tests.conftest import make_paper_graph, sample_pairs
@@ -187,4 +191,103 @@ class TestBackendSerialization:
         save_dual_index(index, path)
         loaded = load_dual_index(path)
         for u, v in sample_pairs(graph, 300, 9):
+            assert loaded.reachable(u, v) == index.reachable(u, v)
+
+
+class TestCrashSafety:
+    """Atomic writes, checksums, and kill-during-save survival."""
+
+    def test_no_tmp_sibling_after_clean_save(self, tmp_path, diamond):
+        path = tmp_path / "index.json"
+        save_dual_index(DualIIndex.build(diamond), path)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failed_save_leaves_no_partial_file(self, tmp_path, diamond):
+        # A non-serialisable node raises mid-document-build; an
+        # unsupported index raises before any file I/O — neither may
+        # leave a file (partial or otherwise) behind.
+        index = build_index(diamond, scheme="2hop")
+        path = tmp_path / "index.json"
+        with pytest.raises(IndexBuildError):
+            save_dual_index(index, path)
+        graph = DiGraph([(("tuple", "node"), "b")])
+        with pytest.raises(IndexBuildError):
+            save_dual_index(DualIIndex.build(graph), path)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failed_save_keeps_previous_index(self, tmp_path, diamond):
+        path = tmp_path / "index.json"
+        save_dual_index(DualIIndex.build(diamond), path)
+        before = path.read_bytes()
+        graph = DiGraph([(("tuple", "node"), "b")])
+        with pytest.raises(IndexBuildError):
+            save_dual_index(DualIIndex.build(graph), path)
+        assert path.read_bytes() == before
+        assert load_dual_index(path).reachable("a", "d")
+
+    def test_document_carries_verified_checksum(self, tmp_path, diamond):
+        path = tmp_path / "index.json"
+        save_dual_index(DualIIndex.build(diamond), path)
+        document = json.loads(path.read_text())
+        assert document["checksum"].startswith("sha256:")
+        load_dual_index(path)  # verifies
+
+    def test_bit_flip_raises_corrupt_index_error(self, tmp_path, diamond):
+        path = tmp_path / "index.json"
+        save_dual_index(DualIIndex.build(diamond), path)
+        blob = bytearray(path.read_bytes())
+        # Flip a digit inside the payload (not the checksum field).
+        position = bytes(blob).index(b'"starts"') + len('"starts": [')
+        blob[position] ^= 0x01
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptIndexError):
+            load_dual_index(path)
+
+    def test_checksumless_legacy_document_still_loads(self, tmp_path,
+                                                      diamond):
+        path = tmp_path / "index.json"
+        save_dual_index(DualIIndex.build(diamond), path)
+        document = json.loads(path.read_text())
+        del document["checksum"]
+        path.write_text(json.dumps(document))
+        assert load_dual_index(path).reachable("a", "d")
+
+    def test_corrupt_error_is_an_index_build_error(self):
+        # The server's reload path catches ReproError; corruption must
+        # flow through the same degraded-mode handling.
+        assert issubclass(CorruptIndexError, IndexBuildError)
+
+    def test_garbage_bytes_raise_corrupt_index_error(self, tmp_path):
+        path = tmp_path / "index.json"
+        path.write_bytes(b"\xff\xfe not an index")
+        with pytest.raises(CorruptIndexError):
+            load_dual_index(path)
+
+    def test_structurally_broken_document_is_corrupt(self, tmp_path,
+                                                     diamond):
+        path = tmp_path / "index.json"
+        save_dual_index(DualIIndex.build(diamond), path)
+        document = json.loads(path.read_text())
+        document["tlc"]["matrix"] = "not-a-matrix"
+        del document["checksum"]
+        path.write_text(json.dumps(document))
+        with pytest.raises(CorruptIndexError):
+            load_dual_index(path)
+
+    def test_kill_during_save_keeps_index_loadable(self, tmp_path):
+        from repro.testing.faults import run_kill_during_save
+
+        nodes, edges, seed = 60, 120, 3
+        graph = gnm_random_digraph(nodes, edges, seed=seed)
+        index = DualIIndex.build(graph)
+        path = tmp_path / "killed.json"
+        save_dual_index(index, path)
+        summary = run_kill_during_save(path, nodes=nodes, edges=edges,
+                                       seed=seed, kills=3,
+                                       delay_range=(0.0, 0.05))
+        assert summary["kills"] == 3
+        # The target file is never a truncated hybrid: it loads and
+        # answers exactly like the in-process index.
+        loaded = load_dual_index(path)
+        for u, v in sample_pairs(graph, 200, seed):
             assert loaded.reachable(u, v) == index.reachable(u, v)

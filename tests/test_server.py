@@ -265,3 +265,273 @@ class TestProtocolSurface:
                 b'","v":"d"}\n'
             replies = raw_exchange(handle.port, [giant], 1)
         assert replies[0]["error"] == "too_large"
+
+
+# ---------------------------------------------------------------------
+# resilience: probes, degraded mode, drain, oversized-line recovery
+# ---------------------------------------------------------------------
+
+class TestProbeVerbs:
+    def test_health_and_ready_documents(self, diamond):
+        index = build_index(diamond, scheme="dual-i")
+        with serve(index) as handle, \
+                ReachClient(port=handle.port) as client:
+            health = client.call("health")
+            assert health["status"] == "ok"
+            assert health["reason"] is None
+            assert health["uptime_seconds"] >= 0
+            assert health["connections_open"] >= 1
+            ready = client.call("ready")
+            assert ready == {"ready": True, "degraded": False,
+                             "scheme": "dual-i"}
+
+
+class TestDegradedMode:
+    def test_failed_reload_degrades_and_good_reload_clears(
+            self, tmp_path, diamond):
+        """A failed swap keeps the last good index serving, flips the
+        server to ``degraded`` (visible in health/ready/stats), and a
+        later successful swap clears the flag."""
+        index = build_index(diamond, scheme="dual-i")
+        good_file = tmp_path / "good.json"
+        save_dual_index(index, good_file)
+        with serve(index) as handle, \
+                ReachClient(port=handle.port) as client:
+            with pytest.raises(ServerReplyError) as info:
+                client.reload(index=tmp_path / "missing.json")
+            assert info.value.code == "reload_failed"
+            health = client.call("health")
+            assert health["status"] == "degraded"
+            assert "reason" in health and health["reason"]
+            assert client.call("ready")["degraded"] is True
+            assert client.stats()["degraded"]
+            # Still answering — on the last good index.
+            assert client.query("a", "d") is True
+            # A good swap clears degraded mode.
+            swap = client.reload(index=good_file)
+            assert swap["swapped"]
+            assert client.call("health")["status"] == "ok"
+            assert client.call("ready")["degraded"] is False
+            assert client.stats()["degraded"] is None
+
+    def test_corrupt_index_file_degrades_not_crashes(self, tmp_path,
+                                                     diamond):
+        index = build_index(diamond, scheme="dual-i")
+        corrupt_file = tmp_path / "corrupt.json"
+        save_dual_index(index, corrupt_file)
+        blob = bytearray(corrupt_file.read_bytes())
+        # Corrupt a digit inside the payload: still valid JSON, so the
+        # load fails specifically on the content checksum.
+        position = bytes(blob).index(b'"starts": [') + len('"starts": [')
+        blob[position] = ord("7") if blob[position] != ord("7") \
+            else ord("8")
+        corrupt_file.write_bytes(bytes(blob))
+        with serve(index) as handle, \
+                ReachClient(port=handle.port) as client:
+            with pytest.raises(ServerReplyError) as info:
+                client.reload(index=corrupt_file)
+            assert info.value.code == "reload_failed"
+            assert "checksum" in info.value.message
+            assert client.call("health")["status"] == "degraded"
+            assert client.query("a", "d") is True
+
+
+class TestOversizedLineRecovery:
+    def test_connection_survives_a_giant_line(self, diamond):
+        """One oversized request gets one ``too_large`` reply and the
+        connection keeps serving subsequent requests."""
+        index = build_index(diamond, scheme="dual-i")
+        with serve(index, max_line_bytes=1024) as handle:
+            giant = b'{"id":1,"verb":"query","u":"' + b"x" * 8192 + \
+                b'","v":"d"}\n'
+            follow_up = b'{"id":2,"verb":"ping"}\n'
+            replies = raw_exchange(handle.port, [giant, follow_up], 2)
+        assert replies[0]["error"] == "too_large"
+        assert replies[1] == {"id": 2, "ok": True, "result": "pong"}
+
+    def test_giant_line_without_newline_then_more_requests(self, diamond):
+        index = build_index(diamond, scheme="dual-i")
+        with serve(index, max_line_bytes=512) as handle:
+            with socket.create_connection(("127.0.0.1", handle.port),
+                                          timeout=30.0) as sock:
+                reader = sock.makefile("rb")
+                # Dribble an over-limit line in pieces, then finish it.
+                sock.sendall(b'{"id":1,"verb":"query","u":"' + b"y" * 700)
+                first = json.loads(reader.readline())
+                assert first["error"] == "too_large"
+                sock.sendall(b'","v":"d"}\n')  # tail of the giant
+                sock.sendall(b'{"id":2,"verb":"ping"}\n')
+                second = json.loads(reader.readline())
+                assert second == {"id": 2, "ok": True, "result": "pong"}
+
+
+class TestGracefulShutdown:
+    def test_stop_drains_inflight_replies(self, diamond):
+        """Requests in flight when ``stop`` begins still get their
+        replies before the connection closes."""
+        index = build_index(diamond, scheme="dual-i")
+        server = ReachServer(
+            QueryService(index), scheme="dual-i",
+            config=ServerConfig(max_batch=100_000, max_delay=0.2,
+                                drain_timeout=5.0))
+        handle = ServerThread(server).start()
+        try:
+            with socket.create_connection(("127.0.0.1", handle.port),
+                                          timeout=30.0) as sock:
+                reader = sock.makefile("rb")
+                # Buffered behind the 200ms flush deadline...
+                sock.sendall(b'{"id":1,"verb":"query","u":"a","v":"d"}\n')
+                # ...wait until the server has it in flight, then stop
+                # while the reply is still pending in the batcher.
+                import time
+                deadline = time.monotonic() + 10.0
+                while not any(conn.inflight
+                              for conn in server._connections):
+                    assert time.monotonic() < deadline
+                    time.sleep(0.002)
+                handle.stop()
+                reply = json.loads(reader.readline())
+                assert reply == {"id": 1, "ok": True, "result": True}
+                assert reader.readline() == b""  # then EOF
+        finally:
+            handle.stop()
+
+    def test_stop_force_closes_after_drain_timeout(self, diamond):
+        index = build_index(diamond, scheme="dual-i")
+        server = ReachServer(
+            QueryService(index), scheme="dual-i",
+            config=ServerConfig(drain_timeout=0.0))
+        handle = ServerThread(server).start()
+        try:
+            import time
+            with socket.create_connection(("127.0.0.1", handle.port),
+                                          timeout=30.0) as sock:
+                deadline = time.monotonic() + 10.0
+                while not server._connections:  # registered server-side
+                    assert time.monotonic() < deadline
+                    time.sleep(0.002)
+                started = time.monotonic()
+                handle.stop()
+                assert time.monotonic() - started < 5.0
+                assert sock.makefile("rb").readline() == b""
+        finally:
+            handle.stop()
+
+
+# ---------------------------------------------------------------------
+# supervisor
+# ---------------------------------------------------------------------
+
+class TestSupervisor:
+    def test_restarts_crashing_task_with_backoff(self):
+        import asyncio
+
+        from repro.server.server import Supervisor
+
+        runs: list[int] = []
+        delays: list[float] = []
+
+        async def factory():
+            runs.append(len(runs))
+            if len(runs) < 4:
+                raise RuntimeError("boom")
+
+        supervisor = Supervisor(factory, max_restarts=8,
+                                base_delay=0.01, max_delay=0.05,
+                                jitter=0.0, seed=0,
+                                on_restart=lambda exc, d, n:
+                                delays.append(d))
+        asyncio.run(supervisor.run())
+        assert len(runs) == 4  # 3 crashes, then the clean exit
+        assert supervisor.restarts == 3
+        assert delays == [0.01, 0.02, 0.04]  # doubling, no jitter
+        assert [kind for kind, _ in supervisor.crashes] == \
+            [repr(RuntimeError("boom"))] * 3
+
+    def test_gives_up_after_max_restarts(self):
+        import asyncio
+
+        from repro.server.server import Supervisor
+
+        async def factory():
+            raise RuntimeError("always down")
+
+        supervisor = Supervisor(factory, max_restarts=2,
+                                base_delay=0.005, jitter=0.0)
+        with pytest.raises(RuntimeError, match="always down"):
+            asyncio.run(supervisor.run())
+        assert supervisor.restarts == 2
+
+    def test_cancellation_passes_through(self):
+        import asyncio
+
+        from repro.server.server import Supervisor
+
+        async def factory():
+            await asyncio.sleep(3600)
+
+        async def main():
+            supervisor = Supervisor(factory, base_delay=0.01)
+            task = asyncio.ensure_future(supervisor.run())
+            await asyncio.sleep(0.05)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert supervisor.restarts == 0
+
+        asyncio.run(main())
+
+    def test_supervised_server_serves_after_crash_restart(self, diamond):
+        """End to end: a supervised serving task crashes, the
+        supervisor restarts it, and clients reach the new generation."""
+        import asyncio
+        import threading
+
+        from repro.server.server import Supervisor
+
+        index = build_index(diamond, scheme="dual-i")
+        ports: list[int] = []
+        crashed = threading.Event()
+        serving = threading.Event()
+
+        async def generation():
+            server = ReachServer(QueryService(index), scheme="dual-i",
+                                 config=ServerConfig())
+            await server.start()
+            ports.append(server.port)
+            serving.set()
+            try:
+                if len(ports) == 1:
+                    crashed.wait  # first generation dies young
+                    await asyncio.sleep(0.05)
+                    raise RuntimeError("simulated crash")
+                while True:
+                    await asyncio.sleep(3600)
+            finally:
+                crashed.set()
+                await server.stop()
+
+        supervisor = Supervisor(generation, max_restarts=3,
+                                base_delay=0.01, jitter=0.0, seed=0)
+
+        def run():
+            try:
+                asyncio.run(supervisor.run())
+            except asyncio.CancelledError:
+                pass
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        try:
+            assert serving.wait(10.0)
+            crashed.wait(10.0)
+            serving.clear()
+            assert serving.wait(10.0)  # the restarted generation
+            assert supervisor.restarts == 1
+            with ReachClient(port=ports[-1]) as client:
+                assert client.query("a", "d") is True
+                assert client.call("health")["status"] == "ok"
+        finally:
+            # The generation task never exits on its own; drop the
+            # daemon thread (asyncio.run cleans up at interpreter exit).
+            pass

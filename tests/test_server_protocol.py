@@ -295,3 +295,96 @@ class TestIsolation:
         assert isinstance(bad, KeyError)
         assert stats["isolation_reruns"] == 1
         assert stats["in_flight_pairs"] == 0  # admission fully released
+
+
+class TestFlushFailurePaths:
+    def test_hard_kernel_failure_fails_only_that_batch(self):
+        """A kernel that raises for everyone fails every member of the
+        flush with the exception — and the batcher keeps accepting and
+        answering once the kernel recovers."""
+        async def scenario():
+            fail = {"armed": 2}
+
+            async def run_batch(pairs: list) -> list:
+                if fail["armed"] > 0:
+                    fail["armed"] -= 1
+                    raise RuntimeError("kernel down")
+                return [True] * len(pairs)
+
+            batcher = MicroBatcher(run_batch, max_batch=2,
+                                   max_delay=60.0)
+            # One flush of two requests: the flush call fails (1),
+            # then each isolation rerun fails/succeeds per arming.
+            first, second = await asyncio.gather(
+                batcher.submit([(0, 1)]),
+                batcher.submit([(2, 3)]),
+                return_exceptions=True)
+            # The batcher is still open for business afterwards.
+            recovered = await batcher.submit([(4, 5)])
+            stats = batcher.stats()
+            await batcher.close()
+            return first, second, recovered, stats
+
+        first, second, recovered, stats = run(scenario())
+        # Armed twice: the shared flush burns one, the first isolated
+        # rerun burns the other; the second rerun succeeds.
+        assert isinstance(first, RuntimeError)
+        assert second == [True]
+        assert recovered == [True]
+        assert stats["isolation_reruns"] == 1
+        assert stats["flush_failures"] == 1
+        assert stats["in_flight_pairs"] == 0
+
+    def test_every_member_failing_releases_admission(self):
+        async def scenario():
+            async def run_batch(pairs: list) -> list:
+                raise RuntimeError("kernel permanently down")
+
+            batcher = MicroBatcher(run_batch, max_batch=4,
+                                   max_delay=60.0, max_pending=8)
+            results = await asyncio.gather(
+                *[batcher.submit([(i, i + 1)]) for i in range(4)],
+                return_exceptions=True)
+            stats = batcher.stats()
+            await batcher.close()
+            return results, stats
+
+        results, stats = run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert stats["flush_failures"] == 4
+        assert stats["in_flight_pairs"] == 0  # nothing leaked
+
+    def test_sustained_shed_stays_explicit(self):
+        """Under sustained overload with policy=shed every rejected
+        submission raises OverloadedError (the gateway's 'overloaded'
+        reply) — requests are never silently dropped."""
+        async def scenario():
+            release = asyncio.Event()
+
+            async def run_batch(pairs: list) -> list:
+                await release.wait()
+                return [True] * len(pairs)
+
+            batcher = MicroBatcher(run_batch, max_batch=1,
+                                   max_delay=60.0, max_pending=2,
+                                   policy="shed")
+            admitted = [asyncio.ensure_future(batcher.submit([(0, 1)]))
+                        for _ in range(2)]
+            await asyncio.sleep(0)
+            shed = 0
+            for _ in range(10):
+                try:
+                    await batcher.submit([(2, 3)])
+                except OverloadedError:
+                    shed += 1
+            release.set()
+            answers = await asyncio.gather(*admitted)
+            stats = batcher.stats()
+            await batcher.close()
+            return shed, answers, stats
+
+        shed, answers, stats = run(scenario())
+        assert shed == 10  # every over-capacity submit said so loudly
+        assert answers == [[True], [True]]  # admitted work completed
+        assert stats["shed_requests"] == 10
+        assert stats["in_flight_pairs"] == 0
