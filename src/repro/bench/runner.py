@@ -206,12 +206,17 @@ def _cmd_serve_load(args: argparse.Namespace) -> int:
             connections=min(args.connections, 4),
             duration=min(args.duration, 2.0), pipeline=args.pipeline)
         print(format_kv_table(
-            {k: v for k, v in report.items() if k != "reload"},
+            {k: v for k, v in report.items()
+             if k not in ("reload", "server_stages")},
             title="serve-load smoke"))
+        for stage, block in report["server_stages"].items():
+            print(f"  stage {stage:10s} p50={block['p50_ms']:.2f}ms "
+                  f"p99={block['p99_ms']:.2f}ms")
         print(f"[hot reload swapped in {report['reload']['nodes']} "
               f"nodes from {report['reload']['source']}]")
         print("OK: zero protocol errors, cross-connection batching "
-              "active, hot reload verified")
+              "active, server-side stage percentiles present, hot "
+              "reload verified")
         return 0
     entry = run_serve_load_benchmark(
         nodes=args.nodes, edges=args.edges, seed=args.seed,

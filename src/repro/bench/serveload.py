@@ -139,13 +139,25 @@ def run_serve_load_benchmark(*, nodes: int = 600, edges: int | None = None,
                                  pipeline=pipeline,
                                  connections=max(connections)) as port:
                 for conns in connections:
+                    with ReachClient(port=port) as client:
+                        # Drain the server's latency/stage histograms so
+                        # this row's percentiles cover only its drive.
+                        client.metrics(reset=True)
+                    # 1-in-4 latency sampling keeps the generator's
+                    # per-reply cost off the throughput measurement and
+                    # matches how the trajectory's earlier entries were
+                    # recorded (server-side stage percentiles carry the
+                    # unsampled tail).
                     result = run_loadgen(
                         "127.0.0.1", port, pairs,
                         connections=conns, duration=duration,
-                        pipeline=pipeline, batch_size=1)
+                        pipeline=pipeline, batch_size=1,
+                        latency_sample=4)
                     row = {"config": label, "max_batch": config_batch,
                            "max_delay_ms": config_delay * 1000.0,
                            **result.as_dict()}
+                    with ReachClient(port=port) as client:
+                        row["server_stages"] = client.stats()["stages"]
                     rows.append(row)
                 with ReachClient(port=port) as client:
                     batcher = client.stats()["batcher"]
@@ -219,6 +231,22 @@ def format_serve_report(entry: dict[str, Any]) -> str:
         f"({entry['batched_qps']:,.0f} vs "
         f"{entry['unbatched_qps']:,.0f} queries/s]",
     ]
+    stage_rows = [
+        {"stage": stage, **{k: f"{v:.3f}" for k, v in block.items()}}
+        for row in entry["rows"]
+        if row["config"] == "batched"
+        and row["connections"] == entry["top_connections"]
+        for stage, block in row.get("server_stages", {}).items()
+    ]
+    if stage_rows:
+        lines += [
+            "",
+            f"server-side stage percentiles (batched, "
+            f"{entry['top_connections']} connections):",
+            format_markdown_table(
+                stage_rows,
+                ["stage", "p50_ms", "p95_ms", "p99_ms", "max_ms"]),
+        ]
     return "\n".join(lines)
 
 
@@ -232,7 +260,8 @@ def run_serve_smoke(*, nodes: int = 400, edges: int | None = None,
     ------
     AssertionError
         On any protocol error, on zero multi-query flushes (no
-        cross-connection coalescing happened), or on a failed reload.
+        cross-connection coalescing happened), on missing server-side
+        stage percentiles, or on a failed reload.
     """
     graph, seed = _make_graph(nodes, edges, seed)
     index = build_index(graph, scheme=scheme)
@@ -253,6 +282,12 @@ def run_serve_smoke(*, nodes: int = 400, edges: int | None = None,
             assert flushes >= 1, (
                 "no multi-query flush happened — cross-connection "
                 "batching is not coalescing")
+            stages = stats["stages"]
+            assert "kernel" in stages and "queue_wait" in stages, (
+                f"server-side stage percentiles missing from the stats "
+                f"verb; got stages: {sorted(stages)}")
+            assert all("p99_ms" in block for block in stages.values()), (
+                "stage percentile blocks are missing p99_ms")
             with tempfile.TemporaryDirectory() as tmp:
                 graph_file = Path(tmp) / "graph.txt"
                 write_edge_list(graph, graph_file)
@@ -266,6 +301,7 @@ def run_serve_smoke(*, nodes: int = 400, edges: int | None = None,
             "queries": result.queries,
             "queries_per_second": result.queries_per_second,
             "multi_query_flushes": flushes,
+            "server_stages": stages,
             "reload": swap,
         }
     finally:

@@ -14,6 +14,12 @@ Subcommands
   multi-connection load and print client-side latency percentiles and
   an error breakdown (``--verify`` differentially checks every reply
   against a locally built index and exits 3 on any wrong answer);
+* ``top``      — live stats view of a running gateway: request and
+  error counters, per-stage latency percentiles, batcher occupancy,
+  and the slowest traced requests with their span breakdowns;
+* ``metrics-smoke`` — end-to-end observability check (start a server
+  with the HTTP scrape endpoint, drive traffic, scrape ``/metrics``,
+  validate the Prometheus exposition and its metric families);
 * ``chaos``    — run the fault-injection soak
   (:func:`repro.testing.chaos.run_chaos_soak`): a live server plus
   verified load under a seeded schedule of network/kernel/persistence
@@ -40,6 +46,9 @@ Examples
     repro-reach serve g.txt --port 7421 --max-batch 512
     repro-reach loadgen --port 7421 --graph g.txt --connections 32
     repro-reach loadgen --port 7421 --graph g.txt --verify
+    repro-reach serve g.txt --port 7421 --metrics-port 9109
+    repro-reach top --port 7421 --once
+    repro-reach metrics-smoke
     repro-reach chaos --smoke
     repro-reach chaos --seed 7 --duration 10 --nodes 200
     repro-reach bench run table2 --scale quick
@@ -113,9 +122,16 @@ def _cmd_build(args: argparse.Namespace) -> int:
     print(f"scheme           {stats.scheme}")
     print(f"build_seconds    {measured.seconds:.4f}")
     for key, value in stats.as_dict().items():
-        if key == "scheme":
+        if key == "scheme" or key.startswith("seconds_"):
             continue
         print(f"{key:16s} {value}")
+    if stats.phase_seconds:
+        profiled = sum(stats.phase_seconds.values())
+        print("\nphase breakdown")
+        for phase, seconds in stats.phase_seconds.items():
+            share = 100.0 * seconds / profiled if profiled else 0.0
+            print(f"  {phase:28s} {seconds * 1000.0:10.2f} ms"
+                  f"  {share:5.1f}%")
     if args.save is not None:
         from repro.core.serialize import save_dual_index
 
@@ -197,7 +213,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_request_pairs=args.max_request_pairs,
         max_conn_inflight=args.max_conn_inflight,
         request_timeout=args.request_timeout,
-        access_log=args.access_log, executor_workers=args.workers)
+        access_log=args.access_log,
+        access_log_max_bytes=args.access_log_max_bytes,
+        metrics_port=args.metrics_port,
+        slow_log_size=args.slow_log_size,
+        span_sample=args.span_sample,
+        executor_workers=args.workers)
     server = ReachServer(QueryService(index), scheme=scheme,
                          config=config)
 
@@ -209,6 +230,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f" — max_batch={config.max_batch}, "
               f"max_delay={config.max_delay * 1000:.1f}ms, "
               f"policy={config.policy}  (ctrl-c to stop)", flush=True)
+        if config.metrics_port is not None:
+            print(f"Prometheus scrape endpoint on "
+                  f"http://{config.host}:{server.metrics_port}/metrics",
+                  flush=True)
         try:
             await server.serve_forever()
         finally:
@@ -254,6 +279,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                          duration=args.duration,
                          pipeline=args.pipeline,
                          batch_size=args.batch_size, rate=args.rate,
+                         latency_sample=args.latency_sample,
                          expected=expected)
     print(format_kv_table(
         result.as_dict(),
@@ -272,6 +298,80 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         # distinguished from) transport/overload errors.
         return 3
     return 1 if result.error_total else 0
+
+
+def _format_top(doc: dict, slow: int) -> list[str]:
+    """Render one ``stats`` snapshot as the ``top`` screen's lines."""
+    server = doc.get("server", {})
+    service = doc.get("service", {})
+    batcher = doc.get("batcher", {})
+    lines = [
+        f"scheme={doc.get('scheme')}  "
+        f"degraded={doc.get('degraded') or 'no'}  "
+        f"uptime={server.get('uptime_seconds', 0.0):.0f}s  "
+        f"conns={server.get('connections_open', 0)}"
+        f"/{server.get('connections_total', 0)}  "
+        f"swaps={server.get('index_swaps', 0)}",
+        f"requests={server.get('requests_total', 0)}  "
+        f"errors={server.get('errors_total', 0)}  "
+        f"p50={server.get('p50_ms', 0.0):.2f}ms  "
+        f"p99={server.get('p99_ms', 0.0):.2f}ms  "
+        f"qps={service.get('queries_per_second', 0.0):,.0f}",
+        f"batcher: in_flight={batcher.get('in_flight_pairs', 0)}  "
+        f"flushes={batcher.get('flushes', 0)}  "
+        f"mean_pairs={batcher.get('mean_flush_pairs', 0.0):.1f}  "
+        f"shed={batcher.get('shed_requests', 0)}",
+    ]
+    stages = doc.get("stages", {})
+    if stages:
+        lines.append("stage        p50_ms    p95_ms    p99_ms    max_ms")
+        for stage, pcts in stages.items():
+            lines.append(f"  {stage:10s}"
+                         f" {pcts.get('p50_ms', 0.0):8.3f}"
+                         f"  {pcts.get('p95_ms', 0.0):8.3f}"
+                         f"  {pcts.get('p99_ms', 0.0):8.3f}"
+                         f"  {pcts.get('max_ms', 0.0):8.3f}")
+    slow_queries = doc.get("slow_queries", [])[:slow]
+    if slow_queries:
+        lines.append("slowest requests (trace, verb, pairs, ms, stages):")
+        for entry in slow_queries:
+            stages_ms = entry.get("stages_ms", {})
+            breakdown = " ".join(f"{k}={v:.2f}"
+                                 for k, v in stages_ms.items())
+            lines.append(f"  {entry.get('trace', '-'): <14}"
+                         f" {entry.get('verb', '?'):6s}"
+                         f" {entry.get('pairs', 0):5d}"
+                         f" {entry.get('ms', 0.0):9.2f}  {breakdown}")
+    return lines
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.server.client import ReachClient
+
+    with ReachClient(args.host, args.port, timeout=args.timeout) as client:
+        try:
+            while True:
+                doc = client.stats(reset=args.reset)
+                print("\n".join(_format_top(doc, args.slow)), flush=True)
+                if args.once:
+                    return 0
+                print(f"-- refresh in {args.interval:.0f}s "
+                      f"(ctrl-c to stop) --", flush=True)
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            print()
+    return 0
+
+
+def _cmd_metrics_smoke(args: argparse.Namespace) -> int:
+    from repro.obs.smoke import run_metrics_smoke
+
+    report = run_metrics_smoke(nodes=args.nodes, seed=args.seed)
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.ok else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -452,6 +552,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     serve.add_argument("--access-log", default=None,
                        help="structured JSON access-log file "
                             "('-' for stderr)")
+    serve.add_argument("--access-log-max-bytes", type=int, default=None,
+                       help="rotate the access log once it exceeds this "
+                            "many bytes (one .1 generation kept)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="also expose GET /metrics (Prometheus text "
+                            "format) on this HTTP port (0 = ephemeral)")
+    serve.add_argument("--slow-log-size", type=int, default=32,
+                       help="slowest requests retained by the "
+                            "slow-query log")
+    serve.add_argument("--span-sample", type=int, default=8,
+                       help="record per-stage span histograms for 1 in "
+                            "this many requests (the slow-query log "
+                            "still sees every request; 1 = all)")
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -476,6 +589,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                          help="pairs per request (1 = 'query' verb)")
     loadgen.add_argument("--rate", type=float, default=None,
                          help="aggregate requests/second pacing target")
+    loadgen.add_argument("--latency-sample", type=int, default=1,
+                         help="record the latency of every Nth request "
+                              "(1 = all; >1 trades tail-percentile "
+                              "fidelity for loadgen overhead)")
     loadgen.add_argument("--verify", action="store_true",
                          help="differentially check every reply against "
                               "a locally built index (needs --graph); "
@@ -484,6 +601,32 @@ def main(argv: Sequence[str] | None = None) -> int:
                          default="dual-i",
                          help="scheme for the --verify ground-truth "
                               "index")
+
+    top = sub.add_parser(
+        "top",
+        help="live stats view of a running gateway (requests, stage "
+             "percentiles, batcher occupancy, slowest queries)")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, required=True)
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit")
+    top.add_argument("--slow", type=int, default=5,
+                     help="slowest requests shown per refresh")
+    top.add_argument("--reset", action="store_true",
+                     help="drain the service window and slow-query log "
+                          "on every poll, so each refresh shows that "
+                          "interval only")
+    top.add_argument("--timeout", type=float, default=10.0)
+
+    metrics_smoke = sub.add_parser(
+        "metrics-smoke",
+        help="end-to-end observability check: start a server, drive "
+             "traffic, scrape /metrics, validate the exposition")
+    metrics_smoke.add_argument("--nodes", type=int, default=200,
+                               help="synthetic graph size")
+    metrics_smoke.add_argument("--seed", type=int, default=0)
 
     chaos = sub.add_parser(
         "chaos",
@@ -564,6 +707,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "query": _cmd_query,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "top": _cmd_top,
+        "metrics-smoke": _cmd_metrics_smoke,
         "chaos": _cmd_chaos,
         "validate": _cmd_validate,
         "selftest": _cmd_selftest,

@@ -38,6 +38,7 @@ from repro.core.base import (
 )
 from repro.core.nontree_labels import assign_nontree_labels
 from repro.core.pipeline import DualPipeline, run_pipeline
+from repro.obs.phases import PhaseProfiler
 from repro.core.tlc_matrix import TLCMatrix, build_tlc_matrix, pack_tlc_matrix
 from repro.exceptions import QueryError
 from repro.graph.digraph import DiGraph, Node
@@ -144,22 +145,21 @@ class DualIIndex(ReachabilityIndex):
         wall_start = time.perf_counter()
         pipeline = run_pipeline(graph, use_meg=use_meg, backend=backend)
 
-        phase_start = time.perf_counter()
-        tlc = build_tlc_matrix(pipeline.transitive_table)
-        if matrix_backend == "packed":
-            tlc = pack_tlc_matrix(tlc)
-        elif matrix_backend == "bitpacked":
-            from repro.core.tlc_bitpacked import bitpack_tlc_matrix
+        profiler = PhaseProfiler()
+        with profiler.phase("tlc_matrix"):
+            tlc = build_tlc_matrix(pipeline.transitive_table)
+            if matrix_backend == "packed":
+                tlc = pack_tlc_matrix(tlc)
+            elif matrix_backend == "bitpacked":
+                from repro.core.tlc_bitpacked import bitpack_tlc_matrix
 
-            tlc = bitpack_tlc_matrix(tlc)
-        pipeline.phase_seconds["tlc_matrix"] = (
-            time.perf_counter() - phase_start)
+                tlc = bitpack_tlc_matrix(tlc)
 
-        phase_start = time.perf_counter()
-        nontree = assign_nontree_labels(pipeline.forest, pipeline.labeling,
-                                        pipeline.transitive_table)
-        pipeline.phase_seconds["nontree_labels"] = (
-            time.perf_counter() - phase_start)
+        with profiler.phase("nontree_labels"):
+            nontree = assign_nontree_labels(pipeline.forest,
+                                            pipeline.labeling,
+                                            pipeline.transitive_table)
+        pipeline.phase_seconds.update(profiler.seconds)
 
         num_components = pipeline.condensation.num_components
         starts = list(pipeline.interval_starts)

@@ -30,6 +30,7 @@ from repro.core.base import (
     register_scheme,
 )
 from repro.core.pipeline import DualPipeline, run_pipeline
+from repro.obs.phases import PhaseProfiler
 from repro.core.tlc_searchtree import TLCSearchTree, build_tlc_search_tree
 from repro.exceptions import QueryError
 from repro.graph.digraph import DiGraph, Node
@@ -100,10 +101,10 @@ class DualIIIndex(ReachabilityIndex):
         wall_start = time.perf_counter()
         pipeline = run_pipeline(graph, use_meg=use_meg, backend=backend)
 
-        phase_start = time.perf_counter()
-        tree = build_tlc_search_tree(pipeline.transitive_table)
-        pipeline.phase_seconds["tlc_search_tree"] = (
-            time.perf_counter() - phase_start)
+        profiler = PhaseProfiler()
+        with profiler.phase("tlc_search_tree"):
+            tree = build_tlc_search_tree(pipeline.transitive_table)
+        pipeline.phase_seconds.update(profiler.seconds)
 
         num_components = pipeline.condensation.num_components
         starts = list(pipeline.interval_starts)

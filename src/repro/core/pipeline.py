@@ -40,8 +40,10 @@ Figure 8/9/11 indexing-time series, the MEG ablation, and the
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.phases import PhaseProfiler
 
 import numpy as np
 
@@ -225,7 +227,9 @@ class DualPipeline:
 
 
 def run_pipeline(graph: DiGraph, use_meg: bool = True,
-                 backend: str = "fast") -> DualPipeline:
+                 backend: str = "fast",
+                 registry: MetricsRegistry | None = None
+                 ) -> DualPipeline:
     """Run the full preprocessing pipeline on ``graph``.
 
     Parameters
@@ -239,46 +243,48 @@ def run_pipeline(graph: DiGraph, use_meg: bool = True,
         ``"fast"`` (default) for the CSR/array construction backend,
         ``"python"`` for the dict-based reference implementation.  Both
         produce identical artefacts.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`: phase
+        durations are then also observed into the
+        ``reach_build_phase_seconds{phase=...}`` histogram family, so
+        repeated builds (hot reloads, benchmark sweeps) accumulate
+        per-phase distributions.
     """
     if backend not in PIPELINE_BACKENDS:
         raise ValueError(
             f"backend must be one of {PIPELINE_BACKENDS}, got {backend!r}")
+    profiler = PhaseProfiler(registry)
     if backend == "fast":
-        return _run_fast(graph, use_meg)
-    return _run_python(graph, use_meg)
+        return _run_fast(graph, use_meg, profiler)
+    return _run_python(graph, use_meg, profiler)
 
 
-def _run_python(graph: DiGraph, use_meg: bool) -> DualPipeline:
+def _run_python(graph: DiGraph, use_meg: bool,
+                profiler: PhaseProfiler | None = None) -> DualPipeline:
     """The dict-based reference pipeline (``backend="python"``)."""
-    timings: dict[str, float] = {}
+    profiler = profiler if profiler is not None else PhaseProfiler()
 
-    start = time.perf_counter()
-    cond = condense(graph)
-    timings["condense"] = time.perf_counter() - start
+    with profiler.phase("condense"):
+        cond = condense(graph)
 
     dag = cond.dag
     meg_edges: int | None = None
     if use_meg:
-        start = time.perf_counter()
-        dag = minimal_equivalent_graph(dag).graph
-        timings["meg"] = time.perf_counter() - start
+        with profiler.phase("meg"):
+            dag = minimal_equivalent_graph(dag).graph
         meg_edges = dag.num_edges
 
-    start = time.perf_counter()
-    forest = spanning_forest(dag)
-    timings["spanning"] = time.perf_counter() - start
+    with profiler.phase("spanning"):
+        forest = spanning_forest(dag)
 
-    start = time.perf_counter()
-    labeling = assign_intervals(forest)
-    timings["intervals"] = time.perf_counter() - start
+    with profiler.phase("intervals"):
+        labeling = assign_intervals(forest)
 
-    start = time.perf_counter()
-    base_table = build_link_table(forest.nontree_edges, labeling)
-    timings["link_table"] = time.perf_counter() - start
+    with profiler.phase("link_table"):
+        base_table = build_link_table(forest.nontree_edges, labeling)
 
-    start = time.perf_counter()
-    transitive = transitive_link_table(base_table)
-    timings["transitive_closure_of_links"] = time.perf_counter() - start
+    with profiler.phase("transitive_closure_of_links"):
+        transitive = transitive_link_table(base_table)
 
     return DualPipeline(
         condensation=cond,
@@ -288,12 +294,13 @@ def _run_python(graph: DiGraph, use_meg: bool) -> DualPipeline:
         labeling=labeling,
         base_table=base_table,
         transitive_table=transitive,
-        phase_seconds=timings,
+        phase_seconds=profiler.seconds,
         backend="python",
     )
 
 
-def _run_fast(graph: DiGraph, use_meg: bool) -> DualPipeline:
+def _run_fast(graph: DiGraph, use_meg: bool,
+              profiler: PhaseProfiler | None = None) -> DualPipeline:
     """The CSR/array pipeline (``backend="fast"``).
 
     Phase keys match the reference path so timing series stay
@@ -305,66 +312,62 @@ def _run_fast(graph: DiGraph, use_meg: bool) -> DualPipeline:
       ``intervals`` phase records only the (near-zero) finalisation —
       its work is fused into ``spanning``.
     """
-    timings: dict[str, float] = {}
+    profiler = profiler if profiler is not None else PhaseProfiler()
     lazy: dict[str, Callable[[], object]] = {}
 
-    start = time.perf_counter()
-    csr = CSRGraph.from_digraph(graph)
-    cond, cond_csr = condense_csr(csr)
-    timings["condense"] = time.perf_counter() - start
+    with profiler.phase("condense"):
+        csr = CSRGraph.from_digraph(graph)
+        cond, cond_csr = condense_csr(csr)
 
     dag_csr = cond_csr
     meg_edges: int | None = None
     if use_meg:
-        start = time.perf_counter()
-        dag_csr = minimal_equivalent_graph_csr(cond_csr)
-        timings["meg"] = time.perf_counter() - start
+        with profiler.phase("meg"):
+            dag_csr = minimal_equivalent_graph_csr(cond_csr)
         meg_edges = dag_csr.num_edges
         lazy["dag"] = dag_csr.to_digraph
     else:
         lazy["dag"] = lambda: cond.dag
 
-    start = time.perf_counter()
-    cf = spanning_forest_csr(dag_csr)
-    timings["spanning"] = time.perf_counter() - start
+    with profiler.phase("spanning"):
+        cf = spanning_forest_csr(dag_csr)
     lazy["forest"] = cf.materialize
 
-    start = time.perf_counter()
-    starts, ends = cf.start, cf.end
-    nodes = dag_csr.nodes
-    lazy["labeling"] = lambda: labeling_from_arrays(nodes, starts, ends)
-    timings["intervals"] = time.perf_counter() - start
+    with profiler.phase("intervals"):
+        starts, ends = cf.start, cf.end
+        nodes = dag_csr.nodes
+        lazy["labeling"] = lambda: labeling_from_arrays(nodes, starts,
+                                                        ends)
 
-    start = time.perf_counter()
-    sa = np.asarray(starts, dtype=np.int64)
-    ea = np.asarray(ends, dtype=np.int64)
-    bt = sa[cf.nontree_u]
-    bs = sa[cf.nontree_v]
-    be = ea[cf.nontree_v]
-    # Canonical link order: sort by (tail, head_start, head_end), then
-    # drop duplicate triples — same normal form as linktable._make_table.
-    order = np.lexsort((be, bs, bt))
-    bt, bs, be = bt[order], bs[order], be[order]
-    if bt.size:
-        keep = np.empty(bt.size, dtype=bool)
-        keep[0] = True
-        keep[1:] = ((bt[1:] != bt[:-1]) | (bs[1:] != bs[:-1])
-                    | (be[1:] != be[:-1]))
-        bt, bs, be = bt[keep], bs[keep], be[keep]
-    lazy["base_table"] = lambda: table_from_arrays(
-        bt.tolist(), bs.tolist(), be.tolist())
-    timings["link_table"] = time.perf_counter() - start
+    with profiler.phase("link_table"):
+        sa = np.asarray(starts, dtype=np.int64)
+        ea = np.asarray(ends, dtype=np.int64)
+        bt = sa[cf.nontree_u]
+        bs = sa[cf.nontree_v]
+        be = ea[cf.nontree_v]
+        # Canonical link order: sort by (tail, head_start, head_end),
+        # then drop duplicate triples — same normal form as
+        # linktable._make_table.
+        order = np.lexsort((be, bs, bt))
+        bt, bs, be = bt[order], bs[order], be[order]
+        if bt.size:
+            keep = np.empty(bt.size, dtype=bool)
+            keep[0] = True
+            keep[1:] = ((bt[1:] != bt[:-1]) | (bs[1:] != bs[:-1])
+                        | (be[1:] != be[:-1]))
+            bt, bs, be = bt[keep], bs[keep], be[keep]
+        lazy["base_table"] = lambda: table_from_arrays(
+            bt.tolist(), bs.tolist(), be.tolist())
 
-    start = time.perf_counter()
-    closed_tails, closed_hs, closed_he = close_link_arrays(bt, bs, be)
-    lazy["transitive_table"] = lambda: table_from_arrays(
-        closed_tails, closed_hs, closed_he)
-    timings["transitive_closure_of_links"] = time.perf_counter() - start
+    with profiler.phase("transitive_closure_of_links"):
+        closed_tails, closed_hs, closed_he = close_link_arrays(bt, bs, be)
+        lazy["transitive_table"] = lambda: table_from_arrays(
+            closed_tails, closed_hs, closed_he)
 
     return DualPipeline(
         condensation=cond,
         meg_edges=meg_edges,
-        phase_seconds=timings,
+        phase_seconds=profiler.seconds,
         backend="fast",
         lazy=lazy,
         t=int(bt.size),

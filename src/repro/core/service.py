@@ -38,25 +38,34 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 import numpy as np
 
 from repro.core.base import LabelArrays, ReachabilityIndex
 from repro.graph.digraph import Node
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["QueryService", "ServiceMetrics"]
 
 
-@dataclass
 class ServiceMetrics:
-    """Counters and per-stage timers of a :class:`QueryService`.
+    """Counters and per-stage timers of a :class:`QueryService`,
+    backed by a :class:`~repro.obs.metrics.MetricsRegistry`.
 
-    Attributes
-    ----------
+    The counters keep their historical read API (``metrics.queries``,
+    ``metrics.cache_hit_rate``, :meth:`as_dict` with the same keys) but
+    live in ``reach_service_*`` metric families, so the gateway's
+    Prometheus exposition and the ``stats`` verb report the very same
+    numbers, and :meth:`as_dict` with ``reset=True`` is an *atomic*
+    read-and-zero per counter — an increment racing a reset lands
+    either in the returned snapshot or in the fresh window, never
+    nowhere.
+
+    Counter semantics:
+
     queries / batches / positives:
-        Totals over the service's lifetime.
+        Totals since creation or the last reset.
     cache_hits / cache_misses:
         Result-cache traffic; both stay 0 with the cache disabled.
     kernel_queries / scalar_queries:
@@ -68,38 +77,83 @@ class ServiceMetrics:
         ``scalar`` (fallback loop), ``total`` (whole batches).
     """
 
-    queries: int = 0
-    batches: int = 0
-    positives: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    kernel_queries: int = 0
-    scalar_queries: int = 0
-    stage_seconds: dict[str, float] = field(default_factory=dict)
-    #: Monotonic clock value at creation (or the last :meth:`reset`);
-    #: the basis of :attr:`uptime_seconds`.
-    started_at: float = field(default_factory=time.monotonic)
+    _COUNTERS = ("queries", "batches", "positives", "cache_hits",
+                 "cache_misses", "kernel_queries", "scalar_queries")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        #: The backing registry — merged into the gateway's Prometheus
+        #: exposition alongside the server-level families.
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(
+                f"reach_service_{name}_total",
+                f"QueryService {name.replace('_', ' ')} total.")
+            for name in self._COUNTERS}
+        self._stages = self.registry.counter(
+            "reach_service_stage_seconds_total",
+            "QueryService wall-clock seconds per pipeline stage.",
+            labels=("stage",))
+        self._batch_seconds = self.registry.histogram(
+            "reach_service_batch_seconds",
+            "QueryService end-to-end batch evaluation latency.")
+        self.started_at = time.monotonic()
+
+    # -- write API (QueryService hot path) ------------------------------
+    def observe_batch(self, queries: int, positives: int,
+                      seconds: float) -> None:
+        """Account one finished batch (queries, positives, total)."""
+        self._counters["batches"].inc()
+        self._counters["queries"].inc(queries)
+        self._counters["positives"].inc(positives)
+        self._stages.labels("total").inc(seconds)
+        self._batch_seconds.observe(seconds)
 
     def add_stage(self, stage: str, seconds: float) -> None:
         """Accumulate wall-clock time into one pipeline stage."""
-        self.stage_seconds[stage] = (
-            self.stage_seconds.get(stage, 0.0) + seconds)
+        self._stages.labels(stage).inc(seconds)
+
+    def count_kernel(self, queries: int, seconds: float) -> None:
+        self._counters["kernel_queries"].inc(queries)
+        self._stages.labels("kernel").inc(seconds)
+
+    def count_scalar(self, queries: int, seconds: float) -> None:
+        self._counters["scalar_queries"].inc(queries)
+        self._stages.labels("scalar").inc(seconds)
+
+    def count_cache(self, hits: int, misses: int) -> None:
+        if hits:
+            self._counters["cache_hits"].inc(hits)
+        if misses:
+            self._counters["cache_misses"].inc(misses)
 
     def reset(self) -> None:
         """Zero every counter and timer and restart the uptime clock.
 
-        The serving layer's ``stats`` verb exposes this so operators can
-        measure rates over an interval without restarting the process.
+        The serving layer's ``stats``/``metrics`` verbs expose this so
+        operators can measure rates over an interval without
+        restarting the process.
         """
-        self.queries = 0
-        self.batches = 0
-        self.positives = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.kernel_queries = 0
-        self.scalar_queries = 0
-        self.stage_seconds.clear()
+        self.registry.reset()
         self.started_at = time.monotonic()
+
+    # -- read API -------------------------------------------------------
+    def __getattr__(self, name: str) -> Any:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            value = counters[name].value
+            return int(value) if value == int(value) else value
+        raise AttributeError(name)
+
+    @property
+    def stage_seconds(self) -> dict[str, float]:
+        """Accumulated seconds per stage (insertion-ordered)."""
+        family = self.registry._family(
+            "reach_service_stage_seconds_total", "counter", "",
+            ("stage",))
+        return {values[0]: child.value
+                for values, child in family.series()
+                if child.value > 0.0}
 
     @property
     def uptime_seconds(self) -> float:
@@ -109,8 +163,9 @@ class ServiceMetrics:
     @property
     def cache_hit_rate(self) -> float:
         """Hits over total cache probes (0.0 when the cache is idle)."""
-        probes = self.cache_hits + self.cache_misses
-        return self.cache_hits / probes if probes else 0.0
+        hits = self._counters["cache_hits"].value
+        probes = hits + self._counters["cache_misses"].value
+        return hits / probes if probes else 0.0
 
     @property
     def queries_per_second(self) -> float:
@@ -118,22 +173,51 @@ class ServiceMetrics:
         seconds = self.stage_seconds.get("total", 0.0)
         return self.queries / seconds if seconds > 0 else 0.0
 
-    def as_dict(self) -> dict[str, Any]:
-        """Flat dictionary view for CSV/markdown reporting."""
+    def batch_percentiles_ms(self) -> dict[str, float]:
+        """Batch latency ``{p50,p95,p99,max}_ms`` estimates."""
+        return self._batch_seconds.percentiles_ms()
+
+    def as_dict(self, reset: bool = False) -> dict[str, Any]:
+        """Flat dictionary view for CSV/markdown reporting.
+
+        With ``reset``, every counter is drained atomically as it is
+        read (and the uptime clock restarts), so no concurrent
+        increment is ever lost between the snapshot and the zeroing.
+        """
+        stage_rows = sorted(
+            (values[0], child)
+            for values, child in self.registry._family(
+                "reach_service_stage_seconds_total", "counter", "",
+                ("stage",)).series())
+        counts = {name: self._counters[name].snapshot(reset=reset)
+                  for name in self._COUNTERS}
+        counts = {name: int(v) if v == int(v) else v
+                  for name, v in counts.items()}
+        stages = {stage: value for stage, value in
+                  ((stage, child.snapshot(reset=reset))
+                   for stage, child in stage_rows)
+                  if value > 0.0}
+        probes = counts["cache_hits"] + counts["cache_misses"]
+        total = stages.get("total", 0.0)
         row: dict[str, Any] = {
-            "queries": self.queries,
-            "batches": self.batches,
-            "positives": self.positives,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "cache_hit_rate": self.cache_hit_rate,
-            "kernel_queries": self.kernel_queries,
-            "scalar_queries": self.scalar_queries,
-            "queries_per_second": self.queries_per_second,
+            "queries": counts["queries"],
+            "batches": counts["batches"],
+            "positives": counts["positives"],
+            "cache_hits": counts["cache_hits"],
+            "cache_misses": counts["cache_misses"],
+            "cache_hit_rate": (counts["cache_hits"] / probes
+                               if probes else 0.0),
+            "kernel_queries": counts["kernel_queries"],
+            "scalar_queries": counts["scalar_queries"],
+            "queries_per_second": (counts["queries"] / total
+                                   if total > 0 else 0.0),
             "uptime_seconds": self.uptime_seconds,
         }
-        for stage, seconds in sorted(self.stage_seconds.items()):
+        for stage, seconds in stages.items():
             row[f"seconds_{stage}"] = seconds
+        if reset:
+            self._batch_seconds.snapshot(reset=True)
+            self.started_at = time.monotonic()
         return row
 
 
@@ -211,11 +295,7 @@ class QueryService:
             answers, positives = self._batch_vector(pairs)
         else:
             answers, positives = self._batch_scalar(pairs)
-        with self._lock:
-            self.metrics.batches += 1
-            self.metrics.queries += len(pairs)
-            self.metrics.positives += positives
-            self.metrics.add_stage("total",
+        self.metrics.observe_batch(len(pairs), positives,
                                    time.perf_counter() - started)
         return answers
 
@@ -239,9 +319,7 @@ class QueryService:
             mapped = time.perf_counter()
             cu = self._arrays.components_of(sources)
             cv = self._arrays.components_of(targets)
-            with self._lock:
-                self.metrics.add_stage("map",
-                                       time.perf_counter() - mapped)
+            self.metrics.add_stage("map", time.perf_counter() - mapped)
             grid_u, grid_v = np.meshgrid(cu, cv, indexing="ij")
             flat = self._run_kernel(grid_u.ravel(), grid_v.ravel())
             matrix = flat.reshape(len(sources), len(targets))
@@ -252,15 +330,9 @@ class QueryService:
             for i, u in enumerate(sources):
                 for j, v in enumerate(targets):
                     matrix[i, j] = reach(u, v)
-            with self._lock:
-                self.metrics.scalar_queries += matrix.size
-                self.metrics.add_stage("scalar",
-                                       time.perf_counter() - evaluated)
-        with self._lock:
-            self.metrics.batches += 1
-            self.metrics.queries += matrix.size
-            self.metrics.positives += int(matrix.sum())
-            self.metrics.add_stage("total",
+            self.metrics.count_scalar(matrix.size,
+                                      time.perf_counter() - evaluated)
+        self.metrics.observe_batch(int(matrix.size), int(matrix.sum()),
                                    time.perf_counter() - started)
         return matrix
 
@@ -297,8 +369,7 @@ class QueryService:
         assert arrays is not None
         mapped = time.perf_counter()
         cu, cv = arrays.pair_components(pairs)
-        with self._lock:
-            self.metrics.add_stage("map", time.perf_counter() - mapped)
+        self.metrics.add_stage("map", time.perf_counter() - mapped)
         if self._cache is None:
             out = self._run_kernel(cu, cv)
             return out.tolist(), int(out.sum())
@@ -325,10 +396,7 @@ class QueryService:
                     np.array_split(cu, num_chunks),
                     np.array_split(cv, num_chunks))]
             out = np.concatenate([f.result() for f in futures])
-        with self._lock:
-            self.metrics.kernel_queries += n
-            self.metrics.add_stage("kernel",
-                                   time.perf_counter() - started)
+        self.metrics.count_kernel(n, time.perf_counter() - started)
         return out
 
     # -- scalar fallback path -------------------------------------------
@@ -362,10 +430,8 @@ class QueryService:
             futures = [self._ensure_pool().submit(
                 self.index.reachable_many, chunk) for chunk in chunks]
             answers = [a for f in futures for a in f.result()]
-        with self._lock:
-            self.metrics.scalar_queries += len(pairs)
-            self.metrics.add_stage("scalar",
-                                   time.perf_counter() - started)
+        self.metrics.count_scalar(len(pairs),
+                                  time.perf_counter() - started)
         return answers
 
     # -- cache ----------------------------------------------------------
@@ -377,6 +443,7 @@ class QueryService:
         started = time.perf_counter()
         answers: list = [False] * len(keys)
         misses: list[int] = []
+        hits = 0
         # Dedupe within the batch too: repeated keys evaluate once.
         pending: dict[tuple, list[int]] = {}
         with self._lock:
@@ -384,16 +451,15 @@ class QueryService:
                 if key in cache:
                     cache.move_to_end(key)
                     answers[i] = cache[key]
-                    self.metrics.cache_hits += 1
+                    hits += 1
                 elif key in pending:
                     pending[key].append(i)
-                    self.metrics.cache_hits += 1
+                    hits += 1
                 else:
                     pending[key] = []
                     misses.append(i)
-                    self.metrics.cache_misses += 1
-            self.metrics.add_stage("cache",
-                                   time.perf_counter() - started)
+        self.metrics.count_cache(hits, len(misses))
+        self.metrics.add_stage("cache", time.perf_counter() - started)
         if misses:
             fresh = evaluate(misses)
             fill = time.perf_counter()
@@ -408,8 +474,8 @@ class QueryService:
                     cache.move_to_end(key)
                 while len(cache) > self._cache_size:
                     cache.popitem(last=False)
-                self.metrics.add_stage("cache",
-                                       time.perf_counter() - fill)
+            self.metrics.add_stage("cache",
+                                   time.perf_counter() - fill)
         return answers
 
     # -- pool -----------------------------------------------------------

@@ -1,0 +1,63 @@
+"""``repro.obs`` — the unified observability layer.
+
+Everything the repo measures about itself at runtime flows through
+this package:
+
+* :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` of counters,
+  gauges, and fixed-bucket latency histograms, with atomic
+  snapshot-and-reset semantics (the ``stats``/``metrics`` verbs'
+  ``reset=true`` can never lose increments);
+* :mod:`repro.obs.prometheus` — text-format exposition (served by the
+  ``metrics`` protocol verb and the gateway's optional HTTP scrape
+  endpoint) plus the minimal validator the CI smoke gate uses;
+* :mod:`repro.obs.tracing` — trace IDs, per-stage request spans that
+  sum to the end-to-end latency, and the top-K slow-query log;
+* :mod:`repro.obs.phases` — build-phase profiling shared by both
+  pipeline construction backends.
+
+The serving stack (:mod:`repro.server`), the batch front-end
+(:mod:`repro.core.service`), the chaos harness
+(:mod:`repro.testing.chaos`), and the benchmarks all record into this
+one schema, so a number seen in ``BENCH_serve.json``, a Prometheus
+scrape, a chaos report, and ``repro-reach top`` is always the same
+metric computed the same way.  ``docs/OBSERVABILITY.md`` catalogues the
+metric names and trace stages.
+"""
+
+from repro.obs.metrics import (
+    BUILD_PHASE_BUCKETS,
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RECOVERY_BUCKETS,
+)
+from repro.obs.phases import PhaseProfiler
+from repro.obs.prometheus import CONTENT_TYPE, parse_exposition, render
+from repro.obs.tracing import (
+    REQUEST_STAGES,
+    BatchTicket,
+    SlowQueryLog,
+    SpanRecorder,
+    TraceIds,
+)
+
+__all__ = [
+    "BUILD_PHASE_BUCKETS",
+    "BatchTicket",
+    "CONTENT_TYPE",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "RECOVERY_BUCKETS",
+    "REQUEST_STAGES",
+    "SlowQueryLog",
+    "SpanRecorder",
+    "TraceIds",
+    "parse_exposition",
+    "render",
+]

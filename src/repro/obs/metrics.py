@@ -1,0 +1,429 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+One :class:`MetricsRegistry` holds every metric of one subsystem (the
+gateway has one, each :class:`~repro.core.service.QueryService` has its
+own, the chaos harness builds one per soak).  Metrics are created once
+— ``registry.counter(...)`` is idempotent per name — and updated on hot
+paths with one short critical section per operation, so the write cost
+is a lock acquire plus an integer/float add (histograms add a bisect
+over a small tuple of bucket bounds).
+
+Design decisions that matter for the serving hot path:
+
+* **fixed buckets, no reservoirs** — a latency observation is O(log B)
+  with B ≈ 16 bucket bounds and zero allocation, unlike a sorted
+  reservoir percentile; quantile *estimates* come from the bucket
+  counts (the estimate is the upper bound of the bucket containing the
+  quantile, i.e. never optimistic);
+* **atomic drain** — ``snapshot(reset=True)`` reads and zeroes a metric
+  under one lock hold, so an increment racing a reset lands either in
+  the returned snapshot or in the fresh window, never nowhere.  This is
+  what makes the ``stats``/``metrics`` verbs' ``reset=true`` safe under
+  concurrent batches;
+* **collectors** — subsystems that already keep cheap event-loop-
+  confined counters (the :class:`~repro.server.batcher.MicroBatcher`)
+  register a callback that renders them into metric families at scrape
+  time, so their hot paths stay lock-free.
+
+Label support is deliberately minimal: a family is created with a tuple
+of label *names* and ``family.labels(v1, v2, ...)`` returns the cached
+child for those label *values*.  Children live forever (cardinality is
+bounded by construction here: verbs, error codes, stage names).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "BUILD_PHASE_BUCKETS",
+    "RECOVERY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Request/stage latency bucket upper bounds in seconds (100µs – 10s).
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: Index-construction phase bucket upper bounds in seconds.
+BUILD_PHASE_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+#: Post-fault recovery-time bucket upper bounds in seconds (chaos soak).
+RECOVERY_BUCKETS = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+class Counter:
+    """A monotonically increasing value (floats allowed, e.g. seconds).
+
+    ``reset()`` (and the registry-level drain) is the only way the value
+    goes down — and it goes to exactly zero, atomically with the
+    snapshot read, so rate windows never lose increments.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    def inc_locked(self, amount: float = 1.0) -> None:
+        """``inc`` for callers already holding :attr:`MetricsRegistry
+        .lock` — lets a hot path update several instruments under one
+        acquisition."""
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self, reset: bool = False) -> float:
+        with self._lock:
+            value = self._value
+            if reset:
+                self._value = 0.0
+        return value
+
+
+class Gauge:
+    """A value that can go up and down (connections open, queue depth).
+
+    Gauges describe *current state*, so registry resets leave them
+    untouched — zeroing ``connections_open`` would simply be wrong.
+    """
+
+    __slots__ = ("_value", "_lock", "_fn")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Make the gauge read ``fn()`` at snapshot time (live values
+        like queue depth that already exist elsewhere)."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+    def snapshot(self, reset: bool = False) -> float:
+        # ``reset`` is accepted for interface symmetry; state survives.
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket distribution of observations (latencies, sizes).
+
+    ``buckets`` are the upper bounds (``le`` semantics); an implicit
+    ``+Inf`` bucket catches the tail.  Tracks count, sum, and max so
+    mean and a pessimistic max are exact even though quantiles are
+    bucket-resolution estimates.
+    """
+
+    __slots__ = ("bounds", "_counts", "_sum", "_count", "_max", "_lock")
+
+    def __init__(self, lock: threading.Lock,
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+                 ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2
+                             in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"bucket bounds must be strictly increasing and "
+                f"non-empty, got {buckets!r}")
+        self.bounds = bounds
+        self._lock = lock
+        self._counts = [0] * (len(bounds) + 1)  # + the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+            if value > self._max:
+                self._max = value
+
+    def observe_locked(self, value: float) -> None:
+        """``observe`` for callers already holding :attr:`MetricsRegistry
+        .lock` (e.g. one acquisition covering every span of a request)."""
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, q: float) -> float:
+        """Quantile estimate: the upper bound of the bucket holding the
+        q-quantile observation (the exact max for the +Inf bucket), so
+        the estimate never understates the true quantile beyond bucket
+        resolution."""
+        with self._lock:
+            return self._percentile_locked(q)
+
+    def _percentile_locked(self, q: float) -> float:
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        for idx, n in enumerate(self._counts):
+            cumulative += n
+            if cumulative >= rank and n:
+                if idx < len(self.bounds):
+                    return min(self.bounds[idx], self._max)
+                return self._max
+        return self._max
+
+    def percentiles_ms(self) -> dict[str, float]:
+        """The ``{p50,p95,p99,max}_ms`` block the stats verb reports."""
+        with self._lock:
+            return {
+                "p50_ms": self._percentile_locked(0.50) * 1000.0,
+                "p95_ms": self._percentile_locked(0.95) * 1000.0,
+                "p99_ms": self._percentile_locked(0.99) * 1000.0,
+                "max_ms": self._max * 1000.0,
+            }
+
+    def snapshot(self, reset: bool = False) -> dict[str, Any]:
+        """Bucket counts (non-cumulative), sum, count, and max; with
+        ``reset`` the read-and-zero is one atomic operation."""
+        with self._lock:
+            buckets: dict[str, int] = {}
+            for bound, n in zip(self.bounds, self._counts):
+                buckets[format_bound(bound)] = n
+            buckets["+Inf"] = self._counts[-1]
+            snap = {"count": self._count, "sum": self._sum,
+                    "max": self._max, "buckets": buckets}
+            if reset:
+                self._counts = [0] * (len(self.bounds) + 1)
+                self._sum = 0.0
+                self._count = 0
+                self._max = 0.0
+        return snap
+
+
+def format_bound(bound: float) -> str:
+    """Canonical text form of a bucket bound (``0.005``, ``1``, ``+Inf``)."""
+    if math.isinf(bound):
+        return "+Inf"
+    if bound == int(bound):
+        return str(int(bound))
+    return repr(bound)
+
+
+_CHILD_TYPES = {"counter": Counter, "gauge": Gauge,
+                "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric plus its labelled children."""
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 label_names: tuple[str, ...],
+                 lock: threading.Lock,
+                 buckets: Sequence[float] | None = None) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = label_names
+        self._lock = lock
+        self._buckets = buckets
+        self._children: dict[tuple, Any] = {}
+
+    def labels(self, *values: Any):
+        """The child for one label-value combination (cached forever)."""
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"{self.name} takes labels {self.label_names}, got "
+                f"{values!r}")
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    if self.kind == "histogram":
+                        child = Histogram(
+                            self._lock,
+                            self._buckets or DEFAULT_LATENCY_BUCKETS)
+                    else:
+                        child = _CHILD_TYPES[self.kind](self._lock)
+                    self._children[key] = child
+        return child
+
+    def series(self) -> list[tuple[tuple, Any]]:
+        """``(label_values, child)`` pairs, insertion-ordered."""
+        with self._lock:
+            return list(self._children.items())
+
+    def snapshot(self, reset: bool = False) -> dict[str, Any]:
+        series = []
+        for values, child in self.series():
+            series.append({
+                "labels": dict(zip(self.label_names, values)),
+                "value": child.snapshot(reset=reset),
+            })
+        return {"type": self.kind, "help": self.help,
+                "series": series}
+
+
+class MetricsRegistry:
+    """A namespace of metric families plus scrape-time collectors.
+
+    All children of one registry share one lock: every mutation is a
+    short critical section, and a full-registry drain
+    (``snapshot(reset=True)``) observes a point-in-time-consistent
+    state per child — see the module docstring for why increments can
+    never be lost across a reset.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+        self._collectors: list[Callable[[], Iterable[dict]]] = []
+
+    @property
+    def lock(self) -> threading.Lock:
+        """The registry-wide lock, for composed hot-path updates: hold
+        it once and use the instruments' ``*_locked`` variants to
+        record a whole request in a single acquisition."""
+        return self._lock
+
+    # -- creation -------------------------------------------------------
+    def _family(self, name: str, kind: str, help_text: str,
+                labels: Sequence[str],
+                buckets: Sequence[float] | None = None) -> MetricFamily:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        label_names = tuple(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind \
+                        or family.label_names != label_names:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind}{family.label_names}, cannot "
+                        f"re-register as {kind}{label_names}")
+                return family
+            family = MetricFamily(name, kind, help_text, label_names,
+                                  self._lock, buckets)
+            self._families[name] = family
+        return family
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Sequence[str] = ()):
+        """A counter (no labels) or counter family (with labels)."""
+        family = self._family(name, "counter", help_text, labels)
+        return family if labels else family.labels()
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Sequence[str] = ()):
+        """A gauge (no labels) or gauge family (with labels)."""
+        family = self._family(name, "gauge", help_text, labels)
+        return family if labels else family.labels()
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        """A histogram (no labels) or histogram family (with labels)."""
+        family = self._family(name, "histogram", help_text, labels,
+                              buckets)
+        return family if labels else family.labels()
+
+    def register_collector(self,
+                           collect: Callable[[], Iterable[dict]]) -> None:
+        """Add a scrape-time callback producing extra families.
+
+        ``collect()`` yields dicts shaped like::
+
+            {"name": ..., "type": "counter"|"gauge", "help": ...,
+             "samples": [({"label": "value", ...}, number), ...]}
+
+        Used to expose subsystems (the micro-batcher) that keep plain
+        event-loop-confined counters without adding locks to them.
+        """
+        self._collectors.append(collect)
+
+    # -- reading --------------------------------------------------------
+    def families(self) -> list[MetricFamily]:
+        with self._lock:
+            return list(self._families.values())
+
+    def collected(self) -> list[dict]:
+        """Every collector's output, flattened (scrape-time only)."""
+        out: list[dict] = []
+        for collect in list(self._collectors):
+            out.extend(collect())
+        return out
+
+    def snapshot(self, reset: bool = False) -> dict[str, Any]:
+        """Nested dict view of every registered family (collectors
+        included, under their own names).  With ``reset``, counters and
+        histograms are drained atomically per child; gauges persist."""
+        snap = {name: family.snapshot(reset=reset)
+                for name, family in
+                sorted((f.name, f) for f in self.families())}
+        for extra in self.collected():
+            snap[extra["name"]] = {
+                "type": extra.get("type", "gauge"),
+                "help": extra.get("help", ""),
+                "series": [{"labels": dict(labels), "value": value}
+                           for labels, value in extra["samples"]],
+            }
+        return snap
+
+    def reset(self) -> None:
+        """Zero every counter and histogram (gauges keep their state)."""
+        for family in self.families():
+            for _, child in family.series():
+                child.snapshot(reset=True)

@@ -1,0 +1,68 @@
+"""Build-phase profiling: timers around the index-construction phases.
+
+GRAIL-style reachability papers report *per-phase* index construction
+cost (Tarjan/condense, MEG reduction, spanning tree, interval labels,
+link-table closure); this module gives both pipeline backends one
+uniform way to produce that breakdown and, when a registry is
+attached, to feed it into the same metric schema the serving stack
+uses (``reach_build_phase_seconds{phase=...}``).
+
+>>> prof = PhaseProfiler()
+>>> with prof.phase("condense"):
+...     _ = sum(range(100))
+>>> list(prof.seconds) == ["condense"]
+True
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import BUILD_PHASE_BUCKETS, MetricsRegistry
+
+__all__ = ["PhaseProfiler"]
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds per named phase.
+
+    Parameters
+    ----------
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        given, every phase duration is also observed into the
+        ``reach_build_phase_seconds`` histogram family so repeated
+        builds (hot reloads, benchmarks) produce per-phase
+        distributions, not just the last run's numbers.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.seconds: dict[str, float] = {}
+        self._family = None
+        if registry is not None:
+            self._family = registry.histogram(
+                "reach_build_phase_seconds",
+                "Index construction time per pipeline phase.",
+                labels=("phase",), buckets=BUILD_PHASE_BUCKETS)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one phase; re-entering a name accumulates."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - started)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Account already-measured seconds to a phase (used where the
+        measurement brackets code that also assigns the result)."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        if self._family is not None:
+            self._family.labels(name).observe(seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())

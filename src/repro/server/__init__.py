@@ -4,7 +4,8 @@ A TCP front-end over :class:`repro.core.service.QueryService` that turns
 the library into a long-running network service:
 
 * **newline-delimited JSON protocol** (:mod:`repro.server.protocol`)
-  with the verbs ``ping``, ``query``, ``batch``, ``stats``, ``reload``;
+  with the verbs ``ping``, ``query``, ``batch``, ``stats``,
+  ``metrics``, ``reload``, ``health``, ``ready``;
 * **cross-connection micro-batching**
   (:class:`repro.server.batcher.MicroBatcher`) — queries from every
   open connection coalesce into one buffer and flush on a size or
@@ -18,9 +19,16 @@ the library into a long-running network service:
   from a saved index file) on a background thread and atomically swaps
   the serving :class:`~repro.core.service.QueryService`, so index
   updates never block readers;
-* **observability** — a structured JSON access log plus a ``stats``
-  verb returning server counters, batcher occupancy histograms,
-  latency percentiles, and ``ServiceMetrics.as_dict()``;
+* **observability** — everything rides on the :mod:`repro.obs` metrics
+  registry (:class:`~repro.server.server.ServerMetrics`): per-request
+  trace IDs with per-stage spans (parse → admission → queue_wait →
+  kernel → serialize), a size-rotated structured JSON access log
+  carrying trace and stage timings, a top-K slow-query log, a
+  ``stats`` verb returning server counters, stage percentiles, batcher
+  occupancy histograms, and ``ServiceMetrics.as_dict()``, plus a
+  ``metrics`` verb and an optional HTTP ``GET /metrics`` endpoint
+  (``ServerConfig.metrics_port``) serving the Prometheus text
+  exposition — see ``docs/OBSERVABILITY.md``;
 * **resilience** — ``health``/``ready`` probe verbs, graceful shutdown
   with a connection-drain deadline, degraded mode (a failed ``reload``
   keeps the last good index and reports ``status: degraded``), a
@@ -49,6 +57,7 @@ from repro.server.protocol import ProtocolError
 from repro.server.server import (
     ReachServer,
     ServerConfig,
+    ServerMetrics,
     ServerThread,
     Supervisor,
 )
@@ -62,6 +71,7 @@ __all__ = [
     "ReachServer",
     "RetryPolicy",
     "ServerConfig",
+    "ServerMetrics",
     "ServerReplyError",
     "ServerThread",
     "Supervisor",

@@ -36,10 +36,12 @@ loop that runs the flush tasks (the gateway guarantees this).
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import deque
 from typing import Awaitable, Callable
 
 from repro.exceptions import ReproError
+from repro.obs.tracing import BatchTicket
 
 __all__ = ["MicroBatcher", "OverloadedError"]
 
@@ -91,7 +93,8 @@ class MicroBatcher:
         self.max_delay = max_delay
         self.max_pending = max_pending
         self.policy = policy
-        self._entries: list[tuple[list, asyncio.Future]] = []
+        self._entries: list[
+            tuple[list, asyncio.Future, BatchTicket | None]] = []
         self._buffered = 0
         self._in_flight = 0
         self._timer: asyncio.TimerHandle | None = None
@@ -115,7 +118,9 @@ class MicroBatcher:
         self.flush_sizes: dict[int, int] = {}
 
     # -- public API -----------------------------------------------------
-    def try_submit(self, pairs: list) -> "asyncio.Future | None":
+    def try_submit(self, pairs: list,
+                   ticket: BatchTicket | None = None
+                   ) -> "asyncio.Future | None":
         """Synchronous fast path: enqueue without awaiting.
 
         Returns the future that will carry the answers, or ``None``
@@ -124,6 +129,10 @@ class MicroBatcher:
         path exists because the gateway calls it once per request:
         skipping the coroutine round-trip is a measurable win on the
         serving hot path.
+
+        ``ticket`` (when given) collects the trace stamps — admission
+        complete, flush start, kernel done — that the gateway turns
+        into per-stage spans.
 
         Raises
         ------
@@ -153,9 +162,10 @@ class MicroBatcher:
                     f"in flight, capacity {self.max_pending})")
             return None
         self._in_flight += n
-        return self._enqueue(pairs, n, loop)
+        return self._enqueue(pairs, n, loop, ticket)
 
-    async def submit(self, pairs: list) -> list:
+    async def submit(self, pairs: list,
+                     ticket: BatchTicket | None = None) -> list:
         """Answers for one request's pairs, via a shared flush.
 
         Raises
@@ -165,7 +175,7 @@ class MicroBatcher:
             either policy when a single request exceeds the whole
             queue capacity.
         """
-        future = self.try_submit(pairs)
+        future = self.try_submit(pairs, ticket)
         if future is None:
             # Block policy with a full queue: wait for room.
             loop = asyncio.get_running_loop()
@@ -177,13 +187,16 @@ class MicroBatcher:
                 if self._closed:
                     raise OverloadedError("batcher is shut down")
             self._in_flight += n
-            future = self._enqueue(pairs, n, loop)
+            future = self._enqueue(pairs, n, loop, ticket)
         return await future
 
     def _enqueue(self, pairs: list, n: int,
-                 loop: asyncio.AbstractEventLoop) -> asyncio.Future:
+                 loop: asyncio.AbstractEventLoop,
+                 ticket: BatchTicket | None = None) -> asyncio.Future:
         future: asyncio.Future = loop.create_future()
-        self._entries.append((pairs, future))
+        if ticket is not None:
+            ticket.enqueued_at = time.perf_counter()
+        self._entries.append((pairs, future, ticket))
         self._buffered += n
         if self._buffered >= self.max_batch or self.max_delay <= 0:
             self._flush()
@@ -233,6 +246,54 @@ class MicroBatcher:
                 str(k): v for k, v in sorted(self.flush_sizes.items())},
         }
 
+    def collect(self) -> list[dict]:
+        """Scrape-time metric families for the Prometheus exposition.
+
+        The batcher's counters are plain event-loop-confined ints (no
+        locks on the hot path); this renders them into the collector
+        shape :meth:`repro.obs.metrics.MetricsRegistry
+        .register_collector` expects.  Power-of-two occupancy and
+        flush-size buckets are exposed as labelled gauges rather than
+        Prometheus histograms because they count *flushes per bucket*,
+        not cumulative observations.
+        """
+        counters = (
+            ("flushes", self.flushes, "Micro-batch flushes."),
+            ("multi_query_flushes", self.multi_query_flushes,
+             "Flushes coalescing more than one request."),
+            ("flushed_requests", self.flushed_requests,
+             "Requests answered through flushes."),
+            ("flushed_pairs", self.flushed_pairs,
+             "Pairs evaluated through flushes."),
+            ("shed_requests", self.shed_requests,
+             "Requests rejected by admission control."),
+            ("isolation_reruns", self.isolation_reruns,
+             "Failed flushes re-evaluated per request."),
+            ("flush_failures", self.flush_failures,
+             "Requests that failed even in isolation."),
+        )
+        families = [
+            {"name": f"reach_batcher_{name}_total", "type": "counter",
+             "help": help_text, "samples": [({}, value)]}
+            for name, value, help_text in counters]
+        families.append({
+            "name": "reach_batcher_in_flight_pairs", "type": "gauge",
+            "help": "Pairs admitted but not yet answered.",
+            "samples": [({}, self._in_flight)]})
+        families.append({
+            "name": "reach_batcher_occupancy_flushes", "type": "gauge",
+            "help": "Flushes per power-of-two requests-per-flush "
+                    "bucket.",
+            "samples": [({"bucket": str(k)}, v) for k, v in
+                        sorted(self.occupancy.items())]})
+        families.append({
+            "name": "reach_batcher_flush_pairs_flushes",
+            "type": "gauge",
+            "help": "Flushes per power-of-two pairs-per-flush bucket.",
+            "samples": [({"bucket": str(k)}, v) for k, v in
+                        sorted(self.flush_sizes.items())]})
+        return families
+
     # -- admission ------------------------------------------------------
     def _release(self, n: int) -> None:
         self._in_flight -= n
@@ -251,7 +312,7 @@ class MicroBatcher:
         entries = self._entries
         self._entries = []
         self._buffered = 0
-        num_pairs = sum(len(pairs) for pairs, _ in entries)
+        num_pairs = sum(len(pairs) for pairs, _, _ in entries)
         self.flushes += 1
         self.flushed_requests += len(entries)
         self.flushed_pairs += num_pairs
@@ -268,17 +329,24 @@ class MicroBatcher:
         task.add_done_callback(self._tasks.discard)
 
     async def _execute(self, entries: list, num_pairs: int) -> None:
-        pairs = [pair for entry_pairs, _ in entries
+        pairs = [pair for entry_pairs, _, _ in entries
                  for pair in entry_pairs]
+        flush_at = time.perf_counter()
+        for _, _, ticket in entries:
+            if ticket is not None:
+                ticket.flush_at = flush_at
         try:
             try:
                 answers = await self._run_batch(pairs)
             except Exception:
                 await self._execute_isolated(entries)
                 return
+            kernel_done = time.perf_counter()
             offset = 0
-            for entry_pairs, future in entries:
+            for entry_pairs, future, ticket in entries:
                 n = len(entry_pairs)
+                if ticket is not None:
+                    ticket.kernel_done = kernel_done
                 if not future.done():
                     future.set_result(list(answers[offset:offset + n]))
                 offset += n
@@ -289,15 +357,19 @@ class MicroBatcher:
         """Fallback after a failed flush: evaluate per request so one
         bad query (unknown node, say) only fails its own submitter."""
         self.isolation_reruns += 1
-        for entry_pairs, future in entries:
+        for entry_pairs, future, ticket in entries:
             if future.done():
                 continue
             try:
                 answers = await self._run_batch(list(entry_pairs))
             except Exception as exc:
                 self.flush_failures += 1
+                if ticket is not None:
+                    ticket.kernel_done = time.perf_counter()
                 if not future.done():
                     future.set_exception(exc)
             else:
+                if ticket is not None:
+                    ticket.kernel_done = time.perf_counter()
                 if not future.done():
                     future.set_result(list(answers))

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.exceptions import ReproError
+from repro.obs.tracing import TraceIds
 from repro.server.protocol import encode_message
 
 __all__ = ["CircuitOpenError", "ReachClient", "RetryPolicy",
@@ -62,7 +63,7 @@ class CircuitOpenError(ReproError):
 #: is indistinguishable from answering them once.  ``reload`` swaps
 #: server state and is deliberately absent.
 IDEMPOTENT_VERBS = frozenset(
-    {"ping", "query", "batch", "stats", "health", "ready"})
+    {"ping", "query", "batch", "stats", "metrics", "health", "ready"})
 
 
 @dataclass(frozen=True)
@@ -118,15 +119,26 @@ class ReachClient:
         propagate immediately.  With one, the initial connect may be
         deferred, idempotent calls retry with backoff, and the circuit
         breaker arms.
+    trace:
+        When true, every request carries a client-minted ``trace`` ID
+        (``<tag>-<seq>``); the gateway propagates it into its access
+        log, span histograms, and slow-query log, so a client-observed
+        latency joins to the server-side stage breakdown with one
+        grep.  :attr:`last_trace_id` holds the most recently minted ID.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  timeout: float = 30.0,
-                 retry: RetryPolicy | None = None) -> None:
+                 retry: RetryPolicy | None = None,
+                 trace: bool = False) -> None:
         self._host = host
         self._port = port
         self._timeout = timeout
         self._retry = retry
+        self._trace_ids = TraceIds() if trace else None
+        #: The trace ID attached to the most recent request (tracing
+        #: clients only); ``None`` before the first call.
+        self.last_trace_id: str | None = None
         self._rng = random.Random(retry.seed if retry else None)
         self._sock: socket.socket | None = None
         self._reader = None
@@ -286,6 +298,9 @@ class ReachClient:
         self._next_id += 1
         request_id = self._next_id
         request = {"id": request_id, "verb": verb, **fields}
+        if self._trace_ids is not None and "trace" not in request:
+            self.last_trace_id = self._trace_ids.next()
+            request["trace"] = self.last_trace_id
         assert self._sock is not None
         self._sock.settimeout(self._attempt_timeout())
         self._sock.sendall(encode_message(request))
@@ -336,6 +351,15 @@ class ReachClient:
         if reset:
             return self.call("stats", reset=True)
         return self.call("stats")
+
+    def metrics(self, reset: bool = False) -> dict:
+        """The server's Prometheus exposition document
+        (``{"content_type": ..., "exposition": <text>}``); with
+        ``reset``, counters and histograms are drained atomically as
+        they are rendered."""
+        if reset:
+            return self.call("metrics", reset=True)
+        return self.call("metrics")
 
     def health(self) -> dict:
         """The server's liveness document; counts ``degraded`` answers

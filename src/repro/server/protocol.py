@@ -5,20 +5,27 @@ UTF-8 encoded, terminated by ``\\n``.  Requests carry a client-chosen
 ``id`` (echoed verbatim in the reply so pipelined clients can match
 responses), a ``verb``, and verb-specific fields:
 
-=========  ==========================================  =================
-verb       request fields                              result
-=========  ==========================================  =================
-``ping``   —                                           ``"pong"``
-``query``  ``u``, ``v``                                ``true``/``false``
-``batch``  ``pairs``: ``[[u, v], ...]``                list of booleans
-``stats``  optional ``reset``: ``true``                nested stats dict
-``reload`` ``graph`` *or* ``index`` path, optional     swap summary dict
-           ``scheme``
-``health`` —                                           liveness dict with
+===========  ========================================  =================
+verb         request fields                            result
+===========  ========================================  =================
+``ping``     —                                         ``"pong"``
+``query``    ``u``, ``v``                              ``true``/``false``
+``batch``    ``pairs``: ``[[u, v], ...]``              list of booleans
+``stats``    optional ``reset``: ``true``              nested stats dict
+``metrics``  optional ``reset``: ``true``              Prometheus text
+                                                       exposition dict
+``reload``   ``graph`` *or* ``index`` path, optional   swap summary dict
+             ``scheme``
+``health``   —                                         liveness dict with
                                                        ``status`` ``"ok"``
                                                        or ``"degraded"``
-``ready``  —                                           readiness dict
-=========  ==========================================  =================
+``ready``    —                                         readiness dict
+===========  ========================================  =================
+
+Any request may carry an optional ``trace`` string: the gateway
+propagates it into the access log, the per-stage span histograms, and
+the slow-query log (and mints one when absent), so a client-observed
+latency can be joined to its server-side stage breakdown.
 
 ``health`` and ``ready`` are the orchestration probes: ``health``
 answers as long as the event loop is alive and reports ``degraded``
@@ -60,8 +67,8 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 #: Verbs the gateway understands.
-VERBS = ("ping", "query", "batch", "stats", "reload", "health",
-         "ready")
+VERBS = ("ping", "query", "batch", "stats", "metrics", "reload",
+         "health", "ready")
 
 # Error codes carried in the ``error`` field of failure replies.
 ERR_BAD_REQUEST = "bad_request"

@@ -40,7 +40,6 @@ import random
 import sys
 import threading
 import time
-from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -48,11 +47,17 @@ from typing import Any
 
 from repro.core.service import QueryService
 from repro.exceptions import QueryError, ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.phases import PhaseProfiler
+from repro.obs.prometheus import CONTENT_TYPE, render
+from repro.obs.tracing import (BatchTicket, SlowQueryLog, SpanRecorder,
+                               TraceIds)
 from repro.server import protocol
 from repro.server.batcher import MicroBatcher, OverloadedError
 from repro.server.protocol import ProtocolError, Request
 
-__all__ = ["ReachServer", "ServerConfig", "ServerThread", "Supervisor"]
+__all__ = ["ReachServer", "ServerConfig", "ServerMetrics",
+           "ServerThread", "Supervisor"]
 
 # asyncio.timeout exists from 3.11; wait_for is the 3.10 fallback.
 _asyncio_timeout = getattr(asyncio, "timeout", None)
@@ -95,10 +100,31 @@ class ServerConfig:
     #: Structured JSON access log: a path, ``"-"`` for stderr, or
     #: ``None`` to disable.
     access_log: str | Path | None = None
+    #: Rotate a file-backed access log once it exceeds this many
+    #: bytes (the old file moves to ``<path>.1``); ``None`` disables
+    #: rotation.
+    access_log_max_bytes: int | None = None
     #: Worker threads evaluating query flushes.
     executor_workers: int = 1
-    #: Latency reservoir size for percentile estimates.
+    #: Retained for construction compatibility: latency percentiles
+    #: now come from fixed-bucket histograms (:mod:`repro.obs`), not a
+    #: reservoir, so this knob is accepted but unused.
     latency_reservoir: int = 65536
+    #: Bind an HTTP ``GET /metrics`` Prometheus scrape endpoint on
+    #: this port (``0`` picks a free port — see
+    #: ``ReachServer.metrics_port``); ``None`` disables it.
+    metrics_port: int | None = None
+    #: Capacity of the slow-query log (top-K slowest requests with
+    #: their span breakdowns); ``0`` disables it.
+    slow_log_size: int = 32
+    #: Record per-stage spans into the ``reach_stage_seconds``
+    #: histograms for 1 in this many requests (deterministic tick).
+    #: Sampling keeps the hot path cheap at tens of thousands of
+    #: requests per second while 1-in-8 of that traffic still gives
+    #: percentile estimates thousands of samples per second; the
+    #: slow-query log is exempt and considers *every* request, so the
+    #: exact tail is never missed.  ``1`` records every request.
+    span_sample: int = 8
     #: Keyword arguments for services built by ``reload``.
     service_options: dict = field(default_factory=dict)
     #: Optional hook applied to every service ``reload`` creates —
@@ -107,55 +133,133 @@ class ServerConfig:
     service_wrapper: Any = None
 
 
-class _ServerStats:
-    """Server-level counters (event-loop-confined)."""
+class ServerMetrics:
+    """Gateway-level metrics in ``reach_*`` families.
 
-    def __init__(self, reservoir: int) -> None:
+    Replaces the old ad-hoc counter/reservoir object: every number the
+    ``stats`` verb reports now lives in a
+    :class:`~repro.obs.metrics.MetricsRegistry`, so the Prometheus
+    exposition (``metrics`` verb, HTTP scrape endpoint) and the
+    ``stats`` document are two views of the same state.  Request
+    latency percentiles come from the fixed-bucket
+    ``reach_request_seconds`` histogram (estimates are bucket upper
+    bounds — never optimistic) instead of a sorted reservoir, which
+    makes ``observe`` O(log buckets) with zero allocation.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
         self.started_at = time.monotonic()
-        self.connections_total = 0
-        self.connections_open = 0
-        self.requests_total = 0
-        self.errors_total = 0
-        self.swaps = 0
-        self.verb_counts: dict[str, int] = {}
-        self.error_counts: dict[str, int] = {}
-        self.latencies: deque[float] = deque(maxlen=reservoir)
+        self._connections = self.registry.counter(
+            "reach_connections_total", "TCP connections accepted.")
+        self._open = self.registry.gauge(
+            "reach_connections_open",
+            "TCP connections currently open.")
+        self._requests = self.registry.counter(
+            "reach_requests_total", "Requests answered, by verb.",
+            labels=("verb",))
+        self._errors = self.registry.counter(
+            "reach_errors_total", "Error replies, by error code.",
+            labels=("code",))
+        self._swaps = self.registry.counter(
+            "reach_index_swaps_total", "Successful hot index swaps.")
+        self.degraded = self.registry.gauge(
+            "reach_degraded",
+            "1 while serving from the last good index after a failed "
+            "reload, else 0.")
+        self.request_seconds = self.registry.histogram(
+            "reach_request_seconds",
+            "End-to-end request latency (read to reply queued).")
+        #: Verb -> counter child, resolved once; ``labels()`` costs a
+        #: tuple build + dict probe per call, too much at 40k req/s.
+        self._verb_children: dict[str, Any] = {}
+        self._lock = self.registry.lock
+        # Event-loop-confined accumulators: ``observe`` is called once
+        # per served request, so it does two plain dict/list writes and
+        # defers the locked registry updates to ``flush`` — every 256
+        # requests, and from every read path (the read paths all run on
+        # the event loop, so reads through the verbs stay exact).
+        self._pending_verbs: dict[str, int] = {}
+        self._pending_latencies: list[float] = []
+
+    # -- event-loop write path -----------------------------------------
+    def connection_opened(self) -> None:
+        self._connections.inc()
+        self._open.inc()
+
+    def connection_closed(self) -> None:
+        self._open.dec()
 
     def observe(self, verb: str, seconds: float,
                 code: str | None) -> None:
-        self.requests_total += 1
-        self.verb_counts[verb] = self.verb_counts.get(verb, 0) + 1
+        verbs = self._pending_verbs
+        verbs[verb] = verbs.get(verb, 0) + 1
+        latencies = self._pending_latencies
+        latencies.append(seconds)
         if code is not None:
-            self.errors_total += 1
-            self.error_counts[code] = self.error_counts.get(code, 0) + 1
-        self.latencies.append(seconds)
+            self._errors.labels(code).inc()
+        if len(latencies) >= 256:
+            self.flush()
 
-    def percentiles(self) -> dict[str, float]:
-        if not self.latencies:
-            return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
-                    "max_ms": 0.0}
-        ordered = sorted(self.latencies)
-        last = len(ordered) - 1
+    def flush(self) -> None:
+        """Move the accumulated per-request observations into the
+        registry (one lock acquisition for the whole backlog)."""
+        if not self._pending_latencies:
+            return
+        verbs, self._pending_verbs = self._pending_verbs, {}
+        latencies, self._pending_latencies = \
+            self._pending_latencies, []
+        children = self._verb_children
+        for verb in verbs:
+            if verb not in children:
+                children[verb] = self._requests.labels(verb)
+        hist = self.request_seconds
+        with self._lock:
+            for verb, n in verbs.items():
+                children[verb].inc_locked(n)
+            for seconds in latencies:
+                hist.observe_locked(seconds)
 
-        def at(q: float) -> float:
-            return ordered[min(last, int(q * len(ordered)))] * 1000.0
+    def swap(self) -> None:
+        self._swaps.inc()
 
-        return {"p50_ms": at(0.50), "p95_ms": at(0.95),
-                "p99_ms": at(0.99), "max_ms": ordered[-1] * 1000.0}
+    # -- read path ------------------------------------------------------
+    @property
+    def connections_open(self) -> int:
+        return int(self._open.value)
+
+    @property
+    def swaps(self) -> int:
+        return int(self._swaps.value)
 
     def as_dict(self) -> dict[str, Any]:
+        """The ``stats`` verb's ``server`` block (keys unchanged from
+        the pre-registry implementation)."""
+        self.flush()
+        verb_counts = {values[0]: int(child.value)
+                       for values, child in self._requests.series()}
+        error_counts = {values[0]: int(child.value)
+                        for values, child in self._errors.series()}
         row: dict[str, Any] = {
             "uptime_seconds": time.monotonic() - self.started_at,
-            "connections_total": self.connections_total,
+            "connections_total": int(self._connections.value),
             "connections_open": self.connections_open,
-            "requests_total": self.requests_total,
-            "errors_total": self.errors_total,
+            "requests_total": sum(verb_counts.values()),
+            "errors_total": sum(error_counts.values()),
             "index_swaps": self.swaps,
-            "verb_counts": dict(self.verb_counts),
-            "error_counts": dict(self.error_counts),
+            "verb_counts": verb_counts,
+            "error_counts": error_counts,
         }
-        row.update(self.percentiles())
+        row.update(self.request_seconds.percentiles_ms())
         return row
+
+    def reset(self) -> None:
+        """Drain counters and histograms (``metrics`` verb
+        ``reset=true``); gauges describe current state and persist."""
+        self.flush()
+        self.registry.reset()
+        self.started_at = time.monotonic()
 
 
 class _Connection:
@@ -200,6 +304,7 @@ class ReachServer:
         self._scheme = scheme
         self._config = config or ServerConfig()
         self._server: asyncio.AbstractServer | None = None
+        self._metrics_server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._batcher: MicroBatcher | None = None
         self._query_executor: ThreadPoolExecutor | None = None
@@ -209,6 +314,8 @@ class ReachServer:
         self._connections: set[_Connection] = set()
         self._log_file = None
         self._owns_log_file = False
+        self._log_path: Path | None = None
+        self._log_bytes = 0
         #: Degradation reason, or ``None`` while healthy.  Set when a
         #: ``reload`` fails (the server keeps answering from the last
         #: good index); cleared by the next successful reload.
@@ -216,7 +323,21 @@ class ReachServer:
         #: Set at the top of :meth:`stop`; late-accepted connections
         #: (raced past the listener close) are turned away immediately.
         self._stopping = False
-        self.stats = _ServerStats(self._config.latency_reservoir)
+        self.stats = ServerMetrics()
+        self.stats.degraded.set_function(
+            lambda: 1.0 if self._degraded else 0.0)
+        #: Mints trace IDs for requests that arrive without one.
+        self._trace_ids = TraceIds()
+        self._spans = SpanRecorder(self.stats.registry)
+        #: Deterministic 1-in-``span_sample`` tick for stage-histogram
+        #: recording; starts one short of the period so the first
+        #: request is always sampled.
+        self._span_sample = max(1, self._config.span_sample)
+        self._span_tick = self._span_sample - 1
+        #: Build-phase durations of hot reloads, recorded into the
+        #: ``reach_build_phase_seconds{phase=...}`` histogram family.
+        self._build_phases = PhaseProfiler(self.stats.registry)
+        self.slow_log = SlowQueryLog(self._config.slow_log_size)
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -225,6 +346,13 @@ class ReachServer:
         if self._server is None:
             raise RuntimeError("server is not started")
         return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def metrics_port(self) -> int:
+        """The bound HTTP scrape port (``config.metrics_port``)."""
+        if self._metrics_server is None:
+            raise RuntimeError("metrics endpoint is not enabled")
+        return self._metrics_server.sockets[0].getsockname()[1]
 
     @property
     def service(self) -> QueryService:
@@ -244,10 +372,17 @@ class ReachServer:
             self._run_batch, max_batch=config.max_batch,
             max_delay=config.max_delay, max_pending=config.max_pending,
             policy=config.policy)
+        # The batcher keeps lock-free event-loop-confined counters;
+        # the collector renders them into families at scrape time.
+        self.stats.registry.register_collector(self._batcher.collect)
         self._open_access_log()
         self._server = await asyncio.start_server(
             self._handle_connection, config.host, config.port,
             limit=config.max_line_bytes)
+        if config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http, config.host,
+                config.metrics_port)
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the CLI foreground mode)."""
@@ -269,6 +404,8 @@ class ReachServer:
         if drain_timeout is None:
             drain_timeout = self._config.drain_timeout
         self._stopping = True
+        if self._metrics_server is not None:
+            self._metrics_server.close()
         if self._server is not None:
             # close() only — waiting for wait_closed() here would
             # deadlock on interpreters where it blocks until every
@@ -322,8 +459,7 @@ class ReachServer:
             writer.close()
             return
         self._conn_counter += 1
-        self.stats.connections_total += 1
-        self.stats.connections_open += 1
+        self.stats.connection_opened()
         conn = _Connection(self._conn_counter, writer)
         self._connections.add(conn)
         tasks: set[asyncio.Task] = set()
@@ -365,7 +501,7 @@ class ReachServer:
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
             self._connections.discard(conn)
-            self.stats.connections_open -= 1
+            self.stats.connection_closed()
 
     async def _read_line(self, reader: asyncio.StreamReader,
                          conn: _Connection) -> bytes:
@@ -430,11 +566,17 @@ class ReachServer:
         except Exception:
             return False
         assert self._batcher is not None and self._loop is not None
+        trace = doc.get("trace")
+        # None = mint lazily in _finish, only if a log consumes it.
+        ticket = BatchTicket(trace if isinstance(trace, str) else None,
+                             started)
+        ticket.parse_done = time.perf_counter()
         try:
-            future = self._batcher.try_submit(pairs)
+            future = self._batcher.try_submit(pairs, ticket)
         except OverloadedError as exc:
             self._finish(conn, request_id, verb, len(pairs), started,
-                         None, protocol.ERR_OVERLOADED, str(exc))
+                         None, protocol.ERR_OVERLOADED, str(exc),
+                         ticket=ticket)
             return True
         if future is None:  # block policy, queue full: await in a task
             return False
@@ -444,7 +586,8 @@ class ReachServer:
         scalar = verb == "query"
         future.add_done_callback(
             lambda fut: self._fast_done(fut, conn, request_id, scalar,
-                                        len(pairs), started, timer))
+                                        len(pairs), started, timer,
+                                        ticket))
         return True
 
     @staticmethod
@@ -454,18 +597,20 @@ class ReachServer:
 
     def _fast_done(self, future: asyncio.Future, conn: _Connection,
                    request_id: Any, scalar: bool, num_pairs: int,
-                   started: float, timer: asyncio.TimerHandle) -> None:
+                   started: float, timer: asyncio.TimerHandle,
+                   ticket: BatchTicket | None = None) -> None:
         timer.cancel()
         verb = "query" if scalar else "batch"
         exc = future.exception()
         if exc is None:
             answers = future.result()
             self._finish(conn, request_id, verb, num_pairs, started,
-                         answers[0] if scalar else answers)
+                         answers[0] if scalar else answers,
+                         ticket=ticket)
         else:
             code, message = self._map_error(exc)
             self._finish(conn, request_id, verb, num_pairs, started,
-                         None, code, message)
+                         None, code, message, ticket=ticket)
         conn.inflight -= 1
         conn.resume.set()
 
@@ -484,11 +629,44 @@ class ReachServer:
 
     def _finish(self, conn: _Connection, request_id: Any, verb: str,
                 num_pairs: int, started: float, result: Any,
-                code: str | None = None, message: str = "") -> None:
+                code: str | None = None, message: str = "",
+                ticket: BatchTicket | None = None) -> None:
         """Account one answered request and queue its reply bytes."""
-        elapsed = time.perf_counter() - started
+        finished = time.perf_counter()
+        elapsed = finished - started
         self.stats.observe(verb, elapsed, code)
-        self._log_access(conn.id, verb, num_pairs, elapsed, code)
+        spans = None
+        trace = None
+        if ticket is not None:
+            self._span_tick += 1
+            sampled = self._span_tick >= self._span_sample
+            slow = elapsed > self.slow_log.floor
+            if slow or self._log_file is not None:
+                # Untagged requests get their ID only once something
+                # will actually record it.
+                trace = ticket.trace_id
+                if trace is None:
+                    trace = ticket.trace_id = self._trace_ids.next()
+            if sampled or slow or self._log_file is not None:
+                spans = ticket.spans(finished)
+            if sampled:
+                self._span_tick = 0
+                self._spans.record(spans)
+            if slow:
+                self.slow_log.offer(elapsed, {
+                    "trace": trace,
+                    "ts": round(time.time(), 6),
+                    "conn": conn.id,
+                    "verb": verb,
+                    "pairs": num_pairs,
+                    "ms": round(elapsed * 1000.0, 3),
+                    "status": code or "ok",
+                    "stages_ms": {stage: round(sec * 1000.0, 3)
+                                  for stage, sec in spans.items()},
+                })
+        if self._log_file is not None:
+            self._log_access(conn.id, verb, num_pairs, elapsed, code,
+                             trace=trace, spans=spans)
         if code is not None:
             payload = protocol.encode_message(
                 protocol.error_reply(request_id, code, message))
@@ -497,6 +675,14 @@ class ReachServer:
             # The single-query hot case, formatted without json.dumps.
             payload = b'{"id":%d,"ok":true,"result":%s}\n' % (
                 request_id, b"true" if result else b"false")
+        elif type(result) is list and type(request_id) is int \
+                and result and type(result[0]) is bool:
+            # Batch answers are homogeneous bool lists; direct byte
+            # formatting beats json.dumps ~8x for small replies (the
+            # common pipelined case) and ~2x for full batches.
+            payload = b'{"id":%d,"ok":true,"result":[%s]}\n' % (
+                request_id,
+                b",".join(b"true" if r else b"false" for r in result))
         else:
             payload = protocol.encode_message(
                 protocol.ok_reply(request_id, result))
@@ -533,23 +719,30 @@ class ReachServer:
         code: str | None = None
         message = ""
         result: Any = None
+        ticket: BatchTicket | None = None
         try:
             doc = protocol.decode_message(line)
             request_id = doc.get("id") if isinstance(doc.get("id"),
                                                      (str, int, float)) \
                 else None
+            trace = doc.get("trace")
+            ticket = BatchTicket(
+                trace if isinstance(trace, str) else None, started)
             request = protocol.parse_request(doc)
             verb = request.verb
-            result, num_pairs = await self._dispatch(request)
+            ticket.parse_done = time.perf_counter()
+            result, num_pairs = await self._dispatch(request, ticket)
         except (ConnectionError, asyncio.CancelledError):
             raise
         except Exception as exc:  # defensive: never kill the connection
             code, message = self._map_error(exc)
         self._finish(conn, request_id, verb, num_pairs, started,
-                     result, code, message)
+                     result, code, message, ticket=ticket)
 
     # -- verb dispatch --------------------------------------------------
-    async def _dispatch(self, request: Request) -> tuple[Any, int]:
+    async def _dispatch(self, request: Request,
+                        ticket: BatchTicket | None = None
+                        ) -> tuple[Any, int]:
         assert self._batcher is not None
         verb = request.verb
         if verb == "ping":
@@ -560,34 +753,37 @@ class ReachServer:
             return self.ready_snapshot(), 0
         if verb == "query":
             pairs = protocol.parse_pairs(request.payload)
-            answers = await self._submit(pairs)
+            answers = await self._submit(pairs, ticket)
             return answers[0], 1
         if verb == "batch":
             pairs = protocol.parse_pairs(
                 request.payload,
                 max_pairs=self._config.max_request_pairs)
-            answers = await self._submit(pairs)
+            answers = await self._submit(pairs, ticket)
             return answers, len(pairs)
         if verb == "stats":
-            snapshot = self.stats_snapshot()
-            if request.payload.get("reset"):
-                self._service.metrics.reset()
-            return snapshot, 0
+            return self.stats_snapshot(
+                reset=bool(request.payload.get("reset"))), 0
+        if verb == "metrics":
+            return self.metrics_snapshot(
+                reset=bool(request.payload.get("reset"))), 0
         if verb == "reload":
             return await self._reload(request.payload), 0
         raise ProtocolError(protocol.ERR_UNKNOWN_VERB,
                             f"unknown verb {verb!r}")
 
-    async def _submit(self, pairs: list) -> list:
+    async def _submit(self, pairs: list,
+                      ticket: BatchTicket | None = None) -> list:
         assert self._batcher is not None
         # asyncio.timeout (3.11+) is much cheaper than wait_for, which
         # wraps the coroutine in an extra Task — this sits on the
         # per-request hot path.
         if _asyncio_timeout is None:  # pragma: no cover - py3.10
-            return await asyncio.wait_for(self._batcher.submit(pairs),
-                                          self._config.request_timeout)
+            return await asyncio.wait_for(
+                self._batcher.submit(pairs, ticket),
+                self._config.request_timeout)
         async with _asyncio_timeout(self._config.request_timeout):
-            return await self._batcher.submit(pairs)
+            return await self._batcher.submit(pairs, ticket)
 
     def health_snapshot(self) -> dict:
         """The ``health`` verb's liveness document.
@@ -614,8 +810,15 @@ class ReachServer:
             "scheme": self._scheme,
         }
 
-    def stats_snapshot(self) -> dict:
-        """The ``stats`` verb's nested counter document."""
+    def stats_snapshot(self, reset: bool = False) -> dict:
+        """The ``stats`` verb's nested counter document.
+
+        With ``reset``, the *service* counter window and the slow-query
+        log are drained atomically as they are read (an increment
+        racing the reset lands in this snapshot or the next window,
+        never nowhere); the server/batcher lifetime counters are never
+        reset by this verb, matching the original semantics.
+        """
         assert self._batcher is not None
         service = self._service
         return {
@@ -623,12 +826,36 @@ class ReachServer:
             "scheme": self._scheme,
             "degraded": self._degraded,
             "server": self.stats.as_dict(),
+            "stages": self._spans.percentiles_ms(),
+            "slow_queries": self.slow_log.snapshot(reset=reset),
             "batcher": self._batcher.stats(),
             "service": {
                 "vectorised": service.vectorised,
-                **service.metrics.as_dict(),
+                **service.metrics.as_dict(reset=reset),
             },
         }
+
+    def metrics_snapshot(self, reset: bool = False) -> dict:
+        """The ``metrics`` verb's reply: the Prometheus exposition of
+        the gateway and current-service registries.
+
+        With ``reset``, counters and histograms are drained atomically
+        per child *as the text is rendered*, so scrape windows never
+        lose increments; gauges and the batcher's collector output
+        describe live state and persist.
+        """
+        text = self.metrics_exposition(reset=reset)
+        if reset:
+            self.stats.started_at = time.monotonic()
+            self._service.metrics.started_at = time.monotonic()
+            self.slow_log.reset()
+        return {"content_type": CONTENT_TYPE, "exposition": text}
+
+    def metrics_exposition(self, reset: bool = False) -> str:
+        """Prometheus text for the HTTP endpoint / ``metrics`` verb."""
+        self.stats.flush()
+        return render(self.stats.registry,
+                      self._service.metrics.registry, reset=reset)
 
     # -- hot index swap -------------------------------------------------
     async def _reload(self, payload: dict) -> dict:
@@ -674,12 +901,14 @@ class ReachServer:
         self._service = new_service  # the atomic swap
         self._scheme = type(index).scheme_name or scheme
         self._degraded = None
-        self.stats.swaps += 1
+        self.stats.swap()
         # The old service may still be answering an in-progress flush
         # on the worker thread (each flush snapshots the service), so
         # closing it here would block; it is parked and closed at stop.
         self._retired.append(old)
         stats = index.stats()
+        for phase, phase_secs in stats.phase_seconds.items():
+            self._build_phases.record(phase, phase_secs)
         return {
             "swapped": True,
             "scheme": self._scheme,
@@ -687,8 +916,55 @@ class ReachServer:
             "nodes": stats.num_nodes,
             "edges": stats.num_edges,
             "build_seconds": seconds,
+            "phase_seconds": dict(stats.phase_seconds),
             "index_swaps": self.stats.swaps,
         }
+
+    # -- Prometheus HTTP scrape endpoint --------------------------------
+    async def _handle_metrics_http(self, reader: asyncio.StreamReader,
+                                   writer: asyncio.StreamWriter
+                                   ) -> None:
+        """Minimal HTTP/1.0-style handler: ``GET /metrics`` only.
+
+        One request per connection (``Connection: close``), which is
+        all a Prometheus scraper needs and keeps the handler tiny —
+        the endpoint exists so standard scrape/alerting infrastructure
+        works without speaking the JSON protocol.
+        """
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=5.0)
+            parts = request_line.decode("latin-1").split()
+            # Drain the headers (bounded by the reader's default limit).
+            while True:
+                header = await asyncio.wait_for(reader.readline(),
+                                                timeout=5.0)
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            if len(parts) >= 2 and parts[0] == "GET" \
+                    and parts[1].split("?", 1)[0] == "/metrics":
+                body = self.metrics_exposition().encode("utf-8")
+                head = (f"HTTP/1.0 200 OK\r\n"
+                        f"Content-Type: {CONTENT_TYPE}\r\n"
+                        f"Content-Length: {len(body)}\r\n"
+                        f"Connection: close\r\n\r\n")
+            else:
+                body = b"not found\n"
+                head = (f"HTTP/1.0 404 Not Found\r\n"
+                        f"Content-Type: text/plain\r\n"
+                        f"Content-Length: {len(body)}\r\n"
+                        f"Connection: close\r\n\r\n")
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (ConnectionError, OSError, UnicodeDecodeError,
+                asyncio.TimeoutError, TimeoutError,
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
 
     # -- access log -----------------------------------------------------
     def _open_access_log(self) -> None:
@@ -699,14 +975,38 @@ class ReachServer:
             self._log_file = sys.stderr
             self._owns_log_file = False
         else:
-            self._log_file = Path(target).open("a", encoding="utf-8")
+            self._log_path = Path(target)
+            self._log_file = self._log_path.open("a", encoding="utf-8")
             self._owns_log_file = True
+            try:
+                self._log_bytes = self._log_path.stat().st_size
+            except OSError:
+                self._log_bytes = 0
+
+    def _rotate_access_log(self) -> None:
+        """Move the full log to ``<path>.1`` and start a fresh file.
+
+        One rotation generation bounds disk use at roughly twice
+        ``access_log_max_bytes`` without the bookkeeping of a numbered
+        chain; the displaced ``.1`` file is overwritten.
+        """
+        assert self._log_file is not None and self._log_path is not None
+        try:
+            self._log_file.close()
+            self._log_path.replace(
+                self._log_path.with_name(self._log_path.name + ".1"))
+            self._log_file = self._log_path.open("a", encoding="utf-8")
+            self._log_bytes = 0
+        except OSError:
+            self._log_file = None  # rotation failed; stop logging
 
     def _log_access(self, conn_id: int, verb: str, num_pairs: int,
-                    seconds: float, code: str | None) -> None:
+                    seconds: float, code: str | None,
+                    trace: str | None = None,
+                    spans: dict[str, float] | None = None) -> None:
         if self._log_file is None:
             return
-        record = {
+        record: dict[str, Any] = {
             "ts": round(time.time(), 6),
             "conn": conn_id,
             "verb": verb,
@@ -714,12 +1014,24 @@ class ReachServer:
             "ms": round(seconds * 1000.0, 3),
             "status": code or "ok",
         }
+        if trace is not None:
+            record["trace"] = trace
+        if spans is not None:
+            record["stages_ms"] = {
+                stage: round(sec * 1000.0, 3)
+                for stage, sec in spans.items()}
         try:
-            self._log_file.write(
-                json.dumps(record, separators=(",", ":")) + "\n")
+            line = json.dumps(record, separators=(",", ":")) + "\n"
+            self._log_file.write(line)
             self._log_file.flush()
         except (OSError, ValueError):
             self._log_file = None  # log target died; keep serving
+            return
+        max_bytes = self._config.access_log_max_bytes
+        if max_bytes is not None and self._owns_log_file:
+            self._log_bytes += len(line)
+            if self._log_bytes > max_bytes:
+                self._rotate_access_log()
 
 
 class Supervisor:

@@ -38,6 +38,7 @@ from repro.core.serialize import load_dual_index, save_dual_index
 from repro.core.service import QueryService
 from repro.exceptions import ReproError
 from repro.graph.generators import gnm_random_digraph
+from repro.obs.metrics import RECOVERY_BUCKETS, MetricsRegistry
 from repro.server.client import ReachClient, RetryPolicy, ServerReplyError
 from repro.server.loadgen import run_loadgen
 from repro.server.server import ReachServer, ServerConfig, ServerThread
@@ -79,6 +80,12 @@ class ChaosReport:
     #: ``[{"kind", "at", "recovery_seconds"}, ...]`` in firing order;
     #: ``recovery_seconds`` is ``None`` when recovery timed out.
     faults: list[dict] = field(default_factory=list)
+    #: per-fault-kind recovery-time distribution, from the
+    #: ``reach_chaos_recovery_seconds{kind=...}`` histogram family
+    #: (:data:`repro.obs.metrics.RECOVERY_BUCKETS`):
+    #: ``{kind: {"count", "mean_seconds", "p95_seconds",
+    #: "max_seconds", "buckets"}}``
+    recovery: dict = field(default_factory=dict)
     #: replies (loadgen or probe) contradicting the direct answers
     wrong_answers: int = 0
     mismatch_samples: list = field(default_factory=list)
@@ -115,6 +122,7 @@ class ChaosReport:
             "duration_seconds": self.duration_seconds,
             "recovery_timeout": self.recovery_timeout,
             "faults": list(self.faults),
+            "recovery": dict(self.recovery),
             "unrecovered": self.unrecovered,
             "wrong_answers": self.wrong_answers,
             "mismatch_samples": list(self.mismatch_samples),
@@ -140,6 +148,14 @@ class ChaosReport:
                 f"    {fault['kind']:<14} at t={fault['at']:.2f}s  "
                 + (f"recovered in {rec:.2f}s" if rec is not None
                    else "NOT RECOVERED"))
+        recovered = [block for block in self.recovery.values()
+                     if block["count"]]
+        if recovered:
+            total = sum(block["count"] for block in recovered)
+            worst = max(block["max_seconds"] for block in recovered)
+            lines.append(
+                f"  recovery: {total} measured, worst {worst:.2f}s "
+                f"(per-kind histograms in the report dict)")
         lines.append(
             f"  wrong answers: {self.wrong_answers}"
             + (f"  samples: {self.mismatch_samples[:3]}"
@@ -265,6 +281,11 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
     report = ChaosReport(seed=seed, scheme=scheme,
                          duration_seconds=duration,
                          recovery_timeout=recovery_timeout)
+    registry = MetricsRegistry()
+    recovery_hist = registry.histogram(
+        "reach_chaos_recovery_seconds",
+        "Seconds from fault injection to a correct probe batch",
+        labels=("kind",), buckets=RECOVERY_BUCKETS)
 
     flaky = FlakyService(QueryService(index))
     config = ServerConfig(max_delay=0.001, policy="shed",
@@ -353,6 +374,8 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
                         f"{event.kind}: {type(exc).__name__}: {exc}")
                     continue
                 recovery = prober.await_recovery(recovery_timeout)
+                if recovery is not None:
+                    recovery_hist.labels(event.kind).observe(recovery)
                 report.faults.append({
                     "kind": event.kind,
                     "at": round(event.at, 3),
@@ -383,4 +406,14 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
         "bytes_forwarded": proxy.bytes_forwarded,
     }
     report.injected_kernel_faults = flaky.injected_failures
+    for values, child in recovery_hist.series():
+        snap = child.snapshot()
+        report.recovery[values[0]] = {
+            "count": snap["count"],
+            "mean_seconds": (snap["sum"] / snap["count"]
+                             if snap["count"] else 0.0),
+            "p95_seconds": child.percentile(0.95),
+            "max_seconds": snap["max"],
+            "buckets": snap["buckets"],
+        }
     return report

@@ -1,0 +1,417 @@
+"""Unit tests for ``repro.obs`` — registry, exposition, tracing,
+profiling.
+
+The load-bearing property is atomic drain: a counter increment racing
+``snapshot(reset=True)`` (or a ``render(..., reset=True)`` scrape)
+must land in exactly one window — never lost, never doubled.  The
+concurrency tests hammer that directly; the rest pins the instrument
+semantics and the Prometheus text round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    BUILD_PHASE_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    RECOVERY_BUCKETS,
+    MetricsRegistry,
+    format_bound,
+)
+from repro.obs.phases import PhaseProfiler
+from repro.obs.prometheus import CONTENT_TYPE, parse_exposition, render
+from repro.obs.tracing import (
+    REQUEST_STAGES,
+    BatchTicket,
+    SlowQueryLog,
+    SpanRecorder,
+    TraceIds,
+)
+
+
+def sample_value(text: str, sample: str) -> float:
+    """The value of one exact sample line (name + label block)."""
+    match = re.search(rf"^{re.escape(sample)} (\S+)$", text,
+                      re.MULTILINE)
+    assert match is not None, f"no sample {sample!r} in:\n{text}"
+    return float(match.group(1))
+
+
+# ---------------------------------------------------------------------
+# instruments
+# ---------------------------------------------------------------------
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = MetricsRegistry().counter("c", "help")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6.0
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_snapshot_reset_drains(self):
+        c = MetricsRegistry().counter("c")
+        c.inc(3)
+        assert c.snapshot(reset=True) == 3.0
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(10)
+        g.inc()
+        g.dec(4)
+        assert g.value == 7.0
+
+    def test_function_backed(self):
+        g = MetricsRegistry().gauge("g")
+        g.set_function(lambda: 42)
+        assert g.value == 42.0
+
+    def test_reset_immune(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(5)
+        assert g.snapshot(reset=True) == 5.0
+        assert g.value == 5.0
+
+
+class TestHistogram:
+    def test_percentile_never_understates_beyond_bucket(self):
+        h = MetricsRegistry().histogram("h", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.7, 5.0):
+            h.observe(v)
+        # p50 lands in the (0.1, 1.0] bucket: the estimate is its upper
+        # bound, i.e. >= every observation it could denote.
+        assert h.percentile(0.5) == 1.0
+        # The +Inf tail reports the exact max.
+        h.observe(25.0)
+        assert h.percentile(1.0) == 25.0
+
+    def test_percentile_capped_at_max(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        h.observe(0.2)
+        # All mass in the first bucket, max 0.2: report 0.2, not 1.0.
+        assert h.percentile(0.99) == pytest.approx(0.2)
+
+    def test_empty_percentile_is_zero(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.percentile(0.99) == 0.0
+        assert h.percentiles_ms() == {"p50_ms": 0.0, "p95_ms": 0.0,
+                                      "p99_ms": 0.0, "max_ms": 0.0}
+
+    def test_snapshot_reset_drains(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(2.0)
+        snap = h.snapshot(reset=True)
+        assert snap["count"] == 2
+        assert snap["sum"] == pytest.approx(2.5)
+        assert snap["max"] == pytest.approx(2.0)
+        assert snap["buckets"] == {"1": 1, "+Inf": 1}
+        assert h.snapshot()["count"] == 0
+
+    def test_bad_buckets_rejected(self):
+        reg = MetricsRegistry()
+        # Empty bounds fall back to the default latency buckets.
+        h = reg.histogram("h1", buckets=())
+        assert h.bounds == DEFAULT_LATENCY_BUCKETS
+        with pytest.raises(ValueError):
+            reg.histogram("h2", buckets=(2.0, 1.0))
+
+
+def test_format_bound():
+    assert format_bound(1.0) == "1"
+    assert format_bound(0.005) == "0.005"
+    assert format_bound(float("inf")) == "+Inf"
+
+
+def test_bucket_presets_strictly_increasing():
+    for preset in (DEFAULT_LATENCY_BUCKETS, BUILD_PHASE_BUCKETS,
+                   RECOVERY_BUCKETS):
+        assert all(a < b for a, b in zip(preset, preset[1:]))
+
+
+# ---------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------
+
+class TestRegistry:
+    def test_same_name_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c", "one") is reg.counter("c", "two")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError):
+            reg.gauge("m")
+        with pytest.raises(ValueError):
+            reg.counter("m", labels=("verb",))
+
+    def test_labelled_children_cached(self):
+        reg = MetricsRegistry()
+        family = reg.counter("requests", labels=("verb",))
+        family.labels("query").inc()
+        family.labels("query").inc()
+        assert family.labels("query").value == 2.0
+        assert [values for values, _ in family.series()] == [("query",)]
+
+    def test_wrong_label_arity_rejected(self):
+        reg = MetricsRegistry()
+        family = reg.counter("requests", labels=("verb",))
+        with pytest.raises(ValueError):
+            family.labels("a", "b")
+
+    def test_collector_in_snapshot(self):
+        reg = MetricsRegistry()
+        reg.register_collector(lambda: [{
+            "name": "ext_total", "type": "counter", "help": "ext",
+            "samples": [({"k": "v"}, 7)],
+        }])
+        snap = reg.snapshot()
+        assert snap["ext_total"]["series"] == [
+            {"labels": {"k": "v"}, "value": 7}]
+
+    def test_reset_drains_counters_not_gauges(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        g = reg.gauge("g")
+        c.inc(3)
+        g.set(9)
+        reg.reset()
+        assert c.value == 0.0
+        assert g.value == 9.0
+
+
+class TestConcurrentDrain:
+    """The acceptance property: reset under concurrent increments
+    loses nothing and counters never go negative."""
+
+    def test_no_lost_increments_across_resets(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        per_thread, threads = 2000, 4
+        stop = threading.Event()
+        drained = []
+
+        def bump():
+            for _ in range(per_thread):
+                c.inc()
+
+        def drain():
+            while not stop.is_set():
+                drained.append(c.snapshot(reset=True))
+
+        workers = [threading.Thread(target=bump) for _ in range(threads)]
+        drainer = threading.Thread(target=drain)
+        drainer.start()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        stop.set()
+        drainer.join()
+        total = sum(drained) + c.value
+        assert total == per_thread * threads
+        assert all(d >= 0 for d in drained)
+
+    def test_render_reset_drains_without_loss(self):
+        reg = MetricsRegistry()
+        c = reg.counter("reach_test_total", "t")
+        per_thread, threads = 1000, 4
+        stop = threading.Event()
+        scraped = []
+
+        def bump():
+            for _ in range(per_thread):
+                c.inc()
+
+        def scrape():
+            while not stop.is_set():
+                text = render(reg, reset=True)
+                parse_exposition(text)  # stays well-formed throughout
+                scraped.append(sample_value(text, "reach_test_total"))
+
+        workers = [threading.Thread(target=bump) for _ in range(threads)]
+        scraper = threading.Thread(target=scrape)
+        scraper.start()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        stop.set()
+        scraper.join()
+        assert sum(scraped) + c.value == per_thread * threads
+
+
+# ---------------------------------------------------------------------
+# prometheus text round-trip
+# ---------------------------------------------------------------------
+
+class TestExposition:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("reach_reqs_total", "Requests.",
+                    labels=("verb",)).labels("query").inc(3)
+        reg.gauge("reach_open", "Open.").set(2)
+        h = reg.histogram("reach_lat_seconds", "Latency.",
+                          buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        return reg
+
+    def test_round_trip(self):
+        text = render(self._registry())
+        families = parse_exposition(text)
+        assert families["reach_reqs_total"]["type"] == "counter"
+        assert families["reach_open"]["type"] == "gauge"
+        assert families["reach_lat_seconds"]["type"] == "histogram"
+        assert sample_value(text,
+                            'reach_reqs_total{verb="query"}') == 3.0
+        assert sample_value(text, "reach_open") == 2.0
+        # Buckets are cumulative: le=1 includes the le=0.1 observation.
+        assert sample_value(text,
+                            'reach_lat_seconds_bucket{le="0.1"}') == 1.0
+        assert sample_value(text,
+                            'reach_lat_seconds_bucket{le="1"}') == 2.0
+        assert sample_value(
+            text, 'reach_lat_seconds_bucket{le="+Inf"}') == 2.0
+        assert sample_value(text, "reach_lat_seconds_count") == 2.0
+        assert sample_value(text, "reach_lat_seconds_sum") == \
+            pytest.approx(0.55)
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("reach_err_total",
+                    labels=("msg",)).labels('a"b\\c\nd').inc()
+        text = render(reg)
+        assert r'msg="a\"b\\c\nd"' in text
+        families = parse_exposition(text)
+        assert families["reach_err_total"]["samples"] == 1
+
+    def test_parser_rejects_duplicate_type(self):
+        bad = ("# TYPE x counter\nx 1\n"
+               "# TYPE x counter\nx 2\n")
+        with pytest.raises(ValueError):
+            parse_exposition(bad)
+
+    def test_parser_rejects_non_cumulative_buckets(self):
+        bad = ("# TYPE h histogram\n"
+               'h_bucket{le="0.1"} 5\n'
+               'h_bucket{le="1"} 3\n'
+               'h_bucket{le="+Inf"} 5\n'
+               "h_sum 1\nh_count 5\n")
+        with pytest.raises(ValueError):
+            parse_exposition(bad)
+
+    def test_parser_rejects_malformed_sample(self):
+        with pytest.raises(ValueError):
+            parse_exposition("reach total 1 2 3 4\n")
+
+    def test_content_type_pinned(self):
+        assert "0.0.4" in CONTENT_TYPE
+
+    def test_multi_registry_render(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("from_a_total").inc()
+        b.counter("from_b_total").inc()
+        families = parse_exposition(render(a, b))
+        assert "from_a_total" in families and "from_b_total" in families
+
+
+# ---------------------------------------------------------------------
+# tracing
+# ---------------------------------------------------------------------
+
+class TestTracing:
+    def test_trace_ids_unique(self):
+        mint = TraceIds()
+        ids = {mint.next() for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_ticket_spans_sum_to_elapsed(self):
+        ticket = BatchTicket("t-1", started=10.0)
+        ticket.parse_done = 10.1
+        ticket.enqueued_at = 10.15
+        ticket.flush_at = 10.4
+        ticket.kernel_done = 10.9
+        spans = ticket.spans(finished=11.0)
+        assert set(spans) == set(REQUEST_STAGES)
+        assert sum(spans.values()) == pytest.approx(1.0)
+        assert spans["kernel"] == pytest.approx(0.5)
+
+    def test_ticket_missing_stamps_absent(self):
+        ticket = BatchTicket("t-2", started=5.0)
+        ticket.parse_done = 5.2
+        spans = ticket.spans(finished=5.5)
+        # Never reached the batcher: serialize absorbs the tail.
+        assert set(spans) == {"parse", "serialize"}
+        assert sum(spans.values()) == pytest.approx(0.5)
+
+    def test_span_recorder_percentiles(self):
+        reg = MetricsRegistry()
+        recorder = SpanRecorder(reg)
+        recorder.record({"parse": 0.001, "kernel": 0.02})
+        pcts = recorder.percentiles_ms()
+        assert set(pcts) == {"parse", "kernel"}
+        assert pcts["kernel"]["max_ms"] == pytest.approx(20.0)
+        # And the observations are visible to a scrape.
+        text = render(reg)
+        assert sample_value(
+            text, 'reach_stage_seconds_count{stage="kernel"}') == 1.0
+
+    def test_slow_log_keeps_top_k(self):
+        log = SlowQueryLog(capacity=3)
+        for ms in (5, 1, 9, 3, 7):
+            log.offer(ms / 1000.0, {"ms": ms})
+        assert [e["ms"] for e in log.snapshot()] == [9, 7, 5]
+        assert len(log) == 3
+
+    def test_slow_log_snapshot_reset(self):
+        log = SlowQueryLog(capacity=4)
+        log.offer(0.1, {"ms": 100})
+        assert log.snapshot(reset=True) == [{"ms": 100}]
+        assert log.snapshot() == []
+
+    def test_slow_log_zero_capacity(self):
+        log = SlowQueryLog(capacity=0)
+        log.offer(1.0, {"ms": 1000})
+        assert log.snapshot() == []
+
+
+# ---------------------------------------------------------------------
+# build-phase profiling
+# ---------------------------------------------------------------------
+
+class TestPhaseProfiler:
+    def test_phase_records_seconds(self):
+        prof = PhaseProfiler()
+        with prof.phase("condense"):
+            pass
+        prof.record("meg", 0.25)
+        assert set(prof.seconds) == {"condense", "meg"}
+        assert prof.seconds["meg"] == 0.25
+        assert prof.total_seconds == pytest.approx(
+            prof.seconds["condense"] + 0.25)
+
+    def test_registry_observation(self):
+        reg = MetricsRegistry()
+        prof = PhaseProfiler(reg)
+        prof.record("spanning", 0.5)
+        prof.record("spanning", 1.5)
+        text = render(reg)
+        assert sample_value(
+            text,
+            'reach_build_phase_seconds_count{phase="spanning"}') == 2.0
+        assert sample_value(
+            text,
+            'reach_build_phase_seconds_sum{phase="spanning"}') == 2.0

@@ -1,0 +1,272 @@
+"""Integration tests for the gateway's observability surface.
+
+These drive a real server over real sockets and verify the contracts
+``docs/OBSERVABILITY.md`` documents: the ``metrics`` verb and the HTTP
+scrape endpoint return valid Prometheus exposition covering the
+required families; a traced request's span breakdown sums to its
+end-to-end latency; the access log carries trace + stage timings and
+rotates at its size bound; and both reset verbs drain atomically under
+concurrent batch load (no lost increments, no negative counters).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import urllib.error
+import urllib.request
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core.base import build_index
+from repro.core.service import QueryService
+from repro.graph.generators import single_rooted_dag
+from repro.obs.prometheus import CONTENT_TYPE, parse_exposition
+from repro.obs.smoke import REQUIRED_FAMILIES, run_metrics_smoke
+from repro.server.client import ReachClient
+from repro.server.server import ReachServer, ServerConfig, ServerThread
+
+
+@contextmanager
+def serve(index, scheme: str = "dual-ii", **config_kwargs):
+    server = ReachServer(QueryService(index), scheme=scheme,
+                         config=ServerConfig(**config_kwargs))
+    handle = ServerThread(server).start()
+    try:
+        yield handle, server
+    finally:
+        handle.stop()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return single_rooted_dag(120, 240, seed=3)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return build_index(graph, scheme="dual-ii")
+
+
+def some_pairs(graph, n=64):
+    nodes = sorted(graph.nodes())
+    return [(nodes[i % len(nodes)], nodes[(i * 7 + 3) % len(nodes)])
+            for i in range(n)]
+
+
+def sample_value(text: str, sample: str) -> float:
+    match = re.search(rf"^{re.escape(sample)} (\S+)$", text,
+                      re.MULTILINE)
+    return float(match.group(1)) if match else 0.0
+
+
+# ---------------------------------------------------------------------
+# exposition: metrics verb + HTTP scrape
+# ---------------------------------------------------------------------
+
+class TestExpositionSurface:
+    def test_metrics_verb_covers_required_families(self, graph, index):
+        with serve(index) as (handle, _server), \
+                ReachClient(port=handle.port) as client:
+            client.query_batch(some_pairs(graph))
+            doc = client.metrics()
+            assert doc["content_type"] == CONTENT_TYPE
+            families = parse_exposition(doc["exposition"])
+            for name in REQUIRED_FAMILIES:
+                assert name in families, name
+            assert families["reach_request_seconds"]["type"] == \
+                "histogram"
+            assert families["reach_stage_seconds"]["type"] == "histogram"
+
+    def test_http_scrape_matches_verb(self, graph, index):
+        with serve(index, metrics_port=0) as (handle, server), \
+                ReachClient(port=handle.port) as client:
+            client.query_batch(some_pairs(graph))
+            base = f"http://127.0.0.1:{server.metrics_port}"
+            with urllib.request.urlopen(base + "/metrics",
+                                        timeout=10.0) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == CONTENT_TYPE
+                scraped = response.read().decode("utf-8")
+            families = parse_exposition(scraped)
+            for name in REQUIRED_FAMILIES:
+                assert name in families, name
+            # A plain scrape never resets: the batch is still visible.
+            assert sample_value(
+                scraped, "reach_service_queries_total") >= 64.0
+
+    def test_http_scrape_unknown_path_404(self, index):
+        with serve(index, metrics_port=0) as (_handle, server):
+            url = f"http://127.0.0.1:{server.metrics_port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url, timeout=10.0)
+            assert excinfo.value.code == 404
+
+    def test_metrics_smoke_passes(self):
+        report = run_metrics_smoke(nodes=80, seed=1)
+        assert report.ok, "\n".join(report.summary_lines())
+
+
+# ---------------------------------------------------------------------
+# tracing: spans sum to end-to-end latency (acceptance criterion)
+# ---------------------------------------------------------------------
+
+class TestTraceSpans:
+    def test_span_breakdown_sums_to_latency(self, graph, index):
+        with serve(index) as (handle, _server), \
+                ReachClient(port=handle.port, trace=True) as client:
+            pairs = some_pairs(graph, 32)
+            for _ in range(8):
+                client.query_batch(pairs)
+            slow = client.stats()["slow_queries"]
+            assert slow, "slow-query log is empty"
+            for entry in slow:
+                stages = entry["stages_ms"]
+                assert set(stages) <= {"parse", "admission",
+                                       "queue_wait", "kernel",
+                                       "serialize"}
+                # Contiguous spans: the breakdown accounts for the
+                # whole request (each stage rounded to 1µs).
+                assert sum(stages.values()) == pytest.approx(
+                    entry["ms"], abs=0.01)
+
+    def test_client_trace_id_appears_server_side(self, graph, index):
+        with serve(index) as (handle, _server), \
+                ReachClient(port=handle.port, trace=True) as client:
+            client.query_batch(some_pairs(graph, 16))
+            trace = client.last_trace_id
+            assert trace
+            slow = client.stats()["slow_queries"]
+            assert trace in {entry["trace"] for entry in slow}
+
+    def test_server_mints_trace_for_untraced_clients(self, graph, index):
+        with serve(index) as (handle, _server), \
+                ReachClient(port=handle.port) as client:
+            client.query_batch(some_pairs(graph, 16))
+            slow = client.stats()["slow_queries"]
+            assert slow and all(entry["trace"] for entry in slow)
+
+    def test_stats_reports_stage_percentiles(self, graph, index):
+        with serve(index) as (handle, _server), \
+                ReachClient(port=handle.port) as client:
+            client.query_batch(some_pairs(graph))
+            stages = client.stats()["stages"]
+            assert "kernel" in stages and "queue_wait" in stages
+            for block in stages.values():
+                assert {"p50_ms", "p95_ms", "p99_ms",
+                        "max_ms"} <= set(block)
+                assert block["max_ms"] >= block["p50_ms"] >= 0.0
+
+
+# ---------------------------------------------------------------------
+# access log: trace + stages, size-bounded rotation
+# ---------------------------------------------------------------------
+
+class TestAccessLog:
+    def test_entries_carry_trace_and_stage_timings(self, graph, index,
+                                                   tmp_path):
+        log_path = tmp_path / "access.log"
+        with serve(index, access_log=log_path) as (handle, _server), \
+                ReachClient(port=handle.port, trace=True) as client:
+            client.query_batch(some_pairs(graph, 16))
+            trace = client.last_trace_id
+        records = [json.loads(line)
+                   for line in log_path.read_text().splitlines()]
+        batch = [r for r in records if r["verb"] == "batch"]
+        assert batch
+        entry = batch[-1]
+        assert entry["trace"] == trace
+        assert entry["pairs"] == 16
+        assert sum(entry["stages_ms"].values()) == pytest.approx(
+            entry["ms"], abs=0.01)
+
+    def test_rotation_bounds_log_size(self, graph, index, tmp_path):
+        log_path = tmp_path / "access.log"
+        max_bytes = 2000
+        with serve(index, access_log=log_path,
+                   access_log_max_bytes=max_bytes) as (handle, _server), \
+                ReachClient(port=handle.port) as client:
+            for _ in range(100):
+                client.ping()
+        rotated = log_path.with_name(log_path.name + ".1")
+        assert rotated.exists()
+        assert log_path.stat().st_size <= max_bytes + 400
+        # Every line in both generations is intact JSON.
+        for path in (log_path, rotated):
+            for line in path.read_text().splitlines():
+                json.loads(line)
+
+
+# ---------------------------------------------------------------------
+# reset semantics under concurrent load (acceptance criterion)
+# ---------------------------------------------------------------------
+
+class ResetRace:
+    """Drive batches from worker threads while a drainer resets."""
+
+    BATCHES_PER_WORKER = 30
+    WORKERS = 3
+    PAIRS_PER_BATCH = 16
+
+    def hammer(self, port, graph, drain_once):
+        """Returns (total_pairs_sent, drained_values)."""
+        pairs = some_pairs(graph, self.PAIRS_PER_BATCH)
+        drained, errors = [], []
+        done = threading.Event()
+
+        def work():
+            try:
+                with ReachClient(port=port) as client:
+                    for _ in range(self.BATCHES_PER_WORKER):
+                        client.query_batch(pairs)
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        def drain():
+            with ReachClient(port=port) as client:
+                while not done.is_set():
+                    drained.append(drain_once(client))
+                drained.append(drain_once(client))  # the remainder
+
+        workers = [threading.Thread(target=work)
+                   for _ in range(self.WORKERS)]
+        drainer = threading.Thread(target=drain)
+        drainer.start()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        done.set()
+        drainer.join()
+        assert not errors, errors
+        total = (self.WORKERS * self.BATCHES_PER_WORKER
+                 * self.PAIRS_PER_BATCH)
+        return total, drained
+
+
+class TestStatsResetUnderLoad(ResetRace):
+    def test_no_lost_service_queries(self, graph, index):
+        with serve(index) as (handle, _server):
+            total, drained = self.hammer(
+                handle.port, graph,
+                lambda client: client.stats(reset=True)
+                ["service"]["queries"])
+        assert all(v >= 0 for v in drained)
+        assert sum(drained) == total
+
+
+class TestMetricsResetUnderLoad(ResetRace):
+    def test_no_lost_increments_in_drained_expositions(self, graph,
+                                                       index):
+        def drain_once(client):
+            doc = client.metrics(reset=True)
+            text = doc["exposition"]
+            parse_exposition(text)  # stays well-formed mid-race
+            return sample_value(text, "reach_service_queries_total")
+
+        with serve(index) as (handle, _server):
+            total, drained = self.hammer(handle.port, graph, drain_once)
+        assert all(v >= 0 for v in drained)
+        assert sum(drained) == total
