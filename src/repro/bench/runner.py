@@ -195,10 +195,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_serve_load(args: argparse.Namespace) -> int:
     from repro.bench.serveload import (append_trajectory,
+                                       format_scaling_report,
                                        format_serve_report,
+                                       run_fleet_smoke,
                                        run_serve_load_benchmark,
-                                       run_serve_smoke)
+                                       run_serve_smoke,
+                                       run_worker_scaling_benchmark)
 
+    if args.workers > 1:
+        return _cmd_serve_load_fleet(args, run_fleet_smoke,
+                                     run_worker_scaling_benchmark,
+                                     format_scaling_report,
+                                     append_trajectory)
     if args.smoke:
         report = run_serve_smoke(
             nodes=args.nodes if args.nodes != 600 else 400,
@@ -234,6 +242,50 @@ def _cmd_serve_load(args: argparse.Namespace) -> int:
             return 1
         print(f"OK: speedup {speedup:.2f}x >= "
               f"{args.assert_speedup:.2f}x")
+    return 0
+
+
+def _cmd_serve_load_fleet(args: argparse.Namespace, run_fleet_smoke,
+                          run_worker_scaling_benchmark,
+                          format_scaling_report,
+                          append_trajectory) -> int:
+    """``serve-load --workers N``: fleet smoke gate or scaling bench."""
+    if args.smoke:
+        report = run_fleet_smoke(
+            nodes=args.nodes if args.nodes != 600 else 400,
+            edges=args.edges, seed=args.seed, scheme=args.scheme,
+            workers=args.workers,
+            connections=min(args.connections, 4),
+            duration=min(args.duration, 2.0), pipeline=args.pipeline)
+        print(format_kv_table(
+            {k: v for k, v in report.items() if k != "reload"},
+            title=f"serve-load fleet smoke ({args.workers} workers)"))
+        print(f"[fleet hot swap moved all {report['reload']['workers']} "
+              f"workers to generation {report['reload']['generation']}]")
+        print(f"OK: zero wrong answers, workers "
+              f"{report['served_by']} all served, scaling "
+              f"{report['scaling']:.2f}x >= core-aware floor "
+              f"{report['expected_scaling']:.2f}x, no leaked "
+              f"shared-memory segments")
+        return 0
+    entry = run_worker_scaling_benchmark(
+        nodes=args.nodes, edges=args.edges, seed=args.seed,
+        scheme=args.scheme, workers=args.workers,
+        connections=args.connections, duration=args.duration,
+        pipeline=args.pipeline)
+    print(format_scaling_report(entry))
+    if str(args.out) != "-":
+        append_trajectory(entry, args.out)
+        print(f"[appended to {args.out}]")
+    if args.assert_scaling is not None:
+        floor = (entry["expected_scaling"]
+                 if args.assert_scaling == "auto"
+                 else float(args.assert_scaling))
+        if entry["scaling"] < floor:
+            print(f"FAIL: scaling {entry['scaling']:.2f}x is below "
+                  f"the required {floor:.2f}x")
+            return 1
+        print(f"OK: scaling {entry['scaling']:.2f}x >= {floor:.2f}x")
     return 0
 
 
@@ -318,6 +370,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                                  "asserting zero protocol errors, "
                                  "multi-query flushes, and one hot "
                                  "reload")
+    serve_load.add_argument("--workers", type=int, default=1,
+                            help="benchmark the multi-process worker "
+                                 "fleet: throughput at 1..N workers "
+                                 "(with --smoke: the fleet CI gate — "
+                                 "differential answers, core-aware "
+                                 "scaling floor, fleet-wide hot swap, "
+                                 "shared-memory leak scan)")
+    serve_load.add_argument("--assert-scaling", default=None,
+                            metavar="RATIO",
+                            help="with --workers: exit non-zero unless "
+                                 "the top fleet reaches RATIO times the "
+                                 "single-worker throughput ('auto' = "
+                                 "the core-aware floor)")
 
     claims = sub.add_parser(
         "claims", help="grade the paper-fidelity claims (PASS/FAIL)")

@@ -16,6 +16,18 @@ show up over commits.  ``--smoke`` runs the CI gate instead: a short
 low-concurrency drive that must complete with zero protocol errors, at
 least one multi-query flush (proof that cross-connection coalescing
 happened), and one successful hot ``reload``.
+
+``--workers N`` switches both modes to the multi-process worker fleet
+(``repro-reach serve --workers N``): the benchmark
+(:func:`run_worker_scaling_benchmark`) measures served throughput at
+1, 2, … N workers and records the scaling ratio next to
+``os.cpu_count()`` — the ratio is capacity-bound by physical cores, so
+the trajectory stores both and the smoke gate
+(:func:`run_fleet_smoke`) asserts a **core-aware** floor rather than a
+fixed multiple.  The fleet smoke also differentially verifies every
+answer, proves more than one worker actually served, hot-swaps a
+generation across the whole fleet, and scans ``/dev/shm`` for leaked
+index segments after shutdown.
 """
 
 from __future__ import annotations
@@ -35,6 +47,7 @@ import repro
 from repro.bench.workloads import random_query_pairs
 from repro.core.base import build_index
 from repro.core.service import QueryService
+from repro.core.shm import list_segments
 from repro.graph.generators import single_rooted_dag
 from repro.graph.io import write_edge_list
 from repro.server.client import ReachClient
@@ -42,6 +55,8 @@ from repro.server.loadgen import run_loadgen
 from repro.server.server import ReachServer, ServerConfig, ServerThread
 
 __all__ = ["run_serve_load_benchmark", "run_serve_smoke",
+           "run_worker_scaling_benchmark", "run_fleet_smoke",
+           "expected_scaling", "format_scaling_report",
            "append_trajectory", "format_serve_report", "SCHEMA"]
 
 SCHEMA = "repro-bench-serve/1"
@@ -67,13 +82,15 @@ def _start_server(index, scheme: str, *, max_batch: int,
 @contextmanager
 def _server_process(graph_file: Path, scheme: str, *, max_batch: int,
                     max_delay: float, pipeline: int,
-                    connections: int) -> Iterator[int]:
+                    connections: int,
+                    workers: int = 1) -> Iterator[int]:
     """``repro-reach serve`` in a subprocess, yielding its bound port.
 
     The benchmark measures the gateway from a *separate* interpreter so
     the load generator and the server do not share one GIL — in-process
     the two fight for the same core and the measured ratio is mostly
-    scheduler noise.
+    scheduler noise.  ``workers > 1`` serves through the multi-process
+    fleet instead of the single in-process server.
     """
     env = dict(os.environ)
     package_root = str(Path(repro.__file__).resolve().parent.parent)
@@ -82,6 +99,7 @@ def _server_process(graph_file: Path, scheme: str, *, max_batch: int,
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve", str(graph_file),
          "--scheme", scheme, "--port", "0",
+         "--workers", str(workers),
          "--max-batch", str(max_batch),
          "--max-delay-ms", str(max_delay * 1000.0),
          "--max-pending", "65536",
@@ -103,7 +121,7 @@ def _server_process(graph_file: Path, scheme: str, *, max_batch: int,
     finally:
         proc.terminate()
         try:
-            proc.wait(timeout=10)
+            proc.wait(timeout=30)
         except subprocess.TimeoutExpired:
             proc.kill()
             proc.wait()
@@ -306,3 +324,203 @@ def run_serve_smoke(*, nodes: int = 400, edges: int | None = None,
         }
     finally:
         handle.stop()
+
+
+def expected_scaling(workers: int, cpu_count: "int | None") -> float:
+    """The core-aware throughput floor for a fleet of ``workers``.
+
+    Fleet scaling is capacity-bound by physical cores: N workers on a
+    single-core box time-slice one CPU and can only match (not beat)
+    one worker, while N workers on >= N cores should approach Nx.  The
+    floor is ``0.625 * usable_cores`` (4 usable cores -> the 2.5x
+    acceptance bar; 2 -> 1.25x) and never below ``0.65`` — a fleet may
+    not *lose* meaningful throughput to its own process overhead even
+    with nothing to parallelise onto.
+    """
+    usable = min(workers, cpu_count or 1)
+    return max(0.65, 0.625 * usable) if usable > 1 else 0.65
+
+
+def run_worker_scaling_benchmark(
+        *, nodes: int = 600, edges: int | None = None,
+        seed: int | None = None, scheme: str = "dual-i",
+        workers: int = 4, connections: int = 32,
+        duration: float = 2.0, pipeline: int = 16,
+        max_batch: int = 512, max_delay: float = 0.002,
+        num_pairs: int = 20_000) -> dict[str, Any]:
+    """Served throughput at 1, 2, 4, ... ``workers`` fleet sizes.
+
+    Every point runs the same graph, load, and gateway configuration;
+    only the process count changes, so the ratio between the top and
+    the single-worker rows is the fleet's scaling factor.  The entry
+    records ``os.cpu_count()`` alongside — the ratio is meaningless
+    without knowing how many cores there were to scale onto.
+    """
+    graph, seed = _make_graph(nodes, edges, seed)
+    pairs = random_query_pairs(graph, num_pairs, seed=seed + 1)
+    sizes = sorted({min(2 ** i, workers)
+                    for i in range(workers.bit_length())} | {workers})
+    rows: list[dict[str, Any]] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        graph_file = Path(tmp) / "graph.txt"
+        write_edge_list(graph, graph_file)
+        for size in sizes:
+            with _server_process(graph_file, scheme,
+                                 max_batch=max_batch,
+                                 max_delay=max_delay,
+                                 pipeline=pipeline,
+                                 connections=connections,
+                                 workers=size) as port:
+                result = run_loadgen(
+                    "127.0.0.1", port, pairs,
+                    connections=connections, duration=duration,
+                    pipeline=pipeline, batch_size=1,
+                    latency_sample=4)
+                rows.append({"workers": size, **result.as_dict()})
+
+    def qps(size: int) -> float:
+        return next(row["queries_per_second"] for row in rows
+                    if row["workers"] == size)
+
+    single, top = qps(sizes[0]), qps(sizes[-1])
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "mode": "worker-scaling",
+        "graph": {"generator": "single_rooted_dag", "nodes": nodes,
+                  "edges": graph.num_edges, "max_fanout": 5,
+                  "seed": seed},
+        "scheme": scheme,
+        "duration_seconds": duration,
+        "pipeline": pipeline,
+        "connections": connections,
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+        "worker_counts": sizes,
+        "single_worker_qps": single,
+        "top_workers_qps": top,
+        "scaling": top / single if single > 0 else float("inf"),
+        "expected_scaling": expected_scaling(sizes[-1],
+                                             os.cpu_count()),
+    }
+
+
+def format_scaling_report(entry: dict[str, Any]) -> str:
+    """Human-readable table for one worker-scaling entry."""
+    from repro.bench.reporting import format_markdown_table
+
+    graph = entry["graph"]
+    return "\n".join([
+        f"worker-scaling benchmark — single_rooted_dag("
+        f"{graph['nodes']}, {graph['edges']}, seed={graph['seed']}), "
+        f"scheme={entry['scheme']}, {entry['duration_seconds']}s per "
+        f"point, {entry['connections']} connections, "
+        f"cpu_count={entry['cpu_count']}",
+        "",
+        format_markdown_table(
+            entry["rows"],
+            ["workers", "queries", "queries_per_second", "errors",
+             "latency_p50_ms", "latency_p95_ms", "latency_p99_ms"]),
+        "",
+        f"[{entry['worker_counts'][-1]}-worker scaling: "
+        f"{entry['scaling']:.2f}x over 1 worker "
+        f"({entry['top_workers_qps']:,.0f} vs "
+        f"{entry['single_worker_qps']:,.0f} queries/s on "
+        f"{entry['cpu_count']} cores; core-aware floor "
+        f"{entry['expected_scaling']:.2f}x)]",
+    ])
+
+
+def run_fleet_smoke(*, nodes: int = 400, edges: int | None = None,
+                    seed: int | None = None, scheme: str = "dual-i",
+                    workers: int = 2, connections: int = 4,
+                    duration: float = 1.5,
+                    pipeline: int = 4) -> dict[str, Any]:
+    """The CI gate for ``serve-load --workers N --smoke``.
+
+    Asserts, in order: the fleet's differential correctness (every
+    loadgen reply checked against the direct index), that more than
+    one worker actually served traffic, a fleet-wide hot swap, the
+    core-aware throughput floor against a single-worker drive of the
+    same load, and — after both servers are down — that no shared-
+    memory segment leaked.
+
+    Raises
+    ------
+    AssertionError
+        On any violated invariant (the CI step fails).
+    """
+    graph, seed = _make_graph(nodes, edges, seed)
+    index = build_index(graph, scheme=scheme)
+    pairs = random_query_pairs(graph, 5000, seed=seed + 1)
+    expected = index.reachable_many(pairs)
+    qps: dict[int, float] = {}
+    report: dict[str, Any] = {"workers": workers,
+                              "cpu_count": os.cpu_count()}
+    with tempfile.TemporaryDirectory() as tmp:
+        graph_file = Path(tmp) / "graph.txt"
+        write_edge_list(graph, graph_file)
+        for size in (1, workers):
+            with _server_process(graph_file, scheme, max_batch=512,
+                                 max_delay=0.002, pipeline=pipeline,
+                                 connections=connections,
+                                 workers=size) as port:
+                result = run_loadgen(
+                    "127.0.0.1", port, pairs,
+                    connections=connections, duration=duration,
+                    pipeline=pipeline, batch_size=1,
+                    expected=expected, latency_sample=4)
+                assert result.completed > 0, (
+                    f"{size}-worker loadgen completed no requests")
+                assert not result.errors, (
+                    f"protocol errors against the {size}-worker "
+                    f"server: {result.errors}")
+                assert result.wrong_answers == 0, (
+                    f"{result.wrong_answers} wrong answers from the "
+                    f"{size}-worker server — first mismatches: "
+                    f"{result.mismatch_samples[:3]}")
+                qps[size] = result.queries_per_second
+                if size == 1:
+                    continue
+                # SO_REUSEPORT hashes per connection; a dozen fresh
+                # connections must reach more than one worker.
+                served_by = set()
+                for _ in range(12):
+                    with ReachClient(port=port) as client:
+                        served_by.add(client.stats()["worker"])
+                    if len(served_by) > 1:
+                        break
+                assert len(served_by) > 1, (
+                    f"12 fresh connections all landed on worker "
+                    f"{served_by} — accept sharding is not spreading")
+                with ReachClient(port=port, timeout=60.0) as client:
+                    swap = client.reload(graph=graph_file)
+                    assert swap["swapped"], f"fleet reload failed: {swap}"
+                    assert swap["workers"] == workers, (
+                        f"swap covered {swap['workers']} of "
+                        f"{workers} workers")
+                    assert swap["generation"] == 1, (
+                        f"expected generation 1 after one reload, got "
+                        f"{swap['generation']}")
+                    probe = client.query_batch(pairs[:32])
+                    assert probe == expected[:32], (
+                        "post-swap answers diverge from the direct "
+                        "index")
+                report["served_by"] = sorted(served_by)
+                report["reload"] = swap
+    leaked = list_segments()
+    assert not leaked, (
+        f"shared-memory segments leaked after shutdown: {leaked}")
+    floor = expected_scaling(workers, os.cpu_count())
+    ratio = qps[workers] / qps[1] if qps[1] > 0 else float("inf")
+    assert ratio >= floor, (
+        f"{workers}-worker fleet served only {ratio:.2f}x the "
+        f"single-worker throughput ({qps[workers]:,.0f} vs "
+        f"{qps[1]:,.0f} queries/s) — core-aware floor is "
+        f"{floor:.2f}x on {os.cpu_count()} cores")
+    report.update({
+        "single_worker_qps": qps[1],
+        "fleet_qps": qps[workers],
+        "scaling": ratio,
+        "expected_scaling": floor,
+    })
+    return report

@@ -206,6 +206,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         graph = read_edge_list(args.graph)
         index = build_index(graph, scheme=args.scheme)
         scheme = args.scheme
+    if args.workers > 1:
+        return _serve_fleet(args, index, scheme)
     config = ServerConfig(
         host=args.host, port=args.port, max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1000.0,
@@ -218,7 +220,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics_port=args.metrics_port,
         slow_log_size=args.slow_log_size,
         span_sample=args.span_sample,
-        executor_workers=args.workers)
+        executor_workers=args.executor_threads)
     server = ReachServer(QueryService(index), scheme=scheme,
                          config=config)
 
@@ -243,6 +245,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("\nserver stopped")
+    return 0
+
+
+def _serve_fleet(args: argparse.Namespace, index, scheme: str) -> int:
+    """``serve --workers N``: the SO_REUSEPORT worker fleet."""
+    import signal
+    import threading
+
+    from repro.server.router import WorkerFleet
+
+    for flag, value in (("--access-log", args.access_log),
+                        ("--metrics-port", args.metrics_port)):
+        if value is not None:
+            # One shared file/port across N processes would interleave;
+            # fleet observability goes through the per-worker `stats`/
+            # `metrics` verbs (worker-labelled) instead.
+            print(f"note: {flag} is ignored with --workers > 1",
+                  file=sys.stderr)
+    server_options = dict(
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1000.0,
+        max_pending=args.max_pending, policy=args.policy,
+        max_request_pairs=args.max_request_pairs,
+        max_conn_inflight=args.max_conn_inflight,
+        request_timeout=args.request_timeout,
+        slow_log_size=args.slow_log_size,
+        span_sample=args.span_sample,
+        executor_workers=args.executor_threads)
+    fleet = WorkerFleet(index, scheme=scheme, workers=args.workers,
+                        host=args.host, port=args.port,
+                        server_options=server_options)
+    # A SIGTERM (systemd stop, `timeout`, docker stop) must run the
+    # same clean shutdown as ctrl-c, or the published shared-memory
+    # generation leaks in /dev/shm.
+    done = threading.Event()
+    previous = signal.signal(signal.SIGTERM,
+                             lambda signum, frame: done.set())
+    fleet.start()
+    try:
+        stats = index.stats()
+        print(f"serving {scheme} ({stats.num_nodes} nodes, "
+              f"{stats.num_edges} edges) on {args.host}:{fleet.port}"
+              f" — workers={fleet.workers}, "
+              f"max_batch={args.max_batch}, "
+              f"max_delay={args.max_delay_ms:.1f}ms, "
+              f"policy={args.policy}  (ctrl-c to stop)", flush=True)
+        print(f"shared-memory index segment {fleet.segment} "
+              f"(pids {fleet.pids()})", flush=True)
+        done.wait()
+        print("\nfleet stopped")
+    except KeyboardInterrupt:
+        print("\nfleet stopped")
+    finally:
+        fleet.stop()
+        signal.signal(signal.SIGTERM, previous)
     return 0
 
 
@@ -387,7 +444,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         report = run_chaos_soak(
             seed=args.seed, duration=args.duration, nodes=args.nodes,
             scheme=args.scheme, recovery_timeout=args.recovery_timeout,
-            connections=args.connections, workdir=workdir)
+            connections=args.connections, workdir=workdir,
+            workers=args.workers)
     print("\n".join(report.summary_lines()))
     return 0 if report.ok() else 1
 
@@ -548,7 +606,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     serve.add_argument("--request-timeout", type=float, default=30.0,
                        help="seconds before a request times out")
     serve.add_argument("--workers", type=int, default=1,
-                       help="kernel executor threads")
+                       help="worker processes sharing the port via "
+                            "SO_REUSEPORT, each attaching the index "
+                            "from shared memory (1 = single-process)")
+    serve.add_argument("--executor-threads", type=int, default=1,
+                       help="kernel executor threads per process")
     serve.add_argument("--access-log", default=None,
                        help="structured JSON access-log file "
                             "('-' for stderr)")
@@ -645,6 +707,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="per-fault bound on seeing correct answers "
                             "again")
     chaos.add_argument("--connections", type=int, default=4)
+    chaos.add_argument("--workers", type=int, default=0,
+                       help="soak a multi-process worker fleet of this "
+                            "size instead of the in-process server "
+                            "(adds worker_kill/worker_hang faults)")
     chaos.add_argument("--smoke", action="store_true",
                        help="CI-sized run (caps duration and nodes)")
 

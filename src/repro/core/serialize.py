@@ -46,7 +46,15 @@ from repro.core.dual_i import DualIIndex
 from repro.core.dual_ii import DualIIIndex
 from repro.exceptions import CorruptIndexError, IndexBuildError
 
-__all__ = ["save_dual_index", "load_dual_index", "FORMAT_VERSION"]
+__all__ = [
+    "FORMAT_VERSION",
+    "dumps_index",
+    "index_document",
+    "load_dual_index",
+    "load_index_document",
+    "loads_index",
+    "save_dual_index",
+]
 
 FORMAT_VERSION = 1
 
@@ -91,6 +99,37 @@ def _content_checksum(document: dict) -> str:
     return f"sha256:{digest}"
 
 
+def index_document(index) -> dict:
+    """The checksummed JSON document of a Dual-I or Dual-II ``index``.
+
+    This is the single serialised form of an index: the file writer
+    (:func:`save_dual_index`) and the shared-memory publisher
+    (:mod:`repro.core.shm`) both emit exactly this document, so an
+    index round-trips bit-identically through either transport.
+
+    Raises
+    ------
+    IndexBuildError
+        If the scheme is not serialisable or any indexed node is not a
+        JSON scalar.
+    """
+    if isinstance(index, DualIIndex):
+        document = _dual_i_document(index)
+    elif isinstance(index, DualIIIndex):
+        document = _dual_ii_document(index)
+    else:
+        raise IndexBuildError(
+            f"only Dual-I and Dual-II indexes are serialisable, got "
+            f"{type(index).__name__}")
+    document["checksum"] = _content_checksum(document)
+    return document
+
+
+def dumps_index(index) -> bytes:
+    """The UTF-8 JSON bytes of :func:`index_document`."""
+    return json.dumps(index_document(index)).encode("utf-8")
+
+
 def save_dual_index(index, path: PathLike) -> None:
     """Write a Dual-I or Dual-II ``index`` to ``path`` as JSON.
 
@@ -108,15 +147,7 @@ def save_dual_index(index, path: PathLike) -> None:
         If the scheme is not serialisable or any indexed node is not a
         JSON scalar.
     """
-    if isinstance(index, DualIIndex):
-        document = _dual_i_document(index)
-    elif isinstance(index, DualIIIndex):
-        document = _dual_ii_document(index)
-    else:
-        raise IndexBuildError(
-            f"only Dual-I and Dual-II indexes are serialisable, got "
-            f"{type(index).__name__}")
-    document["checksum"] = _content_checksum(document)
+    document = index_document(index)
     target = Path(path)
     directory = target.parent if str(target.parent) else Path(".")
     fd, tmp_name = tempfile.mkstemp(dir=directory,
@@ -297,6 +328,65 @@ _LOADERS = {
 }
 
 
+def load_index_document(document, origin: str = "<document>"):
+    """Restore an index from an already-parsed serialised document.
+
+    ``origin`` names the transport the document came from (a file
+    path, a shared-memory segment name) for error messages.
+
+    Raises
+    ------
+    CorruptIndexError
+        On a failed content checksum or a structurally broken document.
+    IndexBuildError
+        On wrong format markers or unsupported versions (a well-formed
+        document this code simply does not speak).
+    """
+    loader = None
+    if isinstance(document, dict):
+        loader = _LOADERS.get(document.get("format"))
+    if loader is None:
+        raise IndexBuildError(
+            f"{origin}: not a repro dual-index document "
+            f"(expected one of {sorted(_LOADERS)})")
+    if document.get("version") != FORMAT_VERSION:
+        raise IndexBuildError(
+            f"{origin}: unsupported format version "
+            f"{document.get('version')!r} (expected {FORMAT_VERSION})")
+    # Documents written before the checksum field existed stay loadable;
+    # once one is present it must verify.
+    recorded = document.get("checksum")
+    if recorded is not None and recorded != _content_checksum(document):
+        raise CorruptIndexError(
+            f"{origin}: content checksum mismatch — the document is "
+            f"corrupt (recorded {recorded!r})")
+    try:
+        return loader(document)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CorruptIndexError(
+            f"{origin}: malformed index document ({exc})") from exc
+
+
+def loads_index(data: bytes | str, origin: str = "<memory>"):
+    """Restore an index from serialised JSON bytes (or text).
+
+    The byte-level counterpart of :func:`load_dual_index`, shared by
+    the shared-memory attach path: same dispatch, same checksum
+    verification, same error taxonomy.
+    """
+    try:
+        if isinstance(data, bytes):
+            data = data.decode("utf-8")
+        document = json.loads(data)
+    except json.JSONDecodeError as exc:
+        raise CorruptIndexError(
+            f"{origin}: not valid JSON ({exc})") from exc
+    except UnicodeDecodeError as exc:
+        raise CorruptIndexError(
+            f"{origin}: not UTF-8 text ({exc})") from exc
+    return load_index_document(document, origin)
+
+
 def load_dual_index(path: PathLike):
     """Load an index previously written by :func:`save_dual_index`.
 
@@ -312,34 +402,4 @@ def load_dual_index(path: PathLike):
         On wrong format markers or unsupported versions (a well-formed
         file this code simply does not speak).
     """
-    try:
-        document = json.loads(Path(path).read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
-        raise CorruptIndexError(
-            f"{path}: not valid JSON ({exc})") from exc
-    except UnicodeDecodeError as exc:
-        raise CorruptIndexError(
-            f"{path}: not UTF-8 text ({exc})") from exc
-    loader = None
-    if isinstance(document, dict):
-        loader = _LOADERS.get(document.get("format"))
-    if loader is None:
-        raise IndexBuildError(
-            f"{path}: not a repro dual-index document "
-            f"(expected one of {sorted(_LOADERS)})")
-    if document.get("version") != FORMAT_VERSION:
-        raise IndexBuildError(
-            f"{path}: unsupported format version "
-            f"{document.get('version')!r} (expected {FORMAT_VERSION})")
-    # Documents written before the checksum field existed stay loadable;
-    # once one is present it must verify.
-    recorded = document.get("checksum")
-    if recorded is not None and recorded != _content_checksum(document):
-        raise CorruptIndexError(
-            f"{path}: content checksum mismatch — the file is "
-            f"corrupt (recorded {recorded!r})")
-    try:
-        return loader(document)
-    except (KeyError, TypeError, ValueError) as exc:
-        raise CorruptIndexError(
-            f"{path}: malformed index document ({exc})") from exc
+    return loads_index(Path(path).read_bytes(), origin=str(path))

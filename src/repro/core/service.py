@@ -265,6 +265,28 @@ class QueryService:
         self._lock = threading.Lock()
         self.metrics = ServiceMetrics()
 
+    @classmethod
+    def from_shared_memory(cls, segment: str,
+                           **options) -> "QueryService":
+        """A service over the index published under shared-memory
+        segment ``segment`` (see :mod:`repro.core.shm`).
+
+        The worker-fleet attach path: each worker process calls this
+        instead of rebuilding the index, so N workers share one build.
+        ``options`` are the regular constructor keywords.
+
+        Raises
+        ------
+        FileNotFoundError
+            When the segment does not exist (already swapped away).
+        CorruptIndexError
+            When the segment's payload fails validation — a worker
+            must refuse to serve rather than answer from garbage.
+        """
+        from repro.core.shm import attach_index
+
+        return cls(attach_index(segment), **options)
+
     # -- public API -----------------------------------------------------
     @property
     def vectorised(self) -> bool:

@@ -91,7 +91,8 @@ def _render_histogram(lines: list[str], name: str,
                  f"{snap['count']}")
 
 
-def render(*registries: MetricsRegistry, reset: bool = False) -> str:
+def render(*registries: MetricsRegistry, reset: bool = False,
+           const_labels: dict[str, str] | None = None) -> str:
     """The text exposition of every family in every given registry.
 
     Families keep registration order within a registry; collector
@@ -100,7 +101,14 @@ def render(*registries: MetricsRegistry, reset: bool = False) -> str:
     rendered (one atomic read-and-zero per child — the ``metrics``
     verb's ``reset=true``); gauges and collector output describe
     current state and are never reset.
+
+    ``const_labels`` are stamped onto every sample of every family —
+    the multi-process worker fleet uses ``{"worker": "<id>"}`` so one
+    aggregated scrape still attributes queue depth and stage latency
+    to the process that produced them.  A per-sample label with the
+    same name wins over the constant.
     """
+    const = dict(const_labels) if const_labels else {}
     lines: list[str] = []
     for registry in registries:
         for family in registry.families():
@@ -112,13 +120,15 @@ def render(*registries: MetricsRegistry, reset: bool = False) -> str:
                     lines.append(f"# HELP {family.name} {family.help}")
                 lines.append(f"# TYPE {family.name} histogram")
                 for values, child in family.series():
-                    labels = dict(zip(family.label_names, values))
+                    labels = {**const,
+                              **dict(zip(family.label_names, values))}
                     _render_histogram(lines, family.name, labels,
                                       child, reset=reset)
             else:
                 samples = []
                 for values, child in family.series():
-                    labels = dict(zip(family.label_names, values))
+                    labels = {**const,
+                              **dict(zip(family.label_names, values))}
                     samples.append((labels,
                                     child.snapshot(reset=reset)))
                 _render_simple(lines, family.name, family.kind,
@@ -128,7 +138,9 @@ def render(*registries: MetricsRegistry, reset: bool = False) -> str:
             if not _NAME_RE.match(name):
                 raise ValueError(f"invalid metric name {name!r}")
             _render_simple(lines, name, extra.get("type", "gauge"),
-                           extra.get("help", ""), extra["samples"])
+                           extra.get("help", ""),
+                           [({**const, **labels}, value)
+                            for labels, value in extra["samples"]])
     return "\n".join(lines) + "\n" if lines else ""
 
 

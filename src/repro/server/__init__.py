@@ -37,7 +37,14 @@ the library into a long-running network service:
   :class:`~repro.server.client.RetryPolicy` (reconnect, idempotent
   retries, per-attempt timeouts, circuit breaker, error taxonomy).
   The fault injectors these are tested against live in
-  :mod:`repro.testing`.
+  :mod:`repro.testing`;
+* **multi-process worker fleet** —
+  :class:`~repro.server.router.WorkerFleet` (``serve --workers N``)
+  spawns N worker processes that attach the index from shared memory
+  (:mod:`repro.core.shm`) instead of rebuilding, share one port via
+  ``SO_REUSEPORT`` accept sharding, hot-swap generations together on
+  ``reload``, and sit under a worker-pool supervisor with
+  liveness probing (dead *and* hung workers are replaced).
 
 :class:`~repro.server.client.ReachClient` is the synchronous client
 used by the CLI and the tests, and :mod:`repro.server.loadgen` is the
@@ -61,9 +68,11 @@ from repro.server.server import (
     ServerThread,
     Supervisor,
 )
+from repro.server.router import FleetError, WorkerFleet
 
 __all__ = [
     "CircuitOpenError",
+    "FleetError",
     "MicroBatcher",
     "OverloadedError",
     "ProtocolError",
@@ -75,6 +84,7 @@ __all__ = [
     "ServerReplyError",
     "ServerThread",
     "Supervisor",
+    "WorkerFleet",
     "LoadgenResult",
     "run_loadgen",
 ]

@@ -1,0 +1,608 @@
+"""The worker-fleet front: shared port, shared labels, one supervisor.
+
+:class:`WorkerFleet` scales the gateway past the single-interpreter
+ceiling (~42k qps, BENCH_serve.json): the dual-labeling arrays are
+immutable after build, so the parent builds **once**, publishes the
+index into a shared-memory segment (:mod:`repro.core.shm`), and spawns
+``N`` :mod:`repro.server.worker` processes that each attach and serve.
+
+Routing is *accept sharding*: the parent reserves the port with a
+bound (never listening) ``SO_REUSEPORT`` socket and every worker
+listens on the same address with ``SO_REUSEPORT`` set, so the kernel
+distributes incoming connections across the workers.  A userspace
+dispatch ring was rejected deliberately — a Python router process
+would itself be GIL-bound at roughly the single-server qps ceiling,
+capping the fleet at 1× no matter how many workers sit behind it.
+
+Generation-aware hot swap: any worker that receives a ``reload``
+forwards it here.  The parent rebuilds (or loads) the new index once,
+publishes it as generation ``g+1``, commands every worker to swap,
+waits for the acks, unlinks generation ``g``, and only then releases
+the requesting worker's reply — so a success reply is never observable
+before the whole fleet serves the new index, and each worker's
+per-flush service snapshot guarantees no micro-batch ever mixes
+generations.  A worker that fails to ack in time is killed and
+respawned directly onto the new generation.
+
+Supervision extends the PR-4 :class:`~repro.server.server.Supervisor`
+semantics to processes: a dead worker (crash, SIGKILL) is respawned
+with capped exponential backoff onto the *current* generation and
+rejoins the accept sharding by re-binding the shared port; a worker
+that stayed up ``healthy_after`` seconds earns back its restart
+budget, while a crash loop exhausts ``max_restarts`` and leaves the
+fleet running degraded on the surviving workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import secrets
+import socket
+import threading
+import time
+from collections import deque
+from multiprocessing import connection as mp_connection
+from typing import Any
+
+from repro.core.serialize import load_dual_index
+from repro.core.shm import SEGMENT_PREFIX, PublishedIndex, publish_index
+from repro.exceptions import ReproError
+from repro.server import protocol
+from repro.server.worker import worker_main
+
+__all__ = ["FleetError", "WorkerFleet"]
+
+
+class FleetError(ReproError):
+    """The fleet could not start or lost its last worker."""
+
+
+class _WorkerHandle:
+    """Parent-side state of one worker process."""
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.process: multiprocessing.process.BaseProcess | None = None
+        self.conn = None
+        self.ready = False
+        self.started_at = 0.0
+        self.consecutive_crashes = 0
+        #: Restart budget exhausted — the supervisor gave up on this
+        #: slot and the fleet runs degraded on the survivors.
+        self.abandoned = False
+        # Liveness-probe state: sequence of the outstanding ping (if
+        # any), when it was sent, and when the last probe round ran.
+        self.ping_seq = 0
+        self.ping_sent: float | None = None
+        self.last_probe = 0.0
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+
+class WorkerFleet:
+    """``N`` worker processes serving one index from shared memory.
+
+    Parameters
+    ----------
+    index:
+        A built (serialisable) index — the parent publishes it and
+        never serves queries itself.
+    scheme:
+        Scheme tag reported by the workers (``dual-i`` / ``dual-ii``).
+    workers:
+        Fleet size.  Near-linear qps scaling requires at least that
+        many usable cores; on fewer cores the fleet is capacity-bound
+        but still correct.
+    host / port:
+        The shared listening address (``0`` picks a free port).
+    server_options:
+        Picklable :class:`~repro.server.server.ServerConfig` keywords
+        applied to every worker (``max_batch``, ``policy``, ...).
+    service_options:
+        :class:`~repro.core.service.QueryService` keywords for the
+        attach path.
+    max_restarts / base_delay / max_delay / jitter / healthy_after /
+    seed:
+        Per-worker supervisor knobs, matching
+        :class:`~repro.server.server.Supervisor`.
+    start_timeout / swap_timeout:
+        Seconds to wait for worker readiness at start / for swap acks
+        during a reload before the straggler is killed and respawned.
+    probe_interval / probe_timeout:
+        Liveness probing: every ``probe_interval`` seconds the parent
+        pings each worker over its control pipe; a worker silent for
+        ``probe_timeout`` seconds is killed and respawned.  This is
+        what bounds recovery from a *hung* (not dead) worker — its
+        kernel listen queue keeps accepting connections that would
+        otherwise black-hole forever.  ``probe_interval=None``
+        disables probing.
+    """
+
+    def __init__(self, index, *, scheme: str = "dual-i",
+                 workers: int = 2, host: str = "127.0.0.1",
+                 port: int = 0,
+                 server_options: dict | None = None,
+                 service_options: dict | None = None,
+                 max_restarts: int | None = 8,
+                 base_delay: float = 0.1, max_delay: float = 5.0,
+                 jitter: float = 0.25, healthy_after: float = 30.0,
+                 seed: int | None = None,
+                 start_timeout: float = 60.0,
+                 swap_timeout: float = 30.0,
+                 probe_interval: float | None = 2.0,
+                 probe_timeout: float = 10.0) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover
+            raise FleetError(
+                "the worker fleet needs SO_REUSEPORT accept sharding, "
+                "which this platform does not offer")
+        self._index = index
+        self._scheme = scheme
+        self._host = host
+        self._requested_port = port
+        self._server_options = dict(server_options or {})
+        self._service_options = dict(service_options or {})
+        self._max_restarts = max_restarts
+        self._base_delay = base_delay
+        self._max_delay = max_delay
+        self._jitter = jitter
+        self._healthy_after = healthy_after
+        self._rng = random.Random(seed)
+        self._start_timeout = start_timeout
+        self._swap_timeout = swap_timeout
+        self._probe_interval = probe_interval
+        self._probe_timeout = probe_timeout
+        self._ctx = multiprocessing.get_context("spawn")
+        self._handles = [_WorkerHandle(i) for i in range(workers)]
+        self._base_name = (f"{SEGMENT_PREFIX}{os.getpid()}-"
+                           f"{secrets.token_hex(3)}")
+        self._generation = 0
+        self._published: PublishedIndex | None = None
+        self._reserve_sock: socket.socket | None = None
+        self._port: int | None = None
+        self._monitor: threading.Thread | None = None
+        self._stopping = threading.Event()
+        #: Control messages that arrived while a reload orchestration
+        #: was draining its acks; replayed afterwards.
+        self._deferred: deque = deque()
+        self._lock = threading.Lock()
+        #: Total worker restarts performed by the fleet supervisor.
+        self.restarts = 0
+        #: ``(worker_id, reason, backoff seconds)`` per crash.
+        self.crashes: list[tuple[int, str, float]] = []
+        #: Successful fleet-wide generation swaps.
+        self.swaps = 0
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The shared listening port all workers accept on."""
+        if self._port is None:
+            raise RuntimeError("fleet is not started")
+        return self._port
+
+    @property
+    def workers(self) -> int:
+        return len(self._handles)
+
+    @property
+    def generation(self) -> int:
+        """The current index generation (0 at start, +1 per reload)."""
+        return self._generation
+
+    @property
+    def segment(self) -> str:
+        """Shared-memory segment name of the current generation."""
+        return f"{self._base_name}-g{self._generation}"
+
+    def pids(self) -> list[int]:
+        """Live worker PIDs (chaos tests kill/stop these)."""
+        return [handle.pid for handle in self._handles
+                if handle.alive and handle.pid is not None]
+
+    def start(self, timeout: float | None = None) -> "WorkerFleet":
+        """Publish generation 0, reserve the port, spawn the fleet.
+
+        Blocks until every worker is listening (or raises
+        :class:`FleetError` after cleaning up).
+        """
+        timeout = self._start_timeout if timeout is None else timeout
+        self._published = publish_index(self._index, name=self.segment)
+        # The parent's bound-but-not-listening SO_REUSEPORT socket
+        # pins the port for the fleet's whole lifetime: port 0 is
+        # resolved here once, restarted workers re-bind the same
+        # number, and the kernel only hashes connections across the
+        # *listening* sockets, so the placeholder never steals one.
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((self._host, self._requested_port))
+        except OSError:
+            sock.close()
+            self._published.unlink()
+            raise
+        self._reserve_sock = sock
+        self._port = sock.getsockname()[1]
+        try:
+            for handle in self._handles:
+                self._spawn(handle)
+            deadline = time.monotonic() + timeout
+            while not all(h.ready for h in self._handles):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise FleetError(
+                        f"fleet start timed out: workers "
+                        f"{[h.worker_id for h in self._handles if not h.ready]} "
+                        f"never reported ready")
+                for message in self._poll_control(remaining):
+                    self._dispatch(message, during_start=True)
+        except BaseException:
+            self._teardown()
+            raise
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, daemon=True,
+            name="repro-fleet-monitor")
+        self._monitor.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop workers, unlink shared memory."""
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout)
+            self._monitor = None
+        self._teardown(timeout)
+
+    def _teardown(self, timeout: float = 10.0) -> None:
+        self._stopping.set()
+        for handle in self._handles:
+            if handle.conn is not None:
+                try:
+                    handle.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+        deadline = time.monotonic() + timeout
+        for handle in self._handles:
+            if handle.process is not None:
+                handle.process.join(
+                    max(0.1, deadline - time.monotonic()))
+                if handle.process.is_alive():
+                    handle.process.kill()
+                    handle.process.join(5.0)
+            if handle.conn is not None:
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
+                handle.conn = None
+        if self._published is not None:
+            self._published.unlink()
+            self._published = None
+        if self._reserve_sock is not None:
+            self._reserve_sock.close()
+            self._reserve_sock = None
+
+    def __enter__(self) -> "WorkerFleet":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- worker processes -----------------------------------------------
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        options = dict(self._server_options)
+        options["service_options"] = dict(self._service_options)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(handle.worker_id, self.segment, self._scheme,
+                  self._host, self._port, options, child_conn),
+            daemon=True,
+            name=f"repro-worker-{handle.worker_id}")
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        handle.ready = False
+        handle.started_at = time.monotonic()
+        handle.ping_sent = None
+        handle.last_probe = time.monotonic()
+
+    def _handle_for_conn(self, conn) -> _WorkerHandle | None:
+        for handle in self._handles:
+            if handle.conn is conn:
+                return handle
+        return None
+
+    def _poll_control(self, timeout: float) -> list[tuple]:
+        """One ``connection.wait`` round over worker pipes + sentinels.
+
+        Returns ``("msg", handle, message)`` and ``("died", handle)``
+        events; closed pipes surface as deaths once the sentinel
+        fires.
+        """
+        conns = {h.conn: h for h in self._handles
+                 if h.conn is not None}
+        sentinels = {h.process.sentinel: h for h in self._handles
+                     if h.process is not None and h.process.is_alive()}
+        waitables = list(conns) + list(sentinels)
+        if not waitables:
+            time.sleep(min(timeout, 0.05))
+            return []
+        events: list[tuple] = []
+        for obj in mp_connection.wait(waitables, timeout):
+            if obj in conns:
+                handle = conns[obj]
+                try:
+                    while handle.conn.poll():
+                        events.append(("msg", handle,
+                                       handle.conn.recv()))
+                except (EOFError, OSError):
+                    pass  # the sentinel will report the death
+            else:
+                events.append(("died", sentinels[obj]))
+        return events
+
+    # -- supervision ----------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stopping.is_set():
+            while self._deferred and not self._stopping.is_set():
+                self._dispatch(self._deferred.popleft())
+            for event in self._poll_control(0.2):
+                if self._stopping.is_set():
+                    break
+                self._dispatch(event)
+            self._run_probes()
+
+    def _run_probes(self) -> None:
+        """Ping ready workers; kill one that stayed silent too long.
+
+        Timeouts are checked *after* this iteration's pipe drain, so a
+        pong that queued while the monitor was busy (a long rebuild
+        during a fleet reload) counts before the deadline does — only
+        a genuinely unresponsive worker is replaced.
+        """
+        if self._probe_interval is None:
+            return
+        now = time.monotonic()
+        for handle in self._handles:
+            if not (handle.ready and handle.alive
+                    and handle.conn is not None):
+                continue
+            if handle.ping_sent is not None:
+                if now - handle.ping_sent > self._probe_timeout:
+                    self.crashes.append(
+                        (handle.worker_id,
+                         "liveness probe timed out", 0.0))
+                    handle.ping_sent = None
+                    handle.process.kill()
+            elif now - handle.last_probe >= self._probe_interval:
+                handle.ping_seq += 1
+                handle.last_probe = now
+                try:
+                    handle.conn.send(("ping", handle.ping_seq))
+                except (BrokenPipeError, OSError):
+                    continue
+                handle.ping_sent = now
+
+    def _dispatch(self, event: tuple,
+                  during_start: bool = False) -> None:
+        kind, handle = event[0], event[1]
+        if kind == "died":
+            if during_start:
+                raise FleetError(
+                    f"worker {handle.worker_id} exited during startup")
+            self._restart(handle)
+            return
+        message = event[2]
+        verb = message[0]
+        if verb == "ready":
+            handle.ready = True
+        elif verb == "pong":
+            handle.ping_sent = None
+        elif verb == "reload":
+            _, worker_id, token, payload = message
+            self._fleet_reload(handle, token, payload)
+        elif verb in ("attach_failed", "start_failed"):
+            # The worker exits right after sending this; the sentinel
+            # delivers the restart.  Keep the reason for the crash log.
+            self.crashes.append(
+                (handle.worker_id, f"{verb}: {message[2]}", 0.0))
+            if during_start:
+                raise FleetError(
+                    f"worker {handle.worker_id} failed to start: "
+                    f"{message[2]}")
+        # "swap_ok"/"swap_err" outside an orchestration window and
+        # "bye" acknowledgements need no action here.
+
+    def _backoff(self, consecutive: int) -> float:
+        delay = min(self._base_delay * (2 ** (consecutive - 1)),
+                    self._max_delay)
+        if self._jitter:
+            delay *= 1.0 + self._jitter * (2.0 * self._rng.random() - 1.0)
+        return delay
+
+    def _restart(self, handle: _WorkerHandle) -> None:
+        """Supervisor action for one dead worker: backoff, respawn
+        onto the current generation, rejoin the shared port."""
+        if handle.process is not None:
+            handle.process.join(0.1)
+        uptime = time.monotonic() - handle.started_at
+        if uptime >= self._healthy_after:
+            handle.consecutive_crashes = 0  # earned a fresh budget
+        handle.consecutive_crashes += 1
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.conn = None
+        handle.process = None
+        handle.ready = False
+        if self._max_restarts is not None \
+                and handle.consecutive_crashes > self._max_restarts:
+            handle.abandoned = True
+            self.crashes.append(
+                (handle.worker_id, "restart budget exhausted", 0.0))
+            if not any(h.alive or not h.abandoned
+                       for h in self._handles):
+                # Last worker gone: nothing serves the port any more.
+                self._stopping.set()
+            return
+        delay = self._backoff(handle.consecutive_crashes)
+        self.crashes.append(
+            (handle.worker_id, "worker process died", delay))
+        if self._stopping.wait(delay):
+            return
+        self.restarts += 1
+        self._spawn(handle)
+
+    # -- generation-aware fleet reload ----------------------------------
+    def reload(self, *, graph=None, index=None,
+               scheme: str | None = None) -> dict:
+        """Parent-initiated fleet reload (same contract as the verb).
+
+        Goes through a real worker connection on purpose, so the
+        public entry point and a client-sent ``reload`` exercise the
+        identical forward → rebuild → publish → swap → ack pipeline.
+        """
+        from repro.server.client import ReachClient
+
+        with ReachClient(self._host, self.port, timeout=180.0) as client:
+            return client.reload(graph=graph, index=index, scheme=scheme)
+
+    def _fleet_reload(self, requester: _WorkerHandle, token: int,
+                      payload: dict) -> None:
+        """Rebuild once, move every worker, then answer the requester.
+
+        Runs on the monitor thread; control messages that arrive while
+        the acks drain are deferred, which serialises concurrent
+        reload requests (the second rebuilds on top of the first's
+        generation — last writer wins, same as the single server).
+        """
+        try:
+            summary = self._rebuild_and_swap(payload)
+        except (ReproError, OSError) as exc:
+            self._reply_reload(requester, token, False,
+                               f"{type(exc).__name__}: {exc}")
+        else:
+            self._reply_reload(requester, token, True, summary)
+
+    def _reply_reload(self, requester: _WorkerHandle, token: int,
+                      ok: bool, doc) -> None:
+        if requester.conn is None:
+            return  # the requester died mid-reload; nobody to answer
+        try:
+            requester.conn.send(("reload_result", token, ok, doc))
+        except (BrokenPipeError, OSError):
+            pass
+
+    def _rebuild_and_swap(self, payload: dict) -> dict:
+        graph_path = payload.get("graph")
+        index_path = payload.get("index")
+        if bool(graph_path) == bool(index_path):
+            raise ReproError(
+                "reload requires exactly one of 'graph' or 'index'")
+        scheme = payload.get("scheme", self._scheme)
+        if not isinstance(scheme, str):
+            raise ReproError("scheme must be a string")
+
+        from repro.core.base import build_index
+        from repro.graph.io import read_edge_list
+
+        started = time.perf_counter()
+        if index_path:
+            new_index = load_dual_index(index_path)
+        else:
+            new_index = build_index(read_edge_list(graph_path),
+                                    scheme=scheme)
+        build_seconds = time.perf_counter() - started
+        scheme_name = type(new_index).scheme_name or scheme
+
+        old_published = self._published
+        self._generation += 1
+        self._published = publish_index(new_index, name=self.segment)
+        self._scheme = scheme_name
+        targets = [h for h in self._handles
+                   if h.conn is not None and h.alive]
+        for handle in targets:
+            try:
+                handle.conn.send(("swap", self.segment, scheme_name))
+            except (BrokenPipeError, OSError):
+                pass
+        acked = self._collect_swap_acks(targets)
+        for handle in targets:
+            if handle not in acked and handle.alive \
+                    and handle.process is not None:
+                # Straggler or failed attach: kill it; the supervisor
+                # respawns it directly onto the new generation.
+                handle.process.kill()
+        if old_published is not None:
+            old_published.unlink()
+        self.swaps += 1
+        stats = new_index.stats()
+        return {
+            "swapped": True,
+            "scheme": scheme_name,
+            "source": "index" if index_path else "graph",
+            "nodes": stats.num_nodes,
+            "edges": stats.num_edges,
+            "build_seconds": build_seconds,
+            "phase_seconds": dict(stats.phase_seconds),
+            "index_swaps": self.swaps,
+            "generation": self._generation,
+            "workers": len(acked),
+        }
+
+    def _collect_swap_acks(self, targets) -> set:
+        """Drain worker pipes until every target acked the new
+        generation (or the swap timeout passes).  Non-ack messages are
+        deferred for the monitor loop."""
+        acked: set[_WorkerHandle] = set()
+        deadline = time.monotonic() + self._swap_timeout
+        segment = self.segment
+        while len(acked) < len(targets):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            for event in self._poll_control(remaining):
+                if event[0] != "msg":
+                    self._deferred.append(event)
+                    continue
+                handle, message = event[1], event[2]
+                if message[0] == "swap_ok" and message[2] == segment:
+                    acked.add(handle)
+                elif message[0] == "swap_err" \
+                        and message[2] == segment:
+                    targets = [t for t in targets if t is not handle]
+                    if handle.process is not None:
+                        handle.process.kill()
+                else:
+                    self._deferred.append(event)
+        return acked
+
+    # -- introspection --------------------------------------------------
+    def describe(self) -> dict:
+        """Operational snapshot for the CLI banner and the tests."""
+        return {
+            "workers": self.workers,
+            "port": self._port,
+            "scheme": self._scheme,
+            "generation": self._generation,
+            "segment": self.segment,
+            "restarts": self.restarts,
+            "swaps": self.swaps,
+            "pids": self.pids(),
+            "protocol_version": protocol.PROTOCOL_VERSION,
+        }

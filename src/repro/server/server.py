@@ -131,6 +131,24 @@ class ServerConfig:
     #: the fault-injection seam (:mod:`repro.testing.faults` wraps
     #: services in a ``FlakyService`` here); ``None`` is a no-op.
     service_wrapper: Any = None
+    #: Bind the listener with ``SO_REUSEPORT`` so several processes
+    #: can share one port — the worker fleet's accept-sharding mode
+    #: (the kernel distributes incoming connections among the
+    #: listening workers; no userspace router sits on the hot path).
+    reuse_port: bool = False
+    #: Identifies this process in a worker fleet: stamped as a
+    #: ``worker="<label>"`` constant label on every Prometheus sample
+    #: and surfaced in the ``stats``/``health`` documents, so one
+    #: aggregated scrape still attributes queue depth and stage
+    #: latency per worker.  ``None`` (standalone server) adds nothing.
+    worker_label: str | None = None
+    #: Optional async callable ``(payload) -> summary dict`` replacing
+    #: the in-process ``reload`` implementation.  A fleet worker
+    #: installs a delegate here that forwards the request to the
+    #: parent, which rebuilds once, publishes a new shared-memory
+    #: generation, and moves every worker together — see
+    #: :mod:`repro.server.worker`.
+    reload_handler: Any = None
 
 
 class ServerMetrics:
@@ -378,7 +396,8 @@ class ReachServer:
         self._open_access_log()
         self._server = await asyncio.start_server(
             self._handle_connection, config.host, config.port,
-            limit=config.max_line_bytes)
+            limit=config.max_line_bytes,
+            reuse_port=config.reuse_port or None)
         if config.metrics_port is not None:
             self._metrics_server = await asyncio.start_server(
                 self._handle_metrics_http, config.host,
@@ -792,13 +811,16 @@ class ReachServer:
         keeps answering from the last good index) and flips back to
         ``"ok"`` on the next successful swap.
         """
-        return {
+        doc = {
             "status": "degraded" if self._degraded else "ok",
             "reason": self._degraded,
             "uptime_seconds": time.monotonic() - self.stats.started_at,
             "index_swaps": self.stats.swaps,
             "connections_open": self.stats.connections_open,
         }
+        if self._config.worker_label is not None:
+            doc["worker"] = self._config.worker_label
+        return doc
 
     def ready_snapshot(self) -> dict:
         """The ``ready`` verb's readiness document."""
@@ -824,6 +846,7 @@ class ReachServer:
         return {
             "protocol_version": protocol.PROTOCOL_VERSION,
             "scheme": self._scheme,
+            "worker": self._config.worker_label,
             "degraded": self._degraded,
             "server": self.stats.as_dict(),
             "stages": self._spans.percentiles_ms(),
@@ -854,11 +877,56 @@ class ReachServer:
     def metrics_exposition(self, reset: bool = False) -> str:
         """Prometheus text for the HTTP endpoint / ``metrics`` verb."""
         self.stats.flush()
+        const_labels = None
+        if self._config.worker_label is not None:
+            const_labels = {"worker": self._config.worker_label}
         return render(self.stats.registry,
-                      self._service.metrics.registry, reset=reset)
+                      self._service.metrics.registry, reset=reset,
+                      const_labels=const_labels)
 
     # -- hot index swap -------------------------------------------------
+    def install_service(self, new_service: QueryService,
+                        scheme: str | None = None) -> QueryService:
+        """Atomically swap the serving backend to ``new_service``.
+
+        The single generation-swap primitive: the in-process ``reload``
+        and the fleet worker's parent-commanded swap both land here, so
+        the bookkeeping (swap counter, degraded flag, parking the old
+        service until shutdown) cannot diverge between the two paths.
+        Every micro-batch flush snapshots the service it answers from,
+        so in-flight flushes finish on the old generation and later
+        flushes see the new one — never a mix.  Returns the retired
+        service.
+        """
+        old = self._service
+        self._service = new_service
+        if scheme is not None:
+            self._scheme = scheme
+        self._degraded = None
+        self.stats.swap()
+        # The old service may still be answering an in-progress flush
+        # on the worker thread, so closing it here would block; it is
+        # parked and closed at stop.
+        self._retired.append(old)
+        return old
+
+    def note_degraded(self, reason: str) -> None:
+        """Enter degraded mode (a failed swap keeps the last good
+        index serving; ``health`` reports the reason)."""
+        self._degraded = reason
+
     async def _reload(self, payload: dict) -> dict:
+        if self._config.reload_handler is not None:
+            # Fleet mode: the parent rebuilds once and swaps every
+            # worker via install_service; this process only forwards.
+            try:
+                return await self._config.reload_handler(payload)
+            except ProtocolError:
+                raise
+            except (ReproError, OSError) as exc:
+                self._degraded = f"{type(exc).__name__}: {exc}"
+                raise ProtocolError(protocol.ERR_RELOAD_FAILED,
+                                    str(exc)) from None
         graph_path = payload.get("graph")
         index_path = payload.get("index")
         if bool(graph_path) == bool(index_path):
@@ -897,15 +965,8 @@ class ReachServer:
                                    **self._config.service_options)
         if self._config.service_wrapper is not None:
             new_service = self._config.service_wrapper(new_service)
-        old = self._service
-        self._service = new_service  # the atomic swap
-        self._scheme = type(index).scheme_name or scheme
-        self._degraded = None
-        self.stats.swap()
-        # The old service may still be answering an in-progress flush
-        # on the worker thread (each flush snapshots the service), so
-        # closing it here would block; it is parked and closed at stop.
-        self._retired.append(old)
+        self.install_service(new_service,
+                             type(index).scheme_name or scheme)
         stats = index.stats()
         for phase, phase_secs in stats.phase_seconds.items():
             self._build_phases.record(phase, phase_secs)

@@ -11,6 +11,17 @@ it: connection severs, latency spikes, garbled bytes, blackholes,
 injected kernel exceptions, reloads of missing and corrupted index
 files, and SIGKILLs of a saver subprocess mid-write.
 
+With ``workers=N`` the soak targets a multi-process
+:class:`~repro.server.router.WorkerFleet` instead of the in-process
+server: the same network faults apply at the proxy, reloads exercise
+the fleet-wide generation swap, and two process-level fault kinds join
+the schedule — ``worker_kill`` (SIGKILL a live worker; the supervisor
+respawns it onto the current shared-memory generation) and
+``worker_hang`` (SIGSTOP a worker; its kernel listen queue keeps
+accepting and blackholing connections until the fleet's liveness probe
+declares it dead and replaces it).  ``flush_error`` is unavailable in
+fleet mode — the injection wrapper cannot reach into worker processes.
+
 Two invariants gate the run (:meth:`ChaosReport.ok`):
 
 1. **Zero wrong answers.**  Every reply that arrives is checked
@@ -26,7 +37,9 @@ reproduces locally with one number.
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
@@ -41,6 +54,7 @@ from repro.graph.generators import gnm_random_digraph
 from repro.obs.metrics import RECOVERY_BUCKETS, MetricsRegistry
 from repro.server.client import ReachClient, RetryPolicy, ServerReplyError
 from repro.server.loadgen import run_loadgen
+from repro.server.router import WorkerFleet
 from repro.server.server import ReachServer, ServerConfig, ServerThread
 from repro.testing.faults import (
     ChaosProxy,
@@ -49,7 +63,12 @@ from repro.testing.faults import (
     run_kill_during_save,
 )
 
-__all__ = ["ChaosReport", "DEFAULT_FAULT_KINDS", "run_chaos_soak"]
+__all__ = [
+    "ChaosReport",
+    "DEFAULT_FAULT_KINDS",
+    "FLEET_FAULT_KINDS",
+    "run_chaos_soak",
+]
 
 #: The fault vocabulary the soak understands.  ``sever``/``delay``/
 #: ``garble``/``blackhole`` are network faults applied at the proxy;
@@ -66,6 +85,21 @@ DEFAULT_FAULT_KINDS = (
     "reload_missing",
     "reload_corrupt",
     "kill_save",
+)
+
+#: The vocabulary in fleet mode (``workers >= 1``): ``flush_error``
+#: needs the in-process injection wrapper and is replaced by the two
+#: process-level faults ``worker_kill`` / ``worker_hang``.
+FLEET_FAULT_KINDS = (
+    "sever",
+    "delay",
+    "garble",
+    "blackhole",
+    "reload_missing",
+    "reload_corrupt",
+    "kill_save",
+    "worker_kill",
+    "worker_hang",
 )
 
 
@@ -99,6 +133,10 @@ class ChaosReport:
     degraded_observed: bool = False
     #: driver-level failures (fault could not even be applied)
     driver_errors: list = field(default_factory=list)
+    #: worker processes (0 = the in-process single server was soaked)
+    workers: int = 0
+    #: :meth:`WorkerFleet.describe` snapshot (fleet mode only)
+    fleet: dict = field(default_factory=dict)
 
     @property
     def unrecovered(self) -> list[str]:
@@ -131,13 +169,18 @@ class ChaosReport:
             "driver_errors": list(self.driver_errors),
             "loadgen": dict(self.loadgen),
             "proxy": dict(self.proxy),
+            "workers": self.workers,
+            "fleet": dict(self.fleet),
         }
 
     def summary_lines(self) -> list[str]:
         """Human-readable digest for the CLI."""
+        target = (f"fleet of {self.workers} workers" if self.workers
+                  else "in-process server")
         lines = [
             f"chaos soak seed={self.seed} scheme={self.scheme} "
-            f"duration={self.duration_seconds:.1f}s: "
+            f"duration={self.duration_seconds:.1f}s "
+            f"({target}): "
             f"{'PASS' if self.ok() else 'FAIL'}",
             f"  faults injected: {len(self.faults)} "
             f"({', '.join(f['kind'] for f in self.faults) or 'none'})",
@@ -176,6 +219,12 @@ class ChaosReport:
             f"  proxy: {px.get('severed', 0)} severed, "
             f"{px.get('garbled_chunks', 0)} garbled, "
             f"{px.get('delayed_chunks', 0)} delayed chunks")
+        if self.fleet:
+            lines.append(
+                f"  fleet: {self.fleet.get('workers', 0)} workers, "
+                f"{self.fleet.get('restarts', 0)} restarts, "
+                f"{self.fleet.get('swaps', 0)} swaps, "
+                f"generation {self.fleet.get('generation', 0)}")
         return lines
 
 
@@ -233,7 +282,8 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
                    kinds: Sequence[str] = DEFAULT_FAULT_KINDS,
                    faults_per_kind: int = 1,
                    workdir: "Path | str | None" = None,
-                   pool_size: int = 192) -> ChaosReport:
+                   pool_size: int = 192,
+                   workers: int = 0) -> ChaosReport:
     """Run the serving stack under a seeded fault schedule.
 
     Parameters
@@ -258,10 +308,28 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
     workdir:
         Where the good/corrupt/killed index files live (a temporary
         directory in tests); defaults to the current directory.
+    workers:
+        ``0`` (default) soaks the in-process
+        :class:`~repro.server.server.ReachServer`; ``>= 1`` soaks a
+        :class:`~repro.server.router.WorkerFleet` of that many worker
+        processes and, when ``kinds`` is the default vocabulary,
+        switches it to :data:`FLEET_FAULT_KINDS`.
 
     Returns the populated :class:`ChaosReport`; callers gate on
     :meth:`ChaosReport.ok`.
     """
+    kinds = tuple(kinds)
+    if workers:
+        if kinds == DEFAULT_FAULT_KINDS:
+            kinds = FLEET_FAULT_KINDS
+        if "flush_error" in kinds:
+            raise ValueError(
+                "flush_error needs the in-process injection wrapper "
+                "and cannot run in fleet mode (workers >= 1)")
+    elif any(k in ("worker_kill", "worker_hang") for k in kinds):
+        raise ValueError(
+            "worker_kill/worker_hang need a worker fleet — pass "
+            "workers >= 1")
     edges = 2 * nodes
     base = Path(workdir) if workdir is not None else Path(".")
     graph = gnm_random_digraph(nodes, edges, seed=seed)
@@ -280,23 +348,48 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
 
     report = ChaosReport(seed=seed, scheme=scheme,
                          duration_seconds=duration,
-                         recovery_timeout=recovery_timeout)
+                         recovery_timeout=recovery_timeout,
+                         workers=workers)
     registry = MetricsRegistry()
     recovery_hist = registry.histogram(
         "reach_chaos_recovery_seconds",
         "Seconds from fault injection to a correct probe batch",
         labels=("kind",), buckets=RECOVERY_BUCKETS)
 
-    flaky = FlakyService(QueryService(index))
-    config = ServerConfig(max_delay=0.001, policy="shed",
-                          request_timeout=5.0, drain_timeout=2.0,
-                          service_wrapper=flaky.rewrap)
-    server = ReachServer(flaky, scheme=scheme, config=config)
-    thread = ServerThread(server).start()
-    proxy = ChaosProxy("127.0.0.1", thread.port).start()
-    mgmt = ReachClient("127.0.0.1", thread.port, timeout=10.0)
+    flaky: "FlakyService | None" = None
+    thread: "ServerThread | None" = None
+    fleet: "WorkerFleet | None" = None
+    if workers:
+        # Tight liveness probing so a SIGSTOPped worker is declared
+        # dead and replaced well inside ``recovery_timeout``.
+        fleet = WorkerFleet(
+            index, scheme=scheme, workers=workers,
+            server_options=dict(max_delay=0.001, policy="shed",
+                                request_timeout=5.0,
+                                drain_timeout=2.0),
+            probe_interval=0.25,
+            probe_timeout=min(1.5, recovery_timeout / 2))
+        fleet.start()
+        backend_port = fleet.port
+    else:
+        flaky = FlakyService(QueryService(index))
+        config = ServerConfig(max_delay=0.001, policy="shed",
+                              request_timeout=5.0, drain_timeout=2.0,
+                              service_wrapper=flaky.rewrap)
+        server = ReachServer(flaky, scheme=scheme, config=config)
+        thread = ServerThread(server).start()
+        backend_port = thread.port
+    proxy = ChaosProxy("127.0.0.1", backend_port).start()
     prober = _Prober("127.0.0.1", proxy.port, probe_pairs,
                      probe_expected, report)
+
+    def mgmt_client() -> ReachClient:
+        """Management-plane connection, bypassing the proxy.  Fresh
+        per fault: in fleet mode the worker holding a long-lived
+        connection may legitimately have been killed by an earlier
+        fault, and reload + health must share one connection so the
+        degraded status is read from the worker that owns it."""
+        return ReachClient("127.0.0.1", backend_port, timeout=30.0)
 
     plan = FaultPlan.random(
         seed=seed, duration=duration * 0.7,
@@ -317,6 +410,27 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
     traffic = threading.Thread(target=drive, name="chaos-loadgen",
                                daemon=True)
 
+    fault_rng = random.Random(seed + 2)
+    hung_pids: list[int] = []
+
+    def reload_bad_then_recover(bad_path: Path) -> None:
+        """Drive the degraded-mode round trip on one connection."""
+        with mgmt_client() as mgmt:
+            try:
+                mgmt.reload(index=str(bad_path))
+            except ServerReplyError as exc:
+                if exc.code != "reload_failed":
+                    raise
+            if mgmt.health().get("status") == "degraded":
+                report.degraded_observed = True
+            mgmt.reload(index=str(good_path))  # degraded -> ok
+
+    def pick_worker() -> int:
+        pids = fleet.pids()
+        if not pids:
+            raise RuntimeError("no live worker to fault")
+        return fault_rng.choice(pids)
+
     def apply_fault(kind: str) -> None:
         if kind == "sever":
             proxy.sever_all()
@@ -329,25 +443,11 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
         elif kind == "flush_error":
             flaky.fail_next(3)
         elif kind == "reload_missing":
-            try:
-                mgmt.reload(index=str(base / "chaos-missing.json"))
-            except ServerReplyError as exc:
-                if exc.code != "reload_failed":
-                    raise
-            if mgmt.health().get("status") == "degraded":
-                report.degraded_observed = True
-            mgmt.reload(index=str(good_path))  # degraded -> ok
+            reload_bad_then_recover(base / "chaos-missing.json")
         elif kind == "reload_corrupt":
             corrupt_path = base / "chaos-corrupt-index.json"
             _corrupt_copy(good_path, corrupt_path)
-            try:
-                mgmt.reload(index=str(corrupt_path))
-            except ServerReplyError as exc:
-                if exc.code != "reload_failed":
-                    raise
-            if mgmt.health().get("status") == "degraded":
-                report.degraded_observed = True
-            mgmt.reload(index=str(good_path))
+            reload_bad_then_recover(corrupt_path)
         elif kind == "kill_save":
             kill_path = base / "chaos-killed-index.json"
             save_dual_index(index, kill_path)  # survives kill #1
@@ -355,7 +455,18 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
                                  seed=seed, kills=1,
                                  delay_range=(0.01, 0.06))
             load_dual_index(kill_path)  # must still be whole
-            mgmt.reload(index=str(kill_path))
+            with mgmt_client() as mgmt:
+                mgmt.reload(index=str(kill_path))
+        elif kind == "worker_kill":
+            os.kill(pick_worker(), signal.SIGKILL)
+        elif kind == "worker_hang":
+            # The stopped worker's listen queue keeps accepting and
+            # blackholing connections; the fleet's liveness probe must
+            # declare it dead and respawn a replacement.  SIGKILL works
+            # on stopped processes, so no SIGCONT is needed first.
+            victim = pick_worker()
+            os.kill(victim, signal.SIGSTOP)
+            hung_pids.append(victim)
         else:
             raise ValueError(f"unknown fault kind {kind!r}")
 
@@ -387,9 +498,19 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
         traffic.join(timeout=duration + 30.0)
     finally:
         prober.close()
-        mgmt.close()
+        for pid in hung_pids:
+            # Belt and suspenders: normally the fleet probe has long
+            # since killed the stopped worker and this is a no-op.
+            try:
+                os.kill(pid, signal.SIGCONT)
+            except (ProcessLookupError, PermissionError):
+                pass
         proxy.stop()
-        thread.stop()
+        if fleet is not None:
+            report.fleet = fleet.describe()
+            fleet.stop()
+        if thread is not None:
+            thread.stop()
 
     if "error" in loadgen_box:
         report.driver_errors.append(f"loadgen: {loadgen_box['error']}")
@@ -405,7 +526,8 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
         "delayed_chunks": proxy.delayed_chunks,
         "bytes_forwarded": proxy.bytes_forwarded,
     }
-    report.injected_kernel_faults = flaky.injected_failures
+    report.injected_kernel_faults = (flaky.injected_failures
+                                     if flaky is not None else 0)
     for values, child in recovery_hist.series():
         snap = child.snapshot()
         report.recovery[values[0]] = {

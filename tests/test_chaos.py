@@ -12,6 +12,7 @@ import pytest
 
 from repro.testing.chaos import (
     DEFAULT_FAULT_KINDS,
+    FLEET_FAULT_KINDS,
     ChaosReport,
     run_chaos_soak,
 )
@@ -89,3 +90,46 @@ class TestChaosSoak:
         codes = report.loadgen["error_codes"]
         assert report.loadgen["reconnects"] > 0, detail
         assert codes.get("reset", 0) > 0, detail
+
+
+@pytest.mark.slow
+class TestFleetChaosSoak:
+    """Satellite 3: the worker fleet under process-level faults.
+
+    Zero wrong answers and bounded recovery must hold when workers are
+    SIGKILLed (supervisor respawn) and SIGSTOPped (the hung worker's
+    listen queue blackholes connections until the liveness probe
+    replaces it) — on top of the full network/reload vocabulary."""
+
+    def test_fleet_mode_validates_kinds(self):
+        with pytest.raises(ValueError, match="worker fleet"):
+            run_chaos_soak(kinds=("worker_kill",), workers=0)
+        with pytest.raises(ValueError, match="flush_error"):
+            run_chaos_soak(kinds=("flush_error",), workers=2)
+
+    def test_fleet_soak_survives_process_faults(self, tmp_path):
+        assert "worker_kill" in FLEET_FAULT_KINDS
+        assert "worker_hang" in FLEET_FAULT_KINDS
+        assert "flush_error" not in FLEET_FAULT_KINDS
+        report = run_chaos_soak(seed=5, duration=6.0, nodes=100,
+                                recovery_timeout=8.0, workers=2,
+                                workdir=tmp_path)
+        detail = "\n".join(report.summary_lines())
+
+        fired = sorted(f["kind"] for f in report.faults)
+        assert fired == sorted(FLEET_FAULT_KINDS), detail
+        assert not report.driver_errors, detail
+        # The process faults actually happened and were healed: the
+        # supervisor restarted at least one worker (kill and/or the
+        # probe-killed hang) and the fleet still moved generations.
+        assert report.fleet["restarts"] >= 1, detail
+        assert report.fleet["swaps"] >= 1, detail
+        assert report.fleet["workers"] == 2, detail
+        assert report.degraded_observed, detail
+        assert report.unrecovered == [], detail
+        assert report.wrong_answers == 0, detail
+        assert report.loadgen["ok"] > 0, detail
+        assert report.ok(), detail
+        assert report.workers == 2
+        assert report.as_dict()["fleet"]["restarts"] >= 1
+        assert "fleet of 2 workers" in detail
