@@ -3,8 +3,30 @@
 The canonical metadata lives in pyproject.toml; this file exists only so
 ``pip install -e . --no-use-pep517`` works where the ``wheel`` package is
 unavailable (PEP 517 editable builds require bdist_wheel).
+
+It also hosts the *optional* compiled query kernel: when the
+``REPRO_FAST_KERNEL`` environment variable is ``1``, the build includes
+the ``repro.core._fastkernel`` C extension (the Dual-I inner loop with
+the GIL released — see :mod:`repro.core.fastkernel`).  The extension is
+marked optional: a missing or broken compiler degrades to the
+pure-python kernel, never to a failed install.  Typical use::
+
+    REPRO_FAST_KERNEL=1 python setup.py build_ext --inplace
 """
+
+import os
 
 from setuptools import setup
 
-setup()
+ext_modules = []
+if os.environ.get("REPRO_FAST_KERNEL") == "1":
+    from setuptools import Extension
+
+    ext_modules.append(
+        Extension(
+            "repro.core._fastkernel",
+            sources=["src/repro/core/_fastkernel.c"],
+            optional=True,
+        ))
+
+setup(ext_modules=ext_modules)

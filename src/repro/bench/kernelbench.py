@@ -1,0 +1,214 @@
+"""The ``kernel`` benchmark: per-query cost of the query kernels.
+
+Times the paper's 100k-query workload through every evaluation path
+the repo has, on one index, so the per-query ns are directly
+comparable:
+
+* ``scalar`` — the per-pair ``index.reachable(u, v)`` Python loop;
+* ``batched-numpy`` — ``index.reachable_many(pairs)``: the allocating
+  vectorised path (Python pair list in, fresh arrays at every step,
+  Python bools out) that served JSON traffic before the fast kernel;
+* ``fast-buffer`` — :class:`~repro.core.fastkernel.FastKernel` in
+  pure-python mode, fed the *wire* input: one packed ``(u32, u32)``
+  payload viewed with ``np.frombuffer`` into reused buffers, packed
+  answer bitmap out;
+* ``compiled`` — the same kernel dispatching to the optional
+  ``repro.core._fastkernel`` C extension (row is marked skipped when
+  the extension is not built).
+
+Every path's answers are cross-checked before timing counts, so a
+kernel cannot win by being wrong.  Each run appends one entry to
+``BENCH_kernel.json`` (the ``BENCH_build.json`` trajectory pattern)
+and the CI guard ``--assert-fast`` fails the build when the fast
+buffer path stops beating the batched-NumPy baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.bench.workloads import random_query_pairs
+from repro.core.base import build_index
+from repro.core.fastkernel import FastKernel, compiled_available
+from repro.graph.generators import single_rooted_dag
+from repro.server import binproto
+
+__all__ = ["run_kernel_benchmark", "append_trajectory",
+           "format_kernel_report", "SCHEMA"]
+
+SCHEMA = "repro-bench-kernel/1"
+
+
+def _best_of(func: Callable[[], Any], repeats: int) -> float:
+    """Best wall-clock seconds over ``repeats`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_kernel_benchmark(*, nodes: int = 600, edges: int | None = None,
+                         seed: int | None = None,
+                         scheme: str = "dual-i",
+                         num_pairs: int = 100_000,
+                         repeats: int = 5) -> dict[str, Any]:
+    """One trajectory entry: per-kernel best-of-``repeats`` timings.
+
+    The graph follows the Figure 11 quick-scale convention (edges =
+    1.5x nodes, seed = nodes); the workload is ``num_pairs`` uniform
+    random query pairs — the paper's 100k-query protocol by default.
+    """
+    edges = int(nodes * 1.5) if edges is None else edges
+    seed = nodes if seed is None else seed
+    graph = single_rooted_dag(nodes, edges, max_fanout=5, seed=seed)
+    index = build_index(graph, scheme=scheme)
+    pairs = random_query_pairs(graph, num_pairs, seed=seed + 1)
+    arrays = index.label_arrays()
+    if arrays is None:
+        raise ValueError(
+            f"scheme {scheme!r} has no label-array kernel to benchmark")
+    payload = binproto.encode_pairs(pairs)
+    kernel = FastKernel(arrays, capacity=num_pairs, use_compiled=False)
+
+    # Correctness gate before any timing: every path must agree.
+    batched = index.reachable_many(pairs)
+    fast_bitmaps, total, positives = kernel.run_frames([payload])
+    fast = binproto.unpack_bitmap(total, fast_bitmaps[0])
+    if fast != [bool(a) for a in batched]:
+        raise AssertionError(
+            "fast-buffer kernel disagrees with the batched path")
+    reach = index.reachable
+    spot = min(2000, num_pairs)
+    if [reach(u, v) for u, v in pairs[:spot]] != batched[:spot]:
+        raise AssertionError(
+            "scalar loop disagrees with the batched path")
+
+    rows: list[dict[str, Any]] = []
+
+    def record(name: str, seconds: float, mode: str | None = None,
+               skipped: str | None = None) -> None:
+        row: dict[str, Any] = {"kernel": name}
+        if skipped is not None:
+            row["skipped"] = skipped
+        else:
+            row["best_seconds"] = seconds
+            row["ns_per_query"] = seconds / num_pairs * 1e9
+            row["queries_per_second"] = (
+                num_pairs / seconds if seconds > 0 else float("inf"))
+        if mode is not None:
+            row["mode"] = mode
+        rows.append(row)
+
+    record("scalar",
+           _best_of(lambda: [reach(u, v) for u, v in pairs],
+                    min(repeats, 3)))
+    record("batched-numpy",
+           _best_of(lambda: index.reachable_many(pairs), repeats))
+    record("fast-buffer",
+           _best_of(lambda: kernel.run_frames([payload]), repeats),
+           mode=kernel.mode)
+    if compiled_available() and scheme == "dual-i":
+        compiled = FastKernel(arrays, capacity=num_pairs,
+                              use_compiled=True)
+        cb, ct, _ = compiled.run_frames([payload])
+        if binproto.unpack_bitmap(ct, cb[0]) != fast:
+            raise AssertionError(
+                "compiled kernel disagrees with the pure-python path")
+        record("compiled",
+               _best_of(lambda: compiled.run_frames([payload]),
+                        repeats),
+               mode=compiled.mode)
+    else:
+        record("compiled", 0.0,
+               skipped=("extension not built"
+                        if scheme == "dual-i"
+                        else f"compiled path covers dual-i only, "
+                             f"not {scheme}"))
+
+    def qps(name: str) -> float:
+        return next(row["queries_per_second"] for row in rows
+                    if row["kernel"] == name and "skipped" not in row)
+
+    batched_qps = qps("batched-numpy")
+    for row in rows:
+        if "skipped" not in row:
+            row["speedup_vs_batched"] = (
+                row["queries_per_second"] / batched_qps
+                if batched_qps > 0 else float("inf"))
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "graph": {"generator": "single_rooted_dag", "nodes": nodes,
+                  "edges": graph.num_edges, "max_fanout": 5,
+                  "seed": seed},
+        "scheme": scheme,
+        "num_pairs": num_pairs,
+        "positives": positives,
+        "repeats": repeats,
+        "compiled_available": compiled_available(),
+        "rows": rows,
+        "fast_speedup_vs_batched": next(
+            row["speedup_vs_batched"] for row in rows
+            if row["kernel"] == "fast-buffer"),
+    }
+
+
+def append_trajectory(entry: dict[str, Any], path: Path) -> None:
+    """Append ``entry`` to the ``BENCH_kernel.json`` trajectory at
+    ``path`` (created — or reset, if unreadable/foreign — on demand)."""
+    data: dict[str, Any] = {"schema": SCHEMA, "entries": []}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            existing = None
+        if (isinstance(existing, dict) and existing.get("schema") == SCHEMA
+                and isinstance(existing.get("entries"), list)):
+            data = existing
+    data["entries"].append(entry)
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+def format_kernel_report(entry: dict[str, Any]) -> str:
+    """Human-readable table for one kernel trajectory entry."""
+    from repro.bench.reporting import format_markdown_table
+
+    graph = entry["graph"]
+    display = []
+    for row in entry["rows"]:
+        if "skipped" in row:
+            display.append({"kernel": row["kernel"],
+                            "ns_per_query": "-",
+                            "queries_per_second": "-",
+                            "speedup_vs_batched":
+                                f"skipped: {row['skipped']}"})
+        else:
+            display.append({
+                "kernel": row["kernel"],
+                "ns_per_query": f"{row['ns_per_query']:,.0f}",
+                "queries_per_second":
+                    f"{row['queries_per_second']:,.0f}",
+                "speedup_vs_batched":
+                    f"{row['speedup_vs_batched']:.2f}x",
+            })
+    return "\n".join([
+        f"kernel benchmark — single_rooted_dag({graph['nodes']}, "
+        f"{graph['edges']}, seed={graph['seed']}), "
+        f"scheme={entry['scheme']}, {entry['num_pairs']:,} pairs "
+        f"({entry['positives']:,} positive), best of "
+        f"{entry['repeats']}",
+        "",
+        format_markdown_table(
+            display, ["kernel", "ns_per_query", "queries_per_second",
+                      "speedup_vs_batched"]),
+        "",
+        f"[fast buffer path: "
+        f"{entry['fast_speedup_vs_batched']:.2f}x the batched-NumPy "
+        f"baseline on {entry['num_pairs']:,} pairs]",
+    ])

@@ -172,6 +172,31 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    from repro.bench.kernelbench import (append_trajectory,
+                                         format_kernel_report,
+                                         run_kernel_benchmark)
+
+    entry = run_kernel_benchmark(
+        nodes=args.nodes, edges=args.edges, seed=args.seed,
+        scheme=args.scheme, num_pairs=args.pairs,
+        repeats=args.repeats)
+    print(format_kernel_report(entry))
+    if str(args.out) != "-":
+        append_trajectory(entry, args.out)
+        print(f"[appended to {args.out}]")
+    if args.assert_fast is not None:
+        speedup = entry["fast_speedup_vs_batched"]
+        if speedup < args.assert_fast:
+            print(f"FAIL: fast-buffer speedup {speedup:.2f}x is below "
+                  f"the required {args.assert_fast:.2f}x over "
+                  f"batched-numpy")
+            return 1
+        print(f"OK: fast-buffer speedup {speedup:.2f}x >= "
+              f"{args.assert_fast:.2f}x over batched-numpy")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.graph.io import read_edge_list
 
@@ -195,13 +220,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_serve_load(args: argparse.Namespace) -> int:
     from repro.bench.serveload import (append_trajectory,
+                                       format_protocol_report,
                                        format_scaling_report,
                                        format_serve_report,
                                        run_fleet_smoke,
+                                       run_protocol_benchmark,
                                        run_serve_load_benchmark,
                                        run_serve_smoke,
                                        run_worker_scaling_benchmark)
 
+    if args.protocols:
+        entry = run_protocol_benchmark(
+            nodes=args.nodes, edges=args.edges, seed=args.seed,
+            scheme=args.scheme, connections=args.connections,
+            duration=args.duration, pipeline=args.pipeline,
+            batch_size=args.batch_size)
+        print(format_protocol_report(entry))
+        if str(args.out) != "-":
+            append_trajectory(entry, args.out)
+            print(f"[appended to {args.out}]")
+        if args.assert_speedup is not None:
+            speedup = entry["speedup"]
+            if speedup < args.assert_speedup:
+                print(f"FAIL: binary-over-JSON speedup {speedup:.2f}x "
+                      f"is below the required "
+                      f"{args.assert_speedup:.2f}x")
+                return 1
+            print(f"OK: binary-over-JSON speedup {speedup:.2f}x >= "
+                  f"{args.assert_speedup:.2f}x")
+        return 0
     if args.workers > 1:
         return _cmd_serve_load_fleet(args, run_fleet_smoke,
                                      run_worker_scaling_benchmark,
@@ -377,12 +424,49 @@ def main(argv: Sequence[str] | None = None) -> int:
                                  "differential answers, core-aware "
                                  "scaling floor, fleet-wide hot swap, "
                                  "shared-memory leak scan)")
+    serve_load.add_argument("--protocols", action="store_true",
+                            help="compare JSON vs binary wire framing "
+                                 "through one server at the peak "
+                                 "connection count (--assert-speedup "
+                                 "then gates the binary-over-JSON "
+                                 "ratio)")
+    serve_load.add_argument("--batch-size", type=int, default=16,
+                            help="pairs per request in the --protocols "
+                                 "comparison (both protocols use the "
+                                 "same value)")
     serve_load.add_argument("--assert-scaling", default=None,
                             metavar="RATIO",
                             help="with --workers: exit non-zero unless "
                                  "the top fleet reaches RATIO times the "
                                  "single-worker throughput ('auto' = "
                                  "the core-aware floor)")
+
+    kernel = sub.add_parser(
+        "kernel",
+        help="microbenchmark the query kernels (scalar loop, batched "
+             "NumPy, fast buffer path, compiled extension) on one "
+             "workload")
+    kernel.add_argument("--nodes", type=int, default=600,
+                        help="graph size (default: the Figure 11 "
+                             "quick-scale largest graph)")
+    kernel.add_argument("--edges", type=int, default=None,
+                        help="edge count (default: 1.5x nodes)")
+    kernel.add_argument("--seed", type=int, default=None,
+                        help="generator seed (default: seed = nodes)")
+    kernel.add_argument("--scheme", default="dual-i")
+    kernel.add_argument("--pairs", type=int, default=100_000,
+                        help="workload size (paper protocol: 100k)")
+    kernel.add_argument("--repeats", type=int, default=5,
+                        help="rounds per kernel; best-of wall clock")
+    kernel.add_argument("--out", type=Path,
+                        default=Path("BENCH_kernel.json"),
+                        help="trajectory file to append to ('-' to "
+                             "skip writing)")
+    kernel.add_argument("--assert-fast", type=float, default=None,
+                        metavar="RATIO",
+                        help="exit non-zero unless the fast buffer "
+                             "path is at least RATIO times the "
+                             "batched-numpy throughput")
 
     claims = sub.add_parser(
         "claims", help="grade the paper-fidelity claims (PASS/FAIL)")
@@ -419,6 +503,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "build":
         return _cmd_build(args)
+    if args.command == "kernel":
+        return _cmd_kernel(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "serve-load":

@@ -56,6 +56,7 @@ from repro.server.server import ReachServer, ServerConfig, ServerThread
 
 __all__ = ["run_serve_load_benchmark", "run_serve_smoke",
            "run_worker_scaling_benchmark", "run_fleet_smoke",
+           "run_protocol_benchmark", "format_protocol_report",
            "expected_scaling", "format_scaling_report",
            "append_trajectory", "format_serve_report", "SCHEMA"]
 
@@ -209,6 +210,103 @@ def run_serve_load_benchmark(*, nodes: int = 600, edges: int | None = None,
         "speedup": (batched_qps / unbatched_qps
                     if unbatched_qps > 0 else float("inf")),
     }
+
+
+def run_protocol_benchmark(*, nodes: int = 600,
+                           edges: int | None = None,
+                           seed: int | None = None,
+                           scheme: str = "dual-i",
+                           connections: int = 32,
+                           duration: float = 2.0, pipeline: int = 16,
+                           batch_size: int = 16, max_batch: int = 512,
+                           max_delay: float = 0.002,
+                           num_pairs: int = 20_000) -> dict[str, Any]:
+    """JSON vs. binary wire framing through one server process.
+
+    Both drives hit the *same* subprocess gateway (binary is negotiated
+    per connection, so one server speaks both), with the same pair
+    pool, connection count, pipeline depth, and pairs-per-request — the
+    measured ratio isolates the wire protocol + kernel path: JSON
+    parse/serialize plus the allocating batch kernel against
+    ``np.frombuffer`` framing plus the buffer-reusing
+    :class:`~repro.core.fastkernel.FastKernel`.  Each protocol gets an
+    unrecorded half-second warmup so the first-measured protocol does
+    not pay the server's cold start.
+    """
+    graph, seed = _make_graph(nodes, edges, seed)
+    pairs = random_query_pairs(graph, num_pairs, seed=seed + 1)
+    rows: list[dict[str, Any]] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        graph_file = Path(tmp) / "graph.txt"
+        write_edge_list(graph, graph_file)
+        with _server_process(graph_file, scheme, max_batch=max_batch,
+                             max_delay=max_delay, pipeline=pipeline,
+                             connections=connections) as port:
+            for protocol in ("json", "binary"):
+                run_loadgen("127.0.0.1", port, pairs,
+                            connections=min(connections, 4),
+                            duration=0.5, pipeline=pipeline,
+                            batch_size=batch_size, latency_sample=4,
+                            protocol=protocol)
+                with ReachClient(port=port) as client:
+                    client.metrics(reset=True)
+                result = run_loadgen(
+                    "127.0.0.1", port, pairs,
+                    connections=connections, duration=duration,
+                    pipeline=pipeline, batch_size=batch_size,
+                    latency_sample=4, protocol=protocol)
+                row = {"protocol": protocol, **result.as_dict()}
+                with ReachClient(port=port) as client:
+                    row["server_stages"] = client.stats()["stages"]
+                rows.append(row)
+
+    def qps(protocol: str) -> float:
+        return next(row["queries_per_second"] for row in rows
+                    if row["protocol"] == protocol)
+
+    json_qps, binary_qps = qps("json"), qps("binary")
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "mode": "protocol",
+        "graph": {"generator": "single_rooted_dag", "nodes": nodes,
+                  "edges": graph.num_edges, "max_fanout": 5,
+                  "seed": seed},
+        "scheme": scheme,
+        "duration_seconds": duration,
+        "pipeline": pipeline,
+        "connections": connections,
+        "batch_size": batch_size,
+        "rows": rows,
+        "json_qps": json_qps,
+        "binary_qps": binary_qps,
+        "speedup": (binary_qps / json_qps if json_qps > 0
+                    else float("inf")),
+    }
+
+
+def format_protocol_report(entry: dict[str, Any]) -> str:
+    """Human-readable table for one protocol trajectory entry."""
+    from repro.bench.reporting import format_markdown_table
+
+    graph = entry["graph"]
+    return "\n".join([
+        f"wire-protocol benchmark — single_rooted_dag("
+        f"{graph['nodes']}, {graph['edges']}, seed={graph['seed']}), "
+        f"scheme={entry['scheme']}, {entry['duration_seconds']}s per "
+        f"point, {entry['connections']} connections, "
+        f"pipeline={entry['pipeline']}, "
+        f"{entry['batch_size']} pairs/request",
+        "",
+        format_markdown_table(
+            entry["rows"],
+            ["protocol", "queries", "queries_per_second", "errors",
+             "latency_p50_ms", "latency_p95_ms", "latency_p99_ms"]),
+        "",
+        f"[binary framing speedup at {entry['connections']} "
+        f"connections: {entry['speedup']:.2f}x "
+        f"({entry['binary_qps']:,.0f} vs {entry['json_qps']:,.0f} "
+        f"queries/s over JSON)]",
+    ])
 
 
 def append_trajectory(entry: dict[str, Any], path: Path) -> None:

@@ -337,7 +337,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                          pipeline=args.pipeline,
                          batch_size=args.batch_size, rate=args.rate,
                          latency_sample=args.latency_sample,
-                         expected=expected)
+                         expected=expected, protocol=args.protocol)
     print(format_kv_table(
         result.as_dict(),
         title=f"loadgen — {args.host}:{args.port}, "
@@ -445,7 +445,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             seed=args.seed, duration=args.duration, nodes=args.nodes,
             scheme=args.scheme, recovery_timeout=args.recovery_timeout,
             connections=args.connections, workdir=workdir,
-            workers=args.workers)
+            workers=args.workers, protocol=args.protocol)
     print("\n".join(report.summary_lines()))
     return 0 if report.ok() else 1
 
@@ -655,6 +655,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                          help="record the latency of every Nth request "
                               "(1 = all; >1 trades tail-percentile "
                               "fidelity for loadgen overhead)")
+    loadgen.add_argument("--protocol", choices=("json", "binary"),
+                         default="json",
+                         help="wire protocol: newline-JSON verbs or "
+                              "length-prefixed binary frames "
+                              "(struct-packed pairs in, answer "
+                              "bitmaps out)")
     loadgen.add_argument("--verify", action="store_true",
                          help="differentially check every reply against "
                               "a locally built index (needs --graph); "
@@ -711,6 +717,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="soak a multi-process worker fleet of this "
                             "size instead of the in-process server "
                             "(adds worker_kill/worker_hang faults)")
+    chaos.add_argument("--protocol", choices=("json", "binary"),
+                       default="json",
+                       help="wire protocol the verified load speaks; "
+                            "binary exercises frame resync under "
+                            "garble/truncation faults")
     chaos.add_argument("--smoke", action="store_true",
                        help="CI-sized run (caps duration and nodes)")
 

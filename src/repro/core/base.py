@@ -190,6 +190,27 @@ class LabelArrays(abc.ABC):
             raise QueryError(node_at(int(np.argmax(cids < 0))))
         return cids
 
+    def dense_lookup(self) -> np.ndarray | None:
+        """The ``node id -> component id`` gather table, or ``None``.
+
+        Public face of the lazily-built dense map: ``None`` when the
+        node space is not small non-negative integers (the dict path
+        stays authoritative there).  Entries are ``-1`` for uncovered
+        ids unless :attr:`lookup_complete`.  This is the table the
+        buffer-reusing :class:`~repro.core.fastkernel.FastKernel` (and
+        through it the binary wire protocol) gathers through, so u32
+        node ids on the wire resolve without any per-node Python.
+        """
+        if self._dense_lookup is False:
+            self._dense_lookup = self._build_dense_lookup()
+        return self._dense_lookup
+
+    @property
+    def lookup_complete(self) -> bool:
+        """Whether :meth:`dense_lookup` has no ``-1`` holes (valid only
+        after the lookup has been built)."""
+        return self._lookup_complete
+
     def components_of(self, nodes: Sequence[Node]) -> np.ndarray:
         """Map original nodes to dense component ids (vector form).
 

@@ -263,6 +263,9 @@ class QueryService:
         self._chunk_size = chunk_size
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
+        # Lazily-built FastKernel (``False`` = not attempted yet); one
+        # per service, so a hot-swapped index gets a fresh kernel.
+        self._fast_kernel: Any = False
         self.metrics = ServiceMetrics()
 
     @classmethod
@@ -357,6 +360,60 @@ class QueryService:
         self.metrics.observe_batch(int(matrix.size), int(matrix.sum()),
                                    time.perf_counter() - started)
         return matrix
+
+    def fast_kernel(self):
+        """The buffer-reusing :class:`~repro.core.fastkernel.FastKernel`
+        over this service's label arrays, or ``None`` when the scheme
+        has no array view / no dense integer node space.
+
+        Built once per service and cached — and since the gateway's
+        hot-swap installs a *new* service per index, a reload always
+        yields a kernel over the fresh arrays.
+        """
+        if self._fast_kernel is False:
+            from repro.core.fastkernel import FastKernel
+
+            self._fast_kernel = FastKernel.from_arrays(self._arrays)
+        return self._fast_kernel
+
+    def query_frames(self, frames: Sequence[bytes]
+                     ) -> list[bytes]:
+        """Answer binary ``BATCH`` payloads: packed pair bytes in,
+        packed answer bitmaps out (one per frame, aligned).
+
+        The zero-copy serving path: with a :meth:`fast_kernel` the
+        payloads never become Python pair lists — they are viewed with
+        ``np.frombuffer`` and evaluated in reused buffers.  Without one
+        (scalar-only schemes, sparse node spaces) the frames are
+        decoded and routed through :meth:`query_batch`, so every scheme
+        still answers binary traffic — just not at zero-copy speed.
+
+        Bypasses the LRU result cache (like :meth:`query_matrix`): the
+        binary protocol targets bulk streams where the per-query dict
+        probe would dominate the kernel.
+
+        Raises
+        ------
+        QueryError
+            If any frame references a node id outside the index.
+        """
+        kernel = self.fast_kernel()
+        if kernel is not None:
+            started = time.perf_counter()
+            bitmaps, total, positives = kernel.run_frames(frames)
+            elapsed = time.perf_counter() - started
+            self.metrics.count_kernel(total, elapsed)
+            self.metrics.observe_batch(total, positives, elapsed)
+            return bitmaps
+        bitmaps = []
+        for payload in frames:
+            flat = np.frombuffer(payload, dtype="<u4")
+            answers = self.query_batch(
+                list(zip(flat[0::2].tolist(), flat[1::2].tolist())))
+            bitmaps.append(
+                np.packbits(np.asarray(answers, dtype=bool),
+                            bitorder="little").tobytes())
+        return bitmaps
 
     def clear_cache(self) -> None:
         """Drop every cached result (metrics are kept)."""

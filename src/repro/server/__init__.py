@@ -1,4 +1,4 @@
-"""``repro.server`` — the asyncio serving gateway (stdlib-only).
+"""``repro.server`` — the asyncio serving gateway (stdlib + numpy).
 
 A TCP front-end over :class:`repro.core.service.QueryService` that turns
 the library into a long-running network service:
@@ -6,6 +6,12 @@ the library into a long-running network service:
 * **newline-delimited JSON protocol** (:mod:`repro.server.protocol`)
   with the verbs ``ping``, ``query``, ``batch``, ``stats``,
   ``metrics``, ``reload``, ``health``, ``ready``;
+* **zero-copy binary protocol** (:mod:`repro.server.binproto`) —
+  length-prefixed CRC-checked frames carrying packed ``(u32, u32)``
+  pair arrays in and packed answer bitmaps out, negotiated per
+  connection by a magic preamble (JSON stays the default), evaluated
+  by the buffer-reusing :class:`~repro.core.fastkernel.FastKernel`
+  without per-pair Python objects;
 * **cross-connection micro-batching**
   (:class:`repro.server.batcher.MicroBatcher`) — queries from every
   open connection coalesce into one buffer and flush on a size or
@@ -53,7 +59,9 @@ open-loop multi-connection load generator behind
 """
 
 from repro.server.batcher import MicroBatcher, OverloadedError
+from repro.server.binproto import BINARY_CODEC, MAGIC_LINE, BinaryCodec
 from repro.server.client import (
+    BinaryReachClient,
     CircuitOpenError,
     ReachClient,
     RetryPolicy,
@@ -71,6 +79,10 @@ from repro.server.server import (
 from repro.server.router import FleetError, WorkerFleet
 
 __all__ = [
+    "BINARY_CODEC",
+    "BinaryCodec",
+    "BinaryReachClient",
+    "MAGIC_LINE",
     "CircuitOpenError",
     "FleetError",
     "MicroBatcher",

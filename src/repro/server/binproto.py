@@ -1,0 +1,253 @@
+"""The gateway's binary wire protocol: length-prefixed frames.
+
+PR 5's tracing showed parse/serialize as first-class request stages —
+newline-JSON pays ``json.loads`` plus per-pair Python object churn on
+every request before the vectorised kernel ever runs.  This module
+defines the zero-copy alternative: struct-packed ``(u32 src, u32 dst)``
+pair arrays in, packed answer bitmaps out, decoded server-side with
+``np.frombuffer`` straight into the
+:class:`~repro.core.fastkernel.FastKernel`'s reusable buffers.
+
+Negotiation
+-----------
+JSON stays the default (and the differential oracle).  A client opts in
+by sending :data:`MAGIC_LINE` — ``REPRO-BINARY/1\\n`` — as the **first**
+request line of a connection.  Because the preamble is itself a
+newline-terminated line, a JSON-only server reads it as a request and
+answers with a normal ``bad_request`` error reply (invalid JSON), which
+is how a binary client detects a server that cannot negotiate (see
+``docs/RUNBOOK.md``).  A server that *can* answers with a ``HELLO``
+frame and the connection speaks frames in both directions from then on.
+Negotiation is only valid before the first served request; a later
+magic line on a JSON connection is rejected with ``bad_request`` and the
+connection stays in JSON mode (mid-stream renegotiation would race
+in-flight replies).
+
+Frame layout (all integers little-endian)::
+
+    offset 0   u8   magic        0xB7
+    offset 1   u8   opcode
+    offset 2   u16  reserved     must be zero
+    offset 4   u32  request_id   echoed verbatim in the reply
+    offset 8   u32  payload_len  bytes; bounded by the server's
+                                 ``max_line_bytes`` read limit
+    offset 12  u32  crc32        zlib.crc32 of the payload
+    offset 16  payload
+
+Request opcodes:
+
+========  ===========  ================================================
+opcode    name         payload
+========  ===========  ================================================
+``0x01``  ``BATCH``    ``n`` packed ``(u32 src, u32 dst)`` pairs
+                       (``payload_len == 8 * n``; node ids are the
+                       dense integer node names of generated graphs)
+``0x02``  ``PING``     empty
+========  ===========  ================================================
+
+Reply opcodes:
+
+========  ===========  ================================================
+``0x7E``  ``HELLO``    ``u32 version, u32 max_pairs, u32 max_frame``
+``0x81``  ``ANSWERS``  ``u32 count`` + ``ceil(count/8)`` bitmap bytes;
+                       bit ``i & 7`` of byte ``i >> 3`` (LSB-first) is
+                       the answer for pair ``i``
+``0x82``  ``PONG``     empty
+``0xFF``  ``ERROR``    ``u8 code`` + UTF-8 message; codes mirror the
+                       JSON protocol's ``ERR_*`` strings (see
+                       :data:`ERROR_CODES`)
+========  ===========  ================================================
+
+Error handling & resync
+-----------------------
+A length-prefixed stream cannot resynchronise after corruption (there
+is no sentinel to scan for), so the contract is connection-level: a
+frame whose magic, reserved field, or CRC is wrong — or whose length
+header exceeds the bounded-read limit — gets **one** ``ERROR`` frame
+and the connection is closed; the client reconnects and renegotiates.
+Errors that leave the stream in sync (unknown opcode, a ragged batch
+length, per-request pair caps, unknown node ids) are answered with an
+``ERROR`` frame for that ``request_id`` and the connection keeps
+serving.  The CRC exists precisely for the chaos harness's ``garble``
+fault: a flipped bit in an answer bitmap must surface as a transport
+error, never as a silently wrong answer.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any
+
+import numpy as np
+
+from repro.server import protocol
+from repro.server.protocol import ProtocolError
+
+__all__ = [
+    "BINARY_CODEC",
+    "BINARY_VERSION",
+    "BinaryCodec",
+    "ERROR_CODES",
+    "ERROR_NAMES",
+    "FRAME_MAGIC",
+    "HEADER",
+    "HEADER_SIZE",
+    "MAGIC_LINE",
+    "OP_ANSWERS",
+    "OP_BATCH",
+    "OP_ERROR",
+    "OP_HELLO",
+    "OP_PING",
+    "OP_PONG",
+    "decode_hello",
+    "encode_answers",
+    "encode_error_frame",
+    "encode_frame",
+    "encode_hello",
+    "encode_pairs",
+    "pack_bitmap",
+    "unpack_bitmap",
+]
+
+#: Protocol revision carried in the ``HELLO`` frame.
+BINARY_VERSION = 1
+
+#: The negotiation preamble a client sends as its first request line.
+MAGIC_LINE = b"REPRO-BINARY/1\n"
+
+#: First byte of every frame.
+FRAME_MAGIC = 0xB7
+
+#: ``magic, opcode, reserved, request_id, payload_len, crc32``.
+HEADER = struct.Struct("<BBHIII")
+HEADER_SIZE = HEADER.size
+
+# Request opcodes.
+OP_BATCH = 0x01
+OP_PING = 0x02
+# Reply opcodes.
+OP_HELLO = 0x7E
+OP_ANSWERS = 0x81
+OP_PONG = 0x82
+OP_ERROR = 0xFF
+
+#: JSON error-code string -> one-byte wire code.
+ERROR_CODES = {
+    protocol.ERR_BAD_REQUEST: 1,
+    protocol.ERR_UNKNOWN_VERB: 2,
+    protocol.ERR_UNKNOWN_NODE: 3,
+    protocol.ERR_OVERLOADED: 4,
+    protocol.ERR_TOO_LARGE: 5,
+    protocol.ERR_TIMEOUT: 6,
+    protocol.ERR_RELOAD_FAILED: 7,
+    protocol.ERR_INTERNAL: 8,
+}
+#: One-byte wire code -> JSON error-code string.
+ERROR_NAMES = {byte: name for name, byte in ERROR_CODES.items()}
+
+#: Node-id cap: pairs are u32 on the wire.
+MAX_NODE_ID = 0xFFFFFFFF
+
+
+def encode_frame(opcode: int, request_id: int,
+                 payload: bytes = b"") -> bytes:
+    """One wire frame: header (with CRC) plus payload."""
+    return HEADER.pack(FRAME_MAGIC, opcode, 0,
+                       request_id & 0xFFFFFFFF, len(payload),
+                       zlib.crc32(payload)) + payload
+
+
+def encode_pairs(pairs) -> bytes:
+    """A ``BATCH`` payload from a ``(src, dst)`` pair sequence."""
+    arr = np.asarray(pairs, dtype="<u4")
+    if arr.size and (arr.ndim != 2 or arr.shape[1] != 2):
+        raise ValueError(
+            f"pairs must be an (n, 2) sequence, got shape {arr.shape}")
+    return arr.tobytes()
+
+
+def encode_hello(max_pairs: int, max_frame_bytes: int) -> bytes:
+    """The server's negotiation acknowledgement."""
+    payload = struct.pack("<III", BINARY_VERSION, max_pairs,
+                          max_frame_bytes)
+    return encode_frame(OP_HELLO, 0, payload)
+
+
+def decode_hello(payload: bytes) -> dict[str, int]:
+    """``{"version", "max_pairs", "max_frame_bytes"}`` of a ``HELLO``."""
+    if len(payload) < 12:
+        raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                            f"HELLO payload of {len(payload)} bytes is "
+                            f"too short")
+    version, max_pairs, max_frame = struct.unpack_from("<III", payload)
+    return {"version": version, "max_pairs": max_pairs,
+            "max_frame_bytes": max_frame}
+
+
+def pack_bitmap(answers) -> bytes:
+    """LSB-first answer bitmap bytes for a boolean vector."""
+    arr = np.asarray(answers, dtype=bool)
+    return np.packbits(arr, bitorder="little").tobytes()
+
+
+def unpack_bitmap(count: int, bitmap: bytes) -> list[bool]:
+    """The boolean answers of an ``ANSWERS`` bitmap (length checked)."""
+    need = (count + 7) >> 3
+    if len(bitmap) < need:
+        raise ProtocolError(
+            protocol.ERR_BAD_REQUEST,
+            f"bitmap of {len(bitmap)} bytes cannot hold {count} answers")
+    if count == 0:
+        return []
+    bits = np.unpackbits(np.frombuffer(bitmap, dtype=np.uint8,
+                                       count=need),
+                         count=count, bitorder="little")
+    return bits.astype(bool).tolist()
+
+
+def encode_answers(request_id: int, count: int, bitmap: bytes) -> bytes:
+    """An ``ANSWERS`` reply frame (``u32 count`` + packed bitmap)."""
+    return encode_frame(OP_ANSWERS, request_id,
+                        struct.pack("<I", count) + bitmap)
+
+
+def encode_error_frame(request_id: Any, code: str,
+                       message: str) -> bytes:
+    """An ``ERROR`` reply frame; unknown codes map to ``internal``."""
+    byte = ERROR_CODES.get(code, ERROR_CODES[protocol.ERR_INTERNAL])
+    rid = request_id if isinstance(request_id, int) else 0
+    return encode_frame(OP_ERROR, rid,
+                        bytes([byte]) + message.encode("utf-8"))
+
+
+class BinaryCodec:
+    """Reply encoder of the binary protocol — the frame-mode half of
+    the gateway's codec seam (its JSON counterpart is
+    :class:`repro.server.protocol.JsonCodec`; ``_finish`` picks one per
+    connection).  Successful results arrive as ``(count, bitmap_bytes)``
+    tuples from :meth:`repro.core.service.QueryService.query_frames`,
+    or the string ``"pong"``."""
+
+    name = "binary"
+
+    @staticmethod
+    def encode_ok(request_id: Any, result: Any) -> bytes:
+        if type(result) is tuple:
+            return encode_answers(request_id, result[0], result[1])
+        if result == "pong":
+            return encode_frame(OP_PONG, request_id)
+        # Defensive: only batch/ping are dispatched on binary
+        # connections, so any other result shape is a server bug.
+        return encode_error_frame(
+            request_id, protocol.ERR_INTERNAL,
+            f"result of type {type(result).__name__} is not "
+            f"expressible in the binary protocol")
+
+    @staticmethod
+    def encode_error(request_id: Any, code: str, message: str) -> bytes:
+        return encode_error_frame(request_id, code, message)
+
+
+#: Shared stateless codec instance.
+BINARY_CODEC = BinaryCodec()

@@ -33,10 +33,11 @@ from typing import Any, Iterable, Sequence
 
 from repro.exceptions import ReproError
 from repro.obs.tracing import TraceIds
+from repro.server import binproto
 from repro.server.protocol import encode_message
 
-__all__ = ["CircuitOpenError", "ReachClient", "RetryPolicy",
-           "ServerReplyError"]
+__all__ = ["BinaryReachClient", "CircuitOpenError", "ReachClient",
+           "RetryPolicy", "ServerReplyError"]
 
 
 class ServerReplyError(ReproError):
@@ -406,6 +407,152 @@ class ReachClient:
         self._disconnect()
 
     def __enter__(self) -> "ReachClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class BinaryReachClient:
+    """Blocking client for the binary frame protocol (context manager).
+
+    Connects, sends the :data:`~repro.server.binproto.MAGIC_LINE`
+    preamble, and expects a ``HELLO`` frame back.  A JSON-only server
+    answers the preamble with a normal ``bad_request`` JSON line
+    instead; that is surfaced as :class:`ServerReplyError` with code
+    ``binary_unsupported`` so callers can fall back to
+    :class:`ReachClient` (see ``docs/RUNBOOK.md``).  One request is
+    outstanding at a time; node ids must be u32 integers (the binary
+    protocol's node model — generated graphs label nodes ``0..n-1``).
+
+    >>> with BinaryReachClient(port=port) as client:  # doctest: +SKIP
+    ...     client.query_batch([(0, 7), (7, 0)])
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 timeout: float = 30.0) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._next_id = 0
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._sock.sendall(binproto.MAGIC_LINE)
+        head = self._read_exactly(binproto.HEADER_SIZE)
+        if head[:1] == b"{":
+            # A JSON-only server parsed the preamble as a request and
+            # answered with an error line; recover its code/message.
+            line = head + self._reader.readline()
+            try:
+                reply = json.loads(line)
+                message = reply.get("message", line.decode(
+                    "utf-8", "replace").strip())
+            except ValueError:
+                message = line.decode("utf-8", "replace").strip()
+            self.close()
+            raise ServerReplyError(
+                "binary_unsupported",
+                f"server does not speak the binary protocol: {message}")
+        opcode, _, payload = self._decode_frame(head)
+        if opcode != binproto.OP_HELLO:
+            self.close()
+            raise ServerReplyError(
+                "binary_unsupported",
+                f"expected a HELLO frame, got opcode 0x{opcode:02X}")
+        #: The server's negotiated limits
+        #: (``version`` / ``max_pairs`` / ``max_frame_bytes``).
+        self.hello = binproto.decode_hello(payload)
+
+    # -- framing --------------------------------------------------------
+    def _read_exactly(self, n: int) -> bytes:
+        assert self._reader is not None
+        data = self._reader.read(n)
+        if data is None or len(data) < n:
+            raise ConnectionError("server closed the connection")
+        return data
+
+    def _decode_frame(self, head: bytes) -> tuple[int, int, bytes]:
+        import zlib
+
+        (magic, opcode, reserved, request_id, payload_len,
+         crc) = binproto.HEADER.unpack(head)
+        if magic != binproto.FRAME_MAGIC or reserved != 0:
+            raise ConnectionError(
+                f"reply frame desync (magic 0x{magic:02X})")
+        payload = self._read_exactly(payload_len) if payload_len \
+            else b""
+        if zlib.crc32(payload) != crc:
+            raise ConnectionError("reply payload CRC mismatch")
+        return opcode, request_id, payload
+
+    def _read_frame(self) -> tuple[int, int, bytes]:
+        return self._decode_frame(
+            self._read_exactly(binproto.HEADER_SIZE))
+
+    def _call(self, frame: bytes, request_id: int) -> tuple[int, bytes]:
+        assert self._sock is not None
+        self._sock.settimeout(self._timeout)
+        self._sock.sendall(frame)
+        opcode, reply_id, payload = self._read_frame()
+        if opcode == binproto.OP_ERROR:
+            code = binproto.ERROR_NAMES.get(
+                payload[0] if payload else 0, "internal")
+            raise ServerReplyError(
+                code, payload[1:].decode("utf-8", "replace"))
+        if reply_id != request_id:
+            raise ConnectionError(
+                f"reply id {reply_id} does not match request "
+                f"{request_id}")
+        return opcode, payload
+
+    # -- verbs ----------------------------------------------------------
+    def ping(self) -> str:
+        self._next_id += 1
+        opcode, _ = self._call(
+            binproto.encode_frame(binproto.OP_PING, self._next_id),
+            self._next_id & 0xFFFFFFFF)
+        if opcode != binproto.OP_PONG:
+            raise ConnectionError(
+                f"expected PONG, got opcode 0x{opcode:02X}")
+        return "pong"
+
+    def query_batch(self, pairs: Iterable[Sequence[int]]) -> list[bool]:
+        """Batch reachability over packed u32 pairs (one frame)."""
+        import struct
+
+        self._next_id += 1
+        frame = binproto.encode_frame(
+            binproto.OP_BATCH, self._next_id,
+            binproto.encode_pairs(list(pairs)))
+        opcode, payload = self._call(frame,
+                                     self._next_id & 0xFFFFFFFF)
+        if opcode != binproto.OP_ANSWERS or len(payload) < 4:
+            raise ConnectionError(
+                f"expected ANSWERS, got opcode 0x{opcode:02X}")
+        count = struct.unpack_from("<I", payload)[0]
+        return binproto.unpack_bitmap(count, payload[4:])
+
+    def query(self, u: int, v: int) -> bool:
+        """One reachability query (a one-pair batch frame)."""
+        return self.query_batch([(u, v)])[0]
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "BinaryReachClient":
         return self
 
     def __exit__(self, *exc_info: Any) -> None:

@@ -21,6 +21,17 @@ answers for the pair pool) makes every reply differentially checked:
 resilience layer is allowed to *fail* requests, never to answer them
 incorrectly.
 
+The generator speaks both wire protocols: ``protocol="json"`` (the
+default) drives newline-JSON ``query``/``batch`` verbs, while
+``protocol="binary"`` negotiates :mod:`repro.server.binproto` framing
+(magic preamble, then struct-packed pair payloads in and answer
+bitmaps out) with the request frames precomputed before the clock
+starts.  A JSON-only server answers the preamble with a JSON error
+line; the generator tallies that as ``binary_unsupported`` and stops
+that connection instead of reconnect-spinning.  Frame-level corruption
+(bad magic, CRC mismatch) counts as ``garbled`` and forces a
+reconnect, matching the server's resync-by-reconnect contract.
+
 The generator is pure asyncio and runs in one thread;
 :func:`run_loadgen` is the synchronous entry point used by
 ``repro-reach loadgen`` and ``python -m repro.bench serve-load``.
@@ -30,10 +41,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import struct
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.server import binproto
 from repro.server.protocol import encode_message
 
 __all__ = ["LoadgenResult", "run_loadgen"]
@@ -282,16 +296,213 @@ async def _drive_session(reader: asyncio.StreamReader,
     return position, next_id, max(0, inflight)
 
 
+class _BinaryUnsupported(Exception):
+    """The server answered the magic preamble with a JSON line."""
+
+
+#: Invariant head of every ``BATCH`` request frame: magic, opcode,
+#: reserved.  The sender splices ``request_id`` and the precomputed
+#: ``(payload_len, crc, payload)`` tail behind it.
+_BIN_PREFIX = struct.pack("<BBH", binproto.FRAME_MAGIC,
+                          binproto.OP_BATCH, 0)
+
+
+async def _drive_session_binary(reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter,
+                                pairs: Sequence[tuple],
+                                expected: "Sequence[bool] | None",
+                                tails: "list[bytes]",
+                                position: int, next_id: int,
+                                deadline: float, pipeline: int,
+                                batch_size: int, send_interval: float,
+                                latency_sample: int,
+                                result: LoadgenResult) -> tuple[int, int, int]:
+    """Binary-protocol twin of :func:`_drive_session`.
+
+    Sends :data:`~repro.server.binproto.MAGIC_LINE` first, then frames
+    assembled from the precomputed per-position ``tails``.  Raises
+    :class:`_BinaryUnsupported` when the server replies to the preamble
+    with a JSON line (a server without binary support parses the magic
+    as a malformed request).
+    """
+    n = len(pairs)
+    inflight = 0
+    closed = False
+    unsupported = False
+    wake = asyncio.Event()
+    sampled: dict[int, float] = {}  # sampled rid -> sent_at
+    pending: dict[int, int] = {}    # rid -> pool position (verify mode)
+    header = binproto.HEADER
+    hsize = binproto.HEADER_SIZE
+
+    def check_bitmap(start: int, payload: bytes) -> None:
+        if len(payload) < 4:
+            result.count_error("garbled")
+            return
+        count = struct.unpack_from("<I", payload)[0]
+        try:
+            answers = binproto.unpack_bitmap(count, payload[4:])
+        except Exception:
+            result.count_error("garbled")
+            return
+        for i, got in enumerate(answers):
+            want = expected[(start + i) % n]
+            if bool(got) != bool(want):
+                result.wrong_answers += 1
+                if len(result.mismatch_samples) < 10:
+                    u, v = pairs[(start + i) % n]
+                    result.mismatch_samples.append(
+                        (u, v, bool(got), bool(want)))
+
+    async def read_replies() -> None:
+        nonlocal closed, inflight, unsupported
+        buffer = bytearray()
+        while True:
+            try:
+                chunk = await reader.read(1 << 16)
+            except (ConnectionError, OSError):
+                chunk = b""
+            if not chunk:
+                closed = True
+                wake.set()
+                return
+            buffer += chunk
+            if buffer[:1] == b"{":
+                # A JSON-only server read the magic preamble as a
+                # request and answered with a JSON error line.
+                unsupported = True
+                closed = True
+                wake.set()
+                return
+            now = time.perf_counter()
+            while len(buffer) >= hsize:
+                magic, opcode, _reserved, rid, plen, crc = \
+                    header.unpack_from(buffer)
+                if magic != binproto.FRAME_MAGIC:
+                    # Desynchronised reply stream: there is no sentinel
+                    # to scan for, so drop the connection and let the
+                    # caller reconnect (mirrors the server's contract).
+                    result.count_error("garbled")
+                    closed = True
+                    wake.set()
+                    return
+                if len(buffer) < hsize + plen:
+                    break
+                payload = bytes(buffer[hsize:hsize + plen])
+                del buffer[:hsize + plen]
+                if zlib.crc32(payload) != crc:
+                    result.count_error("garbled")
+                    closed = True
+                    wake.set()
+                    return
+                if opcode == binproto.OP_HELLO:
+                    continue  # negotiation ack, not a reply
+                if opcode == binproto.OP_ANSWERS:
+                    result.ok += 1
+                    result.queries += batch_size
+                    if expected is not None and rid in pending:
+                        check_bitmap(pending[rid], payload)
+                elif opcode == binproto.OP_PONG:
+                    result.ok += 1
+                elif opcode == binproto.OP_ERROR:
+                    code = payload[0] if payload else 0
+                    result.count_error(
+                        binproto.ERROR_NAMES.get(code, "internal"))
+                else:
+                    result.count_error("garbled")
+                pending.pop(rid, None)
+                result.completed += 1
+                inflight -= 1
+                sent_at = sampled.pop(rid, None)
+                if sent_at is not None:
+                    result.latencies_ms.append(
+                        (now - sent_at) * 1000.0)
+            wake.set()
+
+    try:
+        writer.write(binproto.MAGIC_LINE)
+        await writer.drain()
+    except (ConnectionError, OSError):
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        return position, next_id, 0
+
+    reader_task = asyncio.ensure_future(read_replies())
+    loop = asyncio.get_running_loop()
+    watchdog = loop.call_at(
+        loop.time() + max(0.0, deadline - time.perf_counter()),
+        wake.set)
+    pack_rid = struct.Struct("<I").pack
+    try:
+        while not closed and time.perf_counter() < deadline:
+            if inflight >= pipeline:
+                wake.clear()
+                if not closed and time.perf_counter() < deadline:
+                    await wake.wait()
+                continue
+            burst = bytearray()
+            limit = 1 if send_interval > 0 else pipeline - inflight
+            for _ in range(limit):
+                next_id += 1
+                rid = next_id & 0xFFFFFFFF
+                if next_id % latency_sample == 0:
+                    sampled[rid] = time.perf_counter()
+                if expected is not None:
+                    pending[rid] = position % n
+                burst += _BIN_PREFIX
+                burst += pack_rid(rid)
+                burst += tails[position % n]
+                position += batch_size
+            inflight += limit
+            result.sent += limit
+            try:
+                writer.write(bytes(burst))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                closed = True
+                break
+            if send_interval > 0:
+                await asyncio.sleep(send_interval)
+        drain_deadline = time.perf_counter() + 5.0
+        while inflight > 0 and not closed \
+                and time.perf_counter() < drain_deadline:
+            await asyncio.sleep(0.005)
+    finally:
+        watchdog.cancel()
+        reader_task.cancel()
+        try:
+            await reader_task
+        except (asyncio.CancelledError, ConnectionError, OSError):
+            pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    if unsupported:
+        raise _BinaryUnsupported
+    return position, next_id, max(0, inflight)
+
+
 async def _drive_connection(host: str, port: int,
                             pairs: Sequence[tuple],
                             expected: "Sequence[bool] | None",
-                            frames: "list[bytes] | None", offset: int,
+                            frames: "list[bytes] | None",
+                            tails: "list[bytes] | None", offset: int,
                             deadline: float, pipeline: int,
                             batch_size: int, send_interval: float,
                             latency_sample: int,
                             result: LoadgenResult) -> None:
     """One logical connection: reconnects after drops until the
-    deadline, so the generator keeps measuring through faults."""
+    deadline, so the generator keeps measuring through faults.
+
+    ``tails`` selects the binary session; a server that turns out to be
+    JSON-only ends the connection for good (reconnecting could never
+    succeed) after tallying ``binary_unsupported``.
+    """
     position = offset
     next_id = offset * 1_000_000  # distinct id spaces per connection
     reconnect_delay = 0.02
@@ -310,10 +521,20 @@ async def _drive_connection(host: str, port: int,
             result.reconnects += 1
         first = False
         reconnect_delay = 0.02
-        position, next_id, lost = await _drive_session(
-            reader, writer, pairs, expected, frames, position, next_id,
-            deadline, pipeline, batch_size, send_interval,
-            latency_sample, result)
+        if tails is not None:
+            try:
+                position, next_id, lost = await _drive_session_binary(
+                    reader, writer, pairs, expected, tails, position,
+                    next_id, deadline, pipeline, batch_size,
+                    send_interval, latency_sample, result)
+            except _BinaryUnsupported:
+                result.count_error("binary_unsupported")
+                return
+        else:
+            position, next_id, lost = await _drive_session(
+                reader, writer, pairs, expected, frames, position,
+                next_id, deadline, pipeline, batch_size, send_interval,
+                latency_sample, result)
         if time.perf_counter() >= deadline:
             break
         # The session ended early: the server dropped us.  Anything
@@ -324,11 +545,41 @@ async def _drive_connection(host: str, port: int,
         await asyncio.sleep(0.01)
 
 
+def _binary_tails(pairs: Sequence[tuple],
+                  batch_size: int) -> list[bytes]:
+    """Per-start-position ``(payload_len, crc32, payload)`` frame tails.
+
+    The pair pool is packed once into a doubled ``(u32, u32)`` byte
+    string so any wrapping window of ``batch_size`` pairs is one
+    contiguous slice; position ``s``'s tail carries the pairs
+    ``pairs[s % n] .. pairs[(s + batch_size - 1) % n]``.
+    """
+    n = len(pairs)
+    flat: list[int] = []
+    for u, v in pairs:
+        flat.append(u)
+        flat.append(v)
+    try:
+        pool = struct.pack(f"<{2 * n}I", *flat)
+    except struct.error:
+        raise ValueError(
+            "binary protocol needs integer node ids in [0, 2**32); "
+            "the pair pool contains ids outside that range") from None
+    reps = 1 + (batch_size + n - 1) // n  # windows may wrap > once
+    view = memoryview(pool * reps)
+    plen = 8 * batch_size
+    size = struct.Struct("<II")
+    return [
+        size.pack(plen, zlib.crc32(view[8 * s:8 * s + plen]))
+        + bytes(view[8 * s:8 * s + plen])
+        for s in range(n)]
+
+
 async def _run(host: str, port: int, pairs: Sequence[tuple],
                connections: int, duration: float, pipeline: int,
                batch_size: int, rate: float | None,
                expected: "Sequence[bool] | None",
-               latency_sample: int) -> LoadgenResult:
+               latency_sample: int, protocol: str) -> LoadgenResult:
     result = LoadgenResult(connections=connections, pipeline=pipeline,
                            batch_size=batch_size,
                            duration_seconds=duration,
@@ -336,12 +587,15 @@ async def _run(host: str, port: int, pairs: Sequence[tuple],
     # Open-loop pacing: a target aggregate request rate splits evenly
     # into per-connection send intervals; rate=None sends at will.
     send_interval = (connections / rate) if rate else 0.0
-    # Precompute the invariant tail of every single-query frame ONCE,
-    # before the clock starts — the senders then only splice the id in
-    # front.  Built per connection this serialization work scales with
-    # the connection count and eats the measurement window.
+    # Precompute the invariant tail of every frame ONCE, before the
+    # clock starts — the senders then only splice the id in front.
+    # Built per connection this serialization work scales with the
+    # connection count and eats the measurement window.
     frames: list[bytes] | None = None
-    if batch_size == 1:
+    tails: list[bytes] | None = None
+    if protocol == "binary":
+        tails = _binary_tails(pairs, batch_size)
+    elif batch_size == 1:
         frames = [
             json.dumps({"verb": "query", "u": u, "v": v},
                        separators=(",", ":"))[1:].encode() + b"\n"
@@ -350,7 +604,7 @@ async def _run(host: str, port: int, pairs: Sequence[tuple],
     deadline = started + duration
     stride = max(1, len(pairs) // max(1, connections))
     await asyncio.gather(*[
-        _drive_connection(host, port, pairs, expected, frames,
+        _drive_connection(host, port, pairs, expected, frames, tails,
                           i * stride, deadline, pipeline, batch_size,
                           send_interval, latency_sample, result)
         for i in range(connections)])
@@ -363,7 +617,8 @@ def run_loadgen(host: str, port: int, pairs: Sequence[tuple], *,
                 pipeline: int = 4, batch_size: int = 1,
                 rate: float | None = None,
                 expected: "Sequence[bool] | None" = None,
-                latency_sample: int = 1) -> LoadgenResult:
+                latency_sample: int = 1,
+                protocol: str = "json") -> LoadgenResult:
     """Drive the gateway at ``host:port`` and return the aggregate.
 
     Parameters
@@ -392,9 +647,17 @@ def run_loadgen(host: str, port: int, pairs: Sequence[tuple], *,
         larger values trade percentile fidelity — especially at the
         tail, where 1-in-N sampling sees few of the extreme values —
         for one fewer timestamp dict write per skipped request.
+    protocol:
+        ``"json"`` (default) speaks newline-JSON verbs; ``"binary"``
+        negotiates :mod:`repro.server.binproto` framing and sends
+        struct-packed pair batches.  With ``expected``, binary answer
+        bitmaps are differentially verified exactly like JSON replies.
     """
     if not pairs:
         raise ValueError("loadgen needs a non-empty pair pool")
+    if protocol not in ("json", "binary"):
+        raise ValueError(
+            f"protocol must be 'json' or 'binary', got {protocol!r}")
     if connections < 1 or pipeline < 1 or batch_size < 1:
         raise ValueError(
             "connections, pipeline, and batch_size must be >= 1")
@@ -407,4 +670,4 @@ def run_loadgen(host: str, port: int, pairs: Sequence[tuple], *,
             f"pair pool ({len(pairs)})")
     return asyncio.run(_run(host, port, list(pairs), connections,
                             duration, pipeline, batch_size, rate,
-                            expected, latency_sample))
+                            expected, latency_sample, protocol))

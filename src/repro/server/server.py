@@ -6,6 +6,15 @@ JSON protocol of :mod:`repro.server.protocol`, and funnels every
 one :class:`~repro.server.batcher.MicroBatcher`, so concurrent clients
 share single ``QueryService.query_batch()`` kernel invocations.
 
+A connection may switch to the length-prefixed binary framing of
+:mod:`repro.server.binproto` by sending its magic preamble as the first
+request line; binary ``BATCH`` frames coalesce through a parallel
+:class:`_BinaryLane` (same admission knobs, same executor) into
+``QueryService.query_frames`` — packed pair bytes straight into the
+buffer-reusing :class:`~repro.core.fastkernel.FastKernel`, packed
+answer bitmaps straight out, no per-pair Python objects anywhere on
+the path.
+
 Concurrency model
 -----------------
 The event loop owns all protocol state; the numpy kernels run on a
@@ -40,6 +49,7 @@ import random
 import sys
 import threading
 import time
+import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -52,7 +62,7 @@ from repro.obs.phases import PhaseProfiler
 from repro.obs.prometheus import CONTENT_TYPE, render
 from repro.obs.tracing import (BatchTicket, SlowQueryLog, SpanRecorder,
                                TraceIds)
-from repro.server import protocol
+from repro.server import binproto, protocol
 from repro.server.batcher import MicroBatcher, OverloadedError
 from repro.server.protocol import ProtocolError, Request
 
@@ -284,7 +294,7 @@ class _Connection:
     """Per-connection serving state (event-loop-confined)."""
 
     __slots__ = ("id", "writer", "inflight", "resume", "out",
-                 "flush_scheduled", "closed")
+                 "flush_scheduled", "closed", "codec")
 
     def __init__(self, conn_id: int,
                  writer: asyncio.StreamWriter) -> None:
@@ -298,6 +308,113 @@ class _Connection:
         self.out = bytearray()
         self.flush_scheduled = False
         self.closed = False
+        #: Reply encoder — JSON until the binary preamble negotiates
+        #: frame mode; every reply goes through ``codec.encode_*``.
+        self.codec: Any = protocol.JSON_CODEC
+
+
+class _FramePayload:
+    """A binary ``BATCH`` payload with pair-count admission weight.
+
+    The batcher accounts admission in *pairs* via ``len(entry)``, so
+    the packed payload bytes ride inside a wrapper whose length is the
+    pair count — one object per request, never per pair."""
+
+    __slots__ = ("data", "pairs")
+
+    def __init__(self, data: bytes, pairs: int) -> None:
+        self.data = data
+        self.pairs = pairs
+
+    def __len__(self) -> int:
+        return self.pairs
+
+
+class _BinaryLane(MicroBatcher):
+    """Micro-batcher lane for binary ``BATCH`` frames.
+
+    Shares every admission/flush mechanism with the JSON
+    :class:`MicroBatcher` (same ``max_batch``/``max_delay``/
+    ``max_pending``/``policy`` knobs, same waiter-based block policy,
+    same isolation rerun) but keeps payloads as packed bytes end to
+    end: a flush hands the raw frame payloads to
+    ``QueryService.query_frames`` and scatters back per-request
+    ``(count, bitmap)`` tuples.  A separate lane — rather than mixing
+    frames into the JSON batcher — because the JSON ``_execute`` path
+    concatenates Python pair lists, which is exactly the per-pair
+    object churn the binary protocol exists to avoid.
+    """
+
+    #: Prometheus family prefix (the JSON batcher owns ``reach_batcher``).
+    _FAMILY_PREFIX = "reach_binary_lane"
+
+    async def enqueue_when_ready(self, frame: _FramePayload,
+                                 ticket: BatchTicket | None = None
+                                 ) -> asyncio.Future:
+        """Block-policy admission: wait for queue room, then enqueue.
+
+        Like :meth:`submit` but returns the answer future instead of
+        awaiting it, so the caller can attach its timeout/completion
+        callbacks.  While one connection waits here its frame reads are
+        paused — TCP backpressure, mirroring the JSON read loop.
+        """
+        loop = asyncio.get_running_loop()
+        n = len(frame)
+        while self._in_flight + n > self.max_pending:
+            waiter: asyncio.Future = loop.create_future()
+            self._waiters.append(waiter)
+            await waiter
+            if self._closed:
+                raise OverloadedError("batcher is shut down")
+        self._in_flight += n
+        return self._enqueue(frame, n, loop, ticket)
+
+    async def _execute(self, entries: list, num_pairs: int) -> None:
+        frames = [frame.data for frame, _, _ in entries]
+        flush_at = time.perf_counter()
+        for _, _, ticket in entries:
+            if ticket is not None:
+                ticket.flush_at = flush_at
+        try:
+            try:
+                bitmaps = await self._run_batch(frames)
+            except Exception:
+                await self._execute_isolated(entries)
+                return
+            kernel_done = time.perf_counter()
+            for (frame, future, ticket), bitmap in zip(entries, bitmaps):
+                if ticket is not None:
+                    ticket.kernel_done = kernel_done
+                if not future.done():
+                    future.set_result((frame.pairs, bitmap))
+        finally:
+            self._release(num_pairs)
+
+    async def _execute_isolated(self, entries: list) -> None:
+        self.isolation_reruns += 1
+        for frame, future, ticket in entries:
+            if future.done():
+                continue
+            try:
+                bitmaps = await self._run_batch([frame.data])
+            except Exception as exc:
+                self.flush_failures += 1
+                if ticket is not None:
+                    ticket.kernel_done = time.perf_counter()
+                if not future.done():
+                    future.set_exception(exc)
+            else:
+                if ticket is not None:
+                    ticket.kernel_done = time.perf_counter()
+                if not future.done():
+                    future.set_result((frame.pairs, bitmaps[0]))
+
+    def collect(self) -> list[dict]:
+        families = super().collect()
+        for family in families:
+            family["name"] = family["name"].replace(
+                "reach_batcher", self._FAMILY_PREFIX, 1)
+        return families
 
 
 class ReachServer:
@@ -325,6 +442,7 @@ class ReachServer:
         self._metrics_server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._batcher: MicroBatcher | None = None
+        self._lane: _BinaryLane | None = None
         self._query_executor: ThreadPoolExecutor | None = None
         self._reload_executor: ThreadPoolExecutor | None = None
         self._retired: list[QueryService] = []
@@ -390,9 +508,14 @@ class ReachServer:
             self._run_batch, max_batch=config.max_batch,
             max_delay=config.max_delay, max_pending=config.max_pending,
             policy=config.policy)
-        # The batcher keeps lock-free event-loop-confined counters;
-        # the collector renders them into families at scrape time.
+        self._lane = _BinaryLane(
+            self._run_frames, max_batch=config.max_batch,
+            max_delay=config.max_delay, max_pending=config.max_pending,
+            policy=config.policy)
+        # The batchers keep lock-free event-loop-confined counters;
+        # the collectors render them into families at scrape time.
         self.stats.registry.register_collector(self._batcher.collect)
+        self.stats.registry.register_collector(self._lane.collect)
         self._open_access_log()
         self._server = await asyncio.start_server(
             self._handle_connection, config.host, config.port,
@@ -452,6 +575,8 @@ class ReachServer:
                 pass
         if self._batcher is not None:
             await self._batcher.close()
+        if self._lane is not None:
+            await self._lane.close()
         for executor in (self._query_executor, self._reload_executor):
             if executor is not None:
                 executor.shutdown(wait=True)
@@ -471,6 +596,14 @@ class ReachServer:
         return await self._loop.run_in_executor(
             self._query_executor, service.query_batch, pairs)
 
+    async def _run_frames(self, frames: list) -> list:
+        # Same snapshot discipline as _run_batch: one service (and so
+        # one FastKernel generation) per binary flush.
+        service = self._service
+        assert self._loop is not None and self._query_executor is not None
+        return await self._loop.run_in_executor(
+            self._query_executor, service.query_frames, frames)
+
     # -- connection handling -------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
@@ -488,6 +621,7 @@ class ReachServer:
             conn.inflight -= 1
             conn.resume.set()
 
+        served = False
         try:
             while True:
                 line = await self._read_line(reader, conn)
@@ -495,6 +629,23 @@ class ReachServer:
                     break
                 if line.isspace():
                     continue
+                if line == binproto.MAGIC_LINE:
+                    if served:
+                        # Mid-stream renegotiation would race in-flight
+                        # replies; reject it and stay in JSON mode.
+                        self._finish(
+                            conn, None, "hello", 0, time.perf_counter(),
+                            None, protocol.ERR_BAD_REQUEST,
+                            "binary negotiation is only valid as the "
+                            "first request of a connection")
+                        continue
+                    conn.codec = binproto.BINARY_CODEC
+                    self._send(conn, binproto.encode_hello(
+                        self._config.max_request_pairs,
+                        self._config.max_line_bytes))
+                    await self._serve_binary(reader, conn)
+                    break
+                served = True
                 # Per-connection cap: stop reading (TCP backpressure)
                 # until at least one outstanding request finishes.
                 while conn.inflight >= self._config.max_conn_inflight:
@@ -560,6 +711,127 @@ class ReachServer:
                 discarding = False
                 continue
             return line
+
+    # -- binary frame mode ----------------------------------------------
+    async def _serve_binary(self, reader: asyncio.StreamReader,
+                            conn: _Connection) -> None:
+        """Frame-mode read loop (after a successful negotiation).
+
+        Implements the resync contract of :mod:`repro.server.binproto`:
+        desync-class problems — bad magic, nonzero reserved bits, a
+        length header beyond the bounded-read limit, a CRC mismatch —
+        get one ``ERROR`` frame and the connection closes (a
+        length-prefixed stream cannot rescan for a sentinel); in-sync
+        request errors are answered and the connection keeps serving.
+        A frame truncated by disconnection just ends the connection.
+        """
+        config = self._config
+        while True:
+            try:
+                header = await reader.readexactly(binproto.HEADER_SIZE)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return  # EOF (possibly mid-header): nothing to answer
+            started = time.perf_counter()
+            (magic, opcode, reserved, request_id, payload_len,
+             crc) = binproto.HEADER.unpack(header)
+            if magic != binproto.FRAME_MAGIC or reserved != 0:
+                self._finish(conn, request_id, "frame", 0, started,
+                             None, protocol.ERR_BAD_REQUEST,
+                             "frame desync (bad magic or reserved "
+                             "bits); closing connection")
+                return
+            if payload_len > config.max_line_bytes:
+                self._finish(conn, request_id, "frame", 0, started,
+                             None, protocol.ERR_TOO_LARGE,
+                             f"frame payload of {payload_len} bytes "
+                             f"exceeds the {config.max_line_bytes}-"
+                             f"byte limit; closing connection")
+                return
+            try:
+                payload = await reader.readexactly(payload_len)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return  # truncated frame: the client went away mid-send
+            if zlib.crc32(payload) != crc:
+                self._finish(conn, request_id, "frame", 0, started,
+                             None, protocol.ERR_BAD_REQUEST,
+                             "payload CRC mismatch; closing connection")
+                return
+            while conn.inflight >= config.max_conn_inflight:
+                conn.resume.clear()
+                await conn.resume.wait()
+            await self._dispatch_frame(conn, opcode, request_id,
+                                       payload, started)
+
+    async def _dispatch_frame(self, conn: _Connection, opcode: int,
+                              request_id: int, payload: bytes,
+                              started: float) -> None:
+        """Serve one validated frame (in-sync errors answer and keep
+        the connection; the caller handles desync)."""
+        if opcode == binproto.OP_PING:
+            self._finish(conn, request_id, "ping", 0, started, "pong")
+            return
+        if opcode != binproto.OP_BATCH:
+            self._finish(conn, request_id, "frame", 0, started, None,
+                         protocol.ERR_BAD_REQUEST,
+                         f"unknown request opcode 0x{opcode:02X}")
+            return
+        if len(payload) % 8:
+            self._finish(conn, request_id, "batch", 0, started, None,
+                         protocol.ERR_BAD_REQUEST,
+                         f"BATCH payload of {len(payload)} bytes is "
+                         f"not a whole number of (u32, u32) pairs")
+            return
+        num_pairs = len(payload) >> 3
+        if num_pairs > self._config.max_request_pairs:
+            self._finish(conn, request_id, "batch", num_pairs, started,
+                         None, protocol.ERR_TOO_LARGE,
+                         f"batch of {num_pairs} pairs exceeds the "
+                         f"per-request cap of "
+                         f"{self._config.max_request_pairs}")
+            return
+        if num_pairs == 0:
+            self._finish(conn, request_id, "batch", 0, started,
+                         (0, b""))
+            return
+        assert self._lane is not None and self._loop is not None
+        ticket = BatchTicket(None, started)
+        ticket.parse_done = time.perf_counter()
+        frame = _FramePayload(payload, num_pairs)
+        try:
+            future = self._lane.try_submit(frame, ticket)
+            if future is None:
+                # Block policy with a full queue: pausing this
+                # connection's frame reads is the backpressure path.
+                future = await self._lane.enqueue_when_ready(frame,
+                                                             ticket)
+        except OverloadedError as exc:
+            self._finish(conn, request_id, "batch", num_pairs, started,
+                         None, protocol.ERR_OVERLOADED, str(exc),
+                         ticket=ticket)
+            return
+        conn.inflight += 1
+        timer = self._loop.call_later(self._config.request_timeout,
+                                      self._expire, future)
+        future.add_done_callback(
+            lambda fut: self._bin_done(fut, conn, request_id,
+                                       num_pairs, started, timer,
+                                       ticket))
+
+    def _bin_done(self, future: asyncio.Future, conn: _Connection,
+                  request_id: int, num_pairs: int, started: float,
+                  timer: asyncio.TimerHandle,
+                  ticket: BatchTicket | None = None) -> None:
+        timer.cancel()
+        exc = future.exception()
+        if exc is None:
+            self._finish(conn, request_id, "batch", num_pairs, started,
+                         future.result(), ticket=ticket)
+        else:
+            code, message = self._map_error(exc)
+            self._finish(conn, request_id, "batch", num_pairs, started,
+                         None, code, message, ticket=ticket)
+        conn.inflight -= 1
+        conn.resume.set()
 
     def _fast_serve(self, line: bytes, conn: _Connection) -> bool:
         """Hot path for ``query``/``batch``: parse, enqueue, and attach
@@ -686,25 +958,13 @@ class ReachServer:
         if self._log_file is not None:
             self._log_access(conn.id, verb, num_pairs, elapsed, code,
                              trace=trace, spans=spans)
+        # The codec seam: JSON and binary replies share this one call
+        # site (JsonCodec keeps the hand-formatted bool fast paths that
+        # used to live inline here; BinaryCodec emits frames).
         if code is not None:
-            payload = protocol.encode_message(
-                protocol.error_reply(request_id, code, message))
-        elif (result is True or result is False) \
-                and type(request_id) is int:
-            # The single-query hot case, formatted without json.dumps.
-            payload = b'{"id":%d,"ok":true,"result":%s}\n' % (
-                request_id, b"true" if result else b"false")
-        elif type(result) is list and type(request_id) is int \
-                and result and type(result[0]) is bool:
-            # Batch answers are homogeneous bool lists; direct byte
-            # formatting beats json.dumps ~8x for small replies (the
-            # common pipelined case) and ~2x for full batches.
-            payload = b'{"id":%d,"ok":true,"result":[%s]}\n' % (
-                request_id,
-                b",".join(b"true" if r else b"false" for r in result))
+            payload = conn.codec.encode_error(request_id, code, message)
         else:
-            payload = protocol.encode_message(
-                protocol.ok_reply(request_id, result))
+            payload = conn.codec.encode_ok(request_id, result)
         self._send(conn, payload)
 
     def _send(self, conn: _Connection, payload: bytes) -> None:
@@ -852,6 +1112,8 @@ class ReachServer:
             "stages": self._spans.percentiles_ms(),
             "slow_queries": self.slow_log.snapshot(reset=reset),
             "batcher": self._batcher.stats(),
+            "binary_lane": (self._lane.stats()
+                            if self._lane is not None else None),
             "service": {
                 "vectorised": service.vectorised,
                 **service.metrics.as_dict(reset=reset),

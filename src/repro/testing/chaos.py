@@ -135,6 +135,8 @@ class ChaosReport:
     driver_errors: list = field(default_factory=list)
     #: worker processes (0 = the in-process single server was soaked)
     workers: int = 0
+    #: wire protocol the verified load spoke (``json`` or ``binary``)
+    protocol: str = "json"
     #: :meth:`WorkerFleet.describe` snapshot (fleet mode only)
     fleet: dict = field(default_factory=dict)
 
@@ -170,6 +172,7 @@ class ChaosReport:
             "loadgen": dict(self.loadgen),
             "proxy": dict(self.proxy),
             "workers": self.workers,
+            "protocol": self.protocol,
             "fleet": dict(self.fleet),
         }
 
@@ -179,6 +182,7 @@ class ChaosReport:
                   else "in-process server")
         lines = [
             f"chaos soak seed={self.seed} scheme={self.scheme} "
+            f"protocol={self.protocol} "
             f"duration={self.duration_seconds:.1f}s "
             f"({target}): "
             f"{'PASS' if self.ok() else 'FAIL'}",
@@ -283,7 +287,8 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
                    faults_per_kind: int = 1,
                    workdir: "Path | str | None" = None,
                    pool_size: int = 192,
-                   workers: int = 0) -> ChaosReport:
+                   workers: int = 0,
+                   protocol: str = "json") -> ChaosReport:
     """Run the serving stack under a seeded fault schedule.
 
     Parameters
@@ -314,6 +319,13 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
         :class:`~repro.server.router.WorkerFleet` of that many worker
         processes and, when ``kinds`` is the default vocabulary,
         switches it to :data:`FLEET_FAULT_KINDS`.
+    protocol:
+        Wire protocol the verified load generator speaks (``json`` or
+        ``binary``).  Binary mode puts the frame-resync contract under
+        the fault schedule: a ``garble``/truncation fault must surface
+        as a transport error and a reconnect, never as a wrong answer.
+        The recovery probe and the management connections stay JSON
+        either way.
 
     Returns the populated :class:`ChaosReport`; callers gate on
     :meth:`ChaosReport.ok`.
@@ -349,7 +361,7 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
     report = ChaosReport(seed=seed, scheme=scheme,
                          duration_seconds=duration,
                          recovery_timeout=recovery_timeout,
-                         workers=workers)
+                         workers=workers, protocol=protocol)
     registry = MetricsRegistry()
     recovery_hist = registry.histogram(
         "reach_chaos_recovery_seconds",
@@ -403,7 +415,8 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
             loadgen_box["result"] = run_loadgen(
                 "127.0.0.1", proxy.port, pool,
                 connections=connections, duration=duration,
-                pipeline=pipeline, batch_size=1, expected=expected)
+                pipeline=pipeline, batch_size=1, expected=expected,
+                protocol=protocol)
         except Exception as exc:  # surfaced via driver_errors
             loadgen_box["error"] = f"{type(exc).__name__}: {exc}"
 

@@ -1,0 +1,406 @@
+"""The binary wire protocol: codecs, framing, and live edge cases.
+
+Unit tests pin the frame/bitmap encodings and the codec seam; the
+live-server tests drive a real gateway over raw sockets and assert the
+resync contract frame by frame: in-sync request errors (unknown
+opcode, ragged length, pair caps, unknown node ids) answer and keep
+the connection, desync-class errors (bad magic, oversized length
+header, CRC mismatch) answer once and close, a truncated frame just
+ends the connection, and mid-stream renegotiation on a JSON connection
+is rejected without breaking that connection.  A JSON-only stub server
+proves the client-side fallback (``binary_unsupported``) for both
+:class:`~repro.server.client.BinaryReachClient` and the load
+generator.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import struct
+import threading
+import zlib
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core.base import build_index
+from repro.core.service import QueryService
+from repro.server import binproto
+from repro.server.binproto import (
+    BINARY_CODEC,
+    ERROR_CODES,
+    FRAME_MAGIC,
+    HEADER,
+    HEADER_SIZE,
+    MAGIC_LINE,
+    OP_ANSWERS,
+    OP_BATCH,
+    OP_ERROR,
+    OP_HELLO,
+    OP_PING,
+    OP_PONG,
+)
+from repro.server.client import (
+    BinaryReachClient,
+    ReachClient,
+    ServerReplyError,
+)
+from repro.server.loadgen import run_loadgen
+from repro.server.protocol import JSON_CODEC, ProtocolError, encode_message
+from repro.server.server import ReachServer, ServerConfig, ServerThread
+from tests.test_differential import FAMILIES
+
+
+@contextmanager
+def serve(index, scheme: str = "dual-i", **config_kwargs):
+    """A gateway over ``index`` on a background thread."""
+    server = ReachServer(QueryService(index), scheme=scheme,
+                         config=ServerConfig(**config_kwargs))
+    handle = ServerThread(server).start()
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+@contextmanager
+def negotiated(port: int):
+    """A raw socket that has completed binary negotiation; yields
+    ``(sock, reader, hello)``."""
+    with socket.create_connection(("127.0.0.1", port),
+                                  timeout=30.0) as sock:
+        reader = sock.makefile("rb")
+        sock.sendall(MAGIC_LINE)
+        opcode, rid, payload = read_frame(reader)
+        assert opcode == OP_HELLO
+        yield sock, reader, binproto.decode_hello(payload)
+        reader.close()
+
+
+def read_frame(reader) -> tuple[int, int, bytes]:
+    """One validated reply frame from a socket file reader."""
+    head = reader.read(HEADER_SIZE)
+    assert len(head) == HEADER_SIZE, f"short header: {head!r}"
+    magic, opcode, reserved, rid, plen, crc = HEADER.unpack(head)
+    assert magic == FRAME_MAGIC and reserved == 0
+    payload = reader.read(plen) if plen else b""
+    assert len(payload) == plen
+    assert zlib.crc32(payload) == crc
+    return opcode, rid, payload
+
+
+def batch_frame(request_id: int, pairs) -> bytes:
+    return binproto.encode_frame(OP_BATCH, request_id,
+                                 binproto.encode_pairs(pairs))
+
+
+# ---------------------------------------------------------------------
+# unit: encodings and the codec seam
+# ---------------------------------------------------------------------
+
+class TestEncoding:
+    def test_frame_roundtrip(self):
+        frame = binproto.encode_frame(OP_BATCH, 0xDEADBEEF, b"payload")
+        magic, opcode, reserved, rid, plen, crc = HEADER.unpack(
+            frame[:HEADER_SIZE])
+        assert (magic, opcode, reserved) == (FRAME_MAGIC, OP_BATCH, 0)
+        assert rid == 0xDEADBEEF
+        assert plen == 7 and frame[HEADER_SIZE:] == b"payload"
+        assert crc == zlib.crc32(b"payload")
+
+    def test_request_id_is_masked_to_u32(self):
+        frame = binproto.encode_frame(OP_PING, 2**40 + 5)
+        assert HEADER.unpack(frame)[3] == 5
+
+    @pytest.mark.parametrize("count", range(18))
+    def test_bitmap_roundtrip(self, count):
+        answers = [(i * 5) % 3 == 0 for i in range(count)]
+        bitmap = binproto.pack_bitmap(answers)
+        assert len(bitmap) == (count + 7) // 8
+        assert binproto.unpack_bitmap(count, bitmap) == answers
+
+    def test_unpack_bitmap_rejects_short_buffers(self):
+        with pytest.raises(ProtocolError):
+            binproto.unpack_bitmap(9, b"\xff")
+
+    def test_encode_pairs_shape_check(self):
+        assert binproto.encode_pairs([]) == b""
+        assert binproto.encode_pairs([(1, 2)]) == struct.pack("<II", 1, 2)
+        with pytest.raises(ValueError):
+            binproto.encode_pairs([(1, 2, 3)])
+
+    def test_decode_hello_rejects_short_payload(self):
+        with pytest.raises(ProtocolError):
+            binproto.decode_hello(b"\x00" * 11)
+
+    def test_error_code_table_is_a_bijection(self):
+        assert len(set(ERROR_CODES.values())) == len(ERROR_CODES)
+        assert binproto.ERROR_NAMES == {
+            byte: name for name, byte in ERROR_CODES.items()}
+
+    def test_error_frame_unknown_code_maps_to_internal(self):
+        frame = binproto.encode_error_frame(7, "no_such_code", "boom")
+        payload = frame[HEADER_SIZE:]
+        assert payload[0] == ERROR_CODES["internal"]
+        assert payload[1:] == b"boom"
+
+
+class TestCodecs:
+    def test_binary_codec_answers(self):
+        frame = BINARY_CODEC.encode_ok(3, (2, b"\x02"))
+        opcode = frame[1]
+        assert opcode == OP_ANSWERS
+        payload = frame[HEADER_SIZE:]
+        assert struct.unpack_from("<I", payload)[0] == 2
+        assert binproto.unpack_bitmap(2, payload[4:]) == [False, True]
+
+    def test_binary_codec_pong(self):
+        assert BINARY_CODEC.encode_ok(1, "pong")[1] == OP_PONG
+
+    def test_binary_codec_inexpressible_result_is_internal_error(self):
+        frame = BINARY_CODEC.encode_ok(1, {"status": "ok"})
+        assert frame[1] == OP_ERROR
+        assert frame[HEADER_SIZE] == ERROR_CODES["internal"]
+
+    @pytest.mark.parametrize("result", [
+        True, False, [True, False, True], [], "pong",
+        {"status": "ok"}, 42,
+    ])
+    def test_json_codec_matches_encode_message(self, result):
+        line = JSON_CODEC.encode_ok(9, result)
+        assert json.loads(line) == json.loads(encode_message(
+            {"id": 9, "ok": True, "result": result}))
+
+    def test_json_codec_error(self):
+        line = JSON_CODEC.encode_error(2, "bad_request", "nope")
+        reply = json.loads(line)
+        assert reply == {"id": 2, "ok": False, "error": "bad_request",
+                         "message": "nope"}
+
+
+# ---------------------------------------------------------------------
+# live server: negotiation, answers, and the resync contract
+# ---------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def graph():
+    return FAMILIES["sparse-dag"](0)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return build_index(graph, scheme="dual-i")
+
+
+class TestLiveServer:
+    def test_hello_advertises_server_limits(self, index):
+        with serve(index, max_request_pairs=123) as handle, \
+                negotiated(handle.port) as (sock, reader, hello):
+            assert hello["version"] == binproto.BINARY_VERSION
+            assert hello["max_pairs"] == 123
+
+    def test_batch_differential_vs_json_client(self, graph, index):
+        nodes = sorted(graph.nodes())
+        pairs = [(u, v) for u in nodes for v in nodes]
+        with serve(index) as handle:
+            with ReachClient(port=handle.port) as json_client:
+                expected = json_client.query_batch(pairs)
+            with BinaryReachClient(port=handle.port) as client:
+                assert client.query_batch(pairs) == expected
+                assert client.ping() == "pong"
+                u, v = pairs[0]
+                assert client.query(u, v) == expected[0]
+
+    def test_zero_pair_batch(self, index):
+        with serve(index) as handle, \
+                negotiated(handle.port) as (sock, reader, _):
+            sock.sendall(batch_frame(5, []))
+            opcode, rid, payload = read_frame(reader)
+            assert (opcode, rid) == (OP_ANSWERS, 5)
+            assert payload == struct.pack("<I", 0)
+
+    def test_unknown_node_answers_and_keeps_connection(self, graph,
+                                                       index):
+        nodes = sorted(graph.nodes())
+        with serve(index) as handle, \
+                negotiated(handle.port) as (sock, reader, _):
+            sock.sendall(batch_frame(1, [(nodes[0], 10**6)]))
+            opcode, rid, payload = read_frame(reader)
+            assert (opcode, rid) == (OP_ERROR, 1)
+            assert payload[0] == ERROR_CODES["unknown_node"]
+            # The connection keeps serving after the in-sync error.
+            sock.sendall(batch_frame(2, [(nodes[0], nodes[0])]))
+            opcode, rid, payload = read_frame(reader)
+            assert (opcode, rid) == (OP_ANSWERS, 2)
+            assert binproto.unpack_bitmap(1, payload[4:]) == [True]
+
+    def test_unknown_opcode_answers_and_keeps_connection(self, graph,
+                                                         index):
+        nodes = sorted(graph.nodes())
+        with serve(index) as handle, \
+                negotiated(handle.port) as (sock, reader, _):
+            sock.sendall(binproto.encode_frame(0x55, 9, b""))
+            opcode, rid, payload = read_frame(reader)
+            assert (opcode, rid) == (OP_ERROR, 9)
+            assert payload[0] == ERROR_CODES["bad_request"]
+            sock.sendall(batch_frame(10, [(nodes[0], nodes[1])]))
+            assert read_frame(reader)[0] == OP_ANSWERS
+
+    def test_ragged_batch_length_answers_and_keeps_connection(
+            self, graph, index):
+        nodes = sorted(graph.nodes())
+        with serve(index) as handle, \
+                negotiated(handle.port) as (sock, reader, _):
+            sock.sendall(binproto.encode_frame(OP_BATCH, 3, b"\x00" * 12))
+            opcode, rid, payload = read_frame(reader)
+            assert (opcode, rid) == (OP_ERROR, 3)
+            assert payload[0] == ERROR_CODES["bad_request"]
+            sock.sendall(batch_frame(4, [(nodes[0], nodes[1])]))
+            assert read_frame(reader)[0] == OP_ANSWERS
+
+    def test_pair_cap_answers_and_keeps_connection(self, graph, index):
+        nodes = sorted(graph.nodes())
+        with serve(index, max_request_pairs=2) as handle, \
+                negotiated(handle.port) as (sock, reader, _):
+            sock.sendall(batch_frame(
+                7, [(nodes[0], nodes[1])] * 3))
+            opcode, rid, payload = read_frame(reader)
+            assert (opcode, rid) == (OP_ERROR, 7)
+            assert payload[0] == ERROR_CODES["too_large"]
+            sock.sendall(batch_frame(8, [(nodes[0], nodes[1])]))
+            assert read_frame(reader)[0] == OP_ANSWERS
+
+    def test_truncated_frame_closes_silently(self, index):
+        with serve(index) as handle, \
+                negotiated(handle.port) as (sock, reader, _):
+            frame = batch_frame(1, [(0, 1), (1, 2)])
+            sock.sendall(frame[:-5])  # header promises more payload
+            sock.shutdown(socket.SHUT_WR)
+            # Truncation at EOF gets no error reply — just the close.
+            assert reader.read() == b""
+
+    def test_oversized_length_header_errors_then_closes(self, index):
+        with serve(index, max_line_bytes=4096) as handle, \
+                negotiated(handle.port) as (sock, reader, _):
+            sock.sendall(HEADER.pack(FRAME_MAGIC, OP_BATCH, 0, 11,
+                                     1 << 20, 0))
+            opcode, rid, payload = read_frame(reader)
+            assert (opcode, rid) == (OP_ERROR, 11)
+            assert payload[0] == ERROR_CODES["too_large"]
+            assert reader.read() == b""  # connection closed
+
+    def test_crc_mismatch_errors_then_closes(self, index):
+        with serve(index) as handle, \
+                negotiated(handle.port) as (sock, reader, _):
+            frame = bytearray(batch_frame(13, [(0, 1)]))
+            frame[-1] ^= 0xFF  # garble the payload, keep the header
+            sock.sendall(bytes(frame))
+            opcode, rid, payload = read_frame(reader)
+            assert (opcode, rid) == (OP_ERROR, 13)
+            assert payload[0] == ERROR_CODES["bad_request"]
+            assert reader.read() == b""
+
+    def test_bad_magic_errors_then_closes(self, index):
+        with serve(index) as handle, \
+                negotiated(handle.port) as (sock, reader, _):
+            sock.sendall(HEADER.pack(0x42, OP_BATCH, 0, 1, 0, 0))
+            opcode, _, payload = read_frame(reader)
+            assert opcode == OP_ERROR
+            assert payload[0] == ERROR_CODES["bad_request"]
+            assert reader.read() == b""
+
+    def test_ping_frame(self, index):
+        with serve(index) as handle, \
+                negotiated(handle.port) as (sock, reader, _):
+            sock.sendall(binproto.encode_frame(OP_PING, 21))
+            assert read_frame(reader)[:2] == (OP_PONG, 21)
+
+    def test_midstream_renegotiation_rejected_on_json_connection(
+            self, graph, index):
+        nodes = sorted(graph.nodes())
+        with serve(index) as handle, \
+                socket.create_connection(("127.0.0.1", handle.port),
+                                         timeout=30.0) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(encode_message(
+                {"id": 1, "verb": "query", "u": nodes[0],
+                 "v": nodes[0]}))
+            assert json.loads(reader.readline())["ok"] is True
+            # The magic line after a served request must NOT switch
+            # modes: the reply is a JSON error and JSON keeps working.
+            sock.sendall(MAGIC_LINE)
+            reply = json.loads(reader.readline())
+            assert reply["ok"] is False
+            assert reply["error"] == "bad_request"
+            sock.sendall(encode_message(
+                {"id": 2, "verb": "query", "u": nodes[0],
+                 "v": nodes[0]}))
+            assert json.loads(reader.readline())["ok"] is True
+            reader.close()
+
+    def test_loadgen_binary_verified_against_direct_answers(
+            self, graph, index):
+        nodes = sorted(graph.nodes())
+        pairs = [(u, v) for u in nodes for v in nodes][:256]
+        with QueryService(build_index(graph, scheme="dual-i")) as direct:
+            expected = direct.query_batch(pairs)
+        with serve(index) as handle:
+            result = run_loadgen("127.0.0.1", handle.port, pairs,
+                                 connections=2, duration=0.5,
+                                 pipeline=4, batch_size=16,
+                                 expected=expected, protocol="binary")
+        assert result.ok > 0
+        assert result.wrong_answers == 0, result.mismatch_samples
+        assert not result.errors, result.errors
+
+
+# ---------------------------------------------------------------------
+# JSON-only peers: the fallback story
+# ---------------------------------------------------------------------
+
+class _JsonOnlyHandler(socketserver.StreamRequestHandler):
+    """Answers every newline-terminated request with a JSON error —
+    the behaviour of a gateway predating the binary protocol."""
+
+    def handle(self):
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            self.wfile.write(encode_message(
+                {"id": None, "ok": False, "error": "bad_request",
+                 "message": "invalid JSON"}))
+            self.wfile.flush()
+
+
+@contextmanager
+def json_only_server():
+    server = socketserver.ThreadingTCPServer(
+        ("127.0.0.1", 0), _JsonOnlyHandler)
+    server.daemon_threads = True
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.server_address[1]
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class TestJsonOnlyFallback:
+    def test_binary_client_reports_binary_unsupported(self):
+        with json_only_server() as port:
+            with pytest.raises(ServerReplyError) as excinfo:
+                BinaryReachClient(port=port)
+            assert excinfo.value.code == "binary_unsupported"
+
+    def test_loadgen_binary_counts_binary_unsupported(self):
+        with json_only_server() as port:
+            result = run_loadgen("127.0.0.1", port, [(0, 1)],
+                                 connections=2, duration=0.5,
+                                 pipeline=2, batch_size=1,
+                                 protocol="binary")
+        assert result.errors.get("binary_unsupported") == 2
+        assert result.ok == 0
