@@ -29,7 +29,7 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.bench.timing import measure_build_time, measure_query_time
 from repro.bench.workloads import random_query_pairs
 from repro.core.base import build_index
-from repro.datasets import dataset_names, get_spec, load_dataset
+from repro.datasets import TABLE2_SPECS, get_spec, load_dataset
 from repro.graph.condensation import condense
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import gnm_random_digraph, single_rooted_dag
@@ -341,7 +341,10 @@ def table2(names: Sequence[str] | None = None,
     including condensation and MEG, as an end-to-end figure of merit.
     """
     rows = []
-    for name in (names if names is not None else dataset_names()):
+    if names is None:
+        # Table 2 graphs only — scenario packs carry no paper columns.
+        names = list(TABLE2_SPECS)
+    for name in names:
         spec = get_spec(name)
         graph = load_dataset(name, seed=seed)
         _, counters = preprocess(graph)

@@ -223,12 +223,20 @@ def _cmd_serve_load(args: argparse.Namespace) -> int:
                                        format_protocol_report,
                                        format_scaling_report,
                                        format_serve_report,
+                                       format_tenant_report,
                                        run_fleet_smoke,
                                        run_protocol_benchmark,
                                        run_serve_load_benchmark,
                                        run_serve_smoke,
+                                       run_tenant_benchmark,
+                                       run_tenant_smoke,
                                        run_worker_scaling_benchmark)
 
+    if args.tenants > 0:
+        return _cmd_serve_load_tenants(args, run_tenant_smoke,
+                                       run_tenant_benchmark,
+                                       format_tenant_report,
+                                       append_trajectory)
     if args.protocols:
         entry = run_protocol_benchmark(
             nodes=args.nodes, edges=args.edges, seed=args.seed,
@@ -289,6 +297,52 @@ def _cmd_serve_load(args: argparse.Namespace) -> int:
             return 1
         print(f"OK: speedup {speedup:.2f}x >= "
               f"{args.assert_speedup:.2f}x")
+    return 0
+
+
+def _cmd_serve_load_tenants(args: argparse.Namespace, run_tenant_smoke,
+                            run_tenant_benchmark, format_tenant_report,
+                            append_trajectory) -> int:
+    """``serve-load --tenants N``: multi-tenant smoke gate or bench."""
+    if args.smoke:
+        report = run_tenant_smoke(
+            nodes=args.nodes if args.nodes != 600 else 300,
+            edges=args.edges, seed=args.seed, scheme=args.scheme,
+            tenants=args.tenants, workers=max(args.workers, 2),
+            connections=min(args.connections, 2),
+            duration=min(args.duration, 1.5), pipeline=args.pipeline)
+        print(format_kv_table(
+            {k: v for k, v in report.items()
+             if k not in ("streams", "runtime_tenant")},
+            title=f"serve-load multi-tenant smoke "
+                  f"({args.tenants} tenants, "
+                  f"{report['workers']} workers)"))
+        for row in report["streams"]:
+            print(f"  index {row['index']!s:12} "
+                  f"{row['queries']:>7} queries, "
+                  f"{row['wrong_answers']} wrong answers")
+        print(f"[runtime tenant lifecycle verified: id "
+              f"{report['runtime_tenant']['index_id']} created, "
+              f"built (gen {report['runtime_tenant']['generation']}), "
+              f"queried, dropped]")
+        print("OK: zero wrong answers on every tenant stream, "
+              "runtime catalog lifecycle verified, no leaked "
+              "per-index shared-memory segments")
+        return 0
+    entry = run_tenant_benchmark(
+        nodes=args.nodes, edges=args.edges, seed=args.seed,
+        scheme=args.scheme, tenants=args.tenants,
+        connections=args.connections, duration=args.duration,
+        pipeline=args.pipeline, batch_size=args.batch_size,
+        workers=args.workers)
+    print(format_tenant_report(entry))
+    if str(args.out) != "-":
+        append_trajectory(entry, args.out)
+        print(f"[appended to {args.out}]")
+    if entry["wrong_answers"]:
+        print(f"FAIL: {entry['wrong_answers']} wrong answers under "
+              f"multi-tenant load")
+        return 1
     return 0
 
 
@@ -440,6 +494,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                                  "the top fleet reaches RATIO times the "
                                  "single-worker throughput ('auto' = "
                                  "the core-aware floor)")
+    serve_load.add_argument("--tenants", type=int, default=0,
+                            metavar="N",
+                            help="drive N named catalog indexes plus "
+                                 "the default concurrently, one "
+                                 "differentially-verified stream each "
+                                 "(with --smoke: the multi-tenant CI "
+                                 "gate — zero wrong answers per "
+                                 "tenant, runtime catalog lifecycle, "
+                                 "per-index shared-memory leak scan; "
+                                 "composes with --workers)")
 
     kernel = sub.add_parser(
         "kernel",

@@ -50,13 +50,15 @@ from repro.core.service import QueryService
 from repro.core.shm import list_segments
 from repro.graph.generators import single_rooted_dag
 from repro.graph.io import write_edge_list
-from repro.server.client import ReachClient
+from repro.server.client import ReachClient, ServerReplyError
 from repro.server.loadgen import run_loadgen
 from repro.server.server import ReachServer, ServerConfig, ServerThread
 
 __all__ = ["run_serve_load_benchmark", "run_serve_smoke",
            "run_worker_scaling_benchmark", "run_fleet_smoke",
            "run_protocol_benchmark", "format_protocol_report",
+           "run_tenant_benchmark", "run_tenant_smoke",
+           "format_tenant_report",
            "expected_scaling", "format_scaling_report",
            "append_trajectory", "format_serve_report", "SCHEMA"]
 
@@ -84,29 +86,36 @@ def _start_server(index, scheme: str, *, max_batch: int,
 def _server_process(graph_file: Path, scheme: str, *, max_batch: int,
                     max_delay: float, pipeline: int,
                     connections: int,
-                    workers: int = 1) -> Iterator[int]:
+                    workers: int = 1,
+                    tenants: "Sequence[tuple[str, Path]] | None" = None,
+                    ) -> Iterator[int]:
     """``repro-reach serve`` in a subprocess, yielding its bound port.
 
     The benchmark measures the gateway from a *separate* interpreter so
     the load generator and the server do not share one GIL — in-process
     the two fight for the same core and the measured ratio is mostly
     scheduler noise.  ``workers > 1`` serves through the multi-process
-    fleet instead of the single in-process server.
+    fleet instead of the single in-process server.  ``tenants`` adds
+    ``--tenant NAME=GRAPH`` catalog entries (ids 1, 2, ... in order).
     """
     env = dict(os.environ)
     package_root = str(Path(repro.__file__).resolve().parent.parent)
     env["PYTHONPATH"] = package_root + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    command = [
+        sys.executable, "-m", "repro.cli", "serve", str(graph_file),
+        "--scheme", scheme, "--port", "0",
+        "--workers", str(workers),
+        "--max-batch", str(max_batch),
+        "--max-delay-ms", str(max_delay * 1000.0),
+        "--max-pending", "65536",
+        # Headroom over the generator's total in-flight window.
+        "--max-conn-inflight", str(max(64, 2 * pipeline)),
+        "--max-request-pairs", "65536"]
+    for name, tenant_graph in (tenants or ()):
+        command += ["--tenant", f"{name}={tenant_graph}"]
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve", str(graph_file),
-         "--scheme", scheme, "--port", "0",
-         "--workers", str(workers),
-         "--max-batch", str(max_batch),
-         "--max-delay-ms", str(max_delay * 1000.0),
-         "--max-pending", "65536",
-         # Headroom over the generator's total in-flight window.
-         "--max-conn-inflight", str(max(64, 2 * pipeline)),
-         "--max-request-pairs", "65536"],
+        command,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         env=env)
     try:
@@ -621,4 +630,234 @@ def run_fleet_smoke(*, nodes: int = 400, edges: int | None = None,
         "scaling": ratio,
         "expected_scaling": floor,
     })
+    return report
+
+
+def _tenant_fixtures(tmp: str, *, tenants: int, nodes: int,
+                     edges: "int | None", seed: int, scheme: str,
+                     num_pairs: int):
+    """Default + N tenant graphs on disk, with verified query pools.
+
+    Returns ``(graph_file, tenant_specs, streams)`` where
+    ``tenant_specs`` feeds ``--tenant`` flags and ``streams`` is one
+    differentially-verified :func:`run_loadgen_mix` stream per index
+    (default first, then tenants 1..N in catalog-id order).
+    """
+    graph, seed = _make_graph(nodes, edges, seed)
+    graph_file = Path(tmp) / "graph.txt"
+    write_edge_list(graph, graph_file)
+    pairs = random_query_pairs(graph, num_pairs, seed=seed + 1)
+    streams = [{"pairs": pairs,
+                "expected": build_index(graph, scheme=scheme)
+                .reachable_many(pairs)}]
+    tenant_specs: list[tuple[str, Path]] = []
+    for i in range(1, tenants + 1):
+        # Distinct seeds give every tenant its own truth, so a query
+        # routed to the wrong index is caught as a wrong answer.
+        tenant_graph, tenant_seed = _make_graph(nodes, edges, seed + i)
+        tenant_file = Path(tmp) / f"tenant-{i}.txt"
+        write_edge_list(tenant_graph, tenant_file)
+        tenant_specs.append((f"tenant-{i}", tenant_file))
+        tenant_pairs = random_query_pairs(tenant_graph, num_pairs,
+                                          seed=tenant_seed + 1)
+        streams.append({
+            "pairs": tenant_pairs, "index": f"tenant-{i}",
+            "expected": build_index(tenant_graph, scheme=scheme)
+            .reachable_many(tenant_pairs)})
+    return graph_file, tenant_specs, streams
+
+
+def run_tenant_benchmark(*, nodes: int = 600,
+                         edges: int | None = None,
+                         seed: int | None = None,
+                         scheme: str = "dual-i", tenants: int = 4,
+                         connections: int = 32,
+                         duration: float = 2.0, pipeline: int = 8,
+                         batch_size: int = 8, max_batch: int = 512,
+                         max_delay: float = 0.002, workers: int = 1,
+                         num_pairs: int = 20_000) -> dict[str, Any]:
+    """Concurrent multi-tenant throughput through one gateway.
+
+    ``tenants`` named indexes (plus the default) are served from one
+    process and driven *simultaneously* — one differentially-verified
+    loadgen stream per index, all sharing a deadline — so the entry
+    measures cross-tenant interference, not sequential per-tenant
+    peaks.  Records per-tenant throughput, the aggregate, and a
+    fairness ratio (min/max per-tenant queries per second; 1.0 is a
+    perfectly fair gateway).
+    """
+    if tenants < 1:
+        raise ValueError("tenant benchmark needs tenants >= 1")
+    seed0 = nodes if seed is None else seed
+    per_stream = max(1, connections // (tenants + 1))
+    with tempfile.TemporaryDirectory() as tmp:
+        graph_file, tenant_specs, streams = _tenant_fixtures(
+            tmp, tenants=tenants, nodes=nodes, edges=edges, seed=seed0,
+            scheme=scheme, num_pairs=num_pairs)
+        for stream in streams:
+            stream.update(connections=per_stream, pipeline=pipeline,
+                          batch_size=batch_size, latency_sample=4)
+        with _server_process(graph_file, scheme, max_batch=max_batch,
+                             max_delay=max_delay, pipeline=pipeline,
+                             connections=connections, workers=workers,
+                             tenants=tenant_specs) as port:
+            from repro.server.loadgen import run_loadgen_mix
+            results = run_loadgen_mix("127.0.0.1", port, streams,
+                                      duration=duration)
+            with ReachClient(port=port) as client:
+                catalog = client.catalog_list()
+    rows = [result.as_dict() for result in results]
+    per_tenant_qps = [row["queries_per_second"] for row in rows]
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "mode": "multi-tenant",
+        "graph": {"generator": "single_rooted_dag", "nodes": nodes,
+                  "edges": edges, "max_fanout": 5, "seed": seed0},
+        "scheme": scheme,
+        "tenants": tenants,
+        "workers": workers,
+        "duration_seconds": duration,
+        "pipeline": pipeline,
+        "batch_size": batch_size,
+        "connections_per_tenant": per_stream,
+        "rows": rows,
+        "catalog": catalog,
+        "aggregate_qps": sum(per_tenant_qps),
+        "wrong_answers": sum(row["wrong_answers"] for row in rows),
+        "fairness": (min(per_tenant_qps) / max(per_tenant_qps)
+                     if max(per_tenant_qps) > 0 else 0.0),
+    }
+
+
+def format_tenant_report(entry: dict[str, Any]) -> str:
+    """Human-readable table for one multi-tenant trajectory entry."""
+    from repro.bench.reporting import format_markdown_table
+
+    return "\n".join([
+        f"multi-tenant serve-load — {entry['tenants']} tenants + "
+        f"default, scheme={entry['scheme']}, "
+        f"workers={entry['workers']}, "
+        f"{entry['duration_seconds']}s concurrent drive, "
+        f"{entry['connections_per_tenant']} connections/tenant, "
+        f"{entry['batch_size']} pairs/request",
+        "",
+        format_markdown_table(
+            entry["rows"],
+            ["index", "queries", "queries_per_second", "errors",
+             "wrong_answers", "latency_p50_ms", "latency_p99_ms"]),
+        "",
+        f"[aggregate {entry['aggregate_qps']:,.0f} queries/s across "
+        f"{entry['tenants'] + 1} indexes, fairness "
+        f"{entry['fairness']:.2f} (min/max per-tenant qps), "
+        f"{entry['wrong_answers']} wrong answers]",
+    ])
+
+
+def run_tenant_smoke(*, nodes: int = 300, edges: int | None = None,
+                     seed: int | None = None, scheme: str = "dual-i",
+                     tenants: int = 2, workers: int = 2,
+                     connections: int = 2, duration: float = 1.5,
+                     pipeline: int = 4) -> dict[str, Any]:
+    """The CI gate for multi-tenant serving (``--tenants N --smoke``).
+
+    Drives a ``--workers N`` fleet carrying ``tenants`` startup
+    catalog entries with one verified stream per index (JSON by name
+    and, for tenant 1, binary frames by catalog id), exercises the
+    full runtime catalog lifecycle (create → build → query → drop),
+    and — after shutdown — asserts no per-index shared-memory segment
+    leaked.
+
+    Raises
+    ------
+    AssertionError
+        On any wrong answer, any protocol error, a catalog op that
+        does not take effect on every index, or a leaked segment.
+    """
+    from repro.server.loadgen import run_loadgen_mix
+
+    seed0 = nodes if seed is None else seed
+    before = set(list_segments())
+    report: dict[str, Any] = {"tenants": tenants, "workers": workers}
+    with tempfile.TemporaryDirectory() as tmp:
+        graph_file, tenant_specs, streams = _tenant_fixtures(
+            tmp, tenants=tenants, nodes=nodes, edges=edges, seed=seed0,
+            scheme=scheme, num_pairs=4000)
+        for stream in streams:
+            stream.update(connections=connections, pipeline=pipeline,
+                          batch_size=4, latency_sample=4)
+        # Tenant 1 additionally drives binary frames by catalog id —
+        # startup tenants get ids 1..N in --tenant flag order.
+        streams.append(dict(streams[1], index=1, protocol="binary"))
+        with _server_process(graph_file, scheme, max_batch=512,
+                             max_delay=0.002, pipeline=pipeline,
+                             connections=connections, workers=workers,
+                             tenants=tenant_specs) as port:
+            with ReachClient(port=port) as client:
+                names = [row["name"] for row in client.catalog_list()]
+                assert names == ["default"] + [
+                    name for name, _ in tenant_specs], (
+                    f"startup catalog mismatch: {names}")
+            results = run_loadgen_mix("127.0.0.1", port, streams,
+                                      duration=duration)
+            for result in results:
+                row = result.as_dict()
+                assert result.completed > 0, (
+                    f"stream {row['index']} completed no requests")
+                assert not result.errors, (
+                    f"protocol errors on stream {row['index']}: "
+                    f"{result.errors}")
+                assert result.wrong_answers == 0, (
+                    f"{result.wrong_answers} wrong answers on stream "
+                    f"{row['index']} — cross-tenant leakage? first: "
+                    f"{result.mismatch_samples[:3]}")
+            report["streams"] = [r.as_dict() for r in results]
+            # Runtime lifecycle: a tenant created, built, queried, and
+            # dropped while the fleet serves.
+            with ReachClient(port=port, timeout=60.0) as client:
+                created = client.catalog("create", name="smoke-extra",
+                                         scheme=scheme)
+                built = client.catalog("build", name="smoke-extra",
+                                       graph=str(graph_file))
+                assert built["swapped"], f"runtime build failed: {built}"
+                probe_pairs = streams[0]["pairs"][:32]
+                probe = client.query_batch(
+                    [list(p) for p in probe_pairs],
+                    index="smoke-extra")
+                assert probe == streams[0]["expected"][:32], (
+                    "runtime tenant answers diverge from the direct "
+                    "index")
+                client.catalog("drop", name="smoke-extra")
+                try:
+                    client.query(0, 1, index="smoke-extra")
+                except ServerReplyError as exc:
+                    assert exc.code == "unknown_index", exc
+                else:
+                    raise AssertionError(
+                        "dropped tenant still answers queries")
+                report["runtime_tenant"] = {
+                    "index_id": created["index_id"],
+                    "generation": built["generation"]}
+            # Per-tenant admission counters carried traffic.  Counters
+            # are per worker process and fresh connections land on an
+            # arbitrary worker, so accumulate across a few samples.
+            admitted: dict[str, int] = {}
+            for _ in range(12):
+                with ReachClient(port=port) as client:
+                    for row in client.stats()["catalog"]:
+                        admitted[row["name"]] = max(
+                            admitted.get(row["name"], 0),
+                            row["admitted"])
+                if all(admitted.get(name, 0) > 0
+                       for name, _ in tenant_specs):
+                    break
+            assert all(admitted.get(name, 0) > 0
+                       for name, _ in tenant_specs), (
+                f"per-tenant admission counters missing traffic: "
+                f"{admitted}")
+    leaked = set(list_segments()) - before
+    assert not leaked, (
+        f"per-index shared-memory segments leaked after shutdown: "
+        f"{sorted(leaked)}")
+    report["aggregate_qps"] = sum(
+        row["queries_per_second"] for row in report["streams"])
     return report

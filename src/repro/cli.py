@@ -44,7 +44,10 @@ Examples
     repro-reach query g.txt --pairs-file queries.csv
     repro-reach query g.txt --random 1000 --scheme dual-ii
     repro-reach serve g.txt --port 7421 --max-batch 512
+    repro-reach serve g.txt --port 7421 --tenant teamA=a.txt --workers 4
     repro-reach loadgen --port 7421 --graph g.txt --connections 32
+    repro-reach loadgen --port 7421 --graph a.txt --index teamA --verify
+    repro-reach chaos --isolation --workers 2
     repro-reach loadgen --port 7421 --graph g.txt --verify
     repro-reach serve g.txt --port 7421 --metrics-port 9109
     repro-reach top --port 7421 --once
@@ -191,6 +194,27 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant(text: str) -> tuple[str, str]:
+    name, sep, source = text.partition("=")
+    if not sep or not name or not source:
+        raise argparse.ArgumentTypeError(
+            f"tenant must look like 'NAME=GRAPH_FILE', got {text!r}")
+    return name, source
+
+
+def _build_tenants(args: argparse.Namespace) -> list[dict]:
+    """Build the startup tenant indexes for ``serve --tenant``."""
+    tenants = []
+    for name, source in args.tenant or ():
+        graph = read_edge_list(source)
+        tenants.append({
+            "name": name,
+            "index": build_index(graph, scheme=args.scheme),
+            "scheme": args.scheme,
+        })
+    return tenants
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -206,8 +230,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         graph = read_edge_list(args.graph)
         index = build_index(graph, scheme=args.scheme)
         scheme = args.scheme
+    tenants = _build_tenants(args)
     if args.workers > 1:
-        return _serve_fleet(args, index, scheme)
+        return _serve_fleet(args, index, scheme, tenants)
     config = ServerConfig(
         host=args.host, port=args.port, max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1000.0,
@@ -223,6 +248,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         executor_workers=args.executor_threads)
     server = ReachServer(QueryService(index), scheme=scheme,
                          config=config)
+    for spec in tenants:
+        # Pre-start install: the event loop is not running yet, so
+        # registering and loading the startup tenants here is safe.
+        entry = server.catalog.create(spec["name"],
+                                      scheme=spec["scheme"])
+        label = server.catalog.check_budget(entry, spec["index"])
+        server.catalog.install(entry, QueryService(spec["index"]),
+                               scheme=spec["scheme"],
+                               label_bytes=label)
 
     async def _serve() -> None:
         await server.start()
@@ -232,6 +266,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f" — max_batch={config.max_batch}, "
               f"max_delay={config.max_delay * 1000:.1f}ms, "
               f"policy={config.policy}  (ctrl-c to stop)", flush=True)
+        if tenants:
+            print("tenants: "
+                  + ", ".join(spec["name"] for spec in tenants),
+                  flush=True)
         if config.metrics_port is not None:
             print(f"Prometheus scrape endpoint on "
                   f"http://{config.host}:{server.metrics_port}/metrics",
@@ -248,7 +286,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_fleet(args: argparse.Namespace, index, scheme: str) -> int:
+def _serve_fleet(args: argparse.Namespace, index, scheme: str,
+                 tenants: list[dict]) -> int:
     """``serve --workers N``: the SO_REUSEPORT worker fleet."""
     import signal
     import threading
@@ -275,7 +314,8 @@ def _serve_fleet(args: argparse.Namespace, index, scheme: str) -> int:
         executor_workers=args.executor_threads)
     fleet = WorkerFleet(index, scheme=scheme, workers=args.workers,
                         host=args.host, port=args.port,
-                        server_options=server_options)
+                        server_options=server_options,
+                        tenants=tenants)
     # A SIGTERM (systemd stop, `timeout`, docker stop) must run the
     # same clean shutdown as ctrl-c, or the published shared-memory
     # generation leaks in /dev/shm.
@@ -293,6 +333,10 @@ def _serve_fleet(args: argparse.Namespace, index, scheme: str) -> int:
               f"policy={args.policy}  (ctrl-c to stop)", flush=True)
         print(f"shared-memory index segment {fleet.segment} "
               f"(pids {fleet.pids()})", flush=True)
+        if tenants:
+            print("tenants: "
+                  + ", ".join(spec["name"] for spec in tenants),
+                  flush=True)
         done.wait()
         print("\nfleet stopped")
     except KeyboardInterrupt:
@@ -331,13 +375,28 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         with QueryService(build_index(graph,
                                       scheme=args.scheme)) as service:
             expected = [bool(a) for a in service.query_batch(pairs)]
+    index_target: "str | int | None" = args.index
+    if index_target is not None and args.protocol == "binary":
+        # Binary frames address catalog entries by numeric id; resolve
+        # the name with one management-plane round trip.
+        from repro.server.client import ReachClient
+
+        with ReachClient(args.host, args.port) as client:
+            rows = {row["name"]: row["index_id"]
+                    for row in client.catalog_list()}
+        if index_target not in rows:
+            print(f"unknown index {index_target!r}; server has: "
+                  f"{', '.join(sorted(rows))}", file=sys.stderr)
+            return 2
+        index_target = rows[index_target]
     result = run_loadgen(args.host, args.port, pairs,
                          connections=args.connections,
                          duration=args.duration,
                          pipeline=args.pipeline,
                          batch_size=args.batch_size, rate=args.rate,
                          latency_sample=args.latency_sample,
-                         expected=expected, protocol=args.protocol)
+                         expected=expected, protocol=args.protocol,
+                         index=index_target)
     print(format_kv_table(
         result.as_dict(),
         title=f"loadgen — {args.host}:{args.port}, "
@@ -379,6 +438,23 @@ def _format_top(doc: dict, slow: int) -> list[str]:
         f"mean_pairs={batcher.get('mean_flush_pairs', 0.0):.1f}  "
         f"shed={batcher.get('shed_requests', 0)}",
     ]
+    catalog = doc.get("catalog", [])
+    if len(catalog) > 1:
+        # Only worth screen space once named tenants exist; the lone
+        # default entry is already summarised by the lines above.
+        lines.append("tenant       id  gen  admitted      shed  "
+                     "inflight  label_mb")
+        for entry in catalog:
+            label_mb = (entry.get("label_bytes") or 0) / 1e6
+            lines.append(
+                f"  {entry.get('name', '?'):10s}"
+                f" {entry.get('index_id', 0):3d}"
+                f" {entry.get('generation', 0):4d}"
+                f" {entry.get('admitted', 0):9d}"
+                f" {entry.get('shed', 0):9d}"
+                f" {entry.get('inflight', 0):9d}"
+                f" {label_mb:9.2f}"
+                + ("" if entry.get("loaded") else "  (empty)"))
     stages = doc.get("stages", {})
     if stages:
         lines.append("stage        p50_ms    p95_ms    p99_ms    max_ms")
@@ -434,12 +510,22 @@ def _cmd_metrics_smoke(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import tempfile
 
-    from repro.testing.chaos import run_chaos_soak
+    from repro.testing.chaos import (
+        run_chaos_soak,
+        run_tenant_isolation_soak,
+    )
 
     if args.smoke:
         # CI-sized soak: short, small graph, but still every fault kind.
         args.duration = min(args.duration, 6.0)
         args.nodes = min(args.nodes, 100)
+    if args.isolation:
+        report = run_tenant_isolation_soak(
+            seed=args.seed, duration=args.duration, nodes=args.nodes,
+            scheme=args.scheme, workers=max(args.workers, 2),
+            p99_limit=args.p99_limit)
+        print("\n".join(report.summary_lines()))
+        return 0 if report.ok() else 1
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
         report = run_chaos_soak(
             seed=args.seed, duration=args.duration, nodes=args.nodes,
@@ -605,6 +691,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="per-connection in-flight request cap")
     serve.add_argument("--request-timeout", type=float, default=30.0,
                        help="seconds before a request times out")
+    serve.add_argument("--tenant", type=_parse_tenant,
+                       action="append", metavar="NAME=GRAPH",
+                       help="also serve GRAPH as the named catalog "
+                            "entry (repeatable; built with --scheme; "
+                            "manage at runtime via the catalog verb)")
     serve.add_argument("--workers", type=int, default=1,
                        help="worker processes sharing the port via "
                             "SO_REUSEPORT, each attaching the index "
@@ -661,6 +752,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                               "length-prefixed binary frames "
                               "(struct-packed pairs in, answer "
                               "bitmaps out)")
+    loadgen.add_argument("--index", default=None,
+                         help="target a named catalog entry instead of "
+                              "the default index (binary protocol "
+                              "resolves the name to its numeric id "
+                              "first)")
     loadgen.add_argument("--verify", action="store_true",
                          help="differentially check every reply against "
                               "a locally built index (needs --graph); "
@@ -722,6 +818,14 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="wire protocol the verified load speaks; "
                             "binary exercises frame resync under "
                             "garble/truncation faults")
+    chaos.add_argument("--isolation", action="store_true",
+                       help="run the cross-tenant isolation soak "
+                            "instead: tenant A floods past its quota "
+                            "while workers are killed; tenant B must "
+                            "stay correct and fast")
+    chaos.add_argument("--p99-limit", type=float, default=2.0,
+                       help="isolation soak: multiple of the quiet "
+                            "baseline p99 the victim tenant may reach")
     chaos.add_argument("--smoke", action="store_true",
                        help="CI-sized run (caps duration and nodes)")
 

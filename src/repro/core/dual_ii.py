@@ -73,6 +73,41 @@ class DualIILabelArrays(LabelArrays):
             self._band[cv], self._band_valid[cv]) > 0
         return tree_path | nontree | (cu == cv)
 
+    def query_components_into(self, cu: np.ndarray, cv: np.ndarray,
+                              out: np.ndarray, scratch: dict) -> None:
+        """Theorem 2 evaluated in place — the fast kernel's rank path.
+
+        Bit-identical to :meth:`query_components`, but every
+        intermediate lives in the caller's ``scratch`` buffers:
+        ``"i1"/"i2"/"i3"`` (int64) and ``"b1"/"b2"`` (bool) of at least
+        ``n`` elements plus the ``"p"`` probe staging buffer (int64,
+        ``2 * n``) for the search tree's
+        :meth:`~repro.core.tlc_searchtree.TLCSearchTree.positive_diff_encoded_into`.
+        """
+        n = cu.shape[0]
+        i1 = scratch["i1"][:n]
+        i2 = scratch["i2"][:n]
+        i3 = scratch["i3"][:n]
+        b1 = scratch["b1"][:n]
+        b2 = scratch["b2"][:n]
+        # Tree path: a1 <= a2 < b1, then the reflexive u == v term.
+        np.take(self.starts, cu, out=i1)
+        np.take(self.starts, cv, out=i2)
+        np.take(self.ends, cu, out=i3)
+        np.less_equal(i1, i2, out=b1)
+        np.less(i2, i3, out=b2)
+        np.logical_and(b1, b2, out=out)
+        np.equal(cu, cv, out=b1)
+        np.logical_or(out, b1, out=out)
+        # Non-tree path through the precomputed per-component plan.
+        np.take(self._off_start, cu, out=i1)
+        np.take(self._off_end, cu, out=i2)
+        np.take(self._band, cv, out=i3)
+        np.take(self._band_valid, cv, out=b1)
+        self.tree.positive_diff_encoded_into(
+            i1, i2, i3, b1, out=b2, probes=scratch["p"][:2 * n])
+        np.logical_or(out, b2, out=out)
+
 
 @register_scheme
 class DualIIIndex(ReachabilityIndex):

@@ -16,8 +16,11 @@ the whole request can stay inside preallocated numpy buffers:
 * the scheme kernel runs **in place** — Dual-I via
   :meth:`~repro.core.dual_i.DualILabelArrays.query_components_into`
   (interval containment + TLC probe with zero fresh allocations),
-  other schemes via their ordinary ``query_components`` copied into
-  the answer buffer;
+  Dual-II via
+  :meth:`~repro.core.dual_ii.DualIILabelArrays.query_components_into`
+  (interval containment + rank-table probes of the TLC search tree,
+  staged through a reused encoded-probe buffer), other schemes via
+  their ordinary ``query_components`` copied into the answer buffer;
 * the reply bitmap is ``np.packbits`` straight off the answer buffer —
   no intermediate Python bool lists.
 
@@ -46,6 +49,7 @@ import numpy as np
 
 from repro.core.base import LabelArrays
 from repro.core.dual_i import DualILabelArrays
+from repro.core.dual_ii import DualIILabelArrays
 from repro.exceptions import QueryError
 
 __all__ = ["FastKernel", "compiled_available"]
@@ -115,6 +119,7 @@ class FastKernel:
         self._lookup_size = lookup.shape[0]
         self._complete = arrays.lookup_complete
         self._inplace = isinstance(arrays, DualILabelArrays)
+        self._rank = isinstance(arrays, DualIILabelArrays)
         ext = None
         if use_compiled is None:
             if self._inplace and _compiled_enabled():
@@ -154,11 +159,15 @@ class FastKernel:
 
     @property
     def mode(self) -> str:
-        """``"compiled"``, ``"inplace"`` or ``"generic"`` — which
-        evaluation path this kernel runs (stats / bench label)."""
+        """``"compiled"``, ``"inplace"``, ``"rank"`` or ``"generic"``
+        — which evaluation path this kernel runs (stats / bench
+        label).  ``"rank"`` is Dual-II's in-place path: interval
+        containment plus rank-table probes of the TLC search tree."""
         if self._ext is not None:
             return "compiled"
-        return "inplace" if self._inplace else "generic"
+        if self._inplace:
+            return "inplace"
+        return "rank" if self._rank else "generic"
 
     # ------------------------------------------------------------------
     def _ensure(self, n: int) -> None:
@@ -175,6 +184,10 @@ class FastKernel:
             "b1": np.empty(cap, dtype=bool),
             "b2": np.empty(cap, dtype=bool),
         }
+        if self._rank:
+            # Dual-II's encoded-probe staging buffer (two probes per
+            # query — see TLCSearchTree.positive_diff_encoded_into).
+            self._scratch["p"] = np.empty(2 * cap, dtype=np.int64)
         self._out = np.empty(cap, dtype=bool)
         self._cap = cap
 
@@ -210,7 +223,7 @@ class FastKernel:
                 cu, cv, arrays.starts, arrays.ends, arrays.label_x,
                 arrays.label_y, arrays.label_z, arrays._flat_matrix,
                 arrays._ncols, out.view(np.uint8))
-        elif self._inplace:
+        elif self._inplace or self._rank:
             arrays.query_components_into(cu, cv, out, self._scratch)
         else:
             np.copyto(out, arrays.query_components(cu, cv))

@@ -54,6 +54,8 @@ __all__ = [
     "attach_index",
     "list_segments",
     "publish_index",
+    "stale_segments",
+    "sweep_stale_segments",
 ]
 
 MAGIC = b"RPROSHM1"
@@ -202,3 +204,89 @@ def list_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
         return []
     return sorted(entry.name for entry in root.iterdir()
                   if entry.name.startswith(prefix))
+
+
+def _owner_pid(name: str, prefix: str = SEGMENT_PREFIX) -> "int | None":
+    """The publishing pid embedded in a default-shaped segment name.
+
+    Default and fleet names look like ``repro-idx-<pid>-<nonce>[...]``;
+    explicitly named segments (tests, tooling) need not carry a pid and
+    return ``None`` — the sweep never touches those.
+    """
+    if not name.startswith(prefix):
+        return None
+    head = name[len(prefix):].split("-", 1)[0]
+    return int(head) if head.isdigit() else None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    return True
+
+
+def _is_repro_segment(name: str) -> bool:
+    """Whether segment ``name`` carries the publication magic.
+
+    The guard before any sweep unlink: a name-prefix collision from an
+    unrelated program must never be deleted on our behalf.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return False
+    _untrack(shm)
+    try:
+        if shm.size < _HEADER.size:
+            return False
+        magic, _length = _HEADER.unpack_from(shm.buf, 0)
+        return magic == MAGIC
+    finally:
+        shm.close()
+
+
+def stale_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Segments whose publishing process no longer exists.
+
+    A segment is *stale* when its name embeds an owner pid that is no
+    longer alive **and** its header carries the publication
+    :data:`MAGIC` — the double check (pid liveness + magic) means a
+    recycled pid or a foreign name-prefix collision is never flagged.
+    Segments published under explicit non-pid names are skipped.
+    """
+    return [name for name in list_segments(prefix)
+            if (pid := _owner_pid(name, prefix)) is not None
+            and not _pid_alive(pid)
+            and _is_repro_segment(name)]
+
+
+def sweep_stale_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Unlink segments leaked by a dead publisher; return their names.
+
+    ``serve --workers`` only unlinks its generations on a clean
+    shutdown — a SIGKILLed or OOM-killed parent leaves its segments
+    behind in ``/dev/shm``.  The fleet runs this sweep at startup so
+    one abnormal exit never turns into a permanent leak.  Only
+    segments :func:`stale_segments` proves dead-owned are touched.
+    """
+    removed = []
+    for name in stale_segments(prefix):
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError):  # pragma: no cover - race
+            continue
+        _untrack(shm)
+        try:
+            shm.close()
+            resource_tracker.register(shm._name, "shared_memory")
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - swept elsewhere
+            continue
+        except Exception:  # pragma: no cover - tracker internals moved
+            continue
+        removed.append(name)
+    return removed

@@ -209,6 +209,34 @@ class TLCSearchTree:
         n = band.shape[0]
         return np.where(valid, pos[n:] - pos[:n].astype(np.int64), 0)
 
+    def positive_diff_encoded_into(self, off_first: np.ndarray,
+                                   off_second: np.ndarray,
+                                   band: np.ndarray, valid: np.ndarray,
+                                   out: np.ndarray,
+                                   probes: np.ndarray) -> None:
+        """``count_diff_encoded(...) > 0`` written into ``out``.
+
+        The fast kernel's allocation-light form: the caller supplies the
+        ``probes`` staging buffer (int64, length ``2 * n``) and the
+        boolean ``out``; encoded probes are built with ``np.add(...,
+        out=)`` and the sign test compares the two in-row insertion
+        points directly, so no int64 difference array is materialised.
+        The rank lookup itself (``searchsorted`` or the LUT gather) has
+        no ``out=`` form and remains the one per-call allocation.
+        """
+        _row_ys, _row_ends, keys, _min_tail, _base = self._vectorised()
+        n = band.shape[0]
+        if keys.size == 0 or n == 0:
+            out[:n] = False
+            return
+        np.add(band, off_first, out=probes[:n])
+        np.add(band, off_second, out=probes[n:2 * n])
+        pos = self._key_search(probes[:2 * n], keys,
+                               self._direct_tables())
+        # diff = pos[n:] - pos[:n]; only its sign matters here.
+        np.greater(pos[n:], pos[:n], out=out)
+        np.logical_and(out, valid, out=out)
+
     def count_diff_many(self, x_first: np.ndarray, x_second: np.ndarray,
                         ys: np.ndarray) -> np.ndarray:
         """Vectorised ``N(x_first, y) - N(x_second, y)`` per position.

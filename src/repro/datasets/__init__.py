@@ -11,13 +11,27 @@ from repro.datasets.registry import (
     get_spec,
     load_dataset,
 )
+from repro.datasets.scenarios import (
+    SCENARIO_SPECS,
+    ScenarioSpec,
+    build_scenario_graph,
+    dependency_resolution_dag,
+    netlist_dataflow_dag,
+    scenario_names,
+)
 from repro.datasets.synthetic import DatasetSpec, build_calibrated_graph
 
 __all__ = [
     "TABLE2_SPECS",
+    "SCENARIO_SPECS",
     "dataset_names",
+    "scenario_names",
     "get_spec",
     "load_dataset",
+    "build_scenario_graph",
+    "netlist_dataflow_dag",
+    "dependency_resolution_dag",
     "DatasetSpec",
+    "ScenarioSpec",
     "build_calibrated_graph",
 ]

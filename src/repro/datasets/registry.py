@@ -1,13 +1,21 @@
-"""Dataset registry: the Table 2 graphs by name.
+"""Dataset registry: the Table 2 graphs and scenario packs by name.
 
 ``load_dataset("AgroCyc")`` returns the calibrated stand-in graph for the
 paper's AgroCyc export (see :mod:`repro.datasets.synthetic` for why these
 are synthetic and what is preserved).  Calibration targets are the
-paper's Table 2 columns, verbatim.
+paper's Table 2 columns, verbatim.  The workload-shaped scenario packs
+of :mod:`repro.datasets.scenarios` resolve through the same
+``load_dataset`` entry point, so benchmarks and harnesses can name any
+registered graph uniformly.
 """
 
 from __future__ import annotations
 
+from repro.datasets.scenarios import (
+    SCENARIO_SPECS,
+    build_scenario_graph,
+    scenario_names,
+)
 from repro.datasets.synthetic import DatasetSpec, build_calibrated_graph
 from repro.exceptions import DatasetError
 from repro.graph.digraph import DiGraph
@@ -61,12 +69,15 @@ TABLE2_SPECS: dict[str, DatasetSpec] = {
 
 
 def dataset_names() -> list[str]:
-    """Registered dataset names, in Table 2 order."""
-    return list(TABLE2_SPECS)
+    """Registered graph names: Table 2 order, then scenario packs."""
+    return list(TABLE2_SPECS) + scenario_names()
 
 
 def get_spec(name: str) -> DatasetSpec:
-    """Calibration spec of a dataset.
+    """Calibration spec of a Table 2 dataset.
+
+    Scenario packs carry no Table 2 calibration columns; they resolve
+    only through :func:`load_dataset`.
 
     Raises
     ------
@@ -82,5 +93,8 @@ def get_spec(name: str) -> DatasetSpec:
 
 
 def load_dataset(name: str, seed: int = 0) -> DiGraph:
-    """Build the calibrated stand-in graph for dataset ``name``."""
+    """Build the graph registered under ``name`` (Table 2 stand-in or
+    scenario pack)."""
+    if name in SCENARIO_SPECS:
+        return build_scenario_graph(name, seed=seed)
     return build_calibrated_graph(get_spec(name), seed=seed)

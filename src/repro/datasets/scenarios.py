@@ -1,0 +1,183 @@
+"""Scenario packs: workload-shaped DAG generators beyond Table 2.
+
+The Table 2 stand-ins replay the paper's graphs; the scenario packs
+model the *consumers* the serving stack now targets:
+
+* ``netlist-dataflow`` — a hardware netlist / HLS dataflow DAG in the
+  shape hwtHls's reachability pass walks: long combinational pipelines
+  of narrow stages, one driving operation per value (the tree edge)
+  and only occasional bypass/forwarding taps, so the spanning tree
+  covers almost every edge and ``t`` (non-tree edges) stays tiny —
+  dual labeling's best case.
+* ``dependency-resolution`` — a package/constraint dependency DAG in
+  the shape configuration-synthesis resolvers query: shallow and very
+  wide, thousands of leaf packages funnelling through shared
+  mid-stack libraries onto a handful of base runtimes.  Every shared
+  base closes diamonds, so the edge ratio is high and many edges
+  survive as non-tree — the stress case for the TLC structures.
+
+Both generators emit simple DAGs over the dense node space
+``0..n-1`` (ids assigned in topological order), so every index
+scheme, the fast kernel, and the binary wire protocol apply directly,
+and a seed makes each graph exactly reproducible.  They register in
+:mod:`repro.datasets.registry`, making them loadable anywhere a
+dataset name is accepted (``repro generate --dataset``, bench
+harnesses, the chaos/differential soaks).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import DatasetError
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "SCENARIO_SPECS",
+    "ScenarioSpec",
+    "build_scenario_graph",
+    "dependency_resolution_dag",
+    "netlist_dataflow_dag",
+    "scenario_names",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Registry entry of one scenario generator."""
+
+    name: str
+    description: str
+    #: Node count used when a caller loads the scenario by name
+    #: without sizing it explicitly.
+    default_nodes: int
+
+
+def netlist_dataflow_dag(nodes: int, seed: int = 0) -> DiGraph:
+    """A deep, narrow netlist/dataflow DAG (high tree-edge ratio).
+
+    Nodes are operations arranged in pipeline stages of width ``≈
+    max(2, n^0.35)``.  Each operation reads one value produced by the
+    previous stage (its tree edge) and, with small probability, taps
+    an earlier stage's value (a bypass — the non-tree edge).  The
+    result is the hwtHls shape: depth ``Θ(n / width)``, edge count
+    ``≈ 1.15 n``, and a spanning tree covering ~87% of edges.
+    """
+    if nodes < 2:
+        raise DatasetError(f"scenario graphs need >= 2 nodes, got {nodes}")
+    rng = random.Random(seed)
+    width = max(2, round(nodes ** 0.35))
+    graph = DiGraph()
+    graph.add_nodes(range(nodes))
+    stages: list[list[int]] = []
+    for node in range(nodes):
+        stage = node // width
+        if stage == len(stages):
+            stages.append([])
+        stages[stage].append(node)
+        if stage == 0:
+            continue
+        # The driving operation: one tree edge from the previous stage.
+        graph.add_edge(rng.choice(stages[stage - 1]), node)
+        # Occasional bypass taps from any strictly earlier stage keep
+        # the non-tree edge count low but non-zero.
+        if stage >= 2 and rng.random() < 0.15:
+            tap_stage = rng.randrange(stage - 1)
+            graph.add_edge(rng.choice(stages[tap_stage]), node)
+    return graph
+
+
+def dependency_resolution_dag(nodes: int, seed: int = 0) -> DiGraph:
+    """A wide, diamond-heavy package-dependency DAG.
+
+    Five layers sized base → apps as ``2% / 8% / 15% / 25% / 50%`` of
+    ``n``; every package depends on 2–5 packages from strictly lower
+    layers, drawn with preferential attachment so popular libraries
+    are shared by many dependents — each shared library closes
+    diamonds.  Edges point dependent → dependency (higher id → lower
+    id), so "can package ``p`` pull in package ``q``?" is exactly a
+    reachability query.
+    """
+    if nodes < 5:
+        raise DatasetError(f"scenario graphs need >= 5 nodes, got {nodes}")
+    rng = random.Random(seed)
+    fractions = (0.02, 0.08, 0.15, 0.25, 0.50)
+    sizes = [max(1, round(nodes * f)) for f in fractions]
+    sizes[-1] += nodes - sum(sizes)  # exact total, slack into the apps
+    graph = DiGraph()
+    graph.add_nodes(range(nodes))
+    # Preferential-attachment pool: a node appears once per incoming
+    # dependency edge (plus once at birth), so popular bases dominate.
+    pool: list[int] = []
+    boundary = 0  # nodes below this id sit in strictly lower layers
+    node = 0
+    for layer, size in enumerate(sizes):
+        first = node
+        for _ in range(size):
+            if layer:
+                want = rng.randint(2, 5)
+                deps: set[int] = set()
+                for _ in range(want * 3):  # rejection-sample duplicates
+                    if len(deps) == want:
+                        break
+                    pick = (rng.choice(pool) if pool and rng.random() < 0.7
+                            else rng.randrange(boundary))
+                    deps.add(pick)
+                for dep in deps:
+                    graph.add_edge(node, dep)
+                    pool.append(dep)
+            node += 1
+        # A layer's packages only become eligible dependencies once the
+        # layer closes — dependencies stay strictly cross-layer, so the
+        # DAG depth is capped by the number of layers.
+        pool.extend(range(first, node))
+        boundary = first + size
+    return graph
+
+
+_BUILDERS = {
+    "netlist-dataflow": netlist_dataflow_dag,
+    "dependency-resolution": dependency_resolution_dag,
+}
+
+#: The registered scenario packs, keyed by name.
+SCENARIO_SPECS: dict[str, ScenarioSpec] = {
+    "netlist-dataflow": ScenarioSpec(
+        name="netlist-dataflow",
+        description=("HLS netlist/dataflow pipeline: deep, narrow, "
+                     "~87% tree edges (hwtHls reachability-pass shape)"),
+        default_nodes=4000,
+    ),
+    "dependency-resolution": ScenarioSpec(
+        name="dependency-resolution",
+        description=("package/constraint dependency DAG: shallow, "
+                     "wide, diamond-heavy via shared base libraries"),
+        default_nodes=3000,
+    ),
+}
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, in registration order."""
+    return list(SCENARIO_SPECS)
+
+
+def build_scenario_graph(name: str, *, nodes: int | None = None,
+                         seed: int = 0) -> DiGraph:
+    """Build scenario ``name`` at ``nodes`` size (spec default if
+    ``None``).
+
+    Raises
+    ------
+    DatasetError
+        For unknown scenario names.
+    """
+    try:
+        spec = SCENARIO_SPECS[name]
+    except KeyError:
+        known = ", ".join(SCENARIO_SPECS)
+        raise DatasetError(
+            f"unknown scenario {name!r}; available: {known}") from None
+    return _BUILDERS[name](nodes if nodes is not None
+                           else spec.default_nodes, seed)

@@ -10,6 +10,9 @@ concrete subclasses keep failure modes distinguishable:
   containing a cycle.
 * :class:`IndexBuildError` — an index could not be constructed from its
   input (internal invariant violated during labeling).
+* :class:`IndexBudgetExceeded` — an index's label footprint exceeds the
+  budget its tenant is allowed (multi-tenant admission at build/load
+  time).
 * :class:`QueryError` — a reachability query referenced a vertex the index
   has never seen.
 * :class:`DatasetError` — an unknown dataset name or an unparsable graph
@@ -65,6 +68,27 @@ class CorruptIndexError(IndexBuildError):
     reload path among them) keep working; the distinct type lets
     callers tell *corruption* (degrade, keep the last good index) from
     *incompatibility* (wrong format/version)."""
+
+
+class IndexBudgetExceeded(IndexBuildError):
+    """A tenant's index exceeds its configured label-size budget.
+
+    Raised by the multi-tenant catalog
+    (:class:`repro.server.tenancy.CatalogService`) when building or
+    loading an index whose in-memory label bytes exceed the tenant's
+    ``max_label_bytes`` quota.  A subclass of :class:`IndexBuildError`
+    so generic build-failure handling (the server's reload path) keeps
+    working; the distinct type lets the gateway answer with a
+    budget-specific error instead of a generic build failure."""
+
+    def __init__(self, name: str, label_bytes: int,
+                 budget_bytes: int) -> None:
+        super().__init__(
+            f"index {name!r} needs {label_bytes} label bytes, over its "
+            f"budget of {budget_bytes}")
+        self.index_name = name
+        self.label_bytes = label_bytes
+        self.budget_bytes = budget_bytes
 
 
 class QueryError(ReproError, KeyError):

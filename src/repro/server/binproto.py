@@ -27,7 +27,10 @@ Frame layout (all integers little-endian)::
 
     offset 0   u8   magic        0xB7
     offset 1   u8   opcode
-    offset 2   u16  reserved     must be zero
+    offset 2   u16  index        catalog index id on request frames
+                                 (0 = the default index, so v1 clients
+                                 are unchanged); must be zero on reply
+                                 frames
     offset 4   u32  request_id   echoed verbatim in the reply
     offset 8   u32  payload_len  bytes; bounded by the server's
                                  ``max_line_bytes`` read limit
@@ -62,13 +65,13 @@ Error handling & resync
 -----------------------
 A length-prefixed stream cannot resynchronise after corruption (there
 is no sentinel to scan for), so the contract is connection-level: a
-frame whose magic, reserved field, or CRC is wrong — or whose length
-header exceeds the bounded-read limit — gets **one** ``ERROR`` frame
-and the connection is closed; the client reconnects and renegotiates.
-Errors that leave the stream in sync (unknown opcode, a ragged batch
-length, per-request pair caps, unknown node ids) are answered with an
-``ERROR`` frame for that ``request_id`` and the connection keeps
-serving.  The CRC exists precisely for the chaos harness's ``garble``
+frame whose magic or CRC is wrong — or whose length header exceeds the
+bounded-read limit — gets **one** ``ERROR`` frame and the connection
+is closed; the client reconnects and renegotiates.  Errors that leave
+the stream in sync (unknown opcode, a ragged batch length, per-request
+pair caps, unknown node ids, an ``index`` id naming no catalog entry —
+wire code 9, ``unknown_index``) are answered with an ``ERROR`` frame
+for that ``request_id`` and the connection keeps serving.  The CRC exists precisely for the chaos harness's ``garble``
 fault: a flipped bit in an answer bitmap must surface as a transport
 error, never as a silently wrong answer.
 """
@@ -142,6 +145,7 @@ ERROR_CODES = {
     protocol.ERR_TIMEOUT: 6,
     protocol.ERR_RELOAD_FAILED: 7,
     protocol.ERR_INTERNAL: 8,
+    protocol.ERR_UNKNOWN_INDEX: 9,
 }
 #: One-byte wire code -> JSON error-code string.
 ERROR_NAMES = {byte: name for name, byte in ERROR_CODES.items()}
@@ -150,10 +154,15 @@ ERROR_NAMES = {byte: name for name, byte in ERROR_CODES.items()}
 MAX_NODE_ID = 0xFFFFFFFF
 
 
-def encode_frame(opcode: int, request_id: int,
-                 payload: bytes = b"") -> bytes:
-    """One wire frame: header (with CRC) plus payload."""
-    return HEADER.pack(FRAME_MAGIC, opcode, 0,
+def encode_frame(opcode: int, request_id: int, payload: bytes = b"",
+                 *, index: int = 0) -> bytes:
+    """One wire frame: header (with CRC) plus payload.
+
+    ``index`` is the catalog index id carried in the u16 header field
+    of request frames (0 targets the default index); reply frames
+    always leave it zero.
+    """
+    return HEADER.pack(FRAME_MAGIC, opcode, index & 0xFFFF,
                        request_id & 0xFFFFFFFF, len(payload),
                        zlib.crc32(payload)) + payload
 

@@ -336,15 +336,31 @@ class ReachClient:
     def ping(self) -> str:
         return self.call("ping")
 
-    def query(self, u: Any, v: Any) -> bool:
-        """One reachability query through the gateway."""
-        return bool(self.call("query", u=u, v=v))
+    def query(self, u: Any, v: Any, *,
+              index: str | None = None) -> bool:
+        """One reachability query through the gateway.
 
-    def query_batch(self, pairs: Iterable[Sequence[Any]]) -> list[bool]:
-        """Batch reachability through the gateway (one request)."""
+        ``index`` names the catalog entry (tenant index) to serve
+        from; ``None`` targets the default index.  An unregistered
+        name raises :class:`ServerReplyError` with code
+        ``unknown_index`` (tallied per-code in :meth:`error_report`).
+        """
+        if index is None:
+            return bool(self.call("query", u=u, v=v))
+        return bool(self.call("query", u=u, v=v, index=index))
+
+    def query_batch(self, pairs: Iterable[Sequence[Any]], *,
+                    index: str | None = None) -> list[bool]:
+        """Batch reachability through the gateway (one request).
+
+        ``index`` selects the catalog entry, as in :meth:`query`.
+        """
         payload = [[u, v] for u, v in pairs]
-        return [bool(answer)
-                for answer in self.call("batch", pairs=payload)]
+        if index is None:
+            answers = self.call("batch", pairs=payload)
+        else:
+            answers = self.call("batch", pairs=payload, index=index)
+        return [bool(answer) for answer in answers]
 
     def stats(self, reset: bool = False) -> dict:
         """The server's nested stats document (optionally resetting
@@ -375,10 +391,14 @@ class ReachClient:
         return self.call("ready")
 
     def reload(self, *, graph: Any = None, index: Any = None,
-               scheme: str | None = None) -> dict:
+               scheme: str | None = None,
+               name: str | None = None) -> dict:
         """Trigger a hot index swap from a graph or saved-index file.
 
-        Never retried: a replayed swap is not idempotent.
+        ``index`` is the saved-index *path*; ``name`` targets a named
+        catalog entry (``None``/``"default"`` swaps the default
+        serving backend).  Never retried: a replayed swap is not
+        idempotent.
         """
         fields: dict[str, Any] = {}
         if graph is not None:
@@ -387,7 +407,23 @@ class ReachClient:
             fields["index"] = str(index)
         if scheme is not None:
             fields["scheme"] = scheme
+        if name is not None:
+            fields["name"] = name
         return self.call("reload", **fields)
+
+    def catalog(self, op: str, **fields: Any) -> dict:
+        """One ``catalog`` verb request (multi-tenant index catalog).
+
+        ``op`` is ``create``/``build``/``load``/``drop``/``list``;
+        the remaining keyword fields are op-specific (``name``,
+        ``graph``/``index`` paths, ``scheme``, a ``quota`` dict — see
+        :mod:`repro.server.tenancy`).  Mutations are never retried.
+        """
+        return self.call("catalog", op=op, **fields)
+
+    def catalog_list(self) -> list[dict]:
+        """The catalog's index table (``catalog list``)."""
+        return self.catalog("list")["indexes"]
 
     # -- observability --------------------------------------------------
     def error_report(self) -> dict:
@@ -425,15 +461,22 @@ class BinaryReachClient:
     outstanding at a time; node ids must be u32 integers (the binary
     protocol's node model — generated graphs label nodes ``0..n-1``).
 
+    ``index_id`` is the catalog index id stamped into the u16 header
+    field of every request frame this client sends (0 = the default
+    index); per-call ``index_id`` overrides it.  An id naming no
+    catalog entry raises :class:`ServerReplyError` with code
+    ``unknown_index`` and the connection keeps serving.
+
     >>> with BinaryReachClient(port=port) as client:  # doctest: +SKIP
     ...     client.query_batch([(0, 7), (7, 0)])
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0, index_id: int = 0) -> None:
         self._host = host
         self._port = port
         self._timeout = timeout
+        self._index_id = index_id
         self._next_id = 0
         self._sock = socket.create_connection((host, port),
                                               timeout=timeout)
@@ -517,14 +560,20 @@ class BinaryReachClient:
                 f"expected PONG, got opcode 0x{opcode:02X}")
         return "pong"
 
-    def query_batch(self, pairs: Iterable[Sequence[int]]) -> list[bool]:
-        """Batch reachability over packed u32 pairs (one frame)."""
+    def query_batch(self, pairs: Iterable[Sequence[int]], *,
+                    index_id: int | None = None) -> list[bool]:
+        """Batch reachability over packed u32 pairs (one frame).
+
+        ``index_id`` overrides the client's default catalog index id
+        for this one request.
+        """
         import struct
 
         self._next_id += 1
         frame = binproto.encode_frame(
             binproto.OP_BATCH, self._next_id,
-            binproto.encode_pairs(list(pairs)))
+            binproto.encode_pairs(list(pairs)),
+            index=self._index_id if index_id is None else index_id)
         opcode, payload = self._call(frame,
                                      self._next_id & 0xFFFFFFFF)
         if opcode != binproto.OP_ANSWERS or len(payload) < 4:
@@ -533,9 +582,10 @@ class BinaryReachClient:
         count = struct.unpack_from("<I", payload)[0]
         return binproto.unpack_bitmap(count, payload[4:])
 
-    def query(self, u: int, v: int) -> bool:
+    def query(self, u: int, v: int, *,
+              index_id: int | None = None) -> bool:
         """One reachability query (a one-pair batch frame)."""
-        return self.query_batch([(u, v)])[0]
+        return self.query_batch([(u, v)], index_id=index_id)[0]
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:

@@ -32,6 +32,14 @@ that connection instead of reconnect-spinning.  Frame-level corruption
 (bad magic, CRC mismatch) counts as ``garbled`` and forces a
 reconnect, matching the server's resync-by-reconnect contract.
 
+Multi-tenant servers are first-class targets: ``index`` aims every
+request at one named catalog entry (the JSON ``index`` field, or the
+u16 catalog id in each binary frame header), and :func:`run_loadgen_mix`
+drives several tenants *concurrently* from one event loop — each with
+its own pair pool, expected answers, and per-tenant
+:class:`LoadgenResult` — which is how the isolation soak loads tenant A
+while differentially verifying tenant B.
+
 The generator is pure asyncio and runs in one thread;
 :func:`run_loadgen` is the synchronous entry point used by
 ``repro-reach loadgen`` and ``python -m repro.bench serve-load``.
@@ -50,7 +58,7 @@ from typing import Any, Sequence
 from repro.server import binproto
 from repro.server.protocol import encode_message
 
-__all__ = ["LoadgenResult", "run_loadgen"]
+__all__ = ["LoadgenResult", "run_loadgen", "run_loadgen_mix"]
 
 
 @dataclass
@@ -63,6 +71,8 @@ class LoadgenResult:
     duration_seconds: float
     #: Every Nth request's latency was recorded (1 = all of them).
     latency_sample: int = 1
+    #: Catalog entry the run targeted (``None`` = the default index).
+    index: "str | int | None" = None
     sent: int = 0
     completed: int = 0
     ok: int = 0
@@ -112,6 +122,7 @@ class LoadgenResult:
     def as_dict(self) -> dict[str, Any]:
         """Flat report row (for ``format_kv_table`` / JSON)."""
         row: dict[str, Any] = {
+            "index": "default" if self.index is None else self.index,
             "connections": self.connections,
             "pipeline": self.pipeline,
             "batch_size": self.batch_size,
@@ -149,7 +160,8 @@ async def _drive_session(reader: asyncio.StreamReader,
                          position: int, next_id: int, deadline: float,
                          pipeline: int, batch_size: int,
                          send_interval: float, latency_sample: int,
-                         result: LoadgenResult) -> tuple[int, int, int]:
+                         result: LoadgenResult,
+                         index: "str | None" = None) -> tuple[int, int, int]:
     """Drive one connection until it drops or the deadline passes.
 
     Returns ``(position, next_id, lost)`` so a reconnecting caller can
@@ -262,9 +274,11 @@ async def _drive_session(reader: asyncio.StreamReader,
                 else:
                     chunk = [list(pairs[(position + i) % n])
                              for i in range(batch_size)]
-                    burst += encode_message(
-                        {"id": next_id, "verb": "batch",
-                         "pairs": chunk})
+                    message = {"id": next_id, "verb": "batch",
+                               "pairs": chunk}
+                    if index is not None:
+                        message["index"] = index
+                    burst += encode_message(message)
                     position += batch_size
             inflight += limit
             result.sent += limit
@@ -300,11 +314,13 @@ class _BinaryUnsupported(Exception):
     """The server answered the magic preamble with a JSON line."""
 
 
-#: Invariant head of every ``BATCH`` request frame: magic, opcode,
-#: reserved.  The sender splices ``request_id`` and the precomputed
-#: ``(payload_len, crc, payload)`` tail behind it.
-_BIN_PREFIX = struct.pack("<BBH", binproto.FRAME_MAGIC,
-                          binproto.OP_BATCH, 0)
+def _bin_prefix(index_id: int) -> bytes:
+    """Invariant head of every ``BATCH`` request frame: magic, opcode,
+    and the u16 catalog index id (0 = the default index).  The sender
+    splices ``request_id`` and the precomputed ``(payload_len, crc,
+    payload)`` tail behind it."""
+    return struct.pack("<BBH", binproto.FRAME_MAGIC,
+                       binproto.OP_BATCH, index_id)
 
 
 async def _drive_session_binary(reader: asyncio.StreamReader,
@@ -316,7 +332,9 @@ async def _drive_session_binary(reader: asyncio.StreamReader,
                                 deadline: float, pipeline: int,
                                 batch_size: int, send_interval: float,
                                 latency_sample: int,
-                                result: LoadgenResult) -> tuple[int, int, int]:
+                                result: LoadgenResult,
+                                prefix: bytes = _bin_prefix(0),
+                                ) -> tuple[int, int, int]:
     """Binary-protocol twin of :func:`_drive_session`.
 
     Sends :data:`~repro.server.binproto.MAGIC_LINE` first, then frames
@@ -452,7 +470,7 @@ async def _drive_session_binary(reader: asyncio.StreamReader,
                     sampled[rid] = time.perf_counter()
                 if expected is not None:
                     pending[rid] = position % n
-                burst += _BIN_PREFIX
+                burst += prefix
                 burst += pack_rid(rid)
                 burst += tails[position % n]
                 position += batch_size
@@ -495,7 +513,9 @@ async def _drive_connection(host: str, port: int,
                             deadline: float, pipeline: int,
                             batch_size: int, send_interval: float,
                             latency_sample: int,
-                            result: LoadgenResult) -> None:
+                            result: LoadgenResult,
+                            index: "str | None" = None,
+                            prefix: bytes = _bin_prefix(0)) -> None:
     """One logical connection: reconnects after drops until the
     deadline, so the generator keeps measuring through faults.
 
@@ -526,7 +546,7 @@ async def _drive_connection(host: str, port: int,
                 position, next_id, lost = await _drive_session_binary(
                     reader, writer, pairs, expected, tails, position,
                     next_id, deadline, pipeline, batch_size,
-                    send_interval, latency_sample, result)
+                    send_interval, latency_sample, result, prefix)
             except _BinaryUnsupported:
                 result.count_error("binary_unsupported")
                 return
@@ -534,7 +554,7 @@ async def _drive_connection(host: str, port: int,
             position, next_id, lost = await _drive_session(
                 reader, writer, pairs, expected, frames, position,
                 next_id, deadline, pipeline, batch_size, send_interval,
-                latency_sample, result)
+                latency_sample, result, index)
         if time.perf_counter() >= deadline:
             break
         # The session ended early: the server dropped us.  Anything
@@ -575,41 +595,128 @@ def _binary_tails(pairs: Sequence[tuple],
         for s in range(n)]
 
 
+def _prepare_stream(host: str, port: int, pairs: Sequence[tuple],
+                    connections: int, pipeline: int,
+                    batch_size: int, rate: float | None,
+                    expected: "Sequence[bool] | None",
+                    latency_sample: int, protocol: str,
+                    index: "str | int | None",
+                    result: LoadgenResult):
+    """Precompute one stream's frames and return a factory that makes
+    its connection coroutines for a given deadline (shared by the
+    single and the mix runners).
+
+    Precomputes the invariant part of every request ONCE, before the
+    clock starts — the senders then only splice the id in front.
+    Built per connection this serialization work scales with the
+    connection count and eats the measurement window; callers take
+    their start timestamp AFTER this returns.
+    """
+    # Open-loop pacing: a target aggregate request rate splits evenly
+    # into per-connection send intervals; rate=None sends at will.
+    send_interval = (connections / rate) if rate else 0.0
+    frames: list[bytes] | None = None
+    tails: list[bytes] | None = None
+    prefix = _bin_prefix(0)
+    json_index: str | None = None
+    if protocol == "binary":
+        tails = _binary_tails(pairs, batch_size)
+        prefix = _bin_prefix(int(index or 0))
+    else:
+        json_index = index  # type: ignore[assignment]
+        if batch_size == 1:
+            head = {"verb": "query"}
+            if index is not None:
+                head["index"] = index
+            frames = [
+                json.dumps(dict(head, u=u, v=v),
+                           separators=(",", ":"))[1:].encode() + b"\n"
+                for u, v in pairs]
+    stride = max(1, len(pairs) // max(1, connections))
+
+    def make_tasks(deadline: float) -> list:
+        return [
+            _drive_connection(host, port, pairs, expected, frames,
+                              tails, i * stride, deadline, pipeline,
+                              batch_size, send_interval,
+                              latency_sample, result, json_index,
+                              prefix)
+            for i in range(connections)]
+
+    return make_tasks
+
+
 async def _run(host: str, port: int, pairs: Sequence[tuple],
                connections: int, duration: float, pipeline: int,
                batch_size: int, rate: float | None,
                expected: "Sequence[bool] | None",
-               latency_sample: int, protocol: str) -> LoadgenResult:
+               latency_sample: int, protocol: str,
+               index: "str | int | None") -> LoadgenResult:
     result = LoadgenResult(connections=connections, pipeline=pipeline,
                            batch_size=batch_size,
                            duration_seconds=duration,
-                           latency_sample=latency_sample)
-    # Open-loop pacing: a target aggregate request rate splits evenly
-    # into per-connection send intervals; rate=None sends at will.
-    send_interval = (connections / rate) if rate else 0.0
-    # Precompute the invariant tail of every frame ONCE, before the
-    # clock starts — the senders then only splice the id in front.
-    # Built per connection this serialization work scales with the
-    # connection count and eats the measurement window.
-    frames: list[bytes] | None = None
-    tails: list[bytes] | None = None
-    if protocol == "binary":
-        tails = _binary_tails(pairs, batch_size)
-    elif batch_size == 1:
-        frames = [
-            json.dumps({"verb": "query", "u": u, "v": v},
-                       separators=(",", ":"))[1:].encode() + b"\n"
-            for u, v in pairs]
+                           latency_sample=latency_sample, index=index)
+    make_tasks = _prepare_stream(
+        host, port, pairs, connections, pipeline, batch_size, rate,
+        expected, latency_sample, protocol, index, result)
     started = time.perf_counter()
-    deadline = started + duration
-    stride = max(1, len(pairs) // max(1, connections))
-    await asyncio.gather(*[
-        _drive_connection(host, port, pairs, expected, frames, tails,
-                          i * stride, deadline, pipeline, batch_size,
-                          send_interval, latency_sample, result)
-        for i in range(connections)])
+    await asyncio.gather(*make_tasks(started + duration))
     result.duration_seconds = time.perf_counter() - started
     return result
+
+
+async def _run_mix(host: str, port: int, streams: Sequence[dict],
+                   duration: float,
+                   results: "list[LoadgenResult]") -> None:
+    factories = [
+        _prepare_stream(
+            host, port, spec["pairs"], result.connections,
+            result.pipeline, result.batch_size, spec.get("rate"),
+            spec.get("expected"), result.latency_sample,
+            spec.get("protocol", "json"), spec.get("index"), result)
+        for spec, result in zip(streams, results)]
+    started = time.perf_counter()
+    deadline = started + duration
+    tasks: list = []
+    for make_tasks in factories:
+        tasks.extend(make_tasks(deadline))
+    await asyncio.gather(*tasks)
+    elapsed = time.perf_counter() - started
+    for result in results:
+        result.duration_seconds = elapsed
+
+
+def _validate_stream(pairs: Sequence[tuple], connections: int,
+                     pipeline: int, batch_size: int,
+                     latency_sample: int, protocol: str,
+                     expected: "Sequence[bool] | None",
+                     index: "str | int | None") -> None:
+    if not pairs:
+        raise ValueError("loadgen needs a non-empty pair pool")
+    if protocol not in ("json", "binary"):
+        raise ValueError(
+            f"protocol must be 'json' or 'binary', got {protocol!r}")
+    if connections < 1 or pipeline < 1 or batch_size < 1:
+        raise ValueError(
+            "connections, pipeline, and batch_size must be >= 1")
+    if latency_sample < 1:
+        raise ValueError(
+            f"latency_sample must be >= 1, got {latency_sample}")
+    if expected is not None and len(expected) != len(pairs):
+        raise ValueError(
+            f"expected answers ({len(expected)}) must align with the "
+            f"pair pool ({len(pairs)})")
+    if index is not None:
+        if protocol == "binary":
+            if not isinstance(index, int) or not 0 <= index <= 0xFFFF:
+                raise ValueError(
+                    "the binary protocol addresses catalog entries by "
+                    f"numeric id in [0, 65535], got {index!r} (resolve "
+                    "the name via the catalog list verb first)")
+        elif not isinstance(index, str):
+            raise ValueError(
+                "the json protocol addresses catalog entries by name, "
+                f"got {index!r}")
 
 
 def run_loadgen(host: str, port: int, pairs: Sequence[tuple], *,
@@ -618,7 +725,8 @@ def run_loadgen(host: str, port: int, pairs: Sequence[tuple], *,
                 rate: float | None = None,
                 expected: "Sequence[bool] | None" = None,
                 latency_sample: int = 1,
-                protocol: str = "json") -> LoadgenResult:
+                protocol: str = "json",
+                index: "str | int | None" = None) -> LoadgenResult:
     """Drive the gateway at ``host:port`` and return the aggregate.
 
     Parameters
@@ -652,22 +760,54 @@ def run_loadgen(host: str, port: int, pairs: Sequence[tuple], *,
         negotiates :mod:`repro.server.binproto` framing and sends
         struct-packed pair batches.  With ``expected``, binary answer
         bitmaps are differentially verified exactly like JSON replies.
+    index:
+        Target catalog entry: a tenant *name* for the JSON protocol,
+        the numeric catalog *id* for the binary protocol (whose frame
+        header carries a u16 id, not a name).  ``None`` drives the
+        default index, exactly as before.
     """
-    if not pairs:
-        raise ValueError("loadgen needs a non-empty pair pool")
-    if protocol not in ("json", "binary"):
-        raise ValueError(
-            f"protocol must be 'json' or 'binary', got {protocol!r}")
-    if connections < 1 or pipeline < 1 or batch_size < 1:
-        raise ValueError(
-            "connections, pipeline, and batch_size must be >= 1")
-    if latency_sample < 1:
-        raise ValueError(
-            f"latency_sample must be >= 1, got {latency_sample}")
-    if expected is not None and len(expected) != len(pairs):
-        raise ValueError(
-            f"expected answers ({len(expected)}) must align with the "
-            f"pair pool ({len(pairs)})")
+    _validate_stream(pairs, connections, pipeline, batch_size,
+                     latency_sample, protocol, expected, index)
     return asyncio.run(_run(host, port, list(pairs), connections,
                             duration, pipeline, batch_size, rate,
-                            expected, latency_sample, protocol))
+                            expected, latency_sample, protocol,
+                            index))
+
+
+def run_loadgen_mix(host: str, port: int, streams: Sequence[dict], *,
+                    duration: float = 2.0) -> list[LoadgenResult]:
+    """Drive several tenants concurrently from one event loop.
+
+    Each ``streams`` entry is a dict with the same knobs as
+    :func:`run_loadgen` — required ``pairs``; optional ``index``,
+    ``connections`` (default 4), ``pipeline`` (default 4),
+    ``batch_size`` (default 1), ``rate``, ``expected``,
+    ``latency_sample`` (default 1), and ``protocol`` (default
+    ``"json"``) — and gets its own :class:`LoadgenResult` (returned in
+    stream order, each tagged with its ``index``).  All streams share
+    one deadline, so the mix measures true concurrent cross-tenant
+    traffic: this is the primitive the isolation soak uses to overload
+    tenant A while differentially verifying tenant B's answers.
+    """
+    if not streams:
+        raise ValueError("loadgen mix needs at least one stream")
+    results: list[LoadgenResult] = []
+    prepared: list[dict] = []
+    for spec in streams:
+        spec = dict(spec)
+        spec["pairs"] = list(spec.get("pairs") or ())
+        connections = spec.get("connections", 4)
+        pipeline = spec.get("pipeline", 4)
+        batch_size = spec.get("batch_size", 1)
+        latency_sample = spec.get("latency_sample", 1)
+        _validate_stream(spec["pairs"], connections, pipeline,
+                         batch_size, latency_sample,
+                         spec.get("protocol", "json"),
+                         spec.get("expected"), spec.get("index"))
+        results.append(LoadgenResult(
+            connections=connections, pipeline=pipeline,
+            batch_size=batch_size, duration_seconds=duration,
+            latency_sample=latency_sample, index=spec.get("index")))
+        prepared.append(spec)
+    asyncio.run(_run_mix(host, port, prepared, duration, results))
+    return results

@@ -20,7 +20,18 @@ verb         request fields                            result
                                                        ``status`` ``"ok"``
                                                        or ``"degraded"``
 ``ready``    —                                         readiness dict
+``catalog``  ``op``: ``create``/``build``/``load``/    op-specific dict
+             ``drop``/``list``, plus op fields (see    (``list`` returns
+             :mod:`repro.server.tenancy`)              the index table)
 ===========  ========================================  =================
+
+``query`` and ``batch`` additionally accept an optional ``index``
+field naming the catalog entry (tenant index) to serve from; absent
+or ``"default"`` targets the default index, so every pre-catalog
+client keeps working unchanged.  ``reload`` targets a named entry via
+an optional ``name`` field instead — its ``index`` field was already
+the saved-index *path* and keeps that meaning.  An unknown name
+answers with the ``unknown_index`` error code.
 
 Any request may carry an optional ``trace`` string: the gateway
 propagates it into the access log, the per-stage span histograms, and
@@ -78,7 +89,7 @@ PROTOCOL_VERSION = 1
 
 #: Verbs the gateway understands.
 VERBS = ("ping", "query", "batch", "stats", "metrics", "reload",
-         "health", "ready")
+         "health", "ready", "catalog")
 
 # Error codes carried in the ``error`` field of failure replies.
 ERR_BAD_REQUEST = "bad_request"
@@ -89,6 +100,7 @@ ERR_TOO_LARGE = "too_large"
 ERR_TIMEOUT = "timeout"
 ERR_RELOAD_FAILED = "reload_failed"
 ERR_INTERNAL = "internal"
+ERR_UNKNOWN_INDEX = "unknown_index"
 
 _SCALAR_TYPES = (str, int, float, bool)
 

@@ -47,12 +47,29 @@ from multiprocessing import connection as mp_connection
 from typing import Any
 
 from repro.core.serialize import load_dual_index
-from repro.core.shm import SEGMENT_PREFIX, PublishedIndex, publish_index
+from repro.core.shm import (SEGMENT_PREFIX, PublishedIndex,
+                            publish_index, sweep_stale_segments)
 from repro.exceptions import ReproError
 from repro.server import protocol
+from repro.server.protocol import ProtocolError
+from repro.server.tenancy import (CatalogEntry, CatalogService,
+                                  TenantQuota)
 from repro.server.worker import worker_main
 
 __all__ = ["FleetError", "WorkerFleet"]
+
+
+class _TenantPub:
+    """Parent-side shared-memory state of one tenant index."""
+
+    __slots__ = ("generation", "published", "segment")
+
+    def __init__(self) -> None:
+        #: Per-index generation counter (independent of the default
+        #: index's generation).
+        self.generation = 0
+        self.published: PublishedIndex | None = None
+        self.segment: str | None = None
 
 
 class FleetError(ReproError):
@@ -103,6 +120,15 @@ class WorkerFleet:
         but still correct.
     host / port:
         The shared listening address (``0`` picks a free port).
+    tenants:
+        Optional static tenant manifest: dicts with ``name``, an
+        optional built ``index`` (published into a per-index
+        ``/dev/shm`` segment at start; omitted = registered empty),
+        optional ``scheme``, and an optional ``quota`` dict (see
+        :class:`~repro.server.tenancy.TenantQuota`).  Further tenants
+        can be added at runtime through the ``catalog`` verb — any
+        worker forwards mutations here and the parent moves the whole
+        fleet together.
     server_options:
         Picklable :class:`~repro.server.server.ServerConfig` keywords
         applied to every worker (``max_batch``, ``policy``, ...).
@@ -129,6 +155,7 @@ class WorkerFleet:
     def __init__(self, index, *, scheme: str = "dual-i",
                  workers: int = 2, host: str = "127.0.0.1",
                  port: int = 0,
+                 tenants: list[dict] | None = None,
                  server_options: dict | None = None,
                  service_options: dict | None = None,
                  max_restarts: int | None = 8,
@@ -167,6 +194,24 @@ class WorkerFleet:
                            f"{secrets.token_hex(3)}")
         self._generation = 0
         self._published: PublishedIndex | None = None
+        # The parent's catalog registry (no serving backend — the
+        # default entry's service stays None): one source of truth for
+        # tenant names, numeric ids, schemes, and quotas, shared with
+        # the workers via the spawn manifest.
+        self._catalog = CatalogService(None, scheme=scheme)
+        self._tenant_pubs: dict[str, _TenantPub] = {}
+        #: ``(entry, built index)`` pairs published at :meth:`start`.
+        self._startup_tenants: list[tuple[CatalogEntry, Any]] = []
+        for spec in (tenants or []):
+            quota = (spec["quota"]
+                     if isinstance(spec.get("quota"), TenantQuota)
+                     else TenantQuota.from_payload(spec.get("quota")))
+            entry = self._catalog.create(
+                spec["name"], scheme=spec.get("scheme", scheme),
+                quota=quota)
+            self._tenant_pubs[entry.name] = _TenantPub()
+            if spec.get("index") is not None:
+                self._startup_tenants.append((entry, spec["index"]))
         self._reserve_sock: socket.socket | None = None
         self._port: int | None = None
         self._monitor: threading.Thread | None = None
@@ -216,7 +261,18 @@ class WorkerFleet:
         :class:`FleetError` after cleaning up).
         """
         timeout = self._start_timeout if timeout is None else timeout
+        # Reap segments leaked by fleets whose parent died abnormally
+        # (SIGKILL skips _teardown): owner-pid liveness plus a magic
+        # check keep live fleets' segments untouched.
+        sweep_stale_segments()
         self._published = publish_index(self._index, name=self.segment)
+        try:
+            for entry, tenant_index in self._startup_tenants:
+                self._publish_tenant(entry, tenant_index)
+        except BaseException:
+            self._unlink_all()
+            raise
+        self._startup_tenants.clear()
         # The parent's bound-but-not-listening SO_REUSEPORT socket
         # pins the port for the fleet's whole lifetime: port 0 is
         # resolved here once, restarted workers re-bind the same
@@ -228,7 +284,7 @@ class WorkerFleet:
             sock.bind((self._host, self._requested_port))
         except OSError:
             sock.close()
-            self._published.unlink()
+            self._unlink_all()
             raise
         self._reserve_sock = sock
         self._port = sock.getsockname()[1]
@@ -286,12 +342,40 @@ class WorkerFleet:
                 except OSError:
                     pass
                 handle.conn = None
-        if self._published is not None:
-            self._published.unlink()
-            self._published = None
+        self._unlink_all()
         if self._reserve_sock is not None:
             self._reserve_sock.close()
             self._reserve_sock = None
+
+    def _unlink_all(self) -> None:
+        """Unlink the default and every tenant's current segment."""
+        if self._published is not None:
+            self._published.unlink()
+            self._published = None
+        for pub in self._tenant_pubs.values():
+            if pub.published is not None:
+                pub.published.unlink()
+                pub.published = None
+                pub.segment = None
+
+    def _publish_tenant(self, entry: CatalogEntry,
+                        index) -> PublishedIndex | None:
+        """Budget-check and publish one tenant index generation.
+
+        Returns the *previous* generation's segment — the caller
+        unlinks it only after every worker has acked the new one, so
+        in-flight attaches never race an unlink.
+        """
+        self._catalog.check_budget(entry, index)
+        pub = self._tenant_pubs[entry.name]
+        if pub.published is not None:
+            pub.generation += 1
+        segment = (f"{self._base_name}-i{entry.index_id}"
+                   f"-g{pub.generation}")
+        old = pub.published
+        pub.published = publish_index(index, name=segment)
+        pub.segment = segment
+        return old
 
     def __enter__(self) -> "WorkerFleet":
         return self.start()
@@ -304,6 +388,14 @@ class WorkerFleet:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         options = dict(self._server_options)
         options["service_options"] = dict(self._service_options)
+        # Current tenant manifest: a respawned worker attaches every
+        # tenant's *current* generation, not the one at fleet start.
+        options["tenants"] = [
+            {"name": entry.name, "index_id": entry.index_id,
+             "scheme": entry.scheme, "quota": entry.quota.as_dict(),
+             "segment": self._tenant_pubs[entry.name].segment}
+            for entry in self._catalog.entries()
+            if entry.name in self._tenant_pubs]
         process = self._ctx.Process(
             target=worker_main,
             args=(handle.worker_id, self.segment, self._scheme,
@@ -414,6 +506,9 @@ class WorkerFleet:
         elif verb == "reload":
             _, worker_id, token, payload = message
             self._fleet_reload(handle, token, payload)
+        elif verb == "catalog":
+            _, worker_id, token, payload = message
+            self._fleet_catalog(handle, token, payload)
         elif verb in ("attach_failed", "start_failed"):
             # The worker exits right after sending this; the sentinel
             # delivers the restart.  Keep the reason for the crash log.
@@ -470,17 +565,20 @@ class WorkerFleet:
 
     # -- generation-aware fleet reload ----------------------------------
     def reload(self, *, graph=None, index=None,
-               scheme: str | None = None) -> dict:
+               scheme: str | None = None,
+               name: str | None = None) -> dict:
         """Parent-initiated fleet reload (same contract as the verb).
 
         Goes through a real worker connection on purpose, so the
         public entry point and a client-sent ``reload`` exercise the
         identical forward → rebuild → publish → swap → ack pipeline.
+        ``name`` targets a tenant entry, as in the verb.
         """
         from repro.server.client import ReachClient
 
         with ReachClient(self._host, self.port, timeout=180.0) as client:
-            return client.reload(graph=graph, index=index, scheme=scheme)
+            return client.reload(graph=graph, index=index, scheme=scheme,
+                                 name=name)
 
     def _fleet_reload(self, requester: _WorkerHandle, token: int,
                       payload: dict) -> None:
@@ -508,13 +606,16 @@ class WorkerFleet:
         except (BrokenPipeError, OSError):
             pass
 
-    def _rebuild_and_swap(self, payload: dict) -> dict:
+    @staticmethod
+    def _rebuild_index(payload: dict, default_scheme: str):
+        """Build or load the payload's index (shared by the default
+        reload and the tenant build/load paths)."""
         graph_path = payload.get("graph")
         index_path = payload.get("index")
         if bool(graph_path) == bool(index_path):
             raise ReproError(
                 "reload requires exactly one of 'graph' or 'index'")
-        scheme = payload.get("scheme", self._scheme)
+        scheme = payload.get("scheme", default_scheme)
         if not isinstance(scheme, str):
             raise ReproError("scheme must be a string")
 
@@ -529,33 +630,30 @@ class WorkerFleet:
                                     scheme=scheme)
         build_seconds = time.perf_counter() - started
         scheme_name = type(new_index).scheme_name or scheme
+        return new_index, scheme_name, build_seconds
+
+    def _rebuild_and_swap(self, payload: dict) -> dict:
+        name = payload.get("name")
+        if name not in (None, "default"):
+            entry = self._catalog.lookup(name)  # unknown_index if not
+            return self._tenant_swap(entry, payload)
+        new_index, scheme_name, build_seconds = self._rebuild_index(
+            payload, self._scheme)
 
         old_published = self._published
         self._generation += 1
         self._published = publish_index(new_index, name=self.segment)
         self._scheme = scheme_name
-        targets = [h for h in self._handles
-                   if h.conn is not None and h.alive]
-        for handle in targets:
-            try:
-                handle.conn.send(("swap", self.segment, scheme_name))
-            except (BrokenPipeError, OSError):
-                pass
-        acked = self._collect_swap_acks(targets)
-        for handle in targets:
-            if handle not in acked and handle.alive \
-                    and handle.process is not None:
-                # Straggler or failed attach: kill it; the supervisor
-                # respawns it directly onto the new generation.
-                handle.process.kill()
+        acked = self._broadcast_swap(self.segment, scheme_name, 0)
         if old_published is not None:
             old_published.unlink()
         self.swaps += 1
         stats = new_index.stats()
         return {
             "swapped": True,
+            "index_name": "default",
             "scheme": scheme_name,
-            "source": "index" if index_path else "graph",
+            "source": "index" if payload.get("index") else "graph",
             "nodes": stats.num_nodes,
             "edges": stats.num_edges,
             "build_seconds": build_seconds,
@@ -565,13 +663,155 @@ class WorkerFleet:
             "workers": len(acked),
         }
 
-    def _collect_swap_acks(self, targets) -> set:
+    def _tenant_swap(self, entry: CatalogEntry, payload: dict) -> dict:
+        """Rebuild one tenant's index and move the whole fleet to it.
+
+        The per-index mirror of the default reload pipeline: publish
+        the tenant's next ``/dev/shm`` generation, command every
+        worker to swap *that entry only*, collect acks, then unlink
+        the previous generation.  Other tenants' segments and lanes
+        are untouched throughout.
+        """
+        new_index, scheme_name, build_seconds = self._rebuild_index(
+            payload, entry.scheme)
+        old_published = self._publish_tenant(entry, new_index)
+        entry.scheme = scheme_name
+        pub = self._tenant_pubs[entry.name]
+        acked = self._broadcast_swap(pub.segment, scheme_name,
+                                     entry.index_id)
+        if old_published is not None:
+            old_published.unlink()
+        self.swaps += 1
+        stats = new_index.stats()
+        return {
+            "swapped": True,
+            "index_name": entry.name,
+            "scheme": scheme_name,
+            "source": "index" if payload.get("index") else "graph",
+            "nodes": stats.num_nodes,
+            "edges": stats.num_edges,
+            "build_seconds": build_seconds,
+            "phase_seconds": dict(stats.phase_seconds),
+            "index_swaps": self.swaps,
+            "generation": pub.generation,
+            "workers": len(acked),
+        }
+
+    def _broadcast_swap(self, segment: str, scheme_name: str,
+                        index_id: int) -> set:
+        """Send one swap command fleet-wide and collect the acks;
+        stragglers are killed and respawn onto the new generation."""
+        targets = [h for h in self._handles
+                   if h.conn is not None and h.alive]
+        for handle in targets:
+            try:
+                handle.conn.send(("swap", segment, scheme_name,
+                                  index_id))
+            except (BrokenPipeError, OSError):
+                pass
+        acked = self._collect_swap_acks(targets, segment)
+        for handle in targets:
+            if handle not in acked and handle.alive \
+                    and handle.process is not None:
+                # Straggler or failed attach: kill it; the supervisor
+                # respawns it directly onto the new generation.
+                handle.process.kill()
+        return acked
+
+    # -- fleet-wide catalog mutations -----------------------------------
+    def _fleet_catalog(self, requester: _WorkerHandle, token: int,
+                       payload: dict) -> None:
+        """Serve one forwarded catalog mutation and answer the
+        requester (runs on the monitor thread, like reloads)."""
+        try:
+            result = self._catalog_mutation(payload)
+        except ProtocolError as exc:
+            self._reply_catalog(requester, token, False,
+                                {"code": exc.code,
+                                 "message": exc.message})
+        except (ReproError, OSError) as exc:
+            self._reply_catalog(
+                requester, token, False,
+                {"code": protocol.ERR_RELOAD_FAILED,
+                 "message": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._reply_catalog(requester, token, True, result)
+
+    def _reply_catalog(self, requester: _WorkerHandle, token: int,
+                       ok: bool, doc) -> None:
+        if requester.conn is None:
+            return
+        try:
+            requester.conn.send(("catalog_result", token, ok, doc))
+        except (BrokenPipeError, OSError):
+            pass
+
+    def _catalog_mutation(self, payload: dict) -> dict:
+        op = payload.get("op")
+        if op == "create":
+            quota = TenantQuota.from_payload(payload.get("quota"))
+            scheme = payload.get("scheme", self._scheme)
+            if not isinstance(scheme, str):
+                raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                    "scheme must be a string")
+            entry = self._catalog.create(payload.get("name"),
+                                         scheme=scheme, quota=quota)
+            self._tenant_pubs[entry.name] = _TenantPub()
+            spec = {"name": entry.name, "index_id": entry.index_id,
+                    "scheme": entry.scheme,
+                    "quota": entry.quota.as_dict(), "segment": None}
+            # Pipe FIFO ordering makes the requester's create land
+            # before its client reply is released below.
+            for handle in self._handles:
+                if handle.conn is not None and handle.alive:
+                    try:
+                        handle.conn.send(("catalog_create", spec))
+                    except (BrokenPipeError, OSError):
+                        pass
+            return {"created": entry.name, "index_id": entry.index_id,
+                    "quota": entry.quota.as_dict()}
+        if op == "drop":
+            entry = self._catalog.drop(payload.get("name"))
+            pub = self._tenant_pubs.pop(entry.name, None)
+            for handle in self._handles:
+                if handle.conn is not None and handle.alive:
+                    try:
+                        handle.conn.send(("catalog_drop", entry.name))
+                    except (BrokenPipeError, OSError):
+                        pass
+            # Workers attach at spawn/swap time only, so the segment
+            # can be unlinked as soon as the drop is broadcast —
+            # already-attached mappings stay valid until process exit.
+            if pub is not None and pub.published is not None:
+                pub.published.unlink()
+            return {"dropped": entry.name, "index_id": entry.index_id}
+        if op in ("build", "load"):
+            entry = self._catalog.lookup(payload.get("name"))
+            if entry.name not in self._tenant_pubs:
+                raise ProtocolError(
+                    protocol.ERR_BAD_REQUEST,
+                    "use the reload verb for the default index")
+            field_name = "graph" if op == "build" else "index"
+            source = payload.get(field_name)
+            if not isinstance(source, str) or not source:
+                raise ProtocolError(
+                    protocol.ERR_BAD_REQUEST,
+                    f"catalog {op} requires a {field_name!r} path")
+            swap_payload: dict[str, Any] = {field_name: source}
+            if "scheme" in payload:
+                swap_payload["scheme"] = payload["scheme"]
+            return self._tenant_swap(entry, swap_payload)
+        raise ProtocolError(
+            protocol.ERR_BAD_REQUEST,
+            f"unknown catalog op {op!r}; supported: create, build, "
+            f"load, drop, list")
+
+    def _collect_swap_acks(self, targets, segment: str) -> set:
         """Drain worker pipes until every target acked the new
         generation (or the swap timeout passes).  Non-ack messages are
         deferred for the monitor loop."""
         acked: set[_WorkerHandle] = set()
         deadline = time.monotonic() + self._swap_timeout
-        segment = self.segment
         while len(acked) < len(targets):
             remaining = deadline - time.monotonic()
             if remaining <= 0:
@@ -605,4 +845,11 @@ class WorkerFleet:
             "swaps": self.swaps,
             "pids": self.pids(),
             "protocol_version": protocol.PROTOCOL_VERSION,
+            "tenants": [
+                {"name": entry.name, "index_id": entry.index_id,
+                 "scheme": entry.scheme,
+                 "generation": self._tenant_pubs[entry.name].generation,
+                 "segment": self._tenant_pubs[entry.name].segment}
+                for entry in self._catalog.entries()
+                if entry.name in self._tenant_pubs],
         }

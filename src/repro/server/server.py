@@ -56,7 +56,8 @@ from pathlib import Path
 from typing import Any
 
 from repro.core.service import QueryService
-from repro.exceptions import QueryError, ReproError
+from repro.exceptions import (IndexBudgetExceeded, QueryError,
+                              ReproError)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.phases import PhaseProfiler
 from repro.obs.prometheus import CONTENT_TYPE, render
@@ -65,6 +66,8 @@ from repro.obs.tracing import (BatchTicket, SlowQueryLog, SpanRecorder,
 from repro.server import binproto, protocol
 from repro.server.batcher import MicroBatcher, OverloadedError
 from repro.server.protocol import ProtocolError, Request
+from repro.server.tenancy import (DEFAULT_INDEX_ID, CatalogEntry,
+                                  CatalogService, TenantQuota)
 
 __all__ = ["ReachServer", "ServerConfig", "ServerMetrics",
            "ServerThread", "Supervisor"]
@@ -159,6 +162,13 @@ class ServerConfig:
     #: generation, and moves every worker together — see
     #: :mod:`repro.server.worker`.
     reload_handler: Any = None
+    #: Optional async callable ``(payload) -> result dict`` replacing
+    #: the in-process implementation of *mutating* ``catalog`` verbs
+    #: (``create``/``build``/``load``/``drop``; ``list`` always
+    #: answers locally).  A fleet worker forwards mutations to the
+    #: parent, which publishes per-index shared-memory segments and
+    #: moves every worker's catalog together.
+    catalog_handler: Any = None
 
 
 class ServerMetrics:
@@ -474,6 +484,9 @@ class ReachServer:
         #: ``reach_build_phase_seconds{phase=...}`` histogram family.
         self._build_phases = PhaseProfiler(self.stats.registry)
         self.slow_log = SlowQueryLog(self._config.slow_log_size)
+        #: Named-index catalog; entry 0 ("default") is ``service``.
+        self._catalog = CatalogService(service, scheme=scheme)
+        self.stats.registry.register_collector(self._catalog.collect)
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -494,6 +507,35 @@ class ReachServer:
     def service(self) -> QueryService:
         """The current serving backend (atomically swapped by reload)."""
         return self._service
+
+    @property
+    def catalog(self) -> CatalogService:
+        """The named-index catalog (default entry = :attr:`service`)."""
+        return self._catalog
+
+    def add_tenant(self, name: str, service: QueryService, *,
+                   scheme: str = "dual-i",
+                   quota: TenantQuota | None = None,
+                   index_id: int | None = None) -> CatalogEntry:
+        """Register a tenant index before (or while) serving.
+
+        The programmatic twin of the ``catalog`` verb's
+        ``create``+``load`` — used by the CLI's ``--tenant`` flags and
+        the fleet worker's startup attach.  The budget check runs
+        against the entry's quota, so an oversized index is rejected
+        with :exc:`~repro.exceptions.IndexBudgetExceeded` before it
+        ever serves.
+        """
+        entry = self._catalog.create(name, scheme=scheme, quota=quota,
+                                     index_id=index_id)
+        try:
+            label = self._catalog.check_budget(entry, service.index)
+        except IndexBudgetExceeded:
+            self._catalog.drop(name)
+            raise
+        self._catalog.install(entry, service, scheme=scheme,
+                              label_bytes=label)
+        return entry
 
     async def start(self) -> None:
         """Bind the listening socket and start accepting connections."""
@@ -516,6 +558,11 @@ class ReachServer:
         # the collectors render them into families at scrape time.
         self.stats.registry.register_collector(self._batcher.collect)
         self.stats.registry.register_collector(self._lane.collect)
+        # The default entry serves through the shared lanes; tenant
+        # entries get their own lazily (see _entry_batcher).
+        default = self._catalog.default
+        default.batcher = self._batcher
+        default.lane = self._lane
         self._open_access_log()
         self._server = await asyncio.start_server(
             self._handle_connection, config.host, config.port,
@@ -577,10 +624,24 @@ class ReachServer:
             await self._batcher.close()
         if self._lane is not None:
             await self._lane.close()
+        for entry in self._catalog.entries():
+            # Tenant entries own their lanes; the default entry's are
+            # the shared ones closed above.
+            if entry.batcher is not None \
+                    and entry.batcher is not self._batcher:
+                await entry.batcher.close()
+            if entry.lane is not None and entry.lane is not self._lane:
+                await entry.lane.close()
         for executor in (self._query_executor, self._reload_executor):
             if executor is not None:
                 executor.shutdown(wait=True)
-        for service in [*self._retired, self._service]:
+        closing = {id(self._service): self._service}
+        for service in self._retired:
+            closing.setdefault(id(service), service)
+        for entry in self._catalog.entries():
+            if entry.service is not None:
+                closing.setdefault(id(entry.service), entry.service)
+        for service in closing.values():
             service.close()
         self._retired.clear()
         if self._log_file is not None and self._owns_log_file:
@@ -603,6 +664,50 @@ class ReachServer:
         assert self._loop is not None and self._query_executor is not None
         return await self._loop.run_in_executor(
             self._query_executor, service.query_frames, frames)
+
+    # -- per-tenant lanes ----------------------------------------------
+    def _entry_batcher(self, entry: CatalogEntry) -> MicroBatcher:
+        """The entry's JSON micro-batcher, materialised on first use.
+
+        Every tenant flushes through its own lanes so one flush never
+        mixes two tenants' pairs into one kernel call, and a slow or
+        overloaded tenant queue cannot delay another tenant's flushes.
+        The run closure snapshots ``entry.service`` per flush — the
+        same generation-consistency discipline as :meth:`_run_batch`.
+        """
+        if entry.batcher is None:
+            config = self._config
+
+            async def run(pairs: list, _entry=entry) -> list:
+                service = _entry.service
+                assert self._loop is not None \
+                    and self._query_executor is not None
+                return await self._loop.run_in_executor(
+                    self._query_executor, service.query_batch, pairs)
+
+            entry.batcher = MicroBatcher(
+                run, max_batch=config.max_batch,
+                max_delay=config.max_delay,
+                max_pending=config.max_pending, policy=config.policy)
+        return entry.batcher
+
+    def _entry_lane(self, entry: CatalogEntry) -> "_BinaryLane":
+        """The entry's binary lane, materialised on first use."""
+        if entry.lane is None:
+            config = self._config
+
+            async def run(frames: list, _entry=entry) -> list:
+                service = _entry.service
+                assert self._loop is not None \
+                    and self._query_executor is not None
+                return await self._loop.run_in_executor(
+                    self._query_executor, service.query_frames, frames)
+
+            entry.lane = _BinaryLane(
+                run, max_batch=config.max_batch,
+                max_delay=config.max_delay,
+                max_pending=config.max_pending, policy=config.policy)
+        return entry.lane
 
     # -- connection handling -------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
@@ -718,12 +823,13 @@ class ReachServer:
         """Frame-mode read loop (after a successful negotiation).
 
         Implements the resync contract of :mod:`repro.server.binproto`:
-        desync-class problems — bad magic, nonzero reserved bits, a
-        length header beyond the bounded-read limit, a CRC mismatch —
-        get one ``ERROR`` frame and the connection closes (a
-        length-prefixed stream cannot rescan for a sentinel); in-sync
-        request errors are answered and the connection keeps serving.
-        A frame truncated by disconnection just ends the connection.
+        desync-class problems — bad magic, a length header beyond the
+        bounded-read limit, a CRC mismatch — get one ``ERROR`` frame
+        and the connection closes (a length-prefixed stream cannot
+        rescan for a sentinel); in-sync request errors (including an
+        ``index`` id naming no catalog entry) are answered and the
+        connection keeps serving.  A frame truncated by disconnection
+        just ends the connection.
         """
         config = self._config
         while True:
@@ -732,13 +838,13 @@ class ReachServer:
             except (asyncio.IncompleteReadError, ConnectionError):
                 return  # EOF (possibly mid-header): nothing to answer
             started = time.perf_counter()
-            (magic, opcode, reserved, request_id, payload_len,
+            (magic, opcode, index_id, request_id, payload_len,
              crc) = binproto.HEADER.unpack(header)
-            if magic != binproto.FRAME_MAGIC or reserved != 0:
+            if magic != binproto.FRAME_MAGIC:
                 self._finish(conn, request_id, "frame", 0, started,
                              None, protocol.ERR_BAD_REQUEST,
-                             "frame desync (bad magic or reserved "
-                             "bits); closing connection")
+                             "frame desync (bad magic); closing "
+                             "connection")
                 return
             if payload_len > config.max_line_bytes:
                 self._finish(conn, request_id, "frame", 0, started,
@@ -760,11 +866,12 @@ class ReachServer:
                 conn.resume.clear()
                 await conn.resume.wait()
             await self._dispatch_frame(conn, opcode, request_id,
-                                       payload, started)
+                                       payload, started, index_id)
 
     async def _dispatch_frame(self, conn: _Connection, opcode: int,
                               request_id: int, payload: bytes,
-                              started: float) -> None:
+                              started: float,
+                              index_id: int = DEFAULT_INDEX_ID) -> None:
         """Serve one validated frame (in-sync errors answer and keep
         the connection; the caller handles desync)."""
         if opcode == binproto.OP_PING:
@@ -789,25 +896,42 @@ class ReachServer:
                          f"per-request cap of "
                          f"{self._config.max_request_pairs}")
             return
+        try:
+            entry = (self._catalog.default
+                     if index_id == DEFAULT_INDEX_ID
+                     else self._catalog.resolve_id(index_id))
+        except ProtocolError as exc:
+            self._finish(conn, request_id, "batch", num_pairs, started,
+                         None, exc.code, exc.message)
+            return
         if num_pairs == 0:
             self._finish(conn, request_id, "batch", 0, started,
-                         (0, b""))
+                         (0, b""), entry=entry)
             return
         assert self._lane is not None and self._loop is not None
         ticket = BatchTicket(None, started)
         ticket.parse_done = time.perf_counter()
         frame = _FramePayload(payload, num_pairs)
+        lane = entry.lane if entry.lane is not None \
+            else self._entry_lane(entry)
         try:
-            future = self._lane.try_submit(frame, ticket)
-            if future is None:
-                # Block policy with a full queue: pausing this
-                # connection's frame reads is the backpressure path.
-                future = await self._lane.enqueue_when_ready(frame,
-                                                             ticket)
+            entry.admit(num_pairs)
         except OverloadedError as exc:
             self._finish(conn, request_id, "batch", num_pairs, started,
                          None, protocol.ERR_OVERLOADED, str(exc),
-                         ticket=ticket)
+                         ticket=ticket, entry=entry)
+            return
+        try:
+            future = lane.try_submit(frame, ticket)
+            if future is None:
+                # Block policy with a full queue: pausing this
+                # connection's frame reads is the backpressure path.
+                future = await lane.enqueue_when_ready(frame, ticket)
+        except OverloadedError as exc:
+            entry.release(num_pairs)
+            self._finish(conn, request_id, "batch", num_pairs, started,
+                         None, protocol.ERR_OVERLOADED, str(exc),
+                         ticket=ticket, entry=entry)
             return
         conn.inflight += 1
         timer = self._loop.call_later(self._config.request_timeout,
@@ -815,21 +939,25 @@ class ReachServer:
         future.add_done_callback(
             lambda fut: self._bin_done(fut, conn, request_id,
                                        num_pairs, started, timer,
-                                       ticket))
+                                       ticket, entry))
 
     def _bin_done(self, future: asyncio.Future, conn: _Connection,
                   request_id: int, num_pairs: int, started: float,
                   timer: asyncio.TimerHandle,
-                  ticket: BatchTicket | None = None) -> None:
+                  ticket: BatchTicket | None = None,
+                  entry: CatalogEntry | None = None) -> None:
         timer.cancel()
+        if entry is not None:
+            entry.release(num_pairs)
         exc = future.exception()
         if exc is None:
             self._finish(conn, request_id, "batch", num_pairs, started,
-                         future.result(), ticket=ticket)
+                         future.result(), ticket=ticket, entry=entry)
         else:
             code, message = self._map_error(exc)
             self._finish(conn, request_id, "batch", num_pairs, started,
-                         None, code, message, ticket=ticket)
+                         None, code, message, ticket=ticket,
+                         entry=entry)
         conn.inflight -= 1
         conn.resume.set()
 
@@ -850,6 +978,10 @@ class ReachServer:
                     doc, max_pairs=self._config.max_request_pairs)
             else:
                 return False
+            if doc.get("index") is not None:
+                # Tenant-indexed requests take the task path: catalog
+                # resolution and its error taxonomy stay in one place.
+                return False
             request_id = doc.get("id")
             if request_id is not None and not isinstance(
                     request_id, (str, int, float)):
@@ -862,14 +994,24 @@ class ReachServer:
         ticket = BatchTicket(trace if isinstance(trace, str) else None,
                              started)
         ticket.parse_done = time.perf_counter()
+        entry = self._catalog.default
         try:
-            future = self._batcher.try_submit(pairs, ticket)
+            entry.admit(len(pairs))
         except OverloadedError as exc:
             self._finish(conn, request_id, verb, len(pairs), started,
                          None, protocol.ERR_OVERLOADED, str(exc),
-                         ticket=ticket)
+                         ticket=ticket, entry=entry)
+            return True
+        try:
+            future = self._batcher.try_submit(pairs, ticket)
+        except OverloadedError as exc:
+            entry.release(len(pairs))
+            self._finish(conn, request_id, verb, len(pairs), started,
+                         None, protocol.ERR_OVERLOADED, str(exc),
+                         ticket=ticket, entry=entry)
             return True
         if future is None:  # block policy, queue full: await in a task
+            entry.release(len(pairs))  # the task path re-admits
             return False
         conn.inflight += 1
         timer = self._loop.call_later(self._config.request_timeout,
@@ -878,7 +1020,7 @@ class ReachServer:
         future.add_done_callback(
             lambda fut: self._fast_done(fut, conn, request_id, scalar,
                                         len(pairs), started, timer,
-                                        ticket))
+                                        ticket, entry))
         return True
 
     @staticmethod
@@ -889,19 +1031,23 @@ class ReachServer:
     def _fast_done(self, future: asyncio.Future, conn: _Connection,
                    request_id: Any, scalar: bool, num_pairs: int,
                    started: float, timer: asyncio.TimerHandle,
-                   ticket: BatchTicket | None = None) -> None:
+                   ticket: BatchTicket | None = None,
+                   entry: CatalogEntry | None = None) -> None:
         timer.cancel()
+        if entry is not None:
+            entry.release(num_pairs)
         verb = "query" if scalar else "batch"
         exc = future.exception()
         if exc is None:
             answers = future.result()
             self._finish(conn, request_id, verb, num_pairs, started,
                          answers[0] if scalar else answers,
-                         ticket=ticket)
+                         ticket=ticket, entry=entry)
         else:
             code, message = self._map_error(exc)
             self._finish(conn, request_id, verb, num_pairs, started,
-                         None, code, message, ticket=ticket)
+                         None, code, message, ticket=ticket,
+                         entry=entry)
         conn.inflight -= 1
         conn.resume.set()
 
@@ -910,6 +1056,8 @@ class ReachServer:
             return exc.code, exc.message
         if isinstance(exc, OverloadedError):
             return protocol.ERR_OVERLOADED, str(exc)
+        if isinstance(exc, IndexBudgetExceeded):
+            return protocol.ERR_RELOAD_FAILED, str(exc)
         if isinstance(exc, QueryError):
             return protocol.ERR_UNKNOWN_NODE, str(exc)
         if isinstance(exc, asyncio.TimeoutError):
@@ -921,7 +1069,8 @@ class ReachServer:
     def _finish(self, conn: _Connection, request_id: Any, verb: str,
                 num_pairs: int, started: float, result: Any,
                 code: str | None = None, message: str = "",
-                ticket: BatchTicket | None = None) -> None:
+                ticket: BatchTicket | None = None,
+                entry: CatalogEntry | None = None) -> None:
         """Account one answered request and queue its reply bytes."""
         finished = time.perf_counter()
         elapsed = finished - started
@@ -944,7 +1093,7 @@ class ReachServer:
                 self._span_tick = 0
                 self._spans.record(spans)
             if slow:
-                self.slow_log.offer(elapsed, {
+                record = {
                     "trace": trace,
                     "ts": round(time.time(), 6),
                     "conn": conn.id,
@@ -954,10 +1103,15 @@ class ReachServer:
                     "status": code or "ok",
                     "stages_ms": {stage: round(sec * 1000.0, 3)
                                   for stage, sec in spans.items()},
-                })
+                }
+                if entry is not None:
+                    record["index"] = entry.name
+                self.slow_log.offer(elapsed, record)
         if self._log_file is not None:
             self._log_access(conn.id, verb, num_pairs, elapsed, code,
-                             trace=trace, spans=spans)
+                             trace=trace, spans=spans,
+                             index=entry.name if entry is not None
+                             else None)
         # The codec seam: JSON and binary replies share this one call
         # site (JsonCodec keeps the hand-formatted bool fast paths that
         # used to live inline here; BinaryCodec emits frames).
@@ -999,6 +1153,7 @@ class ReachServer:
         message = ""
         result: Any = None
         ticket: BatchTicket | None = None
+        entry: CatalogEntry | None = None
         try:
             doc = protocol.decode_message(line)
             request_id = doc.get("id") if isinstance(doc.get("id"),
@@ -1010,59 +1165,69 @@ class ReachServer:
             request = protocol.parse_request(doc)
             verb = request.verb
             ticket.parse_done = time.perf_counter()
-            result, num_pairs = await self._dispatch(request, ticket)
+            result, num_pairs, entry = await self._dispatch(request,
+                                                            ticket)
         except (ConnectionError, asyncio.CancelledError):
             raise
         except Exception as exc:  # defensive: never kill the connection
             code, message = self._map_error(exc)
         self._finish(conn, request_id, verb, num_pairs, started,
-                     result, code, message, ticket=ticket)
+                     result, code, message, ticket=ticket, entry=entry)
 
     # -- verb dispatch --------------------------------------------------
     async def _dispatch(self, request: Request,
                         ticket: BatchTicket | None = None
-                        ) -> tuple[Any, int]:
+                        ) -> tuple[Any, int, "CatalogEntry | None"]:
         assert self._batcher is not None
         verb = request.verb
         if verb == "ping":
-            return "pong", 0
+            return "pong", 0, None
         if verb == "health":
-            return self.health_snapshot(), 0
+            return self.health_snapshot(), 0, None
         if verb == "ready":
-            return self.ready_snapshot(), 0
+            return self.ready_snapshot(), 0, None
         if verb == "query":
             pairs = protocol.parse_pairs(request.payload)
-            answers = await self._submit(pairs, ticket)
-            return answers[0], 1
+            entry = self._catalog.resolve(request.payload.get("index"))
+            answers = await self._submit(entry, pairs, ticket)
+            return answers[0], 1, entry
         if verb == "batch":
             pairs = protocol.parse_pairs(
                 request.payload,
                 max_pairs=self._config.max_request_pairs)
-            answers = await self._submit(pairs, ticket)
-            return answers, len(pairs)
+            entry = self._catalog.resolve(request.payload.get("index"))
+            answers = await self._submit(entry, pairs, ticket)
+            return answers, len(pairs), entry
         if verb == "stats":
             return self.stats_snapshot(
-                reset=bool(request.payload.get("reset"))), 0
+                reset=bool(request.payload.get("reset"))), 0, None
         if verb == "metrics":
             return self.metrics_snapshot(
-                reset=bool(request.payload.get("reset"))), 0
+                reset=bool(request.payload.get("reset"))), 0, None
         if verb == "reload":
-            return await self._reload(request.payload), 0
+            return await self._reload(request.payload), 0, None
+        if verb == "catalog":
+            return await self._catalog_op(request.payload), 0, None
         raise ProtocolError(protocol.ERR_UNKNOWN_VERB,
                             f"unknown verb {verb!r}")
 
-    async def _submit(self, pairs: list,
+    async def _submit(self, entry: CatalogEntry, pairs: list,
                       ticket: BatchTicket | None = None) -> list:
-        assert self._batcher is not None
-        # asyncio.timeout (3.11+) is much cheaper than wait_for, which
-        # wraps the coroutine in an extra Task — this sits on the
-        # per-request hot path.
-        if _asyncio_timeout is None:  # pragma: no cover - py3.10
-            return await asyncio.wait_for(
-                self._batcher.submit(pairs, ticket),
-                self._config.request_timeout)
-        async with _asyncio_timeout(self._config.request_timeout):
-            return await self._batcher.submit(pairs, ticket)
+        batcher = entry.batcher if entry.batcher is not None \
+            else self._entry_batcher(entry)
+        entry.admit(len(pairs))
+        try:
+            # asyncio.timeout (3.11+) is much cheaper than wait_for,
+            # which wraps the coroutine in an extra Task — this sits on
+            # the per-request hot path.
+            if _asyncio_timeout is None:  # pragma: no cover - py3.10
+                return await asyncio.wait_for(
+                    batcher.submit(pairs, ticket),
+                    self._config.request_timeout)
+            async with _asyncio_timeout(self._config.request_timeout):
+                return await batcher.submit(pairs, ticket)
+        finally:
+            entry.release(len(pairs))
 
     def health_snapshot(self) -> dict:
         """The ``health`` verb's liveness document.
@@ -1114,6 +1279,7 @@ class ReachServer:
             "batcher": self._batcher.stats(),
             "binary_lane": (self._lane.stats()
                             if self._lane is not None else None),
+            "catalog": self._catalog.describe(),
             "service": {
                 "vectorised": service.vectorised,
                 **service.metrics.as_dict(reset=reset),
@@ -1164,6 +1330,11 @@ class ReachServer:
         self._service = new_service
         if scheme is not None:
             self._scheme = scheme
+        # The catalog's default entry mirrors the serving backend, so
+        # tenant-aware paths (admission accounting, per-tenant metrics,
+        # the catalog table) stay in lockstep with the swap.
+        self._catalog.install(self._catalog.default, new_service,
+                              scheme=self._scheme)
         self._degraded = None
         self.stats.swap()
         # The old service may still be answering an in-progress flush
@@ -1171,6 +1342,35 @@ class ReachServer:
         # parked and closed at stop.
         self._retired.append(old)
         return old
+
+    def install_tenant(self, entry: CatalogEntry,
+                       new_service: QueryService, *,
+                       scheme: str | None = None,
+                       label_bytes: int | None = None
+                       ) -> QueryService | None:
+        """Hot-swap a tenant entry's serving backend.
+
+        The per-index twin of :meth:`install_service` — used by the
+        named ``reload`` path and the fleet worker's parent-commanded
+        per-index swap.  The retiring service is parked until shutdown
+        (in-flight flushes hold their per-flush snapshot of it).
+        """
+        old = self._catalog.install(entry, new_service, scheme=scheme,
+                                    label_bytes=label_bytes)
+        if old is not None:
+            self._retired.append(old)
+        self.stats.swap()
+        return old
+
+    async def drop_tenant(self, name: str) -> CatalogEntry:
+        """Drop a named catalog entry and drain its lanes.
+
+        The programmatic twin of the ``catalog drop`` verb — used by
+        the fleet worker's parent-commanded drop.
+        """
+        entry = self._catalog.drop(name)
+        await self._retire_entry(entry)
+        return entry
 
     def note_degraded(self, reason: str) -> None:
         """Enter degraded mode (a failed swap keeps the last good
@@ -1189,13 +1389,20 @@ class ReachServer:
                 self._degraded = f"{type(exc).__name__}: {exc}"
                 raise ProtocolError(protocol.ERR_RELOAD_FAILED,
                                     str(exc)) from None
+        # An optional ``name`` field targets a catalog entry; absent
+        # (or "default") reloads the default serving backend.  The
+        # ``index`` field stays the saved-index *path*, as it always
+        # was.
+        entry = self._catalog.lookup(payload.get("name"))
+        is_default = entry.index_id == DEFAULT_INDEX_ID
         graph_path = payload.get("graph")
         index_path = payload.get("index")
         if bool(graph_path) == bool(index_path):
             raise ProtocolError(
                 protocol.ERR_BAD_REQUEST,
                 "reload requires exactly one of 'graph' or 'index'")
-        scheme = payload.get("scheme", self._scheme)
+        scheme = payload.get("scheme",
+                             self._scheme if is_default else entry.scheme)
         if not isinstance(scheme, str):
             raise ProtocolError(protocol.ERR_BAD_REQUEST,
                                 "scheme must be a string")
@@ -1219,22 +1426,37 @@ class ReachServer:
                 self._reload_executor, rebuild)
         except (ReproError, OSError) as exc:
             # Degraded mode: keep serving the last good index and say
-            # so — a failed swap must never take the service down.
-            self._degraded = f"{type(exc).__name__}: {exc}"
+            # so — a failed swap must never take the service down.  A
+            # failed *tenant* reload degrades only that entry's answer
+            # (it keeps its last good index), never the whole server.
+            if is_default:
+                self._degraded = f"{type(exc).__name__}: {exc}"
             raise ProtocolError(protocol.ERR_RELOAD_FAILED,
                                 str(exc)) from None
+        scheme_name = type(index).scheme_name or scheme
         new_service = QueryService(index,
                                    **self._config.service_options)
         if self._config.service_wrapper is not None:
             new_service = self._config.service_wrapper(new_service)
-        self.install_service(new_service,
-                             type(index).scheme_name or scheme)
+        if is_default:
+            self.install_service(new_service, scheme_name)
+        else:
+            try:
+                label = self._catalog.check_budget(entry, index)
+            except IndexBudgetExceeded as exc:
+                new_service.close()
+                raise ProtocolError(protocol.ERR_RELOAD_FAILED,
+                                    str(exc)) from None
+            self.install_tenant(entry, new_service, scheme=scheme_name,
+                                label_bytes=label)
         stats = index.stats()
         for phase, phase_secs in stats.phase_seconds.items():
             self._build_phases.record(phase, phase_secs)
         return {
             "swapped": True,
-            "scheme": self._scheme,
+            "index_name": entry.name,
+            "generation": entry.generation,
+            "scheme": entry.scheme,
             "source": "index" if index_path else "graph",
             "nodes": stats.num_nodes,
             "edges": stats.num_edges,
@@ -1242,6 +1464,87 @@ class ReachServer:
             "phase_seconds": dict(stats.phase_seconds),
             "index_swaps": self.stats.swaps,
         }
+
+    # -- catalog verbs --------------------------------------------------
+    async def _catalog_op(self, payload: dict) -> Any:
+        """Serve one ``catalog`` request (op shapes documented in
+        :mod:`repro.server.tenancy`).
+
+        ``list`` always answers from the local catalog; mutations
+        (``create``/``build``/``load``/``drop``) go through the fleet
+        delegate when one is configured, so every worker's catalog
+        moves together.
+        """
+        op = payload.get("op")
+        if not isinstance(op, str):
+            raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                "catalog requires an 'op' field")
+        if op == "list":
+            return {"indexes": self._catalog.describe()}
+        if op not in ("create", "build", "load", "drop"):
+            raise ProtocolError(
+                protocol.ERR_BAD_REQUEST,
+                f"unknown catalog op {op!r}; supported: create, build, "
+                f"load, drop, list")
+        if self._config.catalog_handler is not None:
+            try:
+                return await self._config.catalog_handler(payload)
+            except ProtocolError:
+                raise
+            except (ReproError, OSError) as exc:
+                raise ProtocolError(protocol.ERR_RELOAD_FAILED,
+                                    str(exc)) from None
+        if op == "create":
+            quota = TenantQuota.from_payload(payload.get("quota"))
+            scheme = payload.get("scheme", self._scheme)
+            if not isinstance(scheme, str):
+                raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                    "scheme must be a string")
+            entry = self._catalog.create(payload.get("name"),
+                                         scheme=scheme, quota=quota)
+            return {"created": entry.name, "index_id": entry.index_id,
+                    "quota": entry.quota.as_dict()}
+        if op == "drop":
+            entry = self._catalog.drop(payload.get("name"))
+            await self._retire_entry(entry)
+            return {"dropped": entry.name, "index_id": entry.index_id}
+        # build / load: install an index into an existing named entry
+        # (the tenant twin of ``reload``, which owns the machinery).
+        entry = self._catalog.lookup(payload.get("name"))
+        if entry.index_id == DEFAULT_INDEX_ID:
+            raise ProtocolError(
+                protocol.ERR_BAD_REQUEST,
+                "use the reload verb for the default index")
+        field_name = "graph" if op == "build" else "index"
+        source = payload.get(field_name)
+        if not isinstance(source, str) or not source:
+            raise ProtocolError(
+                protocol.ERR_BAD_REQUEST,
+                f"catalog {op} requires a {field_name!r} path")
+        reload_payload: dict[str, Any] = {"name": entry.name,
+                                          field_name: source}
+        if "scheme" in payload:
+            reload_payload["scheme"] = payload["scheme"]
+        return await self._reload(reload_payload)
+
+    async def _retire_entry(self, entry: CatalogEntry) -> None:
+        """Drain a dropped entry: close its lanes, park its service.
+
+        Closing the lanes flushes everything already enqueued (those
+        queries answer from the entry's per-flush service snapshot) and
+        wakes blocked waiters with ``overloaded``; requests arriving
+        after the drop answer ``unknown_index`` at resolution.
+        """
+        if entry.batcher is not None \
+                and entry.batcher is not self._batcher:
+            await entry.batcher.close()
+        if entry.lane is not None and entry.lane is not self._lane:
+            await entry.lane.close()
+        entry.batcher = None
+        entry.lane = None
+        if entry.service is not None:
+            self._retired.append(entry.service)
+            entry.service = None
 
     # -- Prometheus HTTP scrape endpoint --------------------------------
     async def _handle_metrics_http(self, reader: asyncio.StreamReader,
@@ -1326,7 +1629,8 @@ class ReachServer:
     def _log_access(self, conn_id: int, verb: str, num_pairs: int,
                     seconds: float, code: str | None,
                     trace: str | None = None,
-                    spans: dict[str, float] | None = None) -> None:
+                    spans: dict[str, float] | None = None,
+                    index: str | None = None) -> None:
         if self._log_file is None:
             return
         record: dict[str, Any] = {
@@ -1337,6 +1641,8 @@ class ReachServer:
             "ms": round(seconds * 1000.0, 3),
             "status": code or "ok",
         }
+        if index is not None:
+            record["index"] = index
         if trace is not None:
             record["trace"] = trace
         if spans is not None:

@@ -27,6 +27,10 @@ worker → parent                           meaning
 ``("reload", wid, token, payload)``       a client asked this worker
                                           to reload; parent must
                                           answer ``reload_result``
+``("catalog", wid, token, payload)``      a client sent this worker a
+                                          mutating catalog op; parent
+                                          must answer
+                                          ``catalog_result``
 ``("swap_ok", wid, segment)``             the commanded generation is
                                           installed and serving
 ``("swap_err", wid, segment, error)``     attach failed — the worker
@@ -42,12 +46,22 @@ worker → parent                           meaning
 ========================================  ===========================
 parent → worker                           meaning
 ========================================  ===========================
-``("swap", segment, scheme)``             attach ``segment`` and
-                                          atomically install it
+``("swap", segment, scheme, index_id)``   attach ``segment`` and
+                                          atomically install it into
+                                          catalog entry ``index_id``
+                                          (0 = the default index)
 ``("reload_result", token, ok, doc)``     outcome of a forwarded
                                           reload (``doc`` is the
                                           summary dict or an error
                                           string)
+``("catalog_result", token, ok, doc)``    outcome of a forwarded
+                                          catalog op (``doc`` is the
+                                          result dict, or a
+                                          ``code``/``message`` dict)
+``("catalog_create", spec)``              register a new empty tenant
+                                          entry locally
+``("catalog_drop", name)``                drop a tenant entry and
+                                          drain its lanes
 ``("ping", seq)``                         liveness probe — a worker
                                           that stays silent past the
                                           probe timeout is killed
@@ -74,10 +88,11 @@ import sys
 from functools import partial
 
 from repro.core.service import QueryService
-from repro.exceptions import CorruptIndexError
+from repro.exceptions import CorruptIndexError, ReproError
 from repro.server import protocol
 from repro.server.protocol import ProtocolError
 from repro.server.server import ReachServer, ServerConfig
+from repro.server.tenancy import TenantQuota
 
 __all__ = ["worker_main"]
 
@@ -108,6 +123,7 @@ async def _worker_async(worker_id: int, segment: str, scheme: str,
     options = dict(options)
     service_options = options.pop("service_options", {})
     reload_timeout = options.pop("reload_timeout", RELOAD_TIMEOUT)
+    tenant_specs = options.pop("tenants", [])
 
     try:
         service = QueryService.from_shared_memory(segment,
@@ -143,26 +159,93 @@ async def _worker_async(worker_id: int, segment: str, scheme: str,
         finally:
             pending.pop(token, None)
 
+    async def delegate_catalog(payload: dict) -> dict:
+        # The mutating-catalog twin of delegate_reload.  No degraded
+        # marking on failure: a tenant op that fails leaves the
+        # default index (and every other tenant) fully healthy.
+        token = next(tokens)
+        future: asyncio.Future = loop.create_future()
+        pending[token] = future
+        _send(conn, ("catalog", worker_id, token, dict(payload)))
+        try:
+            return await asyncio.wait_for(future, reload_timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            raise ProtocolError(
+                protocol.ERR_RELOAD_FAILED,
+                f"fleet catalog op timed out after {reload_timeout}s")
+        finally:
+            pending.pop(token, None)
+
     config = ServerConfig(host=host, port=port, reuse_port=True,
                           worker_label=str(worker_id),
                           reload_handler=delegate_reload,
+                          catalog_handler=delegate_catalog,
                           service_options=dict(service_options),
                           **options)
     server = ReachServer(service, scheme=scheme, config=config)
 
-    async def do_swap(new_segment: str, new_scheme: str) -> None:
+    def attach_tenant(spec: dict) -> None:
+        """Register (and, when published, attach) one tenant entry."""
+        quota = TenantQuota(**(spec.get("quota") or {}))
+        entry = server.catalog.create(
+            spec["name"], scheme=spec["scheme"], quota=quota,
+            index_id=spec["index_id"])
+        seg = spec.get("segment")
+        if seg is None:
+            return  # registered but empty: queries answer unknown_index
+        tenant_service = QueryService.from_shared_memory(
+            seg, **service_options)
+        label = server.catalog.check_budget(entry, tenant_service.index)
+        server.catalog.install(entry, tenant_service,
+                               scheme=spec["scheme"],
+                               label_bytes=label)
+
+    try:
+        for tenant_spec in tenant_specs:
+            attach_tenant(tenant_spec)
+    except (FileNotFoundError, CorruptIndexError, OSError,
+            ReproError) as exc:
+        _send(conn, ("attach_failed", worker_id,
+                     f"{type(exc).__name__}: {exc}"))
+        return 1
+
+    async def do_swap(new_segment: str, new_scheme: str,
+                      index_id: int = 0) -> None:
         try:
             new_service = await loop.run_in_executor(
                 None, partial(QueryService.from_shared_memory,
                               new_segment, **service_options))
         except (FileNotFoundError, CorruptIndexError, OSError) as exc:
-            # Keep answering from the last good generation and say so.
-            server.note_degraded(f"{type(exc).__name__}: {exc}")
+            # Keep answering from the last good generation and say so
+            # (a failed *tenant* attach degrades only that entry's
+            # freshness, not this worker's default index).
+            if index_id == 0:
+                server.note_degraded(f"{type(exc).__name__}: {exc}")
             _send(conn, ("swap_err", worker_id, new_segment,
                          f"{type(exc).__name__}: {exc}"))
             return
-        server.install_service(new_service, new_scheme)
+        if index_id == 0:
+            server.install_service(new_service, new_scheme)
+        else:
+            try:
+                entry = server.catalog.lookup_id(index_id)
+            except ProtocolError as exc:
+                # Unknown locally (a create raced this worker's
+                # respawn): swap_err makes the parent kill us, and the
+                # respawn manifest carries the full current catalog.
+                _send(conn, ("swap_err", worker_id, new_segment,
+                             exc.message))
+                new_service.close()
+                return
+            server.install_tenant(entry, new_service,
+                                  scheme=new_scheme)
         _send(conn, ("swap_ok", worker_id, new_segment))
+
+    async def do_drop(name: str) -> None:
+        try:
+            await server.drop_tenant(name)
+        except ProtocolError:
+            pass  # already gone (a respawn raced the broadcast)
 
     def handle_control() -> None:
         try:
@@ -170,8 +253,9 @@ async def _worker_async(worker_id: int, segment: str, scheme: str,
                 message = conn.recv()
                 kind = message[0]
                 if kind == "swap":
-                    _, new_segment, new_scheme = message
-                    loop.create_task(do_swap(new_segment, new_scheme))
+                    _, new_segment, new_scheme, index_id = message
+                    loop.create_task(do_swap(new_segment, new_scheme,
+                                             index_id))
                 elif kind == "reload_result":
                     _, token, ok, doc = message
                     future = pending.get(token)
@@ -182,6 +266,30 @@ async def _worker_async(worker_id: int, segment: str, scheme: str,
                     else:
                         future.set_exception(ProtocolError(
                             protocol.ERR_RELOAD_FAILED, str(doc)))
+                elif kind == "catalog_result":
+                    _, token, ok, doc = message
+                    future = pending.get(token)
+                    if future is None or future.done():
+                        continue
+                    if ok:
+                        future.set_result(doc)
+                    else:
+                        future.set_exception(ProtocolError(
+                            doc.get("code",
+                                    protocol.ERR_RELOAD_FAILED),
+                            doc.get("message", "catalog op failed")))
+                elif kind == "catalog_create":
+                    _, spec = message
+                    try:
+                        server.catalog.create(
+                            spec["name"], scheme=spec["scheme"],
+                            quota=TenantQuota(**(spec.get("quota")
+                                                 or {})),
+                            index_id=spec["index_id"])
+                    except ProtocolError:
+                        pass  # already registered (spawn manifest)
+                elif kind == "catalog_drop":
+                    loop.create_task(do_drop(message[1]))
                 elif kind == "ping":
                     # Liveness probe: answered inline on the event
                     # loop, so a wedged/SIGSTOPped worker goes silent

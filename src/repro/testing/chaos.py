@@ -33,6 +33,16 @@ Two invariants gate the run (:meth:`ChaosReport.ok`):
 
 The same seed replays the same fault schedule, so a soak failure in CI
 reproduces locally with one number.
+
+:func:`run_tenant_isolation_soak` is the multi-tenant variant: a
+worker fleet serves two named catalog entries, tenant A is driven far
+past its admission quota (so the per-tenant shed path fires
+continuously) while workers are SIGKILLed underneath, and tenant B's
+differentially-verified traffic must stay *both* correct (zero wrong
+answers) and fast (p99 within a bounded multiple of its quiet
+baseline).  That is the isolation contract: one tenant's overload or
+infrastructure trouble may slow or fail that tenant, never its
+neighbours.
 """
 
 from __future__ import annotations
@@ -53,7 +63,7 @@ from repro.exceptions import ReproError
 from repro.graph.generators import gnm_random_digraph
 from repro.obs.metrics import RECOVERY_BUCKETS, MetricsRegistry
 from repro.server.client import ReachClient, RetryPolicy, ServerReplyError
-from repro.server.loadgen import run_loadgen
+from repro.server.loadgen import run_loadgen, run_loadgen_mix
 from repro.server.router import WorkerFleet
 from repro.server.server import ReachServer, ServerConfig, ServerThread
 from repro.testing.faults import (
@@ -67,7 +77,9 @@ __all__ = [
     "ChaosReport",
     "DEFAULT_FAULT_KINDS",
     "FLEET_FAULT_KINDS",
+    "IsolationReport",
     "run_chaos_soak",
+    "run_tenant_isolation_soak",
 ]
 
 #: The fault vocabulary the soak understands.  ``sever``/``delay``/
@@ -487,9 +499,12 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
     started = time.monotonic()
     try:
         while True:
+            # Inject BEFORE the duration check: a slow recovery wait
+            # can push `elapsed` past `duration`, and every event is
+            # scheduled inside 0.7 x duration — so draining the due
+            # events first guarantees the whole plan fires even when
+            # the box is too loaded to keep the nominal schedule.
             elapsed = time.monotonic() - started
-            if elapsed >= duration:
-                break
             for event in plan.pop_due(elapsed):
                 try:
                     apply_fault(event.kind)
@@ -507,6 +522,8 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
                                          if recovery is not None
                                          else None),
                 })
+            if elapsed >= duration:
+                break
             time.sleep(0.02)
         traffic.join(timeout=duration + 30.0)
     finally:
@@ -551,4 +568,238 @@ def run_chaos_soak(*, seed: int = 0, duration: float = 6.0,
             "max_seconds": snap["max"],
             "buckets": snap["buckets"],
         }
+    return report
+
+
+@dataclass
+class IsolationReport:
+    """Outcome of one cross-tenant isolation soak."""
+
+    seed: int
+    scheme: str
+    duration_seconds: float
+    workers: int
+    #: multiple of the quiet baseline p99 tenant B may reach
+    p99_limit: float
+    #: absolute p99 floor (ms) that absorbs scheduler noise when the
+    #: quiet baseline is sub-millisecond
+    p99_floor_ms: float
+    #: tenant B alone on a quiet fleet (``LoadgenResult.as_dict()``)
+    baseline: dict = field(default_factory=dict)
+    #: tenant B while A floods and workers die
+    victim: dict = field(default_factory=dict)
+    #: tenant A driven far past its admission quota
+    aggressor: dict = field(default_factory=dict)
+    #: ``[{"kind", "at"}, ...]`` process faults applied mid-soak
+    faults: list[dict] = field(default_factory=list)
+    driver_errors: list = field(default_factory=list)
+    #: :meth:`WorkerFleet.describe` snapshot at the end
+    fleet: dict = field(default_factory=dict)
+
+    @property
+    def victim_p99_bound_ms(self) -> float:
+        """What tenant B's contended p99 must stay under."""
+        base = self.baseline.get("latency_p99_ms", 0.0)
+        return max(self.p99_limit * base, self.p99_floor_ms)
+
+    @property
+    def overload_observed(self) -> bool:
+        """Tenant A's traffic actually tripped per-tenant admission."""
+        codes = self.aggressor.get("error_codes", {})
+        return codes.get("overloaded", 0) > 0
+
+    def ok(self) -> bool:
+        """The isolation verdict: B correct and fast, A actually shed,
+        and nothing broke at the driver level."""
+        return (not self.driver_errors
+                and self.baseline.get("ok", 0) > 0
+                and self.victim.get("ok", 0) > 0
+                and self.victim.get("wrong_answers", 1) == 0
+                and self.overload_observed
+                and (self.victim.get("latency_p99_ms", float("inf"))
+                     <= self.victim_p99_bound_ms))
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok(),
+            "seed": self.seed,
+            "scheme": self.scheme,
+            "duration_seconds": self.duration_seconds,
+            "workers": self.workers,
+            "p99_limit": self.p99_limit,
+            "p99_floor_ms": self.p99_floor_ms,
+            "victim_p99_bound_ms": self.victim_p99_bound_ms,
+            "overload_observed": self.overload_observed,
+            "baseline": dict(self.baseline),
+            "victim": dict(self.victim),
+            "aggressor": dict(self.aggressor),
+            "faults": list(self.faults),
+            "driver_errors": list(self.driver_errors),
+            "fleet": dict(self.fleet),
+        }
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable digest for the CLI."""
+        lines = [
+            f"tenant isolation soak seed={self.seed} "
+            f"scheme={self.scheme} workers={self.workers} "
+            f"duration={self.duration_seconds:.1f}s: "
+            f"{'PASS' if self.ok() else 'FAIL'}",
+            f"  baseline (B quiet): {self.baseline.get('ok', 0)} ok, "
+            f"p99 {self.baseline.get('latency_p99_ms', 0.0):.2f}ms",
+            f"  victim   (B loud):  {self.victim.get('ok', 0)} ok, "
+            f"p99 {self.victim.get('latency_p99_ms', 0.0):.2f}ms "
+            f"(bound {self.victim_p99_bound_ms:.2f}ms), "
+            f"wrong answers: {self.victim.get('wrong_answers', 0)}",
+            f"  aggressor (A):      {self.aggressor.get('ok', 0)} ok, "
+            f"{self.aggressor.get('error_codes', {}).get('overloaded', 0)}"
+            f" shed by per-tenant admission",
+            f"  faults: "
+            f"{', '.join(f['kind'] for f in self.faults) or 'none'}",
+        ]
+        if self.fleet:
+            lines.append(
+                f"  fleet: {self.fleet.get('workers', 0)} workers, "
+                f"{self.fleet.get('restarts', 0)} restarts")
+        if self.driver_errors:
+            lines.append(f"  driver errors: {self.driver_errors}")
+        return lines
+
+
+def run_tenant_isolation_soak(*, seed: int = 0, duration: float = 4.0,
+                              nodes: int = 150,
+                              scheme: str = "dual-ii",
+                              workers: int = 2,
+                              baseline_duration: float = 1.5,
+                              victim_connections: int = 4,
+                              aggressor_connections: int = 12,
+                              pool_size: int = 192,
+                              p99_limit: float = 2.0,
+                              p99_floor_ms: float = 25.0,
+                              worker_kills: int = 2) -> IsolationReport:
+    """Prove one tenant's trouble cannot leak into another's answers.
+
+    A :class:`~repro.server.router.WorkerFleet` serves the default
+    index plus two named tenants.  ``tenant-a`` gets a deliberately
+    tiny admission quota and is then flooded far past it (every shed
+    request is an ``overloaded`` error *for A only*); ``tenant-b``
+    runs differentially-verified traffic at a gentle rate.  Midway,
+    ``worker_kills`` workers are SIGKILLed so B's correctness also
+    survives respawn/re-attach churn.  The verdict
+    (:meth:`IsolationReport.ok`) requires: A's overload actually
+    tripped per-tenant admission, B answered with **zero** wrong
+    answers, and B's contended p99 stayed within ``p99_limit`` × its
+    quiet baseline (or ``p99_floor_ms``, whichever is larger — the
+    floor absorbs scheduler noise when the quiet baseline is
+    sub-millisecond).
+    """
+    edges = 2 * nodes
+    graph_default = gnm_random_digraph(nodes, edges, seed=seed)
+    graph_a = gnm_random_digraph(nodes, edges, seed=seed + 10)
+    graph_b = gnm_random_digraph(nodes, edges, seed=seed + 20)
+    index_default = build_index(graph_default, scheme=scheme)
+    index_a = build_index(graph_a, scheme=scheme)
+    index_b = build_index(graph_b, scheme=scheme)
+
+    rng = random.Random(seed + 1)
+    pool_a = [(rng.randrange(nodes), rng.randrange(nodes))
+              for _ in range(pool_size)]
+    pool_b = [(rng.randrange(nodes), rng.randrange(nodes))
+              for _ in range(pool_size)]
+    with QueryService(index_a) as direct:
+        expected_a = [bool(x) for x in direct.query_batch(pool_a)]
+    with QueryService(index_b) as direct:
+        expected_b = [bool(x) for x in direct.query_batch(pool_b)]
+
+    report = IsolationReport(seed=seed, scheme=scheme,
+                             duration_seconds=duration,
+                             workers=workers, p99_limit=p99_limit,
+                             p99_floor_ms=p99_floor_ms)
+    fleet = WorkerFleet(
+        index_default, scheme=scheme, workers=workers,
+        server_options=dict(max_delay=0.001, policy="shed",
+                            request_timeout=5.0, drain_timeout=2.0),
+        tenants=[
+            # A's quota is far below what the aggressor sends, so the
+            # per-tenant gate (not the shared batcher) does the
+            # shedding.  The rate quota (tokens are per worker) makes
+            # the overload deterministic even when the kernel drains
+            # pending pairs instantly.
+            {"name": "tenant-a", "index": index_a, "scheme": scheme,
+             "quota": {"rate": 150.0, "burst": 50,
+                       "max_pending": 256}},
+            {"name": "tenant-b", "index": index_b, "scheme": scheme},
+        ],
+        probe_interval=0.25, probe_timeout=1.5)
+    fleet.start()
+    fault_rng = random.Random(seed + 2)
+    try:
+        port = fleet.port
+        baseline = run_loadgen(
+            "127.0.0.1", port, pool_b,
+            connections=victim_connections,
+            duration=baseline_duration, pipeline=4, batch_size=4,
+            expected=expected_b, index="tenant-b")
+        report.baseline = baseline.as_dict()
+
+        mix_box: dict[str, Any] = {}
+
+        def drive() -> None:
+            try:
+                mix_box["results"] = run_loadgen_mix(
+                    "127.0.0.1", port, [
+                        # Paced several-fold past A's admission rate:
+                        # the quota sheds most of it, proving per-
+                        # tenant overload, without the open-loop
+                        # hot-spin (instant shed reply -> instant
+                        # resend) that would measure host CPU
+                        # saturation instead of admission isolation.
+                        {"pairs": pool_a, "expected": expected_a,
+                         "index": "tenant-a",
+                         "connections": aggressor_connections,
+                         "pipeline": 8, "batch_size": 16,
+                         "rate": 1200.0},
+                        {"pairs": pool_b, "expected": expected_b,
+                         "index": "tenant-b",
+                         "connections": victim_connections,
+                         "pipeline": 4, "batch_size": 4},
+                    ], duration=duration)
+            except Exception as exc:
+                mix_box["error"] = f"{type(exc).__name__}: {exc}"
+
+        traffic = threading.Thread(target=drive,
+                                   name="isolation-loadgen",
+                                   daemon=True)
+        traffic.start()
+        # SIGKILL workers at evenly spaced points inside the first
+        # ~70% of the window, leaving room for the respawn to land.
+        kill_at = [duration * 0.7 * (i + 1) / (worker_kills + 1)
+                   for i in range(worker_kills)]
+        started = time.monotonic()
+        for at in kill_at:
+            delay = at - (time.monotonic() - started)
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                pids = fleet.pids()
+                if not pids:
+                    raise RuntimeError("no live worker to kill")
+                os.kill(fault_rng.choice(pids), signal.SIGKILL)
+                report.faults.append({"kind": "worker_kill",
+                                      "at": round(at, 3)})
+            except Exception as exc:
+                report.driver_errors.append(
+                    f"worker_kill: {type(exc).__name__}: {exc}")
+        traffic.join(timeout=duration + 30.0)
+        if traffic.is_alive():
+            report.driver_errors.append("loadgen mix did not finish")
+        if "error" in mix_box:
+            report.driver_errors.append(f"loadgen: {mix_box['error']}")
+        results = mix_box.get("results")
+        if results is not None:
+            report.aggressor = results[0].as_dict()
+            report.victim = results[1].as_dict()
+    finally:
+        report.fleet = fleet.describe()
+        fleet.stop()
     return report

@@ -14,7 +14,9 @@ from repro.testing.chaos import (
     DEFAULT_FAULT_KINDS,
     FLEET_FAULT_KINDS,
     ChaosReport,
+    IsolationReport,
     run_chaos_soak,
+    run_tenant_isolation_soak,
 )
 
 
@@ -133,3 +135,90 @@ class TestFleetChaosSoak:
         assert report.workers == 2
         assert report.as_dict()["fleet"]["restarts"] >= 1
         assert "fleet of 2 workers" in detail
+
+
+class TestIsolationReport:
+    def _base(self, **overrides) -> IsolationReport:
+        report = IsolationReport(seed=0, scheme="dual-ii",
+                                 duration_seconds=1.0, workers=2,
+                                 p99_limit=2.0, p99_floor_ms=25.0)
+        report.baseline = {"ok": 200, "latency_p99_ms": 20.0}
+        report.victim = {"ok": 300, "wrong_answers": 0,
+                         "latency_p99_ms": 30.0}
+        report.aggressor = {"ok": 50,
+                            "error_codes": {"overloaded": 400}}
+        report.faults = [{"kind": "worker_kill", "at": 0.4}]
+        for key, value in overrides.items():
+            setattr(report, key, value)
+        return report
+
+    def test_ok_requires_every_isolation_invariant(self):
+        assert self._base().ok()
+        assert not self._base(driver_errors=["boom"]).ok()
+        assert not self._base(baseline={"ok": 0}).ok()
+        # One wrong answer for the victim is an isolation breach.
+        broken = self._base()
+        broken.victim = dict(broken.victim, wrong_answers=1)
+        assert not broken.ok()
+        # A soak in which A never tripped admission proves nothing.
+        quiet = self._base()
+        quiet.aggressor = {"ok": 50, "error_codes": {}}
+        assert not quiet.overload_observed and not quiet.ok()
+
+    def test_p99_bound_is_limit_times_baseline_or_floor(self):
+        report = self._base()
+        assert report.victim_p99_bound_ms == 40.0  # 2.0 x 20ms
+        slow_victim = self._base()
+        slow_victim.victim = dict(slow_victim.victim,
+                                  latency_p99_ms=40.1)
+        assert not slow_victim.ok()
+        # A sub-millisecond quiet baseline falls back to the floor,
+        # absorbing scheduler noise instead of failing spuriously.
+        floored = self._base()
+        floored.baseline = {"ok": 200, "latency_p99_ms": 0.4}
+        floored.victim = dict(floored.victim, latency_p99_ms=24.0)
+        assert floored.victim_p99_bound_ms == 25.0
+        assert floored.ok()
+
+    def test_round_trips_and_summarises(self):
+        report = self._base()
+        doc = report.as_dict()
+        assert doc["ok"] is True
+        assert doc["overload_observed"] is True
+        assert doc["victim_p99_bound_ms"] == 40.0
+        text = "\n".join(report.summary_lines())
+        assert "PASS" in text and "worker_kill" in text
+        assert "shed by per-tenant admission" in text
+
+
+@pytest.mark.slow
+class TestTenantIsolationSoak:
+    """The multi-tenant acceptance run (ISSUE: tenant A overloaded and
+    losing workers, tenant B must see zero wrong answers and a bounded
+    p99)."""
+
+    def test_victim_tenant_is_unaffected_by_aggressor(self):
+        # p99_limit stays 2.0 everywhere operators run the soak (CLI
+        # default, the CI isolation smoke); this in-suite run shares a
+        # single core with the rest of the slow tests, which inflates
+        # baseline and victim tails unevenly, so it gets headroom —
+        # a real isolation breach blows past any constant factor.
+        report = run_tenant_isolation_soak(seed=3, duration=3.0,
+                                           nodes=120, workers=2,
+                                           baseline_duration=1.0,
+                                           worker_kills=1,
+                                           p99_limit=2.5)
+        detail = "\n".join(report.summary_lines())
+        assert not report.driver_errors, detail
+        # The aggressor genuinely tripped per-tenant admission...
+        assert report.overload_observed, detail
+        # ...and workers really died mid-soak...
+        assert [f["kind"] for f in report.faults] == ["worker_kill"], \
+            detail
+        assert report.fleet.get("restarts", 0) >= 1, detail
+        # ...while tenant B stayed correct and within its p99 bound.
+        assert report.victim["wrong_answers"] == 0, detail
+        assert report.victim["ok"] > 0, detail
+        assert report.victim["latency_p99_ms"] <= \
+            report.victim_p99_bound_ms, detail
+        assert report.ok(), detail

@@ -6,20 +6,27 @@ import pytest
 
 from repro.bench.experiments import preprocess
 from repro.datasets import (
+    SCENARIO_SPECS,
     TABLE2_SPECS,
     DatasetSpec,
     build_calibrated_graph,
+    build_scenario_graph,
     dataset_names,
+    dependency_resolution_dag,
     get_spec,
     load_dataset,
+    netlist_dataflow_dag,
+    scenario_names,
 )
 from repro.exceptions import DatasetError
 
 
 class TestRegistry:
-    def test_names_in_table2_order(self):
+    def test_names_table2_first_then_scenarios(self):
         assert dataset_names() == ["AgroCyc", "Ecoo157", "HpyCyc",
-                                   "VchoCyc", "XMark"]
+                                   "VchoCyc", "XMark",
+                                   "netlist-dataflow",
+                                   "dependency-resolution"]
 
     def test_get_spec(self):
         spec = get_spec("XMark")
@@ -94,6 +101,85 @@ class TestCalibration:
 
     def test_seed_varies_graph(self, name):
         assert load_dataset(name, seed=0) != load_dataset(name, seed=1)
+
+
+class TestScenarioPacks:
+    def test_registry_dispatch(self):
+        assert scenario_names() == list(SCENARIO_SPECS)
+        for name in scenario_names():
+            graph = load_dataset(name, seed=1)
+            assert graph.num_nodes == SCENARIO_SPECS[name].default_nodes
+        with pytest.raises(DatasetError, match="netlist-dataflow"):
+            build_scenario_graph("no-such-scenario")
+
+    @pytest.mark.parametrize("name", ["netlist-dataflow",
+                                      "dependency-resolution"])
+    def test_deterministic_and_seed_varies(self, name):
+        a = build_scenario_graph(name, nodes=300, seed=4)
+        b = build_scenario_graph(name, nodes=300, seed=4)
+        c = build_scenario_graph(name, nodes=300, seed=5)
+        assert a == b
+        assert a != c
+
+    @pytest.mark.parametrize("name", ["netlist-dataflow",
+                                      "dependency-resolution"])
+    def test_scenarios_are_dags_on_dense_ids(self, name):
+        graph = build_scenario_graph(name, nodes=400, seed=0)
+        assert graph.num_nodes == 400
+        assert sorted(graph.nodes()) == list(range(400))
+        _, counters = preprocess(graph)
+        assert counters["nodes_dag"] == 400  # acyclic: no SCC collapse
+
+    def test_netlist_is_deep_narrow_and_tree_heavy(self):
+        from repro.core.base import build_index
+
+        graph = netlist_dataflow_dag(1200, seed=2)
+        # High tree-edge ratio: few non-tree edges survive spanning.
+        assert graph.num_edges <= 1.25 * graph.num_nodes
+        index = build_index(graph, scheme="dual-ii")
+        assert index.t <= 0.2 * graph.num_nodes
+        # Deep: the stage pipeline is far longer than it is wide.
+        depth = [0] * graph.num_nodes
+        for u in range(graph.num_nodes):       # ids are topological
+            for v in graph.successors(u):
+                depth[v] = max(depth[v], depth[u] + 1)
+        assert max(depth) >= 50
+
+    def test_dependency_dag_is_wide_and_diamond_heavy(self):
+        graph = dependency_resolution_dag(1500, seed=2)
+        # Diamond-heavy: several dependencies per package on average.
+        assert graph.num_edges >= 2.0 * graph.num_nodes
+        # Wide: reachability funnels onto a few shared base packages.
+        indegree = [len(list(graph.predecessors(v)))
+                    for v in range(30)]  # the base layer sits first
+        assert max(indegree) >= 30
+        # Shallow: the layer structure caps path length at 4 hops.
+        depth = [0] * graph.num_nodes
+        for u in range(graph.num_nodes - 1, -1, -1):
+            for v in graph.successors(u):      # edges high id -> low id
+                depth[v] = max(depth[v], depth[u] + 1)
+        assert max(depth) <= 4
+
+    @pytest.mark.parametrize("name", ["netlist-dataflow",
+                                      "dependency-resolution"])
+    def test_differential_across_schemes(self, name):
+        """Scenario graphs answer identically under Dual-I, Dual-II,
+        and plain BFS — the harness hook the chaos/differential soaks
+        rely on when they load scenarios by name."""
+        import random
+
+        from repro.core.base import build_index
+        from tests.test_differential import ground_truth
+
+        graph = build_scenario_graph(name, nodes=250, seed=3)
+        reaches = ground_truth(graph)
+        rng = random.Random(9)
+        pairs = [(rng.randrange(250), rng.randrange(250))
+                 for _ in range(500)]
+        truth = [reaches(u, v) for u, v in pairs]
+        for scheme in ("dual-i", "dual-ii"):
+            index = build_index(graph, scheme=scheme)
+            assert index.reachable_many(pairs) == truth, (name, scheme)
 
 
 class TestSmallCalibratedGraph:

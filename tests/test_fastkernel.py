@@ -117,6 +117,47 @@ class TestDifferential:
 
 
 # ---------------------------------------------------------------------
+# the Dual-II rank path
+# ---------------------------------------------------------------------
+
+class TestRankMode:
+    def test_dual_ii_arrays_select_the_rank_path(self):
+        graph = FAMILIES["cyclic-gnm"](2)
+        index, arrays, kernel = _kernel_for(graph, "dual-ii",
+                                            use_compiled=False)
+        assert kernel.mode == "rank"
+        assert index.t > 0  # the search tree actually gets probed
+        pairs, src, dst = _all_pairs(graph)
+        assert kernel.query_ids(src, dst).tolist() \
+            == arrays.query_pairs(pairs).tolist()
+
+    def test_rank_path_with_empty_search_tree(self):
+        """A pure tree has t == 0 — the rank path must answer from
+        interval containment alone without touching the (empty)
+        search tree."""
+        graph = FAMILIES["fanout9-tree"](1)
+        index, arrays, kernel = _kernel_for(graph, "dual-ii",
+                                            use_compiled=False)
+        assert index.t == 0
+        assert kernel.mode == "rank"
+        truth = ground_truth(graph)
+        pairs, src, dst = _all_pairs(graph)
+        assert kernel.query_ids(src, dst).tolist() \
+            == [truth(u, v) for u, v in pairs]
+
+    def test_rank_scratch_is_reused_across_calls(self):
+        graph = FAMILIES["sparse-dag"](3)
+        _, arrays, kernel = _kernel_for(graph, "dual-ii",
+                                        use_compiled=False)
+        probes = kernel._scratch["p"]
+        pairs, src, dst = _all_pairs(graph)
+        want = arrays.query_pairs(pairs).tolist()
+        for _ in range(3):
+            assert kernel.query_ids(src, dst).tolist() == want
+        assert kernel._scratch["p"] is probes
+
+
+# ---------------------------------------------------------------------
 # contract
 # ---------------------------------------------------------------------
 

@@ -245,3 +245,92 @@ class TestSupervision:
             with pytest.raises(ServerReplyError) as excinfo:
                 client.reload()
             assert excinfo.value.code == "reload_failed"
+
+
+class TestFleetTenancy:
+    """Multi-tenant catalog through the fleet: a mutation sent to any
+    worker must move every worker's catalog together."""
+
+    def _await_both_workers(self, fleet, check):
+        """Open fresh connections until both workers passed ``check``
+        (generous deadline: a respawning worker may still be attaching
+        its manifest when the first connections land)."""
+        seen = set()
+        deadline = time.monotonic() + 60
+        while len(seen) < 2 and time.monotonic() < deadline:
+            with ReachClient(port=fleet.port, timeout=60.0) as client:
+                check(client)
+                seen.add(client.stats()["worker"])
+        assert sorted(seen) == ["0", "1"], (
+            f"accept sharding never reached both workers: {sorted(seen)}")
+
+    def test_catalog_lifecycle_spans_all_workers(self, fleet, workdir):
+        graph = gnm_random_digraph(40, 90, seed=41)
+        path = workdir / "tenant-ft1.edges"
+        write_edge_list(graph, path)
+        pairs = _pairs(graph, seed=43)
+        expected = build_index(graph, scheme="dual-ii") \
+            .reachable_many(pairs)
+
+        with ReachClient(port=fleet.port, timeout=60.0) as client:
+            created = client.catalog("create", name="ft1",
+                                     scheme="dual-ii")
+            built = client.catalog("build", name="ft1",
+                                   graph=str(path))
+            assert built["swapped"] and built["index_name"] == "ft1"
+            ft1_id = created["index_id"]
+
+        # Every worker (not just the one that took the build) serves
+        # the tenant — by name over JSON and by id over binary frames.
+        def serves_tenant(client):
+            assert client.query_batch([list(p) for p in pairs],
+                                      index="ft1") == expected
+
+        self._await_both_workers(fleet, serves_tenant)
+        from repro.server.client import BinaryReachClient
+        with BinaryReachClient(port=fleet.port,
+                               index_id=ft1_id) as binary:
+            assert binary.query_batch(pairs) == expected
+
+        # The drop broadcast lands on every worker before the reply.
+        with ReachClient(port=fleet.port, timeout=60.0) as client:
+            assert client.catalog("drop", name="ft1")["dropped"] == "ft1"
+
+        def gone(client):
+            with pytest.raises(ServerReplyError) as excinfo:
+                client.query(0, 1, index="ft1")
+            assert excinfo.value.code == "unknown_index"
+
+        self._await_both_workers(fleet, gone)
+
+    def test_respawned_worker_inherits_the_catalog(self, fleet,
+                                                   workdir):
+        graph = gnm_random_digraph(40, 60, seed=47)
+        path = workdir / "tenant-ft2.edges"
+        write_edge_list(graph, path)
+        pairs = _pairs(graph, seed=48)
+        expected = build_index(graph, scheme="dual-i") \
+            .reachable_many(pairs)
+        with ReachClient(port=fleet.port, timeout=60.0) as client:
+            client.catalog("create", name="ft2")
+            client.catalog("build", name="ft2", graph=str(path))
+
+        victim = sorted(fleet.pids())[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            pids = set(fleet.pids())
+            if len(pids) == 2 and victim not in pids:
+                break
+            time.sleep(0.05)
+        assert victim not in set(fleet.pids())
+
+        # The replacement's spawn manifest carried the tenant entry and
+        # its live segment: both workers answer the tenant correctly.
+        def serves_tenant(client):
+            assert client.query_batch([list(p) for p in pairs],
+                                      index="ft2") == expected
+
+        self._await_both_workers(fleet, serves_tenant)
+        with ReachClient(port=fleet.port, timeout=60.0) as client:
+            client.catalog("drop", name="ft2")

@@ -29,6 +29,8 @@ from repro.core.shm import (
     attach_index,
     list_segments,
     publish_index,
+    stale_segments,
+    sweep_stale_segments,
 )
 from repro.exceptions import CorruptIndexError
 from repro.graph.generators import gnm_random_digraph, random_dag
@@ -152,6 +154,82 @@ def _attach_and_linger(name: str, ready) -> None:
     attach_index(name)
     ready.set()
     time.sleep(60)  # killed long before this expires
+
+
+def _publish_and_die(conn) -> None:
+    """Child body for the stale-sweep test: publish under the default
+    (pid-embedding) name and hard-exit without unlinking — the exact
+    leak shape of a SIGKILLed fleet parent."""
+    index = build_index(random_dag(20, 26, seed=3), scheme="dual-i")
+    published = publish_index(index)
+    published.close()
+    conn.send(published.name)
+    conn.close()
+    os._exit(0)
+
+
+def _dead_pid() -> int:
+    """A pid guaranteed dead: a child that already exited."""
+    ctx = multiprocessing.get_context("spawn")
+    proc = ctx.Process(target=_noop)
+    proc.start()
+    proc.join(timeout=30)
+    return proc.pid
+
+
+def _noop() -> None:
+    pass
+
+
+class TestStaleSweep:
+    def test_dead_owner_segment_is_swept(self):
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(target=_publish_and_die, args=(child_conn,))
+        proc.start()
+        child_conn.close()
+        assert parent_conn.poll(timeout=60), "child never published"
+        name = parent_conn.recv()
+        proc.join(timeout=30)
+        assert name in list_segments(), "child never published"
+        assert name in stale_segments()
+        removed = sweep_stale_segments()
+        assert name in removed
+        assert name not in list_segments()
+
+    def test_live_owner_segment_survives_the_sweep(self):
+        index = build_index(random_dag(20, 26, seed=3), scheme="dual-i")
+        with publish_index(index) as published:
+            assert published.name not in stale_segments()
+            assert published.name not in sweep_stale_segments()
+            assert published.name in list_segments()
+
+    def test_explicit_non_pid_names_are_skipped(self):
+        # Explicitly named segments carry no owner pid; the sweep must
+        # leave them alone even though the prefix matches.
+        index = build_index(random_dag(20, 26, seed=3), scheme="dual-i")
+        name = f"{SEGMENT_PREFIX}test-sweep-{os.getpid()}"
+        with publish_index(index, name=name):
+            assert name not in stale_segments()
+            assert name not in sweep_stale_segments()
+            assert name in list_segments()
+
+    def test_foreign_segment_without_magic_is_never_unlinked(self):
+        # A dead-pid name that does NOT carry our publication magic is
+        # somebody else's data (or garbage) — report nothing, touch
+        # nothing.
+        pid = _dead_pid()
+        name = f"{SEGMENT_PREFIX}{pid}-deadbeef"
+        shm = shared_memory.SharedMemory(name=name, create=True,
+                                         size=64)
+        try:
+            shm.buf[:8] = b"NOTMAGIC"
+            assert name not in stale_segments()
+            assert name not in sweep_stale_segments()
+            assert name in list_segments()
+        finally:
+            shm.close()
+            shm.unlink()
 
 
 class TestCorruption:
