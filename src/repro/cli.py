@@ -71,7 +71,7 @@ from repro.bench.runner import main as bench_main
 from repro.bench.timing import measure_build_time, measure_query_time
 from repro.bench.workloads import random_query_pairs
 from repro.core.base import available_schemes, build_index
-from repro.exceptions import ReproError
+from repro.exceptions import DatasetError, ReproError
 from repro.datasets import dataset_names, load_dataset
 from repro.graph.generators import (
     gnm_random_digraph,
@@ -215,24 +215,116 @@ def _build_tenants(args: argparse.Namespace) -> list[dict]:
     return tenants
 
 
+def _durable_boot(args: argparse.Namespace):
+    """``serve --state-dir``: recover the catalog before serving.
+
+    Returns ``(state, index, scheme, tenant_specs)`` where the default
+    index and every tenant come from the last durable generation when
+    one exists; the CLI graph/--index arguments are only the *fallback*
+    for a fresh state dir (or a quarantined default artifact).  New
+    ``--tenant`` flags whose names are not yet durable are built,
+    saved, and journaled here so the next start restores them too.
+    """
+    from repro.server.durability import DurableState, restore_catalog
+
+    state = DurableState(
+        args.state_dir,
+        checkpoint_interval=args.state_checkpoint_interval,
+        retain_generations=args.state_retain)
+    report = state.recover()
+    for note in report.notes:
+        print(f"state-dir: {note}", file=sys.stderr, flush=True)
+
+    def default_factory():
+        if args.index is not None:
+            from repro.core.serialize import load_dual_index
+
+            index = load_dual_index(args.index)
+            return index, index.stats().scheme
+        if args.graph is None:
+            raise DatasetError(
+                "a fresh --state-dir needs a graph file or --index "
+                "to build the default index from")
+        return (build_index(read_edge_list(args.graph),
+                            scheme=args.scheme), args.scheme)
+
+    boot = restore_catalog(state, default_factory=default_factory)
+    for note in boot.notes:
+        print(f"state-dir: {note}", file=sys.stderr, flush=True)
+    for reason in boot.degraded:
+        print(f"state-dir: DEGRADED: {reason}", file=sys.stderr,
+              flush=True)
+
+    tenants = []
+    restored = set()
+    for restoredent in boot.tenants:
+        restored.add(restoredent.name)
+        tenants.append({
+            "name": restoredent.name, "index": restoredent.index,
+            "scheme": restoredent.scheme,
+            "quota": restoredent.quota or None,
+            "index_id": restoredent.index_id,
+            "generation": restoredent.generation,
+        })
+    for name, source in args.tenant or ():
+        if name in restored:
+            print(f"state-dir: tenant {name!r} restored from durable "
+                  f"state; --tenant flag ignored", file=sys.stderr,
+                  flush=True)
+            continue
+        index = build_index(read_edge_list(source), scheme=args.scheme)
+        # Same commit ordering as the live catalog verbs: create
+        # record, artifact, then the install record that references it.
+        snap = state.entry(name)
+        if snap is None:
+            free = {e.index_id for e in state.entries()}
+            index_id = next(i for i in range(1, 0xFFFF)
+                            if i not in free)
+            state.record_create(name, index_id=index_id,
+                                scheme=args.scheme, quota={})
+        else:
+            index_id = snap.index_id
+        generation = state.next_generation(name)
+        artifact = state.save_index(index, name, generation)
+        from repro.server.durability import index_label_bytes
+        state.record_install(name, index_id=index_id,
+                             scheme=args.scheme, generation=generation,
+                             label_bytes=index_label_bytes(index),
+                             artifact=artifact)
+        tenants.append({"name": name, "index": index,
+                        "scheme": args.scheme, "quota": None,
+                        "index_id": index_id,
+                        "generation": generation})
+    return state, boot.default.index, boot.default.scheme, tenants, \
+        boot.degraded
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.core.service import QueryService
     from repro.server.server import ReachServer, ServerConfig
+    from repro.server.tenancy import TenantQuota
 
-    if args.index is not None:
-        from repro.core.serialize import load_dual_index
-
-        index = load_dual_index(args.index)
-        scheme = index.stats().scheme
+    state = None
+    degraded_reasons: list[str] = []
+    if args.state_dir is not None:
+        state, index, scheme, tenants, degraded_reasons = \
+            _durable_boot(args)
     else:
-        graph = read_edge_list(args.graph)
-        index = build_index(graph, scheme=args.scheme)
-        scheme = args.scheme
-    tenants = _build_tenants(args)
+        if args.index is not None:
+            from repro.core.serialize import load_dual_index
+
+            index = load_dual_index(args.index)
+            scheme = index.stats().scheme
+        else:
+            graph = read_edge_list(args.graph)
+            index = build_index(graph, scheme=args.scheme)
+            scheme = args.scheme
+        tenants = _build_tenants(args)
     if args.workers > 1:
-        return _serve_fleet(args, index, scheme, tenants)
+        return _serve_fleet(args, index, scheme, tenants, state=state,
+                            degraded_reasons=degraded_reasons)
     config = ServerConfig(
         host=args.host, port=args.port, max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1000.0,
@@ -245,18 +337,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics_port=args.metrics_port,
         slow_log_size=args.slow_log_size,
         span_sample=args.span_sample,
-        executor_workers=args.executor_threads)
+        executor_workers=args.executor_threads,
+        state=state)
     server = ReachServer(QueryService(index), scheme=scheme,
                          config=config)
+    if state is not None:
+        # The restored default generation, so reload replies and the
+        # durable journal keep counting from the same number.
+        server.catalog.default.generation = \
+            state.entry("default").generation if state.entry("default") \
+            else 0
+    for reason in degraded_reasons:
+        server.note_degraded(reason)
     for spec in tenants:
         # Pre-start install: the event loop is not running yet, so
         # registering and loading the startup tenants here is safe.
+        quota = (TenantQuota.from_payload(spec["quota"])
+                 if spec.get("quota") else None)
         entry = server.catalog.create(spec["name"],
-                                      scheme=spec["scheme"])
-        label = server.catalog.check_budget(entry, spec["index"])
-        server.catalog.install(entry, QueryService(spec["index"]),
-                               scheme=spec["scheme"],
-                               label_bytes=label)
+                                      scheme=spec["scheme"],
+                                      quota=quota,
+                                      index_id=spec.get("index_id"))
+        if spec.get("index") is not None:
+            label = server.catalog.check_budget(entry, spec["index"])
+            server.catalog.install(entry, QueryService(spec["index"]),
+                                   scheme=spec["scheme"],
+                                   label_bytes=label)
+        if spec.get("generation"):
+            # Restored entries resume their durable generation count.
+            entry.generation = spec["generation"]
 
     async def _serve() -> None:
         await server.start()
@@ -283,11 +392,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("\nserver stopped")
+    finally:
+        if state is not None:
+            # Fold the journal into a checkpoint so the next boot
+            # replays nothing (crashes skip this and replay instead).
+            state.checkpoint()
+            state.close()
     return 0
 
 
 def _serve_fleet(args: argparse.Namespace, index, scheme: str,
-                 tenants: list[dict]) -> int:
+                 tenants: list[dict], *, state=None,
+                 degraded_reasons: Sequence[str] = ()) -> int:
     """``serve --workers N``: the SO_REUSEPORT worker fleet."""
     import signal
     import threading
@@ -315,7 +431,10 @@ def _serve_fleet(args: argparse.Namespace, index, scheme: str,
     fleet = WorkerFleet(index, scheme=scheme, workers=args.workers,
                         host=args.host, port=args.port,
                         server_options=server_options,
-                        tenants=tenants)
+                        tenants=tenants, state=state)
+    for reason in degraded_reasons:
+        print(f"state-dir: DEGRADED: {reason}", file=sys.stderr,
+              flush=True)
     # A SIGTERM (systemd stop, `timeout`, docker stop) must run the
     # same clean shutdown as ctrl-c, or the published shared-memory
     # generation leaks in /dev/shm.
@@ -344,6 +463,9 @@ def _serve_fleet(args: argparse.Namespace, index, scheme: str,
     finally:
         fleet.stop()
         signal.signal(signal.SIGTERM, previous)
+        if state is not None:
+            state.checkpoint()
+            state.close()
     return 0
 
 
@@ -512,6 +634,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     from repro.testing.chaos import (
         run_chaos_soak,
+        run_crash_restart_soak,
         run_tenant_isolation_soak,
     )
 
@@ -519,6 +642,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         # CI-sized soak: short, small graph, but still every fault kind.
         args.duration = min(args.duration, 6.0)
         args.nodes = min(args.nodes, 100)
+    if args.crash_restart:
+        cycles = min(args.cycles, 5) if args.smoke else args.cycles
+        with tempfile.TemporaryDirectory(
+                prefix="repro-crash-") as workdir:
+            report = run_crash_restart_soak(
+                seed=args.seed, cycles=cycles, nodes=args.nodes,
+                scheme=args.scheme, workers=args.workers,
+                # Subprocess restarts pay interpreter startup on top
+                # of journal replay; the 5s network-fault default
+                # would time out on a healthy recovery.
+                recovery_timeout=max(args.recovery_timeout, 20.0),
+                workdir=workdir)
+        print("\n".join(report.summary_lines()))
+        return 0 if report.ok() else 1
     if args.isolation:
         report = run_tenant_isolation_soak(
             seed=args.seed, duration=args.duration, nodes=args.nodes,
@@ -696,6 +833,23 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="also serve GRAPH as the named catalog "
                             "entry (repeatable; built with --scheme; "
                             "manage at runtime via the catalog verb)")
+    serve.add_argument("--state-dir", type=Path, default=None,
+                       help="durable state directory: journal every "
+                            "catalog mutation (fsynced before the "
+                            "client ack), checkpoint periodically, "
+                            "and recover the whole catalog — default "
+                            "index, tenants, quotas, generations — "
+                            "on restart; the graph/--index arguments "
+                            "become the fallback for a fresh dir")
+    serve.add_argument("--state-checkpoint-interval", type=int,
+                       default=64, metavar="N",
+                       help="fold the journal into the manifest "
+                            "checkpoint every N records (bounds "
+                            "journal growth and replay time)")
+    serve.add_argument("--state-retain", type=int, default=2,
+                       metavar="N",
+                       help="saved index generations kept per tenant "
+                            "before GC removes the older artifacts")
     serve.add_argument("--workers", type=int, default=1,
                        help="worker processes sharing the port via "
                             "SO_REUSEPORT, each attaching the index "
@@ -818,6 +972,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="wire protocol the verified load speaks; "
                             "binary exercises frame resync under "
                             "garble/truncation faults")
+    chaos.add_argument("--crash-restart", action="store_true",
+                       help="run the power-loss prover instead: "
+                            "SIGKILL a real `serve --state-dir` "
+                            "subprocess mid-mutation, restart onto "
+                            "the same state dir, and verify atomic "
+                            "recovery with zero wrong answers")
+    chaos.add_argument("--cycles", type=int, default=20,
+                       help="crash-restart soak: kill/restart cycles "
+                            "(--smoke caps this at 5)")
     chaos.add_argument("--isolation", action="store_true",
                        help="run the cross-tenant isolation soak "
                             "instead: tenant A floods past its quota "

@@ -48,12 +48,14 @@ from repro.exceptions import CorruptIndexError, IndexBuildError
 
 __all__ = [
     "FORMAT_VERSION",
+    "content_checksum",
     "dumps_index",
     "index_document",
     "load_dual_index",
     "load_index_document",
     "loads_index",
     "save_dual_index",
+    "write_atomic_json",
 ]
 
 FORMAT_VERSION = 1
@@ -97,6 +99,53 @@ def _content_checksum(document: dict) -> str:
     digest = hashlib.sha256(
         json.dumps(body, sort_keys=True).encode("utf-8")).hexdigest()
     return f"sha256:{digest}"
+
+
+#: Public name for the document checksum, shared with the durable-state
+#: manifest (:mod:`repro.server.durability`) so every checksummed JSON
+#: artefact in the system verifies the same way.
+content_checksum = _content_checksum
+
+
+def write_atomic_json(document: dict, path: PathLike) -> None:
+    """Durably write ``document`` as JSON to ``path``, atomically.
+
+    The crash-safety pattern shared by every on-disk artefact: write to
+    a sibling temporary file, flush + fsync the data, ``os.replace``
+    over the target, then fsync the directory so the rename itself
+    survives power loss.  A process killed at any point leaves either
+    the complete new file or the untouched previous one, never a
+    truncated hybrid.
+    """
+    target = Path(path)
+    directory = target.parent if str(target.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(dir=directory,
+                                    prefix=target.name + ".",
+                                    suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(document))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        # Never leave a partial sibling behind on exception.
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    # Persist the rename itself (directory entry) where supported.
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def index_document(index) -> dict:
@@ -147,36 +196,7 @@ def save_dual_index(index, path: PathLike) -> None:
         If the scheme is not serialisable or any indexed node is not a
         JSON scalar.
     """
-    document = index_document(index)
-    target = Path(path)
-    directory = target.parent if str(target.parent) else Path(".")
-    fd, tmp_name = tempfile.mkstemp(dir=directory,
-                                    prefix=target.name + ".",
-                                    suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(document))
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, target)
-    except BaseException:
-        # Never leave a partial sibling behind on exception.
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    # Persist the rename itself (directory entry) where supported.
-    try:
-        dir_fd = os.open(directory, os.O_RDONLY)
-    except OSError:  # pragma: no cover - exotic filesystems
-        return
-    try:
-        os.fsync(dir_fd)
-    except OSError:  # pragma: no cover
-        pass
-    finally:
-        os.close(dir_fd)
+    write_atomic_json(index_document(index), path)
 
 
 def _dual_i_document(index: DualIIndex) -> dict:

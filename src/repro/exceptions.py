@@ -13,6 +13,9 @@ concrete subclasses keep failure modes distinguishable:
 * :class:`IndexBudgetExceeded` — an index's label footprint exceeds the
   budget its tenant is allowed (multi-tenant admission at build/load
   time).
+* :class:`CorruptJournalError` — the durable-state journal or checkpoint
+  manifest failed verification during crash recovery (the damaged file
+  is quarantined first).
 * :class:`QueryError` — a reachability query referenced a vertex the index
   has never seen.
 * :class:`DatasetError` — an unknown dataset name or an unparsable graph
@@ -89,6 +92,27 @@ class IndexBudgetExceeded(IndexBuildError):
         self.index_name = name
         self.label_bytes = label_bytes
         self.budget_bytes = budget_bytes
+
+
+class CorruptJournalError(ReproError):
+    """The durable-state journal (or manifest) failed verification.
+
+    Raised by :class:`repro.server.durability.DurableState` during
+    recovery when the catalog journal is damaged *mid-file* (a CRC
+    failure or bad record framing with further records behind it) or
+    the checkpoint manifest fails its content checksum.  A torn
+    **trailing** record — the expected signature of power loss during
+    an append — is *not* an error: recovery silently truncates it and
+    the mutation it carried is simply un-acked work that never became
+    durable.  Before raising, the damaged file is renamed to
+    ``*.corrupt`` (quarantined) so the next start succeeds from the
+    last good checkpoint; the exception records where the quarantined
+    file went."""
+
+    def __init__(self, message: str, quarantined: str | None = None
+                 ) -> None:
+        super().__init__(message)
+        self.quarantined = quarantined
 
 
 class QueryError(ReproError, KeyError):

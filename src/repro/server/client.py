@@ -11,10 +11,14 @@ the client reconnects after drops, retries *idempotent* verbs with
 jittered exponential backoff (``reload`` is never replayed), honours a
 per-attempt timeout, and trips a simple circuit breaker after a run of
 consecutive transport failures so a dead server fails fast instead of
-hanging every caller.  Every failure is tallied into an error taxonomy
+hanging every caller.  With ``restart_grace`` set, a window of
+*refused* connections — the signature of a full-server restart, e.g.
+``serve --state-dir`` recovering after a crash — is ridden out with
+jittered reconnect polls instead of tripping the breaker.  Every
+failure is tallied into an error taxonomy
 (:meth:`ReachClient.error_report`) that distinguishes timeouts from
 connection resets from explicit ``overloaded`` sheds from degraded
-replies.
+replies from restart windows.
 
 >>> with ReachClient(port=port) as client:          # doctest: +SKIP
 ...     client.query(0, 7)
@@ -90,6 +94,16 @@ class RetryPolicy:
     breaker_cooldown:
         Seconds the circuit stays open before one probe attempt is let
         through (half-open).
+    restart_grace:
+        Seconds of *refused* connections to ride out as a server
+        restart before treating them as ordinary transport failures.
+        A refused connect means the request was never sent, so the
+        grace window applies to every verb (even non-idempotent ones),
+        consumes no retry attempts, and never feeds the circuit
+        breaker — the client just polls with jittered reconnects until
+        the listener is back or the grace expires.  ``0`` (the
+        default) keeps the old behaviour: refused counts as a connect
+        failure immediately.
     seed:
         Seed for the jitter RNG — deterministic backoff in tests.
     """
@@ -102,6 +116,7 @@ class RetryPolicy:
     retry_overloaded: bool = True
     breaker_threshold: int = 8
     breaker_cooldown: float = 1.0
+    restart_grace: float = 0.0
     seed: int | None = None
 
 
@@ -152,7 +167,10 @@ class ReachClient:
         self._counts = {"timeouts": 0, "resets": 0,
                         "connect_failures": 0, "shed": 0, "degraded": 0,
                         "retries": 0, "reconnects": 0,
-                        "circuit_open": 0}
+                        "circuit_open": 0, "server_restarting": 0}
+        # First refused connect of the current outage (restart-grace
+        # clock); cleared by any successful call.
+        self._refused_since: float | None = None
         self._reply_errors: dict[str, int] = {}
         try:
             self._connect()
@@ -219,6 +237,18 @@ class ReachClient:
     def _note_success(self) -> None:
         self._consecutive_failures = 0
         self._open_until = 0.0
+        self._refused_since = None
+
+    def _in_restart_grace(self) -> bool:
+        """True while refused connects should be ridden out as a
+        restart window (arms the grace clock on first refusal)."""
+        policy = self._retry
+        if policy is None or policy.restart_grace <= 0:
+            return False
+        now = time.monotonic()
+        if self._refused_since is None:
+            self._refused_since = now
+        return now - self._refused_since <= policy.restart_grace
 
     # -- core -----------------------------------------------------------
     def call(self, verb: str, **fields: Any) -> Any:
@@ -239,8 +269,13 @@ class ReachClient:
                     if policy is not None and verb in IDEMPOTENT_VERBS
                     else 1)
         delay = policy.base_delay if policy is not None else 0.0
+        # Reconnect cadence inside the restart-grace window: doubles
+        # from base_delay but stays snappy, so a quick restart is
+        # noticed quickly and a slow one is not hammered.
+        refused_delay = policy.base_delay if policy is not None else 0.0
         last_exc: Exception | None = None
-        for attempt in range(attempts):
+        attempt = 0
+        while attempt < attempts:
             if attempt:
                 self._counts["retries"] += 1
                 self._sleep_backoff(delay)
@@ -251,17 +286,33 @@ class ReachClient:
                 self._ensure_connected()
                 result = self._call_once(verb, fields)
             except (TimeoutError, socket.timeout) as exc:
+                attempt += 1
                 self._counts["timeouts"] += 1
                 self._note_transport_failure()
                 self._disconnect()
                 last_exc = ConnectionError(
                     f"timed out waiting for the {verb} reply: {exc}")
             except ConnectionError as exc:
+                if isinstance(exc, ConnectionRefusedError) \
+                        and self._in_restart_grace():
+                    # Refused means nothing was sent, so waiting out a
+                    # restart is safe for *any* verb and spends no
+                    # attempt; poll again after a jittered pause.
+                    self._counts["server_restarting"] += 1
+                    self._disconnect()
+                    last_exc = ConnectionError(
+                        f"server restarting: connection to "
+                        f"{self._host}:{self._port} refused")
+                    self._sleep_backoff(refused_delay)
+                    refused_delay = min(refused_delay * 2.0, 0.25)
+                    continue
+                attempt += 1
                 self._counts["resets"] += 1
                 self._note_transport_failure()
                 self._disconnect()
                 last_exc = exc
             except OSError as exc:
+                attempt += 1
                 self._counts["connect_failures"] += 1
                 self._note_transport_failure()
                 self._disconnect()
@@ -277,6 +328,7 @@ class ReachClient:
                     self._counts["shed"] += 1
                     if policy is not None and policy.retry_overloaded \
                             and attempt + 1 < attempts:
+                        attempt += 1
                         last_exc = exc
                         continue
                 raise
@@ -431,9 +483,10 @@ class ReachClient:
 
         ``timeouts`` / ``resets`` / ``connect_failures`` are transport
         faults, ``shed`` counts explicit ``overloaded`` replies,
-        ``degraded`` counts degraded health answers, and
-        ``reply_errors`` breaks every error reply down by protocol
-        code.
+        ``degraded`` counts degraded health answers,
+        ``server_restarting`` counts refused connects absorbed by the
+        restart-grace window, and ``reply_errors`` breaks every error
+        reply down by protocol code.
         """
         return {**self._counts,
                 "reply_errors": dict(sorted(self._reply_errors.items()))}

@@ -42,7 +42,11 @@ latency can be joined to its server-side stage breakdown.
 answers as long as the event loop is alive and reports ``degraded``
 (plus a ``reason``) after a failed ``reload`` left the server on its
 last good index; ``ready`` says whether the server is accepting and
-answering queries.
+answering queries.  With a durable state dir (``serve --state-dir``)
+the ``ready`` result additionally carries a ``durable`` block —
+``{"recovered": bool, "seq": int, "recovery_seconds": float}`` — and
+stays ``ready: false`` until boot recovery has replayed the journal,
+so an orchestrator never routes traffic to a half-recovered catalog.
 
 Replies are ``{"id": ..., "ok": true, "result": ...}`` on success and
 ``{"id": ..., "ok": false, "error": <code>, "message": ...}`` on

@@ -165,7 +165,8 @@ class WorkerFleet:
                  start_timeout: float = 60.0,
                  swap_timeout: float = 30.0,
                  probe_interval: float | None = 2.0,
-                 probe_timeout: float = 10.0) -> None:
+                 probe_timeout: float = 10.0,
+                 state: Any = None) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover
@@ -199,6 +200,27 @@ class WorkerFleet:
         # tenant names, numeric ids, schemes, and quotas, shared with
         # the workers via the spawn manifest.
         self._catalog = CatalogService(None, scheme=scheme)
+        #: Durable-state subsystem (``serve --state-dir``), or
+        #: ``None``.  Only the parent carries it: every fleet-wide
+        #: catalog mutation is journaled here *before* workers swap
+        #: and the requester is acknowledged; workers themselves
+        #: never touch the state dir.
+        self._state = state
+        #: The default index's durable generation (0 without
+        #: ``--state-dir``); workers mirror it so `catalog list` and
+        #: reload replies report journal generations fleet-wide.
+        self._default_generation = 0
+        if state is not None:
+            snap = state.entry("default")
+            if snap is not None:
+                self._default_generation = snap.generation
+                self._catalog.default.generation = snap.generation
+            if state.recovery_seconds is not None:
+                # The parent recovered once for the whole fleet; hand
+                # each worker the number so its exposition carries
+                # ``reach_recovery_seconds`` like a single server's.
+                self._server_options["recovery_seconds"] = \
+                    state.recovery_seconds
         self._tenant_pubs: dict[str, _TenantPub] = {}
         #: ``(entry, built index)`` pairs published at :meth:`start`.
         self._startup_tenants: list[tuple[CatalogEntry, Any]] = []
@@ -208,8 +230,16 @@ class WorkerFleet:
                      else TenantQuota.from_payload(spec.get("quota")))
             entry = self._catalog.create(
                 spec["name"], scheme=spec.get("scheme", scheme),
-                quota=quota)
+                quota=quota, index_id=spec.get("index_id"))
+            if spec.get("generation"):
+                # Durable boot: resume the tenant's generation count
+                # where the journal left it (also used for segment
+                # names, so a restarted fleet never reuses a name a
+                # dying worker may still have mapped).
+                entry.generation = spec["generation"]
             self._tenant_pubs[entry.name] = _TenantPub()
+            self._tenant_pubs[entry.name].generation = \
+                entry.generation
             if spec.get("index") is not None:
                 self._startup_tenants.append((entry, spec["index"]))
         self._reserve_sock: socket.socket | None = None
@@ -388,11 +418,13 @@ class WorkerFleet:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         options = dict(self._server_options)
         options["service_options"] = dict(self._service_options)
+        options["default_generation"] = self._default_generation
         # Current tenant manifest: a respawned worker attaches every
         # tenant's *current* generation, not the one at fleet start.
         options["tenants"] = [
             {"name": entry.name, "index_id": entry.index_id,
              "scheme": entry.scheme, "quota": entry.quota.as_dict(),
+             "generation": entry.generation,
              "segment": self._tenant_pubs[entry.name].segment}
             for entry in self._catalog.entries()
             if entry.name in self._tenant_pubs]
@@ -591,7 +623,11 @@ class WorkerFleet:
         """
         try:
             summary = self._rebuild_and_swap(payload)
-        except (ReproError, OSError) as exc:
+        except Exception as exc:
+            # Catch-all on purpose: this runs on the monitor thread,
+            # and an escaped exception (say a KeyError from an unknown
+            # scheme name) would kill the fleet's whole control plane,
+            # not just this request.
             self._reply_reload(requester, token, False,
                                f"{type(exc).__name__}: {exc}")
         else:
@@ -632,6 +668,29 @@ class WorkerFleet:
         scheme_name = type(new_index).scheme_name or scheme
         return new_index, scheme_name, build_seconds
 
+    def _persist_install(self, name: str, index_id: int, index,
+                         scheme_name: str) -> int | None:
+        """Journal a new generation before the fleet serves it.
+
+        The fleet twin of the single-server commit ordering: artifact
+        first, then the fsynced ``install`` record — only after this
+        returns is the segment published, workers swapped, and the
+        requester acknowledged.  Returns the durable generation
+        (``None`` without ``--state-dir``); failures propagate as
+        build failures, so an un-persistable generation never serves.
+        """
+        if self._state is None:
+            return None
+        from repro.server.durability import index_label_bytes
+
+        generation = self._state.next_generation(name)
+        artifact = self._state.save_index(index, name, generation)
+        self._state.record_install(
+            name, index_id=index_id, scheme=scheme_name,
+            generation=generation,
+            label_bytes=index_label_bytes(index), artifact=artifact)
+        return generation
+
     def _rebuild_and_swap(self, payload: dict) -> dict:
         name = payload.get("name")
         if name not in (None, "default"):
@@ -639,6 +698,11 @@ class WorkerFleet:
             return self._tenant_swap(entry, payload)
         new_index, scheme_name, build_seconds = self._rebuild_index(
             payload, self._scheme)
+        durable_gen = self._persist_install("default", 0, new_index,
+                                            scheme_name)
+        if durable_gen is not None:
+            self._default_generation = durable_gen
+            self._catalog.default.generation = durable_gen
 
         old_published = self._published
         self._generation += 1
@@ -674,8 +738,15 @@ class WorkerFleet:
         """
         new_index, scheme_name, build_seconds = self._rebuild_index(
             payload, entry.scheme)
+        # Admission before the durable commit (publish re-checks, but
+        # an over-budget index must never reach the journal).
+        self._catalog.check_budget(entry, new_index)
+        durable_gen = self._persist_install(
+            entry.name, entry.index_id, new_index, scheme_name)
         old_published = self._publish_tenant(entry, new_index)
         entry.scheme = scheme_name
+        if durable_gen is not None:
+            entry.generation = durable_gen
         pub = self._tenant_pubs[entry.name]
         acked = self._broadcast_swap(pub.segment, scheme_name,
                                      entry.index_id)
@@ -729,7 +800,9 @@ class WorkerFleet:
             self._reply_catalog(requester, token, False,
                                 {"code": exc.code,
                                  "message": exc.message})
-        except (ReproError, OSError) as exc:
+        except Exception as exc:
+            # Same catch-all rationale as _fleet_reload: the monitor
+            # thread must survive any single bad request.
             self._reply_catalog(
                 requester, token, False,
                 {"code": protocol.ERR_RELOAD_FAILED,
@@ -756,10 +829,21 @@ class WorkerFleet:
                                     "scheme must be a string")
             entry = self._catalog.create(payload.get("name"),
                                          scheme=scheme, quota=quota)
+            if self._state is not None:
+                try:
+                    self._state.record_create(
+                        entry.name, index_id=entry.index_id,
+                        scheme=scheme, quota=quota.as_dict())
+                except (ReproError, OSError):
+                    # Undo before replying: a create that never became
+                    # durable must not exist anywhere in the fleet.
+                    self._catalog.drop(entry.name)
+                    raise
             self._tenant_pubs[entry.name] = _TenantPub()
             spec = {"name": entry.name, "index_id": entry.index_id,
                     "scheme": entry.scheme,
-                    "quota": entry.quota.as_dict(), "segment": None}
+                    "quota": entry.quota.as_dict(),
+                    "generation": entry.generation, "segment": None}
             # Pipe FIFO ordering makes the requester's create land
             # before its client reply is released below.
             for handle in self._handles:
@@ -772,6 +856,10 @@ class WorkerFleet:
                     "quota": entry.quota.as_dict()}
         if op == "drop":
             entry = self._catalog.drop(payload.get("name"))
+            if self._state is not None:
+                # Journal before the broadcast: once any worker stops
+                # answering for this entry the drop must be durable.
+                self._state.record_drop(entry.name)
             pub = self._tenant_pubs.pop(entry.name, None)
             for handle in self._handles:
                 if handle.conn is not None and handle.alive:

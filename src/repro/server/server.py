@@ -58,7 +58,7 @@ from typing import Any
 from repro.core.service import QueryService
 from repro.exceptions import (IndexBudgetExceeded, QueryError,
                               ReproError)
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import RECOVERY_BUCKETS, MetricsRegistry
 from repro.obs.phases import PhaseProfiler
 from repro.obs.prometheus import CONTENT_TYPE, render
 from repro.obs.tracing import (BatchTicket, SlowQueryLog, SpanRecorder,
@@ -169,6 +169,21 @@ class ServerConfig:
     #: parent, which publishes per-index shared-memory segments and
     #: moves every worker's catalog together.
     catalog_handler: Any = None
+    #: Optional :class:`~repro.server.durability.DurableState` giving
+    #: the catalog crash-durable semantics (``serve --state-dir``).
+    #: Must be recovered before the server starts; every catalog
+    #: mutation (create/drop and each install generation) is journaled
+    #: + fsynced *before* the client is acknowledged, and
+    #: ``ready``/``stats`` report the durability status.  Not
+    #: picklable — fleet workers never carry one (the parent owns
+    #: durable state and republishes shared-memory segments).
+    state: Any = None
+    #: Boot recovery latency to export when ``state`` is absent: the
+    #: fleet parent recovers once and hands each worker this plain
+    #: float, so every worker's exposition still carries
+    #: ``reach_recovery_seconds``.  Ignored when ``state`` is set
+    #: (the state's own ``recovery_seconds`` wins).
+    recovery_seconds: Any = None
 
 
 class ServerMetrics:
@@ -487,6 +502,21 @@ class ReachServer:
         #: Named-index catalog; entry 0 ("default") is ``service``.
         self._catalog = CatalogService(service, scheme=scheme)
         self.stats.registry.register_collector(self._catalog.collect)
+        #: Durable-state subsystem (``--state-dir``), or ``None``.
+        self._state = self._config.state
+        recovery_seconds = (self._state.recovery_seconds
+                            if self._state is not None
+                            else self._config.recovery_seconds)
+        if recovery_seconds is not None:
+            # Boot-time crash recovery just ran (journal replay +
+            # artifact restore — in this process, or in the fleet
+            # parent that spawned this worker); export how long it
+            # took.
+            self.stats.registry.histogram(
+                "reach_recovery_seconds",
+                "Boot-time durable-state recovery latency in seconds",
+                buckets=RECOVERY_BUCKETS,
+            ).observe(recovery_seconds)
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -1248,14 +1278,28 @@ class ReachServer:
         return doc
 
     def ready_snapshot(self) -> dict:
-        """The ``ready`` verb's readiness document."""
+        """The ``ready`` verb's readiness document.
+
+        With a durable state dir, readiness additionally requires that
+        boot-time recovery completed — the catalog matches the
+        journal — so a load balancer never routes to a server still
+        replaying its state.
+        """
         ready = (self._server is not None and self._batcher is not None
                  and self._service is not None)
-        return {
+        doc = {
             "ready": ready,
             "degraded": self._degraded is not None,
             "scheme": self._scheme,
         }
+        if self._state is not None:
+            doc["ready"] = ready and self._state.recovered
+            doc["durable"] = {
+                "recovered": self._state.recovered,
+                "seq": self._state.status()["seq"],
+                "recovery_seconds": self._state.recovery_seconds,
+            }
+        return doc
 
     def stats_snapshot(self, reset: bool = False) -> dict:
         """The ``stats`` verb's nested counter document.
@@ -1280,6 +1324,8 @@ class ReachServer:
             "binary_lane": (self._lane.stats()
                             if self._lane is not None else None),
             "catalog": self._catalog.describe(),
+            "durability": (self._state.status()
+                           if self._state is not None else None),
             "service": {
                 "vectorised": service.vectorised,
                 **service.metrics.as_dict(reset=reset),
@@ -1434,6 +1480,18 @@ class ReachServer:
             raise ProtocolError(protocol.ERR_RELOAD_FAILED,
                                 str(exc)) from None
         scheme_name = type(index).scheme_name or scheme
+        label: int | None = None
+        if not is_default:
+            # Admission (budget) runs before the durable commit: an
+            # over-budget index must never reach the journal.
+            try:
+                label = self._catalog.check_budget(entry, index)
+            except IndexBudgetExceeded as exc:
+                raise ProtocolError(protocol.ERR_RELOAD_FAILED,
+                                    str(exc)) from None
+        if self._state is not None:
+            await self._persist_install(entry, index, scheme_name,
+                                        label)
         new_service = QueryService(index,
                                    **self._config.service_options)
         if self._config.service_wrapper is not None:
@@ -1441,12 +1499,6 @@ class ReachServer:
         if is_default:
             self.install_service(new_service, scheme_name)
         else:
-            try:
-                label = self._catalog.check_budget(entry, index)
-            except IndexBudgetExceeded as exc:
-                new_service.close()
-                raise ProtocolError(protocol.ERR_RELOAD_FAILED,
-                                    str(exc)) from None
             self.install_tenant(entry, new_service, scheme=scheme_name,
                                 label_bytes=label)
         stats = index.stats()
@@ -1464,6 +1516,50 @@ class ReachServer:
             "phase_seconds": dict(stats.phase_seconds),
             "index_swaps": self.stats.swaps,
         }
+
+    async def _persist_install(self, entry: CatalogEntry, index,
+                               scheme_name: str,
+                               label: int | None) -> None:
+        """Make a freshly built generation durable *before* it serves.
+
+        Runs on the reload executor (artifact write + fsync can take
+        a while on big indexes): save the new generation's artifact,
+        then append+fsync the journal ``install`` record — the commit
+        point.  Only after this returns does the in-memory install
+        happen and the client get its acknowledgement, so an acked
+        swap survives any crash; a crash *before* the journal fsync
+        leaves an unreferenced artifact that recovery GCs.
+        """
+        state = self._state
+        name = entry.name
+        index_id = entry.index_id
+
+        def persist() -> None:
+            from repro.server.durability import index_label_bytes
+
+            generation = state.next_generation(name)
+            artifact = state.save_index(index, name, generation)
+            state.record_install(
+                name, index_id=index_id, scheme=scheme_name,
+                generation=generation,
+                label_bytes=(label if label is not None
+                             else index_label_bytes(index)),
+                artifact=artifact)
+
+        assert self._loop is not None \
+            and self._reload_executor is not None
+        try:
+            await self._loop.run_in_executor(self._reload_executor,
+                                             persist)
+        except (ReproError, OSError) as exc:
+            # A generation that cannot be made durable must not serve:
+            # the swap is refused and the last good index keeps
+            # answering (degraded when it was the default's swap).
+            if index_id == DEFAULT_INDEX_ID:
+                self._degraded = f"{type(exc).__name__}: {exc}"
+            raise ProtocolError(
+                protocol.ERR_RELOAD_FAILED,
+                f"durable persist failed: {exc}") from None
 
     # -- catalog verbs --------------------------------------------------
     async def _catalog_op(self, payload: dict) -> Any:
@@ -1502,10 +1598,37 @@ class ReachServer:
                                     "scheme must be a string")
             entry = self._catalog.create(payload.get("name"),
                                          scheme=scheme, quota=quota)
+            if self._state is not None:
+                try:
+                    self._state.record_create(
+                        entry.name, index_id=entry.index_id,
+                        scheme=scheme, quota=quota.as_dict())
+                except (ReproError, OSError) as exc:
+                    # Undo before replying: a create that never became
+                    # durable must not exist anywhere.
+                    self._catalog.drop(entry.name)
+                    raise ProtocolError(
+                        protocol.ERR_RELOAD_FAILED,
+                        f"durable journal append failed: {exc}"
+                    ) from None
             return {"created": entry.name, "index_id": entry.index_id,
                     "quota": entry.quota.as_dict()}
         if op == "drop":
             entry = self._catalog.drop(payload.get("name"))
+            if self._state is not None:
+                # Journal after the in-memory drop (which did the
+                # validation); a journal-append failure here leaves
+                # the entry durable, so a restart resurrects it — the
+                # error reply tells the operator the drop did not
+                # commit.
+                try:
+                    self._state.record_drop(entry.name)
+                except (ReproError, OSError) as exc:
+                    await self._retire_entry(entry)
+                    raise ProtocolError(
+                        protocol.ERR_RELOAD_FAILED,
+                        f"durable journal append failed: {exc}"
+                    ) from None
             await self._retire_entry(entry)
             return {"dropped": entry.name, "index_id": entry.index_id}
         # build / load: install an index into an existing named entry

@@ -124,6 +124,7 @@ async def _worker_async(worker_id: int, segment: str, scheme: str,
     service_options = options.pop("service_options", {})
     reload_timeout = options.pop("reload_timeout", RELOAD_TIMEOUT)
     tenant_specs = options.pop("tenants", [])
+    default_generation = options.pop("default_generation", 0)
 
     try:
         service = QueryService.from_shared_memory(segment,
@@ -183,6 +184,11 @@ async def _worker_async(worker_id: int, segment: str, scheme: str,
                           service_options=dict(service_options),
                           **options)
     server = ReachServer(service, scheme=scheme, config=config)
+    if default_generation:
+        # Mirror the parent's (possibly journal-restored) default
+        # generation; later fleet swaps bump it in lockstep with the
+        # parent's durable +1s.
+        server.catalog.default.generation = default_generation
 
     def attach_tenant(spec: dict) -> None:
         """Register (and, when published, attach) one tenant entry."""
@@ -192,13 +198,23 @@ async def _worker_async(worker_id: int, segment: str, scheme: str,
             index_id=spec["index_id"])
         seg = spec.get("segment")
         if seg is None:
-            return  # registered but empty: queries answer unknown_index
+            # Registered but empty: queries answer unknown_index.  A
+            # durable fleet still reports the entry's journal
+            # generation in `catalog list`.
+            if spec.get("generation"):
+                entry.generation = spec["generation"]
+            return
         tenant_service = QueryService.from_shared_memory(
             seg, **service_options)
         label = server.catalog.check_budget(entry, tenant_service.index)
         server.catalog.install(entry, tenant_service,
                                scheme=spec["scheme"],
                                label_bytes=label)
+        if spec.get("generation"):
+            # Resume the parent's (possibly journal-restored)
+            # generation count instead of this process's install tally,
+            # so every worker reports the same fleet-wide number.
+            entry.generation = spec["generation"]
 
     try:
         for tenant_spec in tenant_specs:

@@ -34,6 +34,22 @@ Two invariants gate the run (:meth:`ChaosReport.ok`):
 The same seed replays the same fault schedule, so a soak failure in CI
 reproduces locally with one number.
 
+:func:`run_crash_restart_soak` is the power-loss prover for the
+durable state directory (``serve --state-dir``): it runs the server as
+a real subprocess, SIGKILLs the whole process group at randomized
+points — mid-mutation, mid-checkpoint, mid-manifest-swap — restarts
+onto the same state dir, and asserts that every catalog mutation is
+atomic (the recovered catalog converges to exactly the pre- or
+post-mutation state, and an *acknowledged* mutation is always
+post-state), that a differential query stream riding through the
+restarts sees zero wrong answers, and that every recovery lands inside
+a hard time bound (client-observed restart-to-ready recorded into a
+``reach_recovery_seconds`` histogram; the server's own boot recovery
+is exported by :mod:`repro.obs` under the same name).  A final hygiene
+pass replays the state dir offline: checkpoint compaction must have
+bounded journal growth and generation GC must have left no orphan
+artifacts.
+
 :func:`run_tenant_isolation_soak` is the multi-tenant variant: a
 worker fleet serves two named catalog entries, tenant A is driven far
 past its admission quota (so the per-tenant shed path fires
@@ -75,10 +91,12 @@ from repro.testing.faults import (
 
 __all__ = [
     "ChaosReport",
+    "CrashRestartReport",
     "DEFAULT_FAULT_KINDS",
     "FLEET_FAULT_KINDS",
     "IsolationReport",
     "run_chaos_soak",
+    "run_crash_restart_soak",
     "run_tenant_isolation_soak",
 ]
 
@@ -802,4 +820,524 @@ def run_tenant_isolation_soak(*, seed: int = 0, duration: float = 4.0,
     finally:
         report.fleet = fleet.describe()
         fleet.stop()
+    return report
+
+
+@dataclass
+class CrashRestartReport:
+    """Outcome of one crash-restart soak (the power-loss prover)."""
+
+    seed: int
+    cycles: int
+    workers: int
+    recovery_timeout: float
+    checkpoint_interval: int
+    #: one row per kill/restart cycle: ``{"cycle", "mutation",
+    #: "acked", "outcome" ("pre"/"post"), "recovery_seconds",
+    #: "durable_recovery_seconds"}``
+    restarts: list = field(default_factory=list)
+    #: differential mismatches (prober stream + per-cycle batches)
+    wrong_answers: int = 0
+    mismatch_samples: list = field(default_factory=list)
+    #: cycles whose recovered catalog matched *neither* the pre- nor
+    #: the post-mutation state (the atomicity contract broke)
+    atomicity_violations: list = field(default_factory=list)
+    #: acknowledged mutations that were not durable after the restart
+    lost_acks: list = field(default_factory=list)
+    driver_errors: list = field(default_factory=list)
+    #: restart-grace prober stream totals: ``{"checked", "wrong"}``
+    prober: dict = field(default_factory=dict)
+    #: client-observed restart-to-ready distribution, from a local
+    #: ``reach_recovery_seconds`` histogram
+    #: (:data:`repro.obs.metrics.RECOVERY_BUCKETS`)
+    recovery: dict = field(default_factory=dict)
+    #: offline state-dir replay after the final shutdown:
+    #: ``{"journal_records", "journal_bytes", "entries",
+    #: "artifacts", "orphan_artifacts", "model_matches"}``
+    hygiene: dict = field(default_factory=dict)
+    #: the server's ``reach_recovery_seconds`` metric was observed in
+    #: its exposition after a restart
+    server_metric_seen: bool = False
+
+    @property
+    def unrecovered(self) -> list[int]:
+        """Cycles whose restart never reached ``ready`` in bound."""
+        return [r["cycle"] for r in self.restarts
+                if r["recovery_seconds"] is None]
+
+    def ok(self) -> bool:
+        """The soak verdict: every restart recovered in bound, every
+        mutation was atomic, no acknowledged mutation was lost, zero
+        wrong answers, and the state dir ended hygienic."""
+        return (len(self.restarts) >= self.cycles
+                and not self.unrecovered
+                and not self.atomicity_violations
+                and not self.lost_acks
+                and not self.driver_errors
+                and self.wrong_answers == 0
+                and self.server_metric_seen
+                and self.hygiene.get("orphan_artifacts", [None]) == []
+                and self.hygiene.get("model_matches") is True
+                and self.hygiene.get("journal_records",
+                                     self.checkpoint_interval + 1)
+                <= self.checkpoint_interval)
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok(),
+            "seed": self.seed,
+            "cycles": self.cycles,
+            "workers": self.workers,
+            "recovery_timeout": self.recovery_timeout,
+            "checkpoint_interval": self.checkpoint_interval,
+            "restarts": list(self.restarts),
+            "unrecovered": self.unrecovered,
+            "wrong_answers": self.wrong_answers,
+            "mismatch_samples": list(self.mismatch_samples),
+            "atomicity_violations": list(self.atomicity_violations),
+            "lost_acks": list(self.lost_acks),
+            "driver_errors": list(self.driver_errors),
+            "prober": dict(self.prober),
+            "recovery": dict(self.recovery),
+            "hygiene": dict(self.hygiene),
+            "server_metric_seen": self.server_metric_seen,
+        }
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable digest for the CLI."""
+        target = (f"fleet of {self.workers} workers" if self.workers
+                  else "single server")
+        lines = [
+            f"crash-restart soak seed={self.seed} "
+            f"cycles={len(self.restarts)}/{self.cycles} ({target}): "
+            f"{'PASS' if self.ok() else 'FAIL'}",
+        ]
+        acked = sum(1 for r in self.restarts if r["acked"])
+        post = sum(1 for r in self.restarts
+                   if r["outcome"] == "post")
+        lines.append(
+            f"  mutations: {len(self.restarts)} killed mid-flight "
+            f"({acked} acked, {post} recovered post-state, "
+            f"{len(self.restarts) - post} rolled back to pre-state)")
+        if self.atomicity_violations:
+            lines.append(
+                f"  ATOMICITY VIOLATIONS: {self.atomicity_violations}")
+        if self.lost_acks:
+            lines.append(f"  LOST ACKS: {self.lost_acks}")
+        rec = [r["recovery_seconds"] for r in self.restarts
+               if r["recovery_seconds"] is not None]
+        if rec:
+            lines.append(
+                f"  recovery: worst {max(rec):.2f}s, mean "
+                f"{sum(rec) / len(rec):.2f}s over {len(rec)} restarts "
+                f"(bound {self.recovery_timeout:.0f}s; "
+                f"reach_recovery_seconds histogram in the report)")
+        if self.unrecovered:
+            lines.append(f"  NOT RECOVERED: cycles {self.unrecovered}")
+        lines.append(
+            f"  wrong answers: {self.wrong_answers} "
+            f"(prober checked {self.prober.get('checked', 0)} batches "
+            f"across restarts)"
+            + (f"  samples: {self.mismatch_samples[:3]}"
+               if self.mismatch_samples else ""))
+        hygiene = self.hygiene
+        if hygiene:
+            lines.append(
+                f"  hygiene: {hygiene.get('journal_records')} journal "
+                f"records ({hygiene.get('journal_bytes')} bytes), "
+                f"{hygiene.get('artifacts')} artifacts, "
+                f"{len(hygiene.get('orphan_artifacts', []))} orphans, "
+                f"catalog matches model: "
+                f"{hygiene.get('model_matches')}")
+        if self.driver_errors:
+            lines.append(f"  driver errors: {self.driver_errors}")
+        return lines
+
+
+class _RestartProber:
+    """Background differential stream that rides through restarts.
+
+    A restart-grace client keeps querying the default index across
+    kill/recover cycles; transport errors are expected (lost is not
+    wrong), but every answer that *arrives* must match the direct
+    in-process truth.
+    """
+
+    def __init__(self, host: str, port: int, pairs: list,
+                 expected: list, report: CrashRestartReport,
+                 grace: float) -> None:
+        self._pairs = [list(p) for p in pairs]
+        self._expected = [bool(x) for x in expected]
+        self._report = report
+        self._client = ReachClient(
+            host, port,
+            retry=RetryPolicy(max_attempts=2, attempt_timeout=2.0,
+                              base_delay=0.02, max_delay=0.2,
+                              breaker_threshold=0,
+                              restart_grace=grace, seed=0))
+        self.checked = 0
+        self.wrong = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run,
+                                        name="crash-prober",
+                                        daemon=True)
+
+    def start(self) -> "_RestartProber":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                answers = self._client.query_batch(self._pairs)
+            except (ReproError, ConnectionError, OSError):
+                time.sleep(0.05)
+                continue
+            self.checked += 1
+            if answers != self._expected:
+                self.wrong += 1
+                if len(self._report.mismatch_samples) < 10:
+                    self._report.mismatch_samples.append(
+                        ("prober", answers, self._expected))
+            time.sleep(0.02)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=10.0)
+        self._client.close()
+
+
+def run_crash_restart_soak(*, seed: int = 0, cycles: int = 20,
+                           nodes: int = 100, scheme: str = "dual-i",
+                           workers: int = 0,
+                           recovery_timeout: float = 30.0,
+                           checkpoint_interval: int = 4,
+                           retain_generations: int = 2,
+                           kill_window: float = 0.25,
+                           workdir: "Path | str | None" = None,
+                           ) -> CrashRestartReport:
+    """SIGKILL ``serve --state-dir`` mid-mutation, restart, verify.
+
+    Each cycle issues one randomized catalog mutation (default
+    ``reload``, tenant ``create``/``build``/``drop``) against a *real*
+    server subprocess, SIGKILLs its whole process group at a random
+    point inside ``kill_window`` seconds — which lands kills
+    mid-mutation, mid-journal-append, mid-checkpoint, and
+    mid-manifest-swap across a run — restarts onto the same state dir,
+    and checks the recovered catalog against the bookkeeping model:
+
+    * **Atomicity** — the catalog matches exactly the pre- or the
+      post-mutation state, never a torn hybrid.
+    * **No lost acks** — a mutation the client saw acknowledged is
+      always post-state (the journal fsync precedes the ack).
+    * **Zero wrong answers** — a restart-grace differential stream
+      (:class:`_RestartProber`) and a per-cycle verification batch
+      must agree with the direct in-process answers on both sides of
+      every restart.
+    * **Bounded recovery** — every restart reaches ``ready`` within
+      ``recovery_timeout`` seconds; client-observed restart-to-ready
+      times land in a ``reach_recovery_seconds`` histogram, and the
+      server's own exposition must carry its boot-recovery observation
+      under the same metric name.
+
+    After the final cycle the server is shut down gracefully and the
+    state dir is replayed offline: the journal must be bounded by
+    ``checkpoint_interval`` records, every artifact must belong to a
+    live entry's retained generation window, and the recovered entries
+    must equal the converged model.
+
+    ``workers >= 1`` runs the same soak against a ``--workers`` fleet
+    (the parent recovers once and republishes ``/dev/shm`` segments;
+    SIGKILLing the process group takes down parent and workers
+    together, exactly like a machine power loss).
+    """
+    import socket as socket_mod
+    import subprocess
+    import sys
+    import tempfile
+
+    from repro.graph.io import write_edge_list
+    from repro.server.durability import DurableState, INDEX_DIR
+
+    base = Path(workdir) if workdir is not None else Path(
+        tempfile.mkdtemp(prefix="repro-crash-"))
+    base.mkdir(parents=True, exist_ok=True)
+    state_dir = base / "state"
+    graph_path = base / "default.edges"
+    tenant_graph_path = base / "tenant.edges"
+
+    edges = 2 * nodes
+    graph = gnm_random_digraph(nodes, edges, seed=seed)
+    tenant_graph = gnm_random_digraph(nodes, edges, seed=seed + 10)
+    write_edge_list(graph, graph_path)
+    write_edge_list(tenant_graph, tenant_graph_path)
+
+    index = build_index(graph, scheme=scheme)
+    tenant_index = build_index(tenant_graph, scheme=scheme)
+    rng = random.Random(seed + 1)
+    pool = [(rng.randrange(nodes), rng.randrange(nodes))
+            for _ in range(64)]
+    with QueryService(index) as direct:
+        expected = [bool(a) for a in direct.query_batch(pool)]
+    with QueryService(tenant_index) as direct:
+        tenant_expected = [bool(a) for a in direct.query_batch(pool)]
+
+    probe = socket_mod.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+
+    report = CrashRestartReport(seed=seed, cycles=cycles,
+                                workers=workers,
+                                recovery_timeout=recovery_timeout,
+                                checkpoint_interval=checkpoint_interval)
+    registry = MetricsRegistry()
+    recovery_hist = registry.histogram(
+        "reach_recovery_seconds",
+        "Client-observed seconds from restart launch to ready",
+        buckets=RECOVERY_BUCKETS)
+
+    argv = [sys.executable, "-m", "repro.cli", "serve",
+            str(graph_path), "--host", "127.0.0.1",
+            "--port", str(port), "--scheme", scheme,
+            "--state-dir", str(state_dir),
+            "--state-checkpoint-interval", str(checkpoint_interval),
+            "--state-retain", str(retain_generations)]
+    if workers:
+        argv += ["--workers", str(workers)]
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    log_path = base / "server.log"
+
+    def launch() -> subprocess.Popen:
+        # A fresh session/process group so one killpg() takes down the
+        # server *and* (in fleet mode) every worker — daemonized
+        # multiprocessing children survive a plain parent SIGKILL.
+        with open(log_path, "ab") as log:
+            return subprocess.Popen(argv, env=env,
+                                    start_new_session=True,
+                                    stdout=log, stderr=log)
+
+    def kill(proc: subprocess.Popen) -> None:
+        try:
+            os.killpg(proc.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        proc.wait()
+
+    def wait_ready() -> "tuple[float | None, dict | None]":
+        """Client-observed seconds until ``ready``, plus the durable
+        block of the ready snapshot (``None, None`` on timeout)."""
+        started = time.monotonic()
+        deadline = started + recovery_timeout
+        client = ReachClient(
+            "127.0.0.1", port,
+            retry=RetryPolicy(max_attempts=1, attempt_timeout=2.0,
+                              breaker_threshold=0, seed=0))
+        try:
+            while time.monotonic() < deadline:
+                try:
+                    doc = client.ready()
+                except (ReproError, ConnectionError, OSError):
+                    time.sleep(0.1)
+                    continue
+                if doc.get("ready"):
+                    return time.monotonic() - started, \
+                        doc.get("durable")
+                time.sleep(0.05)
+        finally:
+            client.close()
+        return None, None
+
+    def rows() -> dict:
+        """Actual catalog as ``{name: (generation, loaded)}``."""
+        with ReachClient("127.0.0.1", port, timeout=30.0) as client:
+            table = client.catalog_list()
+        return {row["name"]: (row["generation"], row["loaded"])
+                for row in table}
+
+    mut_rng = random.Random(seed + 2)
+    proc = launch()
+    prober: "_RestartProber | None" = None
+    churn_counter = 0
+    try:
+        elapsed, _ = wait_ready()
+        if elapsed is None:
+            report.driver_errors.append("initial boot never ready")
+            return report
+        model = rows()  # {"default": (1, True)} on a fresh state dir
+        prober = _RestartProber(
+            "127.0.0.1", port, pool[:16], expected[:16], report,
+            grace=recovery_timeout + kill_window + 5.0).start()
+
+        for cycle in range(cycles):
+            tenants = sorted(n for n in model if n != "default")
+            kinds = ["reload", "create"]
+            if tenants:
+                kinds += ["build", "drop"]
+            kind = mut_rng.choice(kinds)
+            post = dict(model)
+            if kind == "reload":
+                fields = {"verb": "reload", "graph": str(graph_path)}
+                post["default"] = (model["default"][0] + 1, True)
+            elif kind == "create":
+                churn_counter += 1
+                name = f"churn{churn_counter}"
+                fields = {"verb": "catalog", "op": "create",
+                          "name": name, "scheme": scheme}
+                post[name] = (0, False)
+            elif kind == "build":
+                name = mut_rng.choice(tenants)
+                fields = {"verb": "catalog", "op": "build",
+                          "name": name,
+                          "graph": str(tenant_graph_path)}
+                post[name] = (model[name][0] + 1, True)
+            else:
+                name = mut_rng.choice(tenants)
+                fields = {"verb": "catalog", "op": "drop",
+                          "name": name}
+                post.pop(name)
+
+            box: dict[str, Any] = {}
+
+            def mutate() -> None:
+                try:
+                    with ReachClient("127.0.0.1", port,
+                                     timeout=20.0) as client:
+                        verb = fields.pop("verb")
+                        box["reply"] = client.call(verb, **fields)
+                except Exception as exc:
+                    box["error"] = f"{type(exc).__name__}: {exc}"
+
+            mutator = threading.Thread(target=mutate, daemon=True)
+            mutator.start()
+            # Squared-uniform delay: biased toward early kills, which
+            # land mid-mutation (journal append, artifact save,
+            # checkpoint) instead of after the ack.
+            time.sleep(kill_window * mut_rng.random() ** 2)
+            kill(proc)
+            mutator.join(timeout=30.0)
+            acked = "reply" in box
+
+            proc = launch()
+            elapsed, durable = wait_ready()
+            if elapsed is None:
+                report.driver_errors.append(
+                    f"cycle {cycle}: not ready within "
+                    f"{recovery_timeout}s after restart")
+                report.restarts.append({
+                    "cycle": cycle, "mutation": kind, "acked": acked,
+                    "outcome": "unrecovered",
+                    "recovery_seconds": None,
+                    "durable_recovery_seconds": None})
+                break
+            recovery_hist.observe(elapsed)
+            actual = rows()
+            if actual == post:
+                outcome = "post"
+            elif actual == model:
+                outcome = "pre"
+            else:
+                outcome = "torn"
+                report.atomicity_violations.append(
+                    {"cycle": cycle, "mutation": kind,
+                     "pre": model, "post": post, "actual": actual})
+            if acked and outcome != "post":
+                report.lost_acks.append(
+                    {"cycle": cycle, "mutation": kind,
+                     "outcome": outcome})
+            report.restarts.append({
+                "cycle": cycle, "mutation": kind, "acked": acked,
+                "outcome": outcome,
+                "recovery_seconds": round(elapsed, 3),
+                "durable_recovery_seconds": (
+                    durable or {}).get("recovery_seconds")})
+            model = actual
+
+            # Differential verification on both planes of the restart:
+            # the default index always, plus one loaded tenant if any.
+            with ReachClient("127.0.0.1", port, timeout=30.0) as c:
+                answers = c.query_batch(pool)
+                if answers != expected:
+                    report.wrong_answers += 1
+                    if len(report.mismatch_samples) < 10:
+                        report.mismatch_samples.append(
+                            ("default", cycle, answers))
+                loaded = [n for n, (_, ok_) in model.items()
+                          if ok_ and n != "default"]
+                if loaded:
+                    t_answers = c.query_batch(
+                        pool, index=mut_rng.choice(loaded))
+                    if t_answers != tenant_expected:
+                        report.wrong_answers += 1
+                        if len(report.mismatch_samples) < 10:
+                            report.mismatch_samples.append(
+                                ("tenant", cycle, t_answers))
+                if not report.server_metric_seen:
+                    exposition = c.metrics().get("exposition", "")
+                    report.server_metric_seen = \
+                        "reach_recovery_seconds" in exposition
+    finally:
+        if prober is not None:
+            prober.stop()
+            report.prober = {"checked": prober.checked,
+                             "wrong": prober.wrong}
+            report.wrong_answers += prober.wrong
+        # Graceful shutdown (SIGINT = ctrl-c): the serve loop's
+        # finally block checkpoints and closes the journal.
+        try:
+            os.killpg(proc.pid, signal.SIGINT)
+        except ProcessLookupError:
+            pass
+        try:
+            proc.wait(timeout=15.0)
+        except subprocess.TimeoutExpired:
+            kill(proc)
+
+    snap = recovery_hist.snapshot()
+    report.recovery["restart_to_ready"] = {
+        "count": snap["count"],
+        "mean_seconds": (snap["sum"] / snap["count"]
+                         if snap["count"] else 0.0),
+        "p95_seconds": recovery_hist.percentile(0.95),
+        "max_seconds": snap["max"],
+        "buckets": snap["buckets"],
+    }
+
+    # Offline hygiene replay: bounded journal, no orphan artifacts,
+    # and the durable catalog equals the converged model.
+    try:
+        state = DurableState(state_dir,
+                             checkpoint_interval=checkpoint_interval,
+                             retain_generations=retain_generations)
+        state.recover()
+        status = state.status()
+        entries = {e.name: e for e in state.entries()}
+        orphans = []
+        for child in sorted((state_dir / INDEX_DIR).iterdir()):
+            if ".corrupt" in child.name or child.is_dir():
+                continue
+            stem = child.name[:-len(".json")]
+            name, _, gen_text = stem.rpartition("-g")
+            entry = entries.get(name)
+            if entry is None or not gen_text.isdigit() \
+                    or not (entry.generation - retain_generations
+                            < int(gen_text) <= entry.generation):
+                orphans.append(child.name)
+        durable_rows = {e.name: e.generation for e in entries.values()}
+        model_rows = {n: g for n, (g, _) in model.items()}
+        report.hygiene = {
+            "journal_records": status["journal_records"],
+            "journal_bytes": status["journal_bytes"],
+            "entries": status["entries"],
+            "artifacts": status["artifacts"],
+            "orphan_artifacts": orphans,
+            "model_matches": durable_rows == model_rows,
+        }
+        state.close()
+    except Exception as exc:
+        report.driver_errors.append(
+            f"hygiene: {type(exc).__name__}: {exc}")
     return report
