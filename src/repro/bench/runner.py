@@ -220,11 +220,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_serve_load(args: argparse.Namespace) -> int:
     from repro.bench.serveload import (append_trajectory,
+                                       format_obs_overhead_report,
                                        format_protocol_report,
                                        format_scaling_report,
                                        format_serve_report,
                                        format_tenant_report,
                                        run_fleet_smoke,
+                                       run_obs_overhead_benchmark,
                                        run_protocol_benchmark,
                                        run_serve_load_benchmark,
                                        run_serve_smoke,
@@ -232,6 +234,26 @@ def _cmd_serve_load(args: argparse.Namespace) -> int:
                                        run_tenant_smoke,
                                        run_worker_scaling_benchmark)
 
+    if args.obs_overhead:
+        entry = run_obs_overhead_benchmark(
+            nodes=args.nodes, edges=args.edges, seed=args.seed,
+            scheme=args.scheme, connections=args.connections,
+            duration=args.duration, pipeline=args.pipeline,
+            batch_size=args.batch_size)
+        print(format_obs_overhead_report(entry))
+        if str(args.out) != "-":
+            append_trajectory(entry, args.out)
+            print(f"[appended to {args.out}]")
+        if args.assert_overhead is not None:
+            overhead = entry["overhead_percent"]
+            if overhead > args.assert_overhead:
+                print(f"FAIL: ambient observability overhead "
+                      f"{overhead:.2f}% exceeds the allowed "
+                      f"{args.assert_overhead:.2f}%")
+                return 1
+            print(f"OK: ambient observability overhead "
+                  f"{overhead:.2f}% <= {args.assert_overhead:.2f}%")
+        return 0
     if args.tenants > 0:
         return _cmd_serve_load_tenants(args, run_tenant_smoke,
                                        run_tenant_benchmark,
@@ -488,6 +510,18 @@ def main(argv: Sequence[str] | None = None) -> int:
                             help="pairs per request in the --protocols "
                                  "comparison (both protocols use the "
                                  "same value)")
+    serve_load.add_argument("--obs-overhead", action="store_true",
+                            help="measure the operations plane's cost: "
+                                 "throughput with the SLO engine + "
+                                 "flight recorder off, on, and on with "
+                                 "per-request tracing "
+                                 "(--assert-overhead then gates the "
+                                 "ambient off-to-on loss)")
+    serve_load.add_argument("--assert-overhead", type=float,
+                            default=None, metavar="PERCENT",
+                            help="with --obs-overhead: exit non-zero "
+                                 "if the ambient overhead exceeds "
+                                 "PERCENT")
     serve_load.add_argument("--assert-scaling", default=None,
                             metavar="RATIO",
                             help="with --workers: exit non-zero unless "

@@ -57,6 +57,7 @@ from repro.server.server import ReachServer, ServerConfig, ServerThread
 __all__ = ["run_serve_load_benchmark", "run_serve_smoke",
            "run_worker_scaling_benchmark", "run_fleet_smoke",
            "run_protocol_benchmark", "format_protocol_report",
+           "run_obs_overhead_benchmark", "format_obs_overhead_report",
            "run_tenant_benchmark", "run_tenant_smoke",
            "format_tenant_report",
            "expected_scaling", "format_scaling_report",
@@ -88,6 +89,7 @@ def _server_process(graph_file: Path, scheme: str, *, max_batch: int,
                     connections: int,
                     workers: int = 1,
                     tenants: "Sequence[tuple[str, Path]] | None" = None,
+                    extra_args: Sequence[str] = (),
                     ) -> Iterator[int]:
     """``repro-reach serve`` in a subprocess, yielding its bound port.
 
@@ -96,7 +98,9 @@ def _server_process(graph_file: Path, scheme: str, *, max_batch: int,
     the two fight for the same core and the measured ratio is mostly
     scheduler noise.  ``workers > 1`` serves through the multi-process
     fleet instead of the single in-process server.  ``tenants`` adds
-    ``--tenant NAME=GRAPH`` catalog entries (ids 1, 2, ... in order).
+    ``--tenant NAME=GRAPH`` catalog entries (ids 1, 2, ... in order);
+    ``extra_args`` appends raw ``serve`` flags (the obs-overhead
+    benchmark's SLO/flight switches).
     """
     env = dict(os.environ)
     package_root = str(Path(repro.__file__).resolve().parent.parent)
@@ -114,6 +118,7 @@ def _server_process(graph_file: Path, scheme: str, *, max_batch: int,
         "--max-request-pairs", "65536"]
     for name, tenant_graph in (tenants or ()):
         command += ["--tenant", f"{name}={tenant_graph}"]
+    command += list(extra_args)
     proc = subprocess.Popen(
         command,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
@@ -315,6 +320,131 @@ def format_protocol_report(entry: dict[str, Any]) -> str:
         f"connections: {entry['speedup']:.2f}x "
         f"({entry['binary_qps']:,.0f} vs {entry['json_qps']:,.0f} "
         f"queries/s over JSON)]",
+    ])
+
+
+def run_obs_overhead_benchmark(*, nodes: int = 600,
+                               edges: int | None = None,
+                               seed: int | None = None,
+                               scheme: str = "dual-i",
+                               connections: int = 32,
+                               duration: float = 2.0,
+                               pipeline: int = 16,
+                               batch_size: int = 16,
+                               max_batch: int = 512,
+                               max_delay: float = 0.002,
+                               num_pairs: int = 20_000
+                               ) -> dict[str, Any]:
+    """Served throughput with the full operations plane on vs. off.
+
+    Three measured rows over the same graph, pool, and gateway
+    configuration:
+
+    * ``off``       — plain server, untraced drive (the baseline);
+    * ``on``        — SLO engine (availability+latency objectives on
+      every entry) plus the flight recorder spilling to disk, untraced
+      drive: the *ambient* cost every request pays;
+    * ``on+trace``  — same server, every request carrying a
+      client-minted trace id: ambient cost plus the per-request trace
+      echo/exemplar path.
+
+    The acceptance bar is the ambient row: ``overhead_percent``
+    (off→on throughput loss) must stay within ~3%.  The traced row is
+    recorded alongside because tracing is opt-in per request — its
+    cost rides only on traced traffic.
+    """
+    graph, seed = _make_graph(nodes, edges, seed)
+    pairs = random_query_pairs(graph, num_pairs, seed=seed + 1)
+    rows: list[dict[str, Any]] = []
+
+    def drive(label: str, port: int, *, trace: bool) -> None:
+        run_loadgen("127.0.0.1", port, pairs,
+                    connections=min(connections, 4), duration=0.5,
+                    pipeline=pipeline, batch_size=batch_size,
+                    latency_sample=4, trace=trace)
+        with ReachClient(port=port) as client:
+            client.metrics(reset=True)
+        result = run_loadgen(
+            "127.0.0.1", port, pairs, connections=connections,
+            duration=duration, pipeline=pipeline,
+            batch_size=batch_size, latency_sample=4, trace=trace)
+        row = {"config": label, "traced": trace, **result.as_dict()}
+        with ReachClient(port=port) as client:
+            row["server_stages"] = client.stats()["stages"]
+        rows.append(row)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        graph_file = Path(tmp) / "graph.txt"
+        write_edge_list(graph, graph_file)
+        with _server_process(graph_file, scheme, max_batch=max_batch,
+                             max_delay=max_delay, pipeline=pipeline,
+                             connections=connections) as port:
+            drive("off", port, trace=False)
+        plane = ("--slo-availability", "0.999",
+                 "--slo-latency-ms", "25",
+                 "--flight-dir", str(Path(tmp) / "flightrec"))
+        with _server_process(graph_file, scheme, max_batch=max_batch,
+                             max_delay=max_delay, pipeline=pipeline,
+                             connections=connections,
+                             extra_args=plane) as port:
+            drive("on", port, trace=False)
+            drive("on+trace", port, trace=True)
+
+    def qps(label: str) -> float:
+        return next(row["queries_per_second"] for row in rows
+                    if row["config"] == label)
+
+    off_qps, on_qps, traced_qps = qps("off"), qps("on"), \
+        qps("on+trace")
+
+    def overhead(measured: float) -> float:
+        return (100.0 * (off_qps - measured) / off_qps
+                if off_qps > 0 else 0.0)
+
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "mode": "obs-overhead",
+        "graph": {"generator": "single_rooted_dag", "nodes": nodes,
+                  "edges": graph.num_edges, "max_fanout": 5,
+                  "seed": seed},
+        "scheme": scheme,
+        "duration_seconds": duration,
+        "pipeline": pipeline,
+        "connections": connections,
+        "batch_size": batch_size,
+        "rows": rows,
+        "off_qps": off_qps,
+        "on_qps": on_qps,
+        "traced_qps": traced_qps,
+        "overhead_percent": overhead(on_qps),
+        "traced_overhead_percent": overhead(traced_qps),
+    }
+
+
+def format_obs_overhead_report(entry: dict[str, Any]) -> str:
+    """Human-readable table for one obs-overhead trajectory entry."""
+    from repro.bench.reporting import format_markdown_table
+
+    graph = entry["graph"]
+    return "\n".join([
+        f"observability-overhead benchmark — single_rooted_dag("
+        f"{graph['nodes']}, {graph['edges']}, seed={graph['seed']}), "
+        f"scheme={entry['scheme']}, {entry['duration_seconds']}s per "
+        f"point, {entry['connections']} connections, "
+        f"pipeline={entry['pipeline']}, "
+        f"{entry['batch_size']} pairs/request",
+        "",
+        format_markdown_table(
+            entry["rows"],
+            ["config", "queries", "queries_per_second", "errors",
+             "latency_p50_ms", "latency_p95_ms", "latency_p99_ms"]),
+        "",
+        f"[SLO engine + flight recorder ambient overhead: "
+        f"{entry['overhead_percent']:+.2f}% "
+        f"({entry['on_qps']:,.0f} vs {entry['off_qps']:,.0f} "
+        f"queries/s); with per-request tracing: "
+        f"{entry['traced_overhead_percent']:+.2f}% "
+        f"({entry['traced_qps']:,.0f} queries/s)]",
     ])
 
 

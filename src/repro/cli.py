@@ -16,7 +16,15 @@ Subcommands
   against a locally built index and exits 3 on any wrong answer);
 * ``top``      — live stats view of a running gateway: request and
   error counters, per-stage latency percentiles, batcher occupancy,
-  and the slowest traced requests with their span breakdowns;
+  and the slowest traced requests with their span breakdowns
+  (``--fleet`` samples every worker behind a shared port and renders
+  one section per worker);
+* ``slo``      — report (and optionally declare) per-tenant service
+  level objectives on a running gateway: error-budget remaining,
+  multi-window burn rates, and active page/ticket alerts;
+* ``doctor``   — one-shot triage bundle against a running gateway
+  (ping, health, readiness, stats, SLO alerts, flight-recorder tail,
+  catalog, metrics families) with a pass/fail verdict per check;
 * ``metrics-smoke`` — end-to-end observability check (start a server
   with the HTTP scrape endpoint, drive traffic, scrape ``/metrics``,
   validate the Prometheus exposition and its metric families);
@@ -50,7 +58,13 @@ Examples
     repro-reach chaos --isolation --workers 2
     repro-reach loadgen --port 7421 --graph g.txt --verify
     repro-reach serve g.txt --port 7421 --metrics-port 9109
+    repro-reach serve g.txt --port 7421 --slo-availability 0.999
     repro-reach top --port 7421 --once
+    repro-reach top --port 7421 --fleet --once
+    repro-reach slo --port 7421
+    repro-reach slo --port 7421 --index teamA --availability 0.995
+    repro-reach doctor --port 7421
+    repro-reach doctor --port 7421 --out /tmp/triage
     repro-reach metrics-smoke
     repro-reach chaos --smoke
     repro-reach chaos --seed 7 --duration 10 --nodes 200
@@ -299,6 +313,37 @@ def _durable_boot(args: argparse.Namespace):
         boot.degraded
 
 
+def _serve_obs_options(args: argparse.Namespace) -> tuple:
+    """``serve``: resolve the operations-plane options.
+
+    Returns ``(slo_defaults, flight_dir)``.  The flight directory
+    defaults to ``<state-dir>/flightrec`` so crash dumps live next to
+    the journal they explain; stale ``*-current.jsonl`` files from the
+    previous incarnation are archived (not clobbered) before the new
+    recorder starts.
+    """
+    slo_defaults = None
+    if args.slo_availability is not None \
+            or args.slo_latency_ms is not None:
+        slo_defaults = {}
+        if args.slo_availability is not None:
+            slo_defaults["availability"] = args.slo_availability
+        if args.slo_latency_ms is not None:
+            slo_defaults["latency_ms"] = args.slo_latency_ms
+    flight_dir = args.flight_dir
+    if flight_dir is None and args.state_dir is not None:
+        flight_dir = args.state_dir / "flightrec"
+    if flight_dir is not None:
+        from repro.obs.flight import archive_current_dumps
+
+        flight_dir = Path(flight_dir)
+        flight_dir.mkdir(parents=True, exist_ok=True)
+        for path in archive_current_dumps(str(flight_dir)):
+            print(f"flightrec: archived prior dump {path}",
+                  file=sys.stderr, flush=True)
+    return slo_defaults, flight_dir
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -322,9 +367,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             index = build_index(graph, scheme=args.scheme)
             scheme = args.scheme
         tenants = _build_tenants(args)
+    slo_defaults, flight_dir = _serve_obs_options(args)
     if args.workers > 1:
         return _serve_fleet(args, index, scheme, tenants, state=state,
-                            degraded_reasons=degraded_reasons)
+                            degraded_reasons=degraded_reasons,
+                            slo_defaults=slo_defaults,
+                            flight_dir=flight_dir)
     config = ServerConfig(
         host=args.host, port=args.port, max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1000.0,
@@ -338,6 +386,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slow_log_size=args.slow_log_size,
         span_sample=args.span_sample,
         executor_workers=args.executor_threads,
+        slo_defaults=slo_defaults,
+        flight_dir=flight_dir,
         state=state)
     server = ReachServer(QueryService(index), scheme=scheme,
                          config=config)
@@ -403,21 +453,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _serve_fleet(args: argparse.Namespace, index, scheme: str,
                  tenants: list[dict], *, state=None,
-                 degraded_reasons: Sequence[str] = ()) -> int:
+                 degraded_reasons: Sequence[str] = (),
+                 slo_defaults=None, flight_dir=None) -> int:
     """``serve --workers N``: the SO_REUSEPORT worker fleet."""
     import signal
     import threading
 
     from repro.server.router import WorkerFleet
 
-    for flag, value in (("--access-log", args.access_log),
-                        ("--metrics-port", args.metrics_port)):
-        if value is not None:
-            # One shared file/port across N processes would interleave;
-            # fleet observability goes through the per-worker `stats`/
-            # `metrics` verbs (worker-labelled) instead.
-            print(f"note: {flag} is ignored with --workers > 1",
-                  file=sys.stderr)
+    if args.access_log is not None:
+        # One shared file across N processes would interleave; fleet
+        # access logging goes through the per-worker `stats` verb
+        # (worker-labelled) instead.
+        print("note: --access-log is ignored with --workers > 1",
+              file=sys.stderr)
     server_options = dict(
         max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1000.0,
@@ -428,10 +477,19 @@ def _serve_fleet(args: argparse.Namespace, index, scheme: str,
         slow_log_size=args.slow_log_size,
         span_sample=args.span_sample,
         executor_workers=args.executor_threads)
+    if slo_defaults is not None:
+        server_options["slo_defaults"] = slo_defaults
+    if flight_dir is not None:
+        # Every worker spills its own ring into the shared directory;
+        # the per-worker label keeps the file names distinct.
+        server_options["flight_dir"] = str(flight_dir)
     fleet = WorkerFleet(index, scheme=scheme, workers=args.workers,
                         host=args.host, port=args.port,
                         server_options=server_options,
-                        tenants=tenants, state=state)
+                        tenants=tenants, state=state,
+                        metrics_port=args.metrics_port,
+                        flight_dir=(str(flight_dir)
+                                    if flight_dir is not None else None))
     for reason in degraded_reasons:
         print(f"state-dir: DEGRADED: {reason}", file=sys.stderr,
               flush=True)
@@ -452,6 +510,10 @@ def _serve_fleet(args: argparse.Namespace, index, scheme: str,
               f"policy={args.policy}  (ctrl-c to stop)", flush=True)
         print(f"shared-memory index segment {fleet.segment} "
               f"(pids {fleet.pids()})", flush=True)
+        if args.metrics_port is not None:
+            print(f"fleet-wide Prometheus scrape endpoint on "
+                  f"http://{args.host}:{fleet.metrics_port}/metrics",
+                  flush=True)
         if tenants:
             print("tenants: "
                   + ", ".join(spec["name"] for spec in tenants),
@@ -518,7 +580,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                          batch_size=args.batch_size, rate=args.rate,
                          latency_sample=args.latency_sample,
                          expected=expected, protocol=args.protocol,
-                         index=index_target)
+                         index=index_target, trace=args.trace)
     print(format_kv_table(
         result.as_dict(),
         title=f"loadgen — {args.host}:{args.port}, "
@@ -600,11 +662,58 @@ def _format_top(doc: dict, slow: int) -> list[str]:
     return lines
 
 
+def _fleet_snapshots(host: str, port: int,
+                     timeout: float) -> dict[str, dict]:
+    """One ``stats`` snapshot per fleet worker behind a shared port.
+
+    SO_REUSEPORT hashes each fresh connection to a worker, so repeated
+    one-shot connections eventually sample every process; stop after a
+    run of connections that land on already-seen workers.
+    """
+    from repro.server.client import ReachClient
+
+    seen: dict[str, dict] = {}
+    attempts, misses = 0, 0
+    while attempts < 64 and misses < 10:
+        attempts += 1
+        with ReachClient(host, port, timeout=timeout) as client:
+            doc = client.stats()
+        label = doc.get("worker") or "srv"
+        if label in seen:
+            misses += 1
+        else:
+            seen[label] = doc
+            misses = 0
+    return seen
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     import time
 
     from repro.server.client import ReachClient
 
+    if args.fleet:
+        if args.reset:
+            print("note: --reset is ignored with --fleet (sampling "
+                  "connections land on arbitrary workers)",
+                  file=sys.stderr)
+        try:
+            while True:
+                snapshots = _fleet_snapshots(args.host, args.port,
+                                             args.timeout)
+                for label in sorted(snapshots):
+                    print(f"=== worker {label} ===", flush=True)
+                    print("\n".join(_format_top(snapshots[label],
+                                                args.slow)), flush=True)
+                if args.once:
+                    return 0
+                print(f"-- {len(snapshots)} workers sampled; refresh "
+                      f"in {args.interval:.0f}s (ctrl-c to stop) --",
+                      flush=True)
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            print()
+        return 0
     with ReachClient(args.host, args.port, timeout=args.timeout) as client:
         try:
             while True:
@@ -618,6 +727,190 @@ def _cmd_top(args: argparse.Namespace) -> int:
         except KeyboardInterrupt:
             print()
     return 0
+
+
+def _format_slo(doc: dict) -> list[str]:
+    """Render the ``slo`` verb's report document for the terminal."""
+    if not doc.get("enabled"):
+        return ["slo tracking disabled — declare an objective with "
+                "`repro-reach slo --availability/--latency-ms` or "
+                "start the server with --slo-availability"]
+    lines = []
+    default = doc.get("default_objective")
+    if default:
+        lines.append(f"default objective: "
+                     f"availability={default['availability']:g}, "
+                     f"latency_ms={default['latency_ms']:g}")
+    for name, entry in doc.get("entries", {}).items():
+        objective = entry["objective"]
+        alerts = [severity for severity, active
+                  in entry.get("alerts", {}).items() if active]
+        lifetime = entry.get("lifetime", {})
+        lines.append(
+            f"{name}: target={objective['availability']:g} "
+            f"latency<{objective['latency_ms']:g}ms  "
+            f"budget_remaining={entry['error_budget_remaining']:.1%}  "
+            f"alerts={','.join(alerts) or 'none'}  "
+            f"lifetime={lifetime.get('bad', 0)}"
+            f"/{lifetime.get('total', 0)} bad")
+        windows = entry.get("windows", {})
+        if windows:
+            lines.append("  window    total      bad  burn_rate")
+            for label, win in windows.items():
+                lines.append(f"  {label:6s} {win['total']:8d} "
+                             f"{win['bad']:8d} {win['burn_rate']:10.2f}")
+    return lines
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.server.client import ReachClient
+
+    objective = None
+    if args.availability is not None or args.latency_ms is not None:
+        objective = {}
+        if args.availability is not None:
+            objective["availability"] = args.availability
+        if args.latency_ms is not None:
+            objective["latency_ms"] = args.latency_ms
+    with ReachClient(args.host, args.port,
+                     timeout=args.timeout) as client:
+        doc = client.slo(index=args.index, objective=objective)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print("\n".join(_format_slo(doc)))
+    # Scripting contract: nonzero when any burn-rate alert is firing,
+    # so `repro-reach slo` can gate a deploy step directly.
+    for entry in doc.get("entries", {}).values():
+        if any(entry.get("alerts", {}).values()):
+            return 1
+    return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """One-shot triage bundle: every read-only observability surface
+    of a running gateway, each reduced to a pass/fail line."""
+    import json
+    import time
+
+    from repro.server.client import ReachClient
+
+    checks: list[tuple[str, bool, str]] = []
+    docs: dict[str, object] = {}
+    with ReachClient(args.host, args.port,
+                     timeout=args.timeout) as client:
+        started = time.monotonic()
+        client.ping()
+        rtt_ms = (time.monotonic() - started) * 1000.0
+        checks.append(("ping", True, f"pong in {rtt_ms:.1f}ms"))
+
+        health = client.health()
+        docs["health"] = health
+        worker = health.get("worker")
+        detail = f"status={health.get('status')}"
+        if health.get("reason"):
+            detail += f" ({health['reason']})"
+        if worker is not None:
+            detail += f"  worker={worker}"
+        checks.append(("health", health.get("status") == "ok", detail))
+
+        ready = client.ready()
+        docs["ready"] = ready
+        durable = ready.get("durable")
+        detail = f"ready={ready.get('ready')}"
+        if durable:
+            detail += (f"  journal_seq={durable.get('seq')}"
+                       f"  recovered={durable.get('recovered')}")
+        checks.append(("ready", bool(ready.get("ready")), detail))
+
+        stats = client.stats()
+        docs["stats"] = stats
+        server = stats.get("server", {})
+        requests = server.get("requests_total", 0)
+        errors = server.get("errors_total", 0)
+        checks.append((
+            "traffic", True,
+            f"requests={requests}  errors={errors}  "
+            f"p50={server.get('p50_ms', 0.0):.2f}ms  "
+            f"p99={server.get('p99_ms', 0.0):.2f}ms"))
+        shed = stats.get("batcher", {}).get("shed_requests", 0)
+        checks.append(("admission", not shed,
+                       f"shed_requests={shed}"))
+
+        slo = client.slo()
+        docs["slo"] = slo
+        if not slo.get("enabled"):
+            checks.append(("slo", True, "no objectives declared"))
+        else:
+            firing = sorted(
+                f"{name}:{severity}"
+                for name, entry in slo.get("entries", {}).items()
+                for severity, active in entry.get("alerts", {}).items()
+                if active)
+            checks.append((
+                "slo", not firing,
+                f"alerts={','.join(firing) or 'none'}  "
+                f"tracked={len(slo.get('entries', {}))}"))
+
+        flight = client.flight()
+        docs["flight"] = flight
+        events = flight.get("events", [])
+        tail = events[-args.events:]
+        checks.append((
+            "flight", True,
+            f"{len(events)} ring events, {flight.get('dumps', 0)} "
+            f"dumps written"))
+        catalog = client.catalog_list()
+        docs["catalog"] = catalog
+        empty = [row["name"] for row in catalog
+                 if not row.get("loaded")]
+        checks.append((
+            "catalog", not empty,
+            f"{len(catalog)} entries"
+            + (f", empty: {', '.join(empty)}" if empty else "")))
+
+        metrics = client.metrics()
+        docs["metrics"] = metrics
+        families = sum(
+            1 for line in metrics.get("exposition", "").splitlines()
+            if line.startswith("# TYPE "))
+        checks.append(("metrics", families > 0,
+                       f"{families} metric families"))
+
+    print(f"doctor — {args.host}:{args.port}")
+    failed = 0
+    for name, ok, detail in checks:
+        failed += 0 if ok else 1
+        print(f"  [{'ok' if ok else 'FAIL':4s}] {name:10s} {detail}")
+    if tail:
+        print(f"  last {len(tail)} flight events:")
+        for event in tail:
+            extras = {k: v for k, v in event.items()
+                      if k not in ("ts", "seq", "kind")}
+            print(f"    seq={event.get('seq')} {event.get('kind')} "
+                  + " ".join(f"{k}={v}" for k, v in extras.items()))
+    slow = stats.get("slow_queries", [])[:3]
+    if slow:
+        print("  slowest traces:")
+        for entry in slow:
+            print(f"    {entry.get('trace', '-')} "
+                  f"{entry.get('verb', '?')} "
+                  f"{entry.get('ms', 0.0):.2f}ms "
+                  + " ".join(f"{k}={v:.2f}" for k, v in
+                             entry.get("stages_ms", {}).items()))
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        for name, doc in docs.items():
+            path = args.out / f"{name}.json"
+            path.write_text(json.dumps(doc, indent=2, sort_keys=True,
+                                       default=str) + "\n",
+                            encoding="utf-8")
+        print(f"  raw documents written to {args.out}/")
+    print("doctor: all checks passed" if not failed
+          else f"doctor: {failed} check(s) FAILED")
+    return 1 if failed else 0
 
 
 def _cmd_metrics_smoke(args: argparse.Namespace) -> int:
@@ -872,6 +1165,24 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="record per-stage span histograms for 1 in "
                             "this many requests (the slow-query log "
                             "still sees every request; 1 = all)")
+    serve.add_argument("--slo-availability", type=float, default=None,
+                       metavar="FRACTION",
+                       help="track every catalog entry against this "
+                            "availability objective (e.g. 0.999); "
+                            "enables the per-tenant SLO engine, burn-"
+                            "rate alerts, and the reach_slo_* metric "
+                            "families")
+    serve.add_argument("--slo-latency-ms", type=float, default=None,
+                       help="requests slower than this count against "
+                            "the error budget (default 50ms when only "
+                            "--slo-availability is given)")
+    serve.add_argument("--flight-dir", type=Path, default=None,
+                       help="spill the crash flight recorder to this "
+                            "directory (defaults to <state-dir>/"
+                            "flightrec when --state-dir is set; dumps "
+                            "are written on degraded entry, worker "
+                            "respawn, fatal signals, and via the "
+                            "'flight' verb)")
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -911,6 +1222,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                               "the default index (binary protocol "
                               "resolves the name to its numeric id "
                               "first)")
+    loadgen.add_argument("--trace", action="store_true",
+                         help="stamp every JSON request with a client-"
+                              "minted trace id (echoed in replies; "
+                              "lands in the server's slow-query log, "
+                              "stage exemplars, and flight recorder)")
     loadgen.add_argument("--verify", action="store_true",
                          help="differentially check every reply against "
                               "a locally built index (needs --graph); "
@@ -936,7 +1252,49 @@ def main(argv: Sequence[str] | None = None) -> int:
                      help="drain the service window and slow-query log "
                           "on every poll, so each refresh shows that "
                           "interval only")
+    top.add_argument("--fleet", action="store_true",
+                     help="sample every worker behind the shared port "
+                          "(repeated fresh connections, keyed by the "
+                          "stats worker label) and render one section "
+                          "per worker")
     top.add_argument("--timeout", type=float, default=10.0)
+
+    slo = sub.add_parser(
+        "slo",
+        help="report (and optionally declare) per-tenant SLOs on a "
+             "running gateway; exits 1 while any burn-rate alert "
+             "fires")
+    slo.add_argument("--host", default="127.0.0.1")
+    slo.add_argument("--port", type=int, required=True)
+    slo.add_argument("--index", default=None,
+                     help="declare the objective for this catalog "
+                          "entry (default: the default index)")
+    slo.add_argument("--availability", type=float, default=None,
+                     metavar="FRACTION",
+                     help="declare this availability target (0..1) "
+                          "before reporting")
+    slo.add_argument("--latency-ms", type=float, default=None,
+                     help="declare this latency threshold before "
+                          "reporting")
+    slo.add_argument("--json", action="store_true",
+                     help="print the raw report document instead of "
+                          "the table")
+    slo.add_argument("--timeout", type=float, default=10.0)
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="one-shot triage bundle: ping, health, readiness, "
+             "traffic, SLO alerts, flight-recorder tail, catalog, and "
+             "metrics families, each with a pass/fail verdict")
+    doctor.add_argument("--host", default="127.0.0.1")
+    doctor.add_argument("--port", type=int, required=True)
+    doctor.add_argument("--events", type=int, default=5,
+                        help="flight-recorder events shown")
+    doctor.add_argument("--out", type=Path, default=None,
+                        help="also write every raw document (health, "
+                             "stats, slo, flight, catalog, metrics) "
+                             "as JSON files into this directory")
+    doctor.add_argument("--timeout", type=float, default=10.0)
 
     metrics_smoke = sub.add_parser(
         "metrics-smoke",
@@ -1052,6 +1410,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
         "top": _cmd_top,
+        "slo": _cmd_slo,
+        "doctor": _cmd_doctor,
         "metrics-smoke": _cmd_metrics_smoke,
         "chaos": _cmd_chaos,
         "validate": _cmd_validate,

@@ -12,6 +12,12 @@ this package:
   endpoint) plus the minimal validator the CI smoke gate uses;
 * :mod:`repro.obs.tracing` — trace IDs, per-stage request spans that
   sum to the end-to-end latency, and the top-K slow-query log;
+* :mod:`repro.obs.slo` — per-tenant SLO objectives, windowed
+  error-budget accounting, and multi-window burn-rate alerts
+  (``reach_slo_*`` families, the ``slo`` verb);
+* :mod:`repro.obs.flight` — the crash flight recorder: a fixed-size
+  lock-free ring of recent serving events spilled to
+  ``<state-dir>/flightrec/`` so the pre-fault window survives SIGKILL;
 * :mod:`repro.obs.phases` — build-phase profiling shared by both
   pipeline construction backends.
 
@@ -33,8 +39,15 @@ from repro.obs.metrics import (
     MetricsRegistry,
     RECOVERY_BUCKETS,
 )
+from repro.obs.flight import FlightRecorder
 from repro.obs.phases import PhaseProfiler
-from repro.obs.prometheus import CONTENT_TYPE, parse_exposition, render
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    merge_expositions,
+    parse_exposition,
+    render,
+)
+from repro.obs.slo import SloEngine, SloObjective
 from repro.obs.tracing import (
     REQUEST_STAGES,
     BatchTicket,
@@ -49,15 +62,19 @@ __all__ = [
     "CONTENT_TYPE",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "PhaseProfiler",
     "RECOVERY_BUCKETS",
     "REQUEST_STAGES",
+    "SloEngine",
+    "SloObjective",
     "SlowQueryLog",
     "SpanRecorder",
     "TraceIds",
+    "merge_expositions",
     "parse_exposition",
     "render",
 ]

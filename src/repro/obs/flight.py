@@ -1,0 +1,266 @@
+"""Crash flight recorder: the last seconds before a fault, on disk.
+
+A :class:`FlightRecorder` is an always-on, fixed-size, lock-free ring
+of recent serving events — request completions worth keeping (traced,
+slow, errored, or span-sampled), admission sheds, catalog mutations,
+swaps, degraded transitions, worker lifecycle — cheap enough to leave
+recording in production.  Writes are a single list-item assignment
+guarded by the GIL (no lock, no allocation beyond the event tuple), so
+the hot path pays nanoseconds and a wedged thread can never block a
+recorder elsewhere.
+
+Getting the ring *out* survives even SIGKILL: besides explicit dumps
+(degraded-mode entry, supervisor respawn, fatal signals, the ``flight``
+verb), a background spiller thread rewrites
+``<dir>/flight-<label>-current.jsonl`` about once a second via
+write-to-temp + atomic rename whenever the ring has moved.  After a
+power loss the current file is at most one interval stale, so the
+pre-kill window is readable offline; on the next boot
+:func:`archive_current_dumps` renames the stale current files to
+``*-prior-N.jsonl`` before any new recorder starts, and the
+crash-restart chaos harness replays them into its report.
+
+Dump format — one JSON object per line:
+
+* line 1: a header ``{"kind": "flight_header", "label": ..., "pid":
+  ..., "reason": ..., "dumped_at": ...}``;
+* each following line: an event ``{"seq": N, "ts": <epoch seconds>,
+  "kind": ..., ...fields}``, strictly increasing ``seq``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from typing import Any, Iterator
+
+__all__ = [
+    "FlightRecorder",
+    "archive_current_dumps",
+    "load_dump",
+    "scan_dumps",
+]
+
+
+class FlightRecorder:
+    """Fixed-size lock-free ring of recent serving events."""
+
+    def __init__(self, capacity: int = 2048, *,
+                 label: str = "srv") -> None:
+        if capacity < 8:
+            raise ValueError("flight recorder capacity must be >= 8")
+        self.capacity = capacity
+        self.label = label
+        self._ring: list = [None] * capacity
+        # itertools.count() is GIL-atomic: concurrent recorders get
+        # distinct slots without a lock.
+        self._seq = itertools.count()
+        self._spiller: threading.Thread | None = None
+        self._spill_dir: str | None = None
+        self._spill_interval = 1.0
+        self._stop = threading.Event()
+        self._spilled_seq = -1
+        self.dumps = 0
+
+    # -- recording ------------------------------------------------------
+    def record(self, kind: str, **fields: Any) -> None:
+        """Append one event (hot path: one counter, one assignment)."""
+        seq = next(self._seq)
+        self._ring[seq % self.capacity] = (seq, time.time(), kind,
+                                           fields)
+
+    def snapshot(self) -> list[dict]:
+        """The ring's surviving events, oldest first.
+
+        Taken without a lock: a concurrent writer may replace a slot
+        mid-copy, which shows up as a *newer* event, never a torn one
+        (tuples are immutable once assigned).
+        """
+        events = [slot for slot in list(self._ring) if slot is not None]
+        events.sort(key=lambda slot: slot[0])
+        return [{"seq": seq, "ts": ts, "kind": kind, **fields}
+                for seq, ts, kind, fields in events]
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence of the most recently recorded event (-1: none)."""
+        return self._peek_seq()
+
+    def _peek_seq(self) -> int:
+        newest = -1
+        for slot in self._ring:
+            if slot is not None and slot[0] > newest:
+                newest = slot[0]
+        return newest
+
+    # -- dumping --------------------------------------------------------
+    def _write_dump(self, path: str, reason: str) -> None:
+        events = self.snapshot()
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            header = {"kind": "flight_header", "label": self.label,
+                      "pid": os.getpid(), "reason": reason,
+                      "capacity": self.capacity,
+                      "events": len(events), "dumped_at": time.time()}
+            fh.write(json.dumps(header, separators=(",", ":")) + "\n")
+            for event in events:
+                fh.write(json.dumps(event, separators=(",", ":"),
+                                    default=str) + "\n")
+        os.replace(tmp, path)
+
+    def dump(self, directory: str | None = None, *,
+             reason: str = "manual") -> str | None:
+        """Write a standalone dump file; returns its path.
+
+        ``directory`` defaults to the spill directory; with neither,
+        the dump is silently skipped (recorder without a state dir).
+        """
+        directory = directory or self._spill_dir
+        if directory is None:
+            return None
+        os.makedirs(directory, exist_ok=True)
+        stamp = int(time.time() * 1000)
+        path = os.path.join(
+            directory,
+            f"flight-{self.label}-{stamp}-{reason}.jsonl")
+        try:
+            self._write_dump(path, reason)
+        except OSError:
+            return None
+        self.dumps += 1
+        return path
+
+    # -- background spiller ---------------------------------------------
+    def start_spiller(self, directory: str,
+                      interval: float = 1.0) -> None:
+        """Keep ``flight-<label>-current.jsonl`` at most ``interval``
+        seconds stale (idempotent; daemon thread)."""
+        if self._spiller is not None:
+            return
+        os.makedirs(directory, exist_ok=True)
+        self._spill_dir = directory
+        self._spill_interval = interval
+        self._stop.clear()
+        self._spiller = threading.Thread(
+            target=self._spill_loop, name=f"flight-{self.label}",
+            daemon=True)
+        self._spiller.start()
+
+    def stop_spiller(self, *, final_dump: bool = True) -> None:
+        if self._spiller is None:
+            return
+        self._stop.set()
+        self._spiller.join(timeout=5.0)
+        self._spiller = None
+        if final_dump:
+            self._spill_once()
+
+    def _current_path(self) -> str | None:
+        if self._spill_dir is None:
+            return None
+        return os.path.join(self._spill_dir,
+                            f"flight-{self.label}-current.jsonl")
+
+    def _spill_once(self) -> None:
+        path = self._current_path()
+        if path is None:
+            return
+        newest = self._peek_seq()
+        if newest <= self._spilled_seq:
+            return
+        try:
+            self._write_dump(path, "spill")
+        except OSError:
+            return
+        self._spilled_seq = newest
+
+    def _spill_loop(self) -> None:
+        # First spill immediately: an incarnation SIGKILLed inside the
+        # first interval still leaves its boot window on disk.
+        self._spill_once()
+        while not self._stop.wait(self._spill_interval):
+            self._spill_once()
+
+
+# -- offline readers -----------------------------------------------------
+
+def load_dump(path: str) -> dict:
+    """Parse one dump file into ``{"path", "header", "events"}``.
+
+    Raises
+    ------
+    ValueError
+        On a missing/odd header or out-of-order event sequence — the
+        chaos harness treats that as a failed acceptance gate.
+    """
+    header: dict | None = None
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            if lineno == 1:
+                if doc.get("kind") != "flight_header":
+                    raise ValueError(
+                        f"{path}: first line is not a flight_header")
+                header = doc
+                continue
+            events.append(doc)
+    if header is None:
+        raise ValueError(f"{path}: empty dump (no header)")
+    last = -1
+    for event in events:
+        seq = event.get("seq")
+        if not isinstance(seq, int) or seq <= last:
+            raise ValueError(
+                f"{path}: event seq out of order ({seq} after {last})")
+        last = seq
+    return {"path": path, "header": header, "events": events}
+
+
+def scan_dumps(directory: str) -> list[dict]:
+    """Every parseable dump under ``directory``, oldest file first."""
+    if not os.path.isdir(directory):
+        return []
+    out = []
+    for name in sorted(os.listdir(directory)):
+        if not name.startswith("flight-") or not name.endswith(".jsonl"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            out.append(load_dump(path))
+        except (OSError, ValueError, json.JSONDecodeError):
+            out.append({"path": path, "header": None, "events": [],
+                        "error": "unparseable"})
+    return out
+
+
+def archive_current_dumps(directory: str) -> list[str]:
+    """Rename stale ``*-current.jsonl`` files from a prior incarnation
+    to ``*-prior-N.jsonl`` so new recorders start clean; returns the
+    archived paths."""
+    if not os.path.isdir(directory):
+        return []
+    archived = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith("-current.jsonl"):
+            continue
+        stem = name[:-len("-current.jsonl")]
+        n = 0
+        while True:
+            target = os.path.join(directory,
+                                  f"{stem}-prior-{n}.jsonl")
+            if not os.path.exists(target):
+                break
+            n += 1
+        try:
+            os.replace(os.path.join(directory, name), target)
+        except OSError:
+            continue
+        archived.append(target)
+    return archived

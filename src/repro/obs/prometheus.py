@@ -22,7 +22,8 @@ from typing import Any, Iterable
 
 from repro.obs.metrics import Histogram, MetricsRegistry, format_bound
 
-__all__ = ["CONTENT_TYPE", "parse_exposition", "render"]
+__all__ = ["CONTENT_TYPE", "merge_expositions", "parse_exposition",
+           "render"]
 
 #: The scrape response content type Prometheus expects.
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -141,6 +142,78 @@ def render(*registries: MetricsRegistry, reset: bool = False,
                            extra.get("help", ""),
                            [({**const, **labels}, value)
                             for labels, value in extra["samples"]])
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def merge_expositions(texts: Iterable[str]) -> str:
+    """Merge several expositions into one valid scrape document.
+
+    The fleet parent's ``/metrics`` is built from one exposition per
+    worker, each already stamped with its ``worker="<id>"`` const
+    label.  Naive concatenation is *invalid* Prometheus text (every
+    worker re-declares every ``# TYPE``), so this groups samples by
+    family: one ``HELP``/``TYPE`` header per family (first seen wins),
+    then every worker's sample lines in input order — the per-worker
+    labels keep the series distinct.
+
+    Raises
+    ------
+    ValueError
+        When the same family is declared with conflicting types.
+    """
+    order: list[str] = []
+    seen: set[str] = set()
+    helps: dict[str, str] = {}
+    types: dict[str, str] = {}
+    samples: dict[str, list[str]] = {}
+
+    def note(name: str) -> None:
+        if name not in seen:
+            seen.add(name)
+            order.append(name)
+
+    for text in texts:
+        local_types: dict[str, str] = {}
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                parts = line.split(None, 3)
+                if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                    raise ValueError(f"malformed comment: {line!r}")
+                name = parts[2]
+                if parts[1] == "TYPE":
+                    kind = parts[3] if len(parts) == 4 else "untyped"
+                    local_types[name] = kind
+                    previous = types.get(name)
+                    if previous is not None and previous != kind:
+                        raise ValueError(
+                            f"conflicting TYPE for {name}: "
+                            f"{previous} vs {kind}")
+                    types[name] = kind
+                    note(name)
+                else:
+                    helps.setdefault(name, line)
+                continue
+            name = line.split("{", 1)[0].split(None, 1)[0]
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                stem = name[:-len(suffix)] if name.endswith(suffix) \
+                    else None
+                if stem and local_types.get(stem) == "histogram":
+                    base = stem
+                    break
+            note(base)
+            samples.setdefault(base, []).append(line)
+    lines: list[str] = []
+    for name in order:
+        help_line = helps.get(name)
+        if help_line:
+            lines.append(help_line)
+        kind = types.get(name)
+        if kind is not None:
+            lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples.get(name, ()))
     return "\n".join(lines) + "\n" if lines else ""
 
 

@@ -1,0 +1,355 @@
+"""Per-tenant SLO objectives, error budgets, and burn-rate alerts.
+
+An :class:`SloObjective` declares what "good" means for one catalog
+entry: an availability target (fraction of requests that must be good)
+and a latency threshold (a request slower than ``latency_ms`` spends
+error budget even when it succeeds).  The :class:`SloEngine` keeps one
+windowed counter ring per entry, accounts every finished request in
+O(1) on the event loop, and evaluates the standard multi-window
+burn-rate alert policy:
+
+* **page** — the fast pair: the 1 h *and* 5 m burn rates both exceed
+  14.4 (at that rate a 30-day budget is gone in ~2 days);
+* **ticket** — the slow pair: the 6 h *and* 30 m burn rates both
+  exceed 6.
+
+A *burn rate* is the bad-request rate over a window divided by the
+budget rate ``1 - availability``; burn 1.0 means the budget is being
+spent exactly as fast as it accrues.  Requiring both the long and the
+short window keeps alerts from firing on ancient history (the long
+window alone) or flapping on a single blip (the short window alone).
+
+The engine is event-loop confined like the rest of the serving
+metrics: ``record`` mutates plain ints without locks, and the
+collector snapshot reads them from the same loop.  Alert state
+*transitions* are appended to :attr:`SloEngine.transitions` for the
+server to drain into the access log and flight recorder.
+
+Exported metric families (see ``docs/OBSERVABILITY.md``):
+``reach_slo_objective_availability``, ``reach_slo_objective_latency_ms``,
+``reach_slo_requests_total``, ``reach_slo_bad_total``,
+``reach_slo_error_budget_remaining``, ``reach_slo_burn_rate``, and
+``reach_slo_alert_active``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "SLOT_SECONDS",
+    "WINDOWS",
+    "SloEngine",
+    "SloObjective",
+    "SloTracker",
+]
+
+#: Seconds of traffic folded into one counter slot.
+SLOT_SECONDS = 10
+
+#: Alert windows as ``(label, seconds)``, shortest first.  The longest
+#: window bounds the ring size.
+WINDOWS = (("5m", 300), ("30m", 1800), ("1h", 3600), ("6h", 21600))
+
+_SLOT_COUNT = WINDOWS[-1][1] // SLOT_SECONDS
+
+#: The multi-window burn-rate policy: both windows of a pair must
+#: exceed the threshold for the alert to be active.
+ALERT_POLICY = (
+    ("page", "1h", "5m", 14.4),
+    ("ticket", "6h", "30m", 6.0),
+)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """A declared service-level objective for one catalog entry.
+
+    ``availability`` is the target fraction of *good* requests; a
+    request is good when it succeeded **and** finished within
+    ``latency_ms``.  Failing either spends error budget.
+    """
+
+    availability: float = 0.999
+    latency_ms: float = 50.0
+
+    def as_dict(self) -> dict:
+        return {"availability": self.availability,
+                "latency_ms": self.latency_ms}
+
+    @staticmethod
+    def from_payload(payload: Any) -> "SloObjective":
+        """Validate a request/JSON payload into an objective.
+
+        Raises
+        ------
+        ReproError
+            On unknown fields or out-of-range values.
+        """
+        if not isinstance(payload, dict):
+            raise ReproError(
+                f"slo objective must be an object, "
+                f"got {type(payload).__name__}")
+        known = ("availability", "latency_ms")
+        for key in payload:
+            if key not in known:
+                raise ReproError(f"unknown slo objective field {key!r}")
+        availability = payload.get("availability", 0.999)
+        latency_ms = payload.get("latency_ms", 50.0)
+        if not isinstance(availability, (int, float)) \
+                or isinstance(availability, bool) \
+                or not 0.0 < float(availability) < 1.0:
+            raise ReproError(
+                "slo availability must be a number in (0, 1)")
+        if not isinstance(latency_ms, (int, float)) \
+                or isinstance(latency_ms, bool) or float(latency_ms) <= 0:
+            raise ReproError("slo latency_ms must be a positive number")
+        return SloObjective(availability=float(availability),
+                            latency_ms=float(latency_ms))
+
+
+class SloTracker:
+    """Windowed good/bad accounting for one catalog entry.
+
+    A ring of :data:`SLOT_SECONDS`-second slots spanning the longest
+    alert window; each slot stamps the absolute slot index it belongs
+    to, so stale slots are lazily zeroed on reuse and window sums
+    simply skip slots stamped outside the window.
+    """
+
+    __slots__ = ("objective", "_total", "_bad", "_stamp",
+                 "lifetime_total", "lifetime_bad")
+
+    def __init__(self, objective: SloObjective) -> None:
+        self.objective = objective
+        self._total = [0] * _SLOT_COUNT
+        self._bad = [0] * _SLOT_COUNT
+        self._stamp = [-1] * _SLOT_COUNT
+        self.lifetime_total = 0
+        self.lifetime_bad = 0
+
+    def record(self, ok: bool, seconds: float, now: float) -> None:
+        """Account one finished request (O(1), no allocation)."""
+        slot = int(now) // SLOT_SECONDS
+        i = slot % _SLOT_COUNT
+        if self._stamp[i] != slot:
+            self._stamp[i] = slot
+            self._total[i] = 0
+            self._bad[i] = 0
+        self._total[i] += 1
+        self.lifetime_total += 1
+        if not ok or seconds * 1000.0 > self.objective.latency_ms:
+            self._bad[i] += 1
+            self.lifetime_bad += 1
+
+    def window_counts(self, window_seconds: int,
+                      now: float) -> tuple[int, int]:
+        """``(total, bad)`` over the trailing window ending at ``now``."""
+        newest = int(now) // SLOT_SECONDS
+        oldest = newest - window_seconds // SLOT_SECONDS + 1
+        total = bad = 0
+        stamp = self._stamp
+        for i in range(_SLOT_COUNT):
+            if oldest <= stamp[i] <= newest:
+                total += self._total[i]
+                bad += self._bad[i]
+        return total, bad
+
+    def burn_rate(self, window_seconds: int, now: float) -> float:
+        """Bad-rate over the window divided by the budget rate."""
+        total, bad = self.window_counts(window_seconds, now)
+        if total == 0:
+            return 0.0
+        return (bad / total) / (1.0 - self.objective.availability)
+
+    def budget_remaining(self, now: float) -> float:
+        """Fraction of the longest window's error budget still unspent.
+
+        1.0 with an untouched budget, 0.0 exactly exhausted, negative
+        when overspent.  With no traffic in the window the budget is
+        intact by definition.
+        """
+        total, bad = self.window_counts(WINDOWS[-1][1], now)
+        if total == 0:
+            return 1.0
+        budget = (1.0 - self.objective.availability) * total
+        return 1.0 - bad / budget if budget > 0 else 1.0
+
+
+class SloEngine:
+    """All per-entry SLO trackers of one serving process.
+
+    ``defaults`` (an :class:`SloObjective` or ``None``) is applied
+    lazily to any entry seen by :meth:`record` that has no declared
+    objective; with ``defaults=None`` only explicitly declared entries
+    are tracked, and with no declared entries :meth:`record` is a
+    cheap no-op — the engine is always safe to call from the hot path.
+
+    Alert evaluation piggybacks on :meth:`record` at most once per
+    second; state *changes* are appended to :attr:`transitions` (a
+    bounded deque of dicts) for the server to drain into its access
+    log and flight recorder.
+    """
+
+    def __init__(self, *, defaults: SloObjective | None = None,
+                 clock: Callable[[], float] = time.time) -> None:
+        self._trackers: dict[str, SloTracker] = {}
+        self._defaults = defaults
+        self._clock = clock
+        self._next_eval = 0.0
+        #: Undrained alert state transitions, oldest first.
+        self.transitions: deque[dict] = deque(maxlen=256)
+        self._active: dict[tuple[str, str], bool] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """True when any request could be tracked."""
+        return bool(self._trackers) or self._defaults is not None
+
+    def set_objective(self, name: str,
+                      objective: SloObjective) -> SloTracker:
+        """Declare (or replace) the objective for one entry.
+
+        Replacing keeps the entry's windowed history — the budget is
+        re-interpreted under the new objective rather than reset.
+        """
+        tracker = self._trackers.get(name)
+        if tracker is None:
+            tracker = SloTracker(objective)
+            self._trackers[name] = tracker
+        else:
+            tracker.objective = objective
+        return tracker
+
+    def drop(self, name: str) -> None:
+        """Forget an entry (catalog drop)."""
+        self._trackers.pop(name, None)
+        for severity in ("page", "ticket"):
+            self._active.pop((name, severity), None)
+
+    def record(self, name: str, ok: bool, seconds: float,
+               now: float | None = None) -> None:
+        """Account one finished request against ``name``'s objective."""
+        tracker = self._trackers.get(name)
+        if tracker is None:
+            if self._defaults is None:
+                return
+            tracker = self.set_objective(name, self._defaults)
+        if now is None:
+            now = self._clock()
+        tracker.record(ok, seconds, now)
+        if now >= self._next_eval:
+            self._next_eval = now + 1.0
+            self.evaluate(now)
+
+    def evaluate(self, now: float | None = None) -> None:
+        """Re-evaluate every alert pair; queue state transitions."""
+        if now is None:
+            now = self._clock()
+        windows = dict(WINDOWS)
+        for name, tracker in self._trackers.items():
+            for severity, long_w, short_w, threshold in ALERT_POLICY:
+                burn_long = tracker.burn_rate(windows[long_w], now)
+                burn_short = tracker.burn_rate(windows[short_w], now)
+                active = burn_long > threshold and burn_short > threshold
+                key = (name, severity)
+                if self._active.get(key, False) != active:
+                    self._active[key] = active
+                    self.transitions.append({
+                        "index": name, "severity": severity,
+                        "active": active,
+                        "burn_long": round(burn_long, 3),
+                        "burn_short": round(burn_short, 3),
+                        "threshold": threshold, "ts": now,
+                    })
+
+    def report(self, now: float | None = None) -> dict:
+        """The full SLO document (the ``slo`` verb's result)."""
+        if now is None:
+            now = self._clock()
+        self.evaluate(now)
+        entries = {}
+        for name, tracker in sorted(self._trackers.items()):
+            windows = {}
+            for label, seconds in WINDOWS:
+                total, bad = tracker.window_counts(seconds, now)
+                windows[label] = {
+                    "total": total, "bad": bad,
+                    "burn_rate": round(
+                        tracker.burn_rate(seconds, now), 4),
+                }
+            entries[name] = {
+                "objective": tracker.objective.as_dict(),
+                "windows": windows,
+                "error_budget_remaining": round(
+                    tracker.budget_remaining(now), 4),
+                "alerts": {
+                    severity: self._active.get((name, severity), False)
+                    for severity, *_ in ALERT_POLICY},
+                "lifetime": {"total": tracker.lifetime_total,
+                             "bad": tracker.lifetime_bad},
+            }
+        return {"enabled": self.enabled,
+                "default_objective": (self._defaults.as_dict()
+                                      if self._defaults else None),
+                "entries": entries}
+
+    # -- metrics collector ----------------------------------------------
+    def collect(self) -> Iterator[dict]:
+        """Metric families for ``MetricsRegistry.register_collector``."""
+        now = self._clock()
+
+        def family(name: str, kind: str, help_text: str,
+                   samples: list) -> dict:
+            return {"name": name, "type": kind, "help": help_text,
+                    "samples": samples}
+
+        trackers = sorted(self._trackers.items())
+        if not trackers:
+            return
+        yield family(
+            "reach_slo_objective_availability", "gauge",
+            "Declared availability target per catalog entry.",
+            [({"index": name}, tracker.objective.availability)
+             for name, tracker in trackers])
+        yield family(
+            "reach_slo_objective_latency_ms", "gauge",
+            "Declared latency threshold (ms) per catalog entry.",
+            [({"index": name}, tracker.objective.latency_ms)
+             for name, tracker in trackers])
+        yield family(
+            "reach_slo_requests_total", "counter",
+            "Requests accounted against the entry's SLO.",
+            [({"index": name}, tracker.lifetime_total)
+             for name, tracker in trackers])
+        yield family(
+            "reach_slo_bad_total", "counter",
+            "Requests that spent error budget (failed or too slow).",
+            [({"index": name}, tracker.lifetime_bad)
+             for name, tracker in trackers])
+        yield family(
+            "reach_slo_error_budget_remaining", "gauge",
+            "Fraction of the 6h error budget unspent "
+            "(negative when overspent).",
+            [({"index": name}, tracker.budget_remaining(now))
+             for name, tracker in trackers])
+        yield family(
+            "reach_slo_burn_rate", "gauge",
+            "Error-budget burn rate per alert window "
+            "(1.0 = spending exactly the budget).",
+            [({"index": name, "window": label},
+              tracker.burn_rate(seconds, now))
+             for name, tracker in trackers
+             for label, seconds in WINDOWS])
+        yield family(
+            "reach_slo_alert_active", "gauge",
+            "1 while the multi-window burn-rate alert is firing.",
+            [({"index": name, "severity": severity},
+              1.0 if self._active.get((name, severity), False) else 0.0)
+             for name, _tracker in trackers
+             for severity, *_ in ALERT_POLICY])

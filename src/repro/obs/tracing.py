@@ -143,9 +143,25 @@ class SpanRecorder:
         self._children = {stage: self._family.labels(stage)
                           for stage in REQUEST_STAGES}
         self._lock = registry.lock
+        # Per-stage exemplar: the slowest *traced* observation since
+        # the last reset, so a p99 bucket links to a concrete trace id.
+        self._exemplars: dict[str, tuple[float, str]] = {}
 
-    def record(self, spans: dict[str, float]) -> None:
+    def note_exemplars(self, spans: dict[str, float],
+                       trace_id: str) -> None:
+        """Update the per-stage exemplars without observing the
+        histograms (client-traced requests outside the span sample)."""
+        exemplars = self._exemplars
+        for stage, seconds in spans.items():
+            worst = exemplars.get(stage)
+            if worst is None or seconds > worst[0]:
+                exemplars[stage] = (seconds, trace_id)
+
+    def record(self, spans: dict[str, float],
+               trace_id: str | None = None) -> None:
         children = self._children
+        if trace_id is not None:
+            self.note_exemplars(spans, trace_id)
         if spans.keys() <= children.keys():
             # Hot path: every span of the request under one lock
             # acquisition.
@@ -159,6 +175,17 @@ class SpanRecorder:
                 child = self._family.labels(stage)
                 children[stage] = child
             child.observe(seconds)
+
+    def exemplars(self, reset: bool = False) -> dict[str, dict]:
+        """Per-stage slowest traced observation:
+        ``{stage: {"trace": id, "ms": duration}}``."""
+        out = {stage: {"trace": trace,
+                       "ms": round(seconds * 1000.0, 3)}
+               for stage, (seconds, trace)
+               in sorted(self._exemplars.items())}
+        if reset:
+            self._exemplars = {}
+        return out
 
     def percentiles_ms(self) -> dict[str, dict[str, float]]:
         """Per-stage ``{p50,p95,p99,max}_ms`` blocks (stats verb /

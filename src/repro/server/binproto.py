@@ -23,6 +23,22 @@ magic line on a JSON connection is rejected with ``bad_request`` and the
 connection stays in JSON mode (mid-stream renegotiation would race
 in-flight replies).
 
+TRACE extension
+---------------
+Distributed tracing is a *negotiated* extension: a client that wants
+trace ids on the wire sends :data:`MAGIC_LINE_TRACE`
+(``REPRO-BINARY/1 trace\\n``) instead of the plain preamble.  The
+server acknowledges with a ``HELLO`` whose payload carries a fourth
+``u32 flags`` word with :data:`HELLO_FLAG_TRACE` set (the ``HELLO``
+itself stays a standard frame so either peer can parse it), and from
+the first post-``HELLO`` byte the connection speaks **traced frames**
+in both directions: the standard header widened by a 16-byte
+NUL-padded ASCII trace-id field between ``payload_len`` and ``crc32``
+(:data:`TRACE_HEADER`, 32 bytes).  Replies echo the request's trace id
+verbatim.  Un-negotiated peers are untouched — the plain preamble
+yields the plain three-word ``HELLO`` and 24-byte frames,
+byte-identical to v1.
+
 Frame layout (all integers little-endian)::
 
     offset 0   u8   magic        0xB7
@@ -89,6 +105,7 @@ from repro.server.protocol import ProtocolError
 
 __all__ = [
     "BINARY_CODEC",
+    "BINARY_TRACE_CODEC",
     "BINARY_VERSION",
     "BinaryCodec",
     "ERROR_CODES",
@@ -96,20 +113,29 @@ __all__ = [
     "FRAME_MAGIC",
     "HEADER",
     "HEADER_SIZE",
+    "HELLO_FLAG_TRACE",
     "MAGIC_LINE",
+    "MAGIC_LINE_TRACE",
     "OP_ANSWERS",
     "OP_BATCH",
     "OP_ERROR",
     "OP_HELLO",
     "OP_PING",
     "OP_PONG",
+    "TRACE_HEADER",
+    "TRACE_HEADER_SIZE",
+    "TRACE_ID_BYTES",
+    "TraceBinaryCodec",
     "decode_hello",
+    "decode_trace_field",
     "encode_answers",
     "encode_error_frame",
     "encode_frame",
     "encode_hello",
     "encode_pairs",
+    "encode_trace_frame",
     "pack_bitmap",
+    "trace_field",
     "unpack_bitmap",
 ]
 
@@ -119,12 +145,26 @@ BINARY_VERSION = 1
 #: The negotiation preamble a client sends as its first request line.
 MAGIC_LINE = b"REPRO-BINARY/1\n"
 
+#: The preamble variant requesting the TRACE extension.
+MAGIC_LINE_TRACE = b"REPRO-BINARY/1 trace\n"
+
+#: ``HELLO`` flags word bit: the connection speaks traced frames.
+HELLO_FLAG_TRACE = 0x1
+
 #: First byte of every frame.
 FRAME_MAGIC = 0xB7
 
 #: ``magic, opcode, reserved, request_id, payload_len, crc32``.
 HEADER = struct.Struct("<BBHIII")
 HEADER_SIZE = HEADER.size
+
+#: Width of the traced-frame trace-id field (NUL-padded ASCII).
+TRACE_ID_BYTES = 16
+
+#: The traced-frame header: the standard header widened by a 16-byte
+#: trace-id field between ``payload_len`` and ``crc32``.
+TRACE_HEADER = struct.Struct("<BBHII16sI")
+TRACE_HEADER_SIZE = TRACE_HEADER.size
 
 # Request opcodes.
 OP_BATCH = 0x01
@@ -167,6 +207,32 @@ def encode_frame(opcode: int, request_id: int, payload: bytes = b"",
                        zlib.crc32(payload)) + payload
 
 
+def trace_field(trace: str | None) -> bytes:
+    """The 16-byte wire form of a trace id (NUL-padded, truncated)."""
+    if not trace:
+        return b"\x00" * TRACE_ID_BYTES
+    raw = trace.encode("ascii", "replace")[:TRACE_ID_BYTES]
+    return raw.ljust(TRACE_ID_BYTES, b"\x00")
+
+
+def decode_trace_field(field: bytes) -> str | None:
+    """The trace id carried in a traced-frame header (``None``: unset)."""
+    raw = field.rstrip(b"\x00")
+    if not raw:
+        return None
+    return raw.decode("ascii", "replace")
+
+
+def encode_trace_frame(opcode: int, request_id: int,
+                       payload: bytes = b"", *, index: int = 0,
+                       trace: str | None = None) -> bytes:
+    """One traced wire frame (TRACE-extension connections only)."""
+    return TRACE_HEADER.pack(FRAME_MAGIC, opcode, index & 0xFFFF,
+                             request_id & 0xFFFFFFFF, len(payload),
+                             trace_field(trace),
+                             zlib.crc32(payload)) + payload
+
+
 def encode_pairs(pairs) -> bytes:
     """A ``BATCH`` payload from a ``(src, dst)`` pair sequence."""
     arr = np.asarray(pairs, dtype="<u4")
@@ -176,22 +242,35 @@ def encode_pairs(pairs) -> bytes:
     return arr.tobytes()
 
 
-def encode_hello(max_pairs: int, max_frame_bytes: int) -> bytes:
-    """The server's negotiation acknowledgement."""
-    payload = struct.pack("<III", BINARY_VERSION, max_pairs,
-                          max_frame_bytes)
+def encode_hello(max_pairs: int, max_frame_bytes: int,
+                 flags: int = 0) -> bytes:
+    """The server's negotiation acknowledgement.
+
+    With a non-zero ``flags`` word (the TRACE extension) the payload
+    grows a fourth ``u32``; the ``HELLO`` frame itself always uses the
+    standard 24-byte header so either peer can parse it.
+    """
+    if flags:
+        payload = struct.pack("<IIII", BINARY_VERSION, max_pairs,
+                              max_frame_bytes, flags)
+    else:
+        payload = struct.pack("<III", BINARY_VERSION, max_pairs,
+                              max_frame_bytes)
     return encode_frame(OP_HELLO, 0, payload)
 
 
 def decode_hello(payload: bytes) -> dict[str, int]:
-    """``{"version", "max_pairs", "max_frame_bytes"}`` of a ``HELLO``."""
+    """``{"version", "max_pairs", "max_frame_bytes", "flags"}`` of a
+    ``HELLO`` (``flags`` is 0 on a plain three-word payload)."""
     if len(payload) < 12:
         raise ProtocolError(protocol.ERR_BAD_REQUEST,
                             f"HELLO payload of {len(payload)} bytes is "
                             f"too short")
     version, max_pairs, max_frame = struct.unpack_from("<III", payload)
+    flags = struct.unpack_from("<I", payload, 12)[0] \
+        if len(payload) >= 16 else 0
     return {"version": version, "max_pairs": max_pairs,
-            "max_frame_bytes": max_frame}
+            "max_frame_bytes": max_frame, "flags": flags}
 
 
 def pack_bitmap(answers) -> bytes:
@@ -241,7 +320,8 @@ class BinaryCodec:
     name = "binary"
 
     @staticmethod
-    def encode_ok(request_id: Any, result: Any) -> bytes:
+    def encode_ok(request_id: Any, result: Any,
+                  trace: str | None = None) -> bytes:
         if type(result) is tuple:
             return encode_answers(request_id, result[0], result[1])
         if result == "pong":
@@ -254,9 +334,42 @@ class BinaryCodec:
             f"expressible in the binary protocol")
 
     @staticmethod
-    def encode_error(request_id: Any, code: str, message: str) -> bytes:
+    def encode_error(request_id: Any, code: str, message: str,
+                     trace: str | None = None) -> bytes:
         return encode_error_frame(request_id, code, message)
 
 
-#: Shared stateless codec instance.
+class TraceBinaryCodec:
+    """Reply encoder for TRACE-extension connections: the same frames
+    as :class:`BinaryCodec` but in the widened traced-header layout,
+    echoing each request's trace id back in its reply."""
+
+    name = "binary+trace"
+
+    @staticmethod
+    def encode_ok(request_id: Any, result: Any,
+                  trace: str | None = None) -> bytes:
+        if type(result) is tuple:
+            payload = struct.pack("<I", result[0]) + result[1]
+            return encode_trace_frame(OP_ANSWERS, request_id, payload,
+                                      trace=trace)
+        if result == "pong":
+            return encode_trace_frame(OP_PONG, request_id, trace=trace)
+        return TraceBinaryCodec.encode_error(
+            request_id, protocol.ERR_INTERNAL,
+            f"result of type {type(result).__name__} is not "
+            f"expressible in the binary protocol", trace)
+
+    @staticmethod
+    def encode_error(request_id: Any, code: str, message: str,
+                     trace: str | None = None) -> bytes:
+        byte = ERROR_CODES.get(code, ERROR_CODES[protocol.ERR_INTERNAL])
+        rid = request_id if isinstance(request_id, int) else 0
+        return encode_trace_frame(OP_ERROR, rid,
+                                  bytes([byte]) +
+                                  message.encode("utf-8"), trace=trace)
+
+
+#: Shared stateless codec instances.
 BINARY_CODEC = BinaryCodec()
+BINARY_TRACE_CODEC = TraceBinaryCodec()

@@ -477,6 +477,27 @@ class ReachClient:
         """The catalog's index table (``catalog list``)."""
         return self.catalog("list")["indexes"]
 
+    def slo(self, *, index: str | None = None,
+            objective: dict | None = None) -> dict:
+        """The server's SLO report; with ``objective``
+        (``{"availability": ..., "latency_ms": ...}``) first declares
+        or replaces the objective of ``index`` (``None`` = default).
+        Declarations mutate server state, so the verb is never
+        retried."""
+        fields: dict[str, Any] = {}
+        if index is not None:
+            fields["index"] = index
+        if objective is not None:
+            fields["objective"] = objective
+        return self.call("slo", **fields)
+
+    def flight(self, *, dump: bool = False) -> dict:
+        """The server's flight-recorder snapshot; with ``dump`` the
+        server also writes a dump file and reports its path."""
+        if dump:
+            return self.call("flight", dump=True)
+        return self.call("flight")
+
     # -- observability --------------------------------------------------
     def error_report(self) -> dict:
         """The client-side error taxonomy accumulated so far.
@@ -520,21 +541,38 @@ class BinaryReachClient:
     catalog entry raises :class:`ServerReplyError` with code
     ``unknown_index`` and the connection keeps serving.
 
+    With ``trace=True`` the client negotiates the TRACE extension
+    (:data:`~repro.server.binproto.MAGIC_LINE_TRACE`): every request
+    frame carries a client-minted trace id in the widened 32-byte
+    header, the server propagates it through its logs and spans, and
+    the reply echoes it back (:attr:`last_trace_id` /
+    :attr:`last_reply_trace`).  A server without the extension answers
+    the unknown preamble like any bad JSON line, which surfaces as
+    ``binary_unsupported``.
+
     >>> with BinaryReachClient(port=port) as client:  # doctest: +SKIP
     ...     client.query_batch([(0, 7), (7, 0)])
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
-                 timeout: float = 30.0, index_id: int = 0) -> None:
+                 timeout: float = 30.0, index_id: int = 0,
+                 trace: bool = False) -> None:
         self._host = host
         self._port = port
         self._timeout = timeout
         self._index_id = index_id
         self._next_id = 0
+        self._trace_ids = TraceIds() if trace else None
+        #: Trace id minted for the most recent request (traced clients
+        #: only); ``None`` before the first call.
+        self.last_trace_id: str | None = None
+        #: Trace id echoed in the most recent reply frame.
+        self.last_reply_trace: str | None = None
         self._sock = socket.create_connection((host, port),
                                               timeout=timeout)
         self._reader = self._sock.makefile("rb")
-        self._sock.sendall(binproto.MAGIC_LINE)
+        self._sock.sendall(binproto.MAGIC_LINE_TRACE if trace
+                           else binproto.MAGIC_LINE)
         head = self._read_exactly(binproto.HEADER_SIZE)
         if head[:1] == b"{":
             # A JSON-only server parsed the preamble as a request and
@@ -557,8 +595,15 @@ class BinaryReachClient:
                 "binary_unsupported",
                 f"expected a HELLO frame, got opcode 0x{opcode:02X}")
         #: The server's negotiated limits
-        #: (``version`` / ``max_pairs`` / ``max_frame_bytes``).
+        #: (``version`` / ``max_pairs`` / ``max_frame_bytes`` /
+        #: ``flags``).
         self.hello = binproto.decode_hello(payload)
+        if trace and not (self.hello.get("flags", 0)
+                          & binproto.HELLO_FLAG_TRACE):
+            self.close()
+            raise ServerReplyError(
+                "binary_unsupported",
+                "server did not acknowledge the TRACE extension")
 
     # -- framing --------------------------------------------------------
     def _read_exactly(self, n: int) -> bytes:
@@ -583,8 +628,34 @@ class BinaryReachClient:
         return opcode, request_id, payload
 
     def _read_frame(self) -> tuple[int, int, bytes]:
-        return self._decode_frame(
-            self._read_exactly(binproto.HEADER_SIZE))
+        if self._trace_ids is None:
+            return self._decode_frame(
+                self._read_exactly(binproto.HEADER_SIZE))
+        import zlib
+
+        head = self._read_exactly(binproto.TRACE_HEADER_SIZE)
+        (magic, opcode, reserved, request_id, payload_len, trace_raw,
+         crc) = binproto.TRACE_HEADER.unpack(head)
+        if magic != binproto.FRAME_MAGIC or reserved != 0:
+            raise ConnectionError(
+                f"reply frame desync (magic 0x{magic:02X})")
+        payload = self._read_exactly(payload_len) if payload_len \
+            else b""
+        if zlib.crc32(payload) != crc:
+            raise ConnectionError("reply payload CRC mismatch")
+        self.last_reply_trace = binproto.decode_trace_field(trace_raw)
+        return opcode, request_id, payload
+
+    def _encode_request(self, opcode: int, request_id: int,
+                        payload: bytes = b"", *,
+                        index: int = 0) -> bytes:
+        if self._trace_ids is None:
+            return binproto.encode_frame(opcode, request_id, payload,
+                                         index=index)
+        self.last_trace_id = self._trace_ids.next()
+        return binproto.encode_trace_frame(opcode, request_id, payload,
+                                           index=index,
+                                           trace=self.last_trace_id)
 
     def _call(self, frame: bytes, request_id: int) -> tuple[int, bytes]:
         assert self._sock is not None
@@ -606,7 +677,7 @@ class BinaryReachClient:
     def ping(self) -> str:
         self._next_id += 1
         opcode, _ = self._call(
-            binproto.encode_frame(binproto.OP_PING, self._next_id),
+            self._encode_request(binproto.OP_PING, self._next_id),
             self._next_id & 0xFFFFFFFF)
         if opcode != binproto.OP_PONG:
             raise ConnectionError(
@@ -623,7 +694,7 @@ class BinaryReachClient:
         import struct
 
         self._next_id += 1
-        frame = binproto.encode_frame(
+        frame = self._encode_request(
             binproto.OP_BATCH, self._next_id,
             binproto.encode_pairs(list(pairs)),
             index=self._index_id if index_id is None else index_id)

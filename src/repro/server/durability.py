@@ -381,6 +381,12 @@ class DurableState:
             entry.generation = int(doc["generation"])
             entry.label_bytes = int(doc.get("label_bytes", 0))
             entry.artifact = doc.get("artifact")
+        elif op == "quota":
+            entry = self._entries.get(name)
+            if entry is not None:
+                # A quota record for a since-dropped entry replays as a
+                # no-op: the drop is the later, winning mutation.
+                entry.quota = dict(doc.get("quota") or {})
         elif op == "drop":
             self._entries.pop(name, None)
         # Unknown ops from a future version replay as no-ops rather
@@ -425,6 +431,19 @@ class DurableState:
         doc = {"op": "install", "name": name, "index_id": index_id,
                "scheme": scheme, "generation": generation,
                "label_bytes": label_bytes, "artifact": artifact}
+        with self._lock:
+            self._append_locked(doc)
+            self._apply_locked(doc)
+            self._maybe_checkpoint_locked()
+
+    def record_quota(self, name: str, quota: dict) -> None:
+        """Journal a quota replacement (fsynced before returning).
+
+        Journal-first like every mutation: the gateway only applies
+        the new limits in memory after this returns, so an
+        acknowledged quota survives a crash-restart.
+        """
+        doc = {"op": "quota", "name": name, "quota": dict(quota)}
         with self._lock:
             self._append_locked(doc)
             self._apply_locked(doc)

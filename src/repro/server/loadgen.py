@@ -161,7 +161,8 @@ async def _drive_session(reader: asyncio.StreamReader,
                          pipeline: int, batch_size: int,
                          send_interval: float, latency_sample: int,
                          result: LoadgenResult,
-                         index: "str | None" = None) -> tuple[int, int, int]:
+                         index: "str | None" = None,
+                         trace: bool = False) -> tuple[int, int, int]:
     """Drive one connection until it drops or the deadline passes.
 
     Returns ``(position, next_id, lost)`` so a reconnecting caller can
@@ -278,6 +279,8 @@ async def _drive_session(reader: asyncio.StreamReader,
                                "pairs": chunk}
                     if index is not None:
                         message["index"] = index
+                    if trace:
+                        message["trace"] = "lg-%d" % next_id
                     burst += encode_message(message)
                     position += batch_size
             inflight += limit
@@ -515,7 +518,8 @@ async def _drive_connection(host: str, port: int,
                             latency_sample: int,
                             result: LoadgenResult,
                             index: "str | None" = None,
-                            prefix: bytes = _bin_prefix(0)) -> None:
+                            prefix: bytes = _bin_prefix(0),
+                            trace: bool = False) -> None:
     """One logical connection: reconnects after drops until the
     deadline, so the generator keeps measuring through faults.
 
@@ -554,7 +558,7 @@ async def _drive_connection(host: str, port: int,
             position, next_id, lost = await _drive_session(
                 reader, writer, pairs, expected, frames, position,
                 next_id, deadline, pipeline, batch_size, send_interval,
-                latency_sample, result, index)
+                latency_sample, result, index, trace)
         if time.perf_counter() >= deadline:
             break
         # The session ended early: the server dropped us.  Anything
@@ -601,7 +605,8 @@ def _prepare_stream(host: str, port: int, pairs: Sequence[tuple],
                     expected: "Sequence[bool] | None",
                     latency_sample: int, protocol: str,
                     index: "str | int | None",
-                    result: LoadgenResult):
+                    result: LoadgenResult,
+                    trace: bool = False):
     """Precompute one stream's frames and return a factory that makes
     its connection coroutines for a given deadline (shared by the
     single and the mix runners).
@@ -624,7 +629,9 @@ def _prepare_stream(host: str, port: int, pairs: Sequence[tuple],
         prefix = _bin_prefix(int(index or 0))
     else:
         json_index = index  # type: ignore[assignment]
-        if batch_size == 1:
+        if batch_size == 1 and not trace:
+            # Traced requests each carry a fresh client-minted id, so
+            # they cannot use the precomputed-frame fast path.
             head = {"verb": "query"}
             if index is not None:
                 head["index"] = index
@@ -640,7 +647,7 @@ def _prepare_stream(host: str, port: int, pairs: Sequence[tuple],
                               tails, i * stride, deadline, pipeline,
                               batch_size, send_interval,
                               latency_sample, result, json_index,
-                              prefix)
+                              prefix, trace)
             for i in range(connections)]
 
     return make_tasks
@@ -651,14 +658,15 @@ async def _run(host: str, port: int, pairs: Sequence[tuple],
                batch_size: int, rate: float | None,
                expected: "Sequence[bool] | None",
                latency_sample: int, protocol: str,
-               index: "str | int | None") -> LoadgenResult:
+               index: "str | int | None",
+               trace: bool = False) -> LoadgenResult:
     result = LoadgenResult(connections=connections, pipeline=pipeline,
                            batch_size=batch_size,
                            duration_seconds=duration,
                            latency_sample=latency_sample, index=index)
     make_tasks = _prepare_stream(
         host, port, pairs, connections, pipeline, batch_size, rate,
-        expected, latency_sample, protocol, index, result)
+        expected, latency_sample, protocol, index, result, trace)
     started = time.perf_counter()
     await asyncio.gather(*make_tasks(started + duration))
     result.duration_seconds = time.perf_counter() - started
@@ -673,7 +681,8 @@ async def _run_mix(host: str, port: int, streams: Sequence[dict],
             host, port, spec["pairs"], result.connections,
             result.pipeline, result.batch_size, spec.get("rate"),
             spec.get("expected"), result.latency_sample,
-            spec.get("protocol", "json"), spec.get("index"), result)
+            spec.get("protocol", "json"), spec.get("index"), result,
+            spec.get("trace", False))
         for spec, result in zip(streams, results)]
     started = time.perf_counter()
     deadline = started + duration
@@ -690,7 +699,13 @@ def _validate_stream(pairs: Sequence[tuple], connections: int,
                      pipeline: int, batch_size: int,
                      latency_sample: int, protocol: str,
                      expected: "Sequence[bool] | None",
-                     index: "str | int | None") -> None:
+                     index: "str | int | None",
+                     trace: bool = False) -> None:
+    if trace and protocol == "binary":
+        raise ValueError(
+            "traced loadgen speaks the json protocol (binary trace "
+            "frames need per-connection negotiation; use "
+            "BinaryReachClient(trace=True) for that path)")
     if not pairs:
         raise ValueError("loadgen needs a non-empty pair pool")
     if protocol not in ("json", "binary"):
@@ -726,7 +741,8 @@ def run_loadgen(host: str, port: int, pairs: Sequence[tuple], *,
                 expected: "Sequence[bool] | None" = None,
                 latency_sample: int = 1,
                 protocol: str = "json",
-                index: "str | int | None" = None) -> LoadgenResult:
+                index: "str | int | None" = None,
+                trace: bool = False) -> LoadgenResult:
     """Drive the gateway at ``host:port`` and return the aggregate.
 
     Parameters
@@ -765,13 +781,18 @@ def run_loadgen(host: str, port: int, pairs: Sequence[tuple], *,
         the numeric catalog *id* for the binary protocol (whose frame
         header carries a u16 id, not a name).  ``None`` drives the
         default index, exactly as before.
+    trace:
+        Stamp every JSON request with a client-minted trace id
+        (``lg-<id>``), exercising the end-to-end trace-propagation
+        path: the id is echoed in replies and lands in the server's
+        slow-query log, stage exemplars, and flight recorder.
     """
     _validate_stream(pairs, connections, pipeline, batch_size,
-                     latency_sample, protocol, expected, index)
+                     latency_sample, protocol, expected, index, trace)
     return asyncio.run(_run(host, port, list(pairs), connections,
                             duration, pipeline, batch_size, rate,
                             expected, latency_sample, protocol,
-                            index))
+                            index, trace))
 
 
 def run_loadgen_mix(host: str, port: int, streams: Sequence[dict], *,
@@ -803,7 +824,8 @@ def run_loadgen_mix(host: str, port: int, streams: Sequence[dict], *,
         _validate_stream(spec["pairs"], connections, pipeline,
                          batch_size, latency_sample,
                          spec.get("protocol", "json"),
-                         spec.get("expected"), spec.get("index"))
+                         spec.get("expected"), spec.get("index"),
+                         spec.get("trace", False))
         results.append(LoadgenResult(
             connections=connections, pipeline=pipeline,
             batch_size=batch_size, duration_seconds=duration,

@@ -21,8 +21,13 @@ verb         request fields                            result
                                                        or ``"degraded"``
 ``ready``    —                                         readiness dict
 ``catalog``  ``op``: ``create``/``build``/``load``/    op-specific dict
-             ``drop``/``list``, plus op fields (see    (``list`` returns
-             :mod:`repro.server.tenancy`)              the index table)
+             ``drop``/``quota``/``list``, plus op      (``list`` returns
+             fields (see :mod:`repro.server.tenancy`)  the index table)
+``slo``      optional ``index`` plus ``objective``:    SLO report dict
+             ``{availability, latency_ms}`` to         (see
+             declare; report-only when absent          :mod:`repro.obs.slo`)
+``flight``   optional ``dump``: ``true`` to also       flight-recorder
+             write a dump file                         snapshot dict
 ===========  ========================================  =================
 
 ``query`` and ``batch`` additionally accept an optional ``index``
@@ -36,7 +41,10 @@ answers with the ``unknown_index`` error code.
 Any request may carry an optional ``trace`` string: the gateway
 propagates it into the access log, the per-stage span histograms, and
 the slow-query log (and mints one when absent), so a client-observed
-latency can be joined to its server-side stage breakdown.
+latency can be joined to its server-side stage breakdown.  A reply to
+a request that *carried* a trace echoes it back as a top-level
+``trace`` field; untraced requests get the unchanged (fast-path)
+reply shape.
 
 ``health`` and ``ready`` are the orchestration probes: ``health``
 answers as long as the event loop is alive and reports ``degraded``
@@ -93,7 +101,7 @@ PROTOCOL_VERSION = 1
 
 #: Verbs the gateway understands.
 VERBS = ("ping", "query", "batch", "stats", "metrics", "reload",
-         "health", "ready", "catalog")
+         "health", "ready", "catalog", "slo", "flight")
 
 # Error codes carried in the ``error`` field of failure replies.
 ERR_BAD_REQUEST = "bad_request"
@@ -246,7 +254,15 @@ class JsonCodec:
     name = "json"
 
     @staticmethod
-    def encode_ok(request_id: Any, result: Any) -> bytes:
+    def encode_ok(request_id: Any, result: Any,
+                  trace: str | None = None) -> bytes:
+        if trace is not None:
+            # Traced replies echo the client's trace id; they take the
+            # general path so the untraced hot path stays byte-for-byte
+            # (and cycle-for-cycle) what it was.
+            doc = ok_reply(request_id, result)
+            doc["trace"] = trace
+            return encode_message(doc)
         if (result is True or result is False) \
                 and type(request_id) is int:
             return b'{"id":%d,"ok":true,"result":%s}\n' % (
@@ -259,8 +275,12 @@ class JsonCodec:
         return encode_message(ok_reply(request_id, result))
 
     @staticmethod
-    def encode_error(request_id: Any, code: str, message: str) -> bytes:
-        return encode_message(error_reply(request_id, code, message))
+    def encode_error(request_id: Any, code: str, message: str,
+                     trace: str | None = None) -> bytes:
+        doc = error_reply(request_id, code, message)
+        if trace is not None:
+            doc["trace"] = trace
+        return encode_message(doc)
 
 
 #: Shared stateless codec instance (the per-connection default).

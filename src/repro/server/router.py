@@ -35,6 +35,7 @@ fleet running degraded on the surviving workers.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import random
@@ -50,10 +51,12 @@ from repro.core.serialize import load_dual_index
 from repro.core.shm import (SEGMENT_PREFIX, PublishedIndex,
                             publish_index, sweep_stale_segments)
 from repro.exceptions import ReproError
+from repro.obs.flight import FlightRecorder
+from repro.obs.prometheus import CONTENT_TYPE, merge_expositions
 from repro.server import protocol
 from repro.server.protocol import ProtocolError
-from repro.server.tenancy import (CatalogEntry, CatalogService,
-                                  TenantQuota)
+from repro.server.tenancy import (DEFAULT_INDEX_ID, CatalogEntry,
+                                  CatalogService, TenantQuota)
 from repro.server.worker import worker_main
 
 __all__ = ["FleetError", "WorkerFleet"]
@@ -74,6 +77,26 @@ class _TenantPub:
 
 class FleetError(ReproError):
     """The fleet could not start or lost its last worker."""
+
+
+class _ScrapeJob:
+    """One in-flight fleet-wide metrics collection.
+
+    Created by any thread (:meth:`WorkerFleet.scrape`, the HTTP
+    endpoint); broadcast and completed on the monitor thread, which
+    owns the control pipes.  The caller blocks on ``event`` and takes
+    whatever workers answered by the deadline — a hung worker degrades
+    the scrape to the survivors instead of wedging it.
+    """
+
+    __slots__ = ("token", "expected", "results", "event", "deadline")
+
+    def __init__(self, token: int, deadline: float) -> None:
+        self.token = token
+        self.expected: set[int] = set()
+        self.results: dict[int, str] = {}
+        self.event = threading.Event()
+        self.deadline = deadline
 
 
 class _WorkerHandle:
@@ -150,6 +173,18 @@ class WorkerFleet:
         kernel listen queue keeps accepting connections that would
         otherwise black-hole forever.  ``probe_interval=None``
         disables probing.
+    metrics_port:
+        When set, the parent serves an HTTP ``GET /metrics`` on this
+        port (``0`` picks a free one): each request collects every
+        live worker's exposition over the control pipes and merges
+        them into **one** valid scrape document — the per-worker
+        ``worker="<id>"`` labels keep the series distinct, so one
+        Prometheus target covers the whole fleet.
+    flight_dir:
+        When set, the parent's own flight recorder (label ``fleet``,
+        supervision events: spawns, deaths, swaps, catalog mutations)
+        spills here alongside the workers' rings, and every
+        supervisor respawn triggers a dump.
     """
 
     def __init__(self, index, *, scheme: str = "dual-i",
@@ -166,7 +201,9 @@ class WorkerFleet:
                  swap_timeout: float = 30.0,
                  probe_interval: float | None = 2.0,
                  probe_timeout: float = 10.0,
-                 state: Any = None) -> None:
+                 state: Any = None,
+                 metrics_port: int | None = None,
+                 flight_dir: Any = None) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover
@@ -250,6 +287,18 @@ class WorkerFleet:
         #: was draining its acks; replayed afterwards.
         self._deferred: deque = deque()
         self._lock = threading.Lock()
+        # Fleet-wide scrape plumbing: jobs queue in from any thread,
+        # the monitor thread broadcasts and completes them.
+        self._scrape_tokens = itertools.count(1)
+        self._scrape_requests: deque[_ScrapeJob] = deque()
+        self._scrape_active: dict[int, _ScrapeJob] = {}
+        self._requested_metrics_port = metrics_port
+        self._metrics_http = None
+        self._metrics_thread: threading.Thread | None = None
+        self._flight_dir = flight_dir
+        #: Supervision-plane flight recorder (label ``fleet``): spawn,
+        #: death, swap, and catalog events; dumps on every respawn.
+        self.flight = FlightRecorder(1024, label="fleet")
         #: Total worker restarts performed by the fleet supervisor.
         self.restarts = 0
         #: ``(worker_id, reason, backoff seconds)`` per crash.
@@ -338,6 +387,15 @@ class WorkerFleet:
             target=self._monitor_loop, daemon=True,
             name="repro-fleet-monitor")
         self._monitor.start()
+        self.flight.record("fleet_start", workers=self.workers,
+                           port=self._port)
+        if self._flight_dir is not None:
+            # Recorded-before-started: the spiller's immediate first
+            # pass must already see fleet_start, or an early kill
+            # leaves no file.
+            self.flight.start_spiller(str(self._flight_dir))
+        if self._requested_metrics_port is not None:
+            self._start_metrics_http()
         return self
 
     def stop(self, timeout: float = 30.0) -> None:
@@ -352,6 +410,23 @@ class WorkerFleet:
 
     def _teardown(self, timeout: float = 10.0) -> None:
         self._stopping.set()
+        if self._metrics_http is not None:
+            self._metrics_http.shutdown()
+            self._metrics_http.server_close()
+            self._metrics_http = None
+            if self._metrics_thread is not None:
+                self._metrics_thread.join(5.0)
+                self._metrics_thread = None
+        self.flight.record("fleet_stop")
+        self.flight.stop_spiller()
+        # Release any scrape callers still parked on the monitor.
+        with self._lock:
+            stuck = list(self._scrape_requests)
+            self._scrape_requests.clear()
+        stuck.extend(self._scrape_active.values())
+        self._scrape_active.clear()
+        for job in stuck:
+            job.event.set()
         for handle in self._handles:
             if handle.conn is not None:
                 try:
@@ -483,11 +558,13 @@ class WorkerFleet:
         while not self._stopping.is_set():
             while self._deferred and not self._stopping.is_set():
                 self._dispatch(self._deferred.popleft())
+            self._start_scrapes()
             for event in self._poll_control(0.2):
                 if self._stopping.is_set():
                     break
                 self._dispatch(event)
             self._run_probes()
+            self._expire_scrapes()
 
     def _run_probes(self) -> None:
         """Ping ready workers; kill one that stayed silent too long.
@@ -541,6 +618,14 @@ class WorkerFleet:
         elif verb == "catalog":
             _, worker_id, token, payload = message
             self._fleet_catalog(handle, token, payload)
+        elif verb == "scrape_result":
+            _, worker_id, token, text = message
+            job = self._scrape_active.get(token)
+            if job is not None:
+                job.results[worker_id] = text
+                if set(job.results) >= job.expected:
+                    self._scrape_active.pop(token, None)
+                    job.event.set()
         elif verb in ("attach_failed", "start_failed"):
             # The worker exits right after sending this; the sentinel
             # delivers the restart.  Keep the reason for the crash log.
@@ -577,11 +662,16 @@ class WorkerFleet:
             handle.conn = None
         handle.process = None
         handle.ready = False
+        self.flight.record("worker_died", worker=handle.worker_id,
+                           uptime=round(uptime, 3))
         if self._max_restarts is not None \
                 and handle.consecutive_crashes > self._max_restarts:
             handle.abandoned = True
             self.crashes.append(
                 (handle.worker_id, "restart budget exhausted", 0.0))
+            self.flight.record("worker_abandoned",
+                               worker=handle.worker_id)
+            self.flight.dump(reason="abandoned")
             if not any(h.alive or not h.abandoned
                        for h in self._handles):
                 # Last worker gone: nothing serves the port any more.
@@ -594,6 +684,13 @@ class WorkerFleet:
             return
         self.restarts += 1
         self._spawn(handle)
+        self.flight.record("worker_respawn", worker=handle.worker_id,
+                           restarts=self.restarts,
+                           backoff=round(delay, 3))
+        # A respawn is a fault-window trigger: persist the supervision
+        # ring so post-mortems see what led up to the death even if the
+        # parent dies next.
+        self.flight.dump(reason="respawn")
 
     # -- generation-aware fleet reload ----------------------------------
     def reload(self, *, graph=None, index=None,
@@ -712,6 +809,9 @@ class WorkerFleet:
         if old_published is not None:
             old_published.unlink()
         self.swaps += 1
+        self.flight.record("swap", index="default",
+                           generation=self._generation,
+                           workers=len(acked))
         stats = new_index.stats()
         return {
             "swapped": True,
@@ -753,6 +853,9 @@ class WorkerFleet:
         if old_published is not None:
             old_published.unlink()
         self.swaps += 1
+        self.flight.record("swap", index=entry.name,
+                           generation=pub.generation,
+                           workers=len(acked))
         stats = new_index.stats()
         return {
             "swapped": True,
@@ -852,6 +955,8 @@ class WorkerFleet:
                         handle.conn.send(("catalog_create", spec))
                     except (BrokenPipeError, OSError):
                         pass
+            self.flight.record("catalog", op="create",
+                               index=entry.name)
             return {"created": entry.name, "index_id": entry.index_id,
                     "quota": entry.quota.as_dict()}
         if op == "drop":
@@ -872,7 +977,28 @@ class WorkerFleet:
             # already-attached mappings stay valid until process exit.
             if pub is not None and pub.published is not None:
                 pub.published.unlink()
+            self.flight.record("catalog", op="drop", index=entry.name)
             return {"dropped": entry.name, "index_id": entry.index_id}
+        if op == "quota":
+            entry = self._catalog.lookup(payload.get("name"))
+            quota = TenantQuota.from_payload(payload.get("quota"))
+            if self._state is not None \
+                    and entry.index_id != DEFAULT_INDEX_ID:
+                # Journal before the in-memory apply and the
+                # broadcast: an acked quota must survive a restart.
+                self._state.record_quota(entry.name, quota.as_dict())
+            self._catalog.update_quota(entry, quota)
+            self.flight.record("catalog", op="quota",
+                               index=entry.name)
+            for handle in self._handles:
+                if handle.conn is not None and handle.alive:
+                    try:
+                        handle.conn.send(("catalog_quota", entry.name,
+                                          quota.as_dict()))
+                    except (BrokenPipeError, OSError):
+                        pass
+            return {"updated": entry.name, "index_id": entry.index_id,
+                    "quota": quota.as_dict()}
         if op in ("build", "load"):
             entry = self._catalog.lookup(payload.get("name"))
             if entry.name not in self._tenant_pubs:
@@ -892,7 +1018,7 @@ class WorkerFleet:
         raise ProtocolError(
             protocol.ERR_BAD_REQUEST,
             f"unknown catalog op {op!r}; supported: create, build, "
-            f"load, drop, list")
+            f"load, drop, quota, list")
 
     def _collect_swap_acks(self, targets, segment: str) -> set:
         """Drain worker pipes until every target acked the new
@@ -919,6 +1045,100 @@ class WorkerFleet:
                 else:
                     self._deferred.append(event)
         return acked
+
+    # -- fleet-wide metrics scrape --------------------------------------
+    def scrape(self, timeout: float = 5.0) -> str:
+        """One merged Prometheus exposition covering every live worker.
+
+        Callable from any thread: the job is handed to the monitor
+        thread (which owns the control pipes), each ready worker
+        answers with its own exposition, and the texts are merged into
+        a single valid scrape document — per-worker ``worker="<id>"``
+        labels keep every series attributable.  Workers that fail to
+        answer within ``timeout`` are simply absent from the result,
+        so a hung worker degrades the scrape instead of failing it.
+        """
+        job = _ScrapeJob(next(self._scrape_tokens),
+                         time.monotonic() + timeout)
+        if self._stopping.is_set():
+            return ""
+        with self._lock:
+            self._scrape_requests.append(job)
+        job.event.wait(timeout + 1.0)
+        texts = [job.results[wid] for wid in sorted(job.results)]
+        return merge_expositions(texts)
+
+    def _start_scrapes(self) -> None:
+        """Broadcast queued scrape jobs (monitor thread only)."""
+        while True:
+            with self._lock:
+                if not self._scrape_requests:
+                    return
+                job = self._scrape_requests.popleft()
+            targets = [h for h in self._handles
+                       if h.ready and h.alive and h.conn is not None]
+            for handle in targets:
+                try:
+                    handle.conn.send(("scrape", job.token))
+                except (BrokenPipeError, OSError):
+                    continue
+                job.expected.add(handle.worker_id)
+            if not job.expected:
+                job.event.set()
+            else:
+                self._scrape_active[job.token] = job
+
+    def _expire_scrapes(self) -> None:
+        """Release scrape callers whose deadline passed with
+        stragglers outstanding (monitor thread only)."""
+        if not self._scrape_active:
+            return
+        now = time.monotonic()
+        for token, job in list(self._scrape_active.items()):
+            if now >= job.deadline:
+                self._scrape_active.pop(token, None)
+                job.event.set()
+
+    @property
+    def metrics_port(self) -> int | None:
+        """Bound port of the fleet ``/metrics`` endpoint (``None``
+        when not serving one)."""
+        if self._metrics_http is None:
+            return None
+        return self._metrics_http.server_address[1]
+
+    def _start_metrics_http(self) -> None:
+        from http.server import (BaseHTTPRequestHandler,
+                                 ThreadingHTTPServer)
+
+        fleet = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib name)
+                if self.path.split("?", 1)[0] != "/metrics":
+                    self.send_error(404, "only /metrics is served")
+                    return
+                try:
+                    body = fleet.scrape().encode("utf-8")
+                except Exception as exc:
+                    self.send_error(500, f"scrape failed: {exc}")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # scrapes are periodic; stderr noise helps nobody
+
+        server = ThreadingHTTPServer(
+            (self._host, self._requested_metrics_port), Handler)
+        self._metrics_http = server
+        self._metrics_thread = threading.Thread(
+            target=server.serve_forever, daemon=True,
+            name="repro-fleet-metrics")
+        self._metrics_thread.start()
 
     # -- introspection --------------------------------------------------
     def describe(self) -> dict:

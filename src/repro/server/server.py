@@ -58,9 +58,11 @@ from typing import Any
 from repro.core.service import QueryService
 from repro.exceptions import (IndexBudgetExceeded, QueryError,
                               ReproError)
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import RECOVERY_BUCKETS, MetricsRegistry
 from repro.obs.phases import PhaseProfiler
 from repro.obs.prometheus import CONTENT_TYPE, render
+from repro.obs.slo import SloEngine, SloObjective
 from repro.obs.tracing import (BatchTicket, SlowQueryLog, SpanRecorder,
                                TraceIds)
 from repro.server import binproto, protocol
@@ -184,6 +186,19 @@ class ServerConfig:
     #: ``reach_recovery_seconds``.  Ignored when ``state`` is set
     #: (the state's own ``recovery_seconds`` wins).
     recovery_seconds: Any = None
+    #: Default SLO objective applied to every catalog entry the first
+    #: time it serves a request: a ``{"availability", "latency_ms"}``
+    #: dict (``serve --slo-availability/--slo-latency-ms``) or
+    #: ``None`` — then only entries declared via the ``slo`` verb are
+    #: tracked, and with none declared the hot path skips SLO
+    #: accounting entirely.
+    slo_defaults: Any = None
+    #: Directory the crash flight recorder spills to (the CLI passes
+    #: ``<state-dir>/flightrec``); ``None`` keeps the ring in-memory
+    #: only (the ``flight`` verb still answers).
+    flight_dir: str | Path | None = None
+    #: Ring capacity of the flight recorder.
+    flight_capacity: int = 2048
 
 
 class ServerMetrics:
@@ -502,6 +517,20 @@ class ReachServer:
         #: Named-index catalog; entry 0 ("default") is ``service``.
         self._catalog = CatalogService(service, scheme=scheme)
         self.stats.registry.register_collector(self._catalog.collect)
+        #: Per-tenant SLO engine (error budgets, burn-rate alerts).
+        slo_defaults = self._config.slo_defaults
+        if isinstance(slo_defaults, dict):
+            slo_defaults = SloObjective.from_payload(slo_defaults)
+        self.slo = SloEngine(defaults=slo_defaults)
+        self.stats.registry.register_collector(self.slo.collect)
+        #: True while at least one entry is SLO-tracked — the hot
+        #: path's one-branch gate (flipped by the engine/``slo`` verb).
+        self._slo_on = self.slo.enabled
+        #: Crash flight recorder: always on; spills to
+        #: ``config.flight_dir`` when set (started in :meth:`start`).
+        label = self._config.worker_label or "srv"
+        self.flight = FlightRecorder(self._config.flight_capacity,
+                                     label=label)
         #: Durable-state subsystem (``--state-dir``), or ``None``.
         self._state = self._config.state
         recovery_seconds = (self._state.recovery_seconds
@@ -594,6 +623,16 @@ class ReachServer:
         default.batcher = self._batcher
         default.lane = self._lane
         self._open_access_log()
+        self.flight.record("server_start",
+                           worker=config.worker_label,
+                           host=config.host, port=config.port)
+        if config.flight_dir is not None:
+            # Keep the flight recorder's current-dump file at most one
+            # interval stale on disk, so even SIGKILL leaves the
+            # pre-kill window readable.  Recorded-before-started: the
+            # spiller's immediate first pass must already see the
+            # server_start event, or an early kill leaves no file.
+            self.flight.start_spiller(str(config.flight_dir))
         self._server = await asyncio.start_server(
             self._handle_connection, config.host, config.port,
             limit=config.max_line_bytes,
@@ -623,6 +662,9 @@ class ReachServer:
         if drain_timeout is None:
             drain_timeout = self._config.drain_timeout
         self._stopping = True
+        self.flight.record("server_stop",
+                           worker=self._config.worker_label)
+        self.flight.stop_spiller()
         if self._metrics_server is not None:
             self._metrics_server.close()
         if self._server is not None:
@@ -764,7 +806,8 @@ class ReachServer:
                     break
                 if line.isspace():
                     continue
-                if line == binproto.MAGIC_LINE:
+                if line in (binproto.MAGIC_LINE,
+                            binproto.MAGIC_LINE_TRACE):
                     if served:
                         # Mid-stream renegotiation would race in-flight
                         # replies; reject it and stay in JSON mode.
@@ -774,11 +817,15 @@ class ReachServer:
                             "binary negotiation is only valid as the "
                             "first request of a connection")
                         continue
-                    conn.codec = binproto.BINARY_CODEC
+                    traced = line == binproto.MAGIC_LINE_TRACE
+                    conn.codec = binproto.BINARY_TRACE_CODEC if traced \
+                        else binproto.BINARY_CODEC
                     self._send(conn, binproto.encode_hello(
                         self._config.max_request_pairs,
-                        self._config.max_line_bytes))
-                    await self._serve_binary(reader, conn)
+                        self._config.max_line_bytes,
+                        binproto.HELLO_FLAG_TRACE if traced else 0))
+                    await self._serve_binary(reader, conn,
+                                             traced=traced)
                     break
                 served = True
                 # Per-connection cap: stop reading (TCP backpressure)
@@ -849,7 +896,8 @@ class ReachServer:
 
     # -- binary frame mode ----------------------------------------------
     async def _serve_binary(self, reader: asyncio.StreamReader,
-                            conn: _Connection) -> None:
+                            conn: _Connection, *,
+                            traced: bool = False) -> None:
         """Frame-mode read loop (after a successful negotiation).
 
         Implements the resync contract of :mod:`repro.server.binproto`:
@@ -860,16 +908,29 @@ class ReachServer:
         ``index`` id naming no catalog entry) are answered and the
         connection keeps serving.  A frame truncated by disconnection
         just ends the connection.
+
+        With ``traced`` (the negotiated TRACE extension) every frame
+        uses the widened :data:`~repro.server.binproto.TRACE_HEADER`
+        and carries a trace id that flows into the request ticket and
+        back out in the reply frame.
         """
         config = self._config
+        header_size = binproto.TRACE_HEADER_SIZE if traced \
+            else binproto.HEADER_SIZE
         while True:
             try:
-                header = await reader.readexactly(binproto.HEADER_SIZE)
+                header = await reader.readexactly(header_size)
             except (asyncio.IncompleteReadError, ConnectionError):
                 return  # EOF (possibly mid-header): nothing to answer
             started = time.perf_counter()
-            (magic, opcode, index_id, request_id, payload_len,
-             crc) = binproto.HEADER.unpack(header)
+            trace: str | None = None
+            if traced:
+                (magic, opcode, index_id, request_id, payload_len,
+                 trace_raw, crc) = binproto.TRACE_HEADER.unpack(header)
+                trace = binproto.decode_trace_field(trace_raw)
+            else:
+                (magic, opcode, index_id, request_id, payload_len,
+                 crc) = binproto.HEADER.unpack(header)
             if magic != binproto.FRAME_MAGIC:
                 self._finish(conn, request_id, "frame", 0, started,
                              None, protocol.ERR_BAD_REQUEST,
@@ -896,27 +957,36 @@ class ReachServer:
                 conn.resume.clear()
                 await conn.resume.wait()
             await self._dispatch_frame(conn, opcode, request_id,
-                                       payload, started, index_id)
+                                       payload, started, index_id,
+                                       trace)
 
     async def _dispatch_frame(self, conn: _Connection, opcode: int,
                               request_id: int, payload: bytes,
                               started: float,
-                              index_id: int = DEFAULT_INDEX_ID) -> None:
+                              index_id: int = DEFAULT_INDEX_ID,
+                              trace: str | None = None) -> None:
         """Serve one validated frame (in-sync errors answer and keep
         the connection; the caller handles desync)."""
+        # Traced connections get a ticket even on short paths so the
+        # trace id is echoed in the reply and lands in the logs.
+        early = BatchTicket(trace, started) if trace is not None \
+            else None
         if opcode == binproto.OP_PING:
-            self._finish(conn, request_id, "ping", 0, started, "pong")
+            self._finish(conn, request_id, "ping", 0, started, "pong",
+                         ticket=early)
             return
         if opcode != binproto.OP_BATCH:
             self._finish(conn, request_id, "frame", 0, started, None,
                          protocol.ERR_BAD_REQUEST,
-                         f"unknown request opcode 0x{opcode:02X}")
+                         f"unknown request opcode 0x{opcode:02X}",
+                         ticket=early)
             return
         if len(payload) % 8:
             self._finish(conn, request_id, "batch", 0, started, None,
                          protocol.ERR_BAD_REQUEST,
                          f"BATCH payload of {len(payload)} bytes is "
-                         f"not a whole number of (u32, u32) pairs")
+                         f"not a whole number of (u32, u32) pairs",
+                         ticket=early)
             return
         num_pairs = len(payload) >> 3
         if num_pairs > self._config.max_request_pairs:
@@ -924,7 +994,8 @@ class ReachServer:
                          None, protocol.ERR_TOO_LARGE,
                          f"batch of {num_pairs} pairs exceeds the "
                          f"per-request cap of "
-                         f"{self._config.max_request_pairs}")
+                         f"{self._config.max_request_pairs}",
+                         ticket=early)
             return
         try:
             entry = (self._catalog.default
@@ -932,14 +1003,14 @@ class ReachServer:
                      else self._catalog.resolve_id(index_id))
         except ProtocolError as exc:
             self._finish(conn, request_id, "batch", num_pairs, started,
-                         None, exc.code, exc.message)
+                         None, exc.code, exc.message, ticket=early)
             return
         if num_pairs == 0:
             self._finish(conn, request_id, "batch", 0, started,
-                         (0, b""), entry=entry)
+                         (0, b""), ticket=early, entry=entry)
             return
         assert self._lane is not None and self._loop is not None
-        ticket = BatchTicket(None, started)
+        ticket = BatchTicket(trace, started)
         ticket.parse_done = time.perf_counter()
         frame = _FramePayload(payload, num_pairs)
         lane = entry.lane if entry.lane is not None \
@@ -1107,6 +1178,13 @@ class ReachServer:
         self.stats.observe(verb, elapsed, code)
         spans = None
         trace = None
+        # The trace id the *client* attached (before any lazy mint):
+        # only these are echoed in the reply and become exemplars.
+        client_trace = ticket.trace_id if ticket is not None else None
+        if self._slo_on and entry is not None:
+            self.slo.record(entry.name, code is None, elapsed)
+            if self.slo.transitions:
+                self._drain_slo_transitions()
         if ticket is not None:
             self._span_tick += 1
             sampled = self._span_tick >= self._span_sample
@@ -1117,11 +1195,14 @@ class ReachServer:
                 trace = ticket.trace_id
                 if trace is None:
                     trace = ticket.trace_id = self._trace_ids.next()
-            if sampled or slow or self._log_file is not None:
+            if sampled or slow or client_trace is not None \
+                    or self._log_file is not None:
                 spans = ticket.spans(finished)
             if sampled:
                 self._span_tick = 0
-                self._spans.record(spans)
+                self._spans.record(spans, client_trace)
+            elif client_trace is not None:
+                self._spans.note_exemplars(spans, client_trace)
             if slow:
                 record = {
                     "trace": trace,
@@ -1137,6 +1218,23 @@ class ReachServer:
                 if entry is not None:
                     record["index"] = entry.name
                 self.slow_log.offer(elapsed, record)
+            if client_trace is not None or code is not None or slow \
+                    or sampled:
+                # Flight-recorder policy: traced, errored, slow, or
+                # span-sampled requests enter the ring; bulk untraced
+                # successes stay off the hot path.
+                self.flight.record(
+                    "request", verb=verb, conn=conn.id,
+                    pairs=num_pairs,
+                    ms=round(elapsed * 1000.0, 3),
+                    status=code or "ok",
+                    trace=trace if trace is not None else client_trace,
+                    index=entry.name if entry is not None else None)
+        elif code is not None:
+            self.flight.record("request", verb=verb, conn=conn.id,
+                               pairs=num_pairs,
+                               ms=round(elapsed * 1000.0, 3),
+                               status=code)
         if self._log_file is not None:
             self._log_access(conn.id, verb, num_pairs, elapsed, code,
                              trace=trace, spans=spans,
@@ -1144,12 +1242,29 @@ class ReachServer:
                              else None)
         # The codec seam: JSON and binary replies share this one call
         # site (JsonCodec keeps the hand-formatted bool fast paths that
-        # used to live inline here; BinaryCodec emits frames).
+        # used to live inline here; BinaryCodec emits frames).  Only
+        # client-traced requests pass a trace — the untraced call
+        # shape (and its fast paths) is untouched.
         if code is not None:
-            payload = conn.codec.encode_error(request_id, code, message)
+            payload = conn.codec.encode_error(request_id, code, message) \
+                if client_trace is None else conn.codec.encode_error(
+                    request_id, code, message, client_trace)
         else:
-            payload = conn.codec.encode_ok(request_id, result)
+            payload = conn.codec.encode_ok(request_id, result) \
+                if client_trace is None else conn.codec.encode_ok(
+                    request_id, result, client_trace)
         self._send(conn, payload)
+
+    def _drain_slo_transitions(self) -> None:
+        """Move queued SLO alert transitions into the access log and
+        the flight recorder."""
+        while self.slo.transitions:
+            event = self.slo.transitions.popleft()
+            self.flight.record("slo_alert", **{
+                key: event[key] for key in
+                ("index", "severity", "active", "burn_long",
+                 "burn_short")})
+            self._log_event("slo_alert", event)
 
     def _send(self, conn: _Connection, payload: bytes) -> None:
         """Queue reply bytes; one write per loop iteration coalesces
@@ -1238,8 +1353,51 @@ class ReachServer:
             return await self._reload(request.payload), 0, None
         if verb == "catalog":
             return await self._catalog_op(request.payload), 0, None
+        if verb == "slo":
+            return self._slo_op(request.payload), 0, None
+        if verb == "flight":
+            return self._flight_op(request.payload), 0, None
         raise ProtocolError(protocol.ERR_UNKNOWN_VERB,
                             f"unknown verb {verb!r}")
+
+    def _slo_op(self, payload: dict) -> dict:
+        """The ``slo`` verb: declare an objective and/or report.
+
+        With an ``objective`` field, declares it for the entry named
+        by ``index`` (default: the default index) before reporting;
+        without one, reports only.
+        """
+        objective = payload.get("objective")
+        if objective is not None:
+            name = payload.get("index")
+            if name is None or name == "default":
+                name = self._catalog.default.name
+            else:
+                # Validate the entry exists (raises unknown_index).
+                name = self._catalog.resolve(name).name
+            try:
+                parsed = SloObjective.from_payload(objective)
+            except ReproError as exc:
+                raise ProtocolError(protocol.ERR_BAD_REQUEST,
+                                    str(exc)) from None
+            self.slo.set_objective(name, parsed)
+            self._slo_on = True
+            self.flight.record("slo_objective", index=name,
+                               **parsed.as_dict())
+        return self.slo.report()
+
+    def _flight_op(self, payload: dict) -> dict:
+        """The ``flight`` verb: snapshot (and optionally dump) the
+        flight recorder."""
+        doc = {
+            "label": self.flight.label,
+            "capacity": self.flight.capacity,
+            "events": self.flight.snapshot(),
+            "dumps": self.flight.dumps,
+        }
+        if payload.get("dump"):
+            doc["dump_path"] = self.flight.dump(reason="verb")
+        return doc
 
     async def _submit(self, entry: CatalogEntry, pairs: list,
                       ticket: BatchTicket | None = None) -> list:
@@ -1319,6 +1477,7 @@ class ReachServer:
             "degraded": self._degraded,
             "server": self.stats.as_dict(),
             "stages": self._spans.percentiles_ms(),
+            "stage_exemplars": self._spans.exemplars(reset=reset),
             "slow_queries": self.slow_log.snapshot(reset=reset),
             "batcher": self._batcher.stats(),
             "binary_lane": (self._lane.stats()
@@ -1416,12 +1575,21 @@ class ReachServer:
         """
         entry = self._catalog.drop(name)
         await self._retire_entry(entry)
+        self.slo.drop(entry.name)
         return entry
 
     def note_degraded(self, reason: str) -> None:
         """Enter degraded mode (a failed swap keeps the last good
-        index serving; ``health`` reports the reason)."""
+        index serving; ``health`` reports the reason).
+
+        Entering degraded mode is a flight-recorder dump trigger: the
+        ring as of the fault lands in ``flight_dir`` for offline
+        debugging."""
+        entering = self._degraded is None
         self._degraded = reason
+        self.flight.record("degraded", reason=reason)
+        if entering:
+            self.flight.dump(reason="degraded")
 
     async def _reload(self, payload: dict) -> dict:
         if self._config.reload_handler is not None:
@@ -1432,7 +1600,7 @@ class ReachServer:
             except ProtocolError:
                 raise
             except (ReproError, OSError) as exc:
-                self._degraded = f"{type(exc).__name__}: {exc}"
+                self.note_degraded(f"{type(exc).__name__}: {exc}")
                 raise ProtocolError(protocol.ERR_RELOAD_FAILED,
                                     str(exc)) from None
         # An optional ``name`` field targets a catalog entry; absent
@@ -1476,7 +1644,7 @@ class ReachServer:
             # failed *tenant* reload degrades only that entry's answer
             # (it keeps its last good index), never the whole server.
             if is_default:
-                self._degraded = f"{type(exc).__name__}: {exc}"
+                self.note_degraded(f"{type(exc).__name__}: {exc}")
             raise ProtocolError(protocol.ERR_RELOAD_FAILED,
                                 str(exc)) from None
         scheme_name = type(index).scheme_name or scheme
@@ -1567,9 +1735,9 @@ class ReachServer:
         :mod:`repro.server.tenancy`).
 
         ``list`` always answers from the local catalog; mutations
-        (``create``/``build``/``load``/``drop``) go through the fleet
-        delegate when one is configured, so every worker's catalog
-        moves together.
+        (``create``/``build``/``load``/``drop``/``quota``) go through
+        the fleet delegate when one is configured, so every worker's
+        catalog moves together.
         """
         op = payload.get("op")
         if not isinstance(op, str):
@@ -1577,11 +1745,11 @@ class ReachServer:
                                 "catalog requires an 'op' field")
         if op == "list":
             return {"indexes": self._catalog.describe()}
-        if op not in ("create", "build", "load", "drop"):
+        if op not in ("create", "build", "load", "drop", "quota"):
             raise ProtocolError(
                 protocol.ERR_BAD_REQUEST,
                 f"unknown catalog op {op!r}; supported: create, build, "
-                f"load, drop, list")
+                f"load, drop, quota, list")
         if self._config.catalog_handler is not None:
             try:
                 return await self._config.catalog_handler(payload)
@@ -1611,8 +1779,32 @@ class ReachServer:
                         protocol.ERR_RELOAD_FAILED,
                         f"durable journal append failed: {exc}"
                     ) from None
+            self.flight.record("catalog", op="create",
+                               index=entry.name)
             return {"created": entry.name, "index_id": entry.index_id,
                     "quota": entry.quota.as_dict()}
+        if op == "quota":
+            entry = self._catalog.lookup(payload.get("name"))
+            quota = TenantQuota.from_payload(payload.get("quota"))
+            if self._state is not None \
+                    and entry.index_id != DEFAULT_INDEX_ID:
+                # Journal + fsync *before* the in-memory apply, like
+                # create: an acked quota change must survive a crash.
+                # (The default entry is not a journaled catalog row,
+                # so its quota stays runtime-only.)
+                try:
+                    self._state.record_quota(entry.name,
+                                             quota.as_dict())
+                except (ReproError, OSError) as exc:
+                    raise ProtocolError(
+                        protocol.ERR_RELOAD_FAILED,
+                        f"durable journal append failed: {exc}"
+                    ) from None
+            self._catalog.update_quota(entry, quota)
+            self.flight.record("catalog", op="quota",
+                               index=entry.name)
+            return {"updated": entry.name, "index_id": entry.index_id,
+                    "quota": quota.as_dict()}
         if op == "drop":
             entry = self._catalog.drop(payload.get("name"))
             if self._state is not None:
@@ -1630,6 +1822,8 @@ class ReachServer:
                         f"durable journal append failed: {exc}"
                     ) from None
             await self._retire_entry(entry)
+            self.slo.drop(entry.name)
+            self.flight.record("catalog", op="drop", index=entry.name)
             return {"dropped": entry.name, "index_id": entry.index_id}
         # build / load: install an index into an existing named entry
         # (the tenant twin of ``reload``, which owns the machinery).
@@ -1748,6 +1942,23 @@ class ReachServer:
             self._log_bytes = 0
         except OSError:
             self._log_file = None  # rotation failed; stop logging
+
+    def _log_event(self, event: str, fields: dict) -> None:
+        """One non-request access-log line (SLO alert transitions):
+        same sink, same JSON shape, distinguished by an ``event``
+        field instead of a ``verb``."""
+        if self._log_file is None:
+            return
+        record: dict[str, Any] = {"ts": round(time.time(), 6),
+                                  "event": event}
+        record.update({key: value for key, value in fields.items()
+                       if key != "ts"})
+        try:
+            self._log_file.write(
+                json.dumps(record, separators=(",", ":")) + "\n")
+            self._log_file.flush()
+        except (OSError, ValueError):
+            self._log_file = None
 
     def _log_access(self, conn_id: int, verb: str, num_pairs: int,
                     seconds: float, code: str | None,

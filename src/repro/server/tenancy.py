@@ -27,14 +27,17 @@ Catalog verbs (JSON protocol, ``verb="catalog"``)::
                "burst": ..., "max_label_bytes": ...}}
     {"verb": "catalog", "op": "build", "name": ..., "graph": path}
     {"verb": "catalog", "op": "load", "name": ..., "index": path}
+    {"verb": "catalog", "op": "quota", "name": ..., "quota": {...}}
     {"verb": "catalog", "op": "drop", "name": ...}
     {"verb": "catalog", "op": "list"}
 
 ``create`` registers the entry (and its numeric id, used as the u16
 ``index`` header field of binary request frames); ``build``/``load``
-install its index; ``drop`` removes it (in-flight queries finish
-against the retiring service).  Unknown names answer with the
-``unknown_index`` error code.
+install its index; ``quota`` replaces the entry's admission limits at
+runtime (journaled through the durable state layer when one is
+configured, so the limits survive a restart); ``drop`` removes it
+(in-flight queries finish against the retiring service).  Unknown
+names answer with the ``unknown_index`` error code.
 """
 
 from __future__ import annotations
@@ -426,6 +429,25 @@ class CatalogService:
         entry.label_bytes = (label_bytes if label_bytes is not None
                              else _index_label_bytes(service.index))
         entry.generation += 1
+        return old
+
+    def update_quota(self, entry: CatalogEntry,
+                     quota: TenantQuota) -> TenantQuota:
+        """Replace ``entry``'s quota in place; returns the old quota.
+
+        The token bucket is refilled to the new burst so a *loosened*
+        rate limit takes effect immediately instead of serving the
+        first seconds from the old bucket; inflight/pending counters
+        are untouched (they describe admitted work, not policy).
+        """
+        old = entry.quota
+        entry.quota = quota
+        quota_rate = quota.rate
+        entry._tokens = (float(quota.burst)
+                         if quota.burst is not None
+                         else max(1.0, 2.0 * quota_rate)
+                         if quota_rate is not None else 0.0)
+        entry._token_stamp = time.monotonic()
         return old
 
     def drop(self, name: Any) -> CatalogEntry:

@@ -37,6 +37,11 @@ worker → parent                           meaning
                                           keeps its last good index
                                           and reports degraded
 ``("pong", wid, seq)``                    liveness-probe answer
+``("scrape_result", wid, token, text)``   this worker's Prometheus
+                                          exposition (answers a
+                                          ``scrape``; merged into the
+                                          parent's fleet-wide
+                                          ``/metrics``)
 ``("attach_failed", wid, error)`` /
 ``("start_failed", wid, error)``          startup failed; the worker
                                           exits non-zero and the
@@ -62,6 +67,13 @@ parent → worker                           meaning
                                           entry locally
 ``("catalog_drop", name)``                drop a tenant entry and
                                           drain its lanes
+``("catalog_quota", name, quota)``        replace a tenant entry's
+                                          admission quota locally
+                                          (already journaled by the
+                                          parent)
+``("scrape", token)``                     answer with this worker's
+                                          metrics exposition as
+                                          ``scrape_result``
 ``("ping", seq)``                         liveness probe — a worker
                                           that stays silent past the
                                           probe timeout is killed
@@ -306,6 +318,20 @@ async def _worker_async(worker_id: int, segment: str, scheme: str,
                         pass  # already registered (spawn manifest)
                 elif kind == "catalog_drop":
                     loop.create_task(do_drop(message[1]))
+                elif kind == "catalog_quota":
+                    _, name, quota_doc = message
+                    try:
+                        server.catalog.update_quota(
+                            server.catalog.lookup(name),
+                            TenantQuota(**(quota_doc or {})))
+                    except ProtocolError:
+                        pass  # dropped locally (a respawn raced this)
+                elif kind == "scrape":
+                    # Fleet-wide /metrics: the parent merges every
+                    # worker's exposition into one scrape document.
+                    _send(conn, ("scrape_result", worker_id,
+                                 message[1],
+                                 server.metrics_exposition()))
                 elif kind == "ping":
                     # Liveness probe: answered inline on the event
                     # loop, so a wedged/SIGSTOPped worker goes silent

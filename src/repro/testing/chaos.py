@@ -858,6 +858,14 @@ class CrashRestartReport:
     #: the server's ``reach_recovery_seconds`` metric was observed in
     #: its exposition after a restart
     server_metric_seen: bool = False
+    #: flight-recorder dumps left under ``<state-dir>/flightrec``:
+    #: ``{"dumps", "events", "unparseable", "prior_dumps",
+    #: "covering", "tail"}`` — ``prior_dumps`` are the archived
+    #: current-files of SIGKILLed incarnations, ``covering`` means at
+    #: least one of them captured its incarnation's boot (the pre-kill
+    #: window survived the power loss), ``tail`` is the newest such
+    #: dump's last events
+    flight: dict = field(default_factory=dict)
 
     @property
     def unrecovered(self) -> list[int]:
@@ -880,7 +888,11 @@ class CrashRestartReport:
                 and self.hygiene.get("model_matches") is True
                 and self.hygiene.get("journal_records",
                                      self.checkpoint_interval + 1)
-                <= self.checkpoint_interval)
+                <= self.checkpoint_interval
+                # Empty dict = a synthetic report (unit tests);
+                # the real soak always populates `flight`.
+                and not self.flight.get("unparseable")
+                and self.flight.get("covering", True))
 
     def as_dict(self) -> dict:
         return {
@@ -901,6 +913,7 @@ class CrashRestartReport:
             "recovery": dict(self.recovery),
             "hygiene": dict(self.hygiene),
             "server_metric_seen": self.server_metric_seen,
+            "flight": dict(self.flight),
         }
 
     def summary_lines(self) -> list[str]:
@@ -949,6 +962,23 @@ class CrashRestartReport:
                 f"{len(hygiene.get('orphan_artifacts', []))} orphans, "
                 f"catalog matches model: "
                 f"{hygiene.get('model_matches')}")
+        flight = self.flight
+        if flight:
+            lines.append(
+                f"  flight recorder: {flight.get('dumps', 0)} dumps "
+                f"on disk ({flight.get('events', 0)} events, "
+                f"{flight.get('prior_dumps', 0)} from killed "
+                f"incarnations), pre-kill window covered: "
+                f"{flight.get('covering')}"
+                + (f", UNPARSEABLE: {flight['unparseable']}"
+                   if flight.get("unparseable") else ""))
+            for event in flight.get("tail", []):
+                detail = " ".join(
+                    f"{k}={v}" for k, v in event.items()
+                    if k not in ("seq", "ts", "kind"))
+                lines.append(f"    pre-kill seq={event.get('seq')} "
+                             f"{event.get('kind')}"
+                             + (f" {detail}" if detail else ""))
         if self.driver_errors:
             lines.append(f"  driver errors: {self.driver_errors}")
         return lines
@@ -1044,7 +1074,10 @@ def run_crash_restart_soak(*, seed: int = 0, cycles: int = 20,
     state dir is replayed offline: the journal must be bounded by
     ``checkpoint_interval`` records, every artifact must belong to a
     live entry's retained generation window, and the recovered entries
-    must equal the converged model.
+    must equal the converged model.  ``<state-dir>/flightrec`` is then
+    scanned: every flight-recorder dump the killed incarnations left
+    behind must parse with ordered sequences, and at least one
+    archived pre-kill window must cover its incarnation's boot.
 
     ``workers >= 1`` runs the same soak against a ``--workers`` fleet
     (the parent recovers once and republishes ``/dev/shm`` segments;
@@ -1340,4 +1373,33 @@ def run_crash_restart_soak(*, seed: int = 0, cycles: int = 20,
     except Exception as exc:
         report.driver_errors.append(
             f"hygiene: {type(exc).__name__}: {exc}")
+
+    # Flight-recorder forensics: the spiller keeps each incarnation's
+    # current dump at most one interval stale, and every restart
+    # archives the SIGKILLed incarnation's file to `-prior-N` — so
+    # after the soak the pre-kill windows must be on disk, parseable,
+    # and sequence-ordered (load_dump rejects disorder).
+    try:
+        from repro.obs.flight import scan_dumps
+
+        dumps = scan_dumps(str(state_dir / "flightrec"))
+        unparseable = [d["path"] for d in dumps if d.get("error")]
+        prior = [d for d in dumps
+                 if "-prior-" in os.path.basename(d["path"])]
+        booted = ("server_start", "fleet_start")
+        covering = any(
+            any(e.get("kind") in booted for e in d["events"])
+            for d in prior)
+        tail = prior[-1]["events"][-3:] if prior else []
+        report.flight = {
+            "dumps": len(dumps),
+            "events": sum(len(d["events"]) for d in dumps),
+            "unparseable": unparseable,
+            "prior_dumps": len(prior),
+            "covering": covering,
+            "tail": tail,
+        }
+    except Exception as exc:
+        report.driver_errors.append(
+            f"flight: {type(exc).__name__}: {exc}")
     return report

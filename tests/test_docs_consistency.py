@@ -85,3 +85,48 @@ def test_theory_names_real_test_files():
     text = _doc_text("docs/THEORY.md")
     for test_file in set(re.findall(r"test_\w+\.py", text)):
         assert (ROOT / "tests" / test_file).exists(), test_file
+
+
+def test_every_registered_metric_family_is_documented(tmp_path):
+    """The metrics-docs lint: every ``reach_*`` family a fully-enabled
+    server actually exposes must appear in docs/OBSERVABILITY.md.
+
+    A family that ships without docs is invisible to operators; this
+    test makes adding the doc row part of adding the metric.  The
+    server runs with the SLO engine and flight recorder on so the
+    operations-plane families are registered too.
+    """
+    from repro.core.base import build_index
+    from repro.graph.generators import single_rooted_dag
+    from repro.core.service import QueryService
+    from repro.obs.prometheus import parse_exposition
+    from repro.server.client import ReachClient
+    from repro.server.server import (ReachServer, ServerConfig,
+                                     ServerThread)
+
+    graph = single_rooted_dag(60, 120, seed=11)
+    index = build_index(graph, scheme="dual-i")
+    config = ServerConfig(slo_defaults={"availability": 0.999,
+                                        "latency_ms": 50.0},
+                          flight_dir=tmp_path / "flightrec")
+    server = ReachServer(QueryService(index), scheme="dual-i",
+                         config=config)
+    handle = ServerThread(server).start()
+    try:
+        with ReachClient(port=handle.port) as client:
+            nodes = sorted(graph.nodes())
+            client.query_batch([(nodes[0], nodes[-1]),
+                                (nodes[-1], nodes[0])])
+            exposition = client.metrics()["exposition"]
+    finally:
+        handle.stop()
+
+    families = {name for name in parse_exposition(exposition)
+                if name.startswith("reach_")}
+    assert families, "server exposed no reach_* families"
+    documented = set(re.findall(r"`(reach_[a-z0-9_]+)`",
+                                _doc_text("docs/OBSERVABILITY.md")))
+    undocumented = sorted(families - documented)
+    assert not undocumented, (
+        "families missing from docs/OBSERVABILITY.md: "
+        f"{undocumented}")

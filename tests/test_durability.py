@@ -112,6 +112,48 @@ class TestTornTail:
             again.close()
             shutil.rmtree(work)
 
+    def test_quota_record_truncation_is_atomic(self, tmp_path):
+        """The ``quota`` record type (admission updates journaled by
+        the operations plane) honours the same power-loss contract:
+        chopped at any byte, the update is fully applied or fully
+        dropped — never a half-written quota."""
+        base = tmp_path / "base"
+        state = _fresh(base, checkpoint_interval=100)
+        state.record_create("tA", index_id=1, scheme="dual-i",
+                            quota={"rate": 5.0})
+        before = state.journal_path.read_bytes()
+        state.record_quota("tA", {"rate": 9.0, "burst": 18.0})
+        state.close()
+        full = (base / JOURNAL_NAME).read_bytes()
+        assert full[:len(before)] == before
+
+        for offset in range(len(before), len(full) + 1):
+            work = tmp_path / f"cut{offset}"
+            shutil.copytree(base, work)
+            (work / JOURNAL_NAME).write_bytes(full[:offset])
+            recovered = _fresh(work, checkpoint_interval=100)
+            quota = recovered.entry("tA").quota
+            assert quota in ({"rate": 5.0},
+                             {"rate": 9.0, "burst": 18.0}), offset
+            if offset < len(full):
+                assert quota == {"rate": 5.0}, offset
+            recovered.close()
+            shutil.rmtree(work)
+
+    def test_quota_for_dropped_entry_replays_as_noop(self, tmp_path):
+        """Replay tolerates a quota record whose entry a later drop
+        removed — the checkpoint may have compacted the create away."""
+        state = _fresh(tmp_path, checkpoint_interval=100)
+        state.record_create("tA", index_id=1, scheme="dual-i",
+                            quota={})
+        state.record_quota("tA", {"rate": 3.0})
+        state.record_drop("tA")
+        state.record_quota("tA", {"rate": 7.0})  # stale broadcast
+        state.close()
+        recovered = _fresh(tmp_path, checkpoint_interval=100)
+        assert recovered.entries() == []
+        recovered.close()
+
     def test_zero_filled_tail_is_truncated(self, tmp_path):
         """A pre-allocated-but-unwritten tail (all zero bytes, the
         classic power-loss artifact) is a torn tail, not corruption."""

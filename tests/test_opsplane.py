@@ -1,0 +1,495 @@
+"""The fleet operations plane: SLOs, the flight recorder, tracing.
+
+Unit-level contracts for the two new ``repro.obs`` subsystems plus the
+end-to-end trace-propagation guarantees:
+
+* :mod:`repro.obs.slo` — objective validation, the windowed counter
+  ring under a fake clock, multi-window burn-rate alerts firing and
+  clearing, lazy default trackers;
+* :mod:`repro.obs.flight` — ring wrap, dump round trips, the
+  immediate-first-spill contract, archive/scan of prior incarnations;
+* :func:`repro.obs.prometheus.merge_expositions` — one header per
+  family, conflicting TYPEs refused;
+* trace ids over both protocols against a live server: a JSON
+  ``trace`` field echoes back verbatim (untraced replies keep their
+  exact shape), the binary TRACE extension round-trips ids, and an
+  un-negotiated binary connection behaves as before.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.core.base import build_index
+from repro.core.service import QueryService
+from repro.graph.generators import single_rooted_dag
+from repro.obs.flight import (FlightRecorder, archive_current_dumps,
+                              load_dump, scan_dumps)
+from repro.obs.prometheus import merge_expositions
+from repro.obs.slo import SloEngine, SloObjective
+from repro.server.client import BinaryReachClient, ReachClient
+from repro.server.server import ReachServer, ServerConfig, ServerThread
+
+
+# ---------------------------------------------------------------------
+# SLO objectives and the error-budget engine
+# ---------------------------------------------------------------------
+
+class TestSloObjective:
+    def test_from_payload_round_trip(self):
+        objective = SloObjective.from_payload(
+            {"availability": 0.995, "latency_ms": 10})
+        assert objective.availability == 0.995
+        assert objective.latency_ms == 10.0
+        assert objective.as_dict() == {"availability": 0.995,
+                                       "latency_ms": 10.0}
+
+    def test_defaults_apply_when_fields_omitted(self):
+        objective = SloObjective.from_payload({})
+        assert 0.0 < objective.availability < 1.0
+        assert objective.latency_ms > 0.0
+
+    @pytest.mark.parametrize("payload", [
+        {"availability": 0.0}, {"availability": 1.0},
+        {"availability": -3}, {"availability": "high"},
+        {"latency_ms": 0}, {"latency_ms": -5},
+        {"latency_ms": "fast"}, {"availability": 0.9, "floor": 1},
+        "not-a-dict", 7,
+    ])
+    def test_bad_payloads_rejected(self, payload):
+        from repro.exceptions import ReproError
+        with pytest.raises(ReproError):
+            SloObjective.from_payload(payload)
+
+
+class FakeClock:
+    def __init__(self, start: float = 1_000_000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSloEngine:
+    def engine(self, **kwargs):
+        clock = FakeClock()
+        return SloEngine(clock=clock, **kwargs), clock
+
+    def test_disabled_engine_records_are_noops(self):
+        engine, clock = self.engine()
+        assert not engine.enabled
+        engine.record("default", True, 0.001, clock())
+        assert engine.report()["entries"] == {}
+
+    def test_default_objective_tracks_lazily(self):
+        engine, clock = self.engine(
+            defaults=SloObjective(availability=0.99, latency_ms=50.0))
+        assert engine.enabled
+        assert engine.report()["entries"] == {}  # no traffic yet
+        engine.record("teamA", True, 0.001, clock())
+        entry = engine.report()["entries"]["teamA"]
+        assert entry["objective"]["availability"] == 0.99
+        assert entry["lifetime"] == {"total": 1, "bad": 0}
+
+    def test_slow_requests_spend_budget(self):
+        engine, clock = self.engine()
+        engine.set_objective("default", SloObjective(
+            availability=0.999, latency_ms=25.0))
+        engine.record("default", True, 0.010, clock())   # fast: fine
+        engine.record("default", True, 0.100, clock())   # slow: bad
+        engine.record("default", False, 0.001, clock())  # failed: bad
+        entry = engine.report()["entries"]["default"]
+        assert entry["lifetime"] == {"total": 3, "bad": 2}
+
+    def test_page_alert_fires_and_clears(self):
+        engine, clock = self.engine()
+        engine.set_objective("teamA", SloObjective(
+            availability=0.999, latency_ms=50.0))
+        for _ in range(20):
+            engine.record("teamA", False, 0.001, clock())
+        entry = engine.report()["entries"]["teamA"]
+        # All-bad traffic burns 1000x the 0.1% budget: both page
+        # windows (1h and 5m) are far past the 14.4 threshold.
+        assert entry["alerts"]["page"] is True
+        assert entry["error_budget_remaining"] < 0
+        fired = [t for t in engine.transitions
+                 if t["severity"] == "page" and t["active"]]
+        assert fired and fired[0]["index"] == "teamA"
+
+        # 4000s later the 1h window no longer covers the bad burst;
+        # healthy traffic clears the multi-window condition.
+        clock.now += 4000.0
+        for _ in range(50):
+            engine.record("teamA", True, 0.001, clock())
+        entry = engine.report()["entries"]["teamA"]
+        assert entry["alerts"]["page"] is False
+        cleared = [t for t in engine.transitions
+                   if t["severity"] == "page" and not t["active"]]
+        assert cleared
+
+    def test_burn_rate_windows_age_out(self):
+        engine, clock = self.engine()
+        tracker = engine.set_objective("t", SloObjective(
+            availability=0.9, latency_ms=50.0))
+        for _ in range(10):
+            tracker.record(False, 0.001, clock())
+        assert tracker.window_counts(300, clock()) == (10, 10)
+        assert tracker.burn_rate(300, clock()) == pytest.approx(10.0)
+        clock.now += 400.0  # past the 5m window
+        assert tracker.window_counts(300, clock()) == (0, 0)
+        assert tracker.burn_rate(300, clock()) == 0.0
+        # The 6h budget window still remembers the burst.
+        assert tracker.window_counts(21600, clock()) == (10, 10)
+
+    def test_drop_forgets_the_entry(self):
+        engine, clock = self.engine()
+        engine.set_objective("gone", SloObjective())
+        engine.record("gone", False, 0.001, clock())
+        engine.drop("gone")
+        assert "gone" not in engine.report()["entries"]
+
+    def test_replacing_objective_keeps_history(self):
+        engine, clock = self.engine()
+        engine.set_objective("t", SloObjective(availability=0.9))
+        engine.record("t", False, 0.001, clock())
+        engine.set_objective("t", SloObjective(availability=0.999))
+        entry = engine.report()["entries"]["t"]
+        assert entry["objective"]["availability"] == 0.999
+        assert entry["lifetime"]["total"] == 1
+
+
+# ---------------------------------------------------------------------
+# the flight recorder
+# ---------------------------------------------------------------------
+
+class TestFlightRecorder:
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=4)
+
+    def test_ring_keeps_the_newest_events_in_order(self):
+        recorder = FlightRecorder(capacity=8)
+        for i in range(20):
+            recorder.record("tick", n=i)
+        events = recorder.snapshot()
+        assert [e["n"] for e in events] == list(range(12, 20))
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+        assert all(e["kind"] == "tick" for e in events)
+
+    def test_dump_round_trips_through_load_dump(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, label="w3")
+        recorder.record("server_start", port=7421)
+        recorder.record("request", verb="query", ms=1.5)
+        path = recorder.dump(str(tmp_path), reason="unit")
+        assert path is not None and "flight-w3-" in path
+        doc = load_dump(path)
+        assert doc["header"]["reason"] == "unit"
+        assert doc["header"]["label"] == "w3"
+        assert [e["kind"] for e in doc["events"]] == \
+            ["server_start", "request"]
+
+    def test_dump_without_directory_is_skipped(self):
+        recorder = FlightRecorder(capacity=8)
+        assert recorder.dump(reason="nowhere") is None
+
+    def test_spiller_writes_current_file_immediately(self, tmp_path):
+        """The crash-window contract: events recorded *before*
+        ``start_spiller`` are on disk as soon as the thread runs —
+        a kill inside the first interval still leaves the boot
+        events readable."""
+        recorder = FlightRecorder(capacity=8, label="boot")
+        recorder.record("server_start", port=1)
+        recorder.start_spiller(str(tmp_path), interval=3600.0)
+        current = tmp_path / "flight-boot-current.jsonl"
+        deadline = 100
+        while not current.exists() and deadline:
+            deadline -= 1
+            import time
+            time.sleep(0.01)
+        doc = load_dump(str(current))
+        assert doc["events"][0]["kind"] == "server_start"
+        recorder.stop_spiller(final_dump=False)
+
+    def test_stop_spiller_final_dump_covers_the_tail(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, label="tail")
+        recorder.start_spiller(str(tmp_path), interval=3600.0)
+        recorder.record("late_event")
+        recorder.stop_spiller(final_dump=True)
+        doc = load_dump(str(tmp_path / "flight-tail-current.jsonl"))
+        assert any(e["kind"] == "late_event" for e in doc["events"])
+
+    def test_archive_then_scan_sees_prior_incarnation(self, tmp_path):
+        first = FlightRecorder(capacity=8, label="srv")
+        first.start_spiller(str(tmp_path), interval=3600.0)
+        first.record("server_start", incarnation=1)
+        first.stop_spiller(final_dump=True)
+
+        archived = archive_current_dumps(str(tmp_path))
+        assert [p.rsplit("/", 1)[-1] for p in archived] == \
+            ["flight-srv-prior-0.jsonl"]
+        assert not (tmp_path / "flight-srv-current.jsonl").exists()
+
+        second = FlightRecorder(capacity=8, label="srv")
+        second.start_spiller(str(tmp_path), interval=3600.0)
+        second.record("server_start", incarnation=2)
+        second.stop_spiller(final_dump=True)
+
+        dumps = scan_dumps(str(tmp_path))
+        names = [d["path"].rsplit("/", 1)[-1] for d in dumps]
+        assert names == ["flight-srv-current.jsonl",
+                         "flight-srv-prior-0.jsonl"]
+        prior = dumps[1]
+        assert prior["events"][0]["incarnation"] == 1
+
+    def test_scan_reports_unparseable_dumps(self, tmp_path):
+        good = FlightRecorder(capacity=8, label="ok")
+        good.record("x")
+        good.dump(str(tmp_path), reason="r")
+        (tmp_path / "flight-bad-0-r.jsonl").write_text("not json\n")
+        (tmp_path / "flight-headless-0-r.jsonl").write_text(
+            json.dumps({"kind": "event", "seq": 0}) + "\n")
+        dumps = scan_dumps(str(tmp_path))
+        errors = {d["path"].rsplit("/", 1)[-1]: d.get("error")
+                  for d in dumps}
+        assert errors["flight-bad-0-r.jsonl"] == "unparseable"
+        assert errors["flight-headless-0-r.jsonl"] == "unparseable"
+        assert [e for p, e in errors.items() if p.startswith(
+            "flight-ok")] == [None]
+
+    def test_load_dump_rejects_out_of_order_seq(self, tmp_path):
+        path = tmp_path / "flight-x-1-r.jsonl"
+        lines = [{"kind": "flight_header", "label": "x"},
+                 {"seq": 5, "kind": "a"}, {"seq": 3, "kind": "b"}]
+        path.write_text("".join(json.dumps(l) + "\n" for l in lines))
+        with pytest.raises(ValueError):
+            load_dump(str(path))
+
+
+# ---------------------------------------------------------------------
+# merging worker expositions into one fleet scrape
+# ---------------------------------------------------------------------
+
+class TestMergeExpositions:
+    W0 = ("# HELP reach_requests_total Requests answered.\n"
+          "# TYPE reach_requests_total counter\n"
+          'reach_requests_total{worker="0"} 5\n')
+    W1 = ("# HELP reach_requests_total Requests answered.\n"
+          "# TYPE reach_requests_total counter\n"
+          'reach_requests_total{worker="1"} 7\n')
+
+    def test_one_type_header_all_samples(self):
+        merged = merge_expositions([self.W0, self.W1])
+        assert merged.count("# TYPE reach_requests_total") == 1
+        assert 'reach_requests_total{worker="0"} 5' in merged
+        assert 'reach_requests_total{worker="1"} 7' in merged
+
+    def test_conflicting_types_refused(self):
+        gauge = self.W1.replace("counter", "gauge")
+        with pytest.raises(ValueError):
+            merge_expositions([self.W0, gauge])
+
+
+# ---------------------------------------------------------------------
+# trace propagation over both protocols, against a live server
+# ---------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def graph():
+    return single_rooted_dag(80, 160, seed=5)
+
+
+@pytest.fixture(scope="module")
+def server(graph, tmp_path_factory):
+    config = ServerConfig(
+        slo_defaults={"availability": 0.999, "latency_ms": 50.0},
+        flight_dir=tmp_path_factory.mktemp("flightrec"))
+    server = ReachServer(QueryService(build_index(graph,
+                                                  scheme="dual-i")),
+                         scheme="dual-i", config=config)
+    handle = ServerThread(server).start()
+    yield handle
+    handle.stop()
+
+
+def _raw_call(port: int, request: dict) -> dict:
+    with socket.create_connection(("127.0.0.1", port),
+                                  timeout=10.0) as sock:
+        sock.sendall((json.dumps(request) + "\n").encode())
+        reader = sock.makefile("rb")
+        return json.loads(reader.readline())
+
+
+class TestTracePropagation:
+    def test_json_trace_echoes_back_verbatim(self, server):
+        reply = _raw_call(server.port, {
+            "id": 1, "verb": "query", "u": 0, "v": 1,
+            "trace": "t-feedface"})
+        assert reply["ok"] is True
+        assert reply["trace"] == "t-feedface"
+
+    def test_untraced_json_reply_shape_unchanged(self, server):
+        reply = _raw_call(server.port,
+                          {"id": 2, "verb": "query", "u": 0, "v": 1})
+        assert reply["ok"] is True
+        assert "trace" not in reply
+
+    def test_traced_client_remembers_its_id(self, server, graph):
+        with ReachClient(port=server.port, trace=True) as client:
+            client.query_batch([(0, 1), (1, 0)])
+            assert client.last_trace_id
+
+    def test_trace_lands_in_slow_log_and_exemplars(self, server):
+        with ReachClient(port=server.port) as client:
+            _raw_call(server.port, {
+                "id": 3, "verb": "query", "u": 0, "v": 2,
+                "trace": "t-slowpoke"})
+            stats = client.stats()
+            traces = {entry.get("trace")
+                      for entry in stats["slow_queries"]}
+            assert "t-slowpoke" in traces
+            # Exemplars keep the slowest *traced* observation per
+            # stage — some traced request's id is pinned to each.
+            exemplars = stats["stage_exemplars"]
+            assert exemplars
+            for block in exemplars.values():
+                assert block["trace"] and block["ms"] >= 0.0
+
+    def test_binary_trace_extension_round_trips(self, server, graph):
+        with BinaryReachClient(port=server.port,
+                               trace=True) as client:
+            assert client.query_batch([(0, 1), (1, 0)]) is not None
+            assert client.last_trace_id is not None
+            assert client.last_reply_trace == client.last_trace_id
+
+    def test_unnegotiated_binary_connection_untouched(self, server):
+        with BinaryReachClient(port=server.port) as client:
+            client.query_batch([(0, 1)])
+            assert client.last_trace_id is None
+            assert client.last_reply_trace is None
+
+
+class TestServerOpsVerbs:
+    def test_slo_verb_declares_and_reports(self, server):
+        with ReachClient(port=server.port) as client:
+            client.query_batch([(0, 1)])
+            doc = client.slo(index="default",
+                             objective={"availability": 0.95,
+                                        "latency_ms": 100})
+            entry = doc["entries"]["default"]
+            assert entry["objective"]["availability"] == 0.95
+            assert entry["lifetime"]["total"] >= 1
+            assert set(entry["windows"]) == {"5m", "30m", "1h", "6h"}
+
+    def test_flight_verb_dumps_on_demand(self, server):
+        with ReachClient(port=server.port) as client:
+            doc = client.flight(dump=True)
+            assert len(doc["events"]) > 0
+            path = doc["dump_path"]
+            dumped = load_dump(path)
+            kinds = {e["kind"] for e in dumped["events"]}
+            assert "server_start" in kinds
+
+
+# ---------------------------------------------------------------------
+# trace ids across the fleet boundary
+# ---------------------------------------------------------------------
+
+@pytest.mark.slow
+class TestFleetTracePropagation:
+    def test_binary_trace_round_trips_on_every_worker(self, graph,
+                                                      tmp_path):
+        """SO_REUSEPORT shards connections across workers; a traced
+        binary client must get its own id echoed back no matter which
+        worker the kernel picked — and the per-worker flight files
+        prove both workers booted the plane."""
+        from repro.server.router import WorkerFleet
+
+        index = build_index(graph, scheme="dual-i")
+        fleet = WorkerFleet(
+            index, scheme="dual-i", workers=2,
+            server_options=dict(
+                max_delay=0.001, request_timeout=10.0,
+                drain_timeout=2.0,
+                slo_defaults={"availability": 0.999,
+                              "latency_ms": 50.0},
+                flight_dir=str(tmp_path)),
+            flight_dir=str(tmp_path))
+        fleet.start()
+        try:
+            workers_hit = set()
+            for _ in range(24):
+                with BinaryReachClient(port=fleet.port,
+                                       trace=True) as client:
+                    client.query_batch([(0, 1), (1, 0)])
+                    assert client.last_reply_trace == \
+                        client.last_trace_id
+                with ReachClient(port=fleet.port) as probe:
+                    workers_hit.add(probe.stats()["worker"])
+                if len(workers_hit) >= 2:
+                    break
+            assert len(workers_hit) >= 2, \
+                "connection hashing never reached the second worker"
+        finally:
+            fleet.stop()
+        current = sorted(p.name for p in tmp_path.iterdir()
+                         if p.name.endswith("-current.jsonl"))
+        # One file per worker plus the fleet parent's own recorder.
+        assert len(current) >= 3, current
+        for name in current:
+            doc = load_dump(str(tmp_path / name))
+            kinds = {e["kind"] for e in doc["events"]}
+            assert kinds & {"server_start", "fleet_start"}, name
+
+
+# ---------------------------------------------------------------------
+# the crash-restart soak's flight acceptance gate
+# ---------------------------------------------------------------------
+
+class TestCrashRestartFlightGate:
+    def report(self, **overrides):
+        from repro.testing.chaos import CrashRestartReport
+
+        report = CrashRestartReport(
+            seed=1, cycles=1, workers=1, recovery_timeout=30.0,
+            checkpoint_interval=8)
+        report.restarts = [{"cycle": 0, "mutation": "create",
+                            "acked": True, "outcome": "post",
+                            "recovery_seconds": 0.5,
+                            "durable_recovery_seconds": 0.1}]
+        report.server_metric_seen = True
+        report.hygiene = {"orphan_artifacts": [],
+                          "model_matches": True,
+                          "journal_records": 0}
+        for key, value in overrides.items():
+            setattr(report, key, value)
+        return report
+
+    def test_synthetic_report_without_flight_data_passes(self):
+        assert self.report().ok()
+
+    def test_unparseable_dump_fails_the_soak(self):
+        report = self.report(flight={
+            "dumps": 2, "events": 5,
+            "unparseable": ["flight-srv-prior-0.jsonl"],
+            "prior_dumps": 1, "covering": True, "tail": []})
+        assert not report.ok()
+
+    def test_uncovered_pre_kill_window_fails_the_soak(self):
+        report = self.report(flight={
+            "dumps": 2, "events": 5, "unparseable": [],
+            "prior_dumps": 1, "covering": False, "tail": []})
+        assert not report.ok()
+
+    def test_covered_window_passes_and_survives_round_trip(self):
+        flight = {"dumps": 6, "events": 11, "unparseable": [],
+                  "prior_dumps": 5, "covering": True,
+                  "tail": [{"seq": 0, "kind": "server_start"}]}
+        report = self.report(flight=flight)
+        assert report.ok()
+        assert report.as_dict()["flight"] == flight
+        text = "\n".join(report.summary_lines())
+        assert "pre-kill window covered: True" in text
